@@ -1,0 +1,55 @@
+// Ablation: continuation-on-join vs blocking join (DESIGN.md choice #3).
+//
+// Anahy's defining mechanism (paper §2.2.1) is that a flow reaching a join
+// on an unfinished task splits: the VP does not idle, it runs other ready
+// work. This bench disables that in the simulator (VPs park at joins) and
+// measures the price across graph shapes and VP/CPU ratios.
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Ablation",
+                            "help-first continuations vs blocking joins", cli);
+
+  const double node = benchcommon::fib_node_cost();
+  struct Shape {
+    const char* name;
+    simsched::Program program;
+  };
+  std::vector<double> irregular;
+  for (int i = 0; i < 64; ++i) irregular.push_back(i % 8 == 0 ? 0.08 : 0.01);
+  const Shape shapes[] = {
+      {"farm-64-regular",
+       simsched::make_independent_tasks(std::vector<double>(64, 0.02))},
+      {"farm-64-irregular", simsched::make_independent_tasks(irregular)},
+      {"fib-18", simsched::make_fib(18, node * 50, node * 50)},
+  };
+
+  benchutil::Table table({"shape", "VPs", "CPUs", "help-first", "blocking",
+                          "slowdown"});
+  double worst = 1.0;
+  for (const auto& shape : shapes) {
+    for (const int cpus : {1, 2}) {
+      for (const int vps : {2, 4}) {
+        simsched::MachineModel m = benchcommon::bi_machine();
+        m.processors = cpus;
+        const auto help = simsched::simulate_anahy(
+            shape.program, vps, m, anahy::PolicyKind::kWorkStealing, true);
+        const auto block = simsched::simulate_anahy(
+            shape.program, vps, m, anahy::PolicyKind::kWorkStealing, false);
+        const double slowdown = block.makespan / help.makespan;
+        worst = std::max(worst, slowdown);
+        table.add_row({shape.name, std::to_string(vps), std::to_string(cpus),
+                       benchutil::Table::num(help.makespan),
+                       benchutil::Table::num(block.makespan),
+                       benchutil::Table::num(slowdown, 2)});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  benchcommon::print_verdict(
+      worst >= 1.0,
+      "blocking joins never beat help-first; the gap widens when joins "
+      "arrive before their targets ran (deep graphs, few VPs)");
+  return 0;
+}

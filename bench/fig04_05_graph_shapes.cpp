@@ -1,0 +1,79 @@
+// Regenerates paper Figures 4 and 5: the two task-graph shapes of the
+// evaluation applications.
+//
+//   Figure 4 - independent tasks (split-compute-merge): Ray-Tracer, agzip
+//              and ConvoP all create N sibling tasks under the root with
+//              no precedence among them.
+//   Figure 5 - recursive Fibonacci: a binary recursion tree with one fork
+//              and one join per internal call.
+//
+// We execute miniature instances of both with tracing on, print their
+// level structure and graph statistics, and dump DOT files.
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Figures 4 and 5", "application graph shapes",
+                            cli);
+
+  // ---- Figure 4: split-compute-merge (8 independent tasks).
+  {
+    anahy::Options opts;
+    opts.num_vps = 2;
+    opts.trace = true;
+    anahy::Runtime rt(opts);
+    const auto img = image::make_test_image(64, 64, 3);
+    (void)apps::convop_anahy(rt, img, image::Kernel::box3(), 8);
+
+    int real_tasks = 0;
+    std::uint32_t max_level = 0;
+    for (const auto& n : rt.trace().nodes()) {
+      if (n.is_continuation || n.id == anahy::kRootTaskId) continue;
+      ++real_tasks;
+      max_level = std::max(max_level, n.level);
+    }
+    std::printf("Figure 4 (ConvoP, 8 tasks): %d worker tasks, all at level "
+                "%u under the root - no inter-task precedence\n",
+                real_tasks, max_level);
+    const std::string out = cli.get("out4", "fig04_independent.dot");
+    if (std::FILE* f = std::fopen(out.c_str(), "w")) {
+      std::fputs(rt.trace().to_dot().c_str(), f);
+      std::fclose(f);
+      std::printf("  DOT written to %s\n", out.c_str());
+    }
+    benchcommon::print_verdict(real_tasks == 8 && max_level == 1,
+                               "Figure 4 shape: flat one-level task farm");
+  }
+
+  // ---- Figure 5: recursive Fibonacci tree.
+  {
+    anahy::Options opts;
+    opts.num_vps = 2;
+    opts.trace = true;
+    anahy::Runtime rt(opts);
+    const long n = cli.get_int("fib", 8);
+    const long result = apps::fib_anahy(rt, n);
+    std::printf("\nFigure 5 (Fibonacci %ld = %ld):\n", n, result);
+
+    const auto hist = rt.trace().level_histogram();
+    benchutil::Table levels({"nivel", "tarefas"});
+    for (const auto& [level, count] : hist)
+      levels.add_row({std::to_string(level), std::to_string(count)});
+    std::printf("%s", levels.to_text().c_str());
+    std::printf("tasks created: %llu (formula fib(n+1)-1 = %ld)\n",
+                static_cast<unsigned long long>(rt.stats().tasks_created),
+                apps::fib_task_count(n));
+
+    const std::string out = cli.get("out5", "fig05_fibonacci.dot");
+    if (std::FILE* f = std::fopen(out.c_str(), "w")) {
+      std::fputs(rt.trace().to_dot().c_str(), f);
+      std::fclose(f);
+      std::printf("  DOT written to %s\n", out.c_str());
+    }
+    benchcommon::print_verdict(
+        rt.stats().tasks_created ==
+            static_cast<std::uint64_t>(apps::fib_task_count(n)),
+        "Figure 5 shape: one task per recursive call with n >= 2");
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the Anahy core primitives: task
+// spawn/join cost, attribute ops, ready-list policies and the lock-free
+// deque. These quantify the "no thread is created" claim at the
+// microsecond scale (an athread_create is a queue push, not a clone()).
+#include <benchmark/benchmark.h>
+
+#include "anahy/anahy.hpp"
+#include "anahy/policy_steal.hpp"
+#include "anahy/steal_deque.hpp"
+
+namespace {
+
+void BM_SpawnJoin_1vp(benchmark::State& state) {
+  anahy::Runtime rt(anahy::Options{.num_vps = 1});
+  for (auto _ : state) {
+    auto h = anahy::spawn(rt, [] { return 1; });
+    benchmark::DoNotOptimize(h.join());
+  }
+}
+BENCHMARK(BM_SpawnJoin_1vp);
+
+void BM_SpawnJoin_4vp(benchmark::State& state) {
+  anahy::Runtime rt(anahy::Options{.num_vps = 4});
+  for (auto _ : state) {
+    auto h = anahy::spawn(rt, [] { return 1; });
+    benchmark::DoNotOptimize(h.join());
+  }
+}
+BENCHMARK(BM_SpawnJoin_4vp);
+
+void BM_RawForkJoin(benchmark::State& state) {
+  anahy::Runtime rt(anahy::Options{.num_vps = 1});
+  for (auto _ : state) {
+    anahy::TaskPtr t =
+        rt.fork([](void* p) -> void* { return p; }, nullptr);
+    void* out = nullptr;
+    rt.join(t, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RawForkJoin);
+
+void BM_ThreadCreateJoin(benchmark::State& state) {
+  // The OS-thread cost Anahy avoids (compare against BM_RawForkJoin).
+  for (auto _ : state) {
+    std::thread t([] {});
+    t.join();
+  }
+}
+BENCHMARK(BM_ThreadCreateJoin);
+
+void BM_FanOut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  anahy::Runtime rt(anahy::Options{.num_vps = 4});
+  for (auto _ : state) {
+    std::vector<anahy::TaskPtr> tasks;
+    tasks.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      tasks.push_back(rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+    for (auto& t : tasks) rt.join(t, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FanOut)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PolicyPushPop(benchmark::State& state) {
+  const auto kind = static_cast<anahy::PolicyKind>(state.range(0));
+  auto policy = anahy::make_policy(kind, 4);
+  auto task = std::make_shared<anahy::Task>(
+      1, [](void*) -> void* { return nullptr; }, nullptr,
+      anahy::TaskAttributes{}, 0, 1);
+  for (auto _ : state) {
+    policy->push(task, 0);
+    benchmark::DoNotOptimize(policy->pop(0));
+  }
+}
+BENCHMARK(BM_PolicyPushPop)
+    ->Arg(static_cast<int>(anahy::PolicyKind::kFifo))
+    ->Arg(static_cast<int>(anahy::PolicyKind::kLifo))
+    ->Arg(static_cast<int>(anahy::PolicyKind::kWorkStealing));
+
+void BM_StealPath(benchmark::State& state) {
+  anahy::WorkStealingPolicy policy(4);
+  auto task = std::make_shared<anahy::Task>(
+      1, [](void*) -> void* { return nullptr; }, nullptr,
+      anahy::TaskAttributes{}, 0, 1);
+  for (auto _ : state) {
+    policy.push(task, 0);
+    benchmark::DoNotOptimize(policy.pop(3));  // always a cross-VP steal
+  }
+}
+BENCHMARK(BM_StealPath);
+
+void BM_ChaseLevOwner(benchmark::State& state) {
+  anahy::ChaseLevDeque<int> deque;
+  for (auto _ : state) {
+    deque.push_bottom(1);
+    benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+}
+BENCHMARK(BM_ChaseLevOwner);
+
+void BM_AttrRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    anahy::athread_attr_t attr;
+    anahy::athread_attr_init(&attr);
+    anahy::athread_attr_setjoinnumber(&attr, 3);
+    int joins = 0;
+    anahy::athread_attr_getjoinnumber(&attr, &joins);
+    anahy::athread_attr_destroy(&attr);
+    benchmark::DoNotOptimize(joins);
+  }
+}
+BENCHMARK(BM_AttrRoundTrip);
+
+long bench_fib(anahy::Runtime& rt, long n) {
+  if (n < 2) return n;
+  auto h = anahy::spawn(rt, bench_fib, std::ref(rt), n - 1);
+  const long b = bench_fib(rt, n - 2);
+  return h.join() + b;
+}
+
+void BM_FibTaskPerCall(benchmark::State& state) {
+  anahy::Runtime rt(anahy::Options{.num_vps = 2});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bench_fib(rt, static_cast<long>(state.range(0))));
+}
+BENCHMARK(BM_FibTaskPerCall)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

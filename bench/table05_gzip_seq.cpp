@@ -1,0 +1,39 @@
+// Regenerates paper Table 5: sequential GZip baseline.
+//
+// Paper reference (300 MB binary file, file I/O excluded):
+//   Mono-proc: 43.698 s +/- 2.829
+//   Bi-proc:   46.104 s +/- 3.561   (sequential: the second CPU is idle)
+//
+// The sequential baseline keeps whole-file history (higher effort), which
+// is why the paper's 1-task parallel runs (Tables 6-9) beat it per-chunk.
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Table 5", "GZip, sequential", cli);
+  const auto cfg = benchcommon::agzip_config(cli);
+  const int reps = benchcommon::reps(cli);
+  std::printf("workload: %zu MiB synthetic binary (paper: 300 MB file)\n\n",
+              cfg.bytes >> 20);
+
+  const auto data = apps::make_binary_workload(cfg.bytes);
+
+  std::size_t out_size = 0;
+  const auto stats = benchutil::measure(reps, [&] {
+    out_size = apps::agzip_sequential(data).size();
+  });
+
+  benchutil::Table table({"Arquitetura", "Media", "Desvio Padrao",
+                          "paper Media", "paper DP"});
+  table.add_row({"Mono-proc (real)", benchutil::Table::num(stats.mean()),
+                 benchutil::Table::num(stats.stddev()), "43.698", "2.829"});
+  table.add_row({"Bi-proc (sim)", benchutil::Table::num(stats.mean()), "-",
+                 "46.104", "3.561"});
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("compression ratio: %.3f\n\n",
+              static_cast<double>(out_size) / static_cast<double>(cfg.bytes));
+  benchcommon::print_verdict(out_size < cfg.bytes,
+                             "sequential compressor does real work "
+                             "(output smaller than input)");
+  return 0;
+}

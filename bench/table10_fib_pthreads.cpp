@@ -1,0 +1,56 @@
+// Regenerates paper Table 10: Fibonacci with one OS thread per recursive
+// branch.
+//
+// Paper reference (seconds):
+//   mono n=15: 1.221 +/- 0.054      bi n=15: 1.095 +/- 0.109
+//   mono n=16: 1.391 +/- 0.058      bi n=16: 1.414 +/- 0.187
+// Shape: already ~1 s for a microscopic computation (fib(16) sequential is
+// microseconds) and essentially no bi-proc speedup: thread creation
+// dominates. The paper notes larger n exhaust the OS thread limit.
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Table 10", "Fibonacci, PThreads (thread per call)",
+                            cli);
+  const int reps = benchcommon::reps(cli, 3);
+
+  const char* paper_mono[] = {"1.221", "1.391"};
+  const char* paper_bi[] = {"1.095", "1.414"};
+  const int n_list[] = {15, 16};
+
+  benchutil::Table table({"Arquitetura", "Fibo", "Media", "Desvio Padrao",
+                          "paper Media"});
+  double mono16 = 0.0;
+  for (std::size_t i = 0; i < std::size(n_list); ++i) {
+    const long n = n_list[i];
+    const auto stats =
+        benchutil::measure(reps, [&] { (void)apps::fib_pthreads(n); });
+    if (n == 16) mono16 = stats.mean();
+    table.add_row({"mono (real)", std::to_string(n),
+                   benchutil::Table::num(stats.mean()),
+                   benchutil::Table::num(stats.stddev()), paper_mono[i]});
+  }
+
+  // Bi-proc rows via the simulator with a calibrated per-call cost.
+  const double node = benchcommon::fib_node_cost();
+  for (std::size_t i = 0; i < std::size(n_list); ++i) {
+    const auto program = simsched::make_fib(n_list[i], node, node);
+    const auto r =
+        simsched::simulate_pthreads(program, benchcommon::bi_machine(cli));
+    table.add_row({"bi (sim)", std::to_string(n_list[i]),
+                   benchutil::Table::num(r.makespan), "-", paper_bi[i]});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  // Sequential yardstick: the same computation without threads.
+  benchutil::Timer t;
+  (void)apps::fib_sequential(16);
+  const double seq16 = t.elapsed_seconds();
+  std::printf("sequential fib(16) on this host: %.6f s\n\n", seq16);
+  benchcommon::print_verdict(
+      mono16 > 100.0 * seq16,
+      "thread-per-call is orders of magnitude slower than the computation "
+      "itself (the paper's motivation for virtual processors)");
+  return 0;
+}

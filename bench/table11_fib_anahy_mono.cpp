@@ -1,0 +1,50 @@
+// Regenerates paper Table 11: Fibonacci under Anahy on the mono-processor,
+// PVs in {1..5}, n in {15..20}.
+//
+// Paper reference highlights (seconds):
+//   1-2 PVs grow steeply with n (0.19 @15 -> ~36 @20): the FIFO-ish
+//   execution materializes the whole exponential task graph.
+//   3 PVs collapse the times (0.06 @15 -> 0.78 @20).
+// Shape: Anahy handles n=20 (PThreads could not), and per-n times remain
+// milliseconds-to-seconds, growing with the task count fib(n+1)-1.
+#include "common/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  benchcommon::print_banner("Table 11", "Fibonacci, Anahy, mono-processor",
+                            cli);
+  const int reps = benchcommon::reps(cli, 3);
+
+  const char* paper_mean[5][6] = {
+      {"0.186", "0.509", "1.482", "5.170", "13.877", "36.285"},
+      {"0.179", "0.501", "1.461", "5.204", "14.042", "36.866"},
+      {"0.059", "0.098", "0.177", "0.302", "0.374", "0.778"},
+      {"0.055", "0.132", "0.284", "0.528", "0.743", "1.788"},
+      {"0.092", "0.177", "0.391", "0.834", "0.797", "1.315"}};
+
+  benchutil::Table table(
+      {"PVs", "Fibo", "Media", "Desvio Padrao", "paper Media"});
+  double total20 = 0.0;
+  for (int pv = 1; pv <= 5; ++pv) {
+    for (int n = 15; n <= 20; ++n) {
+      const auto stats = benchutil::measure(reps, [&] {
+        anahy::Runtime rt(anahy::Options{.num_vps = pv});
+        (void)apps::fib_anahy(rt, n);
+      });
+      if (n == 20) total20 += stats.mean();
+      table.add_row({std::to_string(pv), std::to_string(n),
+                     benchutil::Table::num(stats.mean()),
+                     benchutil::Table::num(stats.stddev()),
+                     paper_mean[pv - 1][n - 15]});
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("tasks created for n=20: %ld (paper hit the OS thread limit "
+              "long before this)\n\n",
+              apps::fib_task_count(20));
+  benchcommon::print_verdict(
+      total20 / 5.0 < 30.0,
+      "Anahy computes fib(20) with ~21k tasks on one CPU in seconds; "
+      "PThreads could not run past n=16");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Example: a REAL multi-process Anahy cluster (the paper's target
+// deployment: nodes exchanging messages and tasks over the network).
+//
+// Start one coordinator and any number of workers, in separate processes
+// (or separate machines - replace 127.0.0.1 with the coordinator's IP):
+//
+//   ./build/examples/cluster_multiprocess --role=worker --host=127.0.0.1 --port=7707 &
+//   ./build/examples/cluster_multiprocess --role=worker --host=127.0.0.1 --port=7707 &
+//   ./build/examples/cluster_multiprocess --role=coordinator --port=7707 --nodes=3
+//
+// The coordinator compresses a synthetic file by forking one gzip task
+// per chunk; idle workers steal chunks over TCP, results stream back, and
+// the coordinator verifies the output and shuts the cluster down.
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "apps/agzip_app.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/timer.hpp"
+#include "cluster/cluster_lib.hpp"
+#include "compress/compress.hpp"
+
+namespace {
+
+std::shared_ptr<cluster::Registry> demo_registry() {
+  auto reg = std::make_shared<cluster::Registry>();
+  reg->add("gzip_chunk", [](std::span<const std::uint8_t> in) {
+    return compress::gzip_wrap(compress::deflate_compress(in),
+                               compress::crc32(in),
+                               static_cast<std::uint32_t>(in.size()));
+  });
+  return reg;
+}
+
+int run_worker(const std::string& host, std::uint16_t port, int vps) {
+  std::printf("[worker %d] joining cluster at %s:%u...\n", ::getpid(),
+              host.c_str(), port);
+  cluster::ClusterNode node(cluster::tcp_worker(host, port), demo_registry(),
+                            {.num_vps = vps});
+  std::printf("[worker %d] joined as node %d of %d; serving\n", ::getpid(),
+              node.id(), node.cluster_size());
+  node.serve();  // returns when the coordinator broadcasts shutdown
+  const auto s = node.stats();
+  std::printf("[worker %d] done: executed %llu tasks (%llu stolen in)\n",
+              ::getpid(),
+              static_cast<unsigned long long>(s.tasks_executed_local),
+              static_cast<unsigned long long>(s.tasks_received));
+  return 0;
+}
+
+int run_coordinator(std::uint16_t port, int nodes, int vps,
+                    std::size_t mib, int chunks) {
+  std::printf("[coordinator] waiting for %d workers on port %u...\n",
+              nodes - 1, port);
+  cluster::ClusterNode node(cluster::tcp_coordinator(port, nodes),
+                            demo_registry(), {.num_vps = vps});
+  std::printf("[coordinator] cluster of %d nodes up\n", node.cluster_size());
+
+  const auto data = apps::make_binary_workload(mib << 20);
+  const auto parts = apps::split_chunks(data.size(), chunks);
+
+  benchutil::Timer timer;
+  std::vector<cluster::GlobalTaskId> ids;
+  for (const auto& c : parts) {
+    std::vector<std::uint8_t> payload(
+        data.begin() + static_cast<std::ptrdiff_t>(c.offset),
+        data.begin() + static_cast<std::ptrdiff_t>(c.offset + c.size));
+    ids.push_back(node.fork("gzip_chunk", std::move(payload)));
+  }
+  std::vector<std::uint8_t> gz;
+  for (const auto& id : ids) {
+    const auto member = node.join(id);
+    gz.insert(gz.end(), member.begin(), member.end());
+  }
+  const double elapsed = timer.elapsed_seconds();
+
+  const bool ok = compress::gzip_decompress(gz) == data;
+  const auto s = node.stats();
+  std::printf("[coordinator] %zu MiB -> %zu bytes in %.3f s; shipped %llu "
+              "of %d chunks to workers; round-trip %s\n",
+              mib, gz.size(), elapsed,
+              static_cast<unsigned long long>(s.tasks_shipped_out), chunks,
+              ok ? "OK" : "FAILED");
+  node.broadcast_shutdown();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const std::string role = cli.get("role", "coordinator");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7707));
+  const int vps = cli.get_int("vps", 2);
+
+  if (role == "worker")
+    return run_worker(cli.get("host", "127.0.0.1"), port, vps);
+  if (role == "coordinator")
+    return run_coordinator(port, cli.get_int("nodes", 2), vps,
+                           static_cast<std::size_t>(cli.get_int("mib", 2)),
+                           cli.get_int("chunks", 8));
+  std::fprintf(stderr, "--role must be coordinator or worker\n");
+  return 2;
+}

@@ -1,0 +1,72 @@
+// Example: the paper's Fibonacci stress test (S3.4), with the execution
+// graph made visible.
+//
+// Each recursive call forks a task, so fib(n) creates fib(n+1)-1 tasks and
+// as many joins - the worst case for synchronization overhead. With
+// --trace, the run also dumps the task graph (paper Figure 5) as DOT.
+//
+//   ./build/examples/fibonacci_graph --n=20 --vps=4
+//   ./build/examples/fibonacci_graph --n=8 --trace --dot=fib.dot
+#include <cstdio>
+
+#include "anahy/anahy.hpp"
+#include "anahy/trace_analysis.hpp"
+#include "apps/fib_app.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/timer.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const long n = cli.get_int("n", 20);
+  const int vps = cli.get_int("vps", 4);
+  const bool trace = cli.get_bool("trace", false);
+
+  anahy::Options opts;
+  opts.num_vps = vps;
+  opts.trace = trace;
+  anahy::Runtime rt(opts);
+
+  benchutil::Timer timer;
+  const long result = apps::fib_anahy(rt, n);
+  const double elapsed = timer.elapsed_seconds();
+
+  std::printf("fib(%ld) = %ld in %.4f s on %d VPs\n", n, result, elapsed, vps);
+  std::printf("tasks forked: %ld (formula fib(n+1)-1)\n",
+              apps::fib_task_count(n));
+  std::printf("stats: %s\n", rt.stats().to_string().c_str());
+
+  // Cross-check against the sequential recursion.
+  const long expect = apps::fib_sequential(n);
+  std::printf("sequential check: %s\n", result == expect ? "OK" : "FAILED");
+
+  if (trace) {
+    // Post-mortem schedule analysis from the trace.
+    const auto intervals = anahy::exec_intervals(rt.trace());
+    std::printf("\nschedule analysis:\n");
+    std::printf("  executed tasks: %zu, peak concurrency: %zu\n",
+                intervals.size(), anahy::max_concurrency(intervals));
+    std::printf("  work/span (average parallelism the graph supports): %.2f\n",
+                anahy::average_parallelism(rt.trace()));
+    std::printf("  critical path length: %zu tasks\n",
+                anahy::critical_path(rt.trace()).size());
+    if (cli.has("gantt")) {
+      const std::string gantt_path = cli.get("gantt", "fib_gantt.csv");
+      if (std::FILE* f = std::fopen(gantt_path.c_str(), "w")) {
+        std::fputs(anahy::gantt_csv(rt.trace()).c_str(), f);
+        std::fclose(f);
+        std::printf("  Gantt CSV written to %s\n", gantt_path.c_str());
+      }
+    }
+
+    const std::string dot_path = cli.get("dot", "fib.dot");
+    if (std::FILE* f = std::fopen(dot_path.c_str(), "w")) {
+      std::fputs(rt.trace().to_dot().c_str(), f);
+      std::fclose(f);
+      std::printf("task graph (%zu nodes) written to %s - render with\n"
+                  "  dot -Tpng %s -o fib.png\n",
+                  rt.trace().nodes().size(), dot_path.c_str(),
+                  dot_path.c_str());
+    }
+  }
+  return result == expect ? 0 : 1;
+}

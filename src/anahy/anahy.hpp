@@ -1,0 +1,27 @@
+// Umbrella header: everything a user of the Anahy library needs.
+//
+//   #include <anahy/anahy.hpp>
+//
+//   anahy::Runtime rt({.num_vps = 4});
+//   auto h = anahy::spawn(rt, [] { return 21 * 2; });
+//   int x = h.join();                      // typed C++ layer
+//
+// or, with the paper's POSIX-flavoured API:
+//
+//   anahy::athread_init(4);
+//   anahy::athread_t th;
+//   anahy::athread_create(&th, nullptr, func, in);
+//   anahy::athread_join(th, &out);
+//   anahy::athread_terminate();
+#pragma once
+
+#include "anahy/athread.hpp"   // IWYU pragma: export
+#include "anahy/attr.hpp"          // IWYU pragma: export
+#include "anahy/parallel_for.hpp"  // IWYU pragma: export
+#include "anahy/runtime.hpp"   // IWYU pragma: export
+#include "anahy/spawn.hpp"     // IWYU pragma: export
+#include "anahy/stats.hpp"     // IWYU pragma: export
+#include "anahy/task.hpp"      // IWYU pragma: export
+#include "anahy/task_group.hpp"    // IWYU pragma: export
+#include "anahy/trace.hpp"     // IWYU pragma: export
+#include "anahy/types.hpp"     // IWYU pragma: export

@@ -1,0 +1,97 @@
+#include "anahy/athread.hpp"
+
+namespace anahy {
+
+int athread_init(int num_vps) {
+  Options opts = Options::from_env();
+  if (num_vps > 0) opts.num_vps = num_vps;
+  return athread_init_opts(opts);
+}
+
+int athread_init_opts(const Options& opts) {
+  if (Runtime::global() != nullptr) return kAgain;
+  Runtime::set_global(std::make_unique<Runtime>(opts));
+  return kOk;
+}
+
+int athread_terminate() {
+  if (Runtime::global() == nullptr) return kPerm;
+  Runtime::clear_global();
+  return kOk;
+}
+
+bool athread_initialized() { return Runtime::global() != nullptr; }
+
+Runtime* athread_runtime() { return Runtime::global(); }
+
+int athread_attr_init(athread_attr_t* attr) {
+  if (attr == nullptr) return kInvalid;
+  attr->attr = TaskAttributes{};
+  attr->initialized = true;
+  return kOk;
+}
+
+int athread_attr_destroy(athread_attr_t* attr) {
+  if (attr == nullptr || !attr->initialized) return kInvalid;
+  attr->initialized = false;
+  return kOk;
+}
+
+int athread_attr_setjoinnumber(athread_attr_t* attr, int joins) {
+  if (attr == nullptr || !attr->initialized) return kInvalid;
+  return attr->attr.set_join_number(joins) ? kOk : kInvalid;
+}
+
+int athread_attr_getjoinnumber(const athread_attr_t* attr, int* joins) {
+  if (attr == nullptr || !attr->initialized || joins == nullptr)
+    return kInvalid;
+  *joins = attr->attr.join_number();
+  return kOk;
+}
+
+int athread_attr_setdatalen(athread_attr_t* attr, std::size_t len) {
+  if (attr == nullptr || !attr->initialized) return kInvalid;
+  attr->attr.set_data_len(len);
+  return kOk;
+}
+
+int athread_attr_getdatalen(const athread_attr_t* attr, std::size_t* len) {
+  if (attr == nullptr || !attr->initialized || len == nullptr) return kInvalid;
+  *len = attr->attr.data_len();
+  return kOk;
+}
+
+int athread_create(athread_t* th, const athread_attr_t* attr,
+                   athread_func_t func, void* arg) {
+  Runtime* rt = Runtime::global();
+  if (rt == nullptr) return kPerm;
+  if (th == nullptr || func == nullptr) return kInvalid;
+  if (attr != nullptr && !attr->initialized) return kInvalid;
+  const TaskAttributes ta = attr != nullptr ? attr->attr : TaskAttributes{};
+  TaskPtr task = rt->fork(func, arg, ta);
+  th->id = task->id();
+  return kOk;
+}
+
+int athread_join(athread_t th, void** result) {
+  Runtime* rt = Runtime::global();
+  if (rt == nullptr) return kPerm;
+  return rt->join_by_id(th.id, result);
+}
+
+int athread_tryjoin(athread_t th, void** result) {
+  Runtime* rt = Runtime::global();
+  if (rt == nullptr) return kPerm;
+  TaskPtr task = rt->scheduler().find(th.id);
+  if (!task) return kNotFound;
+  return rt->try_join(task, result);
+}
+
+int athread_exit(void* result) {
+  if (Scheduler::current_stack_depth() == 0) return kPerm;
+  throw TaskExit{result};
+}
+
+athread_t athread_self() { return athread_t{Scheduler::current_flow_id()}; }
+
+}  // namespace anahy

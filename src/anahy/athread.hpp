@@ -1,0 +1,78 @@
+// The paper's programming interface: a POSIX-threads-shaped C API.
+//
+//   athread_create / athread_join   replace pthread_create / pthread_join;
+//   athread_attr_setjoinnumber      Anahy extension: join budget of a task;
+//   athread_attr_setdatalen         Anahy extension: declared payload size.
+//
+// All functions return 0 on success or a positive POSIX-style error code
+// (EINVAL, ESRCH, EDEADLK), exactly like the pthread family. The API is
+// backed by a process-global Runtime created by athread_init().
+#pragma once
+
+#include <cstddef>
+
+#include "anahy/runtime.hpp"
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+/// Opaque task handle (the paper's `athread_t`).
+struct athread_t {
+  TaskId id = kInvalidTaskId;
+};
+
+/// Task-creation attributes (the paper's `athread_attr_t`).
+struct athread_attr_t {
+  TaskAttributes attr;
+  bool initialized = false;
+};
+
+/// Start routine signature, identical to POSIX.
+using athread_func_t = void* (*)(void*);
+
+/// Initializes the global runtime with `num_vps` virtual processors
+/// (<= 0 selects the library default of 4, or ANAHY_NUM_VPS if set).
+/// Returns EAGAIN if already initialized.
+int athread_init(int num_vps);
+
+/// Initializes with full options (policy, tracing...).
+int athread_init_opts(const Options& opts);
+
+/// Stops the VPs and destroys the global runtime. Returns EPERM when no
+/// runtime is active.
+int athread_terminate();
+
+/// True between athread_init and athread_terminate.
+bool athread_initialized();
+
+/// The global runtime (null when not initialized). Mainly for tests and
+/// tools that want statistics or the trace graph.
+Runtime* athread_runtime();
+
+int athread_attr_init(athread_attr_t* attr);
+int athread_attr_destroy(athread_attr_t* attr);
+int athread_attr_setjoinnumber(athread_attr_t* attr, int joins);
+int athread_attr_getjoinnumber(const athread_attr_t* attr, int* joins);
+int athread_attr_setdatalen(athread_attr_t* attr, std::size_t len);
+int athread_attr_getdatalen(const athread_attr_t* attr, std::size_t* len);
+
+/// Fork: creates a new flow executing `func(arg)`. `attr` may be null for
+/// defaults. The new flow's id is stored in `*th`.
+int athread_create(athread_t* th, const athread_attr_t* attr,
+                   athread_func_t func, void* arg);
+
+/// Join: waits for flow `th` and stores its result in `*result` (which may
+/// be null to discard the result).
+int athread_join(athread_t th, void** result);
+
+/// Non-blocking join: EBUSY when `th` has not finished yet.
+int athread_tryjoin(athread_t th, void** result);
+
+/// Terminates the calling task immediately with `result`. Undefined when
+/// called outside a task body (returns EPERM instead of terminating).
+int athread_exit(void* result);
+
+/// Id of the calling flow (id 0 outside any task = the main flow T0).
+athread_t athread_self();
+
+}  // namespace anahy

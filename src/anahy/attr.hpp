@@ -1,0 +1,41 @@
+// Task creation attributes: the POSIX-attr subset plus Anahy extensions.
+#pragma once
+
+#include <cstddef>
+
+namespace anahy {
+
+/// Attributes applied to a task at creation time.
+///
+/// Mirrors the paper's `athread_attr_t`: a subset of the POSIX thread
+/// attributes plus the Anahy extensions `joinnumber` (how many joins may be
+/// performed on the task before its result is reclaimed) and `datalen`
+/// (declared size of the task's input/result payload, used by the cluster
+/// prototype to ship tasks between nodes and by us for trace accounting).
+class TaskAttributes {
+ public:
+  /// Default: exactly one join allowed, unknown payload size.
+  TaskAttributes() = default;
+
+  /// Number of joins that may be performed on the task. Zero means the task
+  /// is detached: nobody may join it and its result is discarded on finish.
+  [[nodiscard]] int join_number() const { return join_number_; }
+
+  /// Sets the join budget; returns false (and keeps the old value) when
+  /// `n` is negative.
+  bool set_join_number(int n) {
+    if (n < 0) return false;
+    join_number_ = n;
+    return true;
+  }
+
+  /// Declared payload size in bytes (advisory).
+  [[nodiscard]] std::size_t data_len() const { return data_len_; }
+  void set_data_len(std::size_t len) { data_len_ = len; }
+
+ private:
+  int join_number_ = 1;
+  std::size_t data_len_ = 0;
+};
+
+}  // namespace anahy

@@ -1,0 +1,85 @@
+// Loop-parallel conveniences built on fork/join: parallel_for over an
+// index range and parallel_reduce with a user combiner. These are the
+// split-compute-merge pattern of the paper's applications (§3.1) packaged
+// as a library facility.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "anahy/runtime.hpp"
+#include "anahy/spawn.hpp"
+
+namespace anahy {
+
+/// Contiguous index sub-range [begin, end).
+struct IndexRange {
+  long begin = 0;
+  long end = 0;
+};
+
+/// Splits [begin, end) into at most `tasks` contiguous ranges; the last
+/// range absorbs the remainder (the paper's band-splitting rule).
+[[nodiscard]] inline std::vector<IndexRange> split_range(long begin, long end,
+                                                         int tasks) {
+  if (end < begin) throw std::invalid_argument("split_range: end < begin");
+  if (tasks < 1) throw std::invalid_argument("split_range: tasks < 1");
+  const long n = end - begin;
+  if (n == 0) return {};
+  if (tasks > n) tasks = static_cast<int>(n);
+  const long base = n / tasks;
+  std::vector<IndexRange> out;
+  out.reserve(static_cast<std::size_t>(tasks));
+  long at = begin;
+  for (int t = 0; t < tasks; ++t) {
+    const long hi = t == tasks - 1 ? end : at + base;
+    out.push_back({at, hi});
+    at = hi;
+  }
+  return out;
+}
+
+/// Runs body(i) for every i in [begin, end), split into `tasks` Anahy
+/// tasks. `body` must be safe to call concurrently for distinct i.
+template <typename Body>
+void parallel_for(Runtime& rt, long begin, long end, int tasks, Body&& body) {
+  const auto ranges = split_range(begin, end, tasks);
+  if (ranges.size() <= 1) {
+    for (long i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<Handle<int>> handles;
+  handles.reserve(ranges.size());
+  for (const IndexRange r : ranges) {
+    handles.push_back(spawn(rt, [r, &body] {
+      for (long i = r.begin; i < r.end; ++i) body(i);
+      return 0;
+    }));
+  }
+  for (auto& h : handles) h.join();
+}
+
+/// Parallel reduction: combine(map(i)) over [begin, end), associativity
+/// required of `combine`; `identity` is its neutral element. Combination
+/// happens in deterministic range order, so non-commutative but
+/// associative operators work too.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(Runtime& rt, long begin, long end, int tasks,
+                                T identity, Map&& map, Combine&& combine) {
+  const auto ranges = split_range(begin, end, tasks);
+  std::vector<Handle<T>> handles;
+  handles.reserve(ranges.size());
+  for (const IndexRange r : ranges) {
+    handles.push_back(spawn(rt, [r, identity, &map, &combine] {
+      T acc = identity;
+      for (long i = r.begin; i < r.end; ++i) acc = combine(acc, map(i));
+      return acc;
+    }));
+  }
+  T total = identity;
+  for (auto& h : handles) total = combine(total, h.join());
+  return total;
+}
+
+}  // namespace anahy

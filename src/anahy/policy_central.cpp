@@ -1,0 +1,45 @@
+#include "anahy/policy_central.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anahy {
+
+CentralQueuePolicy::CentralQueuePolicy(PolicyKind kind) : kind_(kind) {
+  if (kind != PolicyKind::kFifo && kind != PolicyKind::kLifo)
+    throw std::invalid_argument("CentralQueuePolicy: kind must be fifo/lifo");
+}
+
+void CentralQueuePolicy::push(TaskPtr task, int /*vp*/) {
+  std::lock_guard lock(mu_);
+  queue_.push_back(std::move(task));
+}
+
+TaskPtr CentralQueuePolicy::pop(int /*vp*/) {
+  std::lock_guard lock(mu_);
+  if (queue_.empty()) return nullptr;
+  TaskPtr task;
+  if (kind_ == PolicyKind::kFifo) {
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  } else {
+    task = std::move(queue_.back());
+    queue_.pop_back();
+  }
+  return task;
+}
+
+bool CentralQueuePolicy::remove_specific(const TaskPtr& task) {
+  std::lock_guard lock(mu_);
+  const auto it = std::find(queue_.begin(), queue_.end(), task);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+std::size_t CentralQueuePolicy::approx_size() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace anahy

@@ -1,0 +1,32 @@
+// Centralized single-queue policies: FIFO (breadth-first) and LIFO
+// (depth-first). These are the literal reading of the paper's "list of
+// ready tasks" description.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "anahy/policy.hpp"
+
+namespace anahy {
+
+/// One mutex-guarded deque shared by all VPs. `kFifo` pops the oldest task,
+/// `kLifo` the newest (which approximates depth-first execution and keeps
+/// the working set small on recursive workloads such as Fibonacci).
+class CentralQueuePolicy final : public SchedulingPolicy {
+ public:
+  explicit CentralQueuePolicy(PolicyKind kind);
+
+  void push(TaskPtr task, int vp) override;
+  TaskPtr pop(int vp) override;
+  bool remove_specific(const TaskPtr& task) override;
+  [[nodiscard]] std::size_t approx_size() const override;
+  [[nodiscard]] PolicyKind kind() const override { return kind_; }
+
+ private:
+  const PolicyKind kind_;
+  mutable std::mutex mu_;
+  std::deque<TaskPtr> queue_;
+};
+
+}  // namespace anahy

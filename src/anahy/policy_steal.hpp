@@ -1,0 +1,60 @@
+// Work-stealing ready-list policy: per-VP deques, owner LIFO / thief FIFO.
+//
+// This is the load-balancing strategy the Anahy lineage (Athapascan-1,
+// Cilk) implies: each virtual processor pushes and pops its own bottom end
+// (depth-first, cache-friendly) while idle VPs steal the oldest task from a
+// victim's top end (breadth-first, large-grained steals).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "anahy/policy.hpp"
+
+namespace anahy {
+
+/// Per-VP deques guarded by small mutexes (the owner path and the thief
+/// path contend only on the same deque). Slot `num_vps` is the overflow
+/// deque used by external (non-VP) threads such as the program main flow.
+class WorkStealingPolicy final : public SchedulingPolicy {
+ public:
+  explicit WorkStealingPolicy(int num_vps);
+
+  void push(TaskPtr task, int vp) override;
+  TaskPtr pop(int vp) override;
+  bool remove_specific(const TaskPtr& task) override;
+  [[nodiscard]] std::size_t approx_size() const override;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kWorkStealing;
+  }
+
+  /// Cumulative number of successful steals (for runtime statistics).
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative number of steal attempts, successful or not.
+  [[nodiscard]] std::uint64_t steal_attempts() const {
+    return steal_attempts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Deque {
+    mutable std::mutex mu;
+    std::deque<TaskPtr> q;
+  };
+
+  /// Maps a caller id to its deque slot (external callers share the last).
+  [[nodiscard]] std::size_t slot(int vp) const;
+
+  TaskPtr steal_from_others(std::size_t self);
+
+  std::vector<Deque> deques_;  // num_vps + 1 slots
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> rr_seed_{0};
+};
+
+}  // namespace anahy

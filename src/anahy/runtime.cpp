@@ -1,0 +1,75 @@
+#include "anahy/runtime.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace anahy {
+
+namespace {
+std::unique_ptr<Runtime> g_runtime;  // the athread-API global instance
+}  // namespace
+
+Options Options::from_env() {
+  Options opts;
+  if (const char* v = std::getenv("ANAHY_NUM_VPS")) opts.num_vps = std::atoi(v);
+  if (const char* v = std::getenv("ANAHY_POLICY")) {
+    const std::string_view s{v};
+    if (s == "fifo") opts.policy = PolicyKind::kFifo;
+    else if (s == "lifo") opts.policy = PolicyKind::kLifo;
+    else if (s == "steal") opts.policy = PolicyKind::kWorkStealing;
+  }
+  if (const char* v = std::getenv("ANAHY_TRACE"))
+    opts.trace = std::string_view{v} == "1";
+  return opts;
+}
+
+Runtime::Runtime(const Options& opts) : opts_(opts) {
+  if (opts_.num_vps < 1) throw std::invalid_argument("num_vps must be >= 1");
+  Scheduler::Options sopts;
+  sopts.num_vps = opts_.num_vps;
+  sopts.policy = opts_.policy;
+  sopts.trace = opts_.trace;
+  sopts.external_helps = opts_.main_participates;
+  scheduler_ = std::make_unique<Scheduler>(sopts);
+
+  const int workers =
+      opts_.main_participates ? opts_.num_vps - 1 : opts_.num_vps;
+  vps_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    vps_.push_back(std::make_unique<VirtualProcessor>(*scheduler_, i));
+}
+
+Runtime::~Runtime() {
+  for (auto& vp : vps_) vp->request_stop();
+  scheduler_->notify_all();
+  vps_.clear();  // joins all VP threads
+}
+
+TaskPtr Runtime::fork(TaskBody body, void* input, const TaskAttributes& attr,
+                      std::string label) {
+  return scheduler_->create_task(std::move(body), input, attr,
+                                 std::move(label));
+}
+
+int Runtime::join(const TaskPtr& task, void** result) {
+  return scheduler_->join(task, result, SchedulingPolicy::kExternalVp);
+}
+
+int Runtime::join_by_id(TaskId id, void** result) {
+  return scheduler_->join_by_id(id, result, SchedulingPolicy::kExternalVp);
+}
+
+int Runtime::try_join(const TaskPtr& task, void** result) {
+  return scheduler_->try_join(task, result);
+}
+
+Runtime* Runtime::global() { return g_runtime.get(); }
+
+void Runtime::set_global(std::unique_ptr<Runtime> rt) {
+  g_runtime = std::move(rt);
+}
+
+void Runtime::clear_global() { g_runtime.reset(); }
+
+}  // namespace anahy

@@ -1,0 +1,93 @@
+// Public entry point: the Anahy runtime (executive kernel + VPs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anahy/scheduler.hpp"
+#include "anahy/vp.hpp"
+
+namespace anahy {
+
+/// Runtime construction options.
+struct Options {
+  /// Number of virtual processors. When `main_participates` is true this
+  /// counts the program main flow as VP 0 (so `num_vps - 1` worker threads
+  /// are spawned); `num_vps == 1` then creates **no** system thread at all,
+  /// which is the configuration behind the paper's "no thread is created,
+  /// no execution overhead" observation (Tables 3 and 7).
+  int num_vps = 4;  // the paper's library default
+
+  /// Ready-list policy of the executive kernel.
+  PolicyKind policy = PolicyKind::kWorkStealing;
+
+  /// Record the execution graph (fork/join/continuation edges).
+  bool trace = false;
+
+  /// Whether the thread that constructed the runtime helps execute tasks
+  /// while it is blocked in a join (the paper's model, where the main flow
+  /// T0 is itself a task executed by a VP).
+  bool main_participates = true;
+
+  /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE from the environment,
+  /// falling back to the defaults above.
+  static Options from_env();
+};
+
+/// RAII runtime: starts the VPs on construction, stops and joins them on
+/// destruction. All forked tasks should be joined before destruction
+/// (tasks still queued at shutdown are simply never run, like a process
+/// exiting with live POSIX threads).
+class Runtime {
+ public:
+  explicit Runtime(const Options& opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Fork: creates a ready task executing `body(input)`.
+  TaskPtr fork(TaskBody body, void* input,
+               const TaskAttributes& attr = TaskAttributes{},
+               std::string label = {});
+
+  /// Join: waits for `task` and stores its result pointer in `*result`
+  /// (result may be null to discard). Returns an Error code.
+  int join(const TaskPtr& task, void** result);
+
+  /// Join by athread-style id.
+  int join_by_id(TaskId id, void** result);
+
+  /// Non-blocking join: kOk with the result when finished, kBusy when the
+  /// task is still pending/running, kNotFound on a bad id or spent budget.
+  int try_join(const TaskPtr& task, void** result);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] int num_vps() const { return opts_.num_vps; }
+  [[nodiscard]] int worker_threads() const {
+    return static_cast<int>(vps_.size());
+  }
+
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] RuntimeStats::Snapshot stats() const {
+    return scheduler_->stats_snapshot();
+  }
+  [[nodiscard]] Scheduler::ListSnapshot lists() const {
+    return scheduler_->lists();
+  }
+  [[nodiscard]] TraceGraph& trace() { return scheduler_->trace(); }
+
+  /// Global runtime used by the C-style athread API. Null until
+  /// athread_init (or set_global) is called.
+  static Runtime* global();
+  static void set_global(std::unique_ptr<Runtime> rt);
+  static void clear_global();
+
+ private:
+  Options opts_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<VirtualProcessor>> vps_;
+};
+
+}  // namespace anahy

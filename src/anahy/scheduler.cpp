@@ -1,0 +1,290 @@
+#include "anahy/scheduler.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "anahy/policy_steal.hpp"
+
+namespace anahy {
+
+thread_local std::vector<Scheduler::Frame> Scheduler::tls_frames_;
+thread_local Scheduler::Frame Scheduler::tls_root_{nullptr, kRootTaskId, 0};
+thread_local std::uint64_t Scheduler::tls_root_owner_ = 0;
+thread_local int Scheduler::tls_vp_ = SchedulingPolicy::kExternalVp;
+
+namespace {
+std::atomic<std::uint64_t> g_scheduler_instances{0};
+}  // namespace
+
+Scheduler::Scheduler(const Options& opts)
+    : instance_id_(g_scheduler_instances.fetch_add(1) + 1),
+      opts_(opts),
+      policy_(make_policy(opts.policy, opts.num_vps)) {
+  trace_.set_enabled(opts.trace);
+  if (opts.trace) {
+    // The root flow (the paper's T0) exists before any fork.
+    trace_.record_task(kRootTaskId, kInvalidTaskId, 0, false);
+    trace_.record_label(kRootTaskId, "main");
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::bind_thread_to_vp(int vp) { tls_vp_ = vp; }
+
+Scheduler::Frame& Scheduler::root_frame() {
+  if (tls_root_owner_ != instance_id_) {
+    tls_root_owner_ = instance_id_;
+    tls_root_ = Frame{nullptr, kRootTaskId, 0};
+  }
+  return tls_root_;
+}
+
+Scheduler::Frame& Scheduler::current_frame() {
+  return tls_frames_.empty() ? root_frame() : tls_frames_.back();
+}
+
+TaskId Scheduler::current_flow_id() {
+  // Outside any task frame this is the main flow. We report the stable
+  // root id (T0) rather than its latest continuation id, which is what
+  // the paper's athread_self means by "the main flow".
+  return tls_frames_.empty() ? kRootTaskId : tls_frames_.back().flow_id;
+}
+
+std::size_t Scheduler::current_stack_depth() { return tls_frames_.size(); }
+
+bool Scheduler::on_current_stack(const Task* task) {
+  for (const Frame& f : tls_frames_)
+    if (f.task == task) return true;
+  return false;
+}
+
+TaskPtr Scheduler::create_task(TaskBody body, void* input,
+                               const TaskAttributes& attr, std::string label) {
+  Frame& f = current_frame();
+  const TaskId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto task = std::make_shared<Task>(id, std::move(body), input, attr,
+                                     f.flow_id, f.level + 1);
+  task->set_state(TaskState::kReady);
+
+  if (trace_.enabled()) {
+    trace_.record_task(id, f.flow_id, f.level + 1, false);
+    trace_.record_edge(f.flow_id, id, TraceEdgeKind::kFork);
+    if (!label.empty()) trace_.record_label(id, std::move(label));
+  }
+
+  {
+    // Insert + push under mu_ so sleeping VPs/joiners cannot miss the
+    // wake-up (their predicates read the ready list under mu_).
+    std::lock_guard lock(mu_);
+    live_.emplace(id, task);
+    policy_->push(task, tls_vp_);
+    stats_.record_ready_len(policy_->approx_size());
+  }
+  stats_.on_task_created();
+  ready_cv_.notify_one();
+  join_cv_.notify_all();  // blocked joiners may help with the new task
+  return task;
+}
+
+TaskPtr Scheduler::find(TaskId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+void Scheduler::run_task(const TaskPtr& task, int vp) {
+  task->set_state(TaskState::kRunning);
+  tls_frames_.push_back({task.get(), task->id(), task->level()});
+
+  const std::int64_t trace_start =
+      trace_.enabled() ? trace_.now_ns() : -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  void* result = nullptr;
+  try {
+    result = task->invoke();
+  } catch (const TaskExit& exit) {
+    result = exit.result;
+  } catch (...) {
+    // Task bodies must not throw (POSIX semantics); restore the frame so
+    // the failure is at least attributed to the right flow, then rethrow.
+    tls_frames_.pop_back();
+    throw;
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  tls_frames_.pop_back();
+
+  task->set_result(result);
+  task->set_exec_ns(ns);
+  if (trace_start >= 0)
+    trace_.record_exec_interval(task->id(), trace_start, ns);
+
+  // Count the execution BEFORE the task becomes observable as finished, so
+  // a joiner that consumes the result immediately already sees the counter.
+  stats_.on_task_executed(vp == SchedulingPolicy::kExternalVp);
+
+  {
+    std::lock_guard lock(mu_);
+    if (task->attributes().join_number() == 0) {
+      // Detached task: nobody may join it; reclaim immediately.
+      task->set_state(TaskState::kJoined);
+      live_.erase(task->id());
+    } else {
+      task->set_state(TaskState::kFinished);
+      ++finished_count_;
+    }
+  }
+  join_cv_.notify_all();
+}
+
+void Scheduler::consume_finished(const TaskPtr& task, void** result) {
+  assert(task->state() == TaskState::kFinished);
+  assert(task->joins_remaining() > 0);
+  task->consume_join();
+  if (result != nullptr) *result = task->result();
+  if (task->joins_remaining() == 0) {
+    task->set_state(TaskState::kJoined);
+    live_.erase(task->id());
+    --finished_count_;
+  }
+  if (trace_.enabled()) {
+    trace_.record_edge(task->flow_id(), current_frame().flow_id,
+                       TraceEdgeKind::kJoin);
+  }
+}
+
+int Scheduler::join(const TaskPtr& task, void** result, int vp) {
+  stats_.on_join();
+  if (!task) return kNotFound;
+  if (on_current_stack(task.get())) return kDeadlock;
+
+  {
+    std::lock_guard lock(mu_);
+    if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0)
+      return kNotFound;
+    if (task->state() == TaskState::kFinished) {
+      consume_finished(task, result);
+      stats_.on_join_immediate();
+      return kOk;
+    }
+  }
+
+  // Blocking path: the flow logically splits; the code below this join is
+  // the continuation T_{i+1}, blocked on `task` (paper §2.2.1). The VP
+  // stays useful: it runs the target inline, or other ready tasks, and
+  // sleeps only when the target runs elsewhere and nothing is ready.
+  stats_.on_continuation();
+  if (trace_.enabled()) {
+    Frame& f = current_frame();
+    const TaskId cont_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    trace_.record_task(cont_id, f.flow_id, f.level, true);
+    trace_.record_edge(f.flow_id, cont_id, TraceEdgeKind::kContinue);
+    f.flow_id = cont_id;
+    if (f.task != nullptr) f.task->set_flow_id(cont_id);
+  }
+
+  const bool may_help =
+      vp != SchedulingPolicy::kExternalVp || opts_.external_helps;
+  bool slept = false;
+  blocked_frames_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0) {
+        blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+        return kNotFound;  // join budget raced away
+      }
+      if (task->state() == TaskState::kFinished) {
+        blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+        unblocked_frames_.fetch_add(1, std::memory_order_relaxed);
+        consume_finished(task, result);
+        unblocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+        return kOk;
+      }
+    }
+
+    if (may_help) {
+      // 1) Join-inlining: pull the target itself out of the ready list.
+      if (task->state() == TaskState::kReady &&
+          policy_->remove_specific(task)) {
+        stats_.on_join_inlined();
+        run_task(task, vp);
+        continue;
+      }
+      // 2) Help: run any other ready task while we wait.
+      if (TaskPtr other = policy_->pop(vp)) {
+        stats_.on_join_helped();
+        run_task(other, vp);
+        continue;
+      }
+    }
+    // 3) Sleep until the target finishes (or, when helping, until new
+    //    ready work appears that we could run meanwhile).
+    std::unique_lock lock(mu_);
+    if (task->state() != TaskState::kFinished &&
+        (!may_help || policy_->approx_size() == 0)) {
+      if (!slept) {
+        stats_.on_join_slept();
+        slept = true;
+      }
+      join_cv_.wait(lock, [&] {
+        return task->state() == TaskState::kFinished ||
+               (may_help && policy_->approx_size() > 0);
+      });
+    }
+  }
+}
+
+int Scheduler::try_join(const TaskPtr& task, void** result) {
+  stats_.on_join();
+  if (!task) return kNotFound;
+  if (on_current_stack(task.get())) return kDeadlock;
+  std::lock_guard lock(mu_);
+  if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0)
+    return kNotFound;
+  if (task->state() != TaskState::kFinished) return kBusy;
+  consume_finished(task, result);
+  stats_.on_join_immediate();
+  return kOk;
+}
+
+int Scheduler::join_by_id(TaskId id, void** result, int vp) {
+  TaskPtr task = find(id);
+  if (!task) return kNotFound;
+  return join(task, result, vp);
+}
+
+TaskPtr Scheduler::wait_for_task(int vp, const std::stop_token& st) {
+  for (;;) {
+    if (TaskPtr task = policy_->pop(vp)) return task;
+    std::unique_lock lock(mu_);
+    const bool have_work = ready_cv_.wait(
+        lock, st, [&] { return policy_->approx_size() > 0; });
+    if (!have_work) return nullptr;  // stop requested
+  }
+}
+
+void Scheduler::notify_all() {
+  ready_cv_.notify_all();
+  join_cv_.notify_all();
+}
+
+Scheduler::ListSnapshot Scheduler::lists() const {
+  std::lock_guard lock(mu_);
+  ListSnapshot s;
+  s.ready = policy_->approx_size();
+  s.finished = finished_count_;
+  s.blocked = blocked_frames_.load(std::memory_order_relaxed);
+  s.unblocked = unblocked_frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+RuntimeStats::Snapshot Scheduler::stats_snapshot() const {
+  if (const auto* ws = dynamic_cast<const WorkStealingPolicy*>(policy_.get()))
+    stats_.record_steals(ws->steals(), ws->steal_attempts());
+  return stats_.snapshot();
+}
+
+}  // namespace anahy

@@ -1,0 +1,156 @@
+// The executive kernel: task creation, the four task lists, and join.
+//
+// Paper §2.2.1: the scheduling algorithm manages four task lists — READY
+// (runnable), FINISHED (done, result not yet joined), BLOCKED (flows split
+// at a join whose target has not finished) and UNBLOCKED (flows whose join
+// target finished, pending resumption). The ready list lives inside the
+// pluggable SchedulingPolicy; the other three are bookkeeping owned here.
+//
+// Join semantics follow the paper's mono-processor description: a flow that
+// joins an unfinished task is split — the code after the join is a new
+// continuation task T_{i+1}, blocked on the target (T_j < T_{i+1}). In this
+// implementation the continuation is the native stack frame of the joining
+// virtual processor: while "blocked" the VP keeps the machine busy by
+// (1) pulling the join target itself out of the ready list and running it
+// inline, or (2) running any other ready task, and only (3) sleeps when the
+// target is running on another VP and nothing else is ready.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anahy/policy.hpp"
+#include "anahy/stats.hpp"
+#include "anahy/task.hpp"
+#include "anahy/trace.hpp"
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+class Scheduler {
+ public:
+  struct Options {
+    int num_vps = 4;
+    PolicyKind policy = PolicyKind::kWorkStealing;
+    bool trace = false;
+    /// Whether external (non-VP) threads blocked in a join may execute
+    /// ready tasks while waiting. When false they only sleep, so the task
+    /// concurrency bound is exactly the number of worker VPs.
+    bool external_helps = true;
+  };
+
+  /// Sizes of the four task lists at one instant (monitoring/tests).
+  struct ListSnapshot {
+    std::size_t ready = 0;
+    std::size_t finished = 0;
+    std::size_t blocked = 0;
+    std::size_t unblocked = 0;
+  };
+
+  explicit Scheduler(const Options& opts);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Fork: creates a task in the READY list. `label` is kept in the trace.
+  TaskPtr create_task(TaskBody body, void* input, const TaskAttributes& attr,
+                      std::string label = {});
+
+  /// Join: synchronizes with `task`'s completion and retrieves its result.
+  /// `vp` identifies the calling virtual processor (kExternalVp for the
+  /// program main flow). Returns an `Error` code (kOk on success).
+  int join(const TaskPtr& task, void** result, int vp);
+
+  /// Join by id (the athread_t path). Fails with kNotFound when the id was
+  /// never created or its join budget is exhausted.
+  int join_by_id(TaskId id, void** result, int vp);
+
+  /// Non-blocking join: consumes the result when `task` already finished,
+  /// otherwise returns kBusy without waiting (and without helping).
+  int try_join(const TaskPtr& task, void** result);
+
+  /// Looks up a live task by id (nullptr if unknown/already reclaimed).
+  [[nodiscard]] TaskPtr find(TaskId id) const;
+
+  /// Worker-loop entry: blocks until a ready task is available or stop is
+  /// requested; returns nullptr on stop.
+  TaskPtr wait_for_task(int vp, const std::stop_token& st);
+
+  /// Executes `task` on the calling thread acting as VP `vp`.
+  void run_task(const TaskPtr& task, int vp);
+
+  /// Wakes all sleeping VPs/joiners (used at shutdown).
+  void notify_all();
+
+  /// Id of the flow executing on the calling thread (kRootTaskId for the
+  /// main flow outside any task).
+  [[nodiscard]] static TaskId current_flow_id();
+
+  /// Nesting depth of task frames on the calling thread (0 = main flow).
+  [[nodiscard]] static std::size_t current_stack_depth();
+
+  [[nodiscard]] ListSnapshot lists() const;
+
+  /// Counter snapshot, including steal counters from the active policy.
+  [[nodiscard]] RuntimeStats::Snapshot stats_snapshot() const;
+
+  [[nodiscard]] RuntimeStats& stats() { return stats_; }
+
+  /// Binds the calling thread to VP `vp` for scheduling locality (called by
+  /// VirtualProcessor at thread start; other threads are "external").
+  static void bind_thread_to_vp(int vp);
+  [[nodiscard]] TraceGraph& trace() { return trace_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  /// Per-thread execution frame: which task this thread is running and the
+  /// current flow id (updated when a blocking join splits the flow).
+  struct Frame {
+    Task* task = nullptr;  // nullptr for the root/main flow
+    TaskId flow_id = kRootTaskId;
+    std::uint32_t level = 0;
+  };
+
+  /// Consumes one join on a finished task under `mu_`.
+  void consume_finished(const TaskPtr& task, void** result);
+
+  /// True when `task` appears in the calling thread's frame stack.
+  static bool on_current_stack(const Task* task);
+
+  /// Current frame of the calling thread (the root frame outside any
+  /// task). The root frame is lazily re-initialized when the thread last
+  /// touched a *different* scheduler instance, so continuation flow ids
+  /// never leak across Runtime lifetimes.
+  Frame& current_frame();
+  Frame& root_frame();
+
+  static thread_local std::vector<Frame> tls_frames_;
+  static thread_local Frame tls_root_;
+  static thread_local std::uint64_t tls_root_owner_;
+  static thread_local int tls_vp_;
+
+  const std::uint64_t instance_id_;
+
+  Options opts_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  mutable RuntimeStats stats_;
+  TraceGraph trace_;
+
+  mutable std::mutex mu_;
+  std::condition_variable_any ready_cv_;  // workers waiting for ready tasks
+  std::condition_variable join_cv_;       // joiners waiting for a finish
+  std::unordered_map<TaskId, TaskPtr> live_;
+  std::atomic<TaskId> next_id_{1};  // 0 is the root flow
+  std::size_t finished_count_ = 0;
+  std::atomic<std::size_t> blocked_frames_{0};
+  std::atomic<std::size_t> unblocked_frames_{0};
+};
+
+}  // namespace anahy

@@ -1,0 +1,36 @@
+#include "anahy/stats.hpp"
+
+#include <sstream>
+
+namespace anahy {
+
+RuntimeStats::Snapshot RuntimeStats::snapshot() const {
+  Snapshot s;
+  s.tasks_created = tasks_created_.load(relaxed);
+  s.tasks_executed = tasks_executed_.load(relaxed);
+  s.joins_total = joins_total_.load(relaxed);
+  s.joins_immediate = joins_immediate_.load(relaxed);
+  s.joins_inlined = joins_inlined_.load(relaxed);
+  s.joins_helped = joins_helped_.load(relaxed);
+  s.joins_slept = joins_slept_.load(relaxed);
+  s.continuations = continuations_.load(relaxed);
+  s.steals = steals_.load(relaxed);
+  s.steal_attempts = steal_attempts_.load(relaxed);
+  s.tasks_run_by_main = tasks_run_by_main_.load(relaxed);
+  s.ready_peak = ready_peak_.load(relaxed);
+  return s;
+}
+
+std::string RuntimeStats::Snapshot::to_string() const {
+  std::ostringstream out;
+  out << "tasks created=" << tasks_created << " executed=" << tasks_executed
+      << " | joins total=" << joins_total << " immediate=" << joins_immediate
+      << " inlined=" << joins_inlined << " helped=" << joins_helped
+      << " slept=" << joins_slept << " | continuations=" << continuations
+      << " | steals=" << steals << "/" << steal_attempts
+      << " | run-by-main=" << tasks_run_by_main
+      << " | ready-peak=" << ready_peak;
+  return out.str();
+}
+
+}  // namespace anahy

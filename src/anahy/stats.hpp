@@ -1,0 +1,72 @@
+// Runtime counters: always-on, lock-free, cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace anahy {
+
+/// Aggregated executive-kernel counters. A plain-struct `Snapshot` can be
+/// taken at any time; counters are monotonic within one Runtime lifetime.
+class RuntimeStats {
+ public:
+  struct Snapshot {
+    std::uint64_t tasks_created = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t joins_total = 0;
+    std::uint64_t joins_immediate = 0;  ///< target already finished
+    std::uint64_t joins_inlined = 0;    ///< target pulled from ready & run inline
+    std::uint64_t joins_helped = 0;     ///< other tasks run while waiting
+    std::uint64_t joins_slept = 0;      ///< waits that actually blocked
+    std::uint64_t continuations = 0;    ///< logical T_i -> T_{i+1} splits
+    std::uint64_t steals = 0;           ///< successful steals (steal policy)
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t tasks_run_by_main = 0;
+    std::uint64_t ready_peak = 0;       ///< high-water mark of the ready list
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  void on_task_created() { tasks_created_.fetch_add(1, relaxed); }
+  void on_task_executed(bool by_main) {
+    tasks_executed_.fetch_add(1, relaxed);
+    if (by_main) tasks_run_by_main_.fetch_add(1, relaxed);
+  }
+  void on_join() { joins_total_.fetch_add(1, relaxed); }
+  void on_join_immediate() { joins_immediate_.fetch_add(1, relaxed); }
+  void on_join_inlined() { joins_inlined_.fetch_add(1, relaxed); }
+  void on_join_helped() { joins_helped_.fetch_add(1, relaxed); }
+  void on_join_slept() { joins_slept_.fetch_add(1, relaxed); }
+  void on_continuation() { continuations_.fetch_add(1, relaxed); }
+  void record_ready_len(std::uint64_t len) {
+    std::uint64_t peak = ready_peak_.load(relaxed);
+    while (len > peak &&
+           !ready_peak_.compare_exchange_weak(peak, len, relaxed, relaxed)) {
+    }
+  }
+  void record_steals(std::uint64_t steals, std::uint64_t attempts) {
+    steals_.store(steals, relaxed);
+    steal_attempts_.store(attempts, relaxed);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> tasks_created_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> joins_total_{0};
+  std::atomic<std::uint64_t> joins_immediate_{0};
+  std::atomic<std::uint64_t> joins_inlined_{0};
+  std::atomic<std::uint64_t> joins_helped_{0};
+  std::atomic<std::uint64_t> joins_slept_{0};
+  std::atomic<std::uint64_t> continuations_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> tasks_run_by_main_{0};
+  std::atomic<std::uint64_t> ready_peak_{0};
+};
+
+}  // namespace anahy

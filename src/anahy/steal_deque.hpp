@@ -1,0 +1,126 @@
+// Lock-free Chase-Lev work-stealing deque (bounded, resizable buffer).
+//
+// Standalone component: the default WorkStealingPolicy uses small mutexes
+// (simpler to reason about, and this repo's reference host is single-core),
+// but this deque is provided for users who want the classic lock-free owner
+// path, and it is exercised by the micro-benchmarks and property tests.
+//
+// Owner thread calls push_bottom/pop_bottom; any other thread may call
+// steal_top concurrently. Memory ordering follows Le, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP'13).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace anahy {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : buffer_(std::make_shared<Buffer>(round_up_pow2(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Grows the buffer when full (old buffers are retired via
+  /// shared_ptr so in-flight steals stay valid).
+  void push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, std::move(value));
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns nullopt when the deque is empty.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = buf->get(b);
+    if (t == b) {  // last element: race with thieves via CAS on top
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread. Returns nullopt when empty or when it lost a race.
+  std::optional<T> steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    T value = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return value;
+  }
+
+  /// Racy size estimate (monitoring only).
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return approx_size() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::vector<T> slots;
+
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask] = std::move(v);
+    }
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::shared_ptr<Buffer> grow(const std::shared_ptr<Buffer>& old,
+                               std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_shared<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    std::atomic_store(&buffer_, bigger);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::shared_ptr<Buffer> buffer_;  // accessed via std::atomic_load/store
+};
+
+}  // namespace anahy

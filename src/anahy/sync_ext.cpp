@@ -1,0 +1,149 @@
+#include "anahy/sync_ext.hpp"
+
+namespace anahy {
+
+// ---------------------------------------------------------------- mutex
+
+int athread_mutex_init(athread_mutex_t* mutex) {
+  if (mutex == nullptr) return kInvalid;
+  mutex->initialized = true;
+  return kOk;
+}
+
+int athread_mutex_destroy(athread_mutex_t* mutex) {
+  if (mutex == nullptr || !mutex->initialized) return kInvalid;
+  mutex->initialized = false;
+  return kOk;
+}
+
+int athread_mutex_lock(athread_mutex_t* mutex) {
+  if (mutex == nullptr || !mutex->initialized) return kInvalid;
+  mutex->native.lock();
+  return kOk;
+}
+
+int athread_mutex_trylock(athread_mutex_t* mutex) {
+  if (mutex == nullptr || !mutex->initialized) return kInvalid;
+  return mutex->native.try_lock() ? kOk : kAgain;
+}
+
+int athread_mutex_unlock(athread_mutex_t* mutex) {
+  if (mutex == nullptr || !mutex->initialized) return kInvalid;
+  mutex->native.unlock();
+  return kOk;
+}
+
+// ------------------------------------------------------------- condvar
+
+int athread_cond_init(athread_cond_t* cond) {
+  if (cond == nullptr) return kInvalid;
+  cond->initialized = true;
+  return kOk;
+}
+
+int athread_cond_destroy(athread_cond_t* cond) {
+  if (cond == nullptr || !cond->initialized) return kInvalid;
+  cond->initialized = false;
+  return kOk;
+}
+
+int athread_cond_wait(athread_cond_t* cond, athread_mutex_t* mutex) {
+  if (cond == nullptr || !cond->initialized || mutex == nullptr ||
+      !mutex->initialized)
+    return kInvalid;
+  cond->native.wait(mutex->native);
+  return kOk;
+}
+
+int athread_cond_signal(athread_cond_t* cond) {
+  if (cond == nullptr || !cond->initialized) return kInvalid;
+  cond->native.notify_one();
+  return kOk;
+}
+
+int athread_cond_broadcast(athread_cond_t* cond) {
+  if (cond == nullptr || !cond->initialized) return kInvalid;
+  cond->native.notify_all();
+  return kOk;
+}
+
+// ----------------------------------------------------------- semaphore
+
+int athread_sem_init(athread_sem_t* sem, long initial) {
+  if (sem == nullptr || initial < 0) return kInvalid;
+  sem->value = initial;
+  sem->initialized = true;
+  return kOk;
+}
+
+int athread_sem_destroy(athread_sem_t* sem) {
+  if (sem == nullptr || !sem->initialized) return kInvalid;
+  sem->initialized = false;
+  return kOk;
+}
+
+int athread_sem_wait(athread_sem_t* sem) {
+  if (sem == nullptr || !sem->initialized) return kInvalid;
+  std::unique_lock lock(sem->mu);
+  sem->cv.wait(lock, [sem] { return sem->value > 0; });
+  --sem->value;
+  return kOk;
+}
+
+int athread_sem_trywait(athread_sem_t* sem) {
+  if (sem == nullptr || !sem->initialized) return kInvalid;
+  std::lock_guard lock(sem->mu);
+  if (sem->value <= 0) return kAgain;
+  --sem->value;
+  return kOk;
+}
+
+int athread_sem_post(athread_sem_t* sem) {
+  if (sem == nullptr || !sem->initialized) return kInvalid;
+  {
+    std::lock_guard lock(sem->mu);
+    ++sem->value;
+  }
+  sem->cv.notify_one();
+  return kOk;
+}
+
+long athread_sem_value(athread_sem_t* sem) {
+  if (sem == nullptr || !sem->initialized) return -1;
+  std::lock_guard lock(sem->mu);
+  return sem->value;
+}
+
+// ------------------------------------------------------------- barrier
+
+int athread_barrier_init(athread_barrier_t* barrier, unsigned count) {
+  if (barrier == nullptr || count == 0) return kInvalid;
+  barrier->count = count;
+  barrier->waiting = 0;
+  barrier->cycle = 0;
+  barrier->initialized = true;
+  return kOk;
+}
+
+int athread_barrier_destroy(athread_barrier_t* barrier) {
+  if (barrier == nullptr || !barrier->initialized) return kInvalid;
+  barrier->initialized = false;
+  return kOk;
+}
+
+int athread_barrier_wait(athread_barrier_t* barrier) {
+  if (barrier == nullptr || !barrier->initialized) return kInvalid;
+  std::unique_lock lock(barrier->mu);
+  const std::uint64_t my_cycle = barrier->cycle;
+  if (++barrier->waiting == barrier->count) {
+    barrier->waiting = 0;
+    ++barrier->cycle;
+    lock.unlock();
+    barrier->cv.notify_all();
+    return kBarrierSerial;  // the last arriver is the serial task
+  }
+  barrier->cv.wait(lock, [&] { return barrier->cycle != my_cycle; });
+  return kOk;
+}
+
+}  // namespace anahy

@@ -1,0 +1,90 @@
+// Synchronization extensions: mutexes, condition variables, semaphores and
+// barriers in the athread style.
+//
+// The paper deliberately ships WITHOUT these ("por questões de desempenho
+// operações de sincronização, tais como semáforos e variáveis de condição,
+// não foram implementadas, mas estuda-se a entrada delas em um novo
+// conjunto de serviços") — fork/join dataflow alone keeps programs
+// deterministic. This header is that studied extension set.
+//
+// CAVEAT (why the paper hesitated): a task that blocks on one of these
+// primitives parks its *virtual processor* — the scheduler cannot run
+// other ready tasks on it, unlike a blocking join, which helps. Programs
+// using them must ensure that the number of simultaneously blocked tasks
+// stays below the VP count, or they deadlock. Determinism is also lost:
+// results may depend on scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+// ---------------------------------------------------------------- mutex
+
+struct athread_mutex_t {
+  std::mutex native;
+  bool initialized = false;
+};
+
+int athread_mutex_init(athread_mutex_t* mutex);
+int athread_mutex_destroy(athread_mutex_t* mutex);
+int athread_mutex_lock(athread_mutex_t* mutex);
+/// Returns kAgain when the mutex is already held.
+int athread_mutex_trylock(athread_mutex_t* mutex);
+int athread_mutex_unlock(athread_mutex_t* mutex);
+
+// ------------------------------------------------------------- condvar
+
+struct athread_cond_t {
+  std::condition_variable_any native;
+  bool initialized = false;
+};
+
+int athread_cond_init(athread_cond_t* cond);
+int athread_cond_destroy(athread_cond_t* cond);
+/// `mutex` must be held by the caller; atomically released while waiting.
+int athread_cond_wait(athread_cond_t* cond, athread_mutex_t* mutex);
+int athread_cond_signal(athread_cond_t* cond);
+int athread_cond_broadcast(athread_cond_t* cond);
+
+// ----------------------------------------------------------- semaphore
+
+struct athread_sem_t {
+  std::mutex mu;
+  std::condition_variable cv;
+  long value = 0;
+  bool initialized = false;
+};
+
+int athread_sem_init(athread_sem_t* sem, long initial);
+int athread_sem_destroy(athread_sem_t* sem);
+int athread_sem_wait(athread_sem_t* sem);
+/// Returns kAgain instead of blocking when the count is zero.
+int athread_sem_trywait(athread_sem_t* sem);
+int athread_sem_post(athread_sem_t* sem);
+/// Current count (monitoring; racy by nature).
+long athread_sem_value(athread_sem_t* sem);
+
+// ------------------------------------------------------------- barrier
+
+struct athread_barrier_t {
+  std::mutex mu;
+  std::condition_variable cv;
+  unsigned count = 0;     ///< parties required
+  unsigned waiting = 0;
+  std::uint64_t cycle = 0;
+  bool initialized = false;
+};
+
+/// `count` tasks must reach the barrier before any may pass.
+int athread_barrier_init(athread_barrier_t* barrier, unsigned count);
+int athread_barrier_destroy(athread_barrier_t* barrier);
+/// Returns kBarrierSerial for exactly one task per cycle, 0 for the rest.
+inline constexpr int kBarrierSerial = -1;
+int athread_barrier_wait(athread_barrier_t* barrier);
+
+}  // namespace anahy

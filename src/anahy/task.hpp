@@ -1,0 +1,106 @@
+// The unit of concurrency: an Anahy task (the paper's "thread Anahy").
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "anahy/attr.hpp"
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+class Task;
+using TaskPtr = std::shared_ptr<Task>;
+
+/// A task body receives an opaque input pointer and returns an opaque result
+/// pointer, exactly like a POSIX thread start routine (`void* f(void*)`).
+using TaskBody = std::function<void*(void*)>;
+
+/// A forked flow of execution plus its dataflow bookkeeping.
+///
+/// Tasks are created by `fork` (athread_create), enter the ready list, are
+/// executed by a virtual processor, and park their result in the finished
+/// list until the declared number of `join`s consumes it. All mutable state
+/// transitions are serialized by the scheduler; the state field itself is
+/// atomic so monitors/tests may observe it without locks.
+class Task {
+ public:
+  Task(TaskId id, TaskBody body, void* input, const TaskAttributes& attr,
+       TaskId parent, std::uint32_t level)
+      : id_(id),
+        body_(std::move(body)),
+        input_(input),
+        attr_(attr),
+        parent_(parent),
+        level_(level),
+        joins_remaining_(attr.join_number()),
+        flow_id_(id) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  [[nodiscard]] TaskId id() const { return id_; }
+  [[nodiscard]] TaskId parent() const { return parent_; }
+
+  /// Depth in the fork tree: the root flow is level 0, its forks level 1...
+  /// (paper Figure 2 draws tasks by these levels).
+  [[nodiscard]] std::uint32_t level() const { return level_; }
+
+  [[nodiscard]] const TaskAttributes& attributes() const { return attr_; }
+
+  [[nodiscard]] TaskState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  void set_state(TaskState s) { state_.store(s, std::memory_order_release); }
+
+  /// Runs the task body. Must be called exactly once, by the owning VP.
+  void* invoke() { return body_(input_); }
+
+  [[nodiscard]] void* input() const { return input_; }
+
+  [[nodiscard]] void* result() const { return result_; }
+  void set_result(void* r) { result_ = r; }
+
+  /// Join budget left; guarded by the scheduler mutex.
+  [[nodiscard]] int joins_remaining() const { return joins_remaining_; }
+  void consume_join() { --joins_remaining_; }
+
+  /// The id of the flow currently carrying this task's code: starts as the
+  /// task id and advances to the continuation id each time the flow splits
+  /// at a blocking join (trace bookkeeping, paper Figure 2).
+  [[nodiscard]] TaskId flow_id() const {
+    return flow_id_.load(std::memory_order_relaxed);
+  }
+  void set_flow_id(TaskId id) {
+    flow_id_.store(id, std::memory_order_relaxed);
+  }
+
+  /// Execution duration in nanoseconds (0 until finished; for trace/costs).
+  [[nodiscard]] std::int64_t exec_ns() const {
+    return exec_ns_.load(std::memory_order_relaxed);
+  }
+  void set_exec_ns(std::int64_t ns) {
+    exec_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  const TaskId id_;
+  TaskBody body_;
+  void* input_ = nullptr;
+  void* result_ = nullptr;
+  const TaskAttributes attr_;
+  const TaskId parent_;
+  const std::uint32_t level_;
+  int joins_remaining_;
+  std::atomic<TaskId> flow_id_;
+  std::atomic<TaskState> state_{TaskState::kCreated};
+  std::atomic<std::int64_t> exec_ns_{0};
+};
+
+/// Thrown by athread_exit() to unwind a task body early; caught by the VP.
+struct TaskExit {
+  void* result;
+};
+
+}  // namespace anahy

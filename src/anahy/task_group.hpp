@@ -1,0 +1,52 @@
+// TaskGroup: RAII fork-many / join-all (structured concurrency for the
+// split-compute-merge pattern). Guarantees no task outlives the group,
+// even on early return or exception in the forking scope.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "anahy/runtime.hpp"
+
+namespace anahy {
+
+/// Collects forked tasks and joins all of them in wait() (called
+/// automatically by the destructor). Non-copyable, non-movable: the group
+/// is a scope marker.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Runtime& rt) : rt_(rt) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks `fn()` as a group member. `fn` must be invocable with no
+  /// arguments; its return value is discarded (use spawn() + Handle for
+  /// value-returning tasks).
+  template <typename F>
+  void run(F&& fn) {
+    tasks_.push_back(rt_.fork(
+        [fn = std::forward<F>(fn)](void*) mutable -> void* {
+          fn();
+          return nullptr;
+        },
+        nullptr));
+  }
+
+  /// Joins every member forked so far. Idempotent; the group can be
+  /// reused (run() again after wait()).
+  void wait() {
+    for (auto& task : tasks_) rt_.join(task, nullptr);
+    tasks_.clear();
+  }
+
+  /// Members forked and not yet waited for.
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+ private:
+  Runtime& rt_;
+  std::vector<TaskPtr> tasks_;
+};
+
+}  // namespace anahy

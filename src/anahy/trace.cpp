@@ -1,0 +1,180 @@
+#include "anahy/trace.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace anahy {
+
+void TraceGraph::record_task(TaskId id, TaskId parent, std::uint32_t level,
+                             bool is_continuation) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  TraceNode& n = nodes_[id];
+  n.id = id;
+  n.parent = parent;
+  n.level = level;
+  n.is_continuation = is_continuation;
+}
+
+void TraceGraph::record_edge(TaskId from, TaskId to, TraceEdgeKind kind) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  edges_.push_back({from, to, kind});
+}
+
+void TraceGraph::record_exec_ns(TaskId id, std::int64_t ns) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.exec_ns = ns;
+}
+
+void TraceGraph::record_exec_interval(TaskId id, std::int64_t start_ns,
+                                      std::int64_t dur_ns) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second.start_ns = start_ns;
+    it->second.exec_ns = dur_ns;
+  }
+}
+
+std::int64_t TraceGraph::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceGraph::record_label(TaskId id, std::string label) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.label = std::move(label);
+}
+
+std::vector<TraceNode> TraceGraph::nodes() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceNode> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.push_back(n);
+  return out;
+}
+
+std::vector<TraceEdge> TraceGraph::edges() const {
+  std::lock_guard lock(mu_);
+  return edges_;
+}
+
+std::int64_t TraceGraph::work_ns() const {
+  std::lock_guard lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [id, n] : nodes_) total += n.exec_ns;
+  return total;
+}
+
+std::int64_t TraceGraph::span_ns() const {
+  std::lock_guard lock(mu_);
+  // Longest path over all edge kinds. NOTE on cycles: an *immediate* join
+  // does not split the joining flow (paper semantics), so its dataflow
+  // edge points back into the same node that earlier forked the target's
+  // ancestors - the graph may contain such apparent cycles. The iterative
+  // DFS below colours nodes and ignores back edges, which is exactly the
+  // "code after the join" reading of those edges; it also avoids native
+  // stack overflow on deep traces.
+  std::map<TaskId, std::vector<TaskId>> preds;
+  for (const TraceEdge& e : edges_) preds[e.to].push_back(e.from);
+
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<TaskId, Color> color;
+  std::map<TaskId, std::int64_t> best;
+
+  struct Frame {
+    TaskId id;
+    std::size_t next_pred = 0;
+  };
+  const auto own_cost = [&](TaskId id) {
+    const auto n = nodes_.find(id);
+    return n == nodes_.end() ? std::int64_t{0} : n->second.exec_ns;
+  };
+
+  for (const auto& [root_id, root_node] : nodes_) {
+    if (color[root_id] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root_id}};
+    color[root_id] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto p = preds.find(f.id);
+      bool descended = false;
+      while (p != preds.end() && f.next_pred < p->second.size()) {
+        const TaskId pred = p->second[f.next_pred++];
+        Color& c = color[pred];
+        if (c == Color::kWhite) {
+          c = Color::kGray;
+          stack.push_back({pred});
+          descended = true;
+          break;
+        }
+        // Gray = back edge (cycle through an un-split flow): ignore.
+        // Black = already solved: handled in the reduction below.
+      }
+      if (descended) continue;
+      // All predecessors solved: reduce.
+      std::int64_t b = 0;
+      if (p != preds.end())
+        for (const TaskId pred : p->second)
+          if (color[pred] == Color::kBlack)
+            b = std::max(b, best[pred]);
+      best[f.id] = own_cost(f.id) + b;
+      color[f.id] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  std::int64_t span = 0;
+  for (const auto& [id, b] : best) span = std::max(span, b);
+  return span;
+}
+
+std::map<std::uint32_t, std::size_t> TraceGraph::level_histogram() const {
+  std::lock_guard lock(mu_);
+  std::map<std::uint32_t, std::size_t> hist;
+  for (const auto& [id, n] : nodes_) ++hist[n.level];
+  return hist;
+}
+
+std::string TraceGraph::to_dot() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "digraph anahy {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for (const auto& [id, n] : nodes_) {
+    out << "  t" << id << " [label=\"T" << id;
+    if (!n.label.empty()) out << "\\n" << n.label;
+    out << "\\nL" << n.level << "\"";
+    if (n.is_continuation) out << ", shape=box, style=dashed";
+    out << "];\n";
+  }
+  for (const TraceEdge& e : edges_) {
+    out << "  t" << e.from << " -> t" << e.to;
+    switch (e.kind) {
+      case TraceEdgeKind::kFork: break;
+      case TraceEdgeKind::kJoin: out << " [style=dotted, color=blue]"; break;
+      case TraceEdgeKind::kContinue:
+        out << " [style=dashed, color=gray]";
+        break;
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void TraceGraph::clear() {
+  std::lock_guard lock(mu_);
+  nodes_.clear();
+  edges_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace anahy

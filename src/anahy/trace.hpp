@@ -1,0 +1,91 @@
+// Execution-graph tracer: records the fork/join/continuation structure of a
+// run so tools can regenerate the paper's Figures 2, 4 and 5, and so tests
+// can assert graph invariants (level monotonicity, matched joins, work/span).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+/// One traced task (includes the synthetic continuation tasks created when
+/// a flow splits at a blocking join, per paper §2.2.1).
+struct TraceNode {
+  TaskId id = kInvalidTaskId;
+  TaskId parent = kInvalidTaskId;   ///< forking task (creation edge)
+  std::uint32_t level = 0;          ///< depth in the fork tree
+  bool is_continuation = false;     ///< T_{i+1} created by a blocked join
+  std::int64_t start_ns = -1;       ///< execution start, relative to the
+                                    ///< trace epoch (-1 = never ran)
+  std::int64_t exec_ns = 0;         ///< measured execution cost
+  std::string label;                ///< optional user label
+};
+
+/// Directed edge kinds of the execution graph.
+enum class TraceEdgeKind : std::uint8_t {
+  kFork,      ///< parent forked child
+  kJoin,      ///< join target -> joiner: result dataflow
+  kContinue,  ///< T_i -> T_{i+1}: flow split at a blocking join
+};
+
+struct TraceEdge {
+  TaskId from = kInvalidTaskId;
+  TaskId to = kInvalidTaskId;
+  TraceEdgeKind kind = TraceEdgeKind::kFork;
+};
+
+/// Thread-safe trace accumulator. Disabled tracing costs one branch per
+/// event; enabled tracing serializes on one mutex (fine for analysis runs).
+class TraceGraph {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record_task(TaskId id, TaskId parent, std::uint32_t level,
+                   bool is_continuation);
+  void record_edge(TaskId from, TaskId to, TraceEdgeKind kind);
+  void record_exec_ns(TaskId id, std::int64_t ns);
+  /// Records the task's execution interval [start, start + dur) relative
+  /// to the trace epoch.
+  void record_exec_interval(TaskId id, std::int64_t start_ns,
+                            std::int64_t dur_ns);
+  void record_label(TaskId id, std::string label);
+
+  /// Nanoseconds elapsed from the trace epoch (object construction or the
+  /// last clear()) to now; use for start_ns stamps.
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  [[nodiscard]] std::vector<TraceNode> nodes() const;
+  [[nodiscard]] std::vector<TraceEdge> edges() const;
+
+  /// Total measured execution time over all tasks (the paper-world "T1").
+  [[nodiscard]] std::int64_t work_ns() const;
+
+  /// Critical path through fork/join/continue edges (the "T-infinity").
+  /// Requires an acyclic trace (always true for fork/join programs).
+  [[nodiscard]] std::int64_t span_ns() const;
+
+  /// Histogram: tasks per level (paper Fig. 2 is drawn by levels).
+  [[nodiscard]] std::map<std::uint32_t, std::size_t> level_histogram() const;
+
+  /// GraphViz DOT rendering; continuations are drawn as dashed boxes.
+  [[nodiscard]] std::string to_dot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::map<TaskId, TraceNode> nodes_;
+  std::vector<TraceEdge> edges_;
+};
+
+}  // namespace anahy

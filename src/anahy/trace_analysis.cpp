@@ -1,0 +1,161 @@
+#include "anahy/trace_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace anahy {
+
+std::vector<ExecInterval> exec_intervals(const TraceGraph& trace) {
+  std::vector<ExecInterval> out;
+  for (const TraceNode& n : trace.nodes()) {
+    if (n.start_ns < 0) continue;  // never executed (or continuation)
+    out.push_back({n.id, n.start_ns, n.start_ns + n.exec_ns, n.level,
+                   n.label});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<std::size_t> parallelism_profile(
+    const std::vector<ExecInterval>& intervals, std::int64_t bucket_ns) {
+  if (intervals.empty() || bucket_ns <= 0) return {};
+  std::int64_t lo = intervals.front().start_ns;
+  std::int64_t hi = lo;
+  for (const auto& iv : intervals) hi = std::max(hi, iv.end_ns);
+  if (hi <= lo) return {};
+
+  const auto buckets =
+      static_cast<std::size_t>((hi - lo + bucket_ns - 1) / bucket_ns);
+  std::vector<std::size_t> profile(buckets, 0);
+  for (const auto& iv : intervals) {
+    const auto first =
+        static_cast<std::size_t>((iv.start_ns - lo) / bucket_ns);
+    // end - 1 so zero-length intervals still count in their start bucket.
+    const auto last = static_cast<std::size_t>(
+        (std::max(iv.end_ns - 1, iv.start_ns) - lo) / bucket_ns);
+    for (std::size_t b = first; b <= last && b < buckets; ++b) ++profile[b];
+  }
+  return profile;
+}
+
+std::size_t max_concurrency(const std::vector<ExecInterval>& intervals) {
+  // Event sweep: +1 at starts, -1 at ends.
+  std::vector<std::pair<std::int64_t, int>> events;
+  events.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    events.emplace_back(iv.start_ns, +1);
+    events.emplace_back(std::max(iv.end_ns, iv.start_ns + 1), -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              // ends before starts at the same instant
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  std::size_t cur = 0, peak = 0;
+  for (const auto& [t, delta] : events) {
+    cur = static_cast<std::size_t>(static_cast<std::int64_t>(cur) + delta);
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+double average_parallelism(const TraceGraph& trace) {
+  const auto span = trace.span_ns();
+  if (span <= 0) return 0.0;
+  return static_cast<double>(trace.work_ns()) / static_cast<double>(span);
+}
+
+std::vector<TaskId> critical_path(const TraceGraph& trace) {
+  const auto nodes = trace.nodes();
+  const auto edges = trace.edges();
+  std::map<TaskId, std::int64_t> cost;
+  for (const TraceNode& n : nodes) cost[n.id] = n.exec_ns;
+
+  std::map<TaskId, std::vector<TaskId>> preds;
+  for (const TraceEdge& e : edges) preds[e.to].push_back(e.from);
+
+  // Iterative longest-path DFS. Back edges (cycles through flows that an
+  // immediate join did not split - see TraceGraph::span_ns) are ignored,
+  // and deep traces cannot overflow the native stack.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<TaskId, Color> color;
+  std::map<TaskId, std::int64_t> best;
+  std::map<TaskId, TaskId> via;
+
+  struct Frame {
+    TaskId id;
+    std::size_t next_pred = 0;
+  };
+  for (const TraceNode& root : nodes) {
+    if (color[root.id] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root.id}};
+    color[root.id] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto p = preds.find(f.id);
+      bool descended = false;
+      while (p != preds.end() && f.next_pred < p->second.size()) {
+        const TaskId pred = p->second[f.next_pred++];
+        Color& c = color[pred];
+        if (c == Color::kWhite) {
+          c = Color::kGray;
+          stack.push_back({pred});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      std::int64_t b = 0;
+      TaskId from = kInvalidTaskId;
+      if (p != preds.end()) {
+        for (const TaskId pred : p->second) {
+          if (color[pred] != Color::kBlack) continue;  // back edge
+          if (best[pred] > b || from == kInvalidTaskId) {
+            b = best[pred];
+            from = pred;
+          }
+        }
+      }
+      best[f.id] = b + cost[f.id];
+      if (from != kInvalidTaskId) via[f.id] = from;
+      color[f.id] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  TaskId sink = kInvalidTaskId;
+  std::int64_t sink_cost = -1;
+  for (const TraceNode& n : nodes) {
+    if (best[n.id] > sink_cost) {
+      sink_cost = best[n.id];
+      sink = n.id;
+    }
+  }
+
+  std::vector<TaskId> path;
+  for (TaskId cur = sink; cur != kInvalidTaskId;) {
+    path.push_back(cur);
+    const auto v = via.find(cur);
+    cur = v == via.end() ? kInvalidTaskId : v->second;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string gantt_csv(const TraceGraph& trace) {
+  std::ostringstream out;
+  out << "task,label,level,start_ns,end_ns,duration_ns\n";
+  for (const auto& iv : exec_intervals(trace)) {
+    out << 'T' << iv.id << ',' << iv.label << ',' << iv.level << ','
+        << iv.start_ns << ',' << iv.end_ns << ',' << (iv.end_ns - iv.start_ns)
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace anahy

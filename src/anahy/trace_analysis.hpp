@@ -1,0 +1,49 @@
+// Post-mortem analysis of an execution trace: parallelism profile, Gantt
+// export, critical path and work/span summary. Complements TraceGraph;
+// everything here is pure computation over a finished trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anahy/trace.hpp"
+
+namespace anahy {
+
+/// One executed task's time interval (trace-epoch-relative nanoseconds).
+struct ExecInterval {
+  TaskId id = kInvalidTaskId;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t level = 0;
+  std::string label;
+};
+
+/// Executed-task intervals, sorted by start time. Tasks that never ran
+/// (and continuation markers, which have no execution of their own) are
+/// omitted.
+[[nodiscard]] std::vector<ExecInterval> exec_intervals(
+    const TraceGraph& trace);
+
+/// Number of concurrently executing tasks sampled per `bucket_ns` bucket,
+/// from the first start to the last end. Empty when nothing ran.
+[[nodiscard]] std::vector<std::size_t> parallelism_profile(
+    const std::vector<ExecInterval>& intervals, std::int64_t bucket_ns);
+
+/// Maximum concurrency over the run (exact, via an event sweep).
+[[nodiscard]] std::size_t max_concurrency(
+    const std::vector<ExecInterval>& intervals);
+
+/// Work / span: the average parallelism the graph could support.
+[[nodiscard]] double average_parallelism(const TraceGraph& trace);
+
+/// Longest chain of tasks through fork/join/continue edges, ending at the
+/// task where the critical path terminates. Ids ordered source -> sink.
+[[nodiscard]] std::vector<TaskId> critical_path(const TraceGraph& trace);
+
+/// CSV: "task,label,level,start_ns,end_ns,duration_ns" rows, one per
+/// executed task, ready for a spreadsheet Gantt chart.
+[[nodiscard]] std::string gantt_csv(const TraceGraph& trace);
+
+}  // namespace anahy

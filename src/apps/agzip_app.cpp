@@ -1,0 +1,126 @@
+#include "apps/agzip_app.hpp"
+
+#include <thread>
+
+namespace apps {
+namespace {
+
+using compress::Lz77Params;
+
+/// The sequential baseline searches harder (whole-history behaviour);
+/// the parallel chunk compressors use the default effort.
+Lz77Params sequential_params() {
+  Lz77Params p;
+  p.max_chain = 512;
+  p.nice_length = 258;
+  return p;
+}
+
+std::vector<std::uint8_t> compress_chunk(std::span<const std::uint8_t> data,
+                                         const Chunk& chunk) {
+  const auto piece = data.subspan(chunk.offset, chunk.size);
+  return compress::gzip_wrap(compress::deflate_compress(piece),
+                             compress::crc32(piece),
+                             static_cast<std::uint32_t>(piece.size()));
+}
+
+std::vector<std::uint8_t> concatenate(
+    std::vector<std::vector<std::uint8_t>>& members) {
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  for (const auto& m : members) out.insert(out.end(), m.begin(), m.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_binary_workload(std::size_t size,
+                                               std::uint32_t seed) {
+  std::vector<std::uint8_t> data(size);
+  std::uint64_t state = seed ? seed : 1;
+  auto rnd = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::uint32_t>(state);
+  };
+  // Alternate 4 KiB pages: structured (repeating record-like bytes),
+  // texty, and high-entropy, like a real mixed binary.
+  constexpr std::size_t kPage = 4096;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t page = i / kPage;
+    switch (page % 4) {
+      case 0: data[i] = static_cast<std::uint8_t>(i % 64); break;
+      case 1: data[i] = static_cast<std::uint8_t>("lorem ipsum dolor sit "[i % 22]); break;
+      case 2: data[i] = static_cast<std::uint8_t>(rnd() & 0x0F); break;
+      default: data[i] = static_cast<std::uint8_t>(rnd()); break;
+    }
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> agzip_sequential(
+    std::span<const std::uint8_t> data) {
+  return compress::gzip_compress(data, sequential_params());
+}
+
+std::vector<Chunk> split_chunks(std::size_t size, int tasks) {
+  if (tasks <= 0) tasks = 1;
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>(tasks));
+  const std::size_t base = size / static_cast<std::size_t>(tasks);
+  std::size_t off = 0;
+  for (int i = 0; i < tasks; ++i) {
+    const std::size_t len = i == tasks - 1 ? size - off : base;
+    chunks.push_back({off, len});
+    off += len;
+  }
+  return chunks;
+}
+
+std::vector<std::uint8_t> agzip_pthreads(std::span<const std::uint8_t> data,
+                                         int tasks) {
+  const auto chunks = split_chunks(data.size(), tasks);
+  std::vector<std::vector<std::uint8_t>> members(chunks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    threads.emplace_back([&data, &chunks, &members, i] {
+      members[i] = compress_chunk(data, chunks[i]);
+    });
+  for (auto& t : threads) t.join();
+  return concatenate(members);
+}
+
+std::vector<std::uint8_t> agzip_anahy(anahy::Runtime& rt,
+                                      std::span<const std::uint8_t> data,
+                                      int tasks) {
+  const auto chunks = split_chunks(data.size(), tasks);
+  std::vector<std::vector<std::uint8_t>> members(chunks.size());
+  std::vector<anahy::TaskPtr> handles;
+  handles.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    handles.push_back(rt.fork(
+        [&data, &chunks, &members, i](void*) -> void* {
+          members[i] = compress_chunk(data, chunks[i]);
+          return nullptr;
+        },
+        nullptr));
+  // Sequential, pre-determined join order = the paper's in-order disk write.
+  for (auto& h : handles) rt.join(h, nullptr);
+  return concatenate(members);
+}
+
+std::uint32_t chunked_crc(std::span<const std::uint8_t> data, int tasks) {
+  const auto chunks = split_chunks(data.size(), tasks);
+  std::uint32_t crc = 0;
+  for (const Chunk& c : chunks) {
+    const auto piece = data.subspan(c.offset, c.size);
+    crc = compress::crc32_combine(crc, compress::crc32(piece), piece.size());
+  }
+  return crc;
+}
+
+}  // namespace apps

@@ -1,0 +1,48 @@
+// The paper's parallel file compressor (§3.2, "agzip"): the input is split
+// into equal streams; each task computes the CRC-32 of its stream and
+// deflates it; members are written sequentially in order, keeping the
+// output compatible with GZip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anahy/runtime.hpp"
+#include "compress/compress.hpp"
+
+namespace apps {
+
+/// Deterministic pseudo-binary workload (the paper uses a 300 MB binary
+/// file; benches scale the size). Mixes compressible and incompressible
+/// regions so the compressor does real work.
+[[nodiscard]] std::vector<std::uint8_t> make_binary_workload(
+    std::size_t size, std::uint32_t seed = 42);
+
+/// Sequential gzip with whole-file history (paper Table 5's GZip baseline:
+/// "the sequential algorithm keeps a compression history of the whole
+/// file, which gives it higher complexity than the concurrent version").
+[[nodiscard]] std::vector<std::uint8_t> agzip_sequential(
+    std::span<const std::uint8_t> data);
+
+/// Splits `data` into `tasks` equal streams (last takes the remainder).
+struct Chunk {
+  std::size_t offset;
+  std::size_t size;
+};
+[[nodiscard]] std::vector<Chunk> split_chunks(std::size_t size, int tasks);
+
+/// One std::thread per stream (paper Tables 6 and 8).
+[[nodiscard]] std::vector<std::uint8_t> agzip_pthreads(
+    std::span<const std::uint8_t> data, int tasks);
+
+/// One Anahy task per stream (paper Tables 7 and 9).
+[[nodiscard]] std::vector<std::uint8_t> agzip_anahy(
+    anahy::Runtime& rt, std::span<const std::uint8_t> data, int tasks);
+
+/// Whole-file CRC assembled from per-chunk CRCs via crc32_combine; the
+/// parallel variants compute it to mirror the paper's per-stream CRC step.
+[[nodiscard]] std::uint32_t chunked_crc(std::span<const std::uint8_t> data,
+                                        int tasks);
+
+}  // namespace apps

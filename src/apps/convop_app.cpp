@@ -1,0 +1,44 @@
+#include "apps/convop_app.hpp"
+
+#include <thread>
+#include <vector>
+
+namespace apps {
+
+image::Image convop_sequential(const image::Image& src,
+                               const image::Kernel& kernel) {
+  return image::convolve(src, kernel);
+}
+
+image::Image convop_pthreads(const image::Image& src,
+                             const image::Kernel& kernel, int tasks) {
+  image::Image dst(src.width(), src.height());
+  const auto bands = image::split_bands(src.height(), tasks);
+  std::vector<std::thread> threads;
+  threads.reserve(bands.size());
+  for (const auto& band : bands)
+    threads.emplace_back([&src, &dst, &kernel, band] {
+      image::convolve_rows(src, dst, kernel, band.y0, band.y1);
+    });
+  for (auto& t : threads) t.join();
+  return dst;
+}
+
+image::Image convop_anahy(anahy::Runtime& rt, const image::Image& src,
+                          const image::Kernel& kernel, int tasks) {
+  image::Image dst(src.width(), src.height());
+  const auto bands = image::split_bands(src.height(), tasks);
+  std::vector<anahy::TaskPtr> handles;
+  handles.reserve(bands.size());
+  for (const auto& band : bands)
+    handles.push_back(rt.fork(
+        [&src, &dst, &kernel, band](void*) -> void* {
+          image::convolve_rows(src, dst, kernel, band.y0, band.y1);
+          return nullptr;
+        },
+        nullptr));
+  for (auto& h : handles) rt.join(h, nullptr);
+  return dst;
+}
+
+}  // namespace apps

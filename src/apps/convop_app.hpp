@@ -1,0 +1,26 @@
+// The paper's ConvoP application (§3.3): image convolution split into row
+// blocks, one per task; the last block absorbs remainder rows.
+#pragma once
+
+#include "anahy/runtime.hpp"
+#include "image/image_lib.hpp"
+
+namespace apps {
+
+/// Sequential baseline.
+[[nodiscard]] image::Image convop_sequential(const image::Image& src,
+                                             const image::Kernel& kernel);
+
+/// One std::thread per block (paper Table 12, "Pthreads" columns).
+[[nodiscard]] image::Image convop_pthreads(const image::Image& src,
+                                           const image::Kernel& kernel,
+                                           int tasks);
+
+/// One Anahy task per block (paper Table 12, "Anahy" columns; the paper
+/// uses the library default of 4 PVs).
+[[nodiscard]] image::Image convop_anahy(anahy::Runtime& rt,
+                                        const image::Image& src,
+                                        const image::Kernel& kernel,
+                                        int tasks);
+
+}  // namespace apps

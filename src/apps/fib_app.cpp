@@ -1,0 +1,54 @@
+#include "apps/fib_app.hpp"
+
+#include <thread>
+
+namespace apps {
+
+long fib_sequential(long n) {
+  if (n < 2) return n;
+  return fib_sequential(n - 1) + fib_sequential(n - 2);
+}
+
+long fib_pthreads(long n) {
+  if (n < 2) return n;
+  long a = 0;
+  std::thread t([&a, n] { a = fib_pthreads(n - 1); });
+  const long b = fib_pthreads(n - 2);
+  t.join();
+  return a + b;
+}
+
+long fib_anahy(anahy::Runtime& rt, long n) {
+  if (n < 2) return n;
+  anahy::TaskPtr task = rt.fork(
+      [&rt, n](void*) -> void* {
+        return reinterpret_cast<void*>(fib_anahy(rt, n - 1));
+      },
+      nullptr);
+  const long b = fib_anahy(rt, n - 2);
+  void* a = nullptr;
+  rt.join(task, &a);
+  return reinterpret_cast<long>(a) + b;
+}
+
+long fib_anahy_grain(anahy::Runtime& rt, long n, long cutoff) {
+  if (n < cutoff) return fib_sequential(n);
+  anahy::TaskPtr task = rt.fork(
+      [&rt, n, cutoff](void*) -> void* {
+        return reinterpret_cast<void*>(fib_anahy_grain(rt, n - 1, cutoff));
+      },
+      nullptr);
+  const long b = fib_anahy_grain(rt, n - 2, cutoff);
+  void* a = nullptr;
+  rt.join(task, &a);
+  return reinterpret_cast<long>(a) + b;
+}
+
+long fib_task_count(long n) {
+  // fib_anahy forks once per invocation with n >= 2; the number of such
+  // invocations is fib(n+1) - 1.
+  if (n < 2) return 0;
+  return fib_task_count(n - 1) + fib_task_count(n - 2) + 1;
+}
+
+}  // namespace apps

@@ -1,0 +1,28 @@
+// The paper's Fibonacci stress test (§3.4): each recursive invocation
+// creates a new concurrent activity, producing a huge number of task
+// creations and synchronizations (Figure 5).
+#pragma once
+
+#include "anahy/runtime.hpp"
+
+namespace apps {
+
+/// Plain recursive baseline (no tasking).
+[[nodiscard]] long fib_sequential(long n);
+
+/// One system thread per recursive branch, the paper's PThreads scheme
+/// (Table 10). The thread count grows with fib(n), which is exactly why
+/// the paper could only run it up to n = 16.
+[[nodiscard]] long fib_pthreads(long n);
+
+/// One Anahy task per recursive branch (Tables 11 and 13).
+[[nodiscard]] long fib_anahy(anahy::Runtime& rt, long n);
+
+/// Grain-controlled variant for the granularity ablation: below `cutoff`
+/// the computation is sequential.
+[[nodiscard]] long fib_anahy_grain(anahy::Runtime& rt, long n, long cutoff);
+
+/// Number of task creations fib_anahy(n) performs (for stats checks).
+[[nodiscard]] long fib_task_count(long n);
+
+}  // namespace apps

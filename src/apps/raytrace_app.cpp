@@ -1,0 +1,44 @@
+#include "apps/raytrace_app.hpp"
+
+#include <thread>
+#include <vector>
+
+namespace apps {
+
+void raytrace_sequential(const raytracer::Scene& scene,
+                         const raytracer::Camera& camera,
+                         raytracer::Framebuffer& fb) {
+  raytracer::render(scene, camera, fb);
+}
+
+void raytrace_pthreads(const raytracer::Scene& scene,
+                       const raytracer::Camera& camera,
+                       raytracer::Framebuffer& fb, int tasks) {
+  const auto bands = raytracer::split_rows(fb.height(), tasks);
+  std::vector<std::thread> threads;
+  threads.reserve(bands.size());
+  for (const auto& band : bands)
+    threads.emplace_back([&scene, &camera, &fb, band] {
+      raytracer::render_rows(scene, camera, fb, band.y0, band.y1);
+    });
+  for (auto& t : threads) t.join();
+}
+
+void raytrace_anahy(anahy::Runtime& rt, const raytracer::Scene& scene,
+                    const raytracer::Camera& camera,
+                    raytracer::Framebuffer& fb, int tasks) {
+  const auto bands = raytracer::split_rows(fb.height(), tasks);
+  std::vector<anahy::TaskPtr> handles;
+  handles.reserve(bands.size());
+  for (const auto& band : bands) {
+    handles.push_back(rt.fork(
+        [&scene, &camera, &fb, band](void*) -> void* {
+          raytracer::render_rows(scene, camera, fb, band.y0, band.y1);
+          return nullptr;
+        },
+        nullptr));
+  }
+  for (auto& h : handles) rt.join(h, nullptr);
+}
+
+}  // namespace apps

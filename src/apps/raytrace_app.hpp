@@ -1,0 +1,27 @@
+// The paper's Ray-Tracer application (§3.1): split-compute-merge over
+// contiguous row bands, in sequential, PThreads (one system thread per
+// task) and Anahy (one athread per task) variants.
+#pragma once
+
+#include "anahy/runtime.hpp"
+#include "raytracer/raytracer.hpp"
+
+namespace apps {
+
+/// Sequential baseline (paper Table 1).
+void raytrace_sequential(const raytracer::Scene& scene,
+                         const raytracer::Camera& camera,
+                         raytracer::Framebuffer& fb);
+
+/// One std::thread per task, all started eagerly — the paper's PThreads
+/// version with its "256 threads" oversubscription behaviour (Table 2).
+void raytrace_pthreads(const raytracer::Scene& scene,
+                       const raytracer::Camera& camera,
+                       raytracer::Framebuffer& fb, int tasks);
+
+/// One Anahy task per band, joined in creation order (Tables 3 and 4).
+void raytrace_anahy(anahy::Runtime& rt, const raytracer::Scene& scene,
+                    const raytracer::Camera& camera,
+                    raytracer::Framebuffer& fb, int tasks);
+
+}  // namespace apps

@@ -1,0 +1,33 @@
+// Minimal --key=value command-line parser for the bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace benchutil {
+
+/// Parses `--key=value` and bare `--flag` arguments. Unknown positional
+/// arguments raise; every bench binary shares the same flag grammar.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of --key, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Name the binary was invoked as (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace benchutil

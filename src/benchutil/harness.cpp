@@ -1,0 +1,46 @@
+#include "benchutil/harness.hpp"
+
+#include <thread>
+
+#include "benchutil/timer.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace benchutil {
+
+RunStats measure(int reps, const std::function<void()>& body, bool warmup) {
+  RunStats stats;
+  if (warmup) body();
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    body();
+    stats.add(t.elapsed_seconds());
+  }
+  return stats;
+}
+
+bool restrict_to_cpus(int ncpus) {
+#if defined(__linux__)
+  if (ncpus <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int i = 0; i < ncpus; ++i) CPU_SET(i, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)ncpus;
+  return false;
+#endif
+}
+
+int available_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) return CPU_COUNT(&set);
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace benchutil

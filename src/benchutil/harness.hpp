@@ -1,0 +1,25 @@
+// Repetition harness: run a workload R times and collect RunStats.
+#pragma once
+
+#include <functional>
+
+#include "benchutil/stats.hpp"
+
+namespace benchutil {
+
+/// Runs `body` once as warm-up (unmeasured) and then `reps` measured times,
+/// returning the wall-clock statistics in seconds. The paper reports 100-run
+/// mean/stddev; our benches default to fewer repetitions but keep the shape.
+RunStats measure(int reps, const std::function<void()>& body,
+                 bool warmup = true);
+
+/// Pins the calling process to `ncpus` logical CPUs (cpu 0..ncpus-1) when the
+/// platform supports it. Returns false (and changes nothing) when pinning is
+/// unsupported or fails. Used to emulate the paper's mono-processor box on a
+/// larger machine; on a 1-core host it is a no-op.
+bool restrict_to_cpus(int ncpus);
+
+/// Number of logical CPUs currently available to this process.
+int available_cpus();
+
+}  // namespace benchutil

@@ -1,0 +1,40 @@
+// Streaming descriptive statistics over a sample of measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace benchutil {
+
+/// Accumulates samples and reports mean / stddev / extrema / percentiles.
+///
+/// The sample stddev (N-1 denominator) matches what the Anahy paper reports
+/// ("Desvio Padrao") for its 100-run experiments.
+class RunStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Arithmetic mean; 0 when no samples were recorded.
+  [[nodiscard]] double mean() const;
+
+  /// Sample standard deviation (N-1); 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace benchutil

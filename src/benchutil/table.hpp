@@ -1,0 +1,38 @@
+// Aligned-column table printing in the style of the paper's result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// Builds a fixed-column text table ("Tabela N" style) and renders it either
+/// as aligned plain text or as CSV. Cells are strings; numeric helpers format
+/// with a fixed number of decimals (the paper uses three).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats `value` with `decimals` fractional digits.
+  static std::string num(double value, int decimals = 3);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned plain-text table with a header rule.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Render as CSV (no quoting; cells must not contain commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Render as a GitHub-flavored markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace benchutil

@@ -1,0 +1,35 @@
+// Wall-clock timing utilities used by the benchmark harness and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace benchutil {
+
+/// Monotonic stopwatch. Started on construction; restart with reset().
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds since construction or the last reset().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace benchutil

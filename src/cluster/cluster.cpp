@@ -1,0 +1,26 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace cluster {
+
+Cluster::Cluster(const Options& opts, std::shared_ptr<Registry> registry)
+    : registry_(std::move(registry)) {
+  if (opts.nodes < 1) throw std::invalid_argument("cluster needs >= 1 node");
+  auto fabric = opts.fabric == FabricKind::kMemory
+                    ? make_memory_fabric(opts.nodes, opts.latency)
+                    : make_tcp_fabric(opts.nodes);
+  nodes_.reserve(static_cast<std::size_t>(opts.nodes));
+  for (int i = 0; i < opts.nodes; ++i)
+    nodes_.push_back(std::make_unique<ClusterNode>(std::move(fabric[static_cast<std::size_t>(i)]),
+                                                   registry_, opts.node));
+}
+
+void Cluster::shutdown() {
+  for (auto& node : nodes_)
+    if (node) node->stop();
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+}  // namespace cluster

@@ -1,0 +1,46 @@
+// Convenience wrapper: an N-node Anahy cluster in one process.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace cluster {
+
+enum class FabricKind : std::uint8_t {
+  kMemory,  ///< in-process queues (optionally with simulated latency)
+  kTcp,     ///< real TCP sockets over 127.0.0.1
+};
+
+class Cluster {
+ public:
+  struct Options {
+    int nodes = 2;
+    FabricKind fabric = FabricKind::kMemory;
+    std::chrono::microseconds latency{0};  ///< memory fabric only
+    ClusterNode::Options node;
+  };
+
+  /// Builds the fabric and the nodes; all nodes share `registry`.
+  Cluster(const Options& opts, std::shared_ptr<Registry> registry);
+
+  /// Drains and stops every node (also done by the destructor).
+  void shutdown();
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] ClusterNode& node(int i) {
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Registry& registry() { return *registry_; }
+
+ private:
+  std::shared_ptr<Registry> registry_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+}  // namespace cluster

@@ -1,0 +1,9 @@
+// Umbrella header for the cluster substrate.
+#pragma once
+
+#include "cluster/cluster.hpp"    // IWYU pragma: export
+#include "cluster/message.hpp"    // IWYU pragma: export
+#include "cluster/node.hpp"       // IWYU pragma: export
+#include "cluster/registry.hpp"   // IWYU pragma: export
+#include "cluster/serialize.hpp"  // IWYU pragma: export
+#include "cluster/transport.hpp"  // IWYU pragma: export

@@ -1,0 +1,97 @@
+#include "cluster/message.hpp"
+
+#include <stdexcept>
+
+namespace cluster {
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  switch (msg.type) {
+    case MsgType::kTaskShip:
+      w.u32(msg.task.origin);
+      w.u64(msg.task.task_id);
+      w.str(msg.task.function);
+      w.bytes(msg.task.payload);
+      break;
+    case MsgType::kResult:
+      w.u64(msg.result.task_id);
+      w.u8(msg.result.ok ? 1 : 0);
+      w.bytes(msg.result.payload);
+      break;
+    case MsgType::kStealRequest:
+      w.u32(msg.steal.requester);
+      break;
+    case MsgType::kStealNone:
+    case MsgType::kShutdown:
+      break;
+  }
+  return w.take();
+}
+
+Message decode(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  Message msg;
+  msg.type = static_cast<MsgType>(r.u8());
+  switch (msg.type) {
+    case MsgType::kTaskShip:
+      msg.task.origin = r.u32();
+      msg.task.task_id = r.u64();
+      msg.task.function = r.str();
+      msg.task.payload = r.bytes();
+      break;
+    case MsgType::kResult:
+      msg.result.task_id = r.u64();
+      msg.result.ok = r.u8() != 0;
+      msg.result.payload = r.bytes();
+      break;
+    case MsgType::kStealRequest:
+      msg.steal.requester = r.u32();
+      break;
+    case MsgType::kStealNone:
+    case MsgType::kShutdown:
+      break;
+    default:
+      throw std::runtime_error("unknown cluster message type");
+  }
+  if (!r.exhausted()) throw std::runtime_error("trailing bytes in frame");
+  return msg;
+}
+
+Message make_task_ship(std::uint32_t origin, std::uint64_t task_id,
+                       std::string function,
+                       std::vector<std::uint8_t> payload) {
+  Message m;
+  m.type = MsgType::kTaskShip;
+  m.task = {origin, task_id, std::move(function), std::move(payload)};
+  return m;
+}
+
+Message make_result(std::uint64_t task_id, bool ok,
+                    std::vector<std::uint8_t> payload) {
+  Message m;
+  m.type = MsgType::kResult;
+  m.result = {task_id, ok, std::move(payload)};
+  return m;
+}
+
+Message make_steal_request(std::uint32_t requester) {
+  Message m;
+  m.type = MsgType::kStealRequest;
+  m.steal = {requester};
+  return m;
+}
+
+Message make_steal_none() {
+  Message m;
+  m.type = MsgType::kStealNone;
+  return m;
+}
+
+Message make_shutdown() {
+  Message m;
+  m.type = MsgType::kShutdown;
+  return m;
+}
+
+}  // namespace cluster

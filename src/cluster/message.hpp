@@ -1,0 +1,63 @@
+// Cluster wire protocol: the messages nodes exchange to ship tasks,
+// return results and balance load (inter-node work stealing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/serialize.hpp"
+
+namespace cluster {
+
+enum class MsgType : std::uint8_t {
+  kTaskShip = 1,   ///< a task descriptor migrates to the receiver
+  kResult = 2,     ///< result of a shipped task, sent to its origin
+  kStealRequest = 3,  ///< "I am idle, send me work"
+  kStealNone = 4,     ///< negative steal reply
+  kShutdown = 5,      ///< cluster is terminating
+};
+
+/// A task that can cross node boundaries: function *by name* (both sides
+/// must register it) plus an opaque byte payload. `origin`/`task_id`
+/// identify where the result must return.
+struct TaskShipMsg {
+  std::uint32_t origin = 0;
+  std::uint64_t task_id = 0;
+  std::string function;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ResultMsg {
+  std::uint64_t task_id = 0;
+  bool ok = true;
+  std::vector<std::uint8_t> payload;  ///< result bytes, or error text
+};
+
+struct StealRequestMsg {
+  std::uint32_t requester = 0;
+};
+
+/// Tagged union of everything that can arrive at a node.
+struct Message {
+  MsgType type = MsgType::kShutdown;
+  TaskShipMsg task;
+  ResultMsg result;
+  StealRequestMsg steal;
+};
+
+/// Frame (de)serialization. Frames are self-contained byte vectors.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+[[nodiscard]] Message decode(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] Message make_task_ship(std::uint32_t origin,
+                                     std::uint64_t task_id,
+                                     std::string function,
+                                     std::vector<std::uint8_t> payload);
+[[nodiscard]] Message make_result(std::uint64_t task_id, bool ok,
+                                  std::vector<std::uint8_t> payload);
+[[nodiscard]] Message make_steal_request(std::uint32_t requester);
+[[nodiscard]] Message make_steal_none();
+[[nodiscard]] Message make_shutdown();
+
+}  // namespace cluster

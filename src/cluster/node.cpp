@@ -1,0 +1,258 @@
+#include "cluster/node.hpp"
+
+#include <stdexcept>
+
+namespace cluster {
+
+using namespace std::chrono_literals;
+
+ClusterNode::ClusterNode(std::unique_ptr<Transport> transport,
+                         std::shared_ptr<Registry> registry,
+                         const Options& opts)
+    : transport_(std::move(transport)),
+      registry_(std::move(registry)),
+      opts_(opts) {
+  anahy::Options ropts;
+  ropts.num_vps = opts_.num_vps;
+  // The pump thread is not a flow of the application; all VPs are workers.
+  ropts.main_participates = false;
+  runtime_ = std::make_unique<anahy::Runtime>(ropts);
+}
+
+ClusterNode::ClusterNode(std::unique_ptr<Transport> transport,
+                         std::shared_ptr<Registry> registry)
+    : ClusterNode(std::move(transport), std::move(registry), Options{}) {}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+void ClusterNode::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  pump_ = std::thread([this] { pump_loop(); });
+}
+
+void ClusterNode::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  if (pump_.joinable()) pump_.join();
+  running_.store(false);
+}
+
+void ClusterNode::serve() {
+  start();
+  if (pump_.joinable()) pump_.join();  // exits when kShutdown drains us
+  running_.store(false);
+}
+
+bool ClusterNode::safe_send(int dst, std::vector<std::uint8_t> frame) {
+  try {
+    transport_->send(dst, std::move(frame));
+    return true;
+  } catch (const std::exception&) {
+    return false;  // peer already gone; benign during shutdown
+  }
+}
+
+void ClusterNode::broadcast_shutdown() {
+  for (int peer = 0; peer < cluster_size(); ++peer) {
+    if (peer == id()) continue;
+    safe_send(peer, encode(make_shutdown()));
+  }
+  stop();
+}
+
+GlobalTaskId ClusterNode::fork(const std::string& function,
+                               std::vector<std::uint8_t> payload) {
+  start();
+  const GlobalTaskId gid{static_cast<std::uint32_t>(id()),
+                         next_seq_.fetch_add(1)};
+  {
+    std::lock_guard lock(mu_);
+    pending_.push_back({gid, function, std::move(payload)});
+    ++stats_.tasks_forked;
+  }
+  return gid;
+}
+
+GlobalTaskId ClusterNode::fork_on(int target_node,
+                                  const std::string& function,
+                                  std::vector<std::uint8_t> payload) {
+  if (target_node < 0 || target_node >= cluster_size())
+    throw std::invalid_argument("fork_on: no such node");
+  if (target_node == id()) return fork(function, std::move(payload));
+  start();
+  const GlobalTaskId gid{static_cast<std::uint32_t>(id()),
+                         next_seq_.fetch_add(1)};
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.tasks_forked;
+    ++stats_.tasks_shipped_out;
+  }
+  transport_->send(target_node, encode(make_task_ship(gid.origin, gid.seq,
+                                                      function,
+                                                      std::move(payload))));
+  return gid;
+}
+
+std::vector<std::uint8_t> ClusterNode::join(const GlobalTaskId& gid) {
+  if (gid.origin != static_cast<std::uint32_t>(id()))
+    throw std::invalid_argument("join must happen at the task's origin node");
+  std::unique_lock lock(mu_);
+  results_cv_.wait(lock, [&] { return results_.count(gid.seq) > 0; });
+  auto [ok, bytes] = std::move(results_.at(gid.seq));
+  results_.erase(gid.seq);
+  if (!ok)
+    throw std::runtime_error("remote task failed: " +
+                             std::string(bytes.begin(), bytes.end()));
+  return bytes;
+}
+
+NodeStats ClusterNode::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void ClusterNode::complete(const GlobalTaskId& gid, bool ok,
+                           std::vector<std::uint8_t> result) {
+  if (gid.origin == static_cast<std::uint32_t>(id())) {
+    {
+      std::lock_guard lock(mu_);
+      results_[gid.seq] = {ok, std::move(result)};
+    }
+    results_cv_.notify_all();
+  } else {
+    // safe_send: if the origin died, the result has nowhere to go anyway.
+    safe_send(static_cast<int>(gid.origin),
+              encode(make_result(gid.seq, ok, std::move(result))));
+  }
+}
+
+void ClusterNode::execute_descriptor(Descriptor desc) {
+  anahy::TaskAttributes attr;
+  attr.set_join_number(0);  // detached: completion reports via complete()
+  in_flight_.fetch_add(1);
+  auto body = std::make_shared<Descriptor>(std::move(desc));
+  runtime_->fork(
+      [this, body](void*) -> void* {
+        bool ok = true;
+        std::vector<std::uint8_t> out;
+        try {
+          out = registry_->get(body->function)(body->payload);
+        } catch (const std::exception& e) {
+          ok = false;
+          const std::string what = e.what();
+          out.assign(what.begin(), what.end());
+        }
+        complete(body->id, ok, std::move(out));
+        in_flight_.fetch_sub(1);
+        return nullptr;
+      },
+      nullptr, attr);
+}
+
+void ClusterNode::handle(Message msg) {
+  switch (msg.type) {
+    case MsgType::kTaskShip: {
+      std::lock_guard lock(mu_);
+      pending_.push_back({{msg.task.origin, msg.task.task_id},
+                          std::move(msg.task.function),
+                          std::move(msg.task.payload)});
+      ++stats_.tasks_received;
+      steal_outstanding_ = false;  // work arrived (solicited or not)
+      break;
+    }
+    case MsgType::kResult: {
+      {
+        std::lock_guard lock(mu_);
+        results_[msg.result.task_id] = {msg.result.ok,
+                                        std::move(msg.result.payload)};
+      }
+      results_cv_.notify_all();
+      break;
+    }
+    case MsgType::kStealRequest: {
+      std::optional<Descriptor> victim;
+      {
+        std::lock_guard lock(mu_);
+        if (!pending_.empty()) {
+          victim = std::move(pending_.back());  // newest end migrates
+          pending_.pop_back();
+          ++stats_.steal_requests_served;
+          ++stats_.tasks_shipped_out;
+        }
+      }
+      const int requester = static_cast<int>(msg.steal.requester);
+      if (victim.has_value()) {
+        // A vanished requester must not lose the task: requeue on failure.
+        if (!safe_send(requester,
+                       encode(make_task_ship(victim->id.origin,
+                                             victim->id.seq, victim->function,
+                                             victim->payload)))) {
+          std::lock_guard lock(mu_);
+          pending_.push_back(std::move(*victim));
+        }
+      } else {
+        safe_send(requester, encode(make_steal_none()));
+      }
+      break;
+    }
+    case MsgType::kStealNone: {
+      std::lock_guard lock(mu_);
+      steal_outstanding_ = false;
+      steal_backoff_until_ = std::chrono::steady_clock::now() + 1ms;
+      break;
+    }
+    case MsgType::kShutdown:
+      stop_requested_.store(true);
+      break;
+  }
+}
+
+void ClusterNode::pump_loop() {
+  for (;;) {
+    std::vector<std::uint8_t> frame;
+    if (transport_->recv(frame, 200us)) handle(decode(frame));
+
+    // Feed descriptors to the local VPs.
+    while (in_flight_.load() < opts_.max_in_flight) {
+      std::optional<Descriptor> desc;
+      {
+        std::lock_guard lock(mu_);
+        if (!pending_.empty()) {
+          desc = std::move(pending_.front());
+          pending_.pop_front();
+        }
+      }
+      if (!desc.has_value()) break;
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.tasks_executed_local;
+      }
+      execute_descriptor(std::move(*desc));
+    }
+
+    // Idle: try to steal from a peer.
+    if (opts_.steal_enabled && cluster_size() > 1 &&
+        !stop_requested_.load()) {
+      std::lock_guard lock(mu_);
+      if (pending_.empty() && in_flight_.load() == 0 && !steal_outstanding_ &&
+          std::chrono::steady_clock::now() >= steal_backoff_until_) {
+        next_victim_ = (next_victim_ + 1) % cluster_size();
+        if (next_victim_ == id())
+          next_victim_ = (next_victim_ + 1) % cluster_size();
+        if (safe_send(next_victim_, encode(make_steal_request(
+                                        static_cast<std::uint32_t>(id()))))) {
+          steal_outstanding_ = true;
+          ++stats_.steal_requests_sent;
+        }
+      }
+    }
+
+    if (stop_requested_.load()) {
+      std::lock_guard lock(mu_);
+      if (pending_.empty() && in_flight_.load() == 0) return;
+    }
+  }
+}
+
+}  // namespace cluster

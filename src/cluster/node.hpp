@@ -1,0 +1,142 @@
+// A cluster node: a local Anahy runtime plus a message pump that ships
+// tasks between nodes (the paper's cluster prototype — "permits the
+// migration of tasks between the nodes" — and its stated future work:
+// exchanging both messages and executable tasks).
+//
+// Model:
+//   * fork() registers a shippable task descriptor (function name +
+//     payload bytes) in the node's local deque.
+//   * The pump thread feeds descriptors to the node's VPs (as detached
+//     Anahy tasks), answers steal requests from idle peers with work from
+//     the back of its deque, and steals from peers when idle itself.
+//   * join() blocks until the task's result bytes arrive — from a local
+//     VP or from whichever node the task migrated to.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "anahy/runtime.hpp"
+#include "cluster/message.hpp"
+#include "cluster/registry.hpp"
+#include "cluster/transport.hpp"
+
+namespace cluster {
+
+/// Cluster-wide task identity: origin node + per-origin sequence number.
+struct GlobalTaskId {
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const GlobalTaskId&) const = default;
+};
+
+struct NodeStats {
+  std::uint64_t tasks_forked = 0;
+  std::uint64_t tasks_executed_local = 0;   ///< dispatched to this node's VPs
+  std::uint64_t tasks_shipped_out = 0;      ///< migrated to a peer
+  std::uint64_t tasks_received = 0;         ///< migrated here from a peer
+  std::uint64_t steal_requests_sent = 0;
+  std::uint64_t steal_requests_served = 0;
+};
+
+class ClusterNode {
+ public:
+  struct Options {
+    int num_vps = 2;              ///< VPs of the node-local runtime
+    int max_in_flight = 4;        ///< descriptors handed to VPs at once
+    bool steal_enabled = true;    ///< inter-node balancing on/off
+  };
+
+  /// The registry must outlive the node and be identical on all nodes.
+  ClusterNode(std::unique_ptr<Transport> transport,
+              std::shared_ptr<Registry> registry, const Options& opts);
+  ClusterNode(std::unique_ptr<Transport> transport,
+              std::shared_ptr<Registry> registry);
+  ~ClusterNode();
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  /// Forks a shippable task; it may execute on any node. Thread-safe.
+  GlobalTaskId fork(const std::string& function,
+                    std::vector<std::uint8_t> payload);
+
+  /// Forks a task with explicit placement: it is shipped directly to
+  /// `target_node` instead of entering this node's deque (it may still be
+  /// re-stolen from there). Join happens here, at the origin.
+  GlobalTaskId fork_on(int target_node, const std::string& function,
+                       std::vector<std::uint8_t> payload);
+
+  /// Waits for and returns the task's result bytes. Throws
+  /// std::runtime_error when the remote body failed or the name was
+  /// unknown on the executing node. Each id may be joined once.
+  std::vector<std::uint8_t> join(const GlobalTaskId& id);
+
+  /// Starts the message pump (idempotent). Done automatically by fork().
+  void start();
+
+  /// Stops the pump after draining local work. Called by the destructor.
+  void stop();
+
+  /// Blocks serving tasks until a kShutdown message arrives (worker
+  /// processes' main loop in multi-process deployments).
+  void serve();
+
+  /// Sends kShutdown to every peer node (coordinator-side teardown of a
+  /// multi-process cluster), then stops the local pump.
+  void broadcast_shutdown();
+
+  [[nodiscard]] int id() const { return transport_->node_id(); }
+  [[nodiscard]] int cluster_size() const { return transport_->node_count(); }
+  [[nodiscard]] NodeStats stats() const;
+
+ private:
+  struct Descriptor {
+    GlobalTaskId id;
+    std::string function;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void pump_loop();
+  void execute_descriptor(Descriptor desc);
+  void complete(const GlobalTaskId& id, bool ok,
+                std::vector<std::uint8_t> result);
+  void handle(Message msg);
+
+  /// send() that tolerates dead peers (nodes that already shut down):
+  /// returns false instead of throwing. Used for control traffic where a
+  /// vanished receiver is benign (steal replies, shutdown broadcast).
+  bool safe_send(int dst, std::vector<std::uint8_t> frame);
+
+  std::unique_ptr<Transport> transport_;
+  std::shared_ptr<Registry> registry_;
+  Options opts_;
+  std::unique_ptr<anahy::Runtime> runtime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable results_cv_;
+  std::deque<Descriptor> pending_;
+  // Results for tasks forked *here*, keyed by our sequence number.
+  std::map<std::uint64_t, std::pair<bool, std::vector<std::uint8_t>>> results_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<int> in_flight_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool steal_outstanding_ = false;
+  /// After a failed steal round we back off before asking again, so idle
+  /// nodes do not flood the fabric with requests.
+  std::chrono::steady_clock::time_point steal_backoff_until_{};
+  int next_victim_ = 0;
+  NodeStats stats_{};
+  std::thread pump_;
+};
+
+}  // namespace cluster

@@ -1,0 +1,30 @@
+#include "cluster/registry.hpp"
+
+#include <stdexcept>
+
+namespace cluster {
+
+bool Registry::add(const std::string& name, RemoteFn fn) {
+  std::lock_guard lock(mu_);
+  return fns_.emplace(name, std::move(fn)).second;
+}
+
+RemoteFn Registry::get(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = fns_.find(name);
+  if (it == fns_.end())
+    throw std::out_of_range("unregistered cluster function: " + name);
+  return it->second;
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return fns_.count(name) > 0;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mu_);
+  return fns_.size();
+}
+
+}  // namespace cluster

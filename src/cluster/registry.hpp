@@ -1,0 +1,41 @@
+// Remote-callable function registry.
+//
+// Closures cannot cross address spaces, so shippable tasks name their
+// function; every node registers the same names (exactly how the paper's
+// prototype, built on C function pointers, must work). Payloads and
+// results are opaque byte vectors (cf. athread_attr_setdatalen).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cluster {
+
+/// A shippable task body: bytes in, bytes out.
+using RemoteFn =
+    std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+/// Thread-safe name -> function table.
+class Registry {
+ public:
+  /// Registers `fn` under `name`. Returns false (keeping the existing
+  /// entry) when the name is already taken.
+  bool add(const std::string& name, RemoteFn fn);
+
+  /// Looks up a function; throws std::out_of_range for unknown names.
+  [[nodiscard]] RemoteFn get(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RemoteFn> fns_;
+};
+
+}  // namespace cluster

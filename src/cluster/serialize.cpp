@@ -1,0 +1,70 @@
+#include "cluster/serialize.hpp"
+
+namespace cluster {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFF));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  const auto lo = u8();
+  const auto hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const auto lo = u16();
+  const auto hi = u16();
+  return static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const auto lo = u32();
+  const auto hi = u32();
+  return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+std::vector<std::uint8_t> ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace cluster

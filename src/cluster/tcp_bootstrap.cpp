@@ -1,0 +1,206 @@
+// Multi-process cluster bootstrap over TCP: one coordinator process
+// (node 0) plus n-1 worker processes, possibly on different hosts —
+// the deployment the paper's future work describes.
+//
+// Protocol:
+//   1. workers open their own listeners, then connect to the coordinator
+//      and register ('R' + own listen port); that registration socket
+//      stays as the coordinator<->worker data link.
+//   2. the coordinator assigns ids in registration order and sends every
+//      worker the table (id, n, then address:port of workers 1..n-1).
+//   3. workers mesh among themselves: higher id connects to lower id
+//      ('M' + id), lower id accepts on its listener.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "cluster/tcp_endpoint.hpp"
+#include "cluster/transport.hpp"
+
+namespace cluster {
+namespace {
+
+using detail::read_all;
+using detail::TcpEndpoint;
+using detail::write_all;
+
+constexpr std::uint8_t kTagRegister = 'R';
+constexpr std::uint8_t kTagMesh = 'M';
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int make_listener(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed (port in use?)");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("listen() failed");
+  }
+  return fd;
+}
+
+int connect_with_retry(std::uint32_t ip_be, std::uint16_t port,
+                       std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = ip_be;
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= until)
+      throw std::runtime_error("connect retry deadline exceeded");
+    ::usleep(50'000);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> tcp_coordinator(std::uint16_t port, int n) {
+  if (n < 1) throw std::invalid_argument("cluster needs >= 1 node");
+  std::vector<int> peer_fd(static_cast<std::size_t>(n), -1);
+  if (n == 1) {
+    auto ep = std::make_unique<TcpEndpoint>(0, 1);
+    ep->set_peers(std::move(peer_fd));
+    return ep;
+  }
+
+  const int listener = make_listener(port, nullptr);
+  std::vector<std::uint32_t> worker_ip(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint16_t> worker_port(static_cast<std::size_t>(n), 0);
+
+  for (int next_id = 1; next_id < n; ++next_id) {
+    sockaddr_in peer{};
+    socklen_t plen = sizeof(peer);
+    const int fd =
+        ::accept(listener, reinterpret_cast<sockaddr*>(&peer), &plen);
+    if (fd < 0) throw std::runtime_error("accept() failed");
+    set_nodelay(fd);
+    std::uint8_t tag = 0;
+    std::uint8_t port_bytes[2];
+    if (!read_all(fd, &tag, 1) || tag != kTagRegister ||
+        !read_all(fd, port_bytes, 2))
+      throw std::runtime_error("bad registration");
+    worker_ip[static_cast<std::size_t>(next_id)] = peer.sin_addr.s_addr;
+    worker_port[static_cast<std::size_t>(next_id)] =
+        static_cast<std::uint16_t>(port_bytes[0] | (port_bytes[1] << 8));
+    peer_fd[static_cast<std::size_t>(next_id)] = fd;
+  }
+  ::close(listener);
+
+  // Broadcast assignments: id, n, then the worker table (ids 1..n-1).
+  for (int id = 1; id < n; ++id) {
+    std::vector<std::uint8_t> msg;
+    msg.push_back(static_cast<std::uint8_t>(id));
+    msg.push_back(static_cast<std::uint8_t>(n));
+    for (int w = 1; w < n; ++w) {
+      const std::uint32_t ip = worker_ip[static_cast<std::size_t>(w)];
+      msg.push_back(static_cast<std::uint8_t>(ip & 0xFF));
+      msg.push_back(static_cast<std::uint8_t>((ip >> 8) & 0xFF));
+      msg.push_back(static_cast<std::uint8_t>((ip >> 16) & 0xFF));
+      msg.push_back(static_cast<std::uint8_t>((ip >> 24) & 0xFF));
+      const std::uint16_t p = worker_port[static_cast<std::size_t>(w)];
+      msg.push_back(static_cast<std::uint8_t>(p & 0xFF));
+      msg.push_back(static_cast<std::uint8_t>((p >> 8) & 0xFF));
+    }
+    write_all(peer_fd[static_cast<std::size_t>(id)], msg.data(), msg.size());
+  }
+
+  auto ep = std::make_unique<TcpEndpoint>(0, n);
+  ep->set_peers(std::move(peer_fd));
+  return ep;
+}
+
+std::unique_ptr<Transport> tcp_worker(const std::string& host,
+                                      std::uint16_t port) {
+  std::uint16_t my_port = 0;
+  const int listener = make_listener(0, &my_port);
+
+  in_addr coord_addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &coord_addr) != 1) {
+    ::close(listener);
+    throw std::invalid_argument("tcp_worker: host must be an IPv4 address");
+  }
+  const int coord_fd = connect_with_retry(coord_addr.s_addr, port,
+                                          std::chrono::seconds(10));
+  const std::uint8_t reg[3] = {kTagRegister,
+                               static_cast<std::uint8_t>(my_port & 0xFF),
+                               static_cast<std::uint8_t>(my_port >> 8)};
+  write_all(coord_fd, reg, sizeof(reg));
+
+  std::uint8_t id = 0;
+  std::uint8_t n = 0;
+  if (!read_all(coord_fd, &id, 1) || !read_all(coord_fd, &n, 1))
+    throw std::runtime_error("coordinator closed during bootstrap");
+  std::vector<std::uint32_t> worker_ip(n, 0);
+  std::vector<std::uint16_t> worker_port(n, 0);
+  for (int w = 1; w < n; ++w) {
+    std::uint8_t entry[6];
+    if (!read_all(coord_fd, entry, sizeof(entry)))
+      throw std::runtime_error("truncated worker table");
+    worker_ip[static_cast<std::size_t>(w)] =
+        static_cast<std::uint32_t>(entry[0]) |
+        (static_cast<std::uint32_t>(entry[1]) << 8) |
+        (static_cast<std::uint32_t>(entry[2]) << 16) |
+        (static_cast<std::uint32_t>(entry[3]) << 24);
+    worker_port[static_cast<std::size_t>(w)] =
+        static_cast<std::uint16_t>(entry[4] | (entry[5] << 8));
+  }
+
+  std::vector<int> peer_fd(n, -1);
+  peer_fd[0] = coord_fd;
+
+  // Connect to every lower-id worker; they accept.
+  for (int w = 1; w < id; ++w) {
+    const int fd = connect_with_retry(worker_ip[static_cast<std::size_t>(w)],
+                                      worker_port[static_cast<std::size_t>(w)],
+                                      std::chrono::seconds(10));
+    const std::uint8_t hello[2] = {kTagMesh, id};
+    write_all(fd, hello, sizeof(hello));
+    peer_fd[static_cast<std::size_t>(w)] = fd;
+  }
+  // Accept from every higher-id worker.
+  for (int expected = id + 1; expected < n; ++expected) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) throw std::runtime_error("mesh accept() failed");
+    set_nodelay(fd);
+    std::uint8_t tag = 0;
+    std::uint8_t who = 0;
+    if (!read_all(fd, &tag, 1) || tag != kTagMesh || !read_all(fd, &who, 1) ||
+        who <= id || who >= n)
+      throw std::runtime_error("bad mesh hello");
+    peer_fd[who] = fd;
+  }
+  ::close(listener);
+
+  auto ep = std::make_unique<TcpEndpoint>(id, n);
+  ep->set_peers(std::move(peer_fd));
+  return ep;
+}
+
+}  // namespace cluster

@@ -1,0 +1,134 @@
+// Shared TCP endpoint machinery: a Transport over per-peer sockets with
+// length-prefixed frames and one reader thread per peer. Used by both the
+// single-process loopback mesh (make_tcp_fabric) and the multi-process
+// bootstrap (tcp_coordinator / tcp_worker).
+#pragma once
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cluster/transport.hpp"
+
+namespace cluster::detail {
+
+inline void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) throw std::runtime_error("tcp send failed");
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+inline bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r <= 0) return false;  // peer closed / error
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+class TcpEndpoint final : public Transport {
+ public:
+  TcpEndpoint(int id, int count) : id_(id), count_(count) {
+    send_mu_ = std::vector<std::mutex>(static_cast<std::size_t>(count));
+  }
+
+  ~TcpEndpoint() override {
+    stopping_ = true;
+    for (int fd : peer_fd_)
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (auto& t : readers_)
+      if (t.joinable()) t.join();
+    for (int fd : peer_fd_)
+      if (fd >= 0) ::close(fd);
+  }
+
+  /// Takes ownership of the per-peer sockets (index = peer id, -1 self)
+  /// and starts the reader threads. Call exactly once.
+  void set_peers(std::vector<int> fds) {
+    peer_fd_ = std::move(fds);
+    for (const int fd : peer_fd_) {
+      if (fd < 0) continue;  // self
+      readers_.emplace_back([this, fd] { reader_loop(fd); });
+    }
+  }
+
+  void send(int dst, std::vector<std::uint8_t> frame) override {
+    if (dst == id_) {  // self-send: straight to the inbox
+      deliver(std::move(frame));
+      return;
+    }
+    const int fd = peer_fd_[static_cast<std::size_t>(dst)];
+    if (fd < 0) throw std::runtime_error("no connection to that node");
+    const auto len = static_cast<std::uint32_t>(frame.size());
+    const std::uint8_t hdr[4] = {static_cast<std::uint8_t>(len & 0xFF),
+                                 static_cast<std::uint8_t>((len >> 8) & 0xFF),
+                                 static_cast<std::uint8_t>((len >> 16) & 0xFF),
+                                 static_cast<std::uint8_t>((len >> 24) & 0xFF)};
+    std::lock_guard lock(send_mu_[static_cast<std::size_t>(dst)]);
+    write_all(fd, hdr, sizeof(hdr));
+    if (!frame.empty()) write_all(fd, frame.data(), frame.size());
+  }
+
+  bool recv(std::vector<std::uint8_t>& frame,
+            std::chrono::microseconds timeout) override {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !inbox_.empty(); }))
+      return false;
+    frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] int node_id() const override { return id_; }
+  [[nodiscard]] int node_count() const override { return count_; }
+
+ private:
+  void deliver(std::vector<std::uint8_t> frame) {
+    {
+      std::lock_guard lock(mu_);
+      inbox_.push_back(std::move(frame));
+    }
+    cv_.notify_one();
+  }
+
+  void reader_loop(int fd) {
+    for (;;) {
+      std::uint8_t hdr[4];
+      if (!read_all(fd, hdr, sizeof(hdr))) return;
+      const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                                (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                                (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                                (static_cast<std::uint32_t>(hdr[3]) << 24);
+      std::vector<std::uint8_t> frame(len);
+      if (len > 0 && !read_all(fd, frame.data(), len)) return;
+      if (stopping_) return;
+      deliver(std::move(frame));
+    }
+  }
+
+  int id_;
+  int count_;
+  std::vector<int> peer_fd_;  // fd per peer id; -1 for self
+  std::vector<std::mutex> send_mu_;
+  std::vector<std::thread> readers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<std::uint8_t>> inbox_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace cluster::detail

@@ -1,0 +1,82 @@
+// Single-process TCP loopback mesh: every node pair is connected by one
+// socket. The shared endpoint machinery lives in tcp_endpoint.hpp.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include "cluster/tcp_endpoint.hpp"
+#include "cluster/transport.hpp"
+
+namespace cluster {
+
+using detail::read_all;
+using detail::TcpEndpoint;
+using detail::write_all;
+
+std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n) {
+  // Listeners on ephemeral loopback ports.
+  std::vector<int> listen_fd(static_cast<std::size_t>(n), -1);
+  std::vector<std::uint16_t> port(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("bind() failed");
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port[static_cast<std::size_t>(i)] = ntohs(addr.sin_port);
+    if (::listen(fd, n) != 0) throw std::runtime_error("listen() failed");
+    listen_fd[static_cast<std::size_t>(i)] = fd;
+  }
+
+  // Mesh: node i connects to node j for i < j; j accepts. The connector
+  // sends its id as the first byte so the accept side can verify.
+  std::vector<std::vector<int>> fds(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (cfd < 0) throw std::runtime_error("socket() failed");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port[static_cast<std::size_t>(j)]);
+      if (::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0)
+        throw std::runtime_error("connect() failed");
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const std::uint8_t idbyte = static_cast<std::uint8_t>(i);
+      write_all(cfd, &idbyte, 1);
+
+      const int afd =
+          ::accept(listen_fd[static_cast<std::size_t>(j)], nullptr, nullptr);
+      if (afd < 0) throw std::runtime_error("accept() failed");
+      ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::uint8_t got = 0;
+      if (!read_all(afd, &got, 1) || got != idbyte)
+        throw std::runtime_error("tcp mesh handshake failed");
+
+      fds[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = cfd;
+      fds[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = afd;
+    }
+  }
+  for (const int fd : listen_fd) ::close(fd);
+
+  std::vector<std::unique_ptr<Transport>> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto ep = std::make_unique<TcpEndpoint>(i, n);
+    ep->set_peers(std::move(fds[static_cast<std::size_t>(i)]));
+    endpoints.push_back(std::move(ep));
+  }
+  return endpoints;
+}
+
+}  // namespace cluster

@@ -1,0 +1,53 @@
+// Node-to-node transport abstraction.
+//
+// The paper's architecture-dependent layer uses "MPI or sockets" between
+// nodes. Two implementations ship here: an in-memory fabric (fast,
+// deterministic, optional simulated latency) and a real TCP loopback mesh.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cluster {
+
+/// One node's endpoint into the fabric. Thread-safe: any thread may send;
+/// one pump thread receives.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `frame` for delivery to node `dst`. Sending to self is legal.
+  virtual void send(int dst, std::vector<std::uint8_t> frame) = 0;
+
+  /// Waits up to `timeout` for an incoming frame. Returns false on
+  /// timeout; true with `frame` filled otherwise.
+  virtual bool recv(std::vector<std::uint8_t>& frame,
+                    std::chrono::microseconds timeout) = 0;
+
+  [[nodiscard]] virtual int node_id() const = 0;
+  [[nodiscard]] virtual int node_count() const = 0;
+};
+
+/// Builds an `n`-node in-memory fabric. `latency` delays each delivery
+/// (0 = immediate). Endpoint i is the transport of node i.
+std::vector<std::unique_ptr<Transport>> make_memory_fabric(
+    int n, std::chrono::microseconds latency = std::chrono::microseconds{0});
+
+/// Builds an `n`-node mesh of real TCP connections over 127.0.0.1, all
+/// endpoints in this process. Throws std::runtime_error on socket errors.
+std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n);
+
+/// Multi-process deployment (the paper's actual cluster scenario): the
+/// coordinator process is node 0 and blocks until n-1 workers registered
+/// and the full mesh is up. Workers call tcp_worker with the
+/// coordinator's IPv4 address; ids are assigned in registration order.
+/// Both calls block during bootstrap and throw std::runtime_error on
+/// protocol or socket failures.
+std::unique_ptr<Transport> tcp_coordinator(std::uint16_t port, int n);
+std::unique_ptr<Transport> tcp_worker(const std::string& host,
+                                      std::uint16_t port);
+
+}  // namespace cluster

@@ -1,0 +1,75 @@
+#include "compress/bitstream.hpp"
+
+namespace compress {
+
+void BitWriter::write_bits(std::uint32_t bits, int count) {
+  if (count < 0 || count > 32) throw std::invalid_argument("bad bit count");
+  acc_ |= static_cast<std::uint64_t>(bits & ((count == 32 ? 0xFFFFFFFFu : ((1u << count) - 1u)))) << nbits_;
+  nbits_ += count;
+  while (nbits_ >= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFFu));
+    acc_ >>= 8;
+    nbits_ -= 8;
+  }
+}
+
+void BitWriter::write_huffman(std::uint32_t code, int length) {
+  // Reverse the `length` low bits of `code`.
+  std::uint32_t rev = 0;
+  for (int i = 0; i < length; ++i) {
+    rev = (rev << 1) | ((code >> i) & 1u);
+  }
+  write_bits(rev, length);
+}
+
+void BitWriter::align_to_byte() {
+  if (nbits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFFu));
+    acc_ = 0;
+    nbits_ = 0;
+  }
+}
+
+void BitWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  if (nbits_ != 0)
+    throw std::logic_error("write_bytes requires byte alignment");
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align_to_byte();
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::read_bits(int count) {
+  if (count < 0 || count > 32) throw std::invalid_argument("bad bit count");
+  std::uint32_t out = 0;
+  for (int i = 0; i < count; ++i) {
+    if (pos_ >= data_.size())
+      throw std::runtime_error("bit stream exhausted");
+    const std::uint32_t bit = (data_[pos_] >> bit_) & 1u;
+    out |= bit << i;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++pos_;
+    }
+  }
+  return out;
+}
+
+void BitReader::align_to_byte() {
+  if (bit_ != 0) {
+    bit_ = 0;
+    ++pos_;
+  }
+}
+
+void BitReader::read_bytes(std::uint8_t* out, std::size_t n) {
+  if (bit_ != 0) throw std::logic_error("read_bytes requires byte alignment");
+  if (pos_ + n > data_.size())
+    throw std::runtime_error("bit stream exhausted");
+  for (std::size_t i = 0; i < n; ++i) out[i] = data_[pos_ + i];
+  pos_ += n;
+}
+
+}  // namespace compress

@@ -1,0 +1,74 @@
+// LSB-first bit I/O in DEFLATE's bit order (RFC 1951 §3.1.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace compress {
+
+/// Accumulates bits least-significant-first into a byte vector.
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `bits` (count <= 32), LSB first.
+  void write_bits(std::uint32_t bits, int count);
+
+  /// Writes a Huffman code: DEFLATE packs codes most-significant-bit first,
+  /// so the code is bit-reversed before the LSB-first write.
+  void write_huffman(std::uint32_t code, int length);
+
+  /// Pads with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Appends raw bytes (caller must be byte-aligned; throws otherwise).
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Finishes the stream (pads the final partial byte) and returns it.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  [[nodiscard]] std::size_t bit_count() const {
+    return bytes_.size() * 8 + static_cast<std::size_t>(nbits_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Reads bits least-significant-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `count` bits (<= 32), LSB first. Throws std::runtime_error on
+  /// exhausted input.
+  std::uint32_t read_bits(int count);
+
+  /// Reads one bit.
+  std::uint32_t read_bit() { return read_bits(1); }
+
+  /// Skips to the next byte boundary.
+  void align_to_byte();
+
+  /// Copies `n` raw bytes (requires byte alignment).
+  void read_bytes(std::uint8_t* out, std::size_t n);
+
+  /// Bytes fully or partially consumed so far.
+  [[nodiscard]] std::size_t bytes_consumed() const {
+    return pos_ + static_cast<std::size_t>((bit_ + 7) / 8);
+  }
+
+  [[nodiscard]] bool exhausted() const {
+    return pos_ >= data_.size() && bit_ == 0;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;  // next byte index
+  int bit_ = 0;          // bit offset within data_[pos_]
+};
+
+}  // namespace compress

@@ -1,0 +1,10 @@
+// Umbrella header for the compression substrate.
+#pragma once
+
+#include "compress/bitstream.hpp"  // IWYU pragma: export
+#include "compress/crc32.hpp"      // IWYU pragma: export
+#include "compress/deflate.hpp"    // IWYU pragma: export
+#include "compress/gzip.hpp"       // IWYU pragma: export
+#include "compress/huffman.hpp"    // IWYU pragma: export
+#include "compress/inflate.hpp"    // IWYU pragma: export
+#include "compress/lz77.hpp"       // IWYU pragma: export

@@ -1,0 +1,81 @@
+#include "compress/crc32.hpp"
+
+#include <array>
+
+namespace compress {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+/// GF(2) 32x32 matrix-vector product; matrices are column vectors.
+std::uint32_t gf2_times(const std::array<std::uint32_t, 32>& m,
+                        std::uint32_t v) {
+  std::uint32_t sum = 0;
+  for (int i = 0; v != 0; ++i, v >>= 1)
+    if (v & 1u) sum ^= m[static_cast<std::size_t>(i)];
+  return sum;
+}
+
+std::array<std::uint32_t, 32> gf2_square(
+    const std::array<std::uint32_t, 32>& m) {
+  std::array<std::uint32_t, 32> sq{};
+  for (int i = 0; i < 32; ++i)
+    sq[static_cast<std::size_t>(i)] = gf2_times(m, m[static_cast<std::size_t>(i)]);
+  return sq;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data)
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_update(0, data);
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) {
+  // zlib's crc32_combine: advance crc_a through len_b zero bytes using
+  // GF(2) matrix exponentiation, then xor with crc_b.
+  if (len_b == 0) return crc_a;
+
+  // "odd" = operator for one zero *bit*.
+  std::array<std::uint32_t, 32> odd{};
+  odd[0] = kPoly;
+  for (int i = 1; i < 32; ++i) odd[static_cast<std::size_t>(i)] = 1u << (i - 1);
+  std::array<std::uint32_t, 32> even = gf2_square(odd);  // two zero bits
+  odd = gf2_square(even);                                // four zero bits
+
+  // Apply len_b zero *bytes* = 8*len_b zero bits.
+  std::size_t len = len_b;
+  do {
+    even = gf2_square(odd);
+    if (len & 1u) crc_a = gf2_times(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    odd = gf2_square(even);
+    if (len & 1u) crc_a = gf2_times(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+
+  return crc_a ^ crc_b;
+}
+
+}  // namespace compress

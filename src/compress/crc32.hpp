@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, the gzip/zlib polynomial 0xEDB88320).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace compress {
+
+/// One-shot CRC of a buffer.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Streaming form: feed `crc` from a previous call (start with 0).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         std::span<const std::uint8_t> data);
+
+/// Combines crc(A) and crc(B) into crc(A||B) given len(B). Lets the
+/// parallel compressor compute per-chunk CRCs independently and still emit
+/// the whole-file CRC, exactly what the paper's agzip needs.
+[[nodiscard]] std::uint32_t crc32_combine(std::uint32_t crc_a,
+                                          std::uint32_t crc_b,
+                                          std::size_t len_b);
+
+}  // namespace compress

@@ -1,0 +1,297 @@
+#include "compress/deflate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+#include "compress/huffman.hpp"
+
+namespace compress {
+namespace detail {
+namespace {
+
+constexpr std::array<int, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                           1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                           4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3, 3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8, 8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+}  // namespace
+
+LengthCode length_code(int length) {
+  if (length < kMinMatch || length > kMaxMatch)
+    throw std::invalid_argument("match length out of range");
+  // Last code whose base <= length.
+  int lo = 0;
+  for (int i = 0; i < static_cast<int>(kLenBase.size()); ++i)
+    if (kLenBase[static_cast<std::size_t>(i)] <= length) lo = i;
+  return {257 + lo, kLenExtra[static_cast<std::size_t>(lo)],
+          kLenBase[static_cast<std::size_t>(lo)]};
+}
+
+DistCode dist_code(int distance) {
+  if (distance < 1 || distance > kWindowSize)
+    throw std::invalid_argument("distance out of range");
+  int lo = 0;
+  for (int i = 0; i < static_cast<int>(kDistBase.size()); ++i)
+    if (kDistBase[static_cast<std::size_t>(i)] <= distance) lo = i;
+  return {lo, kDistExtra[static_cast<std::size_t>(lo)],
+          kDistBase[static_cast<std::size_t>(lo)]};
+}
+
+std::span<const int> length_bases() { return kLenBase; }
+std::span<const int> length_extras() { return kLenExtra; }
+std::span<const int> dist_bases() { return kDistBase; }
+std::span<const int> dist_extras() { return kDistExtra; }
+
+std::vector<std::uint8_t> fixed_litlen_lengths() {
+  std::vector<std::uint8_t> lengths(288);
+  for (int i = 0; i <= 143; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lengths[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lengths[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  return lengths;
+}
+
+std::vector<std::uint8_t> fixed_dist_lengths() {
+  return std::vector<std::uint8_t>(30, 5);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::dist_code;
+using detail::length_code;
+
+constexpr int kEndOfBlock = 256;
+constexpr std::size_t kMaxBlockTokens = 65536;
+
+/// Code-length-code RLE symbol stream for the dynamic header.
+struct ClcSymbol {
+  int symbol;      // 0..18
+  int extra;       // payload of 16/17/18
+  int extra_bits;  // 2, 3 or 7
+};
+
+std::vector<ClcSymbol> rle_code_lengths(std::span<const std::uint8_t> lengths) {
+  std::vector<ClcSymbol> out;
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    const std::uint8_t len = lengths[i];
+    std::size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == len) ++run;
+    if (len == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const int n = static_cast<int>(std::min<std::size_t>(left, 138));
+        out.push_back({18, n - 11, 7});
+        left -= static_cast<std::size_t>(n);
+      }
+      if (left >= 3) {
+        out.push_back({17, static_cast<int>(left) - 3, 3});
+        left = 0;
+      }
+      while (left-- > 0) out.push_back({0, 0, 0});
+    } else {
+      out.push_back({len, 0, 0});
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const int n = static_cast<int>(std::min<std::size_t>(left, 6));
+        out.push_back({16, n - 3, 2});
+        left -= static_cast<std::size_t>(n);
+      }
+      while (left-- > 0) out.push_back({len, 0, 0});
+    }
+    i += run;
+  }
+  return out;
+}
+
+struct BlockPlan {
+  std::span<const Token> tokens;
+  std::span<const std::uint8_t> raw;  // the input bytes these tokens cover
+  bool final = false;
+};
+
+/// Writes one block with the cheaper of stored/fixed/dynamic encoding.
+void write_block(BitWriter& bw, const BlockPlan& plan) {
+  // Symbol frequencies.
+  std::vector<std::uint32_t> lit_freq(288, 0);
+  std::vector<std::uint32_t> dist_freq(30, 0);
+  for (const Token& t : plan.tokens) {
+    if (t.is_match) {
+      ++lit_freq[static_cast<std::size_t>(length_code(t.length).code)];
+      ++dist_freq[static_cast<std::size_t>(dist_code(t.distance).code)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEndOfBlock];
+
+  // Dynamic code construction.
+  auto dyn_lit_len = huffman_code_lengths(lit_freq, 15);
+  auto dyn_dist_len = huffman_code_lengths(dist_freq, 15);
+  // DEFLATE requires at least one distance code slot and at least the EOB
+  // literal; trim trailing zeros but keep the minimum counts.
+  int nlit = 286;
+  while (nlit > 257 && dyn_lit_len[static_cast<std::size_t>(nlit) - 1] == 0)
+    --nlit;
+  int ndist = 30;
+  while (ndist > 1 && dyn_dist_len[static_cast<std::size_t>(ndist) - 1] == 0)
+    --ndist;
+
+  // Cost accounting (in bits) for each representation.
+  const auto fixed_lit_len = detail::fixed_litlen_lengths();
+  const auto fixed_dist_len = detail::fixed_dist_lengths();
+  auto payload_cost = [&](std::span<const std::uint8_t> ll,
+                          std::span<const std::uint8_t> dl) {
+    std::uint64_t bits = 0;
+    for (std::size_t s = 0; s < lit_freq.size(); ++s)
+      if (lit_freq[s] && s < ll.size()) bits += 1ull * lit_freq[s] * ll[s];
+    for (std::size_t s = 0; s < dist_freq.size(); ++s)
+      if (dist_freq[s] && s < dl.size()) bits += 1ull * dist_freq[s] * dl[s];
+    for (const Token& t : plan.tokens) {
+      if (!t.is_match) continue;
+      bits += static_cast<std::uint64_t>(length_code(t.length).extra_bits);
+      bits += static_cast<std::uint64_t>(dist_code(t.distance).extra_bits);
+    }
+    return bits;
+  };
+
+  // Dynamic header cost: HLIT/HDIST/HCLEN + clc lengths + RLE symbols.
+  std::vector<std::uint8_t> all_lengths;
+  all_lengths.insert(all_lengths.end(), dyn_lit_len.begin(),
+                     dyn_lit_len.begin() + nlit);
+  all_lengths.insert(all_lengths.end(), dyn_dist_len.begin(),
+                     dyn_dist_len.begin() + ndist);
+  const auto rle = rle_code_lengths(all_lengths);
+  std::vector<std::uint32_t> clc_freq(19, 0);
+  for (const ClcSymbol& s : rle) ++clc_freq[static_cast<std::size_t>(s.symbol)];
+  auto clc_len = huffman_code_lengths(clc_freq, 7);
+  int nclc = 19;
+  while (nclc > 4 &&
+         clc_len[static_cast<std::size_t>(
+             detail::kClcOrder[nclc - 1])] == 0)
+    --nclc;
+  std::uint64_t dyn_header_bits = 5 + 5 + 4 + 3ull * static_cast<std::uint64_t>(nclc);
+  for (const ClcSymbol& s : rle)
+    dyn_header_bits += clc_len[static_cast<std::size_t>(s.symbol)] +
+                       static_cast<std::uint64_t>(s.extra_bits);
+
+  const std::uint64_t dyn_bits =
+      dyn_header_bits + payload_cost(dyn_lit_len, dyn_dist_len);
+  const std::uint64_t fixed_bits =
+      payload_cost(fixed_lit_len, fixed_dist_len);
+  // Stored: 5 header bits rounded up + 4 length bytes + raw data per 65535
+  // chunk (we conservatively count one chunk header per 65535 bytes).
+  const std::uint64_t nchunks = plan.raw.size() / 65535 + 1;
+  const std::uint64_t stored_bits = nchunks * (3 + 32) + 8ull * plan.raw.size() + 7;
+
+  if (stored_bits < dyn_bits && stored_bits < fixed_bits) {
+    // Emit stored chunks (only the last one carries the final flag).
+    std::size_t off = 0;
+    do {
+      const std::size_t n = std::min<std::size_t>(plan.raw.size() - off, 65535);
+      const bool last_chunk = off + n == plan.raw.size();
+      bw.write_bits(plan.final && last_chunk ? 1 : 0, 1);
+      bw.write_bits(0, 2);  // BTYPE=00
+      bw.align_to_byte();
+      const auto len = static_cast<std::uint16_t>(n);
+      bw.write_bits(len, 16);
+      bw.write_bits(static_cast<std::uint16_t>(~len), 16);
+      bw.write_bytes(plan.raw.subspan(off, n));
+      off += n;
+    } while (off < plan.raw.size());
+    return;
+  }
+
+  const bool use_dynamic = dyn_bits < fixed_bits;
+  bw.write_bits(plan.final ? 1 : 0, 1);
+  bw.write_bits(use_dynamic ? 2 : 1, 2);
+
+  std::span<const std::uint8_t> ll;
+  std::span<const std::uint8_t> dl;
+  if (use_dynamic) {
+    bw.write_bits(static_cast<std::uint32_t>(nlit - 257), 5);
+    bw.write_bits(static_cast<std::uint32_t>(ndist - 1), 5);
+    bw.write_bits(static_cast<std::uint32_t>(nclc - 4), 4);
+    for (int i = 0; i < nclc; ++i)
+      bw.write_bits(clc_len[static_cast<std::size_t>(detail::kClcOrder[i])], 3);
+    const auto clc_codes = canonical_codes(clc_len);
+    for (const ClcSymbol& s : rle) {
+      bw.write_huffman(clc_codes[static_cast<std::size_t>(s.symbol)],
+                       clc_len[static_cast<std::size_t>(s.symbol)]);
+      if (s.extra_bits > 0)
+        bw.write_bits(static_cast<std::uint32_t>(s.extra), s.extra_bits);
+    }
+    ll = dyn_lit_len;
+    dl = dyn_dist_len;
+  } else {
+    ll = fixed_lit_len;
+    dl = fixed_dist_len;
+  }
+
+  const auto lit_codes = canonical_codes(ll);
+  const auto dist_codes = canonical_codes(dl);
+  for (const Token& t : plan.tokens) {
+    if (t.is_match) {
+      const auto lc = length_code(t.length);
+      bw.write_huffman(lit_codes[static_cast<std::size_t>(lc.code)],
+                       ll[static_cast<std::size_t>(lc.code)]);
+      if (lc.extra_bits > 0)
+        bw.write_bits(static_cast<std::uint32_t>(t.length - lc.base),
+                      lc.extra_bits);
+      const auto dc = dist_code(t.distance);
+      bw.write_huffman(dist_codes[static_cast<std::size_t>(dc.code)],
+                       dl[static_cast<std::size_t>(dc.code)]);
+      if (dc.extra_bits > 0)
+        bw.write_bits(static_cast<std::uint32_t>(t.distance - dc.base),
+                      dc.extra_bits);
+    } else {
+      bw.write_huffman(lit_codes[t.literal], ll[t.literal]);
+    }
+  }
+  bw.write_huffman(lit_codes[kEndOfBlock], ll[kEndOfBlock]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> deflate_compress(std::span<const std::uint8_t> data,
+                                           const Lz77Params& params) {
+  const std::vector<Token> tokens = lz77_tokenize(data, params);
+
+  BitWriter bw;
+  // Partition the token stream into blocks; track the input range each
+  // block covers so the stored representation stays available.
+  std::size_t tok = 0;
+  std::size_t raw_off = 0;
+  do {
+    const std::size_t ntok =
+        std::min(tokens.size() - tok, kMaxBlockTokens);
+    std::size_t raw_len = 0;
+    for (std::size_t k = tok; k < tok + ntok; ++k)
+      raw_len += tokens[k].is_match ? tokens[k].length : 1;
+    BlockPlan plan;
+    plan.tokens = std::span<const Token>(tokens).subspan(tok, ntok);
+    plan.raw = data.subspan(raw_off, raw_len);
+    plan.final = tok + ntok == tokens.size();
+    write_block(bw, plan);
+    tok += ntok;
+    raw_off += raw_len;
+  } while (tok < tokens.size());
+  // Note: empty input falls through the loop once with zero tokens and
+  // emits a single final block containing only the end-of-block symbol.
+  return bw.take();
+}
+
+}  // namespace compress

@@ -1,0 +1,52 @@
+// DEFLATE (RFC 1951) encoder: stored, fixed-Huffman and dynamic-Huffman
+// blocks, choosing the cheapest per block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/lz77.hpp"
+
+namespace compress {
+
+/// Compresses `data` into a raw DEFLATE stream.
+[[nodiscard]] std::vector<std::uint8_t> deflate_compress(
+    std::span<const std::uint8_t> data, const Lz77Params& params = {});
+
+/// DEFLATE symbol tables shared by the encoder and the decoder.
+namespace detail {
+
+struct LengthCode {
+  int code;        // 257..285
+  int extra_bits;
+  int base;
+};
+struct DistCode {
+  int code;        // 0..29
+  int extra_bits;
+  int base;
+};
+
+/// Maps a match length 3..258 to its length code.
+[[nodiscard]] LengthCode length_code(int length);
+/// Maps a distance 1..32768 to its distance code.
+[[nodiscard]] DistCode dist_code(int distance);
+
+/// Base/extra tables indexed by (code - 257) and code respectively.
+[[nodiscard]] std::span<const int> length_bases();
+[[nodiscard]] std::span<const int> length_extras();
+[[nodiscard]] std::span<const int> dist_bases();
+[[nodiscard]] std::span<const int> dist_extras();
+
+/// Fixed-Huffman code lengths (RFC 1951 §3.2.6).
+[[nodiscard]] std::vector<std::uint8_t> fixed_litlen_lengths();
+[[nodiscard]] std::vector<std::uint8_t> fixed_dist_lengths();
+
+/// Order of code-length-code lengths in the dynamic header (§3.2.7).
+inline constexpr int kClcOrder[19] = {16, 17, 18, 0, 8, 7,  9, 6, 10, 5,
+                                      11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+}  // namespace detail
+
+}  // namespace compress

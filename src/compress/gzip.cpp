@@ -1,0 +1,133 @@
+#include "compress/gzip.hpp"
+
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+#include "compress/crc32.hpp"
+#include "compress/deflate.hpp"
+#include "compress/inflate.hpp"
+
+namespace compress {
+namespace {
+
+constexpr std::uint8_t kMagic1 = 0x1F;
+constexpr std::uint8_t kMagic2 = 0x8B;
+constexpr std::uint8_t kMethodDeflate = 8;
+constexpr std::uint8_t kOsUnix = 3;
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint32_t>(d[off]) |
+         (static_cast<std::uint32_t>(d[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(d[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(d[off + 3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> gzip_wrap(std::span<const std::uint8_t> deflated,
+                                    std::uint32_t crc,
+                                    std::uint32_t uncompressed_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(deflated.size() + 18);
+  // 10-byte header: magic, CM, FLG, MTIME(4)=0 (reproducible output),
+  // XFL, OS.
+  // (push_back rather than a range insert: GCC 12's -Wstringop-overflow
+  // false-positives on small constant-range vector inserts.)
+  const std::uint8_t header[10] = {kMagic1, kMagic2, kMethodDeflate, 0, 0,
+                                   0,       0,       0,              0, kOsUnix};
+  for (const std::uint8_t b : header) out.push_back(b);
+  out.insert(out.end(), deflated.begin(), deflated.end());
+  put_u32le(out, crc);
+  put_u32le(out, uncompressed_size);
+  return out;
+}
+
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> data,
+                                        const Lz77Params& params) {
+  return gzip_wrap(deflate_compress(data, params), crc32(data),
+                   static_cast<std::uint32_t>(data.size()));
+}
+
+std::vector<std::uint8_t> gzip_decompress(
+    std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  std::size_t off = 0;
+  if (data.empty()) throw std::runtime_error("empty gzip stream");
+
+  while (off < data.size()) {
+    if (data.size() - off < 18)
+      throw std::runtime_error("truncated gzip member");
+    if (data[off] != kMagic1 || data[off + 1] != kMagic2)
+      throw std::runtime_error("bad gzip magic");
+    if (data[off + 2] != kMethodDeflate)
+      throw std::runtime_error("unsupported gzip method");
+    const std::uint8_t flg = data[off + 3];
+    std::size_t hdr = off + 10;
+
+    // Optional header fields (FEXTRA/FNAME/FCOMMENT/FHCRC).
+    if (flg & 0x04) {  // FEXTRA
+      if (hdr + 2 > data.size()) throw std::runtime_error("truncated FEXTRA");
+      const std::size_t xlen = data[hdr] | (data[hdr + 1] << 8);
+      hdr += 2 + xlen;
+    }
+    auto skip_zstring = [&] {
+      while (hdr < data.size() && data[hdr] != 0) ++hdr;
+      if (hdr >= data.size()) throw std::runtime_error("unterminated string");
+      ++hdr;
+    };
+    if (flg & 0x08) skip_zstring();  // FNAME
+    if (flg & 0x10) skip_zstring();  // FCOMMENT
+    if (flg & 0x02) hdr += 2;        // FHCRC
+    if (hdr >= data.size()) throw std::runtime_error("truncated gzip header");
+
+    BitReader br(data.subspan(hdr));
+    const std::size_t before = out.size();
+    inflate_stream(br, out);
+    br.align_to_byte();
+    const std::size_t trailer = hdr + br.bytes_consumed();
+    if (trailer + 8 > data.size())
+      throw std::runtime_error("missing gzip trailer");
+
+    const std::uint32_t want_crc = get_u32le(data, trailer);
+    const std::uint32_t want_size = get_u32le(data, trailer + 4);
+    const std::span<const std::uint8_t> member{out.data() + before,
+                                               out.size() - before};
+    if (crc32(member) != want_crc)
+      throw std::runtime_error("gzip CRC mismatch");
+    if (static_cast<std::uint32_t>(member.size()) != want_size)
+      throw std::runtime_error("gzip ISIZE mismatch");
+
+    off = trailer + 8;
+  }
+  return out;
+}
+
+std::size_t gzip_member_count(std::span<const std::uint8_t> data) {
+  std::size_t members = 0;
+  std::size_t off = 0;
+  while (off + 18 <= data.size() && data[off] == kMagic1 &&
+         data[off + 1] == kMagic2) {
+    // Count by decoding: robust against compressed payloads that happen to
+    // contain the magic bytes.
+    BitReader br(data.subspan(off + 10));
+    std::vector<std::uint8_t> sink;
+    try {
+      inflate_stream(br, sink);
+    } catch (const std::exception&) {
+      return members;
+    }
+    br.align_to_byte();
+    off += 10 + br.bytes_consumed() + 8;
+    ++members;
+  }
+  return members;
+}
+
+}  // namespace compress

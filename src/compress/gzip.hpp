@@ -1,0 +1,34 @@
+// gzip container (RFC 1952): member framing over raw DEFLATE, including
+// the multi-member concatenation that parallel compressors (the paper's
+// agzip, pigz) rely on for GZip-compatible output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/lz77.hpp"
+
+namespace compress {
+
+/// Compresses `data` into a single gzip member.
+[[nodiscard]] std::vector<std::uint8_t> gzip_compress(
+    std::span<const std::uint8_t> data, const Lz77Params& params = {});
+
+/// Decompresses one or more concatenated gzip members (gunzip semantics).
+/// Throws std::runtime_error on framing/CRC/size mismatches.
+[[nodiscard]] std::vector<std::uint8_t> gzip_decompress(
+    std::span<const std::uint8_t> data);
+
+/// Frames an already-deflated payload as a gzip member, given the CRC and
+/// size of the *uncompressed* bytes. This is what lets the parallel
+/// compressor deflate chunks independently and emit members sequentially.
+[[nodiscard]] std::vector<std::uint8_t> gzip_wrap(
+    std::span<const std::uint8_t> deflated, std::uint32_t crc,
+    std::uint32_t uncompressed_size);
+
+/// Number of gzip members in `data` (0 if not a gzip stream).
+[[nodiscard]] std::size_t gzip_member_count(
+    std::span<const std::uint8_t> data);
+
+}  // namespace compress

@@ -1,0 +1,197 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace compress {
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int index;  // < nsym: leaf; else internal
+};
+
+struct NodeGreater {
+  bool operator()(const Node& a, const Node& b) const {
+    // Tie-break on index for determinism.
+    return a.freq != b.freq ? a.freq > b.freq : a.index > b.index;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint32_t> freqs, int max_length) {
+  const int nsym = static_cast<int>(freqs.size());
+  std::vector<std::uint8_t> lengths(static_cast<std::size_t>(nsym), 0);
+
+  std::vector<int> used;
+  for (int i = 0; i < nsym; ++i)
+    if (freqs[static_cast<std::size_t>(i)] > 0) used.push_back(i);
+
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    // DEFLATE requires at least a 1-bit code for a lone symbol.
+    lengths[static_cast<std::size_t>(used[0])] = 1;
+    return lengths;
+  }
+
+  // Standard Huffman construction.
+  std::priority_queue<Node, std::vector<Node>, NodeGreater> heap;
+  int next_internal = nsym;
+  std::vector<std::pair<int, int>> internal_children;  // by internal id - nsym
+  for (const int s : used)
+    heap.push({freqs[static_cast<std::size_t>(s)], s});
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    internal_children.emplace_back(a.index, b.index);
+    heap.push({a.freq + b.freq, next_internal});
+    ++next_internal;
+  }
+
+  // Depth-first walk assigning *clamp-propagated* depths, as zlib's
+  // gen_bitlen does: a child of a node at the limit stays at the limit and
+  // counts one overflow unit. With this metric every overflow node's Kraft
+  // excess is at most 2^-(limit+1), which is what makes the repair loop
+  // below (two overflow units per freed slot) sufficient.
+  const int limit = max_length;
+  int overflow = 0;
+  struct Item {
+    int id;
+    int depth;  // clamped depth of this node
+  };
+  std::vector<Item> stack{{next_internal - 1, 0}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    if (it.id < nsym) {
+      lengths[static_cast<std::size_t>(it.id)] =
+          static_cast<std::uint8_t>(std::max(it.depth, 1));
+      continue;
+    }
+    int child_depth = it.depth + 1;
+    if (child_depth > limit) {
+      child_depth = limit;
+      overflow += 2;  // both children exceed
+    }
+    const auto& [l, r] = internal_children[static_cast<std::size_t>(it.id - nsym)];
+    stack.push_back({l, child_depth});
+    stack.push_back({r, child_depth});
+  }
+
+  std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(max_length) + 1, 0);
+  for (const int s : used) ++bl_count[lengths[static_cast<std::size_t>(s)]];
+  // `overflow` codes were clamped, breaking Kraft equality; repair as zlib
+  // does: demote one leaf from the deepest non-full level and adopt one
+  // clamped code as its sibling, restoring two units of Kraft budget.
+  while (overflow > 0) {
+    int bits = max_length - 1;
+    while (bits > 0 && bl_count[static_cast<std::size_t>(bits)] == 0) --bits;
+    if (bits == 0) throw std::logic_error("huffman length repair failed");
+    --bl_count[static_cast<std::size_t>(bits)];
+    bl_count[static_cast<std::size_t>(bits) + 1] += 2;
+    --bl_count[static_cast<std::size_t>(limit)];
+    overflow -= 2;
+  }
+
+  // Reassign lengths canonically: sort used symbols by (old length, freq)
+  // and deal out the per-length counts.
+  std::sort(used.begin(), used.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return freqs[static_cast<std::size_t>(a)] > freqs[static_cast<std::size_t>(b)];
+  });
+  std::size_t idx = 0;
+  for (int len = 1; len <= max_length; ++len) {
+    for (std::uint32_t k = 0; k < bl_count[static_cast<std::size_t>(len)]; ++k) {
+      lengths[static_cast<std::size_t>(used[idx])] =
+          static_cast<std::uint8_t>(len);
+      ++idx;
+    }
+  }
+  if (idx != used.size()) throw std::logic_error("huffman length accounting");
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  int max_len = 0;
+  for (const auto l : lengths) max_len = std::max(max_len, static_cast<int>(l));
+  std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(max_len) + 1, 0);
+  for (const auto l : lengths)
+    if (l > 0) ++bl_count[l];
+
+  std::vector<std::uint32_t> next_code(static_cast<std::size_t>(max_len) + 1, 0);
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= max_len; ++bits) {
+    code = (code + bl_count[static_cast<std::size_t>(bits) - 1]) << 1;
+    next_code[static_cast<std::size_t>(bits)] = code;
+  }
+
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t i = 0; i < lengths.size(); ++i)
+    if (lengths[i] > 0) codes[i] = next_code[lengths[i]]++;
+  return codes;
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (const auto l : lengths)
+    max_length_ = std::max(max_length_, static_cast<int>(l));
+  if (max_length_ == 0) throw std::runtime_error("empty huffman code");
+
+  count_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  for (const auto l : lengths)
+    if (l > 0) ++count_[l];
+
+  // Kraft inequality check: an over-subscribed code is invalid.
+  std::uint64_t kraft = 0;
+  for (int l = 1; l <= max_length_; ++l)
+    kraft += static_cast<std::uint64_t>(count_[static_cast<std::size_t>(l)])
+             << (max_length_ - l);
+  if (kraft > (1ull << max_length_))
+    throw std::runtime_error("over-subscribed huffman code");
+
+  first_code_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  first_index_.assign(static_cast<std::size_t>(max_length_) + 1, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int l = 1; l <= max_length_; ++l) {
+    code = (code + count_[static_cast<std::size_t>(l) - 1]) << 1;
+    first_code_[static_cast<std::size_t>(l)] = code;
+    first_index_[static_cast<std::size_t>(l)] = index;
+    index += count_[static_cast<std::size_t>(l)];
+  }
+
+  symbols_.reserve(index);
+  for (int l = 1; l <= max_length_; ++l)
+    for (std::size_t s = 0; s < lengths.size(); ++s)
+      if (lengths[s] == l) symbols_.push_back(static_cast<int>(s));
+}
+
+int HuffmanDecoder::decode(BitReader& reader) const {
+  std::uint32_t code = 0;
+  std::uint32_t first = 0;
+  std::uint32_t index = 0;
+  for (int l = 1; l <= max_length_; ++l) {
+    code |= reader.read_bit();
+    const std::uint32_t cnt = count_[static_cast<std::size_t>(l)];
+    if (code < first_code_[static_cast<std::size_t>(l)] + cnt &&
+        code >= first_code_[static_cast<std::size_t>(l)]) {
+      const std::uint32_t offset =
+          first_index_[static_cast<std::size_t>(l)] +
+          (code - first_code_[static_cast<std::size_t>(l)]);
+      return symbols_[offset];
+    }
+    code <<= 1;
+    (void)first;
+    (void)index;
+  }
+  throw std::runtime_error("invalid huffman code in stream");
+}
+
+}  // namespace compress

@@ -1,0 +1,44 @@
+// Canonical Huffman coding, length-limited as DEFLATE requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+
+namespace compress {
+
+/// Computes length-limited code lengths for `freqs` (0-frequency symbols
+/// get length 0). Uses the standard heap construction followed by zlib-style
+/// overflow correction when the tree exceeds `max_length`.
+[[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint32_t> freqs, int max_length);
+
+/// Turns code lengths into canonical codes (RFC 1951 §3.2.2). Entry i is
+/// the code for symbol i, valid for lengths[i] bits, MSB-first semantics.
+[[nodiscard]] std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// Bit-by-bit canonical Huffman decoder table.
+class HuffmanDecoder {
+ public:
+  /// Builds from canonical code lengths. Throws std::runtime_error when
+  /// the lengths are not a valid (sub-)Kraft code.
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decodes one symbol from `reader`.
+  [[nodiscard]] int decode(BitReader& reader) const;
+
+  [[nodiscard]] int max_length() const { return max_length_; }
+
+ private:
+  // first_code_[l], first_index_[l]: canonical decoding bookkeeping.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint32_t> count_;
+  std::vector<int> symbols_;  // symbols ordered by (length, symbol)
+  int max_length_ = 0;
+};
+
+}  // namespace compress

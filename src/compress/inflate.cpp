@@ -1,0 +1,136 @@
+#include "compress/inflate.hpp"
+
+#include <stdexcept>
+
+#include "compress/deflate.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+
+namespace compress {
+namespace {
+
+void inflate_block_payload(BitReader& br, const HuffmanDecoder& lit,
+                           const HuffmanDecoder* dist,
+                           std::vector<std::uint8_t>& out) {
+  const auto len_base = detail::length_bases();
+  const auto len_extra = detail::length_extras();
+  const auto dist_base = detail::dist_bases();
+  const auto dist_extra = detail::dist_extras();
+
+  for (;;) {
+    const int sym = lit.decode(br);
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    if (sym == 256) return;  // end of block
+    if (sym > 285) throw std::runtime_error("invalid length symbol");
+    const int li = sym - 257;
+    const int length =
+        len_base[static_cast<std::size_t>(li)] +
+        static_cast<int>(br.read_bits(len_extra[static_cast<std::size_t>(li)]));
+
+    if (dist == nullptr)
+      throw std::runtime_error("match in a block without distance codes");
+    const int dsym = dist->decode(br);
+    if (dsym > 29) throw std::runtime_error("invalid distance symbol");
+    const int distance =
+        dist_base[static_cast<std::size_t>(dsym)] +
+        static_cast<int>(
+            br.read_bits(dist_extra[static_cast<std::size_t>(dsym)]));
+
+    if (distance <= 0 || static_cast<std::size_t>(distance) > out.size())
+      throw std::runtime_error("distance before stream start");
+    std::size_t from = out.size() - static_cast<std::size_t>(distance);
+    for (int k = 0; k < length; ++k)
+      out.push_back(out[from + static_cast<std::size_t>(k)]);
+  }
+}
+
+}  // namespace
+
+void inflate_stream(BitReader& br, std::vector<std::uint8_t>& out) {
+  for (;;) {
+    const bool final = br.read_bit() != 0;
+    const std::uint32_t btype = br.read_bits(2);
+
+    if (btype == 0) {  // stored
+      br.align_to_byte();
+      const std::uint32_t len = br.read_bits(16);
+      const std::uint32_t nlen = br.read_bits(16);
+      if ((len ^ nlen) != 0xFFFFu)
+        throw std::runtime_error("stored block LEN/NLEN mismatch");
+      const std::size_t old = out.size();
+      out.resize(old + len);
+      br.read_bytes(out.data() + old, len);
+    } else if (btype == 1) {  // fixed
+      const HuffmanDecoder lit(detail::fixed_litlen_lengths());
+      const HuffmanDecoder dist(detail::fixed_dist_lengths());
+      inflate_block_payload(br, lit, &dist, out);
+    } else if (btype == 2) {  // dynamic
+      const int nlit = static_cast<int>(br.read_bits(5)) + 257;
+      const int ndist = static_cast<int>(br.read_bits(5)) + 1;
+      const int nclc = static_cast<int>(br.read_bits(4)) + 4;
+      if (nlit > 286 || ndist > 30)
+        throw std::runtime_error("dynamic header counts out of range");
+
+      std::vector<std::uint8_t> clc_len(19, 0);
+      for (int i = 0; i < nclc; ++i)
+        clc_len[static_cast<std::size_t>(detail::kClcOrder[i])] =
+            static_cast<std::uint8_t>(br.read_bits(3));
+      const HuffmanDecoder clc(clc_len);
+
+      std::vector<std::uint8_t> lengths;
+      lengths.reserve(static_cast<std::size_t>(nlit + ndist));
+      while (static_cast<int>(lengths.size()) < nlit + ndist) {
+        const int sym = clc.decode(br);
+        if (sym < 16) {
+          lengths.push_back(static_cast<std::uint8_t>(sym));
+        } else if (sym == 16) {
+          if (lengths.empty())
+            throw std::runtime_error("repeat with no previous length");
+          const int n = 3 + static_cast<int>(br.read_bits(2));
+          lengths.insert(lengths.end(), static_cast<std::size_t>(n),
+                         lengths.back());
+        } else if (sym == 17) {
+          const int n = 3 + static_cast<int>(br.read_bits(3));
+          lengths.insert(lengths.end(), static_cast<std::size_t>(n), 0);
+        } else {
+          const int n = 11 + static_cast<int>(br.read_bits(7));
+          lengths.insert(lengths.end(), static_cast<std::size_t>(n), 0);
+        }
+      }
+      if (static_cast<int>(lengths.size()) != nlit + ndist)
+        throw std::runtime_error("code length overrun");
+
+      const std::span<const std::uint8_t> all{lengths};
+      const HuffmanDecoder lit(all.subspan(0, static_cast<std::size_t>(nlit)));
+      // A block may legitimately have no distance codes (all lengths 0).
+      bool has_dist = false;
+      for (int i = 0; i < ndist; ++i)
+        has_dist |= lengths[static_cast<std::size_t>(nlit + i)] != 0;
+      if (has_dist) {
+        const HuffmanDecoder dist(
+            all.subspan(static_cast<std::size_t>(nlit),
+                        static_cast<std::size_t>(ndist)));
+        inflate_block_payload(br, lit, &dist, out);
+      } else {
+        inflate_block_payload(br, lit, nullptr, out);
+      }
+    } else {
+      throw std::runtime_error("reserved block type 3");
+    }
+
+    if (final) return;
+  }
+}
+
+std::vector<std::uint8_t> inflate_decompress(
+    std::span<const std::uint8_t> data) {
+  BitReader br(data);
+  std::vector<std::uint8_t> out;
+  inflate_stream(br, out);
+  return out;
+}
+
+}  // namespace compress

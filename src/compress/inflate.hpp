@@ -1,0 +1,22 @@
+// DEFLATE decoder (RFC 1951).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+
+namespace compress {
+
+/// Decompresses a raw DEFLATE stream. Throws std::runtime_error on any
+/// malformed input (bad block type, invalid code, distance before start).
+[[nodiscard]] std::vector<std::uint8_t> inflate_decompress(
+    std::span<const std::uint8_t> data);
+
+/// Streaming form: decodes one complete DEFLATE stream from `reader`
+/// (which may then be positioned at trailing data, e.g. a gzip trailer).
+/// Appends to `out`.
+void inflate_stream(BitReader& reader, std::vector<std::uint8_t>& out);
+
+}  // namespace compress

@@ -1,0 +1,139 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace compress {
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash3(std::span<const std::uint8_t> d, std::size_t i) {
+  const std::uint32_t v = static_cast<std::uint32_t>(d[i]) |
+                          (static_cast<std::uint32_t>(d[i + 1]) << 8) |
+                          (static_cast<std::uint32_t>(d[i + 2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+int match_length(std::span<const std::uint8_t> d, std::size_t a,
+                 std::size_t b) {
+  // Compares d[a..] against d[b..] (a < b) up to kMaxMatch / end of input.
+  const std::size_t limit =
+      std::min(static_cast<std::size_t>(kMaxMatch), d.size() - b);
+  std::size_t n = 0;
+  while (n < limit && d[a + n] == d[b + n]) ++n;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+Lz77Params lz77_level(int level) {
+  if (level < 1 || level > 9)
+    throw std::invalid_argument("compression level must be 1..9");
+  // Roughly gzip's configuration ladder: probe depth and the good-enough
+  // threshold grow with the level; lazy matching switches on at level 4.
+  static constexpr int kChain[9] = {4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  static constexpr int kNice[9] = {8, 16, 32, 48, 64, 128, 192, 258, 258};
+  Lz77Params p;
+  p.max_chain = kChain[level - 1];
+  p.nice_length = kNice[level - 1];
+  p.lazy = level >= 4;
+  return p;
+}
+
+std::vector<Token> lz77_tokenize(std::span<const std::uint8_t> data,
+                                 const Lz77Params& params) {
+  std::vector<Token> tokens;
+  const std::size_t n = data.size();
+  tokens.reserve(n / 4 + 16);
+
+  // head[h]: most recent position with hash h (+1; 0 = none).
+  // prev[i % window]: previous position in the same chain.
+  std::vector<std::size_t> head(kHashSize, 0);
+  std::vector<std::size_t> prev(kWindowSize, 0);
+
+  auto insert = [&](std::size_t i) {
+    if (i + kMinMatch > n) return;
+    const std::uint32_t h = hash3(data, i);
+    prev[i % kWindowSize] = head[h];
+    head[h] = i + 1;
+  };
+
+  auto find_match = [&](std::size_t i, int& best_len, int& best_dist) {
+    best_len = 0;
+    best_dist = 0;
+    if (i + kMinMatch > n) return;
+    std::size_t cand_plus1 = head[hash3(data, i)];
+    int chain = params.max_chain;
+    while (cand_plus1 != 0 && chain-- > 0) {
+      const std::size_t cand = cand_plus1 - 1;
+      if (cand >= i || i - cand > kWindowSize) break;
+      const int len = match_length(data, cand, i);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = static_cast<int>(i - cand);
+        if (len >= params.nice_length) break;
+      }
+      cand_plus1 = prev[cand % kWindowSize];
+    }
+    if (best_len < kMinMatch) best_len = 0;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    int len = 0, dist = 0;
+    find_match(i, len, dist);
+
+    if (len > 0 && params.lazy && i + 1 < n) {
+      // Lazy matching: if position i+1 has a strictly better match, emit a
+      // literal now and take the better match next round.
+      insert(i);
+      int len2 = 0, dist2 = 0;
+      find_match(i + 1, len2, dist2);
+      if (len2 > len) {
+        tokens.push_back(Token::lit(data[i]));
+        ++i;
+        continue;  // the i+1 match is rediscovered next iteration
+      }
+      // Keep the match at i; the insert already happened.
+      tokens.push_back(
+          Token::match(static_cast<std::uint16_t>(len),
+                       static_cast<std::uint16_t>(dist)));
+      for (std::size_t k = i + 1; k < i + static_cast<std::size_t>(len); ++k)
+        insert(k);
+      i += static_cast<std::size_t>(len);
+      continue;
+    }
+
+    if (len > 0) {
+      tokens.push_back(Token::match(static_cast<std::uint16_t>(len),
+                                    static_cast<std::uint16_t>(dist)));
+      for (std::size_t k = i; k < i + static_cast<std::size_t>(len); ++k)
+        insert(k);
+      i += static_cast<std::size_t>(len);
+    } else {
+      tokens.push_back(Token::lit(data[i]));
+      insert(i);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lz77_reconstruct(std::span<const Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+      continue;
+    }
+    if (t.distance == 0 || t.distance > out.size())
+      throw std::runtime_error("lz77 distance outside window");
+    std::size_t from = out.size() - t.distance;
+    for (int k = 0; k < t.length; ++k) out.push_back(out[from + static_cast<std::size_t>(k)]);
+  }
+  return out;
+}
+
+}  // namespace compress

@@ -1,0 +1,48 @@
+// LZ77 token stream: hash-chain matcher with optional lazy matching,
+// producing the <literal | (length, distance)> stream DEFLATE encodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compress {
+
+/// One LZ77 token: a literal byte or a back-reference.
+struct Token {
+  bool is_match = false;
+  std::uint8_t literal = 0;   // valid when !is_match
+  std::uint16_t length = 0;   // 3..258, valid when is_match
+  std::uint16_t distance = 0; // 1..32768, valid when is_match
+
+  static Token lit(std::uint8_t b) { return {false, b, 0, 0}; }
+  static Token match(std::uint16_t len, std::uint16_t dist) {
+    return {true, 0, len, dist};
+  }
+};
+
+/// Matcher tuning knobs (defaults roughly correspond to gzip -6).
+struct Lz77Params {
+  int max_chain = 128;   ///< hash-chain probes per position
+  int nice_length = 128; ///< stop searching once a match this long is found
+  bool lazy = true;      ///< defer a match if the next position beats it
+};
+
+inline constexpr int kMinMatch = 3;
+inline constexpr int kMaxMatch = 258;
+inline constexpr int kWindowSize = 32768;
+
+/// gzip-style effort presets: level 1 (fastest) .. 9 (best ratio).
+/// Throws std::invalid_argument outside [1, 9].
+[[nodiscard]] Lz77Params lz77_level(int level);
+
+/// Tokenizes `data`. Deterministic for a given input and parameter set.
+[[nodiscard]] std::vector<Token> lz77_tokenize(
+    std::span<const std::uint8_t> data, const Lz77Params& params = {});
+
+/// Reconstructs the original bytes from a token stream (used by tests and
+/// by inflate's reference checks).
+[[nodiscard]] std::vector<std::uint8_t> lz77_reconstruct(
+    std::span<const Token> tokens);
+
+}  // namespace compress

@@ -1,0 +1,49 @@
+#include "image/convolve.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace image {
+
+void convolve_rows(const Image& src, Image& dst, const Kernel& kernel,
+                   int y0, int y1) {
+  if (dst.width() != src.width() || dst.height() != src.height())
+    throw std::invalid_argument("convolve_rows: dst dimensions mismatch");
+  const int r = kernel.radius();
+  const int w = src.width();
+  for (int y = y0; y < y1; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int acc = 0;
+      for (int ky = -r; ky <= r; ++ky)
+        for (int kx = -r; kx <= r; ++kx)
+          acc += kernel.at(kx + r, ky + r) *
+                 static_cast<int>(src.at_clamped(x + kx, y + ky));
+      const int v = std::clamp(acc / kernel.weight(), 0, 255);
+      dst.set(x, y, static_cast<std::uint8_t>(v));
+    }
+  }
+}
+
+Image convolve(const Image& src, const Kernel& kernel) {
+  Image dst(src.width(), src.height());
+  convolve_rows(src, dst, kernel, 0, src.height());
+  return dst;
+}
+
+std::vector<Band> split_bands(int height, int tasks) {
+  if (height <= 0 || tasks <= 0)
+    throw std::invalid_argument("split_bands: height and tasks must be > 0");
+  if (tasks > height) tasks = height;
+  const int base = height / tasks;
+  std::vector<Band> bands;
+  bands.reserve(static_cast<std::size_t>(tasks));
+  int y = 0;
+  for (int b = 0; b < tasks; ++b) {
+    const int y1 = b == tasks - 1 ? height : y + base;
+    bands.push_back({y, y1});
+    y = y1;
+  }
+  return bands;
+}
+
+}  // namespace image

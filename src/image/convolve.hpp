@@ -1,0 +1,31 @@
+// Convolution engine: sequential whole-image and row-band variants. The
+// band variant is the work unit the paper's ConvoP distributes across
+// tasks ("the image is divided in blocks according to the number of tasks;
+// the last task may receive a few extra rows").
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/kernel.hpp"
+
+namespace image {
+
+/// Convolves rows [y0, y1) of `src` into `dst` (same dimensions). Edge
+/// pixels use clamped sampling; results divide by the mask weight and
+/// clamp to [0, 255], matching the paper's description.
+void convolve_rows(const Image& src, Image& dst, const Kernel& kernel,
+                   int y0, int y1);
+
+/// Whole-image sequential convolution.
+[[nodiscard]] Image convolve(const Image& src, const Kernel& kernel);
+
+/// Row partition: `tasks` bands, the last absorbing the remainder rows
+/// (the exact ConvoP rule).
+struct Band {
+  int y0;
+  int y1;
+};
+[[nodiscard]] std::vector<Band> split_bands(int height, int tasks);
+
+}  // namespace image

@@ -1,0 +1,114 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace image {
+
+namespace {
+std::size_t checked_extent(int width, int height) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("image dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+}  // namespace
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      pixels_(checked_extent(width, height), fill) {}
+
+std::uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+void Image::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+namespace {
+/// Reads the next header token, skipping whitespace and '#' comments
+/// (PGM files written by common tools carry comment lines).
+std::string pgm_token(std::istream& in) {
+  std::string token;
+  for (;;) {
+    const int c = in.peek();
+    if (c == EOF) return token;
+    if (c == '#') {
+      std::string comment;
+      std::getline(in, comment);
+      continue;
+    }
+    if (std::isspace(c) != 0) {
+      in.get();
+      continue;
+    }
+    in >> token;
+    return token;
+  }
+}
+}  // namespace
+
+Image Image::read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  if (pgm_token(in) != "P5")
+    throw std::runtime_error("not a binary PGM: " + path);
+  int w = 0, h = 0, maxval = 0;
+  try {
+    w = std::stoi(pgm_token(in));
+    h = std::stoi(pgm_token(in));
+    maxval = std::stoi(pgm_token(in));
+  } catch (const std::exception&) {
+    throw std::runtime_error("unsupported PGM header in " + path);
+  }
+  if (!in || w <= 0 || h <= 0 || maxval != 255)
+    throw std::runtime_error("unsupported PGM header in " + path);
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  in.read(reinterpret_cast<char*>(img.data().data()),
+          static_cast<std::streamsize>(img.data().size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.data().size()))
+    throw std::runtime_error("truncated PGM payload in " + path);
+  return img;
+}
+
+Image make_test_image(int width, int height, std::uint32_t seed) {
+  Image img(width, height);
+  std::uint32_t state = seed ? seed : 1;
+  auto rnd = [&state] {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  };
+  const int cx = width / 3;
+  const int cy = height / 3;
+  const int r2 = (width / 5) * (width / 5);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Diagonal gradient base.
+      int v = (x * 255 / std::max(width - 1, 1) +
+               y * 255 / std::max(height - 1, 1)) /
+              2;
+      // A bright circle.
+      const int dx = x - cx, dy = y - cy;
+      if (dx * dx + dy * dy < r2) v = std::min(255, v + 90);
+      // Horizontal noise bands every 16 rows.
+      if ((y / 16) % 2 == 0) v = std::clamp(v + static_cast<int>(rnd() % 31) - 15, 0, 255);
+      img.set(x, y, static_cast<std::uint8_t>(v));
+    }
+  }
+  return img;
+}
+
+}  // namespace image

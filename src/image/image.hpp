@@ -1,0 +1,55 @@
+// Grayscale image container with PGM I/O and procedural test patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace image {
+
+/// 8-bit grayscale image, row-major, (0,0) top-left.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x)] = v;
+  }
+
+  /// Clamped access: coordinates outside the image read the nearest edge
+  /// pixel (the border policy of the convolution engine).
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    return pixels_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>& data() { return pixels_; }
+
+  bool operator==(const Image& o) const = default;
+
+  /// Binary PGM (P5) I/O. Throws std::runtime_error on malformed files.
+  void write_pgm(const std::string& path) const;
+  static Image read_pgm(const std::string& path);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Deterministic synthetic test image (gradients + circles + noise bands):
+/// structured enough that filters have visible, checkable effects.
+[[nodiscard]] Image make_test_image(int width, int height,
+                                    std::uint32_t seed = 1);
+
+}  // namespace image

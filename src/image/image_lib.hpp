@@ -1,0 +1,6 @@
+// Umbrella header for the image substrate.
+#pragma once
+
+#include "image/convolve.hpp"  // IWYU pragma: export
+#include "image/image.hpp"     // IWYU pragma: export
+#include "image/kernel.hpp"    // IWYU pragma: export

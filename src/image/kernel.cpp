@@ -1,0 +1,48 @@
+#include "image/kernel.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace image {
+
+Kernel::Kernel(int size, std::vector<int> coeffs)
+    : size_(size), coeffs_(std::move(coeffs)) {
+  if (size <= 0 || size % 2 == 0)
+    throw std::invalid_argument("kernel size must be odd and positive");
+  if (coeffs_.size() != static_cast<std::size_t>(size) * static_cast<std::size_t>(size))
+    throw std::invalid_argument("kernel coefficient count mismatch");
+  weight_ = std::accumulate(coeffs_.begin(), coeffs_.end(), 0);
+}
+
+Kernel Kernel::box3() { return Kernel(3, {1, 1, 1, 1, 1, 1, 1, 1, 1}); }
+
+Kernel Kernel::gaussian3() { return Kernel(3, {1, 2, 1, 2, 4, 2, 1, 2, 1}); }
+
+Kernel Kernel::gaussian5() {
+  return Kernel(5, {1, 4,  6,  4,  1,  4, 16, 24, 16, 4, 6, 24, 36,
+                    24, 6, 4, 16, 24, 16, 4,  1,  4,  6, 4, 1});
+}
+
+Kernel Kernel::sharpen3() { return Kernel(3, {0, -1, 0, -1, 9, -1, 0, -1, 0}); }
+
+Kernel Kernel::sobel_x() { return Kernel(3, {-1, 0, 1, -2, 0, 2, -1, 0, 1}); }
+
+Kernel Kernel::sobel_y() { return Kernel(3, {-1, -2, -1, 0, 0, 0, 1, 2, 1}); }
+
+Kernel Kernel::emboss3() { return Kernel(3, {-2, -1, 0, -1, 1, 1, 0, 1, 2}); }
+
+Kernel Kernel::identity3() { return Kernel(3, {0, 0, 0, 0, 1, 0, 0, 0, 0}); }
+
+Kernel Kernel::by_name(const std::string& name) {
+  if (name == "box3") return box3();
+  if (name == "gaussian3") return gaussian3();
+  if (name == "gaussian5") return gaussian5();
+  if (name == "sharpen3") return sharpen3();
+  if (name == "sobel_x") return sobel_x();
+  if (name == "sobel_y") return sobel_y();
+  if (name == "emboss3") return emboss3();
+  if (name == "identity3") return identity3();
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+}  // namespace image

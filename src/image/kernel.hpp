@@ -1,0 +1,46 @@
+// Convolution kernels ("masks"). The paper's ConvoP divides each product
+// by the mask weight (the sum of all elements), so kernels carry integer
+// coefficients plus that normalization rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace image {
+
+/// Square odd-sized integer kernel.
+class Kernel {
+ public:
+  Kernel(int size, std::vector<int> coeffs);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int radius() const { return size_ / 2; }
+  [[nodiscard]] int at(int kx, int ky) const {
+    return coeffs_[static_cast<std::size_t>(ky) * static_cast<std::size_t>(size_) +
+                   static_cast<std::size_t>(kx)];
+  }
+
+  /// The paper's "peso da mascara": sum of all coefficients; a zero-sum
+  /// kernel (edge detectors) normalizes by 1 instead.
+  [[nodiscard]] int weight() const { return weight_ == 0 ? 1 : weight_; }
+
+  // Standard kernels.
+  static Kernel box3();       ///< 3x3 mean blur
+  static Kernel gaussian3();  ///< 3x3 binomial approximation
+  static Kernel gaussian5();  ///< 5x5 binomial approximation
+  static Kernel sharpen3();   ///< 3x3 sharpen
+  static Kernel sobel_x();    ///< 3x3 horizontal gradient (zero-sum)
+  static Kernel sobel_y();    ///< 3x3 vertical gradient (zero-sum)
+  static Kernel emboss3();    ///< 3x3 emboss
+  static Kernel identity3();  ///< 3x3 identity
+
+  /// Lookup by name ("box3", "gaussian5", ...). Throws on unknown names.
+  static Kernel by_name(const std::string& name);
+
+ private:
+  int size_;
+  int weight_;
+  std::vector<int> coeffs_;
+};
+
+}  // namespace image

@@ -1,0 +1,30 @@
+#include "raytracer/camera.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace raytracer {
+
+Camera::Camera(const Vec3& look_from, const Vec3& look_at, const Vec3& up,
+               double vfov_degrees, double aspect) {
+  const double theta = vfov_degrees * std::numbers::pi / 180.0;
+  const double half_height = std::tan(theta / 2.0);
+  const double half_width = aspect * half_height;
+
+  origin_ = look_from;
+  const Vec3 w = (look_from - look_at).normalized();
+  const Vec3 u = up.cross(w).normalized();
+  const Vec3 v = w.cross(u);
+
+  lower_left_ = origin_ - u * half_width - v * half_height - w;
+  horizontal_ = u * (2.0 * half_width);
+  vertical_ = v * (2.0 * half_height);
+}
+
+Ray Camera::ray_at(double u, double v) const {
+  const Vec3 dir =
+      (lower_left_ + horizontal_ * u + vertical_ * v - origin_).normalized();
+  return Ray{origin_, dir};
+}
+
+}  // namespace raytracer

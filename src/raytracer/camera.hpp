@@ -1,0 +1,26 @@
+// Pinhole camera generating primary rays for an image plane.
+#pragma once
+
+#include "raytracer/ray.hpp"
+
+namespace raytracer {
+
+class Camera {
+ public:
+  /// `look_from` -> `look_at`, vertical field of view in degrees,
+  /// `aspect` = width / height.
+  Camera(const Vec3& look_from, const Vec3& look_at, const Vec3& up,
+         double vfov_degrees, double aspect);
+
+  /// Primary ray through normalized image coordinates (u, v) in [0,1]^2,
+  /// with (0,0) the lower-left corner.
+  [[nodiscard]] Ray ray_at(double u, double v) const;
+
+ private:
+  Vec3 origin_;
+  Vec3 lower_left_;
+  Vec3 horizontal_;
+  Vec3 vertical_;
+};
+
+}  // namespace raytracer

@@ -1,0 +1,52 @@
+#include "raytracer/framebuffer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace raytracer {
+
+namespace {
+std::size_t checked_extent(int width, int height) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("framebuffer dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+}  // namespace
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height), pixels_(checked_extent(width, height)) {}
+
+void Framebuffer::set(int x, int y, const Color& c) {
+  pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = c;
+}
+
+Color Framebuffer::get(int x, int y) const {
+  return pixels_[static_cast<std::size_t>(y) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+std::vector<std::uint8_t> Framebuffer::to_rgb8() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(pixels_.size() * 3);
+  for (const Color& c : pixels_) {
+    const Color q = clamp01(c);
+    out.push_back(static_cast<std::uint8_t>(q.x * 255.0 + 0.5));
+    out.push_back(static_cast<std::uint8_t>(q.y * 255.0 + 0.5));
+    out.push_back(static_cast<std::uint8_t>(q.z * 255.0 + 0.5));
+  }
+  return out;
+}
+
+void Framebuffer::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  const auto rgb = to_rgb8();
+  out.write(reinterpret_cast<const char*>(rgb.data()),
+            static_cast<std::streamsize>(rgb.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace raytracer

@@ -1,0 +1,38 @@
+// RGB framebuffer with PPM (P6) output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raytracer/vec3.hpp"
+
+namespace raytracer {
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  /// Pixel accessors; (0,0) is the top-left corner, rows top to bottom.
+  void set(int x, int y, const Color& c);
+  [[nodiscard]] Color get(int x, int y) const;
+
+  /// 8-bit quantized view of the whole buffer (row-major, RGBRGB...).
+  [[nodiscard]] std::vector<std::uint8_t> to_rgb8() const;
+
+  /// Writes a binary PPM (P6). Throws std::runtime_error on I/O failure.
+  void write_ppm(const std::string& path) const;
+
+  /// Bytewise comparison (for the parallel == sequential determinism test).
+  bool operator==(const Framebuffer& o) const = default;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Color> pixels_;
+};
+
+}  // namespace raytracer

@@ -1,0 +1,15 @@
+// Phong material description.
+#pragma once
+
+#include "raytracer/vec3.hpp"
+
+namespace raytracer {
+
+struct Material {
+  Color diffuse{0.8, 0.8, 0.8};
+  Color specular{0.3, 0.3, 0.3};
+  double shininess = 32.0;
+  double reflectivity = 0.0;  ///< 0 = matte, 1 = perfect mirror
+};
+
+}  // namespace raytracer

@@ -1,0 +1,84 @@
+#include "raytracer/objects.hpp"
+
+#include <cmath>
+
+namespace raytracer {
+
+Hit Sphere::intersect(const Ray& ray) const {
+  const Vec3 oc = ray.origin - center;
+  const double b = oc.dot(ray.direction);
+  const double c = oc.length_squared() - radius * radius;
+  const double disc = b * b - c;
+  if (disc < 0.0) return {};
+  const double sq = std::sqrt(disc);
+  double t = -b - sq;
+  if (t < kEpsilon) t = -b + sq;
+  if (t < kEpsilon) return {};
+  Hit hit;
+  hit.t = t;
+  hit.point = ray.at(t);
+  hit.normal = (hit.point - center) / radius;
+  if (hit.normal.dot(ray.direction) > 0.0) hit.normal = -hit.normal;
+  hit.material = material;
+  return hit;
+}
+
+Hit Plane::intersect(const Ray& ray) const {
+  const double denom = normal.dot(ray.direction);
+  if (std::abs(denom) < kEpsilon) return {};
+  const double t = (point - ray.origin).dot(normal) / denom;
+  if (t < kEpsilon) return {};
+  Hit hit;
+  hit.t = t;
+  hit.point = ray.at(t);
+  hit.normal = denom < 0.0 ? normal : -normal;
+  hit.material = material;
+  return hit;
+}
+
+Hit Triangle::intersect(const Ray& ray) const {
+  const Vec3 e1 = b - a;
+  const Vec3 e2 = c - a;
+  const Vec3 p = ray.direction.cross(e2);
+  const double det = e1.dot(p);
+  if (std::abs(det) < kEpsilon) return {};
+  const double inv_det = 1.0 / det;
+  const Vec3 tv = ray.origin - a;
+  const double u = tv.dot(p) * inv_det;
+  if (u < 0.0 || u > 1.0) return {};
+  const Vec3 q = tv.cross(e1);
+  const double v = ray.direction.dot(q) * inv_det;
+  if (v < 0.0 || u + v > 1.0) return {};
+  const double t = e2.dot(q) * inv_det;
+  if (t < kEpsilon) return {};
+  Hit hit;
+  hit.t = t;
+  hit.point = ray.at(t);
+  Vec3 n = e1.cross(e2).normalized();
+  if (n.dot(ray.direction) > 0.0) n = -n;
+  hit.normal = n;
+  hit.material = material;
+  return hit;
+}
+
+Hit closest_hit(const std::vector<Object>& objects, const Ray& ray) {
+  Hit best;
+  for (const Object& obj : objects) {
+    const Hit h = std::visit([&](const auto& o) { return o.intersect(ray); },
+                             obj);
+    if (h.ok() && (!best.ok() || h.t < best.t)) best = h;
+  }
+  return best;
+}
+
+bool occluded(const std::vector<Object>& objects, const Ray& ray,
+              double max_t) {
+  for (const Object& obj : objects) {
+    const Hit h = std::visit([&](const auto& o) { return o.intersect(ray); },
+                             obj);
+    if (h.ok() && h.t < max_t) return true;
+  }
+  return false;
+}
+
+}  // namespace raytracer

@@ -1,0 +1,47 @@
+// Geometric primitives: sphere, plane, triangle.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "raytracer/ray.hpp"
+
+namespace raytracer {
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  int material = 0;
+
+  [[nodiscard]] Hit intersect(const Ray& ray) const;
+};
+
+/// Infinite plane through `point` with unit normal `normal`.
+struct Plane {
+  Vec3 point;
+  Vec3 normal;
+  int material = 0;
+
+  [[nodiscard]] Hit intersect(const Ray& ray) const;
+};
+
+/// Single-sided triangle (Moller-Trumbore intersection).
+struct Triangle {
+  Vec3 a, b, c;
+  int material = 0;
+
+  [[nodiscard]] Hit intersect(const Ray& ray) const;
+};
+
+using Object = std::variant<Sphere, Plane, Triangle>;
+
+/// Closest-hit query over a heterogeneous object list.
+[[nodiscard]] Hit closest_hit(const std::vector<Object>& objects,
+                              const Ray& ray);
+
+/// Any-hit query up to distance `max_t` (shadow rays).
+[[nodiscard]] bool occluded(const std::vector<Object>& objects, const Ray& ray,
+                            double max_t);
+
+}  // namespace raytracer

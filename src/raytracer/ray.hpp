@@ -1,0 +1,30 @@
+// Ray type and the hit record produced by intersections.
+#pragma once
+
+#include "raytracer/vec3.hpp"
+
+namespace raytracer {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  ///< expected normalized
+
+  [[nodiscard]] constexpr Vec3 at(double t) const {
+    return origin + direction * t;
+  }
+};
+
+/// Material index into the scene's material table; -1 means "no hit".
+struct Hit {
+  double t = -1.0;
+  Vec3 point;
+  Vec3 normal;  ///< unit, oriented against the ray
+  int material = -1;
+
+  [[nodiscard]] constexpr bool ok() const { return t > 0.0; }
+};
+
+/// Intersections closer than this are ignored (shadow-acne guard).
+inline constexpr double kEpsilon = 1e-6;
+
+}  // namespace raytracer

@@ -1,0 +1,13 @@
+// Umbrella header for the ray-tracing substrate.
+#pragma once
+
+#include "raytracer/camera.hpp"         // IWYU pragma: export
+#include "raytracer/framebuffer.hpp"    // IWYU pragma: export
+#include "raytracer/material.hpp"       // IWYU pragma: export
+#include "raytracer/objects.hpp"        // IWYU pragma: export
+#include "raytracer/ray.hpp"            // IWYU pragma: export
+#include "raytracer/render.hpp"         // IWYU pragma: export
+#include "raytracer/scene.hpp"          // IWYU pragma: export
+#include "raytracer/scene_builder.hpp"  // IWYU pragma: export
+#include "raytracer/scene_file.hpp"     // IWYU pragma: export
+#include "raytracer/vec3.hpp"           // IWYU pragma: export

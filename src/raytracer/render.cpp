@@ -1,0 +1,43 @@
+#include "raytracer/render.hpp"
+
+#include <stdexcept>
+
+namespace raytracer {
+
+void render_rows(const Scene& scene, const Camera& camera, Framebuffer& fb,
+                 int y0, int y1) {
+  const int w = fb.width();
+  const int h = fb.height();
+  for (int y = y0; y < y1; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Pixel centre in [0,1]^2 image coordinates; v flips because the
+      // framebuffer is top-down while the camera plane is bottom-up.
+      const double u = (x + 0.5) / w;
+      const double v = 1.0 - (y + 0.5) / h;
+      fb.set(x, y, shade(scene, camera.ray_at(u, v)));
+    }
+  }
+}
+
+void render(const Scene& scene, const Camera& camera, Framebuffer& fb) {
+  render_rows(scene, camera, fb, 0, fb.height());
+}
+
+std::vector<RowBand> split_rows(int height, int bands) {
+  if (height <= 0 || bands <= 0)
+    throw std::invalid_argument("split_rows: height and bands must be > 0");
+  if (bands > height) bands = height;
+  const int base = height / bands;
+  std::vector<RowBand> out;
+  out.reserve(static_cast<std::size_t>(bands));
+  int y = 0;
+  for (int b = 0; b < bands; ++b) {
+    // The last band absorbs the remainder rows.
+    const int y1 = b == bands - 1 ? height : y + base;
+    out.push_back({y, y1});
+    y = y1;
+  }
+  return out;
+}
+
+}  // namespace raytracer

@@ -1,0 +1,28 @@
+// Row-band rendering: the unit of work the paper's split-compute-merge
+// strategy distributes among tasks.
+#pragma once
+
+#include "raytracer/camera.hpp"
+#include "raytracer/framebuffer.hpp"
+#include "raytracer/scene.hpp"
+
+namespace raytracer {
+
+/// Renders rows [y0, y1) of `fb`. This is the paper's "compute" step; the
+/// caller decides how to split rows among tasks ("split") and the shared
+/// framebuffer is the "merge".
+void render_rows(const Scene& scene, const Camera& camera, Framebuffer& fb,
+                 int y0, int y1);
+
+/// Sequential full-frame render (the paper's Table 1 baseline).
+void render(const Scene& scene, const Camera& camera, Framebuffer& fb);
+
+/// Splits `height` rows into `bands` contiguous [y0, y1) bands. The last
+/// band absorbs the remainder (same rule the paper uses in ConvoP).
+struct RowBand {
+  int y0;
+  int y1;
+};
+[[nodiscard]] std::vector<RowBand> split_rows(int height, int bands);
+
+}  // namespace raytracer

@@ -1,0 +1,41 @@
+#include "raytracer/scene.hpp"
+
+#include <cmath>
+
+namespace raytracer {
+
+Color shade(const Scene& scene, const Ray& ray, int depth) {
+  if (depth >= scene.max_depth) return scene.background;
+  const Hit hit = closest_hit(scene.objects, ray);
+  if (!hit.ok()) return scene.background;
+
+  const Material& mat =
+      scene.materials[static_cast<std::size_t>(hit.material)];
+  Color color = scene.ambient * mat.diffuse;
+
+  for (const PointLight& light : scene.lights) {
+    const Vec3 to_light = light.position - hit.point;
+    const double dist = to_light.length();
+    const Vec3 ldir = to_light / dist;
+
+    const Ray shadow_ray{hit.point + hit.normal * kEpsilon * 10.0, ldir};
+    if (occluded(scene.objects, shadow_ray, dist)) continue;
+
+    const double diff = hit.normal.dot(ldir);
+    if (diff > 0.0) color += light.intensity * mat.diffuse * diff;
+
+    const Vec3 r = reflect(-ldir, hit.normal);
+    const double spec = r.dot(-ray.direction);
+    if (spec > 0.0)
+      color += light.intensity * mat.specular * std::pow(spec, mat.shininess);
+  }
+
+  if (mat.reflectivity > 0.0) {
+    const Ray reflected{hit.point + hit.normal * kEpsilon * 10.0,
+                        reflect(ray.direction, hit.normal).normalized()};
+    color += shade(scene, reflected, depth + 1) * mat.reflectivity;
+  }
+  return clamp01(color);
+}
+
+}  // namespace raytracer

@@ -1,0 +1,29 @@
+// Scene container and the recursive shading function (Phong + shadows +
+// reflections).
+#pragma once
+
+#include <vector>
+
+#include "raytracer/material.hpp"
+#include "raytracer/objects.hpp"
+
+namespace raytracer {
+
+struct PointLight {
+  Vec3 position;
+  Color intensity{1.0, 1.0, 1.0};
+};
+
+struct Scene {
+  std::vector<Object> objects;
+  std::vector<Material> materials;
+  std::vector<PointLight> lights;
+  Color ambient{0.08, 0.08, 0.1};
+  Color background{0.05, 0.05, 0.08};
+  int max_depth = 4;  ///< reflection recursion bound
+};
+
+/// Traces `ray` into `scene` and returns the shaded colour.
+[[nodiscard]] Color shade(const Scene& scene, const Ray& ray, int depth = 0);
+
+}  // namespace raytracer

@@ -1,0 +1,72 @@
+#include "raytracer/scene_builder.hpp"
+
+#include <cstdint>
+
+namespace raytracer {
+namespace {
+
+/// Small deterministic PRNG (xorshift*), so scenes are identical across
+/// platforms and runs: benchmark comparability requires it.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b9u) {}
+  double next() {  // uniform in [0,1)
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return static_cast<double>((state_ * 0x2545F4914F6CDD1DULL) >> 11) /
+           9007199254740992.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+BenchScene build_bench_scene(int complexity, double aspect) {
+  Scene scene;
+
+  scene.materials.push_back({{0.9, 0.3, 0.25}, {0.6, 0.6, 0.6}, 48.0, 0.0});
+  scene.materials.push_back({{0.25, 0.6, 0.9}, {0.5, 0.5, 0.5}, 32.0, 0.0});
+  scene.materials.push_back({{0.3, 0.85, 0.35}, {0.4, 0.4, 0.4}, 24.0, 0.0});
+  scene.materials.push_back({{0.9, 0.85, 0.4}, {0.7, 0.7, 0.7}, 64.0, 0.35});
+  scene.materials.push_back(
+      {{0.6, 0.6, 0.65}, {0.9, 0.9, 0.9}, 128.0, 0.7});  // mirror
+  scene.materials.push_back({{0.55, 0.5, 0.45}, {0.2, 0.2, 0.2}, 8.0, 0.0});
+
+  // Floor.
+  scene.objects.push_back(Plane{{0.0, -1.0, 0.0}, {0.0, 1.0, 0.0}, 5});
+
+  // Sphere field: clustered toward y < 0.8 so lower image rows are much
+  // more expensive than upper ones (irregular per-band load).
+  Rng rng(42);
+  for (int i = 0; i < complexity; ++i) {
+    const double x = (rng.next() - 0.5) * 14.0;
+    const double y = -0.6 + rng.next() * rng.next() * 3.0;
+    const double z = -4.0 - rng.next() * 14.0;
+    const double r = 0.25 + rng.next() * 0.7;
+    const int mat = static_cast<int>(rng.next() * 4.0);
+    scene.objects.push_back(Sphere{{x, y, z}, r, mat});
+  }
+
+  // Two large mirrored spheres and a triangle fan for reflection load.
+  scene.objects.push_back(Sphere{{-2.2, 0.6, -6.0}, 1.6, 4});
+  scene.objects.push_back(Sphere{{2.4, 0.4, -7.5}, 1.4, 4});
+  for (int i = 0; i < 6; ++i) {
+    const double x0 = -3.0 + i;
+    scene.objects.push_back(Triangle{{x0, -1.0, -3.2},
+                                     {x0 + 0.8, -1.0, -3.2},
+                                     {x0 + 0.4, 0.2 + 0.15 * i, -3.6},
+                                     i % 3});
+  }
+
+  scene.lights.push_back({{6.0, 8.0, 2.0}, {0.9, 0.9, 0.85}});
+  scene.lights.push_back({{-5.0, 4.0, 1.0}, {0.35, 0.35, 0.45}});
+
+  const Camera camera({0.0, 1.2, 2.5}, {0.0, 0.2, -6.0}, {0.0, 1.0, 0.0},
+                      55.0, aspect);
+  return BenchScene{std::move(scene), camera};
+}
+
+}  // namespace raytracer

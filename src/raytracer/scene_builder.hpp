@@ -1,0 +1,25 @@
+// Procedural benchmark scenes.
+//
+// The paper renders a fixed object-described scene at 800x800 whose load is
+// *irregular across rows* (rows covering many objects cost more). The
+// builder reproduces that property deterministically: a floor plane, a
+// grid of spheres clustered toward the lower half, a few mirrored spheres
+// and a triangle fan, so different row bands have very different costs.
+#pragma once
+
+#include "raytracer/camera.hpp"
+#include "raytracer/scene.hpp"
+
+namespace raytracer {
+
+struct BenchScene {
+  Scene scene;
+  Camera camera;
+};
+
+/// Deterministic scene with ~`complexity` spheres (default matches a
+/// small-but-irregular workload; the bench binaries scale it).
+[[nodiscard]] BenchScene build_bench_scene(int complexity = 60,
+                                           double aspect = 1.0);
+
+}  // namespace raytracer

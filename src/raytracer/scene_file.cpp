@@ -1,0 +1,177 @@
+#include "raytracer/scene_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace raytracer {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("scene parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+Vec3 read_vec3(std::istringstream& ss, int line, const char* what) {
+  Vec3 v;
+  if (!(ss >> v.x >> v.y >> v.z)) fail(line, std::string("expected vector for ") + what);
+  return v;
+}
+
+double read_num(std::istringstream& ss, int line, const char* what) {
+  double v = 0;
+  if (!(ss >> v)) fail(line, std::string("expected number for ") + what);
+  return v;
+}
+
+int read_material_index(std::istringstream& ss, int line,
+                        std::size_t nmaterials) {
+  double v = read_num(ss, line, "material index");
+  const int idx = static_cast<int>(v);
+  if (idx < 0 || static_cast<std::size_t>(idx) >= nmaterials)
+    fail(line, "material index " + std::to_string(idx) + " out of range");
+  return idx;
+}
+
+}  // namespace
+
+SceneFile parse_scene(std::istream& in) {
+  SceneFile sf;
+  std::string raw;
+  int line = 0;
+  bool camera_seen = false;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ss(raw);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;  // blank / comment line
+
+    if (keyword == "material") {
+      Material m;
+      m.diffuse = read_vec3(ss, line, "diffuse");
+      m.specular = read_vec3(ss, line, "specular");
+      m.shininess = read_num(ss, line, "shininess");
+      m.reflectivity = read_num(ss, line, "reflectivity");
+      if (m.reflectivity < 0.0 || m.reflectivity > 1.0)
+        fail(line, "reflectivity must be in [0,1]");
+      sf.scene.materials.push_back(m);
+    } else if (keyword == "sphere") {
+      Sphere s;
+      s.center = read_vec3(ss, line, "center");
+      s.radius = read_num(ss, line, "radius");
+      if (s.radius <= 0.0) fail(line, "radius must be positive");
+      s.material = read_material_index(ss, line, sf.scene.materials.size());
+      sf.scene.objects.push_back(s);
+    } else if (keyword == "plane") {
+      Plane p;
+      p.point = read_vec3(ss, line, "point");
+      p.normal = read_vec3(ss, line, "normal").normalized();
+      if (p.normal == Vec3{}) fail(line, "normal must be non-zero");
+      p.material = read_material_index(ss, line, sf.scene.materials.size());
+      sf.scene.objects.push_back(p);
+    } else if (keyword == "triangle") {
+      Triangle t;
+      t.a = read_vec3(ss, line, "vertex a");
+      t.b = read_vec3(ss, line, "vertex b");
+      t.c = read_vec3(ss, line, "vertex c");
+      t.material = read_material_index(ss, line, sf.scene.materials.size());
+      sf.scene.objects.push_back(t);
+    } else if (keyword == "light") {
+      PointLight l;
+      l.position = read_vec3(ss, line, "position");
+      l.intensity = read_vec3(ss, line, "intensity");
+      sf.scene.lights.push_back(l);
+    } else if (keyword == "ambient") {
+      sf.scene.ambient = read_vec3(ss, line, "ambient");
+    } else if (keyword == "background") {
+      sf.scene.background = read_vec3(ss, line, "background");
+    } else if (keyword == "camera") {
+      sf.cam_from = read_vec3(ss, line, "from");
+      sf.cam_at = read_vec3(ss, line, "at");
+      sf.cam_up = read_vec3(ss, line, "up");
+      sf.cam_vfov = read_num(ss, line, "vfov");
+      if (sf.cam_vfov <= 0.0 || sf.cam_vfov >= 180.0)
+        fail(line, "vfov must be in (0,180)");
+      camera_seen = true;
+    } else if (keyword == "maxdepth") {
+      sf.scene.max_depth = static_cast<int>(read_num(ss, line, "maxdepth"));
+      if (sf.scene.max_depth < 1) fail(line, "maxdepth must be >= 1");
+    } else {
+      fail(line, "unknown keyword '" + keyword + "'");
+    }
+
+    std::string trailing;
+    if (ss >> trailing) fail(line, "trailing tokens: '" + trailing + "'");
+  }
+  (void)camera_seen;  // the default camera is legal
+  return sf;
+}
+
+SceneFile parse_scene_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scene(in);
+}
+
+SceneFile load_scene_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scene file " + path);
+  return parse_scene(in);
+}
+
+std::string scene_to_string(const SceneFile& sf) {
+  std::ostringstream out;
+  auto vec = [&](const Vec3& v) {
+    out << v.x << ' ' << v.y << ' ' << v.z;
+  };
+  for (const Material& m : sf.scene.materials) {
+    out << "material ";
+    vec(m.diffuse);
+    out << ' ';
+    vec(m.specular);
+    out << ' ' << m.shininess << ' ' << m.reflectivity << '\n';
+  }
+  for (const Object& obj : sf.scene.objects) {
+    if (const auto* s = std::get_if<Sphere>(&obj)) {
+      out << "sphere ";
+      vec(s->center);
+      out << ' ' << s->radius << ' ' << s->material << '\n';
+    } else if (const auto* p = std::get_if<Plane>(&obj)) {
+      out << "plane ";
+      vec(p->point);
+      out << ' ';
+      vec(p->normal);
+      out << ' ' << p->material << '\n';
+    } else if (const auto* t = std::get_if<Triangle>(&obj)) {
+      out << "triangle ";
+      vec(t->a);
+      out << ' ';
+      vec(t->b);
+      out << ' ';
+      vec(t->c);
+      out << ' ' << t->material << '\n';
+    }
+  }
+  for (const PointLight& l : sf.scene.lights) {
+    out << "light ";
+    vec(l.position);
+    out << ' ';
+    vec(l.intensity);
+    out << '\n';
+  }
+  out << "ambient ";
+  vec(sf.scene.ambient);
+  out << "\nbackground ";
+  vec(sf.scene.background);
+  out << "\ncamera ";
+  vec(sf.cam_from);
+  out << ' ';
+  vec(sf.cam_at);
+  out << ' ';
+  vec(sf.cam_up);
+  out << ' ' << sf.cam_vfov << "\nmaxdepth " << sf.scene.max_depth << '\n';
+  return out.str();
+}
+
+}  // namespace raytracer

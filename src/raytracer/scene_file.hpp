@@ -1,0 +1,52 @@
+// Text scene description: the paper's Ray-Tracer renders "a scene
+// described through geometric objects"; this parser provides that
+// description format so users can render their own scenes.
+//
+// Line-oriented format ('#' starts a comment):
+//
+//   material <diffuse r g b> <specular r g b> <shininess> <reflectivity>
+//   sphere   <cx cy cz> <radius> <material-index>
+//   plane    <px py pz> <nx ny nz> <material-index>
+//   triangle <ax ay az> <bx by bz> <cx cy cz> <material-index>
+//   light    <x y z> <r g b>
+//   ambient  <r g b>
+//   background <r g b>
+//   camera   <from x y z> <at x y z> <up x y z> <vfov-degrees>
+//   maxdepth <n>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "raytracer/camera.hpp"
+#include "raytracer/scene.hpp"
+
+namespace raytracer {
+
+struct SceneFile {
+  Scene scene;
+  /// Camera parameters (aspect is supplied at render time).
+  Vec3 cam_from{0, 0, 0};
+  Vec3 cam_at{0, 0, -1};
+  Vec3 cam_up{0, 1, 0};
+  double cam_vfov = 60.0;
+
+  [[nodiscard]] Camera camera(double aspect) const {
+    return Camera(cam_from, cam_at, cam_up, cam_vfov, aspect);
+  }
+};
+
+/// Parses a scene description from a stream. Throws std::runtime_error
+/// with a line number on any malformed directive, unknown keyword, or
+/// out-of-range material reference.
+[[nodiscard]] SceneFile parse_scene(std::istream& in);
+
+/// Convenience: parse from a string (tests) or load from a file path.
+[[nodiscard]] SceneFile parse_scene_string(const std::string& text);
+[[nodiscard]] SceneFile load_scene_file(const std::string& path);
+
+/// Serializes a scene back to the text format (round-trip support).
+[[nodiscard]] std::string scene_to_string(const SceneFile& sf);
+
+}  // namespace raytracer

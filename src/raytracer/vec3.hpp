@@ -1,0 +1,69 @@
+// Minimal 3-vector math for the ray tracer.
+#pragma once
+
+#include <cmath>
+
+namespace raytracer {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  /// Component-wise product (used for colour modulation).
+  constexpr Vec3 operator*(const Vec3& o) const {
+    return {x * o.x, y * o.y, z * o.z};
+  }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr double length_squared() const { return dot(*this); }
+  [[nodiscard]] double length() const { return std::sqrt(length_squared()); }
+
+  [[nodiscard]] Vec3 normalized() const {
+    const double len = length();
+    return len > 0.0 ? *this / len : Vec3{};
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Reflects `v` about unit normal `n`.
+[[nodiscard]] constexpr Vec3 reflect(const Vec3& v, const Vec3& n) {
+  return v - n * (2.0 * v.dot(n));
+}
+
+/// Colours are Vec3 in [0,1]^3.
+using Color = Vec3;
+
+/// Clamps each channel to [0,1].
+[[nodiscard]] inline Color clamp01(const Color& c) {
+  auto cl = [](double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); };
+  return {cl(c.x), cl(c.y), cl(c.z)};
+}
+
+}  // namespace raytracer

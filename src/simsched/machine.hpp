@@ -1,0 +1,33 @@
+// Virtual machine model: processor count and overhead constants.
+#pragma once
+
+namespace simsched {
+
+/// Cost model of the simulated host. Defaults are calibrated to a
+/// 2000s-era SMP (the paper's testbeds): they matter only relative to the
+/// task costs of the program being simulated.
+struct MachineModel {
+  int processors = 2;
+
+  /// Relative CPU speed: compute costs are divided by this. Lets a
+  /// simulated machine be clocked differently from the host the costs
+  /// were measured on (the paper's bi-proc Xeon 2.8 GHz vs mono P4
+  /// 1.8 GHz is speed ~1.25-1.55 once IPC differences are folded in).
+  double cpu_speed = 1.0;
+
+  /// OS-level scheduling of kernel threads (round-robin).
+  double quantum = 0.010;              ///< 10 ms timeslice
+  double context_switch_cost = 20e-6;  ///< per dispatch
+
+  /// POSIX-threads model: cost of pthread_create + stack setup, paid by
+  /// the parent, and of pthread_join bookkeeping.
+  double thread_create_cost = 120e-6;
+  double thread_join_cost = 15e-6;
+
+  /// Anahy model: cost of athread_create (list insertion) and of a join
+  /// bookkeeping step; both are user-level and much cheaper than a thread.
+  double task_fork_cost = 2e-6;
+  double task_join_cost = 1e-6;
+};
+
+}  // namespace simsched

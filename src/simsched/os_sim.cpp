@@ -1,0 +1,156 @@
+#include "simsched/os_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace simsched {
+
+OsSim::OsSim(const MachineModel& machine)
+    : machine_(machine),
+      cpu_thread_(static_cast<std::size_t>(machine.processors), -1),
+      cpu_quantum_(static_cast<std::size_t>(machine.processors), 0.0) {
+  if (machine.processors < 1)
+    throw std::invalid_argument("machine needs >= 1 processor");
+  if (machine.quantum <= 0.0)
+    throw std::invalid_argument("quantum must be positive");
+  if (machine.cpu_speed <= 0.0)
+    throw std::invalid_argument("cpu_speed must be positive");
+}
+
+int OsSim::spawn(std::unique_ptr<Agent> agent) {
+  const int tid = static_cast<int>(threads_.size());
+  Thread t;
+  t.agent = std::move(agent);
+  threads_.push_back(std::move(t));
+  runnable_.push_back(tid);
+  ++live_threads_;
+  return tid;
+}
+
+void OsSim::wake(int tid) {
+  Thread& t = threads_[static_cast<std::size_t>(tid)];
+  if (t.state != ThreadState::kBlocked) return;
+  t.state = ThreadState::kRunnable;
+  runnable_.push_back(tid);
+}
+
+double OsSim::busy_time(int tid) const {
+  return threads_[static_cast<std::size_t>(tid)].busy;
+}
+
+bool OsSim::refill(int tid) {
+  for (int guard = 0; guard < 10'000'000; ++guard) {
+    // The agent may call spawn() and reallocate threads_, so never hold a
+    // Thread reference across next(); re-index afterwards.
+    const Action a =
+        threads_[static_cast<std::size_t>(tid)].agent->next(*this);
+    Thread& t = threads_[static_cast<std::size_t>(tid)];
+    switch (a.kind) {
+      case Action::Kind::kCompute:
+        if (a.cost <= 0.0) continue;  // zero-cost op: ask again
+        t.remaining = a.cost / machine_.cpu_speed;
+        t.has_chunk = true;
+        return true;
+      case Action::Kind::kBlock:
+        t.state = ThreadState::kBlocked;
+        t.has_chunk = false;
+        return false;
+      case Action::Kind::kFinish:
+        t.state = ThreadState::kDone;
+        t.has_chunk = false;
+        --live_threads_;
+        return false;
+    }
+  }
+  throw std::runtime_error("agent livelock: 10M zero-cost actions");
+}
+
+void OsSim::dispatch_idle_cpus() {
+  for (std::size_t cpu = 0; cpu < cpu_thread_.size(); ++cpu) {
+    while (cpu_thread_[cpu] == -1 && !runnable_.empty()) {
+      const int tid = runnable_.front();
+      runnable_.pop_front();
+      Thread& t = threads_[static_cast<std::size_t>(tid)];
+      t.state = ThreadState::kRunning;
+      t.overhead_remaining += machine_.context_switch_cost;
+      ++switches_;
+      if (!t.has_chunk && !refill(tid)) {
+        // Blocked or finished instantly; the CPU stays idle, try the next
+        // runnable thread. Any pending switch overhead is dropped: the
+        // thread never actually ran. (refill may reallocate threads_,
+        // so re-index.)
+        threads_[static_cast<std::size_t>(tid)].overhead_remaining = 0.0;
+        continue;
+      }
+      cpu_thread_[cpu] = tid;
+      cpu_quantum_[cpu] = machine_.quantum;
+    }
+  }
+}
+
+void OsSim::run() {
+  constexpr std::uint64_t kMaxEvents = 500'000'000;
+  for (std::uint64_t events = 0; events < kMaxEvents; ++events) {
+    dispatch_idle_cpus();
+
+    bool any_running = false;
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t cpu = 0; cpu < cpu_thread_.size(); ++cpu) {
+      const int tid = cpu_thread_[cpu];
+      if (tid < 0) continue;
+      any_running = true;
+      const Thread& t = threads_[static_cast<std::size_t>(tid)];
+      const double work_left =
+          t.overhead_remaining > 0.0 ? t.overhead_remaining : t.remaining;
+      dt = std::min(dt, std::min(work_left, cpu_quantum_[cpu]));
+    }
+
+    if (!any_running) {
+      if (live_threads_ == 0) return;
+      throw std::runtime_error("simulated deadlock: all live threads blocked");
+    }
+
+    now_ += dt;
+    for (std::size_t cpu = 0; cpu < cpu_thread_.size(); ++cpu) {
+      const int tid = cpu_thread_[cpu];
+      if (tid < 0) continue;
+      Thread& t = threads_[static_cast<std::size_t>(tid)];
+      double left = dt;
+      if (t.overhead_remaining > 0.0) {
+        const double o = std::min(t.overhead_remaining, left);
+        t.overhead_remaining -= o;
+        left -= o;
+      }
+      if (left > 0.0) {
+        t.remaining -= left;
+        t.busy += left;
+      }
+      cpu_quantum_[cpu] -= dt;
+
+      if (t.remaining <= 1e-15 && t.overhead_remaining <= 0.0) {
+        t.has_chunk = false;
+        t.remaining = 0.0;
+        if (!refill(tid)) {
+          cpu_thread_[cpu] = -1;  // blocked or done
+          continue;
+        }
+      }
+      if (cpu_quantum_[cpu] <= 1e-15) {
+        if (runnable_.empty()) {
+          cpu_quantum_[cpu] = machine_.quantum;  // nobody waiting: extend
+        } else {
+          // Preempt, round-robin. (refill above may have reallocated
+          // threads_, so re-index rather than using t.)
+          threads_[static_cast<std::size_t>(tid)].state =
+              ThreadState::kRunnable;
+          runnable_.push_back(tid);
+          cpu_thread_[cpu] = -1;
+        }
+      }
+    }
+  }
+  throw std::runtime_error("simulation exceeded event budget");
+}
+
+}  // namespace simsched

@@ -1,0 +1,99 @@
+// Discrete-event core: kernel threads scheduled round-robin over P
+// processors with a quantum and a context-switch cost. Agents (the Anahy
+// VP model or the one-thread-per-task POSIX model) plug in as callbacks
+// that yield compute chunks, block, or finish.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simsched/machine.hpp"
+
+namespace simsched {
+
+class OsSim;
+
+/// What a thread does next when asked.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCompute,  ///< burn `cost` simulated seconds, then ask again
+    kBlock,    ///< leave the CPU until OsSim::wake()
+    kFinish,   ///< terminate the thread
+  };
+  Kind kind = Kind::kFinish;
+  double cost = 0.0;
+
+  static Action compute(double c) { return {Kind::kCompute, c}; }
+  static Action block() { return {Kind::kBlock, 0.0}; }
+  static Action finish() { return {Kind::kFinish, 0.0}; }
+};
+
+/// A schedulable entity. `next()` is invoked whenever the previous compute
+/// chunk is fully consumed (including at thread start).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual Action next(OsSim& sim) = 0;
+};
+
+class OsSim {
+ public:
+  explicit OsSim(const MachineModel& machine);
+
+  /// Registers a thread; it becomes runnable immediately. Returns its id.
+  int spawn(std::unique_ptr<Agent> agent);
+
+  /// Moves a blocked thread back to the runnable queue. Waking a thread
+  /// that is not blocked is a no-op (wakeups may race benignly).
+  void wake(int tid);
+
+  /// Runs until every thread has finished. Throws std::runtime_error on
+  /// deadlock (blocked threads but nothing runnable) or runaway event
+  /// counts (an agent livelock).
+  void run();
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+
+  /// Total CPU-seconds of useful compute consumed by `tid`.
+  [[nodiscard]] double busy_time(int tid) const;
+  /// Aggregate context switches performed.
+  [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  enum class ThreadState : std::uint8_t {
+    kRunnable,
+    kRunning,
+    kBlocked,
+    kDone,
+  };
+
+  struct Thread {
+    std::unique_ptr<Agent> agent;
+    ThreadState state = ThreadState::kRunnable;
+    double remaining = 0.0;  ///< of the current compute chunk
+    double overhead_remaining = 0.0;  ///< switch cost still to pay
+    double busy = 0.0;
+    bool has_chunk = false;
+  };
+
+  /// Asks `t`'s agent for actions until it produces a compute chunk,
+  /// blocks, or finishes. Returns false when the thread left the CPU.
+  bool refill(int tid);
+
+  void dispatch_idle_cpus();
+
+  const MachineModel machine_;
+  std::vector<Thread> threads_;
+  std::deque<int> runnable_;
+  std::vector<int> cpu_thread_;     ///< running tid per cpu, -1 idle
+  std::vector<double> cpu_quantum_; ///< remaining quantum per cpu
+  double now_ = 0.0;
+  std::uint64_t switches_ = 0;
+  std::size_t live_threads_ = 0;
+};
+
+}  // namespace simsched

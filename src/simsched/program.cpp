@@ -1,0 +1,114 @@
+#include "simsched/program.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace simsched {
+
+double Program::work() const {
+  double total = 0.0;
+  for (const SimTask& t : tasks)
+    for (const Segment& s : t.segments)
+      if (s.kind == Segment::Kind::kCompute) total += s.cost;
+  return total;
+}
+
+double Program::span() const {
+  // f(t): path length from t's start to t's end, accounting for joins.
+  std::vector<double> memo(tasks.size(), -1.0);
+  std::function<double(int)> f = [&](int t) -> double {
+    double& m = memo[static_cast<std::size_t>(t)];
+    if (m >= 0.0) return m;
+    m = 0.0;  // break accidental cycles deterministically
+    std::vector<double> fork_at(tasks.size(), -1.0);
+    double cur = 0.0;
+    for (const Segment& s : tasks[static_cast<std::size_t>(t)].segments) {
+      switch (s.kind) {
+        case Segment::Kind::kCompute:
+          cur += s.cost;
+          break;
+        case Segment::Kind::kFork:
+          fork_at[static_cast<std::size_t>(s.child)] = cur;
+          break;
+        case Segment::Kind::kJoin: {
+          const double start = fork_at[static_cast<std::size_t>(s.child)];
+          if (start >= 0.0) cur = std::max(cur, start + f(s.child));
+          break;
+        }
+      }
+    }
+    m = cur;
+    return m;
+  };
+  return tasks.empty() ? 0.0 : f(0);
+}
+
+void Program::validate() const {
+  if (tasks.empty()) throw std::invalid_argument("empty program");
+  std::vector<int> fork_count(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (const Segment& s : tasks[t].segments) {
+      if (s.kind == Segment::Kind::kCompute) {
+        if (s.cost < 0.0) throw std::invalid_argument("negative cost");
+        continue;
+      }
+      if (s.child < 0 || static_cast<std::size_t>(s.child) >= tasks.size())
+        throw std::invalid_argument("segment child out of range");
+      if (static_cast<std::size_t>(s.child) == t)
+        throw std::invalid_argument("task forks/joins itself");
+      if (s.kind == Segment::Kind::kFork)
+        ++fork_count[static_cast<std::size_t>(s.child)];
+    }
+  }
+  if (fork_count[0] != 0)
+    throw std::invalid_argument("root task must not be forked");
+  for (std::size_t t = 1; t < tasks.size(); ++t)
+    if (fork_count[t] != 1)
+      throw std::invalid_argument("every non-root task needs exactly one fork");
+}
+
+Program make_independent_tasks(const std::vector<double>& costs,
+                               double root_pre, double root_post) {
+  Program p;
+  p.tasks.resize(costs.size() + 1);
+  SimTask& root = p.tasks[0];
+  if (root_pre > 0.0) root.segments.push_back(Segment::compute(root_pre));
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    root.segments.push_back(Segment::fork(static_cast<int>(i) + 1));
+    p.tasks[i + 1].segments.push_back(Segment::compute(costs[i]));
+  }
+  for (std::size_t i = 0; i < costs.size(); ++i)
+    root.segments.push_back(Segment::join(static_cast<int>(i) + 1));
+  if (root_post > 0.0) root.segments.push_back(Segment::compute(root_post));
+  return p;
+}
+
+Program make_fib(int n, double node_cost, double leaf_cost) {
+  Program p;
+  p.tasks.emplace_back();  // root, filled below
+
+  // build(t, k): fills task t with the computation of fib(k).
+  std::function<void(int, int)> build = [&](int t, int k) {
+    auto& segs = p.tasks[static_cast<std::size_t>(t)].segments;
+    if (k < 2) {
+      segs.push_back(Segment::compute(leaf_cost));
+      return;
+    }
+    segs.push_back(Segment::compute(node_cost));
+    const int child = static_cast<int>(p.tasks.size());
+    p.tasks.emplace_back();
+    // Note: p.tasks may reallocate inside build(child,...), so never hold
+    // a reference to segs across that call.
+    p.tasks[static_cast<std::size_t>(t)].segments.push_back(
+        Segment::fork(child));
+    build(child, k - 1);
+    build(t, k - 2);  // inline branch, appended to the same task
+    p.tasks[static_cast<std::size_t>(t)].segments.push_back(
+        Segment::join(child));
+  };
+  build(0, n);
+  return p;
+}
+
+}  // namespace simsched

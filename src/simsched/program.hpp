@@ -1,0 +1,66 @@
+// Cost-annotated task programs for the scheduler simulator.
+//
+// A Program captures the fork/join structure and per-segment CPU costs of
+// an application run; the simulator replays it on a virtual machine with P
+// processors. Builders cover the paper's two graph shapes: independent
+// tasks under one root (Figure 4: Ray-Tracer, agzip, ConvoP) and the
+// recursive Fibonacci tree (Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simsched {
+
+/// One step of a task's execution.
+struct Segment {
+  enum class Kind : std::uint8_t {
+    kCompute,  ///< burn `cost` seconds of CPU
+    kFork,     ///< create task `child` (ready immediately)
+    kJoin,     ///< synchronize with task `child`
+  };
+  Kind kind = Kind::kCompute;
+  double cost = 0.0;  ///< kCompute only
+  int child = -1;     ///< kFork / kJoin only
+
+  static Segment compute(double c) {
+    return {Kind::kCompute, c, -1};
+  }
+  static Segment fork(int child) { return {Kind::kFork, 0.0, child}; }
+  static Segment join(int child) { return {Kind::kJoin, 0.0, child}; }
+};
+
+struct SimTask {
+  std::vector<Segment> segments;
+};
+
+/// Task 0 is the root flow (the program's main). Every other task must be
+/// forked exactly once and joined at most once.
+struct Program {
+  std::vector<SimTask> tasks;
+
+  /// Total compute cost over all tasks (T1 in work/span terms).
+  [[nodiscard]] double work() const;
+
+  /// Critical-path cost (T-infinity): the longest dependency chain through
+  /// compute segments, fork edges and join edges.
+  [[nodiscard]] double span() const;
+
+  /// Structural validation; throws std::invalid_argument on dangling
+  /// children, double forks, or forks after use.
+  void validate() const;
+};
+
+/// Split-compute-merge shape: the root forks one task per entry of `costs`
+/// and joins them in order (paper Figure 4). `root_pre` / `root_post`
+/// model the split and merge work on the root flow.
+[[nodiscard]] Program make_independent_tasks(const std::vector<double>& costs,
+                                             double root_pre = 0.0,
+                                             double root_post = 0.0);
+
+/// Recursive Fibonacci shape (paper Figure 5): every invocation with
+/// n >= 2 forks fib(n-1), computes fib(n-2) inline, then joins. Each node
+/// costs `node_cost`; leaves (n < 2) cost `leaf_cost`.
+[[nodiscard]] Program make_fib(int n, double node_cost, double leaf_cost);
+
+}  // namespace simsched

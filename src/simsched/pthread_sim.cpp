@@ -1,0 +1,103 @@
+// Simulated one-thread-per-task execution (the paper's PThreads variants):
+// every fork creates a kernel thread immediately; joins block the parent.
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "simsched/os_sim.hpp"
+#include "simsched/simulate.hpp"
+
+namespace simsched {
+namespace {
+
+struct PthreadWorld {
+  const Program* program = nullptr;
+  MachineModel machine;
+  std::vector<bool> finished;
+  std::vector<std::vector<int>> join_waiters;  // tids per task
+  std::uint64_t threads_created = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+class TaskThread final : public Agent {
+ public:
+  TaskThread(PthreadWorld& world, int task) : world_(world), task_(task) {}
+
+  void set_tid(int tid) { tid_ = tid; }
+
+  Action next(OsSim& sim) override {
+    const auto& segs =
+        world_.program->tasks[static_cast<std::size_t>(task_)].segments;
+    for (;;) {
+      if (seg_ == segs.size()) {
+        world_.finished[static_cast<std::size_t>(task_)] = true;
+        ++world_.tasks_executed;
+        for (const int tid : world_.join_waiters[static_cast<std::size_t>(task_)])
+          sim.wake(tid);
+        world_.join_waiters[static_cast<std::size_t>(task_)].clear();
+        return Action::finish();
+      }
+      const Segment& s = segs[seg_];
+      switch (s.kind) {
+        case Segment::Kind::kCompute:
+          ++seg_;
+          return Action::compute(s.cost);
+        case Segment::Kind::kFork: {
+          ++seg_;
+          auto child = std::make_unique<TaskThread>(world_, s.child);
+          TaskThread* raw = child.get();
+          raw->set_tid(sim.spawn(std::move(child)));
+          ++world_.threads_created;
+          return Action::compute(world_.machine.thread_create_cost);
+        }
+        case Segment::Kind::kJoin:
+          if (world_.finished[static_cast<std::size_t>(s.child)]) {
+            ++seg_;
+            return Action::compute(world_.machine.thread_join_cost);
+          }
+          world_.join_waiters[static_cast<std::size_t>(s.child)].push_back(
+              tid_);
+          return Action::block();
+      }
+    }
+  }
+
+ private:
+  PthreadWorld& world_;
+  int task_;
+  int tid_ = -1;
+  std::size_t seg_ = 0;
+};
+
+}  // namespace
+
+SimResult simulate_pthreads(const Program& program,
+                            const MachineModel& machine) {
+  program.validate();
+
+  PthreadWorld world;
+  world.program = &program;
+  world.machine = machine;
+  world.finished.assign(program.tasks.size(), false);
+  world.join_waiters.resize(program.tasks.size());
+
+  OsSim sim(machine);
+  auto root = std::make_unique<TaskThread>(world, 0);
+  TaskThread* raw = root.get();
+  raw->set_tid(sim.spawn(std::move(root)));
+  world.threads_created = 1;
+  sim.run();
+
+  SimResult result;
+  result.makespan = sim.now();
+  result.work = program.work();
+  result.span = program.span();
+  result.context_switches = sim.context_switches();
+  result.tasks_executed = world.tasks_executed;
+  result.threads_created = world.threads_created;
+  for (std::size_t t = 0; t < program.tasks.size(); ++t)
+    result.total_busy += sim.busy_time(static_cast<int>(t));
+  return result;
+}
+
+}  // namespace simsched

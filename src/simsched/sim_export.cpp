@@ -1,0 +1,59 @@
+#include "simsched/sim_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace simsched {
+
+std::string schedule_csv(const SimResult& result) {
+  std::vector<SimScheduleEntry> sorted = result.schedule;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SimScheduleEntry& a, const SimScheduleEntry& b) {
+              return a.start != b.start ? a.start < b.start : a.task < b.task;
+            });
+  std::ostringstream out;
+  out << "task,vp,start,end,duration\n";
+  char buf[128];
+  for (const auto& e : sorted) {
+    std::snprintf(buf, sizeof(buf), "T%d,%d,%.9f,%.9f,%.9f\n", e.task, e.vp,
+                  e.start, e.end, e.end - e.start);
+    out << buf;
+  }
+  return out.str();
+}
+
+std::size_t schedule_peak_concurrency(const SimResult& result) {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(result.schedule.size() * 2);
+  for (const auto& e : result.schedule) {
+    events.emplace_back(e.start, +1);
+    events.emplace_back(e.end, -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  });
+  std::size_t cur = 0, peak = 0;
+  for (const auto& [t, d] : events) {
+    cur = static_cast<std::size_t>(static_cast<long>(cur) + d);
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+std::string utilization_summary(const SimResult& result) {
+  std::ostringstream out;
+  char buf[96];
+  for (std::size_t vp = 0; vp < result.per_vp_busy.size(); ++vp) {
+    const double busy = result.per_vp_busy[vp];
+    const double pct =
+        result.makespan > 0.0 ? 100.0 * busy / result.makespan : 0.0;
+    std::snprintf(buf, sizeof(buf), "vp%zu: %.6f s busy (%.1f%%)\n", vp, busy,
+                  pct);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace simsched

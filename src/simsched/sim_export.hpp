@@ -1,0 +1,23 @@
+// Export helpers for simulation results (mirrors anahy/trace_analysis for
+// virtual-time runs).
+#pragma once
+
+#include <string>
+
+#include "simsched/simulate.hpp"
+
+namespace simsched {
+
+/// CSV of the simulated schedule: "task,vp,start,end,duration" rows,
+/// ordered by start time. Ready for a spreadsheet Gantt chart.
+[[nodiscard]] std::string schedule_csv(const SimResult& result);
+
+/// Exact peak number of simultaneously-executing tasks in the schedule.
+/// (Task intervals are wall intervals: a task inlined inside another
+/// task's join counts as executing for both.)
+[[nodiscard]] std::size_t schedule_peak_concurrency(const SimResult& result);
+
+/// Per-VP utilization summary, one "vpN: busy (xx.x%)" line each.
+[[nodiscard]] std::string utilization_summary(const SimResult& result);
+
+}  // namespace simsched

@@ -1,0 +1,8 @@
+// Umbrella header for the scheduler-simulation substrate.
+#pragma once
+
+#include "simsched/machine.hpp"   // IWYU pragma: export
+#include "simsched/os_sim.hpp"    // IWYU pragma: export
+#include "simsched/program.hpp"   // IWYU pragma: export
+#include "simsched/sim_export.hpp"  // IWYU pragma: export
+#include "simsched/simulate.hpp"    // IWYU pragma: export

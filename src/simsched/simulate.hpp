@@ -1,0 +1,64 @@
+// Top-level simulation entry points: replay a Program under the Anahy
+// executive-kernel model or the one-thread-per-task POSIX model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anahy/types.hpp"
+#include "simsched/machine.hpp"
+#include "simsched/program.hpp"
+
+namespace simsched {
+
+/// One task's execution record in the simulated schedule (wall interval
+/// in virtual time; includes any preempted gaps).
+struct SimScheduleEntry {
+  int task = -1;
+  int vp = -1;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;     ///< virtual seconds until the root flow ends
+  double work = 0.0;         ///< total compute in the program
+  double span = 0.0;         ///< critical path of the program
+  double total_busy = 0.0;   ///< CPU-seconds of useful compute consumed
+  std::uint64_t context_switches = 0;
+  std::uint64_t steals = 0;          ///< Anahy model only
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t threads_created = 0; ///< POSIX model: one per task
+  std::vector<double> per_vp_busy;   ///< Anahy model: busy time per VP
+  std::vector<SimScheduleEntry> schedule;  ///< Anahy model: per-task Gantt
+
+  /// Utilization of the simulated machine in [0, 1].
+  [[nodiscard]] double utilization(int processors) const {
+    return makespan > 0.0 ? total_busy / (makespan * processors) : 0.0;
+  }
+};
+
+/// Simulates the Anahy runtime: `num_vps` virtual processors (kernel
+/// threads) executing the four-list scheduling algorithm with help-first
+/// joins, multiplexed by the simulated OS over `machine.processors` CPUs.
+/// `help_first = false` ablates the continuation mechanism: a VP hitting a
+/// join on an unfinished task parks instead of running other ready work.
+[[nodiscard]] SimResult simulate_anahy(const Program& program, int num_vps,
+                                       const MachineModel& machine,
+                                       anahy::PolicyKind policy =
+                                           anahy::PolicyKind::kWorkStealing,
+                                       bool help_first = true);
+
+/// Simulates the paper's PThreads versions: every task is its own kernel
+/// thread, created eagerly at fork and joined with blocking semantics.
+[[nodiscard]] SimResult simulate_pthreads(const Program& program,
+                                          const MachineModel& machine);
+
+/// Sequential execution model: one flow, no tasking overheads.
+[[nodiscard]] SimResult simulate_sequential(const Program& program);
+
+/// Sequential model on a specific machine (applies `cpu_speed`).
+[[nodiscard]] SimResult simulate_sequential(const Program& program,
+                                            const MachineModel& machine);
+
+}  // namespace simsched

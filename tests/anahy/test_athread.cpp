@@ -1,0 +1,180 @@
+// Tests of the POSIX-shaped C API (paper §2.4.1). The global runtime is
+// process-wide, so this suite serializes init/terminate in each test.
+#include "anahy/athread.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace anahy;
+
+/// RAII init/terminate so a failing test cannot poison later ones.
+struct GlobalRuntime {
+  explicit GlobalRuntime(int vps = 2) {
+    EXPECT_EQ(athread_init(vps), kOk);
+  }
+  ~GlobalRuntime() { athread_terminate(); }
+};
+
+void* triple(void* p) {
+  auto* v = static_cast<int*>(p);
+  *v *= 3;
+  return v;
+}
+
+void* identity(void* p) { return p; }
+
+void* early_exit(void* p) {
+  athread_exit(p);  // never returns
+  ADD_FAILURE() << "athread_exit returned";
+  return nullptr;
+}
+
+void* self_reporter(void*) {
+  static athread_t id;
+  id = athread_self();
+  return &id;
+}
+
+TEST(Athread, CreateJoinRoundTrip) {
+  GlobalRuntime rt;
+  int value = 5;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, nullptr, triple, &value), kOk);
+  void* out = nullptr;
+  ASSERT_EQ(athread_join(th, &out), kOk);
+  EXPECT_EQ(out, &value);
+  EXPECT_EQ(value, 15);
+}
+
+TEST(Athread, InitTwiceFails) {
+  GlobalRuntime rt;
+  EXPECT_EQ(athread_init(2), kAgain);
+}
+
+TEST(Athread, TerminateWithoutInitFails) {
+  EXPECT_EQ(athread_terminate(), kPerm);
+}
+
+TEST(Athread, CreateWithoutInitFails) {
+  athread_t th;
+  EXPECT_EQ(athread_create(&th, nullptr, identity, nullptr), kPerm);
+}
+
+TEST(Athread, CreateValidatesArguments) {
+  GlobalRuntime rt;
+  EXPECT_EQ(athread_create(nullptr, nullptr, identity, nullptr), kInvalid);
+  athread_t th;
+  EXPECT_EQ(athread_create(&th, nullptr, nullptr, nullptr), kInvalid);
+  athread_attr_t uninit;  // never athread_attr_init'ed
+  EXPECT_EQ(athread_create(&th, &uninit, identity, nullptr), kInvalid);
+}
+
+TEST(Athread, JoinUnknownIdFails) {
+  GlobalRuntime rt;
+  athread_t bogus{99999};
+  EXPECT_EQ(athread_join(bogus, nullptr), kNotFound);
+}
+
+TEST(Athread, AttrLifeCycle) {
+  athread_attr_t attr;
+  ASSERT_EQ(athread_attr_init(&attr), kOk);
+
+  int joins = 0;
+  EXPECT_EQ(athread_attr_getjoinnumber(&attr, &joins), kOk);
+  EXPECT_EQ(joins, 1);
+
+  EXPECT_EQ(athread_attr_setjoinnumber(&attr, 4), kOk);
+  EXPECT_EQ(athread_attr_getjoinnumber(&attr, &joins), kOk);
+  EXPECT_EQ(joins, 4);
+  EXPECT_EQ(athread_attr_setjoinnumber(&attr, -2), kInvalid);
+
+  std::size_t len = 0;
+  EXPECT_EQ(athread_attr_setdatalen(&attr, 128), kOk);
+  EXPECT_EQ(athread_attr_getdatalen(&attr, &len), kOk);
+  EXPECT_EQ(len, 128u);
+
+  EXPECT_EQ(athread_attr_destroy(&attr), kOk);
+  EXPECT_EQ(athread_attr_destroy(&attr), kInvalid);  // double destroy
+  EXPECT_EQ(athread_attr_setjoinnumber(&attr, 2), kInvalid);
+}
+
+TEST(Athread, AttrNullArgumentsFail) {
+  EXPECT_EQ(athread_attr_init(nullptr), kInvalid);
+  athread_attr_t attr;
+  athread_attr_init(&attr);
+  EXPECT_EQ(athread_attr_getjoinnumber(&attr, nullptr), kInvalid);
+  EXPECT_EQ(athread_attr_getdatalen(&attr, nullptr), kInvalid);
+}
+
+TEST(Athread, JoinNumberAttrAllowsMultipleJoins) {
+  GlobalRuntime rt;
+  athread_attr_t attr;
+  athread_attr_init(&attr);
+  athread_attr_setjoinnumber(&attr, 2);
+
+  int value = 1;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, &attr, identity, &value), kOk);
+  void* out1 = nullptr;
+  void* out2 = nullptr;
+  EXPECT_EQ(athread_join(th, &out1), kOk);
+  EXPECT_EQ(athread_join(th, &out2), kOk);
+  EXPECT_EQ(out1, &value);
+  EXPECT_EQ(out2, &value);
+  EXPECT_EQ(athread_join(th, nullptr), kNotFound);
+  athread_attr_destroy(&attr);
+}
+
+TEST(Athread, ExitShortCircuitsTaskBody) {
+  GlobalRuntime rt;
+  int payload = 77;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, nullptr, early_exit, &payload), kOk);
+  void* out = nullptr;
+  ASSERT_EQ(athread_join(th, &out), kOk);
+  EXPECT_EQ(out, &payload);
+}
+
+TEST(Athread, ExitOutsideTaskIsRejected) {
+  GlobalRuntime rt;
+  EXPECT_EQ(athread_exit(nullptr), kPerm);
+}
+
+TEST(Athread, SelfReturnsRootOutsideTasks) {
+  GlobalRuntime rt;
+  EXPECT_EQ(athread_self().id, kRootTaskId);
+}
+
+TEST(Athread, SelfInsideTaskIsNotRoot) {
+  GlobalRuntime rt;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, nullptr, self_reporter, nullptr), kOk);
+  void* out = nullptr;
+  ASSERT_EQ(athread_join(th, &out), kOk);
+  EXPECT_NE(static_cast<athread_t*>(out)->id, kRootTaskId);
+}
+
+TEST(Athread, FibonacciThroughCApi) {
+  // The paper's Fibonacci scheme: each recursive call forks a task.
+  GlobalRuntime rt(4);
+  struct Fib {
+    static void* run(void* p) {
+      const long n = reinterpret_cast<long>(p);
+      if (n < 2) return reinterpret_cast<void*>(n);
+      athread_t th;
+      EXPECT_EQ(athread_create(&th, nullptr, &Fib::run,
+                               reinterpret_cast<void*>(n - 1)),
+                kOk);
+      void* a = nullptr;
+      void* b = run(reinterpret_cast<void*>(n - 2));
+      EXPECT_EQ(athread_join(th, &a), kOk);
+      return reinterpret_cast<void*>(reinterpret_cast<long>(a) +
+                                     reinterpret_cast<long>(b));
+    }
+  };
+  void* r = Fib::run(reinterpret_cast<void*>(12));
+  EXPECT_EQ(reinterpret_cast<long>(r), 144);
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+#include "anahy/attr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using anahy::TaskAttributes;
+
+TEST(TaskAttributes, DefaultsMatchPaper) {
+  const TaskAttributes attr;
+  EXPECT_EQ(attr.join_number(), 1);  // one join per task by default
+  EXPECT_EQ(attr.data_len(), 0u);
+}
+
+TEST(TaskAttributes, JoinNumberAcceptsZeroForDetached) {
+  TaskAttributes attr;
+  EXPECT_TRUE(attr.set_join_number(0));
+  EXPECT_EQ(attr.join_number(), 0);
+}
+
+TEST(TaskAttributes, JoinNumberRejectsNegative) {
+  TaskAttributes attr;
+  EXPECT_FALSE(attr.set_join_number(-1));
+  EXPECT_EQ(attr.join_number(), 1);  // unchanged
+}
+
+TEST(TaskAttributes, MultiJoinBudget) {
+  TaskAttributes attr;
+  EXPECT_TRUE(attr.set_join_number(5));
+  EXPECT_EQ(attr.join_number(), 5);
+}
+
+TEST(TaskAttributes, DataLenRoundTrips) {
+  TaskAttributes attr;
+  attr.set_data_len(4096);
+  EXPECT_EQ(attr.data_len(), 4096u);
+}
+
+}  // namespace

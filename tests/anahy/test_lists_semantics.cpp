@@ -1,0 +1,138 @@
+// Deterministic observation of the paper's four task lists (§2.2.1) using
+// gate tasks whose progress the test controls.
+#include "anahy/anahy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using namespace anahy;
+using namespace std::chrono_literals;
+
+/// Busy-gate a worker task until the test releases it.
+struct Gate {
+  std::atomic<bool> open{false};
+  std::atomic<bool> entered{false};
+  void wait() {
+    entered.store(true);
+    while (!open.load()) std::this_thread::yield();
+  }
+  void release() { open.store(true); }
+};
+
+bool eventually(const std::function<bool()>& cond,
+                std::chrono::milliseconds budget = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::yield();
+  }
+  return cond();
+}
+
+TEST(ListSemantics, ReadyTasksWaitWhenNoVpIsFree) {
+  // 2 VPs total, main not participating -> 2 workers. Occupy both with
+  // gates; further tasks must sit in the READY list.
+  Options o;
+  o.num_vps = 2;
+  o.main_participates = false;
+  Runtime rt(o);
+
+  Gate g1, g2;
+  TaskPtr a = rt.fork([&](void*) -> void* { g1.wait(); return nullptr; }, nullptr);
+  TaskPtr b = rt.fork([&](void*) -> void* { g2.wait(); return nullptr; }, nullptr);
+  ASSERT_TRUE(eventually([&] { return g1.entered.load() && g2.entered.load(); }));
+
+  TaskPtr c = rt.fork([](void*) -> void* { return nullptr; }, nullptr);
+  // Both VPs are gated: c stays ready.
+  EXPECT_EQ(rt.lists().ready, 1u);
+  EXPECT_EQ(c->state(), TaskState::kReady);
+
+  g1.release();
+  g2.release();
+  EXPECT_EQ(rt.join(a, nullptr), kOk);
+  EXPECT_EQ(rt.join(b, nullptr), kOk);
+  EXPECT_EQ(rt.join(c, nullptr), kOk);
+  const auto lists = rt.lists();
+  EXPECT_EQ(lists.ready + lists.finished, 0u);
+}
+
+TEST(ListSemantics, FinishedTasksParkUntilJoined) {
+  Options o;
+  o.num_vps = 2;
+  o.main_participates = false;
+  Runtime rt(o);
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < 5; ++i)
+    tasks.push_back(rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+  ASSERT_TRUE(eventually([&] { return rt.lists().finished == 5; }));
+  // Join consumes them one by one from the FINISHED list.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(rt.join(tasks[i], nullptr), kOk);
+    EXPECT_EQ(rt.lists().finished, 4 - i);
+  }
+}
+
+TEST(ListSemantics, BlockedFlowIsVisibleWhileTargetRuns) {
+  Options o;
+  o.num_vps = 3;
+  o.main_participates = false;
+  Runtime rt(o);
+
+  Gate slow;
+  TaskPtr target =
+      rt.fork([&](void*) -> void* { slow.wait(); return nullptr; }, nullptr);
+  ASSERT_TRUE(eventually([&] { return slow.entered.load(); }));
+
+  // A second task joins the running target: its flow must show up as
+  // BLOCKED (no other ready work to help with).
+  std::atomic<int> join_rc{-1};
+  TaskPtr joiner = rt.fork(
+      [&](void*) -> void* {
+        join_rc.store(rt.join(target, nullptr));
+        return nullptr;
+      },
+      nullptr);
+  ASSERT_TRUE(eventually([&] { return rt.lists().blocked == 1; }));
+  EXPECT_EQ(rt.stats().continuations, 1u);
+
+  slow.release();
+  EXPECT_EQ(rt.join(joiner, nullptr), kOk);
+  EXPECT_EQ(join_rc.load(), kOk);
+  EXPECT_EQ(rt.lists().blocked, 0u);
+}
+
+TEST(ListSemantics, HelpingJoinerDrainsReadyInsteadOfBlocking) {
+  // One worker is gated; the main flow joins the gated task and must
+  // execute the other ready tasks itself while waiting (paper: the VP of
+  // a split flow takes new work from the ready list).
+  Options o;
+  o.num_vps = 2;  // main + 1 worker
+  Runtime rt(o);
+
+  Gate gate;
+  TaskPtr gated =
+      rt.fork([&](void*) -> void* { gate.wait(); return nullptr; }, nullptr);
+  ASSERT_TRUE(eventually([&] { return gate.entered.load(); }));
+
+  std::vector<TaskPtr> extra;
+  for (int i = 0; i < 10; ++i)
+    extra.push_back(rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+
+  std::thread releaser([&] {
+    // Release the gate only after main has had a chance to help.
+    while (rt.stats().joins_helped + rt.stats().tasks_run_by_main < 10)
+      std::this_thread::yield();
+    gate.release();
+  });
+  EXPECT_EQ(rt.join(gated, nullptr), kOk);
+  releaser.join();
+  EXPECT_GE(rt.stats().tasks_run_by_main, 10u);
+  for (auto& t : extra) EXPECT_EQ(rt.join(t, nullptr), kOk);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "anahy/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+namespace {
+
+using namespace anahy;
+
+TEST(SplitRange, BasicPartition) {
+  const auto r = split_range(0, 10, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].begin, 0);
+  EXPECT_EQ(r[0].end, 3);
+  EXPECT_EQ(r[1].end, 6);
+  EXPECT_EQ(r[2].end, 10);  // remainder in the last range
+}
+
+TEST(SplitRange, EmptyAndDegenerate) {
+  EXPECT_TRUE(split_range(5, 5, 4).empty());
+  const auto one = split_range(3, 4, 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 3);
+  EXPECT_EQ(one[0].end, 4);
+  EXPECT_THROW((void)split_range(4, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)split_range(0, 4, 0), std::invalid_argument);
+}
+
+TEST(SplitRange, CoverageProperty) {
+  for (const long n : {1L, 7L, 100L, 1001L}) {
+    for (const int tasks : {1, 2, 3, 16}) {
+      long expect = 0;
+      for (const auto& r : split_range(0, n, tasks)) {
+        EXPECT_EQ(r.begin, expect);
+        EXPECT_LT(r.begin, r.end);
+        expect = r.end;
+      }
+      EXPECT_EQ(expect, n);
+    }
+  }
+}
+
+TEST(ParallelFor, TouchesEveryIndexOnce) {
+  Runtime rt(Options{.num_vps = 4});
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(rt, 0, 1000, 16, [&](long i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  Runtime rt(Options{.num_vps = 2});
+  int calls = 0;
+  parallel_for(rt, 10, 10, 4, [&](long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleTaskFallsBackInline) {
+  Runtime rt(Options{.num_vps = 2});
+  const auto before = rt.stats().tasks_created;
+  long sum = 0;
+  parallel_for(rt, 0, 100, 1, [&](long i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+  EXPECT_EQ(rt.stats().tasks_created, before);  // inline, no tasks
+}
+
+TEST(ParallelReduce, SumMatchesFormula) {
+  Runtime rt(Options{.num_vps = 4});
+  const long n = 100000;
+  const long total = parallel_reduce(
+      rt, 1, n + 1, 8, 0L, [](long i) { return i; },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, n * (n + 1) / 2);
+}
+
+TEST(ParallelReduce, NonCommutativeAssociativeOperator) {
+  // String concatenation: associative, NOT commutative. Deterministic
+  // range-ordered combination must preserve the sequence.
+  Runtime rt(Options{.num_vps = 3});
+  const std::string result = parallel_reduce(
+      rt, 0, 26, 5, std::string{},
+      [](long i) { return std::string(1, static_cast<char>('a' + i)); },
+      [](std::string a, std::string b) { return a + b; });
+  EXPECT_EQ(result, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(ParallelReduce, MatchesAcrossVpCountsAndPolicies) {
+  long reference = -1;
+  for (const int vps : {1, 2, 4}) {
+    for (const auto policy :
+         {PolicyKind::kFifo, PolicyKind::kWorkStealing}) {
+      Options o;
+      o.num_vps = vps;
+      o.policy = policy;
+      Runtime rt(o);
+      const long v = parallel_reduce(
+          rt, 0, 5000, 7, 0L, [](long i) { return i * i % 97; },
+          [](long a, long b) { return a + b; });
+      if (reference < 0) reference = v;
+      EXPECT_EQ(v, reference) << vps << " VPs " << to_string(policy);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Stress and failure-injection tests: deep recursion, wide fan-out, many
+// runtimes, churn across policies. Kept in a separate binary so a hang is
+// attributable.
+#include "anahy/anahy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+namespace {
+
+using namespace anahy;
+
+TEST(Stress, WideFanOutTenThousandTasks) {
+  Runtime rt(Options{.num_vps = 4});
+  constexpr int kN = 10000;
+  std::atomic<int> executed{0};
+  std::vector<TaskPtr> tasks;
+  tasks.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    tasks.push_back(rt.fork(
+        [&executed](void*) -> void* {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return nullptr;
+        },
+        nullptr));
+  }
+  for (auto& t : tasks) ASSERT_EQ(rt.join(t, nullptr), kOk);
+  EXPECT_EQ(executed.load(), kN);
+  EXPECT_EQ(rt.stats().tasks_executed, static_cast<std::uint64_t>(kN));
+}
+
+TEST(Stress, RecursiveFibonacciEveryPolicy) {
+  for (const PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLifo, PolicyKind::kWorkStealing}) {
+    Options o;
+    o.num_vps = 3;
+    o.policy = policy;
+    Runtime rt(o);
+    std::function<long(long)> fib = [&](long n) -> long {
+      if (n < 2) return n;
+      auto h = spawn(rt, fib, n - 1);
+      const long b = fib(n - 2);
+      return h.join() + b;
+    };
+    EXPECT_EQ(fib(18), 2584) << "policy " << to_string(policy);
+  }
+}
+
+TEST(Stress, DeepChainOfDependentTasks) {
+  // T_k joins T_{k-1}: a pure dependency chain, worst case for the
+  // blocked/unblocked machinery.
+  Runtime rt(Options{.num_vps = 2});
+  constexpr int kDepth = 1000;
+  std::function<int(int)> chain = [&](int depth) -> int {
+    if (depth == 0) return 0;
+    auto h = spawn(rt, chain, depth - 1);
+    return h.join() + 1;
+  };
+  EXPECT_EQ(chain(kDepth), kDepth);
+}
+
+TEST(Stress, RepeatedRuntimeConstruction) {
+  for (int round = 0; round < 20; ++round) {
+    Runtime rt(Options{.num_vps = (round % 4) + 1});
+    auto h = spawn(rt, [round] { return round; });
+    EXPECT_EQ(h.join(), round);
+  }
+}
+
+TEST(Stress, TasksForkingFromWorkers) {
+  // Forks happen inside worker-executed tasks, not just from main.
+  Runtime rt(Options{.num_vps = 4});
+  std::function<int(int, int)> tree = [&](int depth, int fan) -> int {
+    if (depth == 0) return 1;
+    std::vector<Handle<int>> handles;
+    handles.reserve(static_cast<std::size_t>(fan));
+    for (int i = 0; i < fan; ++i)
+      handles.push_back(spawn(rt, tree, depth - 1, fan));
+    int total = 1;
+    for (auto& h : handles) total += h.join();
+    return total;
+  };
+  // Nodes of a complete 3-ary tree of depth 5: (3^6 - 1) / 2 = 364.
+  EXPECT_EQ(tree(5, 3), 364);
+}
+
+TEST(Stress, MixedDetachedAndJoinedTasks) {
+  Runtime rt(Options{.num_vps = 2});
+  std::atomic<int> detached_runs{0};
+  TaskAttributes detached;
+  detached.set_join_number(0);
+  std::vector<Handle<int>> joined;
+  for (int i = 0; i < 200; ++i) {
+    rt.fork(
+        [&detached_runs](void*) -> void* {
+          detached_runs.fetch_add(1, std::memory_order_relaxed);
+          return nullptr;
+        },
+        nullptr, detached);
+    joined.push_back(spawn(rt, [i] { return i; }));
+  }
+  int sum = 0;
+  for (auto& h : joined) sum += h.join();
+  EXPECT_EQ(sum, 199 * 200 / 2);
+  // Detached tasks may still be queued; drain by forking+joining a fence
+  // until all have run (the scheduler never drops tasks).
+  while (detached_runs.load() < 200) spawn(rt, [] { return 0; }).join();
+  EXPECT_EQ(detached_runs.load(), 200);
+}
+
+TEST(Stress, ManySmallTasksAcrossVpCounts) {
+  for (int vps = 1; vps <= 8; vps *= 2) {
+    Runtime rt(Options{.num_vps = vps});
+    std::vector<Handle<int>> handles;
+    for (int i = 0; i < 500; ++i)
+      handles.push_back(spawn(rt, [i] { return i % 7; }));
+    int sum = 0;
+    for (auto& h : handles) sum += h.join();
+    EXPECT_EQ(sum, 500 / 7 * (0 + 1 + 2 + 3 + 4 + 5 + 6) + 0 + 1 + 2)
+        << "vps=" << vps;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests of the synchronization extension set (mutex/cond/sem/barrier),
+// including the documented VP-count requirement for blocking primitives.
+#include "anahy/anahy.hpp"
+#include "anahy/sync_ext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace {
+
+using namespace anahy;
+
+TEST(SyncMutex, LifecycleAndArgChecks) {
+  athread_mutex_t m;
+  EXPECT_EQ(athread_mutex_init(nullptr), kInvalid);
+  EXPECT_EQ(athread_mutex_init(&m), kOk);
+  EXPECT_EQ(athread_mutex_lock(&m), kOk);
+  EXPECT_EQ(athread_mutex_trylock(&m), kAgain);  // already held
+  EXPECT_EQ(athread_mutex_unlock(&m), kOk);
+  EXPECT_EQ(athread_mutex_trylock(&m), kOk);
+  EXPECT_EQ(athread_mutex_unlock(&m), kOk);
+  EXPECT_EQ(athread_mutex_destroy(&m), kOk);
+  EXPECT_EQ(athread_mutex_lock(&m), kInvalid);  // destroyed
+}
+
+TEST(SyncMutex, ProtectsSharedCounterAcrossTasks) {
+  Runtime rt(Options{.num_vps = 4});
+  athread_mutex_t m;
+  athread_mutex_init(&m);
+  long counter = 0;
+  std::vector<Handle<int>> handles;
+  for (int t = 0; t < 8; ++t) {
+    handles.push_back(spawn(rt, [&counter, &m] {
+      for (int i = 0; i < 1000; ++i) {
+        athread_mutex_lock(&m);
+        ++counter;  // non-atomic on purpose: the mutex must protect it
+        athread_mutex_unlock(&m);
+      }
+      return 0;
+    }));
+  }
+  for (auto& h : handles) h.join();
+  EXPECT_EQ(counter, 8000);
+  athread_mutex_destroy(&m);
+}
+
+TEST(SyncCond, ProducerConsumerHandshake) {
+  // Needs >= 2 VPs: a blocked consumer parks its VP (documented caveat).
+  Runtime rt(Options{.num_vps = 3});
+  athread_mutex_t m;
+  athread_cond_t c;
+  athread_mutex_init(&m);
+  athread_cond_init(&c);
+  int stage = 0;
+
+  auto consumer = spawn(rt, [&] {
+    athread_mutex_lock(&m);
+    while (stage == 0) athread_cond_wait(&c, &m);
+    const int seen = stage;
+    athread_mutex_unlock(&m);
+    return seen;
+  });
+  auto producer = spawn(rt, [&] {
+    athread_mutex_lock(&m);
+    stage = 42;
+    athread_mutex_unlock(&m);
+    athread_cond_broadcast(&c);
+    return 0;
+  });
+  producer.join();
+  EXPECT_EQ(consumer.join(), 42);
+  athread_cond_destroy(&c);
+  athread_mutex_destroy(&m);
+}
+
+TEST(SyncSem, CountingSemantics) {
+  athread_sem_t s;
+  EXPECT_EQ(athread_sem_init(&s, -1), kInvalid);
+  ASSERT_EQ(athread_sem_init(&s, 2), kOk);
+  EXPECT_EQ(athread_sem_value(&s), 2);
+  EXPECT_EQ(athread_sem_trywait(&s), kOk);
+  EXPECT_EQ(athread_sem_trywait(&s), kOk);
+  EXPECT_EQ(athread_sem_trywait(&s), kAgain);  // drained
+  EXPECT_EQ(athread_sem_post(&s), kOk);
+  EXPECT_EQ(athread_sem_wait(&s), kOk);
+  EXPECT_EQ(athread_sem_value(&s), 0);
+  athread_sem_destroy(&s);
+}
+
+TEST(SyncSem, BoundsConcurrentEntry) {
+  Runtime rt(Options{.num_vps = 4});
+  athread_sem_t s;
+  athread_sem_init(&s, 2);  // at most 2 tasks inside
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<Handle<int>> handles;
+  for (int t = 0; t < 12; ++t) {
+    handles.push_back(spawn(rt, [&] {
+      athread_sem_wait(&s);
+      const int now = inside.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      for (int spin = 0; spin < 2000; ++spin) {
+        std::atomic_signal_fence(std::memory_order_seq_cst);  // no unroll-away
+      }
+      inside.fetch_sub(1);
+      athread_sem_post(&s);
+      return 0;
+    }));
+  }
+  for (auto& h : handles) h.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+  athread_sem_destroy(&s);
+}
+
+TEST(SyncBarrier, AllPartiesMeetExactlyOneSerial) {
+  Runtime rt(Options{.num_vps = 4});
+  athread_barrier_t b;
+  ASSERT_EQ(athread_barrier_init(&b, 4), kOk);
+  std::atomic<int> serials{0};
+  std::atomic<int> passed{0};
+  std::vector<Handle<int>> handles;
+  // Exactly as many tasks as VPs: each blocked waiter parks a VP, the
+  // last arriver releases the cycle.
+  for (int t = 0; t < 4; ++t) {
+    handles.push_back(spawn(rt, [&] {
+      const int rc = athread_barrier_wait(&b);
+      if (rc == kBarrierSerial) serials.fetch_add(1);
+      passed.fetch_add(1);
+      return rc;
+    }));
+  }
+  for (auto& h : handles) h.join();
+  EXPECT_EQ(passed.load(), 4);
+  EXPECT_EQ(serials.load(), 1);
+  athread_barrier_destroy(&b);
+}
+
+TEST(SyncBarrier, ReusableAcrossCycles) {
+  Runtime rt(Options{.num_vps = 3});
+  athread_barrier_t b;
+  athread_barrier_init(&b, 2);
+  std::atomic<int> serials{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    auto a = spawn(rt, [&] { return athread_barrier_wait(&b); });
+    auto c = spawn(rt, [&] { return athread_barrier_wait(&b); });
+    const int ra = a.join();
+    const int rc = c.join();
+    EXPECT_EQ((ra == kBarrierSerial) + (rc == kBarrierSerial), 1);
+    serials += (ra == kBarrierSerial) + (rc == kBarrierSerial);
+  }
+  EXPECT_EQ(serials.load(), 5);
+  athread_barrier_destroy(&b);
+}
+
+TEST(SyncBarrier, RejectsZeroCount) {
+  athread_barrier_t b;
+  EXPECT_EQ(athread_barrier_init(&b, 0), kInvalid);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "anahy/task_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+using namespace anahy;
+
+TEST(TaskGroup, RunsEveryMember) {
+  Runtime rt(Options{.num_vps = 3});
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 50; ++i)
+      group.run([&count] { count.fetch_add(1); });
+    EXPECT_EQ(group.pending(), 50u);
+    group.wait();
+    EXPECT_EQ(group.pending(), 0u);
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroup, DestructorJoins) {
+  Runtime rt(Options{.num_vps = 2});
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 20; ++i)
+      group.run([&count] { count.fetch_add(1); });
+    // No explicit wait(): the destructor must join all members before the
+    // captured atomic goes out of scope.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  Runtime rt(Options{.num_vps = 2});
+  std::atomic<int> count{0};
+  TaskGroup group(rt);
+  group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 1);
+  group.run([&count] { count.fetch_add(10); });
+  group.wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(TaskGroup, NestedGroupsInsideTasks) {
+  Runtime rt(Options{.num_vps = 4});
+  std::atomic<int> leaves{0};
+  {
+    TaskGroup outer(rt);
+    for (int i = 0; i < 4; ++i) {
+      outer.run([&rt, &leaves] {
+        TaskGroup inner(rt);
+        for (int j = 0; j < 4; ++j)
+          inner.run([&leaves] { leaves.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(TaskGroup, EmptyGroupIsFine) {
+  Runtime rt(Options{.num_vps = 1});
+  TaskGroup group(rt);
+  group.wait();
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+}  // namespace

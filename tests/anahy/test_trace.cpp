@@ -1,0 +1,168 @@
+// Trace-graph tests: Figure 2 style structure, levels, continuations,
+// work/span accounting and DOT output.
+#include "anahy/anahy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace {
+
+using namespace anahy;
+
+Options traced(int vps, PolicyKind policy = PolicyKind::kFifo) {
+  Options o;
+  o.num_vps = vps;
+  o.policy = policy;
+  o.trace = true;
+  return o;
+}
+
+TEST(Trace, RecordsForkTreeLevels) {
+  Runtime rt(traced(1));
+  // T0 forks 3 children; each child forks one grandchild.
+  std::vector<Handle<int>> children;
+  for (int i = 0; i < 3; ++i) {
+    children.push_back(spawn(rt, [&rt] {
+      auto g = spawn(rt, [] { return 1; });
+      return g.join() + 1;
+    }));
+  }
+  for (auto& h : children) EXPECT_EQ(h.join(), 2);
+
+  // Count real tasks per level; continuations stay at their flow's level
+  // and are excluded here.
+  std::map<std::uint32_t, int> real;
+  for (const auto& n : rt.trace().nodes())
+    if (!n.is_continuation) ++real[n.level];
+  EXPECT_EQ(real.at(0), 1);  // the root flow
+  EXPECT_EQ(real.at(1), 3);  // children
+  EXPECT_EQ(real.at(2), 3);  // grandchildren
+
+  // The full histogram (with continuations) dominates the real counts.
+  const auto hist = rt.trace().level_histogram();
+  for (const auto& [level, count] : real)
+    EXPECT_GE(hist.at(level), static_cast<std::size_t>(count));
+}
+
+TEST(Trace, ChildLevelIsParentPlusOne) {
+  Runtime rt(traced(1));
+  spawn(rt, [&rt] {
+    auto inner = spawn(rt, [] { return 0; });
+    return inner.join();
+  }).join();
+
+  const auto nodes = rt.trace().nodes();
+  for (const auto& n : nodes) {
+    if (n.parent == kInvalidTaskId || n.is_continuation) continue;
+    const auto parent =
+        std::find_if(nodes.begin(), nodes.end(),
+                     [&](const TraceNode& p) { return p.id == n.parent; });
+    ASSERT_NE(parent, nodes.end()) << "dangling parent for T" << n.id;
+    EXPECT_EQ(n.level, parent->level + 1);
+  }
+}
+
+TEST(Trace, BlockingJoinCreatesContinuation) {
+  Runtime rt(traced(1));
+  // With 1 VP the forked task is not finished when we join -> the main
+  // flow must split (T0 -> continuation), paper §2.2.1.
+  auto h = spawn(rt, [] { return 3; });
+  EXPECT_EQ(h.join(), 3);
+
+  const auto nodes = rt.trace().nodes();
+  const auto conts = std::count_if(nodes.begin(), nodes.end(),
+                                   [](const auto& n) { return n.is_continuation; });
+  EXPECT_EQ(conts, 1);
+  EXPECT_EQ(rt.stats().continuations, 1u);
+
+  const auto edges = rt.trace().edges();
+  const auto has = [&](TraceEdgeKind k) {
+    return std::any_of(edges.begin(), edges.end(),
+                       [&](const auto& e) { return e.kind == k; });
+  };
+  EXPECT_TRUE(has(TraceEdgeKind::kFork));
+  EXPECT_TRUE(has(TraceEdgeKind::kJoin));
+  EXPECT_TRUE(has(TraceEdgeKind::kContinue));
+}
+
+TEST(Trace, ImmediateJoinCreatesNoContinuation) {
+  Runtime rt(traced(2, PolicyKind::kWorkStealing));
+  auto h = spawn(rt, [] { return 5; });
+  // Let the worker finish it first so the join is immediate.
+  for (int spin = 0; spin < 100000 && rt.lists().finished == 0; ++spin) {
+  }
+  EXPECT_EQ(h.join(), 5);
+  if (rt.stats().joins_immediate == 1) {
+    EXPECT_EQ(rt.stats().continuations, 0u);
+  }
+}
+
+TEST(Trace, EveryForkEdgeConnectsKnownNodes) {
+  Runtime rt(traced(1));
+  std::function<int(int)> fib = [&](int n) -> int {
+    if (n < 2) return n;
+    auto h = spawn(rt, fib, n - 1);
+    int b = fib(n - 2);
+    return h.join() + b;
+  };
+  EXPECT_EQ(fib(8), 21);
+
+  const auto nodes = rt.trace().nodes();
+  const auto edges = rt.trace().edges();
+  const auto known = [&](TaskId id) {
+    return std::any_of(nodes.begin(), nodes.end(),
+                       [&](const auto& n) { return n.id == id; });
+  };
+  for (const auto& e : edges) {
+    EXPECT_TRUE(known(e.from)) << "edge from unknown T" << e.from;
+    EXPECT_TRUE(known(e.to)) << "edge to unknown T" << e.to;
+  }
+}
+
+TEST(Trace, WorkIsAtLeastSpan) {
+  Runtime rt(traced(2));
+  std::vector<Handle<int>> handles;
+  for (int i = 0; i < 8; ++i)
+    handles.push_back(spawn(rt, [] {
+      volatile long x = 0;
+      for (int k = 0; k < 200000; ++k) x = x + k;
+      return static_cast<int>(x != 0);
+    }));
+  for (auto& h : handles) h.join();
+
+  const auto work = rt.trace().work_ns();
+  const auto span = rt.trace().span_ns();
+  EXPECT_GT(work, 0);
+  EXPECT_GT(span, 0);
+  EXPECT_GE(work, span);
+}
+
+TEST(Trace, DotContainsAllTasks) {
+  Runtime rt(traced(1));
+  spawn_labeled(rt, "alpha", [] { return 1; }).join();
+  const std::string dot = rt.trace().to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("t0"), std::string::npos);  // root flow present
+  EXPECT_NE(dot.find("-> "), std::string::npos);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Runtime rt(Options{.num_vps = 1});  // trace off
+  spawn(rt, [] { return 1; }).join();
+  EXPECT_TRUE(rt.trace().nodes().empty());
+  EXPECT_TRUE(rt.trace().edges().empty());
+}
+
+TEST(Trace, ClearEmptiesGraph) {
+  Runtime rt(traced(1));
+  spawn(rt, [] { return 1; }).join();
+  EXPECT_FALSE(rt.trace().nodes().empty());
+  rt.trace().clear();
+  EXPECT_TRUE(rt.trace().nodes().empty());
+  EXPECT_TRUE(rt.trace().edges().empty());
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Tests of the trace-analysis toolkit: intervals, parallelism profile,
+// critical path and Gantt export.
+#include "anahy/anahy.hpp"
+#include "anahy/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace anahy;
+
+Options traced(int vps) {
+  Options o;
+  o.num_vps = vps;
+  o.trace = true;
+  return o;
+}
+
+int spin_value() {
+  volatile long x = 0;
+  for (int k = 0; k < 100000; ++k) x = x + k;
+  return static_cast<int>(x != 0);
+}
+
+TEST(TraceAnalysis, IntervalsCoverExecutedTasks) {
+  Runtime rt(traced(2));
+  std::vector<Handle<int>> handles;
+  for (int i = 0; i < 6; ++i) handles.push_back(spawn(rt, spin_value));
+  for (auto& h : handles) h.join();
+
+  const auto intervals = exec_intervals(rt.trace());
+  EXPECT_EQ(intervals.size(), 6u);  // root/continuations carry no interval
+  for (const auto& iv : intervals) {
+    EXPECT_GE(iv.start_ns, 0);
+    EXPECT_GT(iv.end_ns, iv.start_ns);
+  }
+  // Sorted by start.
+  EXPECT_TRUE(std::is_sorted(
+      intervals.begin(), intervals.end(),
+      [](const auto& a, const auto& b) { return a.start_ns < b.start_ns; }));
+}
+
+TEST(TraceAnalysis, ProfileCountsConcurrency) {
+  // Hand-built intervals: two overlapping, one detached later.
+  std::vector<ExecInterval> ivs = {
+      {1, 0, 100, 1, ""}, {2, 50, 150, 1, ""}, {3, 300, 400, 1, ""}};
+  const auto profile = parallelism_profile(ivs, 50);
+  // Buckets: [0,50) [50,100) [100,150) [150,200) [200,250) [250,300) [300,350) [350,400)
+  ASSERT_EQ(profile.size(), 8u);
+  EXPECT_EQ(profile[0], 1u);  // task 1
+  EXPECT_EQ(profile[1], 2u);  // 1 and 2 overlap
+  EXPECT_EQ(profile[2], 1u);  // task 2
+  EXPECT_EQ(profile[3], 0u);
+  EXPECT_EQ(profile[6], 1u);  // task 3
+  EXPECT_EQ(profile[7], 1u);
+}
+
+TEST(TraceAnalysis, ProfileHandlesDegenerateInput) {
+  EXPECT_TRUE(parallelism_profile({}, 100).empty());
+  const std::vector<ExecInterval> one = {{1, 10, 10, 0, ""}};  // zero length
+  EXPECT_TRUE(parallelism_profile(one, 0).empty());
+}
+
+TEST(TraceAnalysis, MaxConcurrencyExactSweep) {
+  const std::vector<ExecInterval> ivs = {{1, 0, 10, 0, ""},
+                                         {2, 5, 15, 0, ""},
+                                         {3, 7, 9, 0, ""},
+                                         {4, 20, 30, 0, ""}};
+  EXPECT_EQ(max_concurrency(ivs), 3u);
+  EXPECT_EQ(max_concurrency({}), 0u);
+}
+
+TEST(TraceAnalysis, SingleVpRunsAreSequential) {
+  Runtime rt(traced(1));
+  std::vector<Handle<int>> handles;
+  for (int i = 0; i < 5; ++i) handles.push_back(spawn(rt, spin_value));
+  for (auto& h : handles) h.join();
+  // One VP: no two tasks may overlap.
+  EXPECT_EQ(max_concurrency(exec_intervals(rt.trace())), 1u);
+}
+
+TEST(TraceAnalysis, AverageParallelismOfFlatFarm) {
+  // 1 VP: tasks run back-to-back, so each measured duration is clean CPU
+  // time (no timeslicing inflation on a 1-core host). work/span is a graph
+  // property: 12 equal independent tasks support ~12-way parallelism even
+  // though this run executed them sequentially. The threshold is low
+  // because an OS preemption during one task stretches its wall duration
+  // and with it the measured span.
+  Runtime rt(traced(1));
+  std::vector<Handle<int>> handles;
+  for (int i = 0; i < 12; ++i) handles.push_back(spawn(rt, spin_value));
+  for (auto& h : handles) h.join();
+  EXPECT_GT(average_parallelism(rt.trace()), 2.0);
+}
+
+TEST(TraceAnalysis, CriticalPathOfAChain) {
+  Runtime rt(traced(1));
+  std::function<int(int)> chain = [&](int depth) -> int {
+    if (depth == 0) return spin_value();
+    auto h = spawn(rt, chain, depth - 1);
+    return h.join();
+  };
+  chain(5);
+  const auto path = critical_path(rt.trace());
+  // The chain dominates: the path must contain several of its tasks and
+  // start at (or near) the chain's deepest task.
+  EXPECT_GE(path.size(), 5u);
+}
+
+TEST(TraceAnalysis, GanttCsvWellFormed) {
+  Runtime rt(traced(2));
+  spawn_labeled(rt, "alpha", spin_value).join();
+  const std::string csv = gantt_csv(rt.trace());
+  EXPECT_NE(csv.find("task,label,level,start_ns,end_ns,duration_ns\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+  // Exactly 1 executed task -> header + 1 row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(TraceAnalysis, DisabledTraceYieldsNothing) {
+  Runtime rt(Options{.num_vps = 1});
+  spawn(rt, spin_value).join();
+  EXPECT_TRUE(exec_intervals(rt.trace()).empty());
+  EXPECT_EQ(average_parallelism(rt.trace()), 0.0);
+  EXPECT_TRUE(critical_path(rt.trace()).empty());
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Tests for the non-blocking join and for athread_exit / exception
+// semantics through nested (inlined) task frames.
+#include "anahy/anahy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+using namespace anahy;
+
+TEST(TryJoin, BusyWhileUnstartedThenOkAfterJoin) {
+  Runtime rt(Options{.num_vps = 1});  // nothing runs until we make it run
+  TaskPtr t = rt.fork([](void*) -> void* { return nullptr; }, nullptr);
+  EXPECT_EQ(rt.try_join(t, nullptr), kBusy);  // still in the ready list
+  EXPECT_EQ(rt.join(t, nullptr), kOk);        // blocking join inlines it
+  EXPECT_EQ(rt.try_join(t, nullptr), kNotFound);  // budget consumed
+}
+
+TEST(TryJoin, SucceedsOnceFinished) {
+  Runtime rt(Options{.num_vps = 2});
+  int payload = 7;
+  TaskPtr t = rt.fork([](void* p) -> void* { return p; }, &payload);
+  // Wait until a worker finishes it, then try_join must succeed.
+  while (rt.lists().finished == 0) {
+  }
+  void* out = nullptr;
+  EXPECT_EQ(rt.try_join(t, &out), kOk);
+  EXPECT_EQ(out, &payload);
+}
+
+TEST(TryJoin, NullAndSelfChecks) {
+  Runtime rt(Options{.num_vps = 1});
+  EXPECT_EQ(rt.try_join(nullptr, nullptr), kNotFound);
+  TaskPtr captured;
+  int rc = -1;
+  TaskPtr t = rt.fork(
+      [&](void*) -> void* {
+        rc = rt.try_join(captured, nullptr);
+        return nullptr;
+      },
+      nullptr);
+  captured = t;
+  EXPECT_EQ(rt.join(t, nullptr), kOk);
+  EXPECT_EQ(rc, kDeadlock);
+}
+
+TEST(TryJoin, AthreadApiVariant) {
+  ASSERT_EQ(athread_init(1), kOk);
+  athread_t th;
+  ASSERT_EQ(athread_create(
+                &th, nullptr, [](void* p) -> void* { return p; }, nullptr),
+            kOk);
+  EXPECT_EQ(athread_tryjoin(th, nullptr), kBusy);
+  EXPECT_EQ(athread_join(th, nullptr), kOk);
+  EXPECT_EQ(athread_tryjoin(th, nullptr), kNotFound);
+  athread_terminate();
+}
+
+TEST(TryJoin, WithoutRuntimeIsRejected) {
+  athread_t th{1};
+  EXPECT_EQ(athread_tryjoin(th, nullptr), kPerm);
+}
+
+TEST(AthreadExit, UnwindsOnlyTheInnermostInlinedTask) {
+  // Task A joins (and therefore inlines, on 1 VP) task B; B exits early.
+  // B's TaskExit must not unwind A.
+  ASSERT_EQ(athread_init(1), kOk);
+  static std::atomic<bool> a_continued{false};
+  struct Bodies {
+    static void* inner(void*) {
+      athread_exit(reinterpret_cast<void*>(0x22L));
+      return nullptr;  // unreachable
+    }
+    static void* outer(void*) {
+      athread_t inner_th;
+      athread_create(&inner_th, nullptr, &Bodies::inner, nullptr);
+      void* inner_out = nullptr;
+      athread_join(inner_th, &inner_out);  // inlines inner on this VP
+      a_continued = true;                  // A resumes after B's exit
+      return inner_out;
+    }
+  };
+  athread_t a;
+  ASSERT_EQ(athread_create(&a, nullptr, &Bodies::outer, nullptr), kOk);
+  void* out = nullptr;
+  ASSERT_EQ(athread_join(a, &out), kOk);
+  EXPECT_TRUE(a_continued.load());
+  EXPECT_EQ(reinterpret_cast<long>(out), 0x22L);
+  athread_terminate();
+}
+
+TEST(Exceptions, PropagateToTheInliningJoiner) {
+  // With one VP and main participating, the task body runs inside the
+  // caller's join; an ordinary C++ exception therefore surfaces there
+  // (task bodies should not throw - POSIX semantics - but when they do,
+  // the error is not silently swallowed).
+  Runtime rt(Options{.num_vps = 1});
+  TaskPtr t = rt.fork(
+      [](void*) -> void* { throw std::logic_error("task body bug"); },
+      nullptr);
+  EXPECT_THROW((void)rt.join(t, nullptr), std::logic_error);
+}
+
+}  // namespace

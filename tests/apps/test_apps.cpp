@@ -1,0 +1,194 @@
+// Integration tests of the four paper applications: every parallel variant
+// must produce exactly the sequential result (the paper's determinism
+// claim), across VP counts and task counts.
+#include <gtest/gtest.h>
+
+#include "apps/agzip_app.hpp"
+#include "apps/convop_app.hpp"
+#include "apps/fib_app.hpp"
+#include "apps/raytrace_app.hpp"
+
+namespace {
+
+using namespace apps;
+
+anahy::Options vps(int n) {
+  anahy::Options o;
+  o.num_vps = n;
+  return o;
+}
+
+// ---------------------------------------------------------------- raytrace
+
+TEST(RaytraceApp, PthreadsMatchesSequential) {
+  const auto bench = raytracer::build_bench_scene(25);
+  raytracer::Framebuffer seq(48, 48), par(48, 48);
+  raytrace_sequential(bench.scene, bench.camera, seq);
+  raytrace_pthreads(bench.scene, bench.camera, par, 9);
+  EXPECT_EQ(par, seq);
+}
+
+TEST(RaytraceApp, AnahyMatchesSequentialAcrossVps) {
+  const auto bench = raytracer::build_bench_scene(25);
+  raytracer::Framebuffer seq(48, 48);
+  raytrace_sequential(bench.scene, bench.camera, seq);
+  for (const int nvps : {1, 2, 4}) {
+    anahy::Runtime rt(vps(nvps));
+    raytracer::Framebuffer par(48, 48);
+    raytrace_anahy(rt, bench.scene, bench.camera, par, 16);
+    EXPECT_EQ(par, seq) << nvps << " VPs";
+  }
+}
+
+TEST(RaytraceApp, TaskCountDoesNotChangeResult) {
+  const auto bench = raytracer::build_bench_scene(25);
+  anahy::Runtime rt(vps(3));
+  raytracer::Framebuffer a(40, 40), b(40, 40);
+  raytrace_anahy(rt, bench.scene, bench.camera, a, 1);
+  raytrace_anahy(rt, bench.scene, bench.camera, b, 40);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------------ agzip
+
+TEST(AgzipApp, WorkloadIsDeterministicAndMixed) {
+  const auto a = make_binary_workload(64 * 1024);
+  const auto b = make_binary_workload(64 * 1024);
+  EXPECT_EQ(a, b);
+  // Mixed entropy: compresses, but not to nothing.
+  const auto gz = agzip_sequential(a);
+  EXPECT_LT(gz.size(), a.size());
+  EXPECT_GT(gz.size(), a.size() / 20);
+}
+
+TEST(AgzipApp, SequentialRoundTrips) {
+  const auto data = make_binary_workload(100000);
+  EXPECT_EQ(compress::gzip_decompress(agzip_sequential(data)), data);
+}
+
+TEST(AgzipApp, SplitChunksCoverInput) {
+  for (const std::size_t size : {1000u, 65537u, 100000u}) {
+    for (const int tasks : {1, 2, 5, 7}) {
+      const auto chunks = split_chunks(size, tasks);
+      ASSERT_EQ(chunks.size(), static_cast<std::size_t>(tasks));
+      std::size_t expect_off = 0;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.offset, expect_off);
+        expect_off += c.size;
+      }
+      EXPECT_EQ(expect_off, size);
+    }
+  }
+}
+
+TEST(AgzipApp, PthreadsOutputDecompressesToInput) {
+  const auto data = make_binary_workload(150000);
+  for (const int tasks : {1, 3, 5}) {
+    const auto gz = agzip_pthreads(data, tasks);
+    EXPECT_EQ(compress::gzip_decompress(gz), data) << tasks << " tasks";
+    EXPECT_EQ(compress::gzip_member_count(gz),
+              static_cast<std::size_t>(tasks));
+  }
+}
+
+TEST(AgzipApp, AnahyOutputMatchesPthreadsOutput) {
+  // Same split, same per-chunk algorithm: byte-identical output.
+  const auto data = make_binary_workload(120000);
+  anahy::Runtime rt(vps(3));
+  for (const int tasks : {1, 2, 4}) {
+    EXPECT_EQ(agzip_anahy(rt, data, tasks), agzip_pthreads(data, tasks));
+  }
+}
+
+TEST(AgzipApp, AnahyRoundTripsAcrossVpTaskMatrix) {
+  const auto data = make_binary_workload(80000);
+  for (const int nvps : {1, 2, 5}) {
+    anahy::Runtime rt(vps(nvps));
+    for (const int tasks : {1, 4, 5}) {
+      EXPECT_EQ(compress::gzip_decompress(agzip_anahy(rt, data, tasks)), data)
+          << nvps << " VPs, " << tasks << " tasks";
+    }
+  }
+}
+
+TEST(AgzipApp, ChunkedCrcMatchesWholeFileCrc) {
+  const auto data = make_binary_workload(77777);
+  const auto whole = compress::crc32(data);
+  for (const int tasks : {1, 2, 3, 8}) {
+    EXPECT_EQ(chunked_crc(data, tasks), whole) << tasks << " tasks";
+  }
+}
+
+// ----------------------------------------------------------------- convop
+
+TEST(ConvopApp, AllVariantsAgree) {
+  const auto src = image::make_test_image(96, 64, 4);
+  const auto kernel = image::Kernel::gaussian3();
+  const auto seq = convop_sequential(src, kernel);
+  EXPECT_EQ(convop_pthreads(src, kernel, 8), seq);
+  anahy::Runtime rt(vps(4));  // the paper's default PV count
+  for (const int tasks : {2, 4, 8}) {
+    EXPECT_EQ(convop_anahy(rt, src, kernel, tasks), seq) << tasks << " tasks";
+  }
+}
+
+TEST(ConvopApp, NonMultipleImageSizes) {
+  // 67 rows, 4 tasks: the last block gets the 3 extra rows.
+  const auto src = image::make_test_image(50, 67, 6);
+  const auto kernel = image::Kernel::sharpen3();
+  const auto seq = convop_sequential(src, kernel);
+  anahy::Runtime rt(vps(2));
+  EXPECT_EQ(convop_anahy(rt, src, kernel, 4), seq);
+  EXPECT_EQ(convop_pthreads(src, kernel, 4), seq);
+}
+
+// -------------------------------------------------------------------- fib
+
+TEST(FibApp, SequentialValues) {
+  EXPECT_EQ(fib_sequential(0), 0);
+  EXPECT_EQ(fib_sequential(1), 1);
+  EXPECT_EQ(fib_sequential(2), 1);
+  EXPECT_EQ(fib_sequential(10), 55);
+  EXPECT_EQ(fib_sequential(15), 610);
+  EXPECT_EQ(fib_sequential(20), 6765);
+}
+
+TEST(FibApp, PthreadsMatchesSequential) {
+  // Small n: this spawns ~fib(n) system threads, the paper's pain point.
+  EXPECT_EQ(fib_pthreads(10), 55);
+  EXPECT_EQ(fib_pthreads(13), 233);
+}
+
+TEST(FibApp, AnahyMatchesSequentialAcrossVpsAndPolicies) {
+  for (const auto policy : {anahy::PolicyKind::kFifo, anahy::PolicyKind::kLifo,
+                            anahy::PolicyKind::kWorkStealing}) {
+    for (const int nvps : {1, 2, 4}) {
+      anahy::Options o;
+      o.num_vps = nvps;
+      o.policy = policy;
+      anahy::Runtime rt(o);
+      EXPECT_EQ(fib_anahy(rt, 16), 987)
+          << to_string(policy) << " with " << nvps << " VPs";
+    }
+  }
+}
+
+TEST(FibApp, GrainVariantMatches) {
+  anahy::Runtime rt(vps(2));
+  for (const long cutoff : {2L, 5L, 10L, 100L}) {
+    EXPECT_EQ(fib_anahy_grain(rt, 17, cutoff), 1597) << "cutoff " << cutoff;
+  }
+}
+
+TEST(FibApp, TaskCountFormula) {
+  // fib_anahy forks fib(n+1) - 1 tasks.
+  EXPECT_EQ(fib_task_count(2), 1);
+  EXPECT_EQ(fib_task_count(5), 7);        // fib(6)=8
+  EXPECT_EQ(fib_task_count(10), 88);      // fib(11)=89
+  anahy::Runtime rt(vps(2));
+  ASSERT_EQ(fib_anahy(rt, 10), 55);
+  EXPECT_EQ(rt.stats().tasks_created,
+            static_cast<std::uint64_t>(fib_task_count(10)));
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+#include "benchutil/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchutil::Cli;
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const Cli cli = make({"--reps=7", "--verbose", "--size=2.5"});
+  EXPECT_EQ(cli.get_int("reps", 0), 7);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("size", 0.0), 2.5);
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, FallbacksApplyWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("reps", 42), 42);
+  EXPECT_FALSE(cli.has("reps"));
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.get_bool("flag", false));
+  EXPECT_TRUE(cli.get_bool("flag", true));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(make({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=no"}).get_bool("a", true));
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "benchutil/harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace benchutil;
+
+TEST(Harness, MeasureCollectsExactlyRepsSamples) {
+  int calls = 0;
+  const RunStats stats = measure(5, [&] { ++calls; });
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_EQ(calls, 6);  // 5 measured + 1 warm-up
+}
+
+TEST(Harness, WarmupCanBeDisabled) {
+  int calls = 0;
+  const RunStats stats = measure(3, [&] { ++calls; }, /*warmup=*/false);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Harness, SamplesAreNonNegativeAndOrderedStatistics) {
+  const RunStats stats = measure(4, [] {
+    volatile int x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + i;
+  });
+  EXPECT_GT(stats.mean(), 0.0);
+  EXPECT_LE(stats.min(), stats.mean());
+  EXPECT_LE(stats.mean(), stats.max());
+}
+
+TEST(Harness, AvailableCpusIsPositive) {
+  EXPECT_GE(available_cpus(), 1);
+}
+
+TEST(Harness, RestrictToCpusRejectsNonPositive) {
+  EXPECT_FALSE(restrict_to_cpus(0));
+  EXPECT_FALSE(restrict_to_cpus(-3));
+}
+
+TEST(Harness, RestrictToCurrentWidthIsANoopThatSucceeds) {
+  // Pinning to at least as many CPUs as we already have must succeed on
+  // Linux and leave availability unchanged.
+  const int before = available_cpus();
+  if (restrict_to_cpus(before)) {
+    EXPECT_EQ(available_cpus(), before);
+  }
+}
+
+}  // namespace

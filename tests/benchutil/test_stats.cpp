@@ -1,0 +1,64 @@
+#include "benchutil/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using benchutil::RunStats;
+
+TEST(RunStats, EmptyIsZero) {
+  RunStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStats, SingleSample) {
+  RunStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);  // N-1 undefined for N=1
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.median(), 3.5);
+}
+
+TEST(RunStats, KnownMeanAndSampleStddev) {
+  RunStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunStats, MinMaxAndPercentiles) {
+  RunStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(100.0), 100.0, 1e-12);
+  EXPECT_NEAR(s.percentile(25.0), 25.75, 1e-12);
+}
+
+TEST(RunStats, PercentileRejectsOutOfRange) {
+  RunStats s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1.0), std::out_of_range);
+  EXPECT_THROW((void)s.percentile(101.0), std::out_of_range);
+}
+
+TEST(RunStats, OrderInsensitive) {
+  RunStats a, b;
+  for (double v : {5.0, 1.0, 3.0}) a.add(v);
+  for (double v : {1.0, 3.0, 5.0}) b.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.stddev(), b.stddev());
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+#include "benchutil/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchutil::Table;
+
+TEST(Table, NumFormatsFixedDecimals) {
+  EXPECT_EQ(Table::num(131.615), "131.615");
+  EXPECT_EQ(Table::num(0.1264, 3), "0.126");
+  EXPECT_EQ(Table::num(1.0, 1), "1.0");
+  EXPECT_EQ(Table::num(2.5, 0), "2");  // round-half-even via printf
+}
+
+TEST(Table, RejectsBadShapes) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TextHasAlignedColumnsAndRule) {
+  Table t({"PVs", "Media", "Desvio Padrao"});
+  t.add_row({"1", "131.552", "0.124"});
+  t.add_row({"10", "144.066", "0.105"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("PVs"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_NE(text.find("144.066"), std::string::npos);
+  // Every line of the body must be as wide as the header line.
+  const auto first_nl = text.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+}
+
+TEST(Table, CsvRoundTripShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.to_markdown(), "| x |\n|---|\n| y |\n");
+}
+
+}  // namespace

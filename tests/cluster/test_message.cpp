@@ -1,0 +1,64 @@
+#include "cluster/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cluster;
+
+TEST(Message, TaskShipRoundTrip) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const Message m = make_task_ship(3, 42, "compress_chunk", payload);
+  const Message d = decode(encode(m));
+  EXPECT_EQ(d.type, MsgType::kTaskShip);
+  EXPECT_EQ(d.task.origin, 3u);
+  EXPECT_EQ(d.task.task_id, 42u);
+  EXPECT_EQ(d.task.function, "compress_chunk");
+  EXPECT_EQ(d.task.payload, payload);
+}
+
+TEST(Message, ResultRoundTripOkAndError) {
+  const Message ok = decode(encode(make_result(7, true, {1, 2})));
+  EXPECT_EQ(ok.type, MsgType::kResult);
+  EXPECT_TRUE(ok.result.ok);
+  EXPECT_EQ(ok.result.task_id, 7u);
+
+  const std::string error = "unregistered function";
+  const Message bad = decode(encode(
+      make_result(8, false, {error.begin(), error.end()})));
+  EXPECT_FALSE(bad.result.ok);
+  EXPECT_EQ(std::string(bad.result.payload.begin(), bad.result.payload.end()),
+            error);
+}
+
+TEST(Message, ControlMessagesRoundTrip) {
+  EXPECT_EQ(decode(encode(make_steal_request(5))).type,
+            MsgType::kStealRequest);
+  EXPECT_EQ(decode(encode(make_steal_request(5))).steal.requester, 5u);
+  EXPECT_EQ(decode(encode(make_steal_none())).type, MsgType::kStealNone);
+  EXPECT_EQ(decode(encode(make_shutdown())).type, MsgType::kShutdown);
+}
+
+TEST(Message, RejectsUnknownType) {
+  const std::vector<std::uint8_t> junk = {99};
+  EXPECT_THROW((void)decode(junk), std::runtime_error);
+}
+
+TEST(Message, RejectsTrailingGarbage) {
+  auto frame = encode(make_steal_none());
+  frame.push_back(0xFF);
+  EXPECT_THROW((void)decode(frame), std::runtime_error);
+}
+
+TEST(Message, RejectsTruncatedTaskShip) {
+  auto frame = encode(make_task_ship(1, 2, "fn", {1, 2, 3, 4}));
+  frame.resize(frame.size() - 3);
+  EXPECT_THROW((void)decode(frame), std::runtime_error);
+}
+
+TEST(Message, EmptyPayloadIsLegal) {
+  const Message d = decode(encode(make_task_ship(0, 1, "noop", {})));
+  EXPECT_TRUE(d.task.payload.empty());
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// End-to-end cluster tests: fork/join across nodes, task migration via
+// inter-node stealing, error propagation, and a distributed application.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "apps/agzip_app.hpp"
+#include "cluster/cluster_lib.hpp"
+#include "compress/compress.hpp"
+
+namespace {
+
+using namespace cluster;
+using namespace std::chrono_literals;
+
+std::shared_ptr<Registry> math_registry() {
+  auto reg = std::make_shared<Registry>();
+  reg->add("sum_bytes", [](std::span<const std::uint8_t> in) {
+    std::uint64_t sum = 0;
+    for (const auto b : in) sum += b;
+    ByteWriter w;
+    w.u64(sum);
+    return w.take();
+  });
+  reg->add("echo", [](std::span<const std::uint8_t> in) {
+    return std::vector<std::uint8_t>(in.begin(), in.end());
+  });
+  reg->add("boom", [](std::span<const std::uint8_t>) -> std::vector<std::uint8_t> {
+    throw std::runtime_error("intentional failure");
+  });
+  reg->add("spin", [](std::span<const std::uint8_t> in) {
+    volatile std::uint64_t acc = 0;
+    ByteReader r(in);
+    const std::uint64_t spins = r.u64();
+    for (std::uint64_t i = 0; i < spins; ++i) acc = acc + i;
+    ByteWriter w;
+    w.u64(acc);
+    return w.take();
+  });
+  return reg;
+}
+
+Cluster::Options mem_cluster(int nodes) {
+  Cluster::Options o;
+  o.nodes = nodes;
+  o.fabric = FabricKind::kMemory;
+  o.node.num_vps = 2;
+  return o;
+}
+
+TEST(ClusterRegistry, AddLookupAndDuplicates) {
+  Registry reg;
+  EXPECT_TRUE(reg.add("f", [](std::span<const std::uint8_t>) {
+    return std::vector<std::uint8_t>{};
+  }));
+  EXPECT_FALSE(reg.add("f", [](std::span<const std::uint8_t>) {
+    return std::vector<std::uint8_t>{1};
+  }));
+  EXPECT_TRUE(reg.contains("f"));
+  EXPECT_FALSE(reg.contains("g"));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW((void)reg.get("g"), std::out_of_range);
+}
+
+TEST(ClusterNodeTest, SingleNodeForkJoin) {
+  Cluster cl(mem_cluster(1), math_registry());
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto id = cl.node(0).fork("sum_bytes", payload);
+  const auto out = cl.node(0).join(id);
+  ByteReader r(out);
+  EXPECT_EQ(r.u64(), 15u);
+}
+
+TEST(ClusterNodeTest, ManyTasksAllComplete) {
+  Cluster cl(mem_cluster(1), math_registry());
+  std::vector<GlobalTaskId> ids;
+  for (std::uint8_t i = 0; i < 100; ++i)
+    ids.push_back(cl.node(0).fork("echo", {i}));
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    const auto out = cl.node(0).join(ids[i]);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], i);
+  }
+}
+
+TEST(ClusterNodeTest, ErrorsPropagateToJoin) {
+  Cluster cl(mem_cluster(1), math_registry());
+  const auto id = cl.node(0).fork("boom", {});
+  EXPECT_THROW((void)cl.node(0).join(id), std::runtime_error);
+}
+
+TEST(ClusterNodeTest, UnknownFunctionReportsError) {
+  Cluster cl(mem_cluster(1), math_registry());
+  const auto id = cl.node(0).fork("no_such_fn", {});
+  EXPECT_THROW((void)cl.node(0).join(id), std::runtime_error);
+}
+
+TEST(ClusterNodeTest, JoinAtWrongNodeIsRejected) {
+  Cluster cl(mem_cluster(2), math_registry());
+  const auto id = cl.node(0).fork("echo", {1});
+  EXPECT_THROW((void)cl.node(1).join(id), std::invalid_argument);
+  (void)cl.node(0).join(id);
+}
+
+TEST(ClusterNodeTest, IdleNodesStealWork) {
+  // All tasks forked at node 0; idle peers must pull some via stealing.
+  Cluster cl(mem_cluster(3), math_registry());
+  std::vector<GlobalTaskId> ids;
+  ByteWriter w;
+  w.u64(2'000'000);  // enough spinning that stealing has time to happen
+  const auto payload = w.take();
+  for (int i = 0; i < 24; ++i)
+    ids.push_back(cl.node(0).fork("spin", payload));
+  // Peers start their pumps (they only auto-start on fork).
+  cl.node(1).start();
+  cl.node(2).start();
+  for (const auto& id : ids) (void)cl.node(0).join(id);
+
+  const auto s1 = cl.node(1).stats();
+  const auto s2 = cl.node(2).stats();
+  EXPECT_GT(s1.tasks_received + s2.tasks_received, 0u)
+      << "no task migrated despite idle peers";
+  const auto s0 = cl.node(0).stats();
+  EXPECT_GT(s0.tasks_shipped_out, 0u);
+  EXPECT_EQ(s0.tasks_forked, 24u);
+}
+
+TEST(ClusterNodeTest, StealDisabledKeepsWorkLocal) {
+  Cluster::Options o = mem_cluster(2);
+  o.node.steal_enabled = false;
+  Cluster cl(o, math_registry());
+  cl.node(1).start();
+  std::vector<GlobalTaskId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(cl.node(0).fork("echo", {9}));
+  for (const auto& id : ids) (void)cl.node(0).join(id);
+  EXPECT_EQ(cl.node(0).stats().tasks_shipped_out, 0u);
+  EXPECT_EQ(cl.node(1).stats().tasks_received, 0u);
+}
+
+TEST(ClusterNodeTest, ForksFromEveryNodeConcurrently) {
+  Cluster cl(mem_cluster(3), math_registry());
+  std::vector<std::thread> users;
+  std::atomic<int> failures{0};
+  for (int n = 0; n < 3; ++n) {
+    users.emplace_back([&, n] {
+      for (std::uint8_t i = 0; i < 30; ++i) {
+        const auto id = cl.node(n).fork("echo", {i});
+        const auto out = cl.node(n).join(id);
+        if (out.size() != 1 || out[0] != i) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ClusterNodeTest, WorksOverRealTcpSockets) {
+  Cluster::Options o = mem_cluster(2);
+  o.fabric = FabricKind::kTcp;
+  Cluster cl(o, math_registry());
+  cl.node(1).start();
+  std::vector<GlobalTaskId> ids;
+  for (std::uint8_t i = 0; i < 20; ++i)
+    ids.push_back(cl.node(0).fork("echo", {i}));
+  for (std::uint8_t i = 0; i < 20; ++i)
+    EXPECT_EQ(cl.node(0).join(ids[i])[0], i);
+}
+
+TEST(ClusterNodeTest, SimulatedLatencyStillCorrect) {
+  Cluster::Options o = mem_cluster(2);
+  o.latency = 2ms;  // a LAN-ish round trip at our scale
+  Cluster cl(o, math_registry());
+  cl.node(1).start();
+  const auto id = cl.node(0).fork("sum_bytes", {10, 20, 30});
+  const auto out = cl.node(0).join(id);
+  ByteReader r(out);
+  EXPECT_EQ(r.u64(), 60u);
+}
+
+TEST(ClusterApp, DistributedCompressionMatchesLocal) {
+  // The paper's future-work scenario: the compressor's streams executed
+  // across cluster nodes, results identical to the local run.
+  auto reg = std::make_shared<Registry>();
+  reg->add("gzip_chunk", [](std::span<const std::uint8_t> in) {
+    return compress::gzip_wrap(compress::deflate_compress(in),
+                               compress::crc32(in),
+                               static_cast<std::uint32_t>(in.size()));
+  });
+
+  Cluster cl(mem_cluster(3), reg);
+  cl.node(1).start();
+  cl.node(2).start();
+
+  const auto data = apps::make_binary_workload(256 * 1024);
+  const auto chunks = apps::split_chunks(data.size(), 6);
+  std::vector<GlobalTaskId> ids;
+  for (const auto& c : chunks) {
+    std::vector<std::uint8_t> payload(data.begin() + static_cast<std::ptrdiff_t>(c.offset),
+                                      data.begin() + static_cast<std::ptrdiff_t>(c.offset + c.size));
+    ids.push_back(cl.node(0).fork("gzip_chunk", std::move(payload)));
+  }
+  std::vector<std::uint8_t> gz;
+  for (const auto& id : ids) {
+    const auto member = cl.node(0).join(id);
+    gz.insert(gz.end(), member.begin(), member.end());
+  }
+  EXPECT_EQ(compress::gzip_decompress(gz), data);
+  EXPECT_EQ(compress::gzip_member_count(gz), chunks.size());
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "cluster/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace cluster;
+using namespace std::chrono_literals;
+
+class FabricTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::vector<std::unique_ptr<Transport>> make(int n) {
+    return std::string(GetParam()) == "memory" ? make_memory_fabric(n)
+                                               : make_tcp_fabric(n);
+  }
+};
+
+TEST_P(FabricTest, PointToPointDelivery) {
+  auto fabric = make(2);
+  fabric[0]->send(1, {1, 2, 3});
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(fabric[1]->recv(frame, 500ms));
+  EXPECT_EQ(frame, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_P(FabricTest, RecvTimesOutWhenSilent) {
+  auto fabric = make(2);
+  std::vector<std::uint8_t> frame;
+  EXPECT_FALSE(fabric[0]->recv(frame, 5ms));
+}
+
+TEST_P(FabricTest, SelfSendWorks) {
+  auto fabric = make(2);
+  fabric[0]->send(0, {42});
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(fabric[0]->recv(frame, 500ms));
+  EXPECT_EQ(frame, (std::vector<std::uint8_t>{42}));
+}
+
+TEST_P(FabricTest, OrderPreservedPerSenderPair) {
+  auto fabric = make(2);
+  for (std::uint8_t i = 0; i < 50; ++i) fabric[0]->send(1, {i});
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(fabric[1]->recv(frame, 500ms));
+    EXPECT_EQ(frame[0], i);
+  }
+}
+
+TEST_P(FabricTest, AllPairsInAMesh) {
+  constexpr int kN = 4;
+  auto fabric = make(kN);
+  for (int src = 0; src < kN; ++src)
+    for (int dst = 0; dst < kN; ++dst)
+      if (src != dst)
+        fabric[static_cast<std::size_t>(src)]->send(
+            dst, {static_cast<std::uint8_t>(src * 16 + dst)});
+
+  for (int dst = 0; dst < kN; ++dst) {
+    int received = 0;
+    std::vector<std::uint8_t> frame;
+    while (fabric[static_cast<std::size_t>(dst)]->recv(frame, 200ms)) {
+      EXPECT_EQ(frame[0] % 16, dst);
+      ++received;
+      if (received == kN - 1) break;
+    }
+    EXPECT_EQ(received, kN - 1) << "node " << dst;
+  }
+}
+
+TEST_P(FabricTest, LargeFramesSurvive) {
+  auto fabric = make(2);
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  fabric[0]->send(1, big);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(fabric[1]->recv(frame, 2s));
+  EXPECT_EQ(frame, big);
+}
+
+TEST_P(FabricTest, ConcurrentSendersDoNotCorruptFrames) {
+  auto fabric = make(3);
+  constexpr int kEach = 200;
+  auto sender = [&](int src) {
+    for (int i = 0; i < kEach; ++i) {
+      std::vector<std::uint8_t> frame(17, static_cast<std::uint8_t>(src));
+      fabric[static_cast<std::size_t>(src)]->send(2, std::move(frame));
+    }
+  };
+  std::thread t0(sender, 0);
+  std::thread t1(sender, 1);
+  int got = 0;
+  std::vector<std::uint8_t> frame;
+  while (got < 2 * kEach && fabric[2]->recv(frame, 1s)) {
+    ASSERT_EQ(frame.size(), 17u);
+    for (const auto b : frame) EXPECT_EQ(b, frame[0]);  // no interleaving
+    ++got;
+  }
+  t0.join();
+  t1.join();
+  EXPECT_EQ(got, 2 * kEach);
+}
+
+TEST_P(FabricTest, NodeIdentity) {
+  auto fabric = make(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fabric[static_cast<std::size_t>(i)]->node_id(), i);
+    EXPECT_EQ(fabric[static_cast<std::size_t>(i)]->node_count(), 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, FabricTest,
+                         ::testing::Values("memory", "tcp"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(MemoryFabric, SimulatedLatencyDelaysDelivery) {
+  auto fabric = make_memory_fabric(2, 30ms);
+  fabric[0]->send(1, {7});
+  std::vector<std::uint8_t> frame;
+  // Too early: nothing deliverable yet.
+  EXPECT_FALSE(fabric[1]->recv(frame, 5ms));
+  // Within the latency budget it arrives.
+  ASSERT_TRUE(fabric[1]->recv(frame, 500ms));
+  EXPECT_EQ(frame[0], 7);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "compress/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace compress;
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter bw;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (const int b : pattern) bw.write_bits(static_cast<std::uint32_t>(b), 1);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const int b : pattern)
+    EXPECT_EQ(br.read_bit(), static_cast<std::uint32_t>(b));
+}
+
+TEST(BitStream, LsbFirstByteLayout) {
+  BitWriter bw;
+  bw.write_bits(0b1, 1);   // bit 0
+  bw.write_bits(0b10, 2);  // bits 1-2
+  bw.write_bits(0b11111, 5);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  // bit0=1, bits1-2=0b10 -> 0,1 ; bits3-7 all 1 => 0b11111101.
+  EXPECT_EQ(bytes[0], 0b11111101);
+}
+
+TEST(BitStream, MultiWidthRoundTrip) {
+  BitWriter bw;
+  bw.write_bits(0x5, 3);
+  bw.write_bits(0xABC, 12);
+  bw.write_bits(0x1FFFF, 17);
+  bw.write_bits(0xDEADBEEF, 32);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(3), 0x5u);
+  EXPECT_EQ(br.read_bits(12), 0xABCu);
+  EXPECT_EQ(br.read_bits(17), 0x1FFFFu);
+  EXPECT_EQ(br.read_bits(32), 0xDEADBEEFu);
+}
+
+TEST(BitStream, AlignAndRawBytes) {
+  BitWriter bw;
+  bw.write_bits(0b101, 3);
+  bw.align_to_byte();
+  const std::uint8_t raw[] = {0x11, 0x22, 0x33};
+  bw.write_bytes(raw);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 4u);
+
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(3), 0b101u);
+  br.align_to_byte();
+  std::uint8_t out[3];
+  br.read_bytes(out, 3);
+  EXPECT_EQ(out[0], 0x11);
+  EXPECT_EQ(out[2], 0x33);
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitStream, WriteBytesRequiresAlignment) {
+  BitWriter bw;
+  bw.write_bits(1, 1);
+  const std::uint8_t raw[] = {0x00};
+  EXPECT_THROW(bw.write_bytes(raw), std::logic_error);
+}
+
+TEST(BitStream, ReaderThrowsOnExhaustion) {
+  const std::uint8_t one = 0xFF;
+  BitReader br({&one, 1});
+  EXPECT_EQ(br.read_bits(8), 0xFFu);
+  EXPECT_THROW((void)br.read_bit(), std::runtime_error);
+}
+
+TEST(BitStream, HuffmanCodesAreBitReversed) {
+  // Code 0b110 (MSB-first) of length 3 must appear as bits 0,1,1.
+  BitWriter bw;
+  bw.write_huffman(0b110, 3);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bit(), 1u);
+  EXPECT_EQ(br.read_bit(), 1u);
+  EXPECT_EQ(br.read_bit(), 0u);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  std::mt19937 rng(99);
+  std::vector<std::pair<std::uint32_t, int>> writes;
+  BitWriter bw;
+  for (int i = 0; i < 5000; ++i) {
+    const int width = 1 + static_cast<int>(rng() % 24);
+    const std::uint32_t value = rng() & ((1u << width) - 1u);
+    writes.emplace_back(value, width);
+    bw.write_bits(value, width);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const auto& [value, width] : writes)
+    ASSERT_EQ(br.read_bits(width), value);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.write_bits(0, 5);
+  EXPECT_EQ(bw.bit_count(), 5u);
+  bw.write_bits(0, 11);
+  EXPECT_EQ(bw.bit_count(), 16u);
+}
+
+}  // namespace

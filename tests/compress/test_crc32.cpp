@@ -1,0 +1,91 @@
+#include "compress/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace {
+
+using namespace compress;
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical check value of CRC-32/IEEE.
+  EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  const auto data = bytes("hello, streaming crc world");
+  std::uint32_t crc = 0;
+  for (const auto b : data) crc = crc32_update(crc, {&b, 1});
+  EXPECT_EQ(crc, crc32(data));
+}
+
+TEST(Crc32, StreamingArbitrarySplit) {
+  const auto data = bytes("0123456789abcdefghijklmnopqrstuvwxyz");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = crc32_update(0, {data.data(), split});
+    crc = crc32_update(crc, {data.data() + split, data.size() - split});
+    EXPECT_EQ(crc, crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, CombineMatchesConcatenation) {
+  const auto a = bytes("first chunk of the file");
+  const auto b = bytes("second chunk, compressed independently");
+  auto ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(crc32_combine(crc32(a), crc32(b), b.size()), crc32(ab));
+}
+
+TEST(Crc32, CombineWithEmptySides) {
+  const auto a = bytes("payload");
+  EXPECT_EQ(crc32_combine(crc32(a), 0, 0), crc32(a));
+  EXPECT_EQ(crc32_combine(0, crc32(a), a.size()), crc32(a));
+}
+
+TEST(Crc32, CombineIsAssociativeOverChunks) {
+  std::mt19937 rng(7);
+  std::vector<std::uint8_t> whole(4096);
+  for (auto& v : whole) v = static_cast<std::uint8_t>(rng());
+
+  // Combine 8 chunks of varying size left to right.
+  const std::size_t cuts[] = {0, 100, 531, 1024, 1100, 2047, 3000, 4000, 4096};
+  std::uint32_t crc = 0;
+  std::size_t combined_len = 0;
+  for (int i = 0; i + 1 < 9; ++i) {
+    const std::size_t len = cuts[i + 1] - cuts[i];
+    const std::uint32_t part = crc32({whole.data() + cuts[i], len});
+    crc = crc32_combine(crc, part, len);
+    combined_len += len;
+  }
+  ASSERT_EQ(combined_len, whole.size());
+  EXPECT_EQ(crc, crc32(whole));
+}
+
+class Crc32SplitSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Crc32SplitSweep, CombineEqualsDirect) {
+  std::mt19937 rng(GetParam());
+  std::vector<std::uint8_t> data(2000);
+  for (auto& v : data) v = static_cast<std::uint8_t>(rng());
+  const std::size_t split = GetParam() % data.size();
+  const std::uint32_t a = crc32({data.data(), split});
+  const std::uint32_t b = crc32({data.data() + split, data.size() - split});
+  EXPECT_EQ(crc32_combine(a, b, data.size() - split), crc32(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Crc32SplitSweep,
+                         ::testing::Values(1, 13, 128, 999, 1024, 1999));
+
+}  // namespace

@@ -1,0 +1,149 @@
+// DEFLATE corner cases: block-type selection, degenerate alphabets,
+// window-crossing references, and header boundary values.
+#include <gtest/gtest.h>
+
+#include "compress/compress.hpp"
+
+namespace {
+
+using namespace compress;
+
+/// First 3 bits of a deflate stream: BFINAL + BTYPE of the first block.
+std::uint32_t first_btype(std::span<const std::uint8_t> stream) {
+  BitReader br(stream);
+  (void)br.read_bit();  // BFINAL
+  return br.read_bits(2);
+}
+
+TEST(DeflateEdges, RandomDataPrefersStoredBlocks) {
+  std::vector<std::uint8_t> data(70000);
+  std::uint32_t state = 123;
+  for (auto& v : data) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<std::uint8_t>(state >> 24);
+  }
+  const auto out = deflate_compress(data);
+  EXPECT_EQ(first_btype(out), 0u) << "incompressible data should be stored";
+  EXPECT_EQ(inflate_decompress(out), data);
+}
+
+TEST(DeflateEdges, TextPrefersDynamicHuffman) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 3000; ++i) {
+    const char* s = "the rain in spain stays mainly in the plain. ";
+    data.insert(data.end(), s, s + 46);
+  }
+  const auto out = deflate_compress(data);
+  EXPECT_EQ(first_btype(out), 2u) << "repetitive text should use dynamic";
+  EXPECT_EQ(inflate_decompress(out), data);
+}
+
+TEST(DeflateEdges, SingleDistinctByteAlphabet) {
+  // Lit/len alphabet of {value, EOB} plus one distance code: the most
+  // degenerate dynamic header possible.
+  const std::vector<std::uint8_t> data(100000, 0x00);
+  const auto out = deflate_compress(data);
+  EXPECT_LT(out.size(), 1024u);
+  EXPECT_EQ(inflate_decompress(out), data);
+}
+
+TEST(DeflateEdges, MatchAtMaximumDistance) {
+  // A repeated 64-byte motif separated by exactly (32768 - 64) filler
+  // bytes: matches must work right at the window edge.
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> motif;
+  for (int i = 0; i < 64; ++i)
+    motif.push_back(static_cast<std::uint8_t>(200 + i % 50));
+  data.insert(data.end(), motif.begin(), motif.end());
+  std::uint32_t state = 9;
+  while (data.size() < 32768)
+    data.push_back(static_cast<std::uint8_t>((state = state * 69069u + 1) >> 24));
+  data.resize(32768);
+  data.insert(data.end(), motif.begin(), motif.end());  // distance = 32768
+  EXPECT_EQ(inflate_decompress(deflate_compress(data)), data);
+}
+
+TEST(DeflateEdges, MaxLengthMatches) {
+  // Runs much longer than 258 force repeated max-length matches.
+  std::vector<std::uint8_t> data(258 * 40 + 17, 'q');
+  const auto tokens = lz77_tokenize(data);
+  bool saw_max = false;
+  for (const auto& t : tokens)
+    if (t.is_match && t.length == kMaxMatch) saw_max = true;
+  EXPECT_TRUE(saw_max);
+  EXPECT_EQ(lz77_reconstruct(tokens), data);
+  EXPECT_EQ(inflate_decompress(deflate_compress(data)), data);
+}
+
+TEST(DeflateEdges, LengthCodeBoundaries) {
+  using detail::length_code;
+  EXPECT_EQ(length_code(3).code, 257);
+  EXPECT_EQ(length_code(10).code, 264);
+  EXPECT_EQ(length_code(11).code, 265);  // first extra-bit code
+  EXPECT_EQ(length_code(11).extra_bits, 1);
+  EXPECT_EQ(length_code(257).code, 284);
+  EXPECT_EQ(length_code(258).code, 285);  // special: 0 extra bits
+  EXPECT_EQ(length_code(258).extra_bits, 0);
+  EXPECT_THROW((void)length_code(2), std::invalid_argument);
+  EXPECT_THROW((void)length_code(259), std::invalid_argument);
+}
+
+TEST(DeflateEdges, DistanceCodeBoundaries) {
+  using detail::dist_code;
+  EXPECT_EQ(dist_code(1).code, 0);
+  EXPECT_EQ(dist_code(4).code, 3);
+  EXPECT_EQ(dist_code(5).code, 4);  // first extra-bit code
+  EXPECT_EQ(dist_code(5).extra_bits, 1);
+  EXPECT_EQ(dist_code(24577).code, 29);
+  EXPECT_EQ(dist_code(32768).code, 29);
+  EXPECT_THROW((void)dist_code(0), std::invalid_argument);
+  EXPECT_THROW((void)dist_code(32769), std::invalid_argument);
+}
+
+TEST(DeflateEdges, FixedHuffmanTableShape) {
+  const auto lit = detail::fixed_litlen_lengths();
+  ASSERT_EQ(lit.size(), 288u);
+  EXPECT_EQ(lit[0], 8);
+  EXPECT_EQ(lit[143], 8);
+  EXPECT_EQ(lit[144], 9);
+  EXPECT_EQ(lit[255], 9);
+  EXPECT_EQ(lit[256], 7);
+  EXPECT_EQ(lit[279], 7);
+  EXPECT_EQ(lit[280], 8);
+  EXPECT_EQ(lit[287], 8);
+  const auto dist = detail::fixed_dist_lengths();
+  ASSERT_EQ(dist.size(), 30u);
+  for (const auto l : dist) EXPECT_EQ(l, 5);
+}
+
+TEST(DeflateEdges, AllByteValuesRoundTrip) {
+  std::vector<std::uint8_t> data;
+  for (int rep = 0; rep < 300; ++rep)
+    for (int b = 0; b < 256; ++b)
+      data.push_back(static_cast<std::uint8_t>(b));
+  EXPECT_EQ(inflate_decompress(deflate_compress(data)), data);
+  EXPECT_EQ(gzip_decompress(gzip_compress(data)), data);
+}
+
+TEST(DeflateEdges, GzipHeaderWithOptionalFieldsDecodes) {
+  // Hand-build a member with FNAME + FCOMMENT + FEXTRA set.
+  const std::vector<std::uint8_t> payload = {'h', 'i'};
+  const auto deflated = deflate_compress(payload);
+  std::vector<std::uint8_t> gz = {0x1F, 0x8B, 8, 0x1C,  // FLG: FEXTRA|FNAME|FCOMMENT
+                                  0, 0, 0, 0, 0, 3};
+  gz.push_back(4);  // XLEN = 4
+  gz.push_back(0);
+  gz.insert(gz.end(), {9, 9, 9, 9});               // extra field
+  gz.insert(gz.end(), {'f', 'i', 'l', 'e', 0});    // FNAME
+  gz.insert(gz.end(), {'c', 'm', 't', 0});         // FCOMMENT
+  gz.insert(gz.end(), deflated.begin(), deflated.end());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i)
+    gz.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  const std::uint32_t isize = 2;
+  for (int i = 0; i < 4; ++i)
+    gz.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
+  EXPECT_EQ(gzip_decompress(gz), payload);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Robustness fuzzing of the decoders: arbitrary bytes, truncations and
+// bit flips must raise std::runtime_error or decode cleanly — never
+// crash, hang, or allocate unboundedly.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compress/compress.hpp"
+
+namespace {
+
+using namespace compress;
+
+std::vector<std::uint8_t> random_bytes(std::size_t size, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(size);
+  for (auto& v : out) v = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+class InflateFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InflateFuzz, RandomBytesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const auto junk = random_bytes(1 + rng() % 2048, rng());
+    try {
+      const auto out = inflate_decompress(junk);
+      // Decoding random bytes CAN succeed (e.g. a stored block that the
+      // bytes happen to spell); output stays bounded by the input window.
+      EXPECT_LT(out.size(), (1u << 26));
+    } catch (const std::runtime_error&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST_P(InflateFuzz, GzipRandomBytesNeverCrash) {
+  std::mt19937 rng(GetParam() + 1000);
+  for (int round = 0; round < 50; ++round) {
+    const auto junk = random_bytes(1 + rng() % 2048, rng());
+    try {
+      (void)gzip_decompress(junk);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InflateFuzz, ::testing::Range(0u, 8u));
+
+TEST(InflateFuzz, EveryTruncationOfAValidStreamIsHandled) {
+  const auto data = random_bytes(4096, 42);
+  const auto good = deflate_compress(data);
+  for (std::size_t cut = 0; cut < good.size(); cut += 7) {
+    const std::span<const std::uint8_t> prefix{good.data(), cut};
+    try {
+      const auto out = inflate_decompress(prefix);
+      // A truncation can only "succeed" if it still contains a final
+      // block; then the output must be a prefix of the original data.
+      ASSERT_LE(out.size(), data.size());
+      EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(InflateFuzz, SingleBitFlipsDetectedOrSane) {
+  const auto data = random_bytes(2048, 43);
+  const auto good = gzip_compress(data);
+  std::mt19937 rng(44);
+  int silent_corruptions = 0;
+  for (int round = 0; round < 200; ++round) {
+    auto bad = good;
+    bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    try {
+      const auto out = gzip_decompress(bad);
+      // gzip's CRC32 makes silent corruption astronomically unlikely.
+      if (out != data) ++silent_corruptions;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  EXPECT_EQ(silent_corruptions, 0);
+}
+
+TEST(InflateFuzz, DeepStoredBlockChainsTerminate) {
+  // Many empty non-final stored blocks: the decoder must walk them all
+  // and then fail on exhaustion rather than looping.
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 1000; ++i) {
+    stream.push_back(0x00);  // BFINAL=0, BTYPE=00, aligned
+    stream.push_back(0x00);  // LEN = 0
+    stream.push_back(0x00);
+    stream.push_back(0xFF);  // NLEN
+    stream.push_back(0xFF);
+  }
+  EXPECT_THROW((void)inflate_decompress(stream), std::runtime_error);
+}
+
+}  // namespace

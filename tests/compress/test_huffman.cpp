@@ -1,0 +1,163 @@
+#include "compress/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace {
+
+using namespace compress;
+
+std::uint64_t kraft_sum(std::span<const std::uint8_t> lengths, int max_len) {
+  std::uint64_t sum = 0;
+  for (const auto l : lengths)
+    if (l > 0) sum += 1ull << (max_len - l);
+  return sum;
+}
+
+TEST(Huffman, AllZeroFrequenciesYieldNoCodes) {
+  const std::vector<std::uint32_t> freqs(10, 0);
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  for (const auto l : lengths) EXPECT_EQ(l, 0);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  std::vector<std::uint32_t> freqs(10, 0);
+  freqs[4] = 100;
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths[4], 1);
+}
+
+TEST(Huffman, TwoSymbolsGetOneBitEach) {
+  std::vector<std::uint32_t> freqs = {7, 0, 3};
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[2], 1);
+  EXPECT_EQ(lengths[1], 0);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  const std::vector<std::uint32_t> freqs = {100, 50, 20, 5, 1};
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  for (std::size_t i = 1; i < freqs.size(); ++i)
+    EXPECT_LE(lengths[i - 1], lengths[i]);
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  const std::vector<std::uint32_t> freqs = {5, 9, 12, 13, 16, 45};
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  EXPECT_EQ(kraft_sum(lengths, 15), 1ull << 15);
+}
+
+TEST(Huffman, LengthLimitIsEnforced) {
+  // Fibonacci frequencies force maximally skewed trees.
+  std::vector<std::uint32_t> freqs(30);
+  std::uint32_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const std::uint32_t next = a + b;
+    a = b;
+    b = next;
+  }
+  for (const int limit : {7, 10, 15}) {
+    const auto lengths = huffman_code_lengths(freqs, limit);
+    int max_len = 0;
+    for (const auto l : lengths) max_len = std::max<int>(max_len, l);
+    EXPECT_LE(max_len, limit);
+    EXPECT_LE(kraft_sum(lengths, limit), 1ull << limit)
+        << "limit " << limit << " over-subscribed";
+  }
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  const std::vector<std::uint32_t> freqs = {10, 7, 7, 3, 2, 1, 1};
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  const auto codes = canonical_codes(lengths);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      if (i == j || lengths[i] == 0 || lengths[j] == 0) continue;
+      if (lengths[i] > lengths[j]) continue;
+      // code_i must not be a prefix of code_j.
+      const auto shifted = codes[j] >> (lengths[j] - lengths[i]);
+      EXPECT_FALSE(shifted == codes[i] && i != j &&
+                   lengths[i] < lengths[j])
+          << "code " << i << " prefixes code " << j;
+    }
+  }
+}
+
+TEST(Huffman, Rfc1951WorkedExample) {
+  // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield these codes.
+  const std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto codes = canonical_codes(lengths);
+  const std::vector<std::uint32_t> expect = {0b010, 0b011,  0b100,  0b101,
+                                             0b110, 0b00,   0b1110, 0b1111};
+  EXPECT_EQ(codes, expect);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint32_t> freqs = {50, 30, 10, 5, 3, 1, 1};
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  const auto codes = canonical_codes(lengths);
+  const HuffmanDecoder dec(lengths);
+
+  std::mt19937 rng(3);
+  std::vector<int> symbols;
+  for (int i = 0; i < 2000; ++i)
+    symbols.push_back(static_cast<int>(rng() % freqs.size()));
+
+  BitWriter bw;
+  for (const int s : symbols)
+    bw.write_huffman(codes[static_cast<std::size_t>(s)],
+                     lengths[static_cast<std::size_t>(s)]);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const int s : symbols) ASSERT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, DecoderRejectsOversubscribedCode) {
+  // Three 1-bit codes cannot coexist.
+  const std::vector<std::uint8_t> bad = {1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder{bad}, std::runtime_error);
+}
+
+TEST(Huffman, DecoderRejectsEmptyCode) {
+  const std::vector<std::uint8_t> empty = {0, 0, 0};
+  EXPECT_THROW(HuffmanDecoder{empty}, std::runtime_error);
+}
+
+class HuffmanRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanRandomRoundTrip, RandomFrequencyTables) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const std::size_t nsym = 2 + rng() % 100;
+  std::vector<std::uint32_t> freqs(nsym);
+  for (auto& f : freqs) f = rng() % 1000;  // zeros allowed
+  freqs[0] = 1;  // ensure at least one used symbol
+  freqs[1] = 1;
+
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  EXPECT_LE(kraft_sum(lengths, 15), 1ull << 15);
+  const auto codes = canonical_codes(lengths);
+  const HuffmanDecoder dec(lengths);
+
+  std::vector<int> symbols;
+  for (int i = 0; i < 500; ++i) {
+    const int s = static_cast<int>(rng() % nsym);
+    if (freqs[static_cast<std::size_t>(s)] == 0) continue;
+    symbols.push_back(s);
+  }
+  BitWriter bw;
+  for (const int s : symbols)
+    bw.write_huffman(codes[static_cast<std::size_t>(s)],
+                     lengths[static_cast<std::size_t>(s)]);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const int s : symbols) ASSERT_EQ(dec.decode(br), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanRandomRoundTrip,
+                         ::testing::Range(0, 20));
+
+}  // namespace

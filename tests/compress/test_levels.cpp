@@ -1,0 +1,69 @@
+// Compression-level presets: monotonic effort, round-trip at every level.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compress/compress.hpp"
+
+namespace {
+
+using namespace compress;
+
+std::vector<std::uint8_t> wordy(std::size_t size, unsigned seed) {
+  static const char* words[] = {"the",  "quick", "brown ", "fox",
+                                "jumps ", "over",  "lazy ",  "dog\n"};
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out;
+  while (out.size() < size) {
+    const std::string w = words[rng() % 8];
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  out.resize(size);
+  return out;
+}
+
+TEST(Levels, RejectsOutOfRange) {
+  EXPECT_THROW((void)lz77_level(0), std::invalid_argument);
+  EXPECT_THROW((void)lz77_level(10), std::invalid_argument);
+}
+
+TEST(Levels, EffortGrowsWithLevel) {
+  for (int l = 2; l <= 9; ++l) {
+    EXPECT_GE(lz77_level(l).max_chain, lz77_level(l - 1).max_chain);
+    EXPECT_GE(lz77_level(l).nice_length, lz77_level(l - 1).nice_length);
+  }
+  EXPECT_FALSE(lz77_level(1).lazy);
+  EXPECT_TRUE(lz77_level(9).lazy);
+}
+
+class LevelRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelRoundTrip, EveryLevelRoundTrips) {
+  const int level = GetParam();
+  const auto data = wordy(200000, 7);
+  const auto gz = gzip_compress(data, lz77_level(level));
+  EXPECT_EQ(gzip_decompress(gz), data) << "level " << level;
+  EXPECT_LT(gz.size(), data.size() / 2) << "level " << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LevelRoundTrip, ::testing::Range(1, 10));
+
+TEST(Levels, HigherLevelNeverMuchWorse) {
+  // Ratios should be weakly improving; allow 2% slack for heuristics.
+  const auto data = wordy(300000, 9);
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (int l = 1; l <= 9; ++l) {
+    const auto out = deflate_compress(data, lz77_level(l));
+    EXPECT_LT(out.size(), prev + prev / 50) << "level " << l;
+    prev = out.size();
+  }
+}
+
+TEST(Levels, Level9BeatsLevel1OnRepetitiveData) {
+  const auto data = wordy(300000, 11);
+  const auto fast = deflate_compress(data, lz77_level(1)).size();
+  const auto best = deflate_compress(data, lz77_level(9)).size();
+  EXPECT_LT(best, fast);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include "image/image_lib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace image;
+
+TEST(Kernel, WeightsMatchDefinitions) {
+  EXPECT_EQ(Kernel::box3().weight(), 9);
+  EXPECT_EQ(Kernel::gaussian3().weight(), 16);
+  EXPECT_EQ(Kernel::gaussian5().weight(), 256);
+  EXPECT_EQ(Kernel::sharpen3().weight(), 5);
+  EXPECT_EQ(Kernel::sobel_x().weight(), 1);  // zero-sum normalizes by 1
+  EXPECT_EQ(Kernel::identity3().weight(), 1);
+}
+
+TEST(Kernel, RejectsEvenOrMismatchedSizes) {
+  EXPECT_THROW(Kernel(2, {1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(Kernel(3, {1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)Kernel::by_name("nope"), std::invalid_argument);
+}
+
+TEST(Kernel, ByNameRoundTrips) {
+  for (const char* name : {"box3", "gaussian3", "gaussian5", "sharpen3",
+                           "sobel_x", "sobel_y", "emboss3", "identity3"}) {
+    const Kernel k = Kernel::by_name(name);
+    EXPECT_GT(k.size(), 0) << name;
+  }
+}
+
+TEST(Convolve, IdentityKernelPreservesImage) {
+  const auto src = make_test_image(40, 30, 2);
+  EXPECT_EQ(convolve(src, Kernel::identity3()), src);
+}
+
+TEST(Convolve, BoxBlurOfConstantImageIsConstant) {
+  const Image src(16, 16, 123);
+  const Image dst = convolve(src, Kernel::box3());
+  for (const auto v : dst.data()) EXPECT_EQ(v, 123);
+}
+
+TEST(Convolve, BoxBlurAveragesNeighborhood) {
+  Image src(3, 3, 0);
+  src.set(1, 1, 90);
+  const Image dst = convolve(src, Kernel::box3());
+  EXPECT_EQ(dst.at(1, 1), 10);  // 90 / 9
+}
+
+TEST(Convolve, SobelOnConstantImageIsZero) {
+  const Image src(20, 20, 77);
+  const Image dst = convolve(src, Kernel::sobel_x());
+  for (const auto v : dst.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(Convolve, SobelDetectsVerticalEdge) {
+  Image src(20, 20, 0);
+  for (int y = 0; y < 20; ++y)
+    for (int x = 10; x < 20; ++x) src.set(x, y, 200);
+  const Image dst = convolve(src, Kernel::sobel_x());
+  EXPECT_GT(dst.at(10, 10), 100);  // strong response on the edge
+  EXPECT_EQ(dst.at(3, 10), 0);     // flat region
+}
+
+TEST(Convolve, ResultsClampToByteRange) {
+  Image src(8, 8, 250);
+  const Image sharp = convolve(src, Kernel::sharpen3());
+  for (const auto v : sharp.data()) EXPECT_LE(v, 255);
+}
+
+TEST(SplitBands, MatchesPaperRule) {
+  // "when the image size is not a multiple of the task count, the last
+  // task may receive a few extra rows"
+  const auto bands = split_bands(256, 3);
+  ASSERT_EQ(bands.size(), 3u);
+  EXPECT_EQ(bands[0].y1 - bands[0].y0, 85);
+  EXPECT_EQ(bands[1].y1 - bands[1].y0, 85);
+  EXPECT_EQ(bands[2].y1 - bands[2].y0, 86);
+}
+
+TEST(SplitBands, CoverageProperty) {
+  for (const int h : {1, 9, 256, 1000}) {
+    for (const int t : {1, 2, 7, 64}) {
+      int y = 0;
+      for (const auto& b : split_bands(h, t)) {
+        EXPECT_EQ(b.y0, y);
+        y = b.y1;
+      }
+      EXPECT_EQ(y, h);
+    }
+  }
+}
+
+TEST(Convolve, BandedEqualsWhole) {
+  const auto src = make_test_image(64, 50, 3);
+  for (const auto& kernel : {Kernel::box3(), Kernel::gaussian5(),
+                             Kernel::sobel_y(), Kernel::emboss3()}) {
+    const Image whole = convolve(src, kernel);
+    Image banded(src.width(), src.height());
+    for (const auto& band : split_bands(src.height(), 7))
+      convolve_rows(src, banded, kernel, band.y0, band.y1);
+    EXPECT_EQ(banded, whole);
+  }
+}
+
+TEST(Convolve, RowsRejectsMismatchedDst) {
+  const auto src = make_test_image(10, 10);
+  Image wrong(5, 5);
+  EXPECT_THROW(convolve_rows(src, wrong, Kernel::box3(), 0, 5),
+               std::invalid_argument);
+}
+
+class KernelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelSweep, DeterministicAcrossRuns) {
+  const auto src = make_test_image(48, 48, 8);
+  const Kernel k = Kernel::by_name(GetParam());
+  EXPECT_EQ(convolve(src, k), convolve(src, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweep,
+                         ::testing::Values("box3", "gaussian3", "gaussian5",
+                                           "sharpen3", "sobel_x", "sobel_y",
+                                           "emboss3", "identity3"));
+
+}  // namespace

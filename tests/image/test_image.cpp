@@ -1,0 +1,101 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+using image::Image;
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(2, 1), 7);
+  img.set(2, 1, 200);
+  EXPECT_EQ(img.at(2, 1), 200);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 3), std::invalid_argument);
+  EXPECT_THROW(Image(3, -2), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessAtEdges) {
+  Image img(3, 3);
+  img.set(0, 0, 10);
+  img.set(2, 2, 20);
+  EXPECT_EQ(img.at_clamped(-5, -5), 10);
+  EXPECT_EQ(img.at_clamped(7, 9), 20);
+  EXPECT_EQ(img.at_clamped(1, -1), img.at(1, 0));
+}
+
+TEST(Image, PgmRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto src = image::make_test_image(33, 17, 5);
+  const auto path = (fs::temp_directory_path() / "anahy_test.pgm").string();
+  src.write_pgm(path);
+  const Image back = Image::read_pgm(path);
+  EXPECT_EQ(back, src);
+  fs::remove(path);
+}
+
+TEST(Image, ReadPgmSkipsComments) {
+  namespace fs = std::filesystem;
+  const auto path = (fs::temp_directory_path() / "anahy_comment.pgm").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "P5\n# written by some tool\n2 # width then height\n# more\n2\n255\n";
+    const char pixels[4] = {10, 20, 30, 40};
+    f.write(pixels, 4);
+  }
+  const Image img = Image::read_pgm(path);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.height(), 2);
+  EXPECT_EQ(img.at(0, 0), 10);
+  EXPECT_EQ(img.at(1, 1), 40);
+  fs::remove(path);
+}
+
+TEST(Image, ReadPgmRejectsNonNumericHeader) {
+  namespace fs = std::filesystem;
+  const auto path = (fs::temp_directory_path() / "anahy_badhdr.pgm").string();
+  {
+    std::ofstream f(path);
+    f << "P5\nwide tall 255\n";
+  }
+  EXPECT_THROW((void)Image::read_pgm(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Image, ReadPgmRejectsGarbage) {
+  namespace fs = std::filesystem;
+  const auto path = (fs::temp_directory_path() / "anahy_bad.pgm").string();
+  {
+    std::ofstream f(path);
+    f << "NOTPGM 1 2 3";
+  }
+  EXPECT_THROW((void)Image::read_pgm(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Image, TestImageIsDeterministicPerSeed) {
+  EXPECT_EQ(image::make_test_image(64, 64, 9), image::make_test_image(64, 64, 9));
+  EXPECT_NE(image::make_test_image(64, 64, 9).data(),
+            image::make_test_image(64, 64, 10).data());
+}
+
+TEST(Image, TestImageHasDynamicRange) {
+  const auto img = image::make_test_image(128, 128);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto v : img.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 40);
+  EXPECT_GT(hi, 200);
+}
+
+}  // namespace

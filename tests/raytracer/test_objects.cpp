@@ -1,0 +1,73 @@
+#include "raytracer/objects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace raytracer;
+
+TEST(Sphere, HeadOnHit) {
+  const Sphere s{{0, 0, -5}, 1.0, 0};
+  const Hit h = s.intersect({{0, 0, 0}, {0, 0, -1}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.t, 4.0, 1e-9);
+  EXPECT_NEAR(h.point.z, -4.0, 1e-9);
+  EXPECT_NEAR(h.normal.z, 1.0, 1e-9);  // faces the ray
+}
+
+TEST(Sphere, MissReturnsNoHit) {
+  const Sphere s{{0, 3, -5}, 1.0, 0};
+  EXPECT_FALSE(s.intersect({{0, 0, 0}, {0, 0, -1}}).ok());
+}
+
+TEST(Sphere, RayFromInsideHitsFarSide) {
+  const Sphere s{{0, 0, 0}, 2.0, 0};
+  const Hit h = s.intersect({{0, 0, 0}, {0, 0, -1}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.t, 2.0, 1e-9);
+}
+
+TEST(Sphere, BehindRayIsIgnored) {
+  const Sphere s{{0, 0, 5}, 1.0, 0};  // behind a ray pointing at -z
+  EXPECT_FALSE(s.intersect({{0, 0, 0}, {0, 0, -1}}).ok());
+}
+
+TEST(Plane, PerpendicularHit) {
+  const Plane p{{0, -1, 0}, {0, 1, 0}, 0};
+  const Hit h = p.intersect({{0, 0, 0}, Vec3{0, -1, 0}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h.t, 1.0, 1e-9);
+  EXPECT_NEAR(h.normal.y, 1.0, 1e-9);
+}
+
+TEST(Plane, ParallelRayMisses) {
+  const Plane p{{0, -1, 0}, {0, 1, 0}, 0};
+  EXPECT_FALSE(p.intersect({{0, 0, 0}, {1, 0, 0}}).ok());
+}
+
+TEST(Triangle, InteriorHitAndBarycentricEdges) {
+  const Triangle t{{-1, -1, -2}, {1, -1, -2}, {0, 1, -2}, 0};
+  EXPECT_TRUE(t.intersect({{0, 0, 0}, {0, 0, -1}}).ok());
+  // Ray aimed well outside the triangle misses.
+  EXPECT_FALSE(t.intersect({{5, 5, 0}, {0, 0, -1}}).ok());
+}
+
+TEST(ClosestHit, PicksNearestObject) {
+  std::vector<Object> objects;
+  objects.push_back(Sphere{{0, 0, -10}, 1.0, 7});
+  objects.push_back(Sphere{{0, 0, -5}, 1.0, 3});
+  const Hit h = closest_hit(objects, {{0, 0, 0}, {0, 0, -1}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.material, 3);
+  EXPECT_NEAR(h.t, 4.0, 1e-9);
+}
+
+TEST(Occluded, RespectsMaxDistance) {
+  std::vector<Object> objects;
+  objects.push_back(Sphere{{0, 0, -5}, 1.0, 0});
+  const Ray ray{{0, 0, 0}, {0, 0, -1}};
+  EXPECT_TRUE(occluded(objects, ray, 100.0));
+  EXPECT_FALSE(occluded(objects, ray, 3.0));  // blocker is beyond max_t
+}
+
+}  // namespace

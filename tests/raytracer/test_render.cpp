@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "raytracer/raytracer.hpp"
+
+namespace {
+
+using namespace raytracer;
+
+TEST(SplitRows, EvenSplit) {
+  const auto bands = split_rows(100, 4);
+  ASSERT_EQ(bands.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(bands[static_cast<std::size_t>(i)].y0, i * 25);
+    EXPECT_EQ(bands[static_cast<std::size_t>(i)].y1, (i + 1) * 25);
+  }
+}
+
+TEST(SplitRows, RemainderGoesToLastBand) {
+  const auto bands = split_rows(10, 3);
+  ASSERT_EQ(bands.size(), 3u);
+  EXPECT_EQ(bands[0].y1 - bands[0].y0, 3);
+  EXPECT_EQ(bands[1].y1 - bands[1].y0, 3);
+  EXPECT_EQ(bands[2].y1 - bands[2].y0, 4);  // 10 = 3+3+4
+}
+
+TEST(SplitRows, MoreBandsThanRowsClamps) {
+  const auto bands = split_rows(3, 10);
+  EXPECT_EQ(bands.size(), 3u);
+}
+
+TEST(SplitRows, CoversAllRowsWithoutOverlap) {
+  for (const int h : {1, 7, 64, 255, 800}) {
+    for (const int b : {1, 2, 3, 8, 256}) {
+      const auto bands = split_rows(h, b);
+      int expect_y = 0;
+      for (const auto& band : bands) {
+        EXPECT_EQ(band.y0, expect_y);
+        EXPECT_LT(band.y0, band.y1);
+        expect_y = band.y1;
+      }
+      EXPECT_EQ(expect_y, h);
+    }
+  }
+}
+
+TEST(SplitRows, RejectsBadArguments) {
+  EXPECT_THROW((void)split_rows(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)split_rows(10, 0), std::invalid_argument);
+}
+
+TEST(Render, BandsComposeToFullFrame) {
+  const auto bench = build_bench_scene(20);
+  Framebuffer whole(64, 64);
+  render(bench.scene, bench.camera, whole);
+
+  Framebuffer banded(64, 64);
+  for (const auto& band : split_rows(64, 7))
+    render_rows(bench.scene, bench.camera, banded, band.y0, band.y1);
+
+  EXPECT_EQ(whole, banded);
+}
+
+TEST(Render, SceneIsDeterministic) {
+  const auto a = build_bench_scene(20);
+  const auto b = build_bench_scene(20);
+  Framebuffer fa(32, 32), fb(32, 32);
+  render(a.scene, a.camera, fa);
+  render(b.scene, b.camera, fb);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(Render, ImageHasStructure) {
+  // Guards against degenerate all-background output.
+  const auto bench = build_bench_scene(40);
+  Framebuffer fb(48, 48);
+  render(bench.scene, bench.camera, fb);
+  const auto rgb = fb.to_rgb8();
+  int distinct = 0;
+  std::uint8_t last = rgb[0];
+  for (const auto v : rgb)
+    if (v != last) {
+      ++distinct;
+      last = v;
+    }
+  EXPECT_GT(distinct, 100);
+}
+
+TEST(Render, RowCostIsIrregular) {
+  // The paper's load-imbalance premise: some bands cost much more than
+  // others. Proxy: bands differ strongly in non-background content.
+  const auto bench = build_bench_scene(60);
+  Framebuffer fb(64, 64);
+  render(bench.scene, bench.camera, fb);
+  auto band_content = [&](int y0, int y1) {
+    double sum = 0;
+    for (int y = y0; y < y1; ++y)
+      for (int x = 0; x < 64; ++x) sum += fb.get(x, y).length();
+    return sum;
+  };
+  const double top = band_content(0, 16);
+  const double bottom = band_content(48, 64);
+  EXPECT_GT(std::max(top, bottom), 2.0 * std::min(top, bottom));
+}
+
+TEST(Framebuffer, PpmRoundTripHeader) {
+  namespace fs = std::filesystem;
+  Framebuffer fb(5, 3);
+  fb.set(0, 0, {1.0, 0.0, 0.0});
+  const auto path = (fs::temp_directory_path() / "anahy_test.ppm").string();
+  fb.write_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxv;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxv, 255);
+  in.get();
+  std::uint8_t rgb[3];
+  in.read(reinterpret_cast<char*>(rgb), 3);
+  EXPECT_EQ(rgb[0], 255);
+  EXPECT_EQ(rgb[1], 0);
+  fs::remove(path);
+}
+
+TEST(Framebuffer, RejectsBadDimensions) {
+  EXPECT_THROW(Framebuffer(0, 5), std::invalid_argument);
+  EXPECT_THROW(Framebuffer(5, -1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+#include "raytracer/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using raytracer::Vec3;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(a * b, Vec3(4, 10, 18));  // component-wise
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);  // anti-commutative
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+  EXPECT_DOUBLE_EQ(v.length_squared(), 25.0);
+  const Vec3 n = v.normalized();
+  EXPECT_NEAR(n.length(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});  // zero vector stays zero
+}
+
+TEST(Vec3, Reflect) {
+  // Incoming 45 degrees onto the XZ plane reflects symmetrically.
+  const Vec3 v = Vec3{1, -1, 0}.normalized();
+  const Vec3 n{0, 1, 0};
+  const Vec3 r = reflect(v, n);
+  EXPECT_NEAR(r.x, v.x, 1e-12);
+  EXPECT_NEAR(r.y, -v.y, 1e-12);
+  EXPECT_NEAR(r.length(), 1.0, 1e-12);
+}
+
+TEST(Vec3, Clamp01) {
+  const auto c = raytracer::clamp01({-0.5, 0.5, 1.5});
+  EXPECT_EQ(c, Vec3(0.0, 0.5, 1.0));
+}
+
+}  // namespace

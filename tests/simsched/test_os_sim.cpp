@@ -1,0 +1,189 @@
+// Direct tests of the discrete-event OS core (threads, quantum,
+// round-robin, block/wake, deadlock and livelock detection).
+#include "simsched/os_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simsched;
+
+MachineModel machine(int procs, double quantum = 0.01, double switch_cost = 0.0) {
+  MachineModel m;
+  m.processors = procs;
+  m.quantum = quantum;
+  m.context_switch_cost = switch_cost;
+  return m;
+}
+
+/// Agent that computes a fixed list of chunks, then finishes.
+class ChunkAgent final : public Agent {
+ public:
+  explicit ChunkAgent(std::vector<double> chunks)
+      : chunks_(std::move(chunks)) {}
+  Action next(OsSim&) override {
+    if (idx_ == chunks_.size()) return Action::finish();
+    return Action::compute(chunks_[idx_++]);
+  }
+
+ private:
+  std::vector<double> chunks_;
+  std::size_t idx_ = 0;
+};
+
+/// Agent that blocks immediately and finishes after being woken.
+class SleeperAgent final : public Agent {
+ public:
+  Action next(OsSim&) override {
+    if (!slept_) {
+      slept_ = true;
+      return Action::block();
+    }
+    return Action::finish();
+  }
+  bool slept_ = false;
+};
+
+/// Agent that computes, then wakes a target thread, then finishes.
+class WakerAgent final : public Agent {
+ public:
+  WakerAgent(int target, double cost) : target_(target), cost_(cost) {}
+  Action next(OsSim& sim) override {
+    if (!done_) {
+      done_ = true;
+      return Action::compute(cost_);
+    }
+    sim.wake(target_);
+    return Action::finish();
+  }
+
+ private:
+  int target_;
+  double cost_;
+  bool done_ = false;
+};
+
+TEST(OsSim, SingleThreadMakespanEqualsWork) {
+  OsSim sim(machine(1));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{0.5, 0.25}));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.75);
+  EXPECT_DOUBLE_EQ(sim.busy_time(0), 0.75);
+}
+
+TEST(OsSim, TwoThreadsOneCpuSerialize) {
+  OsSim sim(machine(1));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(OsSim, TwoThreadsTwoCpusOverlap) {
+  OsSim sim(machine(2));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(OsSim, BlockedThreadIsWokenAndFinishes) {
+  OsSim sim(machine(1));
+  const int sleeper = sim.spawn(std::make_unique<SleeperAgent>());
+  sim.spawn(std::make_unique<WakerAgent>(sleeper, 0.3));
+  sim.run();  // must terminate: waker wakes sleeper
+  EXPECT_NEAR(sim.now(), 0.3, 1e-9);
+}
+
+TEST(OsSim, DeadlockIsDetected) {
+  OsSim sim(machine(1));
+  sim.spawn(std::make_unique<SleeperAgent>());  // nobody will wake it
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(OsSim, WakingARunnableThreadIsANoop) {
+  OsSim sim(machine(1));
+  const int tid = sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{0.1}));
+  sim.wake(tid);  // runnable, not blocked
+  sim.run();
+  EXPECT_NEAR(sim.now(), 0.1, 1e-9);
+}
+
+TEST(OsSim, QuantumForcesInterleaving) {
+  // Two 1.0s threads, 0.1s quantum: ~20 dispatches instead of 2.
+  OsSim coarse(machine(1, /*quantum=*/10.0));
+  coarse.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  coarse.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  coarse.run();
+
+  OsSim fine(machine(1, /*quantum=*/0.1));
+  fine.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  fine.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  fine.run();
+
+  EXPECT_GT(fine.context_switches(), coarse.context_switches());
+  EXPECT_NEAR(fine.now(), coarse.now(), 1e-9);  // free switches: same time
+}
+
+TEST(OsSim, ContextSwitchCostExtendsMakespan) {
+  OsSim sim(machine(1, /*quantum=*/0.1, /*switch=*/0.01));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.run();
+  // 2.0s of work + ~20 preemptions x 0.01s.
+  EXPECT_GT(sim.now(), 2.05);
+  // Useful busy time is unchanged.
+  EXPECT_NEAR(sim.busy_time(0) + sim.busy_time(1), 2.0, 1e-9);
+}
+
+TEST(OsSim, LivelockGuardTrips) {
+  class ZeroAgent final : public Agent {
+   public:
+    Action next(OsSim&) override { return Action::compute(0.0); }
+  };
+  OsSim sim(machine(1));
+  sim.spawn(std::make_unique<ZeroAgent>());
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(OsSim, RejectsBadMachine) {
+  EXPECT_THROW(OsSim sim(machine(0)), std::invalid_argument);
+  MachineModel bad = machine(1);
+  bad.quantum = 0.0;
+  EXPECT_THROW(OsSim sim(bad), std::invalid_argument);
+}
+
+TEST(OsSim, CpuSpeedScalesComputeTime) {
+  MachineModel fast = machine(1);
+  fast.cpu_speed = 2.0;
+  OsSim sim(fast);
+  sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{1.0}));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 0.5, 1e-9);  // 1.0s of work at 2x clock
+}
+
+TEST(OsSim, RejectsNonPositiveCpuSpeed) {
+  MachineModel bad = machine(1);
+  bad.cpu_speed = 0.0;
+  EXPECT_THROW(OsSim sim(bad), std::invalid_argument);
+}
+
+TEST(OsSim, EmptySimulationTerminatesImmediately) {
+  OsSim sim(machine(2));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(OsSim, ManyThreadsConserveWork) {
+  OsSim sim(machine(3, 0.05, 0.0));
+  constexpr int kN = 50;
+  for (int i = 0; i < kN; ++i)
+    sim.spawn(std::make_unique<ChunkAgent>(std::vector<double>{0.2, 0.1}));
+  sim.run();
+  double busy = 0.0;
+  for (int i = 0; i < kN; ++i) busy += sim.busy_time(i);
+  EXPECT_NEAR(busy, kN * 0.3, 1e-9);
+  EXPECT_GE(sim.now() + 1e-9, kN * 0.3 / 3);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "simsched/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simsched;
+
+TEST(Program, IndependentTasksWorkAndSpan) {
+  const Program p = make_independent_tasks({1.0, 2.0, 3.0}, 0.5, 0.25);
+  EXPECT_DOUBLE_EQ(p.work(), 6.75);
+  // Critical path: pre + longest task + post.
+  EXPECT_DOUBLE_EQ(p.span(), 0.5 + 3.0 + 0.25);
+  p.validate();
+}
+
+TEST(Program, SingleTaskShape) {
+  const Program p = make_independent_tasks({4.0});
+  EXPECT_DOUBLE_EQ(p.work(), 4.0);
+  EXPECT_DOUBLE_EQ(p.span(), 4.0);
+}
+
+TEST(Program, FibShapeCounts) {
+  // fib(5): calls with n>=2 fork once each; fib(6)-1 = 7 forks -> 8 tasks.
+  const Program p = make_fib(5, 0.01, 0.001);
+  EXPECT_EQ(p.tasks.size(), 8u);
+  p.validate();
+}
+
+TEST(Program, FibWorkScalesWithCallCount) {
+  // Calls(n) = 2*fib(n+1)-1; nodes with n>=2 cost node_cost, leaves
+  // (n<2) cost leaf_cost. For n=5: 15 calls = 7 internal + 8 leaves.
+  const Program p = make_fib(5, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.work(), 7.0 * 1.0 + 8.0 * 0.5);
+}
+
+TEST(Program, SpanIsAtMostWork) {
+  const Program p = make_fib(10, 0.01, 0.002);
+  EXPECT_LE(p.span(), p.work());
+  EXPECT_GT(p.span(), 0.0);
+}
+
+TEST(Program, FibSpanGrowsLinearly) {
+  // The critical path of the fib graph is the leftmost chain: O(n) nodes,
+  // far smaller than the exponential work.
+  const Program p15 = make_fib(15, 1.0, 1.0);
+  EXPECT_LT(p15.span(), 50.0);
+  EXPECT_GT(p15.work(), 1500.0);
+}
+
+TEST(Program, ValidateCatchesDanglingChild) {
+  Program p;
+  p.tasks.resize(1);
+  p.tasks[0].segments.push_back(Segment::fork(5));
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateCatchesDoubleFork) {
+  Program p;
+  p.tasks.resize(2);
+  p.tasks[0].segments.push_back(Segment::fork(1));
+  p.tasks[0].segments.push_back(Segment::fork(1));
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateCatchesUnforkedTask) {
+  Program p;
+  p.tasks.resize(2);  // task 1 never forked
+  p.tasks[0].segments.push_back(Segment::compute(1.0));
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateCatchesSelfFork) {
+  Program p;
+  p.tasks.resize(1);
+  p.tasks[0].segments.push_back(Segment::fork(0));
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateCatchesNegativeCost) {
+  Program p;
+  p.tasks.resize(1);
+  p.tasks[0].segments.push_back(Segment::compute(-1.0));
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Focused tests of the one-thread-per-task POSIX model.
+#include "simsched/simsched.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simsched;
+
+MachineModel ideal(int procs) {
+  MachineModel m;
+  m.processors = procs;
+  m.context_switch_cost = 0.0;
+  m.thread_create_cost = 0.0;
+  m.thread_join_cost = 0.0;
+  return m;
+}
+
+TEST(PthreadSim, OneThreadPerTaskExactly) {
+  const Program p = make_fib(8, 0.001, 0.0005);
+  const SimResult r = simulate_pthreads(p, ideal(2));
+  EXPECT_EQ(r.threads_created, p.tasks.size());
+  EXPECT_EQ(r.tasks_executed, p.tasks.size());
+}
+
+TEST(PthreadSim, BlockedJoinChainsResolve) {
+  // A pure dependency chain: T0 forks T1 forks T2 ... each joins its
+  // child; every join blocks (child must fully finish first).
+  Program p;
+  constexpr int kDepth = 50;
+  p.tasks.resize(kDepth + 1);
+  for (int i = 0; i < kDepth; ++i) {
+    p.tasks[static_cast<std::size_t>(i)].segments = {
+        Segment::compute(0.01), Segment::fork(i + 1), Segment::join(i + 1)};
+  }
+  p.tasks[kDepth].segments = {Segment::compute(0.01)};
+  const SimResult r = simulate_pthreads(p, ideal(4));
+  // A chain cannot be parallelized: makespan == work regardless of CPUs.
+  EXPECT_NEAR(r.makespan, p.work(), 1e-9);
+}
+
+TEST(PthreadSim, ThreadCostsAccrueOnTheParent) {
+  MachineModel m = ideal(1);
+  m.thread_create_cost = 0.001;
+  m.thread_join_cost = 0.0005;
+  const Program p = make_independent_tasks(std::vector<double>(10, 0.0));
+  const SimResult r = simulate_pthreads(p, m);
+  // Ten creates + ten joins of zero-work children: all cost, no work.
+  EXPECT_NEAR(r.makespan, 10 * 0.001 + 10 * 0.0005, 1e-9);
+}
+
+TEST(PthreadSim, FourCpusQuarterIndependentWork) {
+  const Program p = make_independent_tasks(std::vector<double>(16, 1.0));
+  const SimResult r = simulate_pthreads(p, ideal(4));
+  EXPECT_NEAR(r.makespan, 4.0, 0.05);
+  EXPECT_NEAR(r.total_busy, 16.0, 1e-6);
+}
+
+TEST(PthreadSim, MakespanRespectsGraphSpan) {
+  const Program p = make_fib(10, 0.01, 0.005);
+  const SimResult r = simulate_pthreads(p, ideal(8));
+  EXPECT_GE(r.makespan + 1e-9, p.span());
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "simsched/sim_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace simsched;
+
+SimResult sample_result() {
+  MachineModel m;
+  m.processors = 2;
+  m.context_switch_cost = 0.0;
+  m.task_fork_cost = 0.0;
+  m.task_join_cost = 0.0;
+  const Program p = make_independent_tasks(std::vector<double>(6, 0.1));
+  return simulate_anahy(p, 2, m);
+}
+
+TEST(SimExport, CsvHasHeaderAndOneRowPerTask) {
+  const SimResult r = sample_result();
+  const std::string csv = schedule_csv(r);
+  EXPECT_NE(csv.find("task,vp,start,end,duration\n"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            r.schedule.size() + 1);
+  EXPECT_NE(csv.find("T0,"), std::string::npos);  // the root flow appears
+}
+
+TEST(SimExport, PeakConcurrencyBoundedByVps) {
+  const SimResult r = sample_result();
+  const std::size_t peak = schedule_peak_concurrency(r);
+  EXPECT_GE(peak, 1u);
+  // Wall intervals nest when a VP inlines a task inside a join, so the
+  // bound is VPs plus the nesting depth; for a flat farm of independent
+  // tasks under one root the only nesting is root -> band.
+  EXPECT_LE(peak, 3u);
+}
+
+TEST(SimExport, UtilizationSummaryCoversEveryVp) {
+  const SimResult r = sample_result();
+  const std::string summary = utilization_summary(r);
+  EXPECT_NE(summary.find("vp0:"), std::string::npos);
+  EXPECT_NE(summary.find("vp1:"), std::string::npos);
+  EXPECT_NE(summary.find('%'), std::string::npos);
+}
+
+TEST(SimExport, EmptyScheduleIsWellFormed) {
+  SimResult r;
+  EXPECT_EQ(schedule_csv(r), "task,vp,start,end,duration\n");
+  EXPECT_EQ(schedule_peak_concurrency(r), 0u);
+  EXPECT_TRUE(utilization_summary(r).empty());
+}
+
+}  // namespace

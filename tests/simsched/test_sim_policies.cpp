@@ -1,0 +1,116 @@
+// Scheduling-order semantics of the simulated kernel, observed through
+// the recorded schedule: FIFO runs siblings in creation order, LIFO in
+// reverse, and the work-stealing owner path runs newest-first.
+#include "simsched/simsched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using namespace simsched;
+
+MachineModel one_cpu() {
+  MachineModel m;
+  m.processors = 1;
+  m.context_switch_cost = 0.0;
+  m.task_fork_cost = 0.0;
+  m.task_join_cost = 0.0;
+  return m;
+}
+
+/// Start times of tasks 1..n (the root's children) with a single VP.
+std::map<int, double> child_starts(anahy::PolicyKind policy, int n) {
+  const Program p =
+      make_independent_tasks(std::vector<double>(static_cast<std::size_t>(n), 0.1));
+  const SimResult r = simulate_anahy(p, 1, one_cpu(), policy);
+  std::map<int, double> starts;
+  for (const auto& e : r.schedule)
+    if (e.task >= 1) starts[e.task] = e.start;
+  return starts;
+}
+
+TEST(SimPolicyOrder, JoinOrderDominatesWithInlining) {
+  // With one VP the root joins children in creation order and INLINES the
+  // join target whenever it is still ready, so all policies produce
+  // creation order for a farm. (Policy order shows when tasks are pulled
+  // by idle VPs rather than by joins - covered below.)
+  for (const auto policy :
+       {anahy::PolicyKind::kFifo, anahy::PolicyKind::kLifo,
+        anahy::PolicyKind::kWorkStealing}) {
+    const auto starts = child_starts(policy, 4);
+    ASSERT_EQ(starts.size(), 4u);
+    EXPECT_LT(starts.at(1), starts.at(2)) << to_string(policy);
+    EXPECT_LT(starts.at(2), starts.at(3)) << to_string(policy);
+  }
+}
+
+/// A program whose root forks n children and then only computes (no joins
+/// until the very end): idle VPs pull from the ready list directly, so
+/// the policy's pop order becomes observable.
+Program farm_with_busy_root(int n, double root_compute) {
+  Program p;
+  p.tasks.resize(static_cast<std::size_t>(n) + 1);
+  for (int i = 1; i <= n; ++i)
+    p.tasks[0].segments.push_back(Segment::fork(i));
+  p.tasks[0].segments.push_back(Segment::compute(root_compute));
+  for (int i = 1; i <= n; ++i)
+    p.tasks[0].segments.push_back(Segment::join(i));
+  for (int i = 1; i <= n; ++i)
+    p.tasks[static_cast<std::size_t>(i)].segments.push_back(
+        Segment::compute(0.05));
+  return p;
+}
+
+TEST(SimPolicyOrder, FifoWorkerRunsOldestFirst) {
+  const Program p = farm_with_busy_root(4, 1.0);
+  const SimResult r =
+      simulate_anahy(p, 2, one_cpu(), anahy::PolicyKind::kFifo);
+  // VP1 (idle) pops while the root computes on VP0: FIFO = task 1 first.
+  std::map<int, double> starts;
+  for (const auto& e : r.schedule) starts[e.task] = e.start;
+  EXPECT_LT(starts.at(1), starts.at(2));
+  EXPECT_LT(starts.at(2), starts.at(3));
+}
+
+TEST(SimPolicyOrder, LifoWorkerRunsNewestFirst) {
+  const Program p = farm_with_busy_root(4, 1.0);
+  const SimResult r =
+      simulate_anahy(p, 2, one_cpu(), anahy::PolicyKind::kLifo);
+  std::map<int, double> starts;
+  for (const auto& e : r.schedule) starts[e.task] = e.start;
+  EXPECT_GT(starts.at(1), starts.at(4));  // newest (4) runs before oldest (1)
+}
+
+TEST(SimPolicyOrder, StealingThiefTakesOldestFromVictim) {
+  const Program p = farm_with_busy_root(4, 1.0);
+  const SimResult r =
+      simulate_anahy(p, 2, one_cpu(), anahy::PolicyKind::kWorkStealing);
+  // The idle VP1 steals from VP0's deque top = the OLDEST fork (task 1).
+  std::map<int, double> starts;
+  for (const auto& e : r.schedule) starts[e.task] = e.start;
+  EXPECT_LT(starts.at(1), starts.at(4));
+  EXPECT_GE(r.steals, 1u);
+}
+
+TEST(SimPolicyOrder, HelpFirstOffStillCompletesChains) {
+  // help_first=false must not deadlock: join-inlining keeps 1-VP chains
+  // runnable.
+  Program p;
+  p.tasks.resize(4);
+  p.tasks[0].segments = {Segment::fork(1), Segment::join(1)};
+  p.tasks[1].segments = {Segment::fork(2), Segment::compute(0.01),
+                         Segment::join(2)};
+  p.tasks[2].segments = {Segment::fork(3), Segment::compute(0.01),
+                         Segment::join(3)};
+  p.tasks[3].segments = {Segment::compute(0.01)};
+  for (const int vps : {1, 2}) {
+    const SimResult r = simulate_anahy(p, vps, one_cpu(),
+                                       anahy::PolicyKind::kWorkStealing,
+                                       /*help_first=*/false);
+    EXPECT_EQ(r.tasks_executed, p.tasks.size()) << vps << " VPs";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Simulator validity: conservation laws (makespan >= span, >= work/P,
+// busy == work), greedy-scheduling bounds, and the qualitative behaviours
+// the bi-processor substitution relies on.
+#include "simsched/simsched.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simsched;
+
+MachineModel ideal(int procs) {
+  MachineModel m;
+  m.processors = procs;
+  m.context_switch_cost = 0.0;
+  m.thread_create_cost = 0.0;
+  m.thread_join_cost = 0.0;
+  m.task_fork_cost = 0.0;
+  m.task_join_cost = 0.0;
+  return m;
+}
+
+TEST(SimulateSequential, MakespanIsWork) {
+  const Program p = make_independent_tasks({1.0, 2.0, 3.0});
+  const SimResult r = simulate_sequential(p);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(SimulateSequential, CpuSpeedScalesMakespan) {
+  const Program p = make_independent_tasks({2.0, 2.0});
+  MachineModel faster = ideal(1);
+  faster.cpu_speed = 1.25;
+  EXPECT_DOUBLE_EQ(simulate_sequential(p, faster).makespan, 4.0 / 1.25);
+  faster.cpu_speed = 0.0;
+  EXPECT_THROW((void)simulate_sequential(p, faster), std::invalid_argument);
+}
+
+TEST(SimulateAnahy, OneVpOneCpuEqualsSequentialWithoutOverheads) {
+  const Program p = make_independent_tasks({1.0, 2.0, 3.0}, 0.5, 0.5);
+  const SimResult r = simulate_anahy(p, 1, ideal(1));
+  EXPECT_NEAR(r.makespan, p.work(), 1e-9);
+  EXPECT_NEAR(r.total_busy, p.work(), 1e-9);
+}
+
+TEST(SimulateAnahy, TwoCpusHalveIndependentWork) {
+  // 8 equal tasks on 2 CPUs with enough VPs: near-perfect speedup.
+  const Program p =
+      make_independent_tasks(std::vector<double>(8, 1.0));
+  const SimResult r = simulate_anahy(p, 2, ideal(2));
+  EXPECT_NEAR(r.makespan, 4.0, 0.05);
+}
+
+TEST(SimulateAnahy, GreedyBoundsHold) {
+  // Brent/greedy bound: span <= makespan <= work/P + span (plus overheads,
+  // zero here) for any greedy schedule.
+  for (const int procs : {1, 2, 4}) {
+    for (const int vps : {1, 2, 4, 8}) {
+      if (vps < procs) continue;
+      const Program p = make_fib(12, 0.001, 0.0005);
+      const SimResult r = simulate_anahy(p, vps, ideal(procs));
+      EXPECT_GE(r.makespan + 1e-9, p.span()) << procs << "p " << vps << "vp";
+      EXPECT_GE(r.makespan + 1e-9, p.work() / procs);
+      if (vps >= procs) {
+        EXPECT_LE(r.makespan, p.work() / procs + p.span() + 1e-9)
+            << procs << "p " << vps << "vp";
+      }
+      EXPECT_NEAR(r.total_busy, p.work(), 1e-6);
+    }
+  }
+}
+
+TEST(SimulateAnahy, WorkIsConservedAcrossPolicies) {
+  const Program p = make_fib(10, 0.002, 0.001);
+  for (const auto policy :
+       {anahy::PolicyKind::kFifo, anahy::PolicyKind::kLifo,
+        anahy::PolicyKind::kWorkStealing}) {
+    const SimResult r = simulate_anahy(p, 3, ideal(2), policy);
+    EXPECT_NEAR(r.total_busy, p.work(), 1e-6) << to_string(policy);
+    EXPECT_EQ(r.tasks_executed, p.tasks.size());
+  }
+}
+
+TEST(SimulateAnahy, StealsHappenOnlyWithMultipleVps) {
+  const Program p = make_independent_tasks(std::vector<double>(16, 0.1));
+  const SimResult one = simulate_anahy(p, 1, ideal(1));
+  EXPECT_EQ(one.steals, 0u);
+  const SimResult four = simulate_anahy(p, 4, ideal(2));
+  EXPECT_GT(four.steals, 0u);  // workers must steal from VP 0's deque
+}
+
+TEST(SimulateAnahy, MoreVpsThanCpusStillCorrect) {
+  const Program p = make_independent_tasks(std::vector<double>(20, 0.05));
+  const SimResult r = simulate_anahy(p, 20, ideal(2));
+  EXPECT_NEAR(r.total_busy, p.work(), 1e-6);
+  EXPECT_GE(r.makespan + 1e-9, p.work() / 2);
+}
+
+TEST(SimulateAnahy, FourListAlgorithmHandlesDeepFib) {
+  const Program p = make_fib(16, 0.0001, 0.00005);
+  const SimResult r = simulate_anahy(p, 4, ideal(2));
+  EXPECT_EQ(r.tasks_executed, p.tasks.size());
+  EXPECT_NEAR(r.total_busy, p.work(), 1e-6);
+}
+
+TEST(SimulatePthreads, MatchesWorkOnIdealMachine) {
+  const Program p = make_independent_tasks(std::vector<double>(6, 1.0));
+  const SimResult r = simulate_pthreads(p, ideal(2));
+  EXPECT_NEAR(r.total_busy, p.work(), 1e-6);
+  EXPECT_NEAR(r.makespan, 3.0, 0.05);  // 6 tasks on 2 cpus
+  EXPECT_EQ(r.threads_created, p.tasks.size());
+}
+
+TEST(SimulatePthreads, ThreadCreationCostHurtsOnOneCpu) {
+  // The paper's Table 2 shape: on a mono-processor, thread-per-task is
+  // strictly slower than sequential; Anahy with 1 VP is not.
+  MachineModel m = ideal(1);
+  m.thread_create_cost = 0.01;
+  m.context_switch_cost = 0.001;
+  const Program p = make_independent_tasks(std::vector<double>(64, 0.05));
+  const SimResult pthreads = simulate_pthreads(p, m);
+  const SimResult anahy = simulate_anahy(p, 1, m);
+  const SimResult seq = simulate_sequential(p);
+  EXPECT_GT(pthreads.makespan, 1.15 * seq.makespan);
+  EXPECT_LT(anahy.makespan, 1.05 * seq.makespan);
+}
+
+TEST(SimulatePthreads, OversubscriptionAddsSwitchCost) {
+  MachineModel cheap = ideal(1);
+  MachineModel costly = ideal(1);
+  costly.context_switch_cost = 0.002;
+  costly.quantum = 0.01;
+  const Program p = make_independent_tasks(std::vector<double>(32, 0.1));
+  EXPECT_GT(simulate_pthreads(p, costly).makespan,
+            simulate_pthreads(p, cheap).makespan);
+}
+
+TEST(SimulateAnahy, BiProcBeatsMonoProc) {
+  // The headline substitution: same program, 1 vs 2 simulated CPUs.
+  const Program p = make_independent_tasks(std::vector<double>(16, 0.25));
+  const double mono = simulate_anahy(p, 4, ideal(1)).makespan;
+  const double bi = simulate_anahy(p, 4, ideal(2)).makespan;
+  EXPECT_GT(mono / bi, 1.8);
+}
+
+TEST(SimulateAnahy, IrregularLoadBenefitsFromMoreVps) {
+  // Table 4's qualitative effect: with irregular task costs, more VPs than
+  // CPUs cannot hurt much and often helps smooth the tail.
+  std::vector<double> costs;
+  for (int i = 0; i < 32; ++i) costs.push_back(i % 8 == 0 ? 0.8 : 0.05);
+  const Program p = make_independent_tasks(costs);
+  const double vps2 = simulate_anahy(p, 2, ideal(2)).makespan;
+  const double vps8 = simulate_anahy(p, 8, ideal(2)).makespan;
+  EXPECT_LE(vps8, vps2 * 1.10);
+}
+
+TEST(OsSim, DetectsDeadlock) {
+  // A program whose root joins a task that is never forked... is caught by
+  // validate; instead build a legal program and a broken machine: not
+  // possible -> test the validator path.
+  Program p;
+  p.tasks.resize(2);
+  p.tasks[0].segments.push_back(Segment::join(1));  // join without fork
+  p.tasks[0].segments.push_back(Segment::fork(1));
+  EXPECT_THROW((void)simulate_anahy(p, 1, ideal(1)), std::runtime_error);
+}
+
+TEST(SimulateAnahy, ScheduleRecordsEveryTaskExactlyOnce) {
+  const Program p = make_fib(8, 0.001, 0.0005);
+  const SimResult r = simulate_anahy(p, 3, ideal(2));
+  ASSERT_EQ(r.schedule.size(), p.tasks.size());
+  std::vector<bool> seen(p.tasks.size(), false);
+  for (const auto& e : r.schedule) {
+    ASSERT_GE(e.task, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.task), p.tasks.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(e.task)]) << "task ran twice";
+    seen[static_cast<std::size_t>(e.task)] = true;
+    EXPECT_GE(e.vp, 0);
+    EXPECT_LT(e.vp, 3);
+    EXPECT_LE(e.start, e.end);
+    EXPECT_LE(e.end, r.makespan + 1e-12);
+  }
+}
+
+TEST(SimulateAnahy, ScheduleIntervalsRespectVpSerialization) {
+  // A VP executes nested frames, so intervals on one VP may nest, but a
+  // task's interval always contains its inlined children's intervals.
+  const Program p = make_independent_tasks(std::vector<double>(10, 0.1));
+  const SimResult r = simulate_anahy(p, 2, ideal(2));
+  for (const auto& a : r.schedule)
+    for (const auto& b : r.schedule) {
+      if (a.task == b.task || a.vp != b.vp) continue;
+      // On the same VP: disjoint or nested, never partially overlapping.
+      const bool disjoint = a.end <= b.start + 1e-12 || b.end <= a.start + 1e-12;
+      const bool a_in_b = a.start >= b.start - 1e-12 && a.end <= b.end + 1e-12;
+      const bool b_in_a = b.start >= a.start - 1e-12 && b.end <= a.end + 1e-12;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "T" << a.task << " and T" << b.task << " partially overlap on vp "
+          << a.vp;
+    }
+}
+
+TEST(SimulateAnahy, RejectsBadArguments) {
+  const Program p = make_independent_tasks({1.0});
+  EXPECT_THROW((void)simulate_anahy(p, 0, ideal(1)), std::invalid_argument);
+  MachineModel m = ideal(0);
+  EXPECT_THROW((void)simulate_anahy(p, 1, m), std::invalid_argument);
+}
+
+}  // namespace
