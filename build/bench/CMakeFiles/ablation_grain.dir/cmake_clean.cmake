@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grain.dir/ablation_grain.cpp.o"
+  "CMakeFiles/ablation_grain.dir/ablation_grain.cpp.o.d"
+  "ablation_grain"
+  "ablation_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

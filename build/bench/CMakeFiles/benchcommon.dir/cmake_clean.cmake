@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchcommon.dir/common/bench_common.cpp.o"
+  "CMakeFiles/benchcommon.dir/common/bench_common.cpp.o.d"
+  "libbenchcommon.a"
+  "libbenchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

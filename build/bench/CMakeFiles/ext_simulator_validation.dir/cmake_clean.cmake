@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_simulator_validation.dir/ext_simulator_validation.cpp.o"
+  "CMakeFiles/ext_simulator_validation.dir/ext_simulator_validation.cpp.o.d"
+  "ext_simulator_validation"
+  "ext_simulator_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_simulator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_03_architecture.dir/fig01_03_architecture.cpp.o"
+  "CMakeFiles/fig01_03_architecture.dir/fig01_03_architecture.cpp.o.d"
+  "fig01_03_architecture"
+  "fig01_03_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_03_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

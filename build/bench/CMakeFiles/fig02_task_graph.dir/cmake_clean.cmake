@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_task_graph.dir/fig02_task_graph.cpp.o"
+  "CMakeFiles/fig02_task_graph.dir/fig02_task_graph.cpp.o.d"
+  "fig02_task_graph"
+  "fig02_task_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_task_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

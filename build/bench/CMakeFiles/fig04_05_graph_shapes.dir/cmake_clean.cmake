@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_graph_shapes.dir/fig04_05_graph_shapes.cpp.o"
+  "CMakeFiles/fig04_05_graph_shapes.dir/fig04_05_graph_shapes.cpp.o.d"
+  "fig04_05_graph_shapes"
+  "fig04_05_graph_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_graph_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_05_graph_shapes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_raytracer_seq.dir/table01_raytracer_seq.cpp.o"
+  "CMakeFiles/table01_raytracer_seq.dir/table01_raytracer_seq.cpp.o.d"
+  "table01_raytracer_seq"
+  "table01_raytracer_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_raytracer_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_raytracer_pthreads.dir/table02_raytracer_pthreads.cpp.o"
+  "CMakeFiles/table02_raytracer_pthreads.dir/table02_raytracer_pthreads.cpp.o.d"
+  "table02_raytracer_pthreads"
+  "table02_raytracer_pthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_raytracer_pthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

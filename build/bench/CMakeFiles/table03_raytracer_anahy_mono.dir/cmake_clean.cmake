@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_raytracer_anahy_mono.dir/table03_raytracer_anahy_mono.cpp.o"
+  "CMakeFiles/table03_raytracer_anahy_mono.dir/table03_raytracer_anahy_mono.cpp.o.d"
+  "table03_raytracer_anahy_mono"
+  "table03_raytracer_anahy_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_raytracer_anahy_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_raytracer_anahy_mono.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table04_raytracer_anahy_bi.cpp" "bench/CMakeFiles/table04_raytracer_anahy_bi.dir/table04_raytracer_anahy_bi.cpp.o" "gcc" "bench/CMakeFiles/table04_raytracer_anahy_bi.dir/table04_raytracer_anahy_bi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/image.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytracer/CMakeFiles/raytracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_raytracer_anahy_bi.dir/table04_raytracer_anahy_bi.cpp.o"
+  "CMakeFiles/table04_raytracer_anahy_bi.dir/table04_raytracer_anahy_bi.cpp.o.d"
+  "table04_raytracer_anahy_bi"
+  "table04_raytracer_anahy_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_raytracer_anahy_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_gzip_seq.dir/table05_gzip_seq.cpp.o"
+  "CMakeFiles/table05_gzip_seq.dir/table05_gzip_seq.cpp.o.d"
+  "table05_gzip_seq"
+  "table05_gzip_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_gzip_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_gzip_pthreads_mono.dir/table06_gzip_pthreads_mono.cpp.o"
+  "CMakeFiles/table06_gzip_pthreads_mono.dir/table06_gzip_pthreads_mono.cpp.o.d"
+  "table06_gzip_pthreads_mono"
+  "table06_gzip_pthreads_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_gzip_pthreads_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

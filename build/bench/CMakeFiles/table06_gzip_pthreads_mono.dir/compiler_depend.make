@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table06_gzip_pthreads_mono.
+# This may be replaced when dependencies are built.

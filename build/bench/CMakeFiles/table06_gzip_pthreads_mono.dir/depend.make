@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_gzip_pthreads_mono.
+# This may be replaced when dependencies are built.

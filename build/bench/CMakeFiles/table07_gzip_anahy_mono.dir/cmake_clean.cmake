@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_gzip_anahy_mono.dir/table07_gzip_anahy_mono.cpp.o"
+  "CMakeFiles/table07_gzip_anahy_mono.dir/table07_gzip_anahy_mono.cpp.o.d"
+  "table07_gzip_anahy_mono"
+  "table07_gzip_anahy_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_gzip_anahy_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

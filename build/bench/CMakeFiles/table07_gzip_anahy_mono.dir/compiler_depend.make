@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_gzip_anahy_mono.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table07_gzip_anahy_mono.
+# This may be replaced when dependencies are built.

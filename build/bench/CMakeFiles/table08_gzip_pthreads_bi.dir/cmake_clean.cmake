@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_gzip_pthreads_bi.dir/table08_gzip_pthreads_bi.cpp.o"
+  "CMakeFiles/table08_gzip_pthreads_bi.dir/table08_gzip_pthreads_bi.cpp.o.d"
+  "table08_gzip_pthreads_bi"
+  "table08_gzip_pthreads_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_gzip_pthreads_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_gzip_anahy_bi.dir/table09_gzip_anahy_bi.cpp.o"
+  "CMakeFiles/table09_gzip_anahy_bi.dir/table09_gzip_anahy_bi.cpp.o.d"
+  "table09_gzip_anahy_bi"
+  "table09_gzip_anahy_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_gzip_anahy_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table09_gzip_anahy_bi.
+# This may be replaced when dependencies are built.

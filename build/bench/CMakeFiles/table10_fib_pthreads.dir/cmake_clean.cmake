@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_fib_pthreads.dir/table10_fib_pthreads.cpp.o"
+  "CMakeFiles/table10_fib_pthreads.dir/table10_fib_pthreads.cpp.o.d"
+  "table10_fib_pthreads"
+  "table10_fib_pthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_fib_pthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

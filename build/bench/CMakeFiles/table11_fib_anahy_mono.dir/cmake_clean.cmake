@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_fib_anahy_mono.dir/table11_fib_anahy_mono.cpp.o"
+  "CMakeFiles/table11_fib_anahy_mono.dir/table11_fib_anahy_mono.cpp.o.d"
+  "table11_fib_anahy_mono"
+  "table11_fib_anahy_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_fib_anahy_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

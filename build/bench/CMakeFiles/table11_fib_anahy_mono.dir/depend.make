@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_fib_anahy_mono.
+# This may be replaced when dependencies are built.

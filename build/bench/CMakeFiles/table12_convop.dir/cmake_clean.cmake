@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_convop.dir/table12_convop.cpp.o"
+  "CMakeFiles/table12_convop.dir/table12_convop.cpp.o.d"
+  "table12_convop"
+  "table12_convop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_convop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

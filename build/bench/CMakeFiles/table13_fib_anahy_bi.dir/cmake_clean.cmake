@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_fib_anahy_bi.dir/table13_fib_anahy_bi.cpp.o"
+  "CMakeFiles/table13_fib_anahy_bi.dir/table13_fib_anahy_bi.cpp.o.d"
+  "table13_fib_anahy_bi"
+  "table13_fib_anahy_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_fib_anahy_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_gzip.dir/cluster_gzip.cpp.o"
+  "CMakeFiles/cluster_gzip.dir/cluster_gzip.cpp.o.d"
+  "cluster_gzip"
+  "cluster_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

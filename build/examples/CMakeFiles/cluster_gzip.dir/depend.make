@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_gzip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_multiprocess.dir/cluster_multiprocess.cpp.o"
+  "CMakeFiles/cluster_multiprocess.dir/cluster_multiprocess.cpp.o.d"
+  "cluster_multiprocess"
+  "cluster_multiprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

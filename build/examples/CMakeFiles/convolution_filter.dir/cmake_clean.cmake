@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution_filter.dir/convolution_filter.cpp.o"
+  "CMakeFiles/convolution_filter.dir/convolution_filter.cpp.o.d"
+  "convolution_filter"
+  "convolution_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci_graph.dir/fibonacci_graph.cpp.o"
+  "CMakeFiles/fibonacci_graph.dir/fibonacci_graph.cpp.o.d"
+  "fibonacci_graph"
+  "fibonacci_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

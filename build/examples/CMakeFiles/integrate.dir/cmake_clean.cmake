@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate.dir/integrate.cpp.o"
+  "CMakeFiles/integrate.dir/integrate.cpp.o.d"
+  "integrate"
+  "integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

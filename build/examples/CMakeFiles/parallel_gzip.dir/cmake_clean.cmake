@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_gzip.dir/parallel_gzip.cpp.o"
+  "CMakeFiles/parallel_gzip.dir/parallel_gzip.cpp.o.d"
+  "parallel_gzip"
+  "parallel_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anahy/athread.cpp" "src/anahy/CMakeFiles/anahy.dir/athread.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/athread.cpp.o.d"
+  "/root/repo/src/anahy/policy_central.cpp" "src/anahy/CMakeFiles/anahy.dir/policy_central.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/policy_central.cpp.o.d"
+  "/root/repo/src/anahy/policy_factory.cpp" "src/anahy/CMakeFiles/anahy.dir/policy_factory.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/anahy/policy_steal.cpp" "src/anahy/CMakeFiles/anahy.dir/policy_steal.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/policy_steal.cpp.o.d"
+  "/root/repo/src/anahy/runtime.cpp" "src/anahy/CMakeFiles/anahy.dir/runtime.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/runtime.cpp.o.d"
+  "/root/repo/src/anahy/scheduler.cpp" "src/anahy/CMakeFiles/anahy.dir/scheduler.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/scheduler.cpp.o.d"
+  "/root/repo/src/anahy/stats.cpp" "src/anahy/CMakeFiles/anahy.dir/stats.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/stats.cpp.o.d"
+  "/root/repo/src/anahy/sync_ext.cpp" "src/anahy/CMakeFiles/anahy.dir/sync_ext.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/sync_ext.cpp.o.d"
+  "/root/repo/src/anahy/trace.cpp" "src/anahy/CMakeFiles/anahy.dir/trace.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/trace.cpp.o.d"
+  "/root/repo/src/anahy/trace_analysis.cpp" "src/anahy/CMakeFiles/anahy.dir/trace_analysis.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/trace_analysis.cpp.o.d"
+  "/root/repo/src/anahy/vp.cpp" "src/anahy/CMakeFiles/anahy.dir/vp.cpp.o" "gcc" "src/anahy/CMakeFiles/anahy.dir/vp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

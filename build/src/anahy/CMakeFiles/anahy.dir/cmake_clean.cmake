@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anahy.dir/athread.cpp.o"
+  "CMakeFiles/anahy.dir/athread.cpp.o.d"
+  "CMakeFiles/anahy.dir/policy_central.cpp.o"
+  "CMakeFiles/anahy.dir/policy_central.cpp.o.d"
+  "CMakeFiles/anahy.dir/policy_factory.cpp.o"
+  "CMakeFiles/anahy.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/anahy.dir/policy_steal.cpp.o"
+  "CMakeFiles/anahy.dir/policy_steal.cpp.o.d"
+  "CMakeFiles/anahy.dir/runtime.cpp.o"
+  "CMakeFiles/anahy.dir/runtime.cpp.o.d"
+  "CMakeFiles/anahy.dir/scheduler.cpp.o"
+  "CMakeFiles/anahy.dir/scheduler.cpp.o.d"
+  "CMakeFiles/anahy.dir/stats.cpp.o"
+  "CMakeFiles/anahy.dir/stats.cpp.o.d"
+  "CMakeFiles/anahy.dir/sync_ext.cpp.o"
+  "CMakeFiles/anahy.dir/sync_ext.cpp.o.d"
+  "CMakeFiles/anahy.dir/trace.cpp.o"
+  "CMakeFiles/anahy.dir/trace.cpp.o.d"
+  "CMakeFiles/anahy.dir/trace_analysis.cpp.o"
+  "CMakeFiles/anahy.dir/trace_analysis.cpp.o.d"
+  "CMakeFiles/anahy.dir/vp.cpp.o"
+  "CMakeFiles/anahy.dir/vp.cpp.o.d"
+  "libanahy.a"
+  "libanahy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anahy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/agzip_app.cpp" "src/apps/CMakeFiles/apps.dir/agzip_app.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/agzip_app.cpp.o.d"
+  "/root/repo/src/apps/convop_app.cpp" "src/apps/CMakeFiles/apps.dir/convop_app.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/convop_app.cpp.o.d"
+  "/root/repo/src/apps/fib_app.cpp" "src/apps/CMakeFiles/apps.dir/fib_app.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/fib_app.cpp.o.d"
+  "/root/repo/src/apps/raytrace_app.cpp" "src/apps/CMakeFiles/apps.dir/raytrace_app.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/raytrace_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/image.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytracer/CMakeFiles/raytracer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/agzip_app.cpp.o"
+  "CMakeFiles/apps.dir/agzip_app.cpp.o.d"
+  "CMakeFiles/apps.dir/convop_app.cpp.o"
+  "CMakeFiles/apps.dir/convop_app.cpp.o.d"
+  "CMakeFiles/apps.dir/fib_app.cpp.o"
+  "CMakeFiles/apps.dir/fib_app.cpp.o.d"
+  "CMakeFiles/apps.dir/raytrace_app.cpp.o"
+  "CMakeFiles/apps.dir/raytrace_app.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

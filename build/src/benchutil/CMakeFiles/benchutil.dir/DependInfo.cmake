@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/cli.cpp" "src/benchutil/CMakeFiles/benchutil.dir/cli.cpp.o" "gcc" "src/benchutil/CMakeFiles/benchutil.dir/cli.cpp.o.d"
+  "/root/repo/src/benchutil/harness.cpp" "src/benchutil/CMakeFiles/benchutil.dir/harness.cpp.o" "gcc" "src/benchutil/CMakeFiles/benchutil.dir/harness.cpp.o.d"
+  "/root/repo/src/benchutil/stats.cpp" "src/benchutil/CMakeFiles/benchutil.dir/stats.cpp.o" "gcc" "src/benchutil/CMakeFiles/benchutil.dir/stats.cpp.o.d"
+  "/root/repo/src/benchutil/table.cpp" "src/benchutil/CMakeFiles/benchutil.dir/table.cpp.o" "gcc" "src/benchutil/CMakeFiles/benchutil.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

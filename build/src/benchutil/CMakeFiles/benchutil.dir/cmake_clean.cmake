@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchutil.dir/cli.cpp.o"
+  "CMakeFiles/benchutil.dir/cli.cpp.o.d"
+  "CMakeFiles/benchutil.dir/harness.cpp.o"
+  "CMakeFiles/benchutil.dir/harness.cpp.o.d"
+  "CMakeFiles/benchutil.dir/stats.cpp.o"
+  "CMakeFiles/benchutil.dir/stats.cpp.o.d"
+  "CMakeFiles/benchutil.dir/table.cpp.o"
+  "CMakeFiles/benchutil.dir/table.cpp.o.d"
+  "libbenchutil.a"
+  "libbenchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/mem_transport.cpp" "src/cluster/CMakeFiles/cluster.dir/mem_transport.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/mem_transport.cpp.o.d"
+  "/root/repo/src/cluster/message.cpp" "src/cluster/CMakeFiles/cluster.dir/message.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/message.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/registry.cpp" "src/cluster/CMakeFiles/cluster.dir/registry.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/registry.cpp.o.d"
+  "/root/repo/src/cluster/serialize.cpp" "src/cluster/CMakeFiles/cluster.dir/serialize.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/serialize.cpp.o.d"
+  "/root/repo/src/cluster/tcp_bootstrap.cpp" "src/cluster/CMakeFiles/cluster.dir/tcp_bootstrap.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/tcp_bootstrap.cpp.o.d"
+  "/root/repo/src/cluster/tcp_transport.cpp" "src/cluster/CMakeFiles/cluster.dir/tcp_transport.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster.dir/cluster.cpp.o"
+  "CMakeFiles/cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/cluster.dir/mem_transport.cpp.o"
+  "CMakeFiles/cluster.dir/mem_transport.cpp.o.d"
+  "CMakeFiles/cluster.dir/message.cpp.o"
+  "CMakeFiles/cluster.dir/message.cpp.o.d"
+  "CMakeFiles/cluster.dir/node.cpp.o"
+  "CMakeFiles/cluster.dir/node.cpp.o.d"
+  "CMakeFiles/cluster.dir/registry.cpp.o"
+  "CMakeFiles/cluster.dir/registry.cpp.o.d"
+  "CMakeFiles/cluster.dir/serialize.cpp.o"
+  "CMakeFiles/cluster.dir/serialize.cpp.o.d"
+  "CMakeFiles/cluster.dir/tcp_bootstrap.cpp.o"
+  "CMakeFiles/cluster.dir/tcp_bootstrap.cpp.o.d"
+  "CMakeFiles/cluster.dir/tcp_transport.cpp.o"
+  "CMakeFiles/cluster.dir/tcp_transport.cpp.o.d"
+  "libcluster.a"
+  "libcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

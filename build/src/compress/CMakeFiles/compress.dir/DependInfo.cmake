@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitstream.cpp" "src/compress/CMakeFiles/compress.dir/bitstream.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/bitstream.cpp.o.d"
+  "/root/repo/src/compress/crc32.cpp" "src/compress/CMakeFiles/compress.dir/crc32.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/crc32.cpp.o.d"
+  "/root/repo/src/compress/deflate.cpp" "src/compress/CMakeFiles/compress.dir/deflate.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/deflate.cpp.o.d"
+  "/root/repo/src/compress/gzip.cpp" "src/compress/CMakeFiles/compress.dir/gzip.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/gzip.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/inflate.cpp" "src/compress/CMakeFiles/compress.dir/inflate.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/inflate.cpp.o.d"
+  "/root/repo/src/compress/lz77.cpp" "src/compress/CMakeFiles/compress.dir/lz77.cpp.o" "gcc" "src/compress/CMakeFiles/compress.dir/lz77.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

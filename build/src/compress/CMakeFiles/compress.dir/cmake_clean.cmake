@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress.dir/bitstream.cpp.o"
+  "CMakeFiles/compress.dir/bitstream.cpp.o.d"
+  "CMakeFiles/compress.dir/crc32.cpp.o"
+  "CMakeFiles/compress.dir/crc32.cpp.o.d"
+  "CMakeFiles/compress.dir/deflate.cpp.o"
+  "CMakeFiles/compress.dir/deflate.cpp.o.d"
+  "CMakeFiles/compress.dir/gzip.cpp.o"
+  "CMakeFiles/compress.dir/gzip.cpp.o.d"
+  "CMakeFiles/compress.dir/huffman.cpp.o"
+  "CMakeFiles/compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/compress.dir/inflate.cpp.o"
+  "CMakeFiles/compress.dir/inflate.cpp.o.d"
+  "CMakeFiles/compress.dir/lz77.cpp.o"
+  "CMakeFiles/compress.dir/lz77.cpp.o.d"
+  "libcompress.a"
+  "libcompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image.dir/convolve.cpp.o"
+  "CMakeFiles/image.dir/convolve.cpp.o.d"
+  "CMakeFiles/image.dir/image.cpp.o"
+  "CMakeFiles/image.dir/image.cpp.o.d"
+  "CMakeFiles/image.dir/kernel.cpp.o"
+  "CMakeFiles/image.dir/kernel.cpp.o.d"
+  "libimage.a"
+  "libimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

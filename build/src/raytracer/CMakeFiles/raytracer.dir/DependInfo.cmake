@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raytracer/camera.cpp" "src/raytracer/CMakeFiles/raytracer.dir/camera.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/camera.cpp.o.d"
+  "/root/repo/src/raytracer/framebuffer.cpp" "src/raytracer/CMakeFiles/raytracer.dir/framebuffer.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/raytracer/objects.cpp" "src/raytracer/CMakeFiles/raytracer.dir/objects.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/objects.cpp.o.d"
+  "/root/repo/src/raytracer/render.cpp" "src/raytracer/CMakeFiles/raytracer.dir/render.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/render.cpp.o.d"
+  "/root/repo/src/raytracer/scene.cpp" "src/raytracer/CMakeFiles/raytracer.dir/scene.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/scene.cpp.o.d"
+  "/root/repo/src/raytracer/scene_builder.cpp" "src/raytracer/CMakeFiles/raytracer.dir/scene_builder.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/scene_builder.cpp.o.d"
+  "/root/repo/src/raytracer/scene_file.cpp" "src/raytracer/CMakeFiles/raytracer.dir/scene_file.cpp.o" "gcc" "src/raytracer/CMakeFiles/raytracer.dir/scene_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytracer.dir/camera.cpp.o"
+  "CMakeFiles/raytracer.dir/camera.cpp.o.d"
+  "CMakeFiles/raytracer.dir/framebuffer.cpp.o"
+  "CMakeFiles/raytracer.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/raytracer.dir/objects.cpp.o"
+  "CMakeFiles/raytracer.dir/objects.cpp.o.d"
+  "CMakeFiles/raytracer.dir/render.cpp.o"
+  "CMakeFiles/raytracer.dir/render.cpp.o.d"
+  "CMakeFiles/raytracer.dir/scene.cpp.o"
+  "CMakeFiles/raytracer.dir/scene.cpp.o.d"
+  "CMakeFiles/raytracer.dir/scene_builder.cpp.o"
+  "CMakeFiles/raytracer.dir/scene_builder.cpp.o.d"
+  "CMakeFiles/raytracer.dir/scene_file.cpp.o"
+  "CMakeFiles/raytracer.dir/scene_file.cpp.o.d"
+  "libraytracer.a"
+  "libraytracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

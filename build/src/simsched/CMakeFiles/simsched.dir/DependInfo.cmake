@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simsched/anahy_sim.cpp" "src/simsched/CMakeFiles/simsched.dir/anahy_sim.cpp.o" "gcc" "src/simsched/CMakeFiles/simsched.dir/anahy_sim.cpp.o.d"
+  "/root/repo/src/simsched/os_sim.cpp" "src/simsched/CMakeFiles/simsched.dir/os_sim.cpp.o" "gcc" "src/simsched/CMakeFiles/simsched.dir/os_sim.cpp.o.d"
+  "/root/repo/src/simsched/program.cpp" "src/simsched/CMakeFiles/simsched.dir/program.cpp.o" "gcc" "src/simsched/CMakeFiles/simsched.dir/program.cpp.o.d"
+  "/root/repo/src/simsched/pthread_sim.cpp" "src/simsched/CMakeFiles/simsched.dir/pthread_sim.cpp.o" "gcc" "src/simsched/CMakeFiles/simsched.dir/pthread_sim.cpp.o.d"
+  "/root/repo/src/simsched/sim_export.cpp" "src/simsched/CMakeFiles/simsched.dir/sim_export.cpp.o" "gcc" "src/simsched/CMakeFiles/simsched.dir/sim_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsched.dir/anahy_sim.cpp.o"
+  "CMakeFiles/simsched.dir/anahy_sim.cpp.o.d"
+  "CMakeFiles/simsched.dir/os_sim.cpp.o"
+  "CMakeFiles/simsched.dir/os_sim.cpp.o.d"
+  "CMakeFiles/simsched.dir/program.cpp.o"
+  "CMakeFiles/simsched.dir/program.cpp.o.d"
+  "CMakeFiles/simsched.dir/pthread_sim.cpp.o"
+  "CMakeFiles/simsched.dir/pthread_sim.cpp.o.d"
+  "CMakeFiles/simsched.dir/sim_export.cpp.o"
+  "CMakeFiles/simsched.dir/sim_export.cpp.o.d"
+  "libsimsched.a"
+  "libsimsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anahy/test_athread.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_athread.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_athread.cpp.o.d"
+  "/root/repo/tests/anahy/test_attr.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_attr.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_attr.cpp.o.d"
+  "/root/repo/tests/anahy/test_policies.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_policies.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_policies.cpp.o.d"
+  "/root/repo/tests/anahy/test_runtime.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_runtime.cpp.o.d"
+  "/root/repo/tests/anahy/test_sync_ext.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_sync_ext.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_sync_ext.cpp.o.d"
+  "/root/repo/tests/anahy/test_trace.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_trace.cpp.o.d"
+  "/root/repo/tests/anahy/test_trace_analysis.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_trace_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_trace_analysis.cpp.o.d"
+  "/root/repo/tests/anahy/test_tryjoin_exit.cpp" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_tryjoin_exit.cpp.o" "gcc" "tests/CMakeFiles/test_anahy_core.dir/anahy/test_tryjoin_exit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

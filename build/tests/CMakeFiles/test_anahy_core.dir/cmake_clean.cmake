@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_core.dir/anahy/test_athread.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_athread.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_attr.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_attr.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_policies.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_policies.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_runtime.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_runtime.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_sync_ext.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_sync_ext.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_trace.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_trace.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_trace_analysis.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_trace_analysis.cpp.o.d"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_tryjoin_exit.cpp.o"
+  "CMakeFiles/test_anahy_core.dir/anahy/test_tryjoin_exit.cpp.o.d"
+  "test_anahy_core"
+  "test_anahy_core.pdb"
+  "test_anahy_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

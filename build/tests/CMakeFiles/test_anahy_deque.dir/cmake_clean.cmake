@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_deque.dir/anahy/test_steal_deque.cpp.o"
+  "CMakeFiles/test_anahy_deque.dir/anahy/test_steal_deque.cpp.o.d"
+  "test_anahy_deque"
+  "test_anahy_deque.pdb"
+  "test_anahy_deque[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_lists.dir/anahy/test_lists_semantics.cpp.o"
+  "CMakeFiles/test_anahy_lists.dir/anahy/test_lists_semantics.cpp.o.d"
+  "test_anahy_lists"
+  "test_anahy_lists.pdb"
+  "test_anahy_lists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_random.dir/anahy/test_random_programs.cpp.o"
+  "CMakeFiles/test_anahy_random.dir/anahy/test_random_programs.cpp.o.d"
+  "test_anahy_random"
+  "test_anahy_random.pdb"
+  "test_anahy_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

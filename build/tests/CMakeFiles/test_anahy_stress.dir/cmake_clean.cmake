@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_stress.dir/anahy/test_stress.cpp.o"
+  "CMakeFiles/test_anahy_stress.dir/anahy/test_stress.cpp.o.d"
+  "test_anahy_stress"
+  "test_anahy_stress.pdb"
+  "test_anahy_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

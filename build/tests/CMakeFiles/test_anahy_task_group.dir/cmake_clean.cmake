@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anahy_task_group.dir/anahy/test_task_group.cpp.o"
+  "CMakeFiles/test_anahy_task_group.dir/anahy/test_task_group.cpp.o.d"
+  "test_anahy_task_group"
+  "test_anahy_task_group.pdb"
+  "test_anahy_task_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anahy_task_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

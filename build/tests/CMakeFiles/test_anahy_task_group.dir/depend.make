@@ -1,0 +1,2 @@
+# Empty dependencies file for test_anahy_task_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchutil.dir/benchutil/test_cli.cpp.o"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_cli.cpp.o.d"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_harness.cpp.o"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_harness.cpp.o.d"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_stats.cpp.o"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_stats.cpp.o.d"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_table.cpp.o"
+  "CMakeFiles/test_benchutil.dir/benchutil/test_table.cpp.o.d"
+  "test_benchutil"
+  "test_benchutil.pdb"
+  "test_benchutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cluster_apps.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster_apps.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster_apps.cpp.o.d"
+  "/root/repo/tests/cluster/test_message.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_message.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_message.cpp.o.d"
+  "/root/repo/tests/cluster/test_multiprocess.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_multiprocess.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_multiprocess.cpp.o.d"
+  "/root/repo/tests/cluster/test_node.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o.d"
+  "/root/repo/tests/cluster/test_serialize.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_serialize.cpp.o.d"
+  "/root/repo/tests/cluster/test_transport.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_transport.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytracer/CMakeFiles/raytracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster_apps.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster_apps.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_message.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_message.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_multiprocess.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_multiprocess.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_serialize.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_serialize.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_transport.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_transport.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/test_bitstream.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_bitstream.cpp.o.d"
+  "/root/repo/tests/compress/test_crc32.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_crc32.cpp.o.d"
+  "/root/repo/tests/compress/test_deflate.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_deflate.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_deflate.cpp.o.d"
+  "/root/repo/tests/compress/test_deflate_edges.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_deflate_edges.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_deflate_edges.cpp.o.d"
+  "/root/repo/tests/compress/test_fuzz.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_fuzz.cpp.o.d"
+  "/root/repo/tests/compress/test_huffman.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_huffman.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_huffman.cpp.o.d"
+  "/root/repo/tests/compress/test_levels.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_levels.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_levels.cpp.o.d"
+  "/root/repo/tests/compress/test_lz77.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_lz77.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_lz77.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

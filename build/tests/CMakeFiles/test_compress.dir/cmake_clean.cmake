@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/test_bitstream.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_bitstream.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_crc32.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_crc32.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_deflate.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_deflate.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_deflate_edges.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_deflate_edges.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_fuzz.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_huffman.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_huffman.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_levels.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_levels.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_lz77.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_lz77.cpp.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raytracer/test_objects.cpp" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_objects.cpp.o" "gcc" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_objects.cpp.o.d"
+  "/root/repo/tests/raytracer/test_render.cpp" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_render.cpp.o" "gcc" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_render.cpp.o.d"
+  "/root/repo/tests/raytracer/test_scene_file.cpp" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_scene_file.cpp.o" "gcc" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_scene_file.cpp.o.d"
+  "/root/repo/tests/raytracer/test_vec3.cpp" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_vec3.cpp.o" "gcc" "tests/CMakeFiles/test_raytracer.dir/raytracer/test_vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytracer/CMakeFiles/raytracer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raytracer.dir/raytracer/test_objects.cpp.o"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_objects.cpp.o.d"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_render.cpp.o"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_render.cpp.o.d"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_scene_file.cpp.o"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_scene_file.cpp.o.d"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_vec3.cpp.o"
+  "CMakeFiles/test_raytracer.dir/raytracer/test_vec3.cpp.o.d"
+  "test_raytracer"
+  "test_raytracer.pdb"
+  "test_raytracer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simsched/test_os_sim.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_os_sim.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_os_sim.cpp.o.d"
+  "/root/repo/tests/simsched/test_program.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_program.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_program.cpp.o.d"
+  "/root/repo/tests/simsched/test_pthread_sim.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_pthread_sim.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_pthread_sim.cpp.o.d"
+  "/root/repo/tests/simsched/test_sim_export.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_sim_export.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_sim_export.cpp.o.d"
+  "/root/repo/tests/simsched/test_sim_policies.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_sim_policies.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_sim_policies.cpp.o.d"
+  "/root/repo/tests/simsched/test_simulate.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_simulate.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/anahy/CMakeFiles/anahy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

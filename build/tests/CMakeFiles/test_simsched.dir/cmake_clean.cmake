@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsched.dir/simsched/test_os_sim.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_os_sim.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_program.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_program.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_pthread_sim.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_pthread_sim.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_sim_export.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_sim_export.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_sim_policies.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_sim_policies.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_simulate.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_simulate.cpp.o.d"
+  "test_simsched"
+  "test_simsched.pdb"
+  "test_simsched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_benchutil[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_core[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_deque[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_random[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_parallel_for[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_task_group[1]_include.cmake")
+include("/root/repo/build/tests/test_anahy_lists[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_raytracer[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_simsched[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
