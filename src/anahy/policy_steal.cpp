@@ -6,76 +6,167 @@
 namespace anahy {
 
 WorkStealingPolicy::WorkStealingPolicy(int num_vps)
-    : deques_(static_cast<std::size_t>(std::max(num_vps, 1)) + 1) {
+    : num_vps_(static_cast<std::size_t>(std::max(num_vps, 1))) {
   if (num_vps < 1)
     throw std::invalid_argument("WorkStealingPolicy needs >= 1 VP");
+  deques_.reserve(num_vps_);
+  for (std::size_t i = 0; i < num_vps_; ++i)
+    deques_.push_back(std::make_unique<ChaseLevDeque<Task*>>());
+}
+
+WorkStealingPolicy::~WorkStealingPolicy() {
+  // Tasks still queued at shutdown are never run; break their ready-guard
+  // self-references so they are reclaimed. Destruction is single-threaded,
+  // so owner-only pop_bottom is safe on every deque.
+  for (auto& d : deques_) {
+    while (auto e = d->pop_bottom()) (void)(*e)->take_ready_guard();
+  }
 }
 
 std::size_t WorkStealingPolicy::slot(int vp) const {
-  if (vp < 0 || static_cast<std::size_t>(vp) >= deques_.size() - 1)
-    return deques_.size() - 1;  // external / main-flow slot
+  if (vp < 0 || static_cast<std::size_t>(vp) >= num_vps_)
+    return num_vps_;  // external / main-flow slot
   return static_cast<std::size_t>(vp);
 }
 
+namespace {
+bool still_claimable(const Task& t) {
+  const TaskState s = t.state();
+  return s == TaskState::kCreated || s == TaskState::kReady;
+}
+}  // namespace
+
 void WorkStealingPolicy::push(TaskPtr task, int vp) {
-  Deque& d = deques_[slot(vp)];
-  std::lock_guard lock(d.mu);
-  d.q.push_back(std::move(task));
+  const std::size_t s = slot(vp);
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  if (s == num_vps_) {
+    std::lock_guard lock(external_mu_);
+    // Amortized stale purge: join-inlining claims tasks in O(1) and leaves
+    // their queue entries behind; drop the stale run at the back so a
+    // join-heavy flow does not keep every finished task alive. Each entry
+    // is dropped at most once, so this is O(1) amortized.
+    while (!external_q_.empty() && !still_claimable(*external_q_.back()))
+      external_q_.pop_back();
+    external_q_.push_back(std::move(task));
+    return;
+  }
+  Task* raw = task.get();
+  raw->set_ready_guard(std::move(task));
+  ChaseLevDeque<Task*>& d = *deques_[s];
+  // Same purge for the owner's deque (push is owner-only, so pop_bottom is
+  // legal here). Only when the deque looks oversized: the common case pays
+  // nothing, and a burst purge stops at the first still-claimable entry,
+  // which goes straight back to the bottom.
+  if (d.approx_size() >= kStalePurgeThreshold) {
+    while (auto e = d.pop_bottom()) {
+      Task* bottom = *e;
+      if (still_claimable(*bottom)) {
+        d.push_bottom(bottom);  // keep-alive guard still attached
+        break;
+      }
+      (void)bottom->take_ready_guard();  // stale: release the keep-alive
+    }
+  }
+  d.push_bottom(raw);
+}
+
+TaskPtr WorkStealingPolicy::claim_deque_entry(Task* raw) {
+  // We removed the entry, so we clear the guard exactly once — whether the
+  // claim wins (the guard becomes our strong reference) or the entry was
+  // stale (a joiner inlined the task; drop the keep-alive and move on).
+  TaskPtr task = raw->take_ready_guard();
+  if (!raw->try_claim()) return nullptr;
+  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  return task;
 }
 
 TaskPtr WorkStealingPolicy::pop(int vp) {
   const std::size_t self = slot(vp);
-  {
-    Deque& d = deques_[self];
-    std::lock_guard lock(d.mu);
-    if (!d.q.empty()) {
-      TaskPtr task = std::move(d.q.back());  // owner end: LIFO
-      d.q.pop_back();
-      return task;
-    }
+  if (self == num_vps_) {
+    if (TaskPtr t = pop_external()) return t;
+    return steal_from_others(self);
+  }
+  ChaseLevDeque<Task*>& d = *deques_[self];
+  while (auto e = d.pop_bottom()) {  // owner end: LIFO
+    if (TaskPtr t = claim_deque_entry(*e)) return t;
   }
   return steal_from_others(self);
 }
 
+TaskPtr WorkStealingPolicy::pop_external() {
+  std::lock_guard lock(external_mu_);
+  while (!external_q_.empty()) {
+    TaskPtr task = std::move(external_q_.back());  // owner end: LIFO
+    external_q_.pop_back();
+    if (task->try_claim()) {
+      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+TaskPtr WorkStealingPolicy::steal_external() {
+  std::lock_guard lock(external_mu_);
+  while (!external_q_.empty()) {
+    TaskPtr task = std::move(external_q_.front());  // thief end: FIFO
+    external_q_.pop_front();
+    if (task->try_claim()) {
+      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
 TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
-  const std::size_t n = deques_.size();
+  const std::size_t n = num_vps_ + 1;  // victims include the external queue
   // Round-robin victim selection seeded by a shared counter: deterministic
   // enough for tests, fair enough for load balancing.
-  const std::size_t start = rr_seed_.fetch_add(1, std::memory_order_relaxed) % n;
+  const std::size_t start =
+      rr_seed_.fetch_add(1, std::memory_order_relaxed) % n;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t victim = (start + i) % n;
     if (victim == self) continue;
     steal_attempts_.fetch_add(1, std::memory_order_relaxed);
-    Deque& d = deques_[victim];
-    std::lock_guard lock(d.mu);
-    if (d.q.empty()) continue;
-    TaskPtr task = std::move(d.q.front());  // thief end: FIFO
-    d.q.pop_front();
-    steals_.fetch_add(1, std::memory_order_relaxed);
-    return task;
+    if (victim == num_vps_) {
+      if (TaskPtr t = steal_external()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+      continue;
+    }
+    ChaseLevDeque<Task*>& d = *deques_[victim];
+    for (;;) {
+      auto e = d.steal_top();
+      if (!e) {
+        // steal_top conflates "empty" with "lost a CAS race"; a lost race
+        // means another thief made progress, so retry while the victim
+        // still looks non-empty instead of giving up on queued work.
+        if (d.empty()) break;
+        continue;
+      }
+      if (TaskPtr t = claim_deque_entry(*e)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
   }
   return nullptr;
 }
 
 bool WorkStealingPolicy::remove_specific(const TaskPtr& task) {
-  for (Deque& d : deques_) {
-    std::lock_guard lock(d.mu);
-    const auto it = std::find(d.q.begin(), d.q.end(), task);
-    if (it != d.q.end()) {
-      d.q.erase(it);
-      return true;
-    }
-  }
-  return false;
+  // O(1) claim instead of scanning the deques: winning the state CAS is
+  // what "being removed from the ready list" means in this policy; the
+  // entry left behind is recognized as stale and dropped by its popper.
+  if (task == nullptr || !task->try_claim()) return false;
+  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::size_t WorkStealingPolicy::approx_size() const {
-  std::size_t total = 0;
-  for (const Deque& d : deques_) {
-    std::lock_guard lock(d.mu);
-    total += d.q.size();
-  }
-  return total;
+  const std::int64_t n = ready_count_.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
 }
 
 }  // namespace anahy

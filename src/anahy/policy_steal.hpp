@@ -1,27 +1,44 @@
-// Work-stealing ready-list policy: per-VP deques, owner LIFO / thief FIFO.
+// Work-stealing ready-list policy: per-VP lock-free deques, owner LIFO /
+// thief FIFO.
 //
 // This is the load-balancing strategy the Anahy lineage (Athapascan-1,
 // Cilk) implies: each virtual processor pushes and pops its own bottom end
 // (depth-first, cache-friendly) while idle VPs steal the oldest task from a
 // victim's top end (breadth-first, large-grained steals).
+//
+// The hot path is lock-free end to end (see docs/SCHEDULER.md):
+//  - each worker VP owns a Chase-Lev deque of raw Task*; owner push/pop and
+//    thief steal never take a lock;
+//  - a deque entry keeps its task alive through the task's ready-guard
+//    self-reference, set on push and cleared by whichever pop/steal removes
+//    the entry;
+//  - consumption is decided by Task::try_claim (a CAS on the task state),
+//    not by deque membership: join-inlining (remove_specific) claims the
+//    task in O(1) and leaves a stale entry behind, which the eventual
+//    popper recognizes (lost claim) and discards.
+//
+// External (non-VP) threads are not the performance target and cannot obey
+// the Chase-Lev single-owner discipline (any number of them may fork
+// concurrently), so they share one small mutex-guarded overflow deque that
+// worker thieves also scan.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "anahy/policy.hpp"
+#include "anahy/steal_deque.hpp"
 
 namespace anahy {
 
-/// Per-VP deques guarded by small mutexes (the owner path and the thief
-/// path contend only on the same deque). Slot `num_vps` is the overflow
-/// deque used by external (non-VP) threads such as the program main flow.
 class WorkStealingPolicy final : public SchedulingPolicy {
  public:
   explicit WorkStealingPolicy(int num_vps);
+  ~WorkStealingPolicy() override;
 
   void push(TaskPtr task, int vp) override;
   TaskPtr pop(int vp) override;
@@ -30,6 +47,12 @@ class WorkStealingPolicy final : public SchedulingPolicy {
   [[nodiscard]] PolicyKind kind() const override {
     return PolicyKind::kWorkStealing;
   }
+
+  /// Deque length at which push starts purging the stale-entry run at the
+  /// bottom (entries whose task was already claimed by join-inlining).
+  /// Without the purge a join-heavy flow accumulates one stale entry per
+  /// task, keeping finished tasks alive for the whole run.
+  static constexpr std::size_t kStalePurgeThreshold = 64;
 
   /// Cumulative number of successful steals (for runtime statistics).
   [[nodiscard]] std::uint64_t steals() const {
@@ -41,17 +64,25 @@ class WorkStealingPolicy final : public SchedulingPolicy {
   }
 
  private:
-  struct Deque {
-    mutable std::mutex mu;
-    std::deque<TaskPtr> q;
-  };
-
-  /// Maps a caller id to its deque slot (external callers share the last).
+  /// Maps a caller id to its slot; slot num_vps_ is the external queue.
   [[nodiscard]] std::size_t slot(int vp) const;
 
+  /// Claims `raw` popped/stolen out of a lock-free deque; returns the
+  /// keep-alive reference on success, nullptr when the entry was stale.
+  TaskPtr claim_deque_entry(Task* raw);
+
+  TaskPtr pop_external();
+  TaskPtr steal_external();
   TaskPtr steal_from_others(std::size_t self);
 
-  std::vector<Deque> deques_;  // num_vps + 1 slots
+  const std::size_t num_vps_;
+  std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques_;  // num_vps_
+  mutable std::mutex external_mu_;
+  std::deque<TaskPtr> external_q_;
+  /// Claimable-task counter: +1 on push, -1 on every successful claim
+  /// (pop, steal or remove_specific). O(1) approx_size, maintained with
+  /// relaxed atomics; may transiently undercount by in-flight claims.
+  std::atomic<std::int64_t> ready_count_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> steal_attempts_{0};
   std::atomic<std::uint64_t> rr_seed_{0};

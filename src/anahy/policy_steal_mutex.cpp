@@ -1,0 +1,80 @@
+#include "anahy/policy_steal_mutex.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anahy {
+
+MutexWorkStealingPolicy::MutexWorkStealingPolicy(int num_vps)
+    : deques_(static_cast<std::size_t>(std::max(num_vps, 1)) + 1) {
+  if (num_vps < 1)
+    throw std::invalid_argument("MutexWorkStealingPolicy needs >= 1 VP");
+}
+
+std::size_t MutexWorkStealingPolicy::slot(int vp) const {
+  if (vp < 0 || static_cast<std::size_t>(vp) >= deques_.size() - 1)
+    return deques_.size() - 1;  // external / main-flow slot
+  return static_cast<std::size_t>(vp);
+}
+
+void MutexWorkStealingPolicy::push(TaskPtr task, int vp) {
+  Deque& d = deques_[slot(vp)];
+  std::lock_guard lock(d.mu);
+  d.q.push_back(std::move(task));
+}
+
+TaskPtr MutexWorkStealingPolicy::pop(int vp) {
+  const std::size_t self = slot(vp);
+  {
+    Deque& d = deques_[self];
+    std::lock_guard lock(d.mu);
+    if (!d.q.empty()) {
+      TaskPtr task = std::move(d.q.back());  // owner end: LIFO
+      d.q.pop_back();
+      return task;
+    }
+  }
+  return steal_from_others(self);
+}
+
+TaskPtr MutexWorkStealingPolicy::steal_from_others(std::size_t self) {
+  const std::size_t n = deques_.size();
+  const std::size_t start =
+      rr_seed_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t victim = (start + i) % n;
+    if (victim == self) continue;
+    steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+    Deque& d = deques_[victim];
+    std::lock_guard lock(d.mu);
+    if (d.q.empty()) continue;
+    TaskPtr task = std::move(d.q.front());  // thief end: FIFO
+    d.q.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+  return nullptr;
+}
+
+bool MutexWorkStealingPolicy::remove_specific(const TaskPtr& task) {
+  for (Deque& d : deques_) {
+    std::lock_guard lock(d.mu);
+    const auto it = std::find(d.q.begin(), d.q.end(), task);
+    if (it != d.q.end()) {
+      d.q.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MutexWorkStealingPolicy::approx_size() const {
+  std::size_t total = 0;
+  for (const Deque& d : deques_) {
+    std::lock_guard lock(d.mu);
+    total += d.q.size();
+  }
+  return total;
+}
+
+}  // namespace anahy

@@ -1,0 +1,57 @@
+// The seed's mutex-based work-stealing policy, kept as a comparison
+// baseline (PolicyKind::kWorkStealingMutex) for the spawn-throughput
+// microbenchmark and the policy ablations. Same owner-LIFO / thief-FIFO
+// discipline as WorkStealingPolicy, but every deque operation takes that
+// deque's mutex and remove_specific / approx_size sweep all deques.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "anahy/policy.hpp"
+
+namespace anahy {
+
+/// Per-VP deques guarded by small mutexes (the owner path and the thief
+/// path contend only on the same deque). Slot `num_vps` is the overflow
+/// deque used by external (non-VP) threads such as the program main flow.
+class MutexWorkStealingPolicy final : public SchedulingPolicy {
+ public:
+  explicit MutexWorkStealingPolicy(int num_vps);
+
+  void push(TaskPtr task, int vp) override;
+  TaskPtr pop(int vp) override;
+  bool remove_specific(const TaskPtr& task) override;
+  [[nodiscard]] std::size_t approx_size() const override;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kWorkStealingMutex;
+  }
+
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t steal_attempts() const {
+    return steal_attempts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Deque {
+    mutable std::mutex mu;
+    std::deque<TaskPtr> q;
+  };
+
+  /// Maps a caller id to its deque slot (external callers share the last).
+  [[nodiscard]] std::size_t slot(int vp) const;
+
+  TaskPtr steal_from_others(std::size_t self);
+
+  std::vector<Deque> deques_;  // num_vps + 1 slots
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> rr_seed_{0};
+};
+
+}  // namespace anahy

@@ -18,6 +18,8 @@ Options Options::from_env() {
     if (s == "fifo") opts.policy = PolicyKind::kFifo;
     else if (s == "lifo") opts.policy = PolicyKind::kLifo;
     else if (s == "steal") opts.policy = PolicyKind::kWorkStealing;
+    else if (s == "steal_mutex" || s == "steal-mutex")
+      opts.policy = PolicyKind::kWorkStealingMutex;
   }
   if (const char* v = std::getenv("ANAHY_TRACE"))
     opts.trace = std::string_view{v} == "1";
@@ -38,6 +40,14 @@ Runtime::Runtime(const Options& opts) : opts_(opts) {
   vps_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
     vps_.push_back(std::make_unique<VirtualProcessor>(*scheduler_, i));
+
+  // When main participates it IS a virtual processor (the paper's model:
+  // the main flow T0 is a task executed by a VP), so bind it to the last
+  // VP slot. Its forks then use its own lock-free deque instead of the
+  // mutex-guarded external overflow queue — the dominant fork/join path
+  // of a program that forks from main.
+  if (opts_.main_participates)
+    scheduler_->bind_thread_to_vp(opts_.num_vps - 1, /*worker=*/false);
 }
 
 Runtime::~Runtime() {
@@ -53,11 +63,15 @@ TaskPtr Runtime::fork(TaskBody body, void* input, const TaskAttributes& attr,
 }
 
 int Runtime::join(const TaskPtr& task, void** result) {
-  return scheduler_->join(task, result, SchedulingPolicy::kExternalVp);
+  // Joins issued from a bound thread (a worker VP, or main when it
+  // participates) carry that VP slot so helping pops hit its own deque
+  // (LIFO, cache-warm) instead of the external overflow queue; foreign
+  // threads stay external.
+  return scheduler_->join(task, result, scheduler_->bound_vp());
 }
 
 int Runtime::join_by_id(TaskId id, void** result) {
-  return scheduler_->join_by_id(id, result, SchedulingPolicy::kExternalVp);
+  return scheduler_->join_by_id(id, result, scheduler_->bound_vp());
 }
 
 int Runtime::try_join(const TaskPtr& task, void** result) {

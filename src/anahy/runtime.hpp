@@ -12,11 +12,13 @@ namespace anahy {
 
 /// Runtime construction options.
 struct Options {
-  /// Number of virtual processors. When `main_participates` is true this
-  /// counts the program main flow as VP 0 (so `num_vps - 1` worker threads
-  /// are spawned); `num_vps == 1` then creates **no** system thread at all,
-  /// which is the configuration behind the paper's "no thread is created,
-  /// no execution overhead" observation (Tables 3 and 7).
+  /// Number of virtual processors. When `main_participates` is true the
+  /// program main flow counts as one of them — it is bound to the last VP
+  /// slot and `num_vps - 1` worker threads are spawned (slots 0..n-2), so
+  /// main's forks use its own lock-free ready deque; `num_vps == 1` then
+  /// creates **no** system thread at all, which is the configuration behind
+  /// the paper's "no thread is created, no execution overhead" observation
+  /// (Tables 3 and 7).
   int num_vps = 4;  // the paper's library default
 
   /// Ready-list policy of the executive kernel.

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "anahy/policy_steal.hpp"
+#include "anahy/policy_steal_mutex.hpp"
+#include "anahy/task_pool.hpp"
 
 namespace anahy {
 
@@ -11,6 +13,8 @@ thread_local std::vector<Scheduler::Frame> Scheduler::tls_frames_;
 thread_local Scheduler::Frame Scheduler::tls_root_{nullptr, kRootTaskId, 0};
 thread_local std::uint64_t Scheduler::tls_root_owner_ = 0;
 thread_local int Scheduler::tls_vp_ = SchedulingPolicy::kExternalVp;
+thread_local std::uint64_t Scheduler::tls_vp_owner_ = 0;
+thread_local bool Scheduler::tls_worker_ = false;
 
 namespace {
 std::atomic<std::uint64_t> g_scheduler_instances{0};
@@ -28,9 +32,35 @@ Scheduler::Scheduler(const Options& opts)
   }
 }
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() {
+  // Tasks never joined (or never run) are still registered; break their
+  // registry self-references so they are reclaimed with the scheduler.
+  for (Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    for (Task* t = sh.head; t != nullptr;) {
+      Task* next = t->reg_next_;
+      t->reg_prev_ = t->reg_next_ = nullptr;
+      t->registry_guard_.reset();  // may destroy *t
+      t = next;
+    }
+    sh.head = nullptr;
+  }
+}
 
-void Scheduler::bind_thread_to_vp(int vp) { tls_vp_ = vp; }
+void Scheduler::bind_thread_to_vp(int vp, bool worker) {
+  tls_vp_ = vp;
+  tls_vp_owner_ = instance_id_;
+  tls_worker_ = worker;
+}
+
+int Scheduler::bound_vp() const {
+  return tls_vp_owner_ == instance_id_ ? tls_vp_
+                                       : SchedulingPolicy::kExternalVp;
+}
+
+bool Scheduler::is_bound_worker() const {
+  return tls_worker_ && tls_vp_owner_ == instance_id_;
+}
 
 Scheduler::Frame& Scheduler::root_frame() {
   if (tls_root_owner_ != instance_id_) {
@@ -63,8 +93,12 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
                                const TaskAttributes& attr, std::string label) {
   Frame& f = current_frame();
   const TaskId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  auto task = std::make_shared<Task>(id, std::move(body), input, attr,
-                                     f.flow_id, f.level + 1);
+  // allocate_shared + the pool allocator: one block per task (control block
+  // and Task fused), served from the forking thread's free-list cache.
+  auto task =
+      std::allocate_shared<Task>(TaskPoolAllocator<Task>{}, id,
+                                 std::move(body), input, attr, f.flow_id,
+                                 f.level + 1);
   task->set_state(TaskState::kReady);
 
   if (trace_.enabled()) {
@@ -73,33 +107,62 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
     if (!label.empty()) trace_.record_label(id, std::move(label));
   }
 
-  {
-    // Insert + push under mu_ so sleeping VPs/joiners cannot miss the
-    // wake-up (their predicates read the ready list under mu_).
-    std::lock_guard lock(mu_);
-    live_.emplace(id, task);
-    policy_->push(task, tls_vp_);
-    stats_.record_ready_len(policy_->approx_size());
-  }
+  // Register before publishing to the ready list so a consumer that runs
+  // and retires the task instantly always finds the registry entry.
+  register_task(task);
+  policy_->push(task, bound_vp());
+  stats_.record_ready_len(policy_->approx_size());
   stats_.on_task_created();
-  ready_cv_.notify_one();
-  join_cv_.notify_all();  // blocked joiners may help with the new task
+  // Eventcount notifies: a couple of atomic ops when nobody sleeps; the
+  // condvar is only touched for genuinely idle VPs/joiners.
+  ready_ec_.notify_one();
+  join_ec_.notify_all();  // blocked joiners may help with the new task
   return task;
 }
 
+void Scheduler::register_task(const TaskPtr& task) {
+  Shard& sh = shard(task->id());
+  Task* raw = task.get();
+  raw->registry_guard_ = task;
+  std::lock_guard lock(sh.mu);
+  raw->reg_prev_ = nullptr;
+  raw->reg_next_ = sh.head;
+  if (sh.head != nullptr) sh.head->reg_prev_ = raw;
+  sh.head = raw;
+}
+
 TaskPtr Scheduler::find(TaskId id) const {
-  std::lock_guard lock(mu_);
-  const auto it = live_.find(id);
-  return it == live_.end() ? nullptr : it->second;
+  const Shard& sh = shard(id);
+  std::lock_guard lock(sh.mu);
+  for (const Task* t = sh.head; t != nullptr; t = t->reg_next_)
+    if (t->id() == id) return t->registry_guard_;
+  return nullptr;
+}
+
+void Scheduler::retire(Task* task) {
+  Shard& sh = shard(task->id());
+  TaskPtr guard;  // release the self-reference outside the shard lock
+  {
+    std::lock_guard lock(sh.mu);
+    guard = std::move(task->registry_guard_);
+    if (guard == nullptr) return;  // already retired
+    if (task->reg_prev_ != nullptr) task->reg_prev_->reg_next_ = task->reg_next_;
+    else sh.head = task->reg_next_;
+    if (task->reg_next_ != nullptr) task->reg_next_->reg_prev_ = task->reg_prev_;
+    task->reg_prev_ = task->reg_next_ = nullptr;
+  }
 }
 
 void Scheduler::run_task(const TaskPtr& task, int vp) {
   task->set_state(TaskState::kRunning);
   tls_frames_.push_back({task.get(), task->id(), task->level()});
 
-  const std::int64_t trace_start =
-      trace_.enabled() ? trace_.now_ns() : -1;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Per-task timing feeds the trace; two clock reads per task are a
+  // measurable fraction of a fine-grained task, so skip them untraced.
+  const bool timed = trace_.enabled();
+  const std::int64_t trace_start = timed ? trace_.now_ns() : -1;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   void* result = nullptr;
   try {
     result = task->invoke();
@@ -111,48 +174,55 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
     tls_frames_.pop_back();
     throw;
   }
-  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
   tls_frames_.pop_back();
 
   task->set_result(result);
-  task->set_exec_ns(ns);
-  if (trace_start >= 0)
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    task->set_exec_ns(ns);
     trace_.record_exec_interval(task->id(), trace_start, ns);
+  }
 
   // Count the execution BEFORE the task becomes observable as finished, so
   // a joiner that consumes the result immediately already sees the counter.
-  stats_.on_task_executed(vp == SchedulingPolicy::kExternalVp);
+  // "Run by main" means run by any thread that is not one of this
+  // scheduler's worker VPs — the main flow (even when bound to a VP slot
+  // via main_participates) or a foreign helping thread.
+  (void)vp;
+  stats_.on_task_executed(!is_bound_worker());
 
-  {
-    std::lock_guard lock(mu_);
-    if (task->attributes().join_number() == 0) {
-      // Detached task: nobody may join it; reclaim immediately.
-      task->set_state(TaskState::kJoined);
-      live_.erase(task->id());
-    } else {
-      task->set_state(TaskState::kFinished);
-      ++finished_count_;
-    }
+  if (task->attributes().join_number() == 0) {
+    // Detached task: nobody may join it; reclaim immediately.
+    task->set_state(TaskState::kJoined);
+    retire(task.get());
+  } else {
+    // The increment must precede the kFinished release store: a joiner
+    // that acquire-reads kFinished and later decrements cannot underflow.
+    finished_count_.fetch_add(1, std::memory_order_relaxed);
+    task->set_state(TaskState::kFinished);  // release: publishes the result
   }
-  join_cv_.notify_all();
+  join_ec_.notify_all();
 }
 
-void Scheduler::consume_finished(const TaskPtr& task, void** result) {
-  assert(task->state() == TaskState::kFinished);
-  assert(task->joins_remaining() > 0);
-  task->consume_join();
+int Scheduler::try_consume(const TaskPtr& task, void** result) {
+  const int remaining = task->try_consume_join();
+  if (remaining < 0) return kNotFound;  // join budget raced away
   if (result != nullptr) *result = task->result();
-  if (task->joins_remaining() == 0) {
+  if (remaining == 0) {
+    // Last join: this caller retires the task. The kFinished -> kJoined
+    // transition needs no notification of its own; every waiter was
+    // already woken by the finish and re-checks the state.
     task->set_state(TaskState::kJoined);
-    live_.erase(task->id());
-    --finished_count_;
+    retire(task.get());
+    finished_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (trace_.enabled()) {
     trace_.record_edge(task->flow_id(), current_frame().flow_id,
                        TraceEdgeKind::kJoin);
   }
+  return kOk;
 }
 
 int Scheduler::join(const TaskPtr& task, void** result, int vp) {
@@ -161,13 +231,14 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
   if (on_current_stack(task.get())) return kDeadlock;
 
   {
-    std::lock_guard lock(mu_);
-    if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0)
+    // Lock-free fast path: acquire-read the state, CAS the join budget.
+    const TaskState s = task->state();
+    if (s == TaskState::kJoined || task->joins_remaining() <= 0)
       return kNotFound;
-    if (task->state() == TaskState::kFinished) {
-      consume_finished(task, result);
-      stats_.on_join_immediate();
-      return kOk;
+    if (s == TaskState::kFinished) {
+      const int rc = try_consume(task, result);
+      if (rc == kOk) stats_.on_join_immediate();
+      return rc;
     }
   }
 
@@ -190,25 +261,22 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
   bool slept = false;
   blocked_frames_.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
-    {
-      std::unique_lock lock(mu_);
-      if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0) {
-        blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
-        return kNotFound;  // join budget raced away
-      }
-      if (task->state() == TaskState::kFinished) {
-        blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
-        unblocked_frames_.fetch_add(1, std::memory_order_relaxed);
-        consume_finished(task, result);
-        unblocked_frames_.fetch_sub(1, std::memory_order_relaxed);
-        return kOk;
-      }
+    TaskState s = task->state();
+    if (s == TaskState::kJoined) {
+      blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      return kNotFound;  // join budget raced away
+    }
+    if (s == TaskState::kFinished) {
+      blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      unblocked_frames_.fetch_add(1, std::memory_order_relaxed);
+      const int rc = try_consume(task, result);
+      unblocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      return rc;
     }
 
     if (may_help) {
-      // 1) Join-inlining: pull the target itself out of the ready list.
-      if (task->state() == TaskState::kReady &&
-          policy_->remove_specific(task)) {
+      // 1) Join-inlining: claim the target itself out of the ready list.
+      if (s == TaskState::kReady && policy_->remove_specific(task)) {
         stats_.on_join_inlined();
         run_task(task, vp);
         continue;
@@ -221,19 +289,20 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
       }
     }
     // 3) Sleep until the target finishes (or, when helping, until new
-    //    ready work appears that we could run meanwhile).
-    std::unique_lock lock(mu_);
-    if (task->state() != TaskState::kFinished &&
-        (!may_help || policy_->approx_size() == 0)) {
-      if (!slept) {
-        stats_.on_join_slept();
-        slept = true;
-      }
-      join_cv_.wait(lock, [&] {
-        return task->state() == TaskState::kFinished ||
-               (may_help && policy_->approx_size() > 0);
-      });
+    //    ready work appears that we could run meanwhile). Eventcount
+    //    two-phase wait: announce, re-check, then commit to sleeping.
+    const EventCount::Epoch e = join_ec_.prepare_wait();
+    s = task->state();
+    if (s == TaskState::kFinished || s == TaskState::kJoined ||
+        (may_help && policy_->approx_size() > 0)) {
+      join_ec_.cancel_wait();
+      continue;
     }
+    if (!slept) {
+      stats_.on_join_slept();
+      slept = true;
+    }
+    join_ec_.commit_wait(e);
   }
 }
 
@@ -241,13 +310,13 @@ int Scheduler::try_join(const TaskPtr& task, void** result) {
   stats_.on_join();
   if (!task) return kNotFound;
   if (on_current_stack(task.get())) return kDeadlock;
-  std::lock_guard lock(mu_);
-  if (task->state() == TaskState::kJoined || task->joins_remaining() <= 0)
+  const TaskState s = task->state();
+  if (s == TaskState::kJoined || task->joins_remaining() <= 0)
     return kNotFound;
-  if (task->state() != TaskState::kFinished) return kBusy;
-  consume_finished(task, result);
-  stats_.on_join_immediate();
-  return kOk;
+  if (s != TaskState::kFinished) return kBusy;
+  const int rc = try_consume(task, result);
+  if (rc == kOk) stats_.on_join_immediate();
+  return rc;
 }
 
 int Scheduler::join_by_id(TaskId id, void** result, int vp) {
@@ -259,23 +328,30 @@ int Scheduler::join_by_id(TaskId id, void** result, int vp) {
 TaskPtr Scheduler::wait_for_task(int vp, const std::stop_token& st) {
   for (;;) {
     if (TaskPtr task = policy_->pop(vp)) return task;
-    std::unique_lock lock(mu_);
-    const bool have_work = ready_cv_.wait(
-        lock, st, [&] { return policy_->approx_size() > 0; });
-    if (!have_work) return nullptr;  // stop requested
+    const EventCount::Epoch e = ready_ec_.prepare_wait();
+    if (st.stop_requested()) {
+      ready_ec_.cancel_wait();
+      return nullptr;
+    }
+    // Re-check after announcing ourselves: a producer that pushed before
+    // reading the waiter count is now guaranteed visible here.
+    if (TaskPtr task = policy_->pop(vp)) {
+      ready_ec_.cancel_wait();
+      return task;
+    }
+    if (!ready_ec_.commit_wait(e, st)) return nullptr;  // stop requested
   }
 }
 
 void Scheduler::notify_all() {
-  ready_cv_.notify_all();
-  join_cv_.notify_all();
+  ready_ec_.notify_all();
+  join_ec_.notify_all();
 }
 
 Scheduler::ListSnapshot Scheduler::lists() const {
-  std::lock_guard lock(mu_);
   ListSnapshot s;
   s.ready = policy_->approx_size();
-  s.finished = finished_count_;
+  s.finished = finished_count_.load(std::memory_order_relaxed);
   s.blocked = blocked_frames_.load(std::memory_order_relaxed);
   s.unblocked = unblocked_frames_.load(std::memory_order_relaxed);
   return s;
@@ -284,6 +360,12 @@ Scheduler::ListSnapshot Scheduler::lists() const {
 RuntimeStats::Snapshot Scheduler::stats_snapshot() const {
   if (const auto* ws = dynamic_cast<const WorkStealingPolicy*>(policy_.get()))
     stats_.record_steals(ws->steals(), ws->steal_attempts());
+  else if (const auto* mws =
+               dynamic_cast<const MutexWorkStealingPolicy*>(policy_.get()))
+    stats_.record_steals(mws->steals(), mws->steal_attempts());
+  stats_.record_wakeups(ready_ec_.wakeups() + join_ec_.wakeups(),
+                        ready_ec_.wakeups_skipped() +
+                            join_ec_.wakeups_skipped());
   return stats_.snapshot();
 }
 

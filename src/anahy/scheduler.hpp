@@ -14,17 +14,30 @@
 // (1) pulling the join target itself out of the ready list and running it
 // inline, or (2) running any other ready task, and only (3) sleeps when the
 // target is running on another VP and nothing else is ready.
+//
+// Concurrency design (docs/SCHEDULER.md): there is no global scheduler
+// mutex. The fork/join hot path is lock-free —
+//  - task state transitions (kReady -> kRunning -> kFinished -> kJoined)
+//    and the join budget are an atomic state machine on Task, so join's
+//    fast path acquire-reads the state and CAS-consumes the budget;
+//  - the live-task registry is sharded (kRegistryShards buckets keyed by
+//    TaskId, each with its own small mutex), so create/find/retire of
+//    different tasks never contend;
+//  - sleeping uses eventcounts: spawn and finish bump an epoch and only
+//    touch a condvar when some VP/joiner is actually asleep.
 #pragma once
 
-#include <condition_variable>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <stop_token>
 #include <string>
-#include <unordered_map>
+#include <thread>
 #include <vector>
 
+#include "anahy/eventcount.hpp"
 #include "anahy/policy.hpp"
 #include "anahy/stats.hpp"
 #include "anahy/task.hpp"
@@ -52,6 +65,11 @@ class Scheduler {
     std::size_t blocked = 0;
     std::size_t unblocked = 0;
   };
+
+  /// Number of buckets of the sharded live-task registry (power of two;
+  /// tasks map to buckets by id, so concurrent create/find/retire of
+  /// distinct tasks rarely touch the same bucket mutex).
+  static constexpr std::size_t kRegistryShards = 64;
 
   explicit Scheduler(const Options& opts);
   ~Scheduler();
@@ -96,6 +114,13 @@ class Scheduler {
   /// Nesting depth of task frames on the calling thread (0 = main flow).
   [[nodiscard]] static std::size_t current_stack_depth();
 
+  /// VP slot the calling thread owns *in this scheduler* (kExternalVp for
+  /// foreign threads, or when the thread's binding belongs to another
+  /// scheduler instance). Forks and helping joins from a bound thread use
+  /// its own lock-free deque; everything else goes through the external
+  /// overflow queue.
+  [[nodiscard]] int bound_vp() const;
+
   [[nodiscard]] ListSnapshot lists() const;
 
   /// Counter snapshot, including steal counters from the active policy.
@@ -103,9 +128,14 @@ class Scheduler {
 
   [[nodiscard]] RuntimeStats& stats() { return stats_; }
 
-  /// Binds the calling thread to VP `vp` for scheduling locality (called by
-  /// VirtualProcessor at thread start; other threads are "external").
-  static void bind_thread_to_vp(int vp);
+  /// Binds the calling thread to VP slot `vp` of this scheduler: its forks
+  /// then push to its own deque (Chase-Lev single-owner discipline).
+  /// Called by VirtualProcessor at thread start with worker=true, and by
+  /// Runtime for the main thread (main_participates) with worker=false so
+  /// main's executions still count as tasks_run_by_main. The binding is
+  /// instance-checked: a stale binding from a dead or different scheduler
+  /// falls back to the external slot instead of racing a deque owner.
+  void bind_thread_to_vp(int vp, bool worker = true);
   [[nodiscard]] TraceGraph& trace() { return trace_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
@@ -118,8 +148,51 @@ class Scheduler {
     std::uint32_t level = 0;
   };
 
-  /// Consumes one join on a finished task under `mu_`.
-  void consume_finished(const TaskPtr& task, void** result);
+  /// Tiny test-and-set spinlock guarding one registry shard. The critical
+  /// sections are a handful of pointer writes (or a short list walk in
+  /// find), and 64 shards keep contention rare, so a spinlock beats a
+  /// mutex: uncontended acquire is one atomic exchange and release is a
+  /// plain store, where pthread mutexes pay a locked RMW on both ends.
+  class ShardLock {
+   public:
+    void lock() {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        while (flag_.load(std::memory_order_relaxed))
+          std::this_thread::yield();  // single-core friendly
+      }
+    }
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  /// One bucket of the live-task registry: an intrusive doubly-linked list
+  /// threaded through the tasks themselves (Task::reg_prev_/reg_next_,
+  /// kept alive by Task::registry_guard_). Insert and unlink are O(1) and
+  /// allocation-free — a map node per task costs ~10% of a fine-grained
+  /// task — while find() (the by-id join path only) walks the bucket.
+  struct Shard {
+    mutable ShardLock mu;
+    Task* head = nullptr;
+  };
+
+  [[nodiscard]] Shard& shard(TaskId id) {
+    return shards_[static_cast<std::size_t>(id) & (kRegistryShards - 1)];
+  }
+  [[nodiscard]] const Shard& shard(TaskId id) const {
+    return shards_[static_cast<std::size_t>(id) & (kRegistryShards - 1)];
+  }
+
+  /// Registers a freshly created task in its shard (O(1), no allocation).
+  void register_task(const TaskPtr& task);
+
+  /// Removes a retired (kJoined) task from the registry.
+  void retire(Task* task);
+
+  /// Consumes one join on `task` after the caller observed kFinished.
+  /// Returns kOk, or kNotFound when the budget raced away.
+  int try_consume(const TaskPtr& task, void** result);
 
   /// True when `task` appears in the calling thread's frame stack.
   static bool on_current_stack(const Task* task);
@@ -131,10 +204,16 @@ class Scheduler {
   Frame& current_frame();
   Frame& root_frame();
 
+  /// True when the calling thread is a worker VP of this scheduler bound
+  /// via bind_thread_to_vp(vp, /*worker=*/true).
+  [[nodiscard]] bool is_bound_worker() const;
+
   static thread_local std::vector<Frame> tls_frames_;
   static thread_local Frame tls_root_;
   static thread_local std::uint64_t tls_root_owner_;
   static thread_local int tls_vp_;
+  static thread_local std::uint64_t tls_vp_owner_;
+  static thread_local bool tls_worker_;
 
   const std::uint64_t instance_id_;
 
@@ -143,12 +222,11 @@ class Scheduler {
   mutable RuntimeStats stats_;
   TraceGraph trace_;
 
-  mutable std::mutex mu_;
-  std::condition_variable_any ready_cv_;  // workers waiting for ready tasks
-  std::condition_variable join_cv_;       // joiners waiting for a finish
-  std::unordered_map<TaskId, TaskPtr> live_;
+  std::array<Shard, kRegistryShards> shards_;
+  EventCount ready_ec_;  // workers waiting for ready tasks
+  EventCount join_ec_;   // joiners waiting for a finish (or for help work)
   std::atomic<TaskId> next_id_{1};  // 0 is the root flow
-  std::size_t finished_count_ = 0;
+  std::atomic<std::size_t> finished_count_{0};
   std::atomic<std::size_t> blocked_frames_{0};
   std::atomic<std::size_t> unblocked_frames_{0};
 };

@@ -4,21 +4,50 @@
 
 namespace anahy {
 
+namespace {
+std::atomic<std::uint64_t> g_stats_instances{0};
+
+thread_local std::uint64_t tls_stripe_owner = 0;
+thread_local unsigned tls_stripe_index = 0;
+}  // namespace
+
+RuntimeStats::RuntimeStats()
+    : instance_id_(g_stats_instances.fetch_add(1, relaxed) + 1) {}
+
+RuntimeStats::Stripe& RuntimeStats::stripe() {
+  if (tls_stripe_owner != instance_id_) {
+    // First touch from this thread: claim the next free stripe. Threads
+    // beyond kStripes-1 all land on the last stripe, which bump() treats
+    // as shared (fetch_add), so totals stay exact under any thread count.
+    const unsigned i = stripes_used_.fetch_add(1, relaxed);
+    tls_stripe_index = i < kStripes - 1 ? i : kStripes - 1;
+    tls_stripe_owner = instance_id_;
+  }
+  return stripes_[tls_stripe_index];
+}
+
 RuntimeStats::Snapshot RuntimeStats::snapshot() const {
-  Snapshot s;
-  s.tasks_created = tasks_created_.load(relaxed);
-  s.tasks_executed = tasks_executed_.load(relaxed);
-  s.joins_total = joins_total_.load(relaxed);
-  s.joins_immediate = joins_immediate_.load(relaxed);
-  s.joins_inlined = joins_inlined_.load(relaxed);
-  s.joins_helped = joins_helped_.load(relaxed);
-  s.joins_slept = joins_slept_.load(relaxed);
-  s.continuations = continuations_.load(relaxed);
-  s.steals = steals_.load(relaxed);
-  s.steal_attempts = steal_attempts_.load(relaxed);
-  s.tasks_run_by_main = tasks_run_by_main_.load(relaxed);
-  s.ready_peak = ready_peak_.load(relaxed);
-  return s;
+  std::array<std::uint64_t, kNumHotCounters> sum{};
+  for (const Stripe& s : stripes_)
+    for (unsigned c = 0; c < kNumHotCounters; ++c)
+      sum[c] += s.c[c].load(relaxed);
+
+  Snapshot out;
+  out.tasks_created = sum[kTasksCreated];
+  out.tasks_executed = sum[kTasksExecuted];
+  out.joins_total = sum[kJoinsTotal];
+  out.joins_immediate = sum[kJoinsImmediate];
+  out.joins_inlined = sum[kJoinsInlined];
+  out.joins_helped = sum[kJoinsHelped];
+  out.joins_slept = sum[kJoinsSlept];
+  out.continuations = sum[kContinuations];
+  out.tasks_run_by_main = sum[kTasksRunByMain];
+  out.steals = steals_.load(relaxed);
+  out.steal_attempts = steal_attempts_.load(relaxed);
+  out.ready_peak = ready_peak_.load(relaxed);
+  out.wakeups = wakeups_.load(relaxed);
+  out.wakeups_skipped = wakeups_skipped_.load(relaxed);
+  return out;
 }
 
 std::string RuntimeStats::Snapshot::to_string() const {
@@ -29,7 +58,8 @@ std::string RuntimeStats::Snapshot::to_string() const {
       << " slept=" << joins_slept << " | continuations=" << continuations
       << " | steals=" << steals << "/" << steal_attempts
       << " | run-by-main=" << tasks_run_by_main
-      << " | ready-peak=" << ready_peak;
+      << " | ready-peak=" << ready_peak
+      << " | wakeups=" << wakeups << " (+" << wakeups_skipped << " skipped)";
   return out.str();
 }
 

@@ -1,14 +1,36 @@
 // Lock-free Chase-Lev work-stealing deque (bounded, resizable buffer).
 //
-// Standalone component: the default WorkStealingPolicy uses small mutexes
-// (simpler to reason about, and this repo's reference host is single-core),
-// but this deque is provided for users who want the classic lock-free owner
-// path, and it is exercised by the micro-benchmarks and property tests.
+// This is the ready-deque behind the default WorkStealingPolicy: the owner
+// VP calls push_bottom/pop_bottom, any other thread may call steal_top
+// concurrently, and no path takes a lock. Memory ordering follows the C11
+// formulation of Le, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13):
 //
-// Owner thread calls push_bottom/pop_bottom; any other thread may call
-// steal_top concurrently. Memory ordering follows Le, Pop, Cohen &
-// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
-// Models" (PPoPP'13).
+//  - elements live in *atomic* slots accessed with relaxed ordering (a slow
+//    thief may read a slot the owner is concurrently overwriting after the
+//    indices wrapped; the thief's CAS on top_ then fails and the torn-free
+//    relaxed read is discarded, so the access must be atomic, not plain);
+//  - push_bottom publishes the element with a release fence before the
+//    relaxed store to bottom_, pairing with the acquire load in steal_top;
+//  - pop_bottom and steal_top order their index reads with seq_cst fences
+//    so owner and thief cannot both take the last element;
+//  - grow() copies into the new buffer with relaxed stores and publishes it
+//    with a *release* store on buffer_, pairing with the thief's acquire
+//    load, so a thief that sees the new buffer also sees the copied slots.
+//
+// Retired buffers are kept alive by the owner until the deque is destroyed
+// (capacity doubles each grow, so retired memory is bounded by the live
+// buffer's size); in-flight thieves may therefore keep reading an old
+// buffer safely after a grow.
+//
+// ThreadSanitizer caveat: TSan does not model std::atomic_thread_fence, so
+// the fence-based formulation produces false "data race" reports on memory
+// published through the fences (e.g. a task's keep-alive guard written
+// before push and read after steal). Under TSan this header compiles the
+// per-access variant of the same algorithm — the fences are replaced by
+// release/seq_cst orderings on the index accesses themselves, which is
+// strictly stronger (it is the paper's portable fallback) and is visible
+// to TSan's happens-before machinery. Production builds keep the fences.
 #pragma once
 
 #include <atomic>
@@ -16,39 +38,65 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
+
+#if defined(__SANITIZE_THREAD__)
+#define ANAHY_DEQUE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ANAHY_DEQUE_TSAN 1
+#endif
+#endif
 
 namespace anahy {
 
 template <typename T>
 class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "lock-free slots require a trivially copyable element type "
+                "(store raw pointers and manage ownership outside the deque)");
+
  public:
-  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
-      : buffer_(std::make_shared<Buffer>(round_up_pow2(initial_capacity))) {}
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    all_buffers_.push_back(
+        std::make_unique<Buffer>(round_up_pow2(initial_capacity)));
+    buffer_.store(all_buffers_.back().get(), std::memory_order_relaxed);
+  }
 
   ChaseLevDeque(const ChaseLevDeque&) = delete;
   ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
 
-  /// Owner only. Grows the buffer when full (old buffers are retired via
-  /// shared_ptr so in-flight steals stay valid).
+  /// Owner only. Grows the buffer when full (old buffers are retired and
+  /// stay readable for in-flight steals).
   void push_bottom(T value) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
-    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
       buf = grow(buf, t, b);
     }
-    buf->put(b, std::move(value));
+    buf->put(b, value);
+#if defined(ANAHY_DEQUE_TSAN)
     bottom_.store(b + 1, std::memory_order_release);
+#else
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
   }
 
   /// Owner only. Returns nullopt when the deque is empty.
   std::optional<T> pop_bottom() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+#if defined(ANAHY_DEQUE_TSAN)
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
     if (t > b) {  // already empty
       bottom_.store(b + 1, std::memory_order_relaxed);
       return std::nullopt;
@@ -65,13 +113,19 @@ class ChaseLevDeque {
     return value;
   }
 
-  /// Any thread. Returns nullopt when empty or when it lost a race.
+  /// Any thread. Returns nullopt when empty or when it lost a race; callers
+  /// that must distinguish can recheck empty() and retry.
   std::optional<T> steal_top() {
+#if defined(ANAHY_DEQUE_TSAN)
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
     if (t >= b) return std::nullopt;
-    std::shared_ptr<Buffer> buf = std::atomic_load(&buffer_);
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     T value = buf->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
@@ -94,13 +148,15 @@ class ChaseLevDeque {
     explicit Buffer(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
     const std::size_t capacity;
     const std::size_t mask;
-    std::vector<T> slots;
+    std::vector<std::atomic<T>> slots;
 
     void put(std::int64_t i, T v) {
-      slots[static_cast<std::size_t>(i) & mask] = std::move(v);
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
     }
     T get(std::int64_t i) const {
-      return slots[static_cast<std::size_t>(i) & mask];
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
     }
   };
 
@@ -110,17 +166,19 @@ class ChaseLevDeque {
     return p < 2 ? 2 : p;
   }
 
-  std::shared_ptr<Buffer> grow(const std::shared_ptr<Buffer>& old,
-                               std::int64_t t, std::int64_t b) {
-    auto bigger = std::make_shared<Buffer>(old->capacity * 2);
+  Buffer* grow(const Buffer* old, std::int64_t t, std::int64_t b) {
+    all_buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* bigger = all_buffers_.back().get();
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
-    std::atomic_store(&buffer_, bigger);
+    // Release so a thief's acquire load of buffer_ sees the copied slots.
+    buffer_.store(bigger, std::memory_order_release);
     return bigger;
   }
 
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};
-  std::shared_ptr<Buffer> buffer_;  // accessed via std::atomic_load/store
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> all_buffers_;  // owner-only
 };
 
 }  // namespace anahy

@@ -21,9 +21,16 @@ using TaskBody = std::function<void*(void*)>;
 ///
 /// Tasks are created by `fork` (athread_create), enter the ready list, are
 /// executed by a virtual processor, and park their result in the finished
-/// list until the declared number of `join`s consumes it. All mutable state
-/// transitions are serialized by the scheduler; the state field itself is
-/// atomic so monitors/tests may observe it without locks.
+/// list until the declared number of `join`s consumes it.
+///
+/// The life cycle is a lock-free state machine:
+///   kCreated/kReady --try_claim--> kRunning --> kFinished --> kJoined
+/// `try_claim` is the single consumption point of a ready task: whichever
+/// thread wins the CAS (a VP popping its deque, a thief, or a joiner
+/// inlining its target) owns the execution; every other path that still
+/// holds a reference to the task observes the lost CAS and backs off. The
+/// runner publishes the result with the kFinished release store; joiners
+/// acquire-read the state, so no lock is needed between finish and join.
 class Task {
  public:
   Task(TaskId id, TaskBody body, void* input, const TaskAttributes& attr,
@@ -54,7 +61,21 @@ class Task {
   }
   void set_state(TaskState s) { state_.store(s, std::memory_order_release); }
 
-  /// Runs the task body. Must be called exactly once, by the owning VP.
+  /// Atomically takes the task out of the ready set: CAS kCreated/kReady ->
+  /// kRunning. Exactly one caller wins; losers must not run the task.
+  [[nodiscard]] bool try_claim() {
+    TaskState s = state_.load(std::memory_order_relaxed);
+    while (s == TaskState::kCreated || s == TaskState::kReady) {
+      if (state_.compare_exchange_weak(s, TaskState::kRunning,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Runs the task body. Must be called exactly once, by the claim winner.
   void* invoke() { return body_(input_); }
 
   [[nodiscard]] void* input() const { return input_; }
@@ -62,9 +83,32 @@ class Task {
   [[nodiscard]] void* result() const { return result_; }
   void set_result(void* r) { result_ = r; }
 
-  /// Join budget left; guarded by the scheduler mutex.
-  [[nodiscard]] int joins_remaining() const { return joins_remaining_; }
-  void consume_join() { --joins_remaining_; }
+  /// Join budget left. Monitoring only: joiners must use try_consume_join.
+  [[nodiscard]] int joins_remaining() const {
+    return joins_remaining_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically consumes one join. Returns the budget remaining *after*
+  /// this consumption (0 means the caller performed the last join and must
+  /// retire the task), or -1 when the budget was already exhausted.
+  [[nodiscard]] int try_consume_join() {
+    int j = joins_remaining_.load(std::memory_order_relaxed);
+    while (j > 0) {
+      if (joins_remaining_.compare_exchange_weak(j, j - 1,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+        return j - 1;
+      }
+    }
+    return -1;
+  }
+
+  /// Keep-alive reference owned by the ready deque entry. The lock-free
+  /// policy stores raw Task* in its deques; this self-reference is set by
+  /// push and cleared exactly once by whichever pop/steal removes the entry
+  /// (claimed or stale), so a Task* sitting in a deque can never dangle.
+  void set_ready_guard(TaskPtr self) { ready_guard_ = std::move(self); }
+  [[nodiscard]] TaskPtr take_ready_guard() { return std::move(ready_guard_); }
 
   /// The id of the flow currently carrying this task's code: starts as the
   /// task id and advances to the continuation id each time the flow splits
@@ -85,6 +129,8 @@ class Task {
   }
 
  private:
+  friend class Scheduler;  // intrusive live-registry links (see below)
+
   const TaskId id_;
   TaskBody body_;
   void* input_ = nullptr;
@@ -92,7 +138,15 @@ class Task {
   const TaskAttributes attr_;
   const TaskId parent_;
   const std::uint32_t level_;
-  int joins_remaining_;
+  std::atomic<int> joins_remaining_;
+  TaskPtr ready_guard_;
+  /// Intrusive hooks of the scheduler's sharded live-task registry: links
+  /// into the owning shard's list plus a strong self-reference while
+  /// registered. Registering a task this way costs no allocation, unlike a
+  /// map node per task (guarded by the shard mutex; see scheduler.hpp).
+  Task* reg_prev_ = nullptr;
+  Task* reg_next_ = nullptr;
+  TaskPtr registry_guard_;
   std::atomic<TaskId> flow_id_;
   std::atomic<TaskState> state_{TaskState::kCreated};
   std::atomic<std::int64_t> exec_ns_{0};

@@ -1,0 +1,145 @@
+// Thread-caching block allocator for Task control blocks.
+//
+// Every fork allocates one shared_ptr control block (~200 B: the Task plus
+// the inplace refcount header) and every last join frees it. At fib-grain
+// task sizes the general-purpose allocator is a measurable slice of the
+// per-task cost, so freed blocks are kept in a per-thread free list bucketed
+// by size class: the dominant pattern — fork and then join-inline on the
+// same thread — turns into two pointer moves with no lock and no malloc.
+//
+// Design:
+//  - Blocks are bucketed in 64-byte classes up to 1 KiB. Larger or
+//    over-aligned requests fall through to ::operator new / delete.
+//  - Each per-thread bucket is capped (kCacheCap blocks). Overflow goes back
+//    to the system, so a producer/consumer pattern (allocate on thread A,
+//    free on thread B) cannot grow B's cache without bound.
+//  - The cache is a function-local thread_local; a trivially destructible
+//    tls flag records its destruction so frees that happen during static
+//    destruction (e.g. the athread global Runtime torn down after main's
+//    thread-locals) fall back to ::operator delete instead of touching a
+//    dead cache.
+//  - Under AddressSanitizer the cache is a passthrough so use-after-free
+//    diagnostics on tasks keep their precision. ThreadSanitizer keeps the
+//    cache enabled: it is thread-local by construction, and a racy access
+//    to a recycled block still races on the new object, which TSan reports.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace anahy {
+
+namespace pool_detail {
+
+inline constexpr std::size_t kClassBytes = 64;
+inline constexpr std::size_t kNumClasses = 16;  // up to 1 KiB
+inline constexpr std::size_t kCacheCap = 128;   // blocks kept per class
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ANAHY_POOL_ASAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define ANAHY_POOL_ASAN 1
+#endif
+#if defined(ANAHY_POOL_ASAN)
+inline constexpr bool kCacheEnabled = false;
+#else
+inline constexpr bool kCacheEnabled = true;
+#endif
+
+/// Index of the size class serving `bytes`, or kNumClasses when too large.
+[[nodiscard]] inline std::size_t size_class(std::size_t bytes) {
+  return (bytes + kClassBytes - 1) / kClassBytes - 1;
+}
+
+[[nodiscard]] inline std::size_t class_bytes(std::size_t cls) {
+  return (cls + 1) * kClassBytes;
+}
+
+struct FreeCache;
+inline thread_local bool tls_cache_dead = false;
+
+struct FreeCache {
+  std::array<std::vector<void*>, kNumClasses> lists;
+  ~FreeCache() {
+    tls_cache_dead = true;
+    for (auto& list : lists)
+      for (void* p : list) ::operator delete(p);
+  }
+};
+
+[[nodiscard]] inline FreeCache& cache() {
+  static thread_local FreeCache c;
+  return c;
+}
+
+[[nodiscard]] inline void* pool_alloc(std::size_t bytes, std::size_t align) {
+  if (kCacheEnabled && align <= alignof(std::max_align_t) &&
+      !tls_cache_dead) {
+    const std::size_t cls = size_class(bytes);
+    if (cls < kNumClasses) {
+      auto& list = cache().lists[cls];
+      if (!list.empty()) {
+        void* p = list.back();
+        list.pop_back();
+        return p;
+      }
+      // Allocate the full class size so the block is reusable for any
+      // request in this class when it comes back.
+      return ::operator new(class_bytes(cls));
+    }
+  }
+  return ::operator new(bytes, std::align_val_t{align});
+}
+
+inline void pool_free(void* p, std::size_t bytes, std::size_t align) {
+  if (kCacheEnabled && align <= alignof(std::max_align_t)) {
+    const std::size_t cls = size_class(bytes);
+    if (cls < kNumClasses) {
+      if (!tls_cache_dead) {
+        auto& list = cache().lists[cls];
+        if (list.size() < kCacheCap) {
+          list.push_back(p);
+          return;
+        }
+      }
+      ::operator delete(p);
+      return;
+    }
+  }
+  ::operator delete(p, std::align_val_t{align});
+}
+
+}  // namespace pool_detail
+
+/// Minimal allocator over the thread-caching pool, for
+/// std::allocate_shared<Task>: the shared_ptr control block and the Task are
+/// one block, allocated and usually freed from the calling thread's cache.
+template <class T>
+class TaskPoolAllocator {
+ public:
+  using value_type = T;
+
+  TaskPoolAllocator() = default;
+  template <class U>
+  TaskPoolAllocator(const TaskPoolAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        pool_detail::pool_alloc(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_detail::pool_free(p, n * sizeof(T), alignof(T));
+  }
+
+  template <class U>
+  bool operator==(const TaskPoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace anahy

@@ -50,9 +50,10 @@ enum Error : int {
 
 /// Ready-list management strategies supported by the executive kernel.
 enum class PolicyKind : std::uint8_t {
-  kFifo,          ///< single centralized FIFO queue (breadth-first)
-  kLifo,          ///< single centralized LIFO stack (depth-first)
-  kWorkStealing,  ///< per-VP deques, owner LIFO / thief FIFO
+  kFifo,               ///< single centralized FIFO queue (breadth-first)
+  kLifo,               ///< single centralized LIFO stack (depth-first)
+  kWorkStealing,       ///< per-VP lock-free Chase-Lev deques (default)
+  kWorkStealingMutex,  ///< mutex-per-deque baseline (benchmark reference)
 };
 
 [[nodiscard]] constexpr const char* to_string(PolicyKind p) {
@@ -60,6 +61,7 @@ enum class PolicyKind : std::uint8_t {
     case PolicyKind::kFifo: return "fifo";
     case PolicyKind::kLifo: return "lifo";
     case PolicyKind::kWorkStealing: return "steal";
+    case PolicyKind::kWorkStealingMutex: return "steal_mutex";
   }
   return "?";
 }

@@ -71,7 +71,8 @@ TEST_P(PolicyTest, DrainsManyTasks) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
                          ::testing::Values(PolicyKind::kFifo,
                                            PolicyKind::kLifo,
-                                           PolicyKind::kWorkStealing),
+                                           PolicyKind::kWorkStealing,
+                                           PolicyKind::kWorkStealingMutex),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
