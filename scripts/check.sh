@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# The single CI entry point (docs/CHECKING.md): tier-1 build + full test
+# suite, the sanitizer matrix, clang-tidy (when installed), and an
+# anahy-lint round-trip over the race demo's saved trace.
+#
+#   scripts/check.sh              # everything
+#   scripts/check.sh --tier1      # just the tier-1 build + tests
+#   scripts/check.sh --no-san     # skip the sanitizer rebuilds (slow part)
+#
+# Every build goes into its own directory (build/, build-asan/, ...) so the
+# tier-1 build is never clobbered by a sanitizer reconfigure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+tier1_only=0
+run_san=1
+for arg in "$@"; do
+  case "$arg" in
+    --tier1) tier1_only=1 ;;
+    --no-san) run_san=0 ;;
+    *) echo "usage: scripts/check.sh [--tier1] [--no-san]" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: build + full test suite"
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+step "checker demo: seeded race must be caught, trace must lint"
+./build/examples/race_demo
+# race_demo exits 0 only when the race IS reported. Its trace must replay
+# with diagnostics (the demo leaks a task on purpose), i.e. lint exits 1.
+if ./build/tools/anahy-lint --summary race_demo.trace; then
+  echo "anahy-lint: expected diagnostics on race_demo.trace" >&2; exit 1
+fi
+rm -f race_demo.trace
+
+if [ "$tier1_only" = 1 ]; then
+  echo; echo "check.sh: tier-1 OK"
+  exit 0
+fi
+
+step "clang-tidy (skipped automatically when not installed)"
+cmake --build build --target tidy
+
+if [ "$run_san" = 1 ]; then
+  for san in address undefined thread; do
+    case "$san" in
+      address)   label=asan ;;
+      undefined) label=ubsan ;;
+      thread)    label=tsan ;;
+    esac
+    step "sanitizer: ANAHY_SAN=$san, ctest -L $label"
+    cmake -B "build-$label" -S . -DANAHY_SAN="$san" > /dev/null
+    cmake --build "build-$label" -j "$JOBS"
+    ctest --test-dir "build-$label" --output-on-failure -j "$JOBS" -L "$label"
+  done
+fi
+
+echo; echo "check.sh: all checks OK"

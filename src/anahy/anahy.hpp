@@ -17,6 +17,7 @@
 
 #include "anahy/athread.hpp"   // IWYU pragma: export
 #include "anahy/attr.hpp"          // IWYU pragma: export
+#include "anahy/check/check.hpp"   // IWYU pragma: export
 #include "anahy/parallel_for.hpp"  // IWYU pragma: export
 #include "anahy/runtime.hpp"   // IWYU pragma: export
 #include "anahy/spawn.hpp"     // IWYU pragma: export

@@ -1,5 +1,9 @@
 #include "anahy/athread.hpp"
 
+#include <string>
+
+#include "anahy/trace_analysis.hpp"
+
 namespace anahy {
 
 int athread_init(int num_vps) {
@@ -61,6 +65,19 @@ int athread_attr_getdatalen(const athread_attr_t* attr, std::size_t* len) {
   return kOk;
 }
 
+int athread_attr_setchecked(athread_attr_t* attr, int checked) {
+  if (attr == nullptr || !attr->initialized) return kInvalid;
+  attr->attr.set_checked(checked != 0);
+  return kOk;
+}
+
+int athread_attr_getchecked(const athread_attr_t* attr, int* checked) {
+  if (attr == nullptr || !attr->initialized || checked == nullptr)
+    return kInvalid;
+  *checked = attr->attr.checked() ? 1 : 0;
+  return kOk;
+}
+
 int athread_create(athread_t* th, const athread_attr_t* attr,
                    athread_func_t func, void* arg) {
   Runtime* rt = Runtime::global();
@@ -76,6 +93,21 @@ int athread_create(athread_t* th, const athread_attr_t* attr,
 int athread_join(athread_t th, void** result) {
   Runtime* rt = Runtime::global();
   if (rt == nullptr) return kPerm;
+  return rt->join_by_id(th.id, result);
+}
+
+int athread_join_len(athread_t th, void** result, std::size_t expected_len) {
+  Runtime* rt = Runtime::global();
+  if (rt == nullptr) return kPerm;
+  if (TaskPtr task = rt->scheduler().find(th.id)) {
+    const std::size_t declared = task->attributes().data_len();
+    if (declared != expected_len) {
+      rt->trace().record_anomaly(
+          lint_code::kDatalenMismatch, th.id,
+          "athread_create declared datalen " + std::to_string(declared) +
+              " but athread_join expected " + std::to_string(expected_len));
+    }
+  }
   return rt->join_by_id(th.id, result);
 }
 

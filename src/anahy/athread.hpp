@@ -56,6 +56,11 @@ int athread_attr_getjoinnumber(const athread_attr_t* attr, int* joins);
 int athread_attr_setdatalen(athread_attr_t* attr, std::size_t len);
 int athread_attr_getdatalen(const athread_attr_t* attr, std::size_t* len);
 
+/// Anahy extension: opts the task in/out of the determinacy-race checker's
+/// datalen auto-instrumentation (in by default; see docs/CHECKING.md).
+int athread_attr_setchecked(athread_attr_t* attr, int checked);
+int athread_attr_getchecked(const athread_attr_t* attr, int* checked);
+
 /// Fork: creates a new flow executing `func(arg)`. `attr` may be null for
 /// defaults. The new flow's id is stored in `*th`.
 int athread_create(athread_t* th, const athread_attr_t* attr,
@@ -64,6 +69,12 @@ int athread_create(athread_t* th, const athread_attr_t* attr,
 /// Join: waits for flow `th` and stores its result in `*result` (which may
 /// be null to discard the result).
 int athread_join(athread_t th, void** result);
+
+/// Join variant that cross-checks the payload size against the datalen the
+/// task was created with: a mismatch emits an `ANAHY-W004` diagnostic into
+/// the trace (when tracing is on) before joining as usual. The join itself
+/// still proceeds - the mismatch is a lint finding, not an error.
+int athread_join_len(athread_t th, void** result, std::size_t expected_len);
 
 /// Non-blocking join: EBUSY when `th` has not finished yet.
 int athread_tryjoin(athread_t th, void** result);

@@ -33,9 +33,17 @@ class TaskAttributes {
   [[nodiscard]] std::size_t data_len() const { return data_len_; }
   void set_data_len(std::size_t len) { data_len_ = len; }
 
+  /// Whether the determinacy-race detector auto-instruments this task's
+  /// input/result buffers (of `data_len` bytes) when checking is on. Off
+  /// opts a task out, e.g. when its payload is deliberately shared and
+  /// protected by means the checker cannot see.
+  [[nodiscard]] bool checked() const { return checked_; }
+  void set_checked(bool on) { checked_ = on; }
+
  private:
   int join_number_ = 1;
   std::size_t data_len_ = 0;
+  bool checked_ = true;
 };
 
 }  // namespace anahy

@@ -1,0 +1,76 @@
+// anahy::check - user-facing entry points of the determinacy-race detector.
+//
+// Anahy's central claim is determinism: synchronization happens only
+// through fork/join dataflow, so a race-free program computes the same
+// result under every schedule. This header is how a program (or the
+// runtime itself, via the datalen auto-instrumentation) tells the checker
+// about shared-memory accesses so that claim can actually be verified:
+//
+//   anahy::check::write(&acc, sizeof acc);   // before mutating shared data
+//   anahy::check::read(&acc, sizeof acc);    // before reading it
+//
+// The detector is off by default and costs one relaxed atomic load per
+// call when off. It is switched on per runtime with `Options::check = true`
+// or globally with the environment variable `ANAHY_CHECK=1` (read by
+// Options::from_env, i.e. by athread_init). See docs/CHECKING.md for the
+// detection model and its serial vs. concurrent mode guarantees.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anahy/types.hpp"
+
+namespace anahy::check {
+
+class Detector;
+
+/// One detected determinacy race: two accesses to the same location, at
+/// least one a write, performed by two tasks that the fork/join graph does
+/// not order. Reported once per (task pair, 8-byte granule).
+struct RaceReport {
+  static constexpr const char* kCode = "ANAHY-R001";
+
+  TaskId first_task = kInvalidTaskId;   ///< earlier access (program order)
+  TaskId second_task = kInvalidTaskId;  ///< later, conflicting access
+  std::uintptr_t addr = 0;              ///< racy address (granule base)
+  bool first_is_write = false;
+  bool second_is_write = false;
+  std::string first_fork_path;   ///< e.g. "T0 -> T3 -> T7"
+  std::string second_fork_path;  ///< fork path of the second task
+
+  /// "ANAHY-R001: determinacy race at 0x...: T3 (write) vs T7 (read) ..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+void access(const void* ptr, std::size_t len, bool is_write);
+}  // namespace internal
+
+/// True when some live runtime has checking enabled. The off path of
+/// read()/write() is this single relaxed load.
+[[nodiscard]] inline bool enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Declares that the calling task is about to read [ptr, ptr + len).
+inline void read(const void* ptr, std::size_t len) {
+  if (enabled()) internal::access(ptr, len, /*is_write=*/false);
+}
+
+/// Declares that the calling task is about to write [ptr, ptr + len).
+inline void write(const void* ptr, std::size_t len) {
+  if (enabled()) internal::access(ptr, len, /*is_write=*/true);
+}
+
+/// Races found so far by the active detector (empty when checking is off).
+[[nodiscard]] std::vector<RaceReport> reports();
+
+/// Drops the accumulated reports of the active detector.
+void clear_reports();
+
+}  // namespace anahy::check

@@ -1,0 +1,208 @@
+#include "anahy/check/detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "anahy/scheduler.hpp"
+
+namespace anahy::check {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+std::atomic<Detector*> g_active{nullptr};
+}  // namespace
+
+void set_active_detector(Detector* d) {
+  g_active.store(d, std::memory_order_release);
+  internal::g_enabled.store(d != nullptr, std::memory_order_release);
+}
+
+Detector* active_detector() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void internal::access(const void* ptr, std::size_t len, bool is_write) {
+  Detector* d = active_detector();
+  if (d == nullptr || ptr == nullptr || len == 0) return;
+  d->on_access(Scheduler::current_task_id(), ptr, len, is_write);
+}
+
+std::string RaceReport::to_string() const {
+  std::ostringstream out;
+  out << kCode << ": determinacy race at 0x" << std::hex << addr << std::dec
+      << ": T" << first_task << " (" << (first_is_write ? "write" : "read")
+      << ") is unordered with T" << second_task << " ("
+      << (second_is_write ? "write" : "read") << "); fork paths: "
+      << first_fork_path << " | " << second_fork_path;
+  return out.str();
+}
+
+Detector::Detector(bool serial) : serial_(serial) {}
+
+Detector::TaskNode& Detector::node(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it != tasks_.end()) return it->second;
+  // Unknown id: the root flow (T0 exists before any fork), or - in the
+  // concurrent best-effort mode - a task whose fork we have not seen
+  // because checking was switched on mid-run. Either way it gets a fresh
+  // root-like strand with an empty happens-before set.
+  TaskNode n;
+  n.parent = kInvalidTaskId;
+  n.current = derive_strand(id, {});
+  return tasks_.emplace(id, std::move(n)).first->second;
+}
+
+Detector::Strand Detector::derive_strand(
+    TaskId owner, std::initializer_list<Strand> preds) {
+  const Strand s = static_cast<Strand>(hb_.size());
+  std::vector<std::uint64_t> bits((s + 63) / 64, 0);
+  for (const Strand p : preds) {
+    if (p == kNoStrand) continue;
+    const auto& pb = hb_[p];
+    for (std::size_t w = 0; w < pb.size(); ++w) bits[w] |= pb[w];
+    bits[p / 64] |= std::uint64_t{1} << (p % 64);
+  }
+  hb_.push_back(std::move(bits));
+  strand_owner_.push_back(owner);
+  return s;
+}
+
+bool Detector::ordered(Strand a, Strand b) const {
+  if (a == b) return true;
+  const auto& bits = hb_[b];
+  const std::size_t w = a / 64;
+  return w < bits.size() && (bits[w] >> (a % 64)) & 1;
+}
+
+void Detector::on_fork(TaskId parent, TaskId child, const std::string& label) {
+  std::lock_guard lock(mu_);
+  // The fork cuts the parent's current strand: the child is ordered after
+  // the parent's pre-fork code only, never after its continuation.
+  const Strand parent_strand = node(parent).current;
+  TaskNode c;
+  c.parent = parent;
+  c.label = label;
+  c.current = derive_strand(child, {parent_strand});
+  tasks_.emplace(child, std::move(c));
+  node(parent).current = derive_strand(parent, {parent_strand});
+}
+
+void Detector::on_finish(TaskId task) {
+  std::lock_guard lock(mu_);
+  TaskNode& n = node(task);
+  n.last = n.current;
+}
+
+void Detector::on_join(TaskId joiner, TaskId target) {
+  std::lock_guard lock(mu_);
+  // on_join runs after the joiner consumed the target's kFinished state,
+  // so the target's final strand is set; the joiner's post-join code is
+  // ordered after both its own prefix and the target's whole execution.
+  const Strand target_last = node(target).last;
+  TaskNode& j = node(joiner);
+  j.current = derive_strand(joiner, {j.current, target_last});
+}
+
+void Detector::on_access(TaskId task, const void* ptr, std::size_t len,
+                         bool is_write) {
+  std::lock_guard lock(mu_);
+  const Strand cur = node(task).current;
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t first = base >> 3;
+  std::uintptr_t last = (base + len - 1) >> 3;
+  if (last - first >= kMaxGranules) last = first + kMaxGranules - 1;
+
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    Cell& cell = shadow_[g];
+    if (cell.writer != kNoStrand && !ordered(cell.writer, cur))
+      report(cell.writer, /*prior_is_write=*/true, task, is_write, g << 3);
+    if (is_write) {
+      for (const Strand r : cell.readers)
+        if (!ordered(r, cur))
+          report(r, /*prior_is_write=*/false, task, is_write, g << 3);
+      cell.writer = cur;
+      cell.readers.clear();
+    } else {
+      // Keep the reader list small: a recorded reader ordered before this
+      // one is subsumed (any future strand unordered with it would also be
+      // unordered with us only if it misses our bit - but our set contains
+      // theirs, so checking against us suffices).
+      std::erase_if(cell.readers,
+                    [&](Strand r) { return ordered(r, cur); });
+      if (std::find(cell.readers.begin(), cell.readers.end(), cur) ==
+          cell.readers.end())
+        cell.readers.push_back(cur);
+    }
+  }
+}
+
+void Detector::report(Strand prior, bool prior_is_write, TaskId current_task,
+                      bool is_write, std::uintptr_t granule_addr) {
+  constexpr std::size_t kMaxReports = 1024;
+  const TaskId prior_task = strand_owner_[prior];
+  if (prior_task == current_task) return;  // self-overlap, not a race
+  if (reports_.size() >= kMaxReports) return;
+  if (!reported_.emplace(prior_task, current_task, granule_addr).second)
+    return;
+
+  RaceReport r;
+  r.first_task = prior_task;
+  r.second_task = current_task;
+  r.addr = granule_addr;
+  r.first_is_write = prior_is_write;
+  r.second_is_write = is_write;
+  r.first_fork_path = fork_path(prior_task);
+  r.second_fork_path = fork_path(current_task);
+  reports_.push_back(std::move(r));
+}
+
+std::string Detector::fork_path(TaskId task) const {
+  // Reconstructs the fork lineage root -> ... -> task. The chain is short
+  // (fork-tree depth); a defensive cap guards against corrupt parent links.
+  std::vector<TaskId> chain;
+  TaskId cur = task;
+  for (int depth = 0; depth < 256 && cur != kInvalidTaskId; ++depth) {
+    chain.push_back(cur);
+    const auto it = tasks_.find(cur);
+    cur = it == tasks_.end() ? kInvalidTaskId : it->second.parent;
+  }
+  std::ostringstream out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it != chain.rbegin()) out << " -> ";
+    out << 'T' << *it;
+    const auto n = tasks_.find(*it);
+    if (n != tasks_.end() && !n->second.label.empty())
+      out << '(' << n->second.label << ')';
+  }
+  return out.str();
+}
+
+std::vector<RaceReport> Detector::reports() const {
+  std::lock_guard lock(mu_);
+  return reports_;
+}
+
+void Detector::clear_reports() {
+  std::lock_guard lock(mu_);
+  reports_.clear();
+  reported_.clear();
+}
+
+std::size_t Detector::strand_count() const {
+  std::lock_guard lock(mu_);
+  return hb_.size();
+}
+
+std::vector<RaceReport> reports() {
+  Detector* d = active_detector();
+  return d == nullptr ? std::vector<RaceReport>{} : d->reports();
+}
+
+void clear_reports() {
+  if (Detector* d = active_detector()) d->clear_reports();
+}
+
+}  // namespace anahy::check

@@ -1,0 +1,131 @@
+// The determinacy-race detector: strand-based series-parallel maintenance
+// over the fork/join graph plus a shadow-memory table.
+//
+// Model. Classic SP-bags (Feng & Leiserson, "On-the-fly detection of
+// determinacy races in Cilk programs") certifies every schedule of a
+// spawn/sync program from ONE serial execution, using a disjoint-set
+// structure whose invariants lean on Cilk's strictly nested sync. Anahy's
+// join is more general - any task may join any other task, out of order,
+// futures-style - and under individual joins the SP-bags S/P tagging is no
+// longer sound. This detector therefore keeps the same "one serial run
+// certifies all schedules" property but maintains the series-parallel
+// relation explicitly:
+//
+//  * Execution is cut into *strands*: maximal instruction sequences of one
+//    task with no fork or join inside. A fork ends the parent's current
+//    strand (the child must not be ordered after the parent's post-fork
+//    code); a successful join ends the joiner's current strand (the code
+//    after the join IS ordered after the join target).
+//  * Every strand carries a happens-before set - a bitset over all earlier
+//    strands - built incrementally: child-at-fork and joiner-at-join
+//    inherit the union of their predecessors' sets. "Strand a precedes
+//    strand b" is then one bit test.
+//  * The shadow table maps each 8-byte granule of instrumented memory to
+//    the last writer strand and the list of reader strands since that
+//    write. An access races when it conflicts with a recorded strand whose
+//    bit is not in the current strand's happens-before set.
+//
+// In serial-elision mode (1 VP, main participates: zero worker threads)
+// the single execution visits every access in a canonical order, so the
+// verdict is deterministic and certifies all schedules of the traced DAG:
+// sound and complete for the accesses that were instrumented. With
+// multiple VPs the detector stays memory-safe behind one mutex and still
+// reports only true graph races, but which races it observes depends on
+// the schedule (best-effort mode; see docs/CHECKING.md).
+//
+// Memory: happens-before bitsets cost O(strands^2 / 8) bytes total - the
+// price of supporting out-of-order joins - which is fine for the debug
+// runs this tool targets (~12 MB at 10k strands).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "anahy/check/check.hpp"
+#include "anahy/types.hpp"
+
+namespace anahy::check {
+
+class Detector {
+ public:
+  /// `serial` marks the canonical serial-elision configuration (1 VP);
+  /// only used for reporting, the algorithm is identical.
+  explicit Detector(bool serial);
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  /// Scheduler hooks (fork/join transitions).
+  void on_fork(TaskId parent, TaskId child, const std::string& label);
+  void on_finish(TaskId task);
+  void on_join(TaskId joiner, TaskId target);
+
+  /// Access instrumentation: called by check::read/write (via the active
+  /// detector) and by the scheduler's datalen auto-instrumentation.
+  void on_access(TaskId task, const void* ptr, std::size_t len,
+                 bool is_write);
+
+  [[nodiscard]] std::vector<RaceReport> reports() const;
+  void clear_reports();
+
+  [[nodiscard]] bool serial_mode() const { return serial_; }
+
+  /// Number of strands created so far (monitoring/tests).
+  [[nodiscard]] std::size_t strand_count() const;
+
+ private:
+  using Strand = std::uint32_t;
+  static constexpr Strand kNoStrand = ~Strand{0};
+  /// Accesses longer than this many 8-byte granules are clipped (keeps a
+  /// huge instrumented memcpy from freezing the debug run).
+  static constexpr std::size_t kMaxGranules = 4096;
+
+  struct TaskNode {
+    TaskId parent = kInvalidTaskId;
+    Strand current = kNoStrand;  ///< strand of the task's executing code
+    Strand last = kNoStrand;     ///< strand at finish (what joiners inherit)
+    std::string label;
+  };
+
+  struct Cell {
+    Strand writer = kNoStrand;
+    std::vector<Strand> readers;  ///< readers since the last write
+  };
+
+  /// Creates a strand owned by `owner` whose happens-before set is the
+  /// union of each predecessor's set plus the predecessors themselves.
+  Strand derive_strand(TaskId owner, std::initializer_list<Strand> preds);
+
+  /// True when everything in strand `a` is ordered before strand `b`.
+  [[nodiscard]] bool ordered(Strand a, Strand b) const;
+
+  /// Node for `id`, lazily creating the root flow's node (strand 0).
+  TaskNode& node(TaskId id);
+
+  void report(Strand prior, bool prior_is_write, TaskId current_task,
+              bool is_write, std::uintptr_t granule_addr);
+  [[nodiscard]] std::string fork_path(TaskId task) const;
+
+  const bool serial_;
+  mutable std::mutex mu_;
+  std::unordered_map<TaskId, TaskNode> tasks_;
+  std::vector<std::vector<std::uint64_t>> hb_;  ///< per-strand bitsets
+  std::vector<TaskId> strand_owner_;
+  std::unordered_map<std::uintptr_t, Cell> shadow_;  ///< key: addr >> 3
+  std::vector<RaceReport> reports_;
+  std::set<std::tuple<TaskId, TaskId, std::uintptr_t>> reported_;
+};
+
+/// Registers `d` as the process-wide active detector the check::read/write
+/// entry points feed (null unregisters). The scheduler of a check-enabled
+/// runtime calls this on construction/destruction; one checked runtime at
+/// a time is supported (last one wins).
+void set_active_detector(Detector* d);
+[[nodiscard]] Detector* active_detector();
+
+}  // namespace anahy::check

@@ -23,6 +23,8 @@ Options Options::from_env() {
   }
   if (const char* v = std::getenv("ANAHY_TRACE"))
     opts.trace = std::string_view{v} == "1";
+  if (const char* v = std::getenv("ANAHY_CHECK"))
+    opts.check = std::string_view{v} == "1";
   return opts;
 }
 
@@ -33,6 +35,7 @@ Runtime::Runtime(const Options& opts) : opts_(opts) {
   sopts.policy = opts_.policy;
   sopts.trace = opts_.trace;
   sopts.external_helps = opts_.main_participates;
+  sopts.check = opts_.check;
   scheduler_ = std::make_unique<Scheduler>(sopts);
 
   const int workers =

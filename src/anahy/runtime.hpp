@@ -32,8 +32,13 @@ struct Options {
   /// T0 is itself a task executed by a VP).
   bool main_participates = true;
 
-  /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE from the environment,
-  /// falling back to the defaults above.
+  /// Run the determinacy-race detector (anahy::check; docs/CHECKING.md).
+  /// Canonical with num_vps == 1 (serial elision), best-effort otherwise.
+  /// Zero fork/join overhead when off.
+  bool check = false;
+
+  /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE / ANAHY_CHECK from
+  /// the environment, falling back to the defaults above.
   static Options from_env();
 };
 

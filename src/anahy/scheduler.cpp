@@ -3,9 +3,11 @@
 #include <cassert>
 #include <chrono>
 
+#include "anahy/check/detector.hpp"
 #include "anahy/policy_steal.hpp"
 #include "anahy/policy_steal_mutex.hpp"
 #include "anahy/task_pool.hpp"
+#include "anahy/trace_analysis.hpp"
 
 namespace anahy {
 
@@ -30,9 +32,20 @@ Scheduler::Scheduler(const Options& opts)
     trace_.record_task(kRootTaskId, kInvalidTaskId, 0, false);
     trace_.record_label(kRootTaskId, "main");
   }
+  if (opts.check) {
+    // Serial-elision configuration = one VP (the canonical detection mode;
+    // docs/CHECKING.md). The detector also becomes the process-wide sink
+    // of the check::read/write instrumentation entry points.
+    detector_ = std::make_unique<check::Detector>(opts.num_vps == 1);
+    check::set_active_detector(detector_.get());
+  }
 }
 
 Scheduler::~Scheduler() {
+  if (detector_ != nullptr &&
+      check::active_detector() == detector_.get()) {
+    check::set_active_detector(nullptr);
+  }
   // Tasks never joined (or never run) are still registered; break their
   // registry self-references so they are reclaimed with the scheduler.
   for (Shard& sh : shards_) {
@@ -83,6 +96,10 @@ TaskId Scheduler::current_flow_id() {
 
 std::size_t Scheduler::current_stack_depth() { return tls_frames_.size(); }
 
+TaskId Scheduler::current_task_id() {
+  return tls_frames_.empty() ? kRootTaskId : tls_frames_.back().task->id();
+}
+
 bool Scheduler::on_current_stack(const Task* task) {
   for (const Frame& f : tls_frames_)
     if (f.task == task) return true;
@@ -101,8 +118,12 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
                                  f.level + 1);
   task->set_state(TaskState::kReady);
 
+  if (detector_ != nullptr) [[unlikely]]
+    detector_->on_fork(current_task_id(), id, label);
+
   if (trace_.enabled()) {
     trace_.record_task(id, f.flow_id, f.level + 1, false);
+    trace_.record_task_attrs(id, attr.join_number(), attr.data_len());
     trace_.record_edge(f.flow_id, id, TraceEdgeKind::kFork);
     if (!label.empty()) trace_.record_label(id, std::move(label));
   }
@@ -157,6 +178,16 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   task->set_state(TaskState::kRunning);
   tls_frames_.push_back({task.get(), task->id(), task->level()});
 
+  // Checker auto-instrumentation: a task with a declared payload size
+  // (attr datalen) reads its input buffer. Explicit instrumentation inside
+  // the body goes through check::read/write.
+  if (detector_ != nullptr && task->attributes().checked()) {
+    const std::size_t dl = task->attributes().data_len();
+    if (dl > 0 && task->input() != nullptr)
+      detector_->on_access(task->id(), task->input(), dl,
+                           /*is_write=*/false);
+  }
+
   // Per-task timing feeds the trace; two clock reads per task are a
   // measurable fraction of a fine-grained task, so skip them untraced.
   const bool timed = trace_.enabled();
@@ -193,6 +224,18 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   (void)vp;
   stats_.on_task_executed(!is_bound_worker());
 
+  // The finish hook (and the auto-instrumented result write) must precede
+  // the kFinished release store: a joiner that acquire-reads kFinished
+  // derives its post-join strand from the target's final strand.
+  if (detector_ != nullptr) {
+    if (task->attributes().checked()) {
+      const std::size_t dl = task->attributes().data_len();
+      if (dl > 0 && result != nullptr)
+        detector_->on_access(task->id(), result, dl, /*is_write=*/true);
+    }
+    detector_->on_finish(task->id());
+  }
+
   if (task->attributes().join_number() == 0) {
     // Detached task: nobody may join it; reclaim immediately.
     task->set_state(TaskState::kJoined);
@@ -218,11 +261,33 @@ int Scheduler::try_consume(const TaskPtr& task, void** result) {
     retire(task.get());
     finished_count_.fetch_sub(1, std::memory_order_relaxed);
   }
+  if (detector_ != nullptr) {
+    // The join edge orders the target's whole execution before this flow's
+    // continuation; the joiner then reads the declared result payload.
+    detector_->on_join(current_task_id(), task->id());
+    if (task->attributes().checked()) {
+      const std::size_t dl = task->attributes().data_len();
+      if (dl > 0 && task->result() != nullptr)
+        detector_->on_access(current_task_id(), task->result(), dl,
+                             /*is_write=*/false);
+    }
+  }
   if (trace_.enabled()) {
+    trace_.record_join_performed(task->id());
     trace_.record_edge(task->flow_id(), current_frame().flow_id,
                        TraceEdgeKind::kJoin);
   }
   return kOk;
+}
+
+void Scheduler::record_double_join(const Task& task) {
+  // A kNotFound on a live handle means the join budget was already spent:
+  // the POSIX contract returns ESRCH and the linter records a double-join.
+  if (!trace_.enabled()) return;
+  trace_.record_anomaly(lint_code::kDoubleJoin, task.id(),
+                        "join attempted after the join budget of " +
+                            std::to_string(task.attributes().join_number()) +
+                            " was exhausted");
 }
 
 int Scheduler::join(const TaskPtr& task, void** result, int vp) {
@@ -233,11 +298,14 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
   {
     // Lock-free fast path: acquire-read the state, CAS the join budget.
     const TaskState s = task->state();
-    if (s == TaskState::kJoined || task->joins_remaining() <= 0)
+    if (s == TaskState::kJoined || task->joins_remaining() <= 0) {
+      record_double_join(*task);
       return kNotFound;
+    }
     if (s == TaskState::kFinished) {
       const int rc = try_consume(task, result);
       if (rc == kOk) stats_.on_join_immediate();
+      else if (rc == kNotFound) record_double_join(*task);
       return rc;
     }
   }
@@ -264,6 +332,7 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
     TaskState s = task->state();
     if (s == TaskState::kJoined) {
       blocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      record_double_join(*task);
       return kNotFound;  // join budget raced away
     }
     if (s == TaskState::kFinished) {
@@ -271,6 +340,7 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
       unblocked_frames_.fetch_add(1, std::memory_order_relaxed);
       const int rc = try_consume(task, result);
       unblocked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      if (rc == kNotFound) record_double_join(*task);
       return rc;
     }
 
@@ -311,8 +381,12 @@ int Scheduler::try_join(const TaskPtr& task, void** result) {
   if (!task) return kNotFound;
   if (on_current_stack(task.get())) return kDeadlock;
   const TaskState s = task->state();
-  if (s == TaskState::kJoined || task->joins_remaining() <= 0)
+  if (s == TaskState::kJoined || task->joins_remaining() <= 0) {
+    trace_.record_anomaly(lint_code::kDoubleJoin, task->id(),
+                          "tryjoin attempted after the join budget was "
+                          "exhausted");
     return kNotFound;
+  }
   if (s != TaskState::kFinished) return kBusy;
   const int rc = try_consume(task, result);
   if (rc == kOk) stats_.on_join_immediate();
@@ -321,7 +395,22 @@ int Scheduler::try_join(const TaskPtr& task, void** result) {
 
 int Scheduler::join_by_id(TaskId id, void** result, int vp) {
   TaskPtr task = find(id);
-  if (!task) return kNotFound;
+  if (!task) {
+    // Gone from the registry: either the id was never created (W003) or
+    // the task was already fully joined and retired - a double-join
+    // (W002). The trace, when enabled, can tell the two apart.
+    if (trace_.enabled()) {
+      if (trace_.has_node(id)) {
+        trace_.record_anomaly(lint_code::kDoubleJoin, id,
+                              "join on an already-retired task (budget "
+                              "exhausted)");
+      } else {
+        trace_.record_anomaly(lint_code::kJoinNonexistent, id,
+                              "join on a task id that was never created");
+      }
+    }
+    return kNotFound;
+  }
   return join(task, result, vp);
 }
 

@@ -46,6 +46,10 @@
 
 namespace anahy {
 
+namespace check {
+class Detector;
+}  // namespace check
+
 class Scheduler {
  public:
   struct Options {
@@ -56,6 +60,9 @@ class Scheduler {
     /// ready tasks while waiting. When false they only sleep, so the task
     /// concurrency bound is exactly the number of worker VPs.
     bool external_helps = true;
+    /// Run the determinacy-race detector (anahy::check). Zero cost when
+    /// off: the fork/join hot path only tests one pointer.
+    bool check = false;
   };
 
   /// Sizes of the four task lists at one instant (monitoring/tests).
@@ -111,6 +118,11 @@ class Scheduler {
   /// main flow outside any task).
   [[nodiscard]] static TaskId current_flow_id();
 
+  /// Id of the *task* executing on the calling thread (kRootTaskId for the
+  /// main flow). Unlike current_flow_id it never advances to continuation
+  /// ids; the race detector keys its graph by task identity.
+  [[nodiscard]] static TaskId current_task_id();
+
   /// Nesting depth of task frames on the calling thread (0 = main flow).
   [[nodiscard]] static std::size_t current_stack_depth();
 
@@ -138,6 +150,9 @@ class Scheduler {
   void bind_thread_to_vp(int vp, bool worker = true);
   [[nodiscard]] TraceGraph& trace() { return trace_; }
   [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// The determinacy-race detector (null unless Options::check was set).
+  [[nodiscard]] check::Detector* detector() { return detector_.get(); }
 
  private:
   /// Per-thread execution frame: which task this thread is running and the
@@ -194,6 +209,11 @@ class Scheduler {
   /// Returns kOk, or kNotFound when the budget raced away.
   int try_consume(const TaskPtr& task, void** result);
 
+  /// join() body; the public wrapper adds the ANAHY-W002 anomaly record
+  /// when a join fails because the budget was already exhausted.
+  /// Records the ANAHY-W002 anomaly for a join past the budget (cold path).
+  void record_double_join(const Task& task);
+
   /// True when `task` appears in the calling thread's frame stack.
   static bool on_current_stack(const Task* task);
 
@@ -221,6 +241,7 @@ class Scheduler {
   std::unique_ptr<SchedulingPolicy> policy_;
   mutable RuntimeStats stats_;
   TraceGraph trace_;
+  std::unique_ptr<check::Detector> detector_;
 
   std::array<Shard, kRegistryShards> shards_;
   EventCount ready_ec_;  // workers waiting for ready tasks

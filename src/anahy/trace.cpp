@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 namespace anahy {
@@ -54,6 +56,36 @@ void TraceGraph::record_label(TaskId id, std::string label) {
   if (it != nodes_.end()) it->second.label = std::move(label);
 }
 
+void TraceGraph::record_task_attrs(TaskId id, int join_number,
+                                   std::uint64_t data_len) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second.join_number = join_number;
+    it->second.data_len = data_len;
+  }
+}
+
+void TraceGraph::record_join_performed(TaskId id) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) ++it->second.joins_performed;
+}
+
+void TraceGraph::record_anomaly(std::string code, TaskId task,
+                                std::string detail) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  anomalies_.push_back({std::move(code), task, std::move(detail)});
+}
+
+bool TraceGraph::has_node(TaskId id) const {
+  std::lock_guard lock(mu_);
+  return nodes_.count(id) != 0;
+}
+
 std::vector<TraceNode> TraceGraph::nodes() const {
   std::lock_guard lock(mu_);
   std::vector<TraceNode> out;
@@ -65,6 +97,11 @@ std::vector<TraceNode> TraceGraph::nodes() const {
 std::vector<TraceEdge> TraceGraph::edges() const {
   std::lock_guard lock(mu_);
   return edges_;
+}
+
+std::vector<TraceAnomaly> TraceGraph::anomalies() const {
+  std::lock_guard lock(mu_);
+  return anomalies_;
 }
 
 std::int64_t TraceGraph::work_ns() const {
@@ -170,10 +207,117 @@ std::string TraceGraph::to_dot() const {
   return out.str();
 }
 
+namespace {
+
+// The trace file format is line-oriented so a truncated file loses at most
+// its last line. Labels/details go last on the line and may contain spaces
+// (but not newlines, which record_label callers never produce).
+constexpr const char* kTraceHeader = "anahy-trace v1";
+
+const char* edge_kind_name(TraceEdgeKind k) {
+  switch (k) {
+    case TraceEdgeKind::kFork: return "fork";
+    case TraceEdgeKind::kJoin: return "join";
+    case TraceEdgeKind::kContinue: return "continue";
+  }
+  return "?";
+}
+
+bool parse_edge_kind(const std::string& s, TraceEdgeKind* out) {
+  if (s == "fork") *out = TraceEdgeKind::kFork;
+  else if (s == "join") *out = TraceEdgeKind::kJoin;
+  else if (s == "continue") *out = TraceEdgeKind::kContinue;
+  else return false;
+  return true;
+}
+
+// Reads the rest of the stream (after the fixed fields) as a free-form
+// trailing string, stripping the single separating space.
+std::string rest_of_line(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return rest;
+}
+
+}  // namespace
+
+void TraceGraph::save(std::ostream& out) const {
+  std::lock_guard lock(mu_);
+  out << kTraceHeader << '\n';
+  for (const auto& [id, n] : nodes_) {
+    out << "node " << n.id << ' ' << static_cast<std::int64_t>(n.parent)
+        << ' ' << n.level << ' ' << (n.is_continuation ? 1 : 0) << ' '
+        << n.start_ns << ' ' << n.exec_ns << ' ' << n.join_number << ' '
+        << n.joins_performed << ' ' << n.data_len << ' ' << n.label << '\n';
+  }
+  for (const TraceEdge& e : edges_)
+    out << "edge " << e.from << ' ' << e.to << ' ' << edge_kind_name(e.kind)
+        << '\n';
+  for (const TraceAnomaly& a : anomalies_)
+    out << "anomaly " << a.code << ' ' << a.task << ' ' << a.detail << '\n';
+}
+
+bool TraceGraph::load(std::istream& in, std::string* error) {
+  std::lock_guard lock(mu_);
+  nodes_.clear();
+  edges_.clear();
+  anomalies_.clear();
+
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "trace line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+
+  std::string line;
+  if (!std::getline(in, line) || line != kTraceHeader)
+    return fail(1, "missing 'anahy-trace v1' header");
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "node") {
+      TraceNode n;
+      std::int64_t parent = -1;
+      int cont = 0;
+      ls >> n.id >> parent >> n.level >> cont >> n.start_ns >> n.exec_ns >>
+          n.join_number >> n.joins_performed >> n.data_len;
+      if (ls.fail()) return fail(line_no, "malformed node record");
+      n.parent = parent < 0 ? kInvalidTaskId : static_cast<TaskId>(parent);
+      n.is_continuation = cont != 0;
+      n.label = rest_of_line(ls);
+      nodes_[n.id] = std::move(n);
+    } else if (kind == "edge") {
+      TraceEdge e;
+      std::string ek;
+      ls >> e.from >> e.to >> ek;
+      if (ls.fail() || !parse_edge_kind(ek, &e.kind))
+        return fail(line_no, "malformed edge record");
+      edges_.push_back(e);
+    } else if (kind == "anomaly") {
+      TraceAnomaly a;
+      ls >> a.code >> a.task;
+      if (ls.fail()) return fail(line_no, "malformed anomaly record");
+      a.detail = rest_of_line(ls);
+      anomalies_.push_back(std::move(a));
+    } else {
+      return fail(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  return true;
+}
+
 void TraceGraph::clear() {
   std::lock_guard lock(mu_);
   nodes_.clear();
   edges_.clear();
+  anomalies_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 

@@ -1,10 +1,18 @@
 // Execution-graph tracer: records the fork/join/continuation structure of a
 // run so tools can regenerate the paper's Figures 2, 4 and 5, and so tests
 // can assert graph invariants (level monotonicity, matched joins, work/span).
+//
+// Beyond the structural graph, the trace also carries the bookkeeping the
+// DAG linter (trace_analysis.hpp, `anahy-lint`) needs: per-task join budget
+// and consumption, declared payload size, and runtime anomaly events
+// (double-join, join-on-nonexistent, datalen mismatch) recorded online by
+// the scheduler as they happen. A trace can be saved to / loaded from a
+// plain-text file, so diagnostics can be replayed offline.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
@@ -24,6 +32,10 @@ struct TraceNode {
   std::int64_t start_ns = -1;       ///< execution start, relative to the
                                     ///< trace epoch (-1 = never ran)
   std::int64_t exec_ns = 0;         ///< measured execution cost
+  int join_number = -1;             ///< declared join budget (-1 = unknown,
+                                    ///< e.g. the root flow / continuations)
+  int joins_performed = 0;          ///< joins actually consumed on this task
+  std::uint64_t data_len = 0;       ///< declared payload size (attr datalen)
   std::string label;                ///< optional user label
 };
 
@@ -38,6 +50,15 @@ struct TraceEdge {
   TaskId from = kInvalidTaskId;
   TaskId to = kInvalidTaskId;
   TraceEdgeKind kind = TraceEdgeKind::kFork;
+};
+
+/// A runtime anomaly observed online (as opposed to the structural
+/// properties the offline linter recomputes from the graph). `code` is a
+/// stable `ANAHY-Wxxx` diagnostic code (table in docs/CHECKING.md).
+struct TraceAnomaly {
+  std::string code;
+  TaskId task = kInvalidTaskId;
+  std::string detail;
 };
 
 /// Thread-safe trace accumulator. Disabled tracing costs one branch per
@@ -57,12 +78,27 @@ class TraceGraph {
                             std::int64_t dur_ns);
   void record_label(TaskId id, std::string label);
 
+  /// Records the creation attributes the linter checks against: declared
+  /// join budget and payload size.
+  void record_task_attrs(TaskId id, int join_number, std::uint64_t data_len);
+
+  /// Counts one successfully consumed join on `id`.
+  void record_join_performed(TaskId id);
+
+  /// Records an online anomaly event (stable `ANAHY-Wxxx` code).
+  void record_anomaly(std::string code, TaskId task, std::string detail);
+
+  /// True when `id` was ever recorded (used to tell a double-join on a
+  /// retired task apart from a join on an id that never existed).
+  [[nodiscard]] bool has_node(TaskId id) const;
+
   /// Nanoseconds elapsed from the trace epoch (object construction or the
   /// last clear()) to now; use for start_ns stamps.
   [[nodiscard]] std::int64_t now_ns() const;
 
   [[nodiscard]] std::vector<TraceNode> nodes() const;
   [[nodiscard]] std::vector<TraceEdge> edges() const;
+  [[nodiscard]] std::vector<TraceAnomaly> anomalies() const;
 
   /// Total measured execution time over all tasks (the paper-world "T1").
   [[nodiscard]] std::int64_t work_ns() const;
@@ -77,6 +113,17 @@ class TraceGraph {
   /// GraphViz DOT rendering; continuations are drawn as dashed boxes.
   [[nodiscard]] std::string to_dot() const;
 
+  /// Serializes the trace to a line-oriented text format (`anahy-trace v1`
+  /// header, then `node`/`edge`/`anomaly` records) that load() reads back
+  /// and `anahy-lint` replays.
+  void save(std::ostream& out) const;
+
+  /// Replaces this graph's contents with a trace parsed from `in`. Parsing
+  /// is tolerant: a truncated or partially corrupt file keeps every record
+  /// that parsed, returns false, and describes the first problem in
+  /// `*error` (when non-null). A missing/foreign header fails immediately.
+  bool load(std::istream& in, std::string* error = nullptr);
+
   void clear();
 
  private:
@@ -86,6 +133,7 @@ class TraceGraph {
       std::chrono::steady_clock::now();
   std::map<TaskId, TraceNode> nodes_;
   std::vector<TraceEdge> edges_;
+  std::vector<TraceAnomaly> anomalies_;
 };
 
 }  // namespace anahy

@@ -158,4 +158,120 @@ std::string gantt_csv(const TraceGraph& trace) {
   return out.str();
 }
 
+namespace {
+
+/// Cycle detection over the fork/continue subgraph (iterative three-colour
+/// DFS; join edges excluded, they legitimately point backwards on immediate
+/// joins). Nodes are taken from the edges as well as the node table, so a
+/// hand-corrupted trace whose edges mention unknown ids is still covered.
+std::vector<TaskId> find_fork_cycle(const std::vector<TraceEdge>& edges) {
+  std::map<TaskId, std::vector<TaskId>> succs;
+  std::vector<TaskId> ids;
+  for (const TraceEdge& e : edges) {
+    if (e.kind == TraceEdgeKind::kJoin) continue;
+    succs[e.from].push_back(e.to);
+    ids.push_back(e.from);
+    ids.push_back(e.to);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<TaskId, Color> color;
+  struct Frame {
+    TaskId id;
+    std::size_t next = 0;
+  };
+  for (const TaskId root : ids) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto s = succs.find(f.id);
+      bool descended = false;
+      while (s != succs.end() && f.next < s->second.size()) {
+        const TaskId to = s->second[f.next++];
+        Color& c = color[to];
+        if (c == Color::kGray) {
+          // Found a cycle: everything on the stack from `to` onward.
+          std::vector<TaskId> cycle;
+          bool in = false;
+          for (const Frame& fr : stack) {
+            if (fr.id == to) in = true;
+            if (in) cycle.push_back(fr.id);
+          }
+          return cycle;
+        }
+        if (c == Color::kWhite) {
+          c = Color::kGray;
+          stack.push_back({to});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      color[f.id] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<LintDiagnostic> lint_trace(const TraceGraph& trace) {
+  std::vector<LintDiagnostic> out;
+  const auto nodes = trace.nodes();
+
+  // Offline: join-budget accounting per task. The root flow and
+  // continuation markers carry no budget (join_number stays -1) and
+  // detached tasks (join_number 0) cannot leak; both are skipped.
+  for (const TraceNode& n : nodes) {
+    if (n.is_continuation || n.join_number <= 0) continue;
+    if (n.joins_performed == 0) {
+      out.push_back({lint_code::kLeakedTask, n.id,
+                     "joinable task was never joined (join budget " +
+                         std::to_string(n.join_number) + " untouched)"});
+    } else if (n.joins_performed < n.join_number) {
+      out.push_back({lint_code::kJoinMismatch, n.id,
+                     "declared join budget " + std::to_string(n.join_number) +
+                         " but only " + std::to_string(n.joins_performed) +
+                         " join(s) performed"});
+    }
+  }
+
+  // Offline: the spawn structure (fork + continue edges) must be acyclic.
+  const auto cycle = find_fork_cycle(trace.edges());
+  if (!cycle.empty()) {
+    std::string path;
+    for (const TaskId id : cycle) {
+      if (!path.empty()) path += " -> ";
+      path += 'T' + std::to_string(id);
+    }
+    out.push_back({lint_code::kCycle, cycle.front(),
+                   "cycle through fork/continue edges: " + path});
+  }
+
+  // Online: anomalies the scheduler recorded as they happened.
+  for (const TraceAnomaly& a : trace.anomalies())
+    out.push_back({a.code, a.task, a.detail});
+
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return a.code != b.code ? a.code < b.code : a.task < b.task;
+            });
+  return out;
+}
+
+std::string format_diagnostics(const std::vector<LintDiagnostic>& diags) {
+  std::ostringstream out;
+  for (const LintDiagnostic& d : diags) {
+    out << d.code << ": ";
+    if (d.task != kInvalidTaskId) out << "task T" << d.task << ": ";
+    out << d.message << '\n';
+  }
+  return out.str();
+}
+
 }  // namespace anahy

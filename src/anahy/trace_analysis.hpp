@@ -1,6 +1,13 @@
 // Post-mortem analysis of an execution trace: parallelism profile, Gantt
 // export, critical path and work/span summary. Complements TraceGraph;
 // everything here is pure computation over a finished trace.
+//
+// This header also hosts the DAG structural linter: `lint_trace` validates
+// a (live or reloaded) trace graph and reports diagnostics with stable
+// `ANAHY-Wxxx` codes, so tests and CI can assert on them. The same checks
+// back the `anahy-lint` CLI (tools/anahy_lint.cpp) and the online anomaly
+// records the scheduler emits while a traced program runs. The code table
+// is documented in docs/CHECKING.md.
 #pragma once
 
 #include <cstdint>
@@ -45,5 +52,52 @@ struct ExecInterval {
 /// CSV: "task,label,level,start_ns,end_ns,duration_ns" rows, one per
 /// executed task, ready for a spreadsheet Gantt chart.
 [[nodiscard]] std::string gantt_csv(const TraceGraph& trace);
+
+// ---------------------------------------------------------------------------
+// DAG structural linter
+// ---------------------------------------------------------------------------
+
+/// Stable diagnostic codes emitted by the linter (and, for W002-W004, by
+/// the scheduler online as TraceGraph anomaly records). Never renumber:
+/// tests and CI grep for these strings.
+namespace lint_code {
+/// Join-number mismatch: the declared join budget was only partially
+/// consumed (0 < joins_performed < join_number).
+inline constexpr const char* kJoinMismatch = "ANAHY-W001";
+/// Double-join: a join was attempted on a task whose join budget was
+/// already exhausted (recorded online).
+inline constexpr const char* kDoubleJoin = "ANAHY-W002";
+/// Join on a task id that was never created (recorded online).
+inline constexpr const char* kJoinNonexistent = "ANAHY-W003";
+/// Declared datalen at athread_create differs from the length expected at
+/// the matching athread_join_len (recorded online).
+inline constexpr const char* kDatalenMismatch = "ANAHY-W004";
+/// Leaked task: a joinable task (join_number > 0) was never joined.
+inline constexpr const char* kLeakedTask = "ANAHY-W005";
+/// Cycle through fork/continue edges: the spawn structure is corrupt.
+/// (Join edges are excluded: an immediate join legitimately points back
+/// into the flow that forked the target - see TraceGraph::span_ns.)
+inline constexpr const char* kCycle = "ANAHY-W006";
+}  // namespace lint_code
+
+/// One linter finding. `task` is the primary subject (kInvalidTaskId when
+/// the finding is about the graph as a whole).
+struct LintDiagnostic {
+  std::string code;
+  TaskId task = kInvalidTaskId;
+  std::string message;
+};
+
+/// Validates the trace graph offline and merges in the anomalies the
+/// scheduler recorded online. Deterministic order: sorted by code, then
+/// task id. Safe on degenerate input (empty trace, single task, graphs
+/// reloaded from truncated or hand-corrupted files): it diagnoses, never
+/// crashes.
+[[nodiscard]] std::vector<LintDiagnostic> lint_trace(const TraceGraph& trace);
+
+/// Human-readable rendering, one "CODE: task Tn: message" line per
+/// diagnostic (the `anahy-lint` output format).
+[[nodiscard]] std::string format_diagnostics(
+    const std::vector<LintDiagnostic>& diags);
 
 }  // namespace anahy

@@ -155,6 +155,76 @@ TEST(Athread, SelfInsideTaskIsNotRoot) {
   EXPECT_NE(static_cast<athread_t*>(out)->id, kRootTaskId);
 }
 
+TEST(Athread, ExhaustedJoinBudgetReturnsEsrch) {
+  // Regression: joining past the budget must fail loudly with ESRCH on
+  // every path - a silent 0 here masks use-after-reclaim of the result.
+  GlobalRuntime rt;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, nullptr, identity, nullptr), kOk);
+  ASSERT_EQ(athread_join(th, nullptr), kOk);
+  EXPECT_EQ(athread_join(th, nullptr), kNotFound);   // budget (1) spent
+  EXPECT_EQ(athread_tryjoin(th, nullptr), kNotFound);
+}
+
+TEST(Athread, DetachedTaskCannotBeJoined) {
+  GlobalRuntime rt;
+  athread_attr_t attr;
+  ASSERT_EQ(athread_attr_init(&attr), kOk);
+  ASSERT_EQ(athread_attr_setjoinnumber(&attr, 0), kOk);
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, &attr, identity, nullptr), kOk);
+  EXPECT_EQ(athread_join(th, nullptr), kNotFound);
+}
+
+TEST(Athread, MultiJoinBudgetExhaustsExactly) {
+  GlobalRuntime rt;
+  athread_attr_t attr;
+  ASSERT_EQ(athread_attr_init(&attr), kOk);
+  ASSERT_EQ(athread_attr_setjoinnumber(&attr, 3), kOk);
+  int value = 2;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, &attr, triple, &value), kOk);
+  for (int i = 0; i < 3; ++i) {
+    void* out = nullptr;
+    EXPECT_EQ(athread_join(th, &out), kOk) << "join " << i;
+    EXPECT_EQ(out, &value);
+  }
+  EXPECT_EQ(athread_join(th, nullptr), kNotFound);
+}
+
+TEST(Athread, JoinLenMatchesPlainJoinSemantics) {
+  GlobalRuntime rt;
+  athread_attr_t attr;
+  ASSERT_EQ(athread_attr_init(&attr), kOk);
+  ASSERT_EQ(athread_attr_setdatalen(&attr, sizeof(int)), kOk);
+  int value = 7;
+  athread_t th;
+  ASSERT_EQ(athread_create(&th, &attr, triple, &value), kOk);
+  void* out = nullptr;
+  // Matching length: behaves exactly like athread_join.
+  EXPECT_EQ(athread_join_len(th, &out, sizeof(int)), kOk);
+  EXPECT_EQ(out, &value);
+  EXPECT_EQ(value, 21);
+  // And it inherits the exhausted-budget ESRCH contract.
+  EXPECT_EQ(athread_join_len(th, nullptr, sizeof(int)), kNotFound);
+}
+
+TEST(Athread, CheckedAttrRoundTrip) {
+  athread_attr_t attr;
+  ASSERT_EQ(athread_attr_init(&attr), kOk);
+  int checked = 0;
+  EXPECT_EQ(athread_attr_getchecked(&attr, &checked), kOk);
+  EXPECT_EQ(checked, 1);  // tasks are checked by default
+  EXPECT_EQ(athread_attr_setchecked(&attr, 0), kOk);
+  EXPECT_EQ(athread_attr_getchecked(&attr, &checked), kOk);
+  EXPECT_EQ(checked, 0);
+  // Uninitialized / null attrs are rejected like the other attr calls.
+  EXPECT_EQ(athread_attr_setchecked(nullptr, 1), kInvalid);
+  EXPECT_EQ(athread_attr_getchecked(&attr, nullptr), kInvalid);
+  ASSERT_EQ(athread_attr_destroy(&attr), kOk);
+  EXPECT_EQ(athread_attr_setchecked(&attr, 1), kInvalid);
+}
+
 TEST(Athread, FibonacciThroughCApi) {
   // The paper's Fibonacci scheme: each recursive call forks a task.
   GlobalRuntime rt(4);

@@ -1,0 +1,408 @@
+// Tests of the DAG structural linter (lint_trace / anahy-lint) and the
+// trace save/load format it replays. Every ANAHY-W0xx code gets at least
+// one positive and one negative test; the loader is exercised on empty,
+// single-task, truncated and hand-corrupted (cyclic) traces.
+#include "anahy/anahy.hpp"
+#include "anahy/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using namespace anahy;
+
+void* trivial(void* arg) { return arg; }
+
+bool has_code(const std::vector<LintDiagnostic>& diags,
+              const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const auto& d) { return d.code == code; });
+}
+
+bool has_code_for(const std::vector<LintDiagnostic>& diags,
+                  const std::string& code, TaskId task) {
+  return std::any_of(diags.begin(), diags.end(), [&](const auto& d) {
+    return d.code == code && d.task == task;
+  });
+}
+
+/// Runs `body` against a fresh traced 1-VP global runtime and returns the
+/// lint diagnostics of the resulting trace.
+template <typename Body>
+std::vector<LintDiagnostic> lint_traced_run(Body body) {
+  Options opts;
+  opts.num_vps = 1;
+  opts.trace = true;
+  EXPECT_EQ(athread_init_opts(opts), kOk);
+  body();
+  const auto diags = lint_trace(athread_runtime()->trace());
+  EXPECT_EQ(athread_terminate(), kOk);
+  return diags;
+}
+
+// ---------------------------------------------------------------------------
+// W001 join-number mismatch
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W001PartiallyConsumedBudgetIsReported) {
+  athread_t t{};
+  const auto diags = lint_traced_run([&] {
+    athread_attr_t attr;
+    athread_attr_init(&attr);
+    athread_attr_setjoinnumber(&attr, 2);
+    athread_create(&t, &attr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);  // 1 of 2 joins
+  });
+  EXPECT_TRUE(has_code_for(diags, lint_code::kJoinMismatch, t.id));
+  EXPECT_FALSE(has_code(diags, lint_code::kLeakedTask));
+}
+
+TEST(CheckLint, W001AbsentWhenBudgetFullyConsumed) {
+  const auto diags = lint_traced_run([] {
+    athread_attr_t attr;
+    athread_attr_init(&attr);
+    athread_attr_setjoinnumber(&attr, 2);
+    athread_t t{};
+    athread_create(&t, &attr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kJoinMismatch));
+}
+
+// ---------------------------------------------------------------------------
+// W002 double-join
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W002DoubleJoinIsReportedAndReturnsEsrch) {
+  athread_t t{};
+  const auto diags = lint_traced_run([&] {
+    athread_create(&t, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+    // The budget (1) is spent: POSIX contract says ESRCH, linter says W002.
+    EXPECT_EQ(athread_join(t, nullptr), kNotFound);
+  });
+  EXPECT_TRUE(has_code_for(diags, lint_code::kDoubleJoin, t.id));
+  // It is a double-join, NOT a join-on-nonexistent: the id did exist.
+  EXPECT_FALSE(has_code(diags, lint_code::kJoinNonexistent));
+}
+
+TEST(CheckLint, W002AbsentOnSingleJoin) {
+  const auto diags = lint_traced_run([] {
+    athread_t t{};
+    athread_create(&t, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kDoubleJoin));
+}
+
+// ---------------------------------------------------------------------------
+// W003 join on a nonexistent id
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W003JoinOnNeverCreatedIdIsReported) {
+  const TaskId bogus = 987654;
+  const auto diags = lint_traced_run([&] {
+    EXPECT_EQ(athread_join(athread_t{bogus}, nullptr), kNotFound);
+  });
+  EXPECT_TRUE(has_code_for(diags, lint_code::kJoinNonexistent, bogus));
+  EXPECT_FALSE(has_code(diags, lint_code::kDoubleJoin));
+}
+
+TEST(CheckLint, W003AbsentWhenAllJoinsHitLiveTasks) {
+  const auto diags = lint_traced_run([] {
+    athread_t t{};
+    athread_create(&t, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kJoinNonexistent));
+}
+
+// ---------------------------------------------------------------------------
+// W004 datalen mismatch
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W004DatalenMismatchIsReportedButJoinSucceeds) {
+  athread_t t{};
+  const auto diags = lint_traced_run([&] {
+    athread_attr_t attr;
+    athread_attr_init(&attr);
+    athread_attr_setdatalen(&attr, 64);
+    athread_create(&t, &attr, trivial, nullptr);
+    // The mismatch is a lint finding, not an error: the join still works.
+    EXPECT_EQ(athread_join_len(t, nullptr, 128), kOk);
+  });
+  EXPECT_TRUE(has_code_for(diags, lint_code::kDatalenMismatch, t.id));
+}
+
+TEST(CheckLint, W004AbsentWhenDatalenMatches) {
+  const auto diags = lint_traced_run([] {
+    athread_attr_t attr;
+    athread_attr_init(&attr);
+    athread_attr_setdatalen(&attr, 64);
+    athread_t t{};
+    athread_create(&t, &attr, trivial, nullptr);
+    EXPECT_EQ(athread_join_len(t, nullptr, 64), kOk);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kDatalenMismatch));
+}
+
+// ---------------------------------------------------------------------------
+// W005 leaked task
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W005NeverJoinedTaskIsReported) {
+  athread_t leaked{};
+  const auto diags = lint_traced_run([&] {
+    athread_create(&leaked, nullptr, trivial, nullptr);
+    // never joined
+  });
+  EXPECT_TRUE(has_code_for(diags, lint_code::kLeakedTask, leaked.id));
+}
+
+TEST(CheckLint, W005AbsentForJoinedAndDetachedTasks) {
+  const auto diags = lint_traced_run([] {
+    athread_t joined{};
+    athread_create(&joined, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(joined, nullptr), kOk);
+    // A detached task (join budget 0) cannot leak by definition.
+    athread_attr_t attr;
+    athread_attr_init(&attr);
+    athread_attr_setjoinnumber(&attr, 0);
+    athread_t detached{};
+    athread_create(&detached, &attr, trivial, nullptr);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kLeakedTask));
+}
+
+// ---------------------------------------------------------------------------
+// W006 cycle through fork/continue edges
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, W006ForkCycleInCorruptTraceIsReported) {
+  // Hand-corrupted trace: a fork cycle T1 -> T2 -> T3 -> T1 can never come
+  // out of a real run; the linter must flag it, not hang or crash.
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "node 1 -1 0 0 -1 0 1 1 0\n"
+      "node 2 1 1 0 -1 0 1 1 0\n"
+      "node 3 2 2 0 -1 0 1 1 0\n"
+      "edge 1 2 fork\n"
+      "edge 2 3 fork\n"
+      "edge 3 1 fork\n");
+  TraceGraph trace;
+  ASSERT_TRUE(trace.load(in));
+  const auto diags = lint_trace(trace);
+  ASSERT_TRUE(has_code(diags, lint_code::kCycle));
+  const auto it = std::find_if(diags.begin(), diags.end(), [](const auto& d) {
+    return d.code == lint_code::kCycle;
+  });
+  EXPECT_NE(it->message.find("T1"), std::string::npos);
+  EXPECT_NE(it->message.find("T2"), std::string::npos);
+  EXPECT_NE(it->message.find("T3"), std::string::npos);
+}
+
+TEST(CheckLint, W006NotTriggeredByImmediateJoinBackEdge) {
+  // An immediate join's dataflow edge points back into the forking flow
+  // (see TraceGraph::span_ns); only fork/continue edges may form cycles.
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "node 0 -1 0 0 -1 0 -1 0 0\n"
+      "node 1 0 1 0 -1 0 1 1 0\n"
+      "edge 0 1 fork\n"
+      "edge 1 0 join\n");
+  TraceGraph trace;
+  ASSERT_TRUE(trace.load(in));
+  EXPECT_FALSE(has_code(lint_trace(trace), lint_code::kCycle));
+}
+
+TEST(CheckLint, W006AbsentOnRealRun) {
+  const auto diags = lint_traced_run([] {
+    athread_t t{};
+    athread_create(&t, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(t, nullptr), kOk);
+  });
+  EXPECT_FALSE(has_code(diags, lint_code::kCycle));
+}
+
+// ---------------------------------------------------------------------------
+// Trace file format: save/load round-trip and degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST(CheckLint, SaveLoadRoundTripPreservesLintResult) {
+  Options opts;
+  opts.num_vps = 1;
+  opts.trace = true;
+  ASSERT_EQ(athread_init_opts(opts), kOk);
+  athread_t joined{}, leaked{};
+  athread_create(&joined, nullptr, trivial, nullptr);
+  ASSERT_EQ(athread_join(joined, nullptr), kOk);
+  athread_create(&leaked, nullptr, trivial, nullptr);
+  ASSERT_EQ(athread_join(athread_t{424242}, nullptr), kNotFound);  // W003
+
+  std::stringstream file;
+  athread_runtime()->trace().save(file);
+  const auto live = lint_trace(athread_runtime()->trace());
+  const std::size_t live_nodes = athread_runtime()->trace().nodes().size();
+  const std::size_t live_edges = athread_runtime()->trace().edges().size();
+  ASSERT_EQ(athread_terminate(), kOk);
+
+  TraceGraph reloaded;
+  std::string error;
+  ASSERT_TRUE(reloaded.load(file, &error)) << error;
+  EXPECT_EQ(reloaded.nodes().size(), live_nodes);
+  EXPECT_EQ(reloaded.edges().size(), live_edges);
+
+  const auto replayed = lint_trace(reloaded);
+  ASSERT_EQ(replayed.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(replayed[i].code, live[i].code);
+    EXPECT_EQ(replayed[i].task, live[i].task);
+  }
+  EXPECT_TRUE(has_code_for(replayed, lint_code::kLeakedTask, leaked.id));
+  EXPECT_TRUE(has_code(replayed, lint_code::kJoinNonexistent));
+}
+
+TEST(CheckLint, RoundTripPreservesNodeFields) {
+  TraceGraph trace;
+  trace.set_enabled(true);
+  trace.record_task(7, 3, 2, false);
+  trace.record_task_attrs(7, 4, 128);
+  trace.record_join_performed(7);
+  trace.record_exec_interval(7, 100, 250);
+  trace.record_label(7, "a label with spaces");
+  trace.record_edge(3, 7, TraceEdgeKind::kFork);
+  trace.record_anomaly("ANAHY-W004", 7, "detail text with spaces");
+
+  std::stringstream file;
+  trace.save(file);
+  TraceGraph back;
+  ASSERT_TRUE(back.load(file));
+  const auto nodes = back.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].id, 7u);
+  EXPECT_EQ(nodes[0].parent, 3u);
+  EXPECT_EQ(nodes[0].level, 2u);
+  EXPECT_EQ(nodes[0].join_number, 4);
+  EXPECT_EQ(nodes[0].joins_performed, 1);
+  EXPECT_EQ(nodes[0].data_len, 128u);
+  EXPECT_EQ(nodes[0].start_ns, 100);
+  EXPECT_EQ(nodes[0].exec_ns, 250);
+  EXPECT_EQ(nodes[0].label, "a label with spaces");
+  const auto anomalies = back.anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].code, "ANAHY-W004");
+  EXPECT_EQ(anomalies[0].detail, "detail text with spaces");
+}
+
+TEST(CheckLint, EmptyTraceLintsClean) {
+  TraceGraph trace;
+  EXPECT_TRUE(lint_trace(trace).empty());
+  // And an empty trace survives a save/load round-trip.
+  std::stringstream file;
+  trace.save(file);
+  TraceGraph back;
+  EXPECT_TRUE(back.load(file));
+  EXPECT_TRUE(back.nodes().empty());
+  EXPECT_TRUE(lint_trace(back).empty());
+}
+
+TEST(CheckLint, SingleTaskTraceIsHandledGracefully) {
+  // A trace holding just the root flow: no budget, no edges - clean.
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "node 0 -1 0 0 -1 0 -1 0 0 main\n");
+  TraceGraph trace;
+  ASSERT_TRUE(trace.load(in));
+  EXPECT_TRUE(lint_trace(trace).empty());
+  EXPECT_EQ(trace.nodes().size(), 1u);
+}
+
+TEST(CheckLint, TruncatedFileKeepsParsedPrefix) {
+  // Save a real-looking trace, then cut the file mid-record: the loader
+  // reports the failure but keeps everything before the bad line, and the
+  // linter still runs on the prefix.
+  const std::string full =
+      "anahy-trace v1\n"
+      "node 0 -1 0 0 -1 0 -1 0 0\n"
+      "node 1 0 1 0 -1 0 1 0 0\n"
+      "edge 0 1 fork\n";
+  const std::string truncated = full.substr(0, full.size() - 7);  // "1 fo"...
+  std::istringstream in(truncated);
+  TraceGraph trace;
+  std::string error;
+  EXPECT_FALSE(trace.load(in, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  EXPECT_EQ(trace.nodes().size(), 2u);  // the parsed prefix survives
+  // The prefix still lints: T1 is joinable and never joined.
+  EXPECT_TRUE(has_code_for(lint_trace(trace), lint_code::kLeakedTask, 1));
+}
+
+TEST(CheckLint, MissingHeaderIsRejected) {
+  std::istringstream in("not a trace file\n");
+  TraceGraph trace;
+  std::string error;
+  EXPECT_FALSE(trace.load(in, &error));
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+  EXPECT_TRUE(trace.nodes().empty());
+}
+
+TEST(CheckLint, UnknownRecordKindIsRejectedWithLineNumber) {
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "node 0 -1 0 0 -1 0 -1 0 0\n"
+      "gibberish 1 2 3\n");
+  TraceGraph trace;
+  std::string error;
+  EXPECT_FALSE(trace.load(in, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("gibberish"), std::string::npos) << error;
+  EXPECT_EQ(trace.nodes().size(), 1u);
+}
+
+TEST(CheckLint, MalformedEdgeKindIsRejected) {
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "edge 0 1 sideways\n");
+  TraceGraph trace;
+  std::string error;
+  EXPECT_FALSE(trace.load(in, &error));
+  EXPECT_NE(error.find("edge"), std::string::npos) << error;
+}
+
+TEST(CheckLint, FormatDiagnosticsRendersStableLines) {
+  std::vector<LintDiagnostic> diags{
+      {lint_code::kLeakedTask, 5, "joinable task was never joined"},
+      {lint_code::kCycle, kInvalidTaskId, "cycle through fork edges"},
+  };
+  const std::string text = format_diagnostics(diags);
+  EXPECT_NE(text.find("ANAHY-W005: task T5: joinable task was never joined"),
+            std::string::npos);
+  // Graph-level findings carry no task prefix.
+  EXPECT_NE(text.find("ANAHY-W006: cycle through fork edges"),
+            std::string::npos);
+}
+
+TEST(CheckLint, DiagnosticsAreSortedByCodeThenTask) {
+  // One run that produces W003 (task 424242), W005 (leaked) and W002
+  // (double join): lint output must come back sorted by code then task.
+  const auto diags = lint_traced_run([] {
+    athread_t a{}, leaked{};
+    athread_create(&a, nullptr, trivial, nullptr);
+    EXPECT_EQ(athread_join(a, nullptr), kOk);
+    EXPECT_EQ(athread_join(a, nullptr), kNotFound);  // W002
+    athread_create(&leaked, nullptr, trivial, nullptr);  // W005
+    EXPECT_EQ(athread_join(athread_t{424242}, nullptr), kNotFound);  // W003
+  });
+  ASSERT_GE(diags.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      diags.begin(), diags.end(), [](const auto& a, const auto& b) {
+        return a.code != b.code ? a.code < b.code : a.task < b.task;
+      }));
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Tests of the determinacy-race detector (anahy::check, docs/CHECKING.md).
+//
+// The load-bearing property: in serial-elision mode (1 VP) ONE execution
+// certifies every schedule - a seeded race is reported with both task ids
+// even though the serial run never actually interleaves the accesses, and
+// the same program with the race removed (a join ordering the accesses)
+// runs clean.
+#include "anahy/anahy.hpp"
+#include "anahy/check/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace {
+
+using namespace anahy;
+
+Options serial_checked() {
+  Options o;
+  o.num_vps = 1;  // serial elision: canonical mode
+  o.check = true;
+  return o;
+}
+
+long g_shared = 0;
+
+void* racy_increment(void* arg) {
+  check::read(&g_shared, sizeof g_shared);
+  const long cur = g_shared;
+  check::write(&g_shared, sizeof g_shared);
+  g_shared = cur + reinterpret_cast<long>(arg);
+  return nullptr;
+}
+
+bool reports_mention(const std::vector<check::RaceReport>& reports,
+                     TaskId a, TaskId b) {
+  return std::any_of(reports.begin(), reports.end(), [&](const auto& r) {
+    return (r.first_task == a && r.second_task == b) ||
+           (r.first_task == b && r.second_task == a);
+  });
+}
+
+TEST(CheckRaces, SeededRaceIsReportedWithBothTaskIds) {
+  Runtime rt(serial_checked());
+  g_shared = 0;
+
+  // Two tasks write g_shared; the graph orders neither before the other.
+  TaskPtr a = rt.fork(racy_increment, reinterpret_cast<void*>(1L));
+  TaskPtr b = rt.fork(racy_increment, reinterpret_cast<void*>(2L));
+  rt.join(a, nullptr);
+  rt.join(b, nullptr);
+
+  const auto reports = check::reports();
+  ASSERT_FALSE(reports.empty()) << "the seeded race must be caught";
+  EXPECT_TRUE(reports_mention(reports, a->id(), b->id()));
+  // The report names both tasks, the address, and the fork paths.
+  const auto& r = reports.front();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&g_shared) & ~std::uintptr_t{7},
+            r.addr);
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("ANAHY-R001"), std::string::npos);
+  EXPECT_NE(text.find("T" + std::to_string(a->id())), std::string::npos);
+  EXPECT_NE(text.find("T" + std::to_string(b->id())), std::string::npos);
+  EXPECT_NE(text.find("T0"), std::string::npos) << "fork path starts at T0";
+}
+
+TEST(CheckRaces, JoinOrderingRemovesTheRace) {
+  Runtime rt(serial_checked());
+  g_shared = 0;
+
+  // Same program with the race removed: the first task is joined BEFORE
+  // the second is forked, so the join edge orders the accesses.
+  TaskPtr a = rt.fork(racy_increment, reinterpret_cast<void*>(1L));
+  rt.join(a, nullptr);
+  TaskPtr b = rt.fork(racy_increment, reinterpret_cast<void*>(2L));
+  rt.join(b, nullptr);
+
+  EXPECT_TRUE(check::reports().empty())
+      << check::reports().front().to_string();
+  EXPECT_EQ(g_shared, 3);
+}
+
+TEST(CheckRaces, ParentChildWithoutJoinRaces) {
+  Runtime rt(serial_checked());
+  g_shared = 0;
+
+  TaskPtr a = rt.fork(racy_increment, reinterpret_cast<void*>(5L));
+  // The parent touches the shared variable after the fork but before the
+  // join: unordered with the child's accesses.
+  check::write(&g_shared, sizeof g_shared);
+  g_shared = 10;
+  rt.join(a, nullptr);
+
+  const auto reports = check::reports();
+  ASSERT_FALSE(reports.empty());
+  EXPECT_TRUE(reports_mention(reports, kRootTaskId, a->id()));
+}
+
+TEST(CheckRaces, ParentAccessAfterJoinIsOrdered) {
+  Runtime rt(serial_checked());
+  g_shared = 0;
+
+  TaskPtr a = rt.fork(racy_increment, reinterpret_cast<void*>(5L));
+  rt.join(a, nullptr);
+  // After the join the parent is ordered after the child's accesses.
+  check::write(&g_shared, sizeof g_shared);
+  g_shared = 10;
+
+  EXPECT_TRUE(check::reports().empty());
+}
+
+TEST(CheckRaces, ConcurrentReadsDoNotRace) {
+  Runtime rt(serial_checked());
+  g_shared = 42;
+
+  auto reader = [](void*) -> void* {
+    check::read(&g_shared, sizeof g_shared);
+    return reinterpret_cast<void*>(g_shared);
+  };
+  TaskPtr a = rt.fork(reader, nullptr);
+  TaskPtr b = rt.fork(reader, nullptr);
+  rt.join(a, nullptr);
+  rt.join(b, nullptr);
+
+  EXPECT_TRUE(check::reports().empty());
+}
+
+TEST(CheckRaces, SiblingJoinOrdersGrandchildren) {
+  // a forks a1 and joins it; main joins a, then forks b which touches the
+  // same location as a1: ordered through the two joins, no race.
+  Runtime rt(serial_checked());
+  g_shared = 0;
+
+  TaskPtr a = rt.fork(
+      [&rt](void*) -> void* {
+        TaskPtr a1 = rt.fork(racy_increment, reinterpret_cast<void*>(1L));
+        rt.join(a1, nullptr);
+        return nullptr;
+      },
+      nullptr);
+  rt.join(a, nullptr);
+  TaskPtr b = rt.fork(racy_increment, reinterpret_cast<void*>(2L));
+  rt.join(b, nullptr);
+
+  EXPECT_TRUE(check::reports().empty());
+  EXPECT_EQ(g_shared, 3);
+}
+
+TEST(CheckRaces, DatalenAutoInstrumentationCatchesSharedBuffer) {
+  // Two tasks created with datalen pointing at the SAME buffer: the
+  // auto-instrumented result write at finish collides.
+  Runtime rt(serial_checked());
+  static long buffer = 0;
+
+  auto writer = [](void* in) -> void* {
+    auto* p = static_cast<long*>(in);
+    *p += 1;
+    return p;  // result == the shared buffer
+  };
+  TaskAttributes attr;
+  attr.set_data_len(sizeof buffer);
+  TaskPtr a = rt.fork(writer, &buffer, attr);
+  TaskPtr b = rt.fork(writer, &buffer, attr);
+  rt.join(a, nullptr);
+  rt.join(b, nullptr);
+
+  const auto reports = check::reports();
+  ASSERT_FALSE(reports.empty());
+  EXPECT_TRUE(reports_mention(reports, a->id(), b->id()));
+}
+
+TEST(CheckRaces, UncheckedAttrOptsOutOfAutoInstrumentation) {
+  Runtime rt(serial_checked());
+  static long buffer = 0;
+
+  auto writer = [](void* in) -> void* { return in; };
+  TaskAttributes attr;
+  attr.set_data_len(sizeof buffer);
+  attr.set_checked(false);
+  TaskPtr a = rt.fork(writer, &buffer, attr);
+  TaskPtr b = rt.fork(writer, &buffer, attr);
+  rt.join(a, nullptr);
+  rt.join(b, nullptr);
+
+  EXPECT_TRUE(check::reports().empty());
+}
+
+TEST(CheckRaces, DetectorOffByDefaultAndZeroReports) {
+  Runtime rt(Options{.num_vps = 1});
+  EXPECT_FALSE(check::enabled());
+  EXPECT_EQ(rt.scheduler().detector(), nullptr);
+  // Entry points are inert no-ops when off.
+  check::write(&g_shared, sizeof g_shared);
+  g_shared = 7;
+  EXPECT_TRUE(check::reports().empty());
+}
+
+TEST(CheckRaces, SerialModeFlagTracksVpCount) {
+  {
+    Runtime rt(serial_checked());
+    ASSERT_NE(rt.scheduler().detector(), nullptr);
+    EXPECT_TRUE(rt.scheduler().detector()->serial_mode());
+  }
+  {
+    Options o = serial_checked();
+    o.num_vps = 4;
+    Runtime rt(o);
+    ASSERT_NE(rt.scheduler().detector(), nullptr);
+    EXPECT_FALSE(rt.scheduler().detector()->serial_mode());
+  }
+}
+
+TEST(CheckRaces, ConcurrentBestEffortModeStaysSafe) {
+  // 4 VPs: detection is best-effort but must be memory-safe and must not
+  // produce false positives for a well-synchronized program.
+  Options o;
+  o.num_vps = 4;
+  o.check = true;
+  Runtime rt(o);
+
+  static long cells[16] = {};
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back(rt.fork(
+        [i](void*) -> void* {
+          check::write(&cells[i], sizeof(long));
+          cells[i] = i;
+          return nullptr;
+        },
+        nullptr));
+  }
+  for (auto& t : tasks) rt.join(t, nullptr);
+  EXPECT_TRUE(check::reports().empty());
+}
+
+TEST(CheckRaces, ReportsClearedBetweenRuns) {
+  Runtime rt(serial_checked());
+  g_shared = 0;
+  TaskPtr a = rt.fork(racy_increment, reinterpret_cast<void*>(1L));
+  TaskPtr b = rt.fork(racy_increment, reinterpret_cast<void*>(2L));
+  rt.join(a, nullptr);
+  rt.join(b, nullptr);
+  ASSERT_FALSE(check::reports().empty());
+  check::clear_reports();
+  EXPECT_TRUE(check::reports().empty());
+}
+
+}  // namespace

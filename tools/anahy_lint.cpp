@@ -1,0 +1,77 @@
+// anahy-lint: replays a saved execution trace and emits DAG lint
+// diagnostics (stable ANAHY-Wxxx codes; table in docs/CHECKING.md).
+//
+//   anahy-lint [--summary] [--dot] <trace-file>
+//
+// The trace file is the `anahy-trace v1` text format written by
+// TraceGraph::save (see examples/race_demo.cpp for a producer). Exit code:
+// 0 clean, 1 diagnostics found (or a partially readable file), 2 the file
+// could not be read at all.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "anahy/trace.hpp"
+#include "anahy/trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: anahy-lint [--summary] [--dot] <trace-file>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool summary = false;
+  bool dot = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--summary") summary = true;
+    else if (arg == "--dot") dot = true;
+    else if (!arg.empty() && arg.front() == '-') return usage();
+    else if (path.empty()) path = arg;
+    else return usage();
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "anahy-lint: cannot open '" << path << "'\n";
+    return 2;
+  }
+
+  anahy::TraceGraph trace;
+  std::string error;
+  const bool clean_parse = trace.load(in, &error);
+  if (!clean_parse && trace.nodes().empty() && trace.edges().empty()) {
+    std::cerr << "anahy-lint: '" << path << "' is not an anahy trace ("
+              << error << ")\n";
+    return 2;
+  }
+  if (!clean_parse) {
+    std::cerr << "anahy-lint: warning: '" << path
+              << "' is truncated or corrupt (" << error
+              << "); linting the readable prefix\n";
+  }
+
+  const auto diags = anahy::lint_trace(trace);
+  std::cout << anahy::format_diagnostics(diags);
+
+  if (summary) {
+    const auto nodes = trace.nodes();
+    std::size_t continuations = 0;
+    for (const auto& n : nodes) continuations += n.is_continuation ? 1 : 0;
+    std::cout << "trace: " << nodes.size() << " node(s) (" << continuations
+              << " continuation(s)), " << trace.edges().size()
+              << " edge(s), work " << trace.work_ns() << " ns, span "
+              << trace.span_ns() << " ns, " << diags.size()
+              << " diagnostic(s)\n";
+  }
+  if (dot) std::cout << trace.to_dot();
+
+  return diags.empty() && clean_parse ? 0 : 1;
+}
