@@ -1,0 +1,312 @@
+// Benchmark: sustained multi-client load on the anahy::serve JobServer.
+//
+// Two questions, one binary:
+//
+//  1. Overhead — what does the service layer cost a single job? The fib
+//     workload micro_spawn_throughput uses is run twice: once as a bare
+//     detached root task on a plain Runtime, once as a served job (whose
+//     recursive forks inherit the job's TaskContext), and the two
+//     tasks/second figures are compared. Both legs execute the DAG on a VP
+//     worker — an external main thread inlining every join is a different
+//     (faster) execution mode and would not isolate the serve overhead.
+//     The served figure should stay within ~10% of direct at 4 VPs; the
+//     residual gap is the per-task context cost (one shared_ptr reference
+//     pair buying safe context lifetime, cancellation test, counters).
+//
+//  2. Isolation — do priority classes matter under saturation? Several
+//     client threads flood the server with short spin jobs in a
+//     high/normal/batch mix, and the per-class completion-latency
+//     distribution (p50/p99) is reported. High-priority p99 must land
+//     below batch p99: the class-major deques service high work at every
+//     pop and steal while batch work queues.
+//
+// Emits machine-readable results to BENCH_serve.json (best-of-reps, same
+// conventions as BENCH_spawn.json; override with --out=...).
+//
+// Flags: --fib=N (default 21)  --reps=R (default 3)  --threads=T (default 8)
+//        --jobs=J per thread (default 120)  --spin-us=U (default 200)
+//        --out=PATH
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anahy/runtime.hpp"
+#include "anahy/serve/job_server.hpp"
+#include "apps/fib_app.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+
+namespace {
+
+constexpr int kVps = 4;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------- phase 1
+
+struct Throughput {
+  double direct_tasks_per_sec = 0;  // bare Runtime, best of reps
+  double served_tasks_per_sec = 0;  // one job on a JobServer, best of reps
+};
+
+Throughput measure_throughput(long fib_n, int reps) {
+  Throughput out;
+  const long tasks = apps::fib_task_count(fib_n);
+  const long expect = apps::fib_sequential(fib_n);
+
+  double best_direct = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    anahy::Options o;
+    o.num_vps = kVps;
+    o.main_participates = false;
+    anahy::Runtime rt(o);
+    (void)apps::fib_anahy(rt, 5);  // warm the pools before timing
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    long got = 0;
+    benchutil::Timer t;
+    anahy::TaskAttributes attr;
+    attr.set_join_number(0);  // detached root, like a served job's root
+    rt.scheduler().create_task(
+        [&](void*) -> void* {
+          const long r = apps::fib_anahy(rt, fib_n);
+          std::lock_guard lock(mu);
+          got = r;
+          done = true;
+          cv.notify_one();
+          return nullptr;
+        },
+        nullptr, attr, "vp-root");
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return done; });
+    }
+    const double s = t.elapsed_seconds();
+    if (got != expect) {
+      std::fprintf(stderr, "FATAL: wrong direct fib result\n");
+      std::exit(1);
+    }
+    if (rep == 0 || s < best_direct) best_direct = s;
+  }
+  out.direct_tasks_per_sec = static_cast<double>(tasks) / best_direct;
+
+  double best_served = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    anahy::serve::ServerOptions so;
+    so.runtime.num_vps = kVps;
+    anahy::serve::JobServer server(std::move(so));
+    {  // warm-up job, untimed
+      anahy::serve::JobSpec warm;
+      warm.body = [&server](void*) -> void* {
+        return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), 5));
+      };
+      (void)server.submit(std::move(warm)).wait();
+    }
+    anahy::serve::JobSpec spec;
+    spec.label = "fib";
+    spec.body = [&server, fib_n](void*) -> void* {
+      return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), fib_n));
+    };
+    benchutil::Timer t;
+    anahy::serve::JobHandle h = server.submit(std::move(spec));
+    if (h.wait() != anahy::kOk) {
+      std::fprintf(stderr, "FATAL: served fib job failed\n");
+      std::exit(1);
+    }
+    const double s = t.elapsed_seconds();
+    if (reinterpret_cast<long>(h.result().value) != expect) {
+      std::fprintf(stderr, "FATAL: wrong served fib result\n");
+      std::exit(1);
+    }
+    if (rep == 0 || s < best_served) best_served = s;
+  }
+  out.served_tasks_per_sec = static_cast<double>(tasks) / best_served;
+  return out;
+}
+
+// ---------------------------------------------------------------- phase 2
+
+struct ClassLatency {
+  anahy::Priority cls;
+  std::vector<double> ms;  // submit -> resolved wall latency per job
+  double p50 = 0, p99 = 0, mean = 0;
+};
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// 1/6 high, 2/6 normal, 3/6 batch — enough batch work to saturate the VPs
+/// so the high class has something to overtake.
+anahy::Priority mix(int i) {
+  switch (i % 6) {
+    case 0: return anahy::Priority::kHigh;
+    case 1:
+    case 2: return anahy::Priority::kNormal;
+    default: return anahy::Priority::kBatch;
+  }
+}
+
+struct LoadResult {
+  std::vector<ClassLatency> classes;
+  double jobs_per_sec = 0;
+  std::uint64_t steals = 0;
+};
+
+LoadResult run_sustained_load(int threads, int jobs_per_thread, int spin_us) {
+  anahy::serve::ServerOptions so;
+  so.runtime.num_vps = kVps;
+  anahy::serve::JobServer server(std::move(so));
+
+  LoadResult out;
+  out.classes = {{anahy::Priority::kHigh, {}, 0, 0, 0},
+                 {anahy::Priority::kNormal, {}, 0, 0, 0},
+                 {anahy::Priority::kBatch, {}, 0, 0, 0}};
+  std::mutex mu;  // guards the latency vectors across completion callbacks
+
+  benchutil::Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<anahy::serve::JobHandle> handles;
+      handles.reserve(jobs_per_thread);
+      for (int i = 0; i < jobs_per_thread; ++i) {
+        const anahy::Priority cls = mix(t + i);
+        anahy::serve::JobSpec spec;
+        spec.priority = cls;
+        spec.body = [spin_us](void*) -> void* {
+          const std::int64_t until = now_ns() + spin_us * 1'000;
+          while (now_ns() < until) {
+          }
+          return nullptr;
+        };
+        const std::int64_t submitted = now_ns();
+        spec.on_complete = [&, cls, submitted](
+                               const anahy::serve::JobResult& r) {
+          if (r.error != anahy::kOk) return;
+          const double ms =
+              static_cast<double>(now_ns() - submitted) / 1'000'000.0;
+          std::lock_guard lock(mu);
+          for (auto& c : out.classes)
+            if (c.cls == cls) c.ms.push_back(ms);
+        };
+        handles.push_back(server.submit(std::move(spec)));
+      }
+      for (auto& h : handles) {
+        if (h.wait() != anahy::kOk) {
+          std::fprintf(stderr, "FATAL: load job failed\n");
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.drain();  // every on_complete has fired once drain returns
+  const double seconds = wall.elapsed_seconds();
+
+  const auto stats = server.stats();
+  for (auto& c : out.classes) {
+    c.mean = 0;
+    for (const double ms : c.ms) c.mean += ms;
+    if (!c.ms.empty()) c.mean /= static_cast<double>(c.ms.size());
+    c.p50 = percentile(c.ms, 0.50);
+    c.p99 = percentile(c.ms, 0.99);
+    out.steals += stats.of(c.cls).steals;
+  }
+  out.jobs_per_sec =
+      static_cast<double>(threads) * jobs_per_thread / seconds;
+  return out;
+}
+
+// ------------------------------------------------------------------ output
+
+void write_json(const std::string& path, long fib_n, int reps, int threads,
+                int jobs_per_thread, int spin_us, const Throughput& tp,
+                const LoadResult& load) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve_sustained_load\",\n");
+  std::fprintf(f, "  \"vps\": %d,\n", kVps);
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"throughput\": {\"workload\": \"fib\", "
+              "\"fib_n\": %ld, \"tasks_per_run\": %ld, "
+              "\"direct_tasks_per_sec\": %.0f, "
+              "\"served_tasks_per_sec\": %.0f, "
+              "\"served_vs_direct\": %.3f},\n",
+              fib_n, apps::fib_task_count(fib_n), tp.direct_tasks_per_sec,
+              tp.served_tasks_per_sec,
+              tp.served_tasks_per_sec / tp.direct_tasks_per_sec);
+  std::fprintf(f, "  \"load\": {\"client_threads\": %d, "
+              "\"jobs_per_thread\": %d, \"spin_us\": %d, "
+              "\"jobs_per_sec\": %.0f, \"steals\": %llu},\n",
+              threads, jobs_per_thread, spin_us, load.jobs_per_sec,
+              static_cast<unsigned long long>(load.steals));
+  std::fprintf(f, "  \"latency_ms\": [\n");
+  for (std::size_t i = 0; i < load.classes.size(); ++i) {
+    const ClassLatency& c = load.classes[i];
+    std::fprintf(f,
+                 "    {\"class\": \"%s\", \"jobs\": %zu, \"p50\": %.3f, "
+                 "\"p99\": %.3f, \"mean\": %.3f}%s\n",
+                 anahy::to_string(c.cls), c.ms.size(), c.p50, c.p99, c.mean,
+                 i + 1 < load.classes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const long fib_n = cli.get_int("fib", 21);
+  const int reps = cli.get_int("reps", 3);
+  const int threads = cli.get_int("threads", 8);
+  const int jobs = cli.get_int("jobs", 120);
+  const int spin_us = cli.get_int("spin-us", 200);
+  const std::string out = cli.get("out", "BENCH_serve.json");
+
+  std::printf("serve_sustained_load: fib(%ld) parity at %d VPs, then "
+              "%d clients x %d jobs (%dus bodies), best of %d reps\n",
+              fib_n, kVps, threads, jobs, spin_us, reps);
+
+  const Throughput tp = measure_throughput(fib_n, reps);
+  std::printf("single-job throughput: direct %.0f tasks/s, served %.0f "
+              "tasks/s (%.1f%% of direct)\n",
+              tp.direct_tasks_per_sec, tp.served_tasks_per_sec,
+              100.0 * tp.served_tasks_per_sec / tp.direct_tasks_per_sec);
+
+  const LoadResult load = run_sustained_load(threads, jobs, spin_us);
+  benchutil::Table table({"class", "jobs", "p50 ms", "p99 ms", "mean ms"});
+  for (const ClassLatency& c : load.classes)
+    table.add_row({anahy::to_string(c.cls), std::to_string(c.ms.size()),
+                   benchutil::Table::num(c.p50), benchutil::Table::num(c.p99),
+                   benchutil::Table::num(c.mean)});
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("sustained: %.0f jobs/s across %d client threads\n",
+              load.jobs_per_sec, threads);
+
+  write_json(out, fib_n, reps, threads, jobs, spin_us, tp, load);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -40,6 +40,15 @@ if ./build/tools/anahy-lint --summary race_demo.trace; then
 fi
 rm -f race_demo.trace
 
+step "serve demo: 8 clients, per-job race attribution, drained trace"
+# job_server asserts its own invariants (every handle resolves, callbacks
+# fire exactly once, checked job reports its race) and exits non-zero on
+# any violation. Its drained trace must lint CLEAN — drain() finishing with
+# a leaked task (ANAHY-W005) would mean the service dropped queued work.
+./build/examples/job_server > /dev/null
+./build/tools/anahy-lint --summary --jobs job_server.trace > /dev/null
+rm -f job_server.trace
+
 if [ "$tier1_only" = 1 ]; then
   echo; echo "check.sh: tier-1 OK"
   exit 0
@@ -55,6 +64,9 @@ if [ "$run_san" = 1 ]; then
       undefined) label=ubsan ;;
       thread)    label=tsan ;;
     esac
+    # Each labeled suite rides the matching build: the tsan run is what
+    # certifies the serve subsystem's submit/drain/shutdown races
+    # (tests/serve/test_serve_races.cpp carries all three labels).
     step "sanitizer: ANAHY_SAN=$san, ctest -L $label"
     cmake -B "build-$label" -S . -DANAHY_SAN="$san" > /dev/null
     cmake --build "build-$label" -j "$JOBS"

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "anahy/types.hpp"
+
 namespace anahy {
 
 /// Attributes applied to a task at creation time.
@@ -33,6 +35,12 @@ class TaskAttributes {
   [[nodiscard]] std::size_t data_len() const { return data_len_; }
   void set_data_len(std::size_t len) { data_len_ = len; }
 
+  /// Priority class the ready-list policy schedules the task under. A task
+  /// forked inside a job context inherits the context's class instead
+  /// (docs/SERVE.md); this attribute covers context-free tasks.
+  [[nodiscard]] Priority priority() const { return priority_; }
+  void set_priority(Priority p) { priority_ = p; }
+
   /// Whether the determinacy-race detector auto-instruments this task's
   /// input/result buffers (of `data_len` bytes) when checking is on. Off
   /// opts a task out, e.g. when its payload is deliberately shared and
@@ -43,6 +51,7 @@ class TaskAttributes {
  private:
   int join_number_ = 1;
   std::size_t data_len_ = 0;
+  Priority priority_ = Priority::kNormal;
   bool checked_ = true;
 };
 

@@ -36,6 +36,8 @@ struct RaceReport {
 
   TaskId first_task = kInvalidTaskId;   ///< earlier access (program order)
   TaskId second_task = kInvalidTaskId;  ///< later, conflicting access
+  std::uint64_t first_job = 0;   ///< serve job of the first task (0 = none)
+  std::uint64_t second_job = 0;  ///< serve job of the second task
   std::uintptr_t addr = 0;              ///< racy address (granule base)
   bool first_is_write = false;
   bool second_is_write = false;

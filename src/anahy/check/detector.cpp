@@ -77,7 +77,8 @@ bool Detector::ordered(Strand a, Strand b) const {
   return w < bits.size() && (bits[w] >> (a % 64)) & 1;
 }
 
-void Detector::on_fork(TaskId parent, TaskId child, const std::string& label) {
+void Detector::on_fork(TaskId parent, TaskId child, const std::string& label,
+                       std::uint64_t job) {
   std::lock_guard lock(mu_);
   // The fork cuts the parent's current strand: the child is ordered after
   // the parent's pre-fork code only, never after its continuation.
@@ -85,6 +86,7 @@ void Detector::on_fork(TaskId parent, TaskId child, const std::string& label) {
   TaskNode c;
   c.parent = parent;
   c.label = label;
+  c.job = job != 0 ? job : node(parent).job;
   c.current = derive_strand(child, {parent_strand});
   tasks_.emplace(child, std::move(c));
   node(parent).current = derive_strand(parent, {parent_strand});
@@ -151,6 +153,12 @@ void Detector::report(Strand prior, bool prior_is_write, TaskId current_task,
   RaceReport r;
   r.first_task = prior_task;
   r.second_task = current_task;
+  const auto job_of = [&](TaskId id) -> std::uint64_t {
+    const auto it = tasks_.find(id);
+    return it == tasks_.end() ? 0 : it->second.job;
+  };
+  r.first_job = job_of(prior_task);
+  r.second_job = job_of(current_task);
   r.addr = granule_addr;
   r.first_is_write = prior_is_write;
   r.second_is_write = is_write;
@@ -183,6 +191,14 @@ std::string Detector::fork_path(TaskId task) const {
 std::vector<RaceReport> Detector::reports() const {
   std::lock_guard lock(mu_);
   return reports_;
+}
+
+std::vector<RaceReport> Detector::reports_for_job(std::uint64_t job) const {
+  std::lock_guard lock(mu_);
+  std::vector<RaceReport> out;
+  for (const RaceReport& r : reports_)
+    if (r.first_job == job || r.second_job == job) out.push_back(r);
+  return out;
 }
 
 void Detector::clear_reports() {

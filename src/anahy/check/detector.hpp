@@ -60,8 +60,11 @@ class Detector {
   Detector(const Detector&) = delete;
   Detector& operator=(const Detector&) = delete;
 
-  /// Scheduler hooks (fork/join transitions).
-  void on_fork(TaskId parent, TaskId child, const std::string& label);
+  /// Scheduler hooks (fork/join transitions). `job` is the serve-layer job
+  /// id of the child's execution context (0 = none); it lets race reports
+  /// be attributed to the job(s) involved.
+  void on_fork(TaskId parent, TaskId child, const std::string& label,
+               std::uint64_t job = 0);
   void on_finish(TaskId task);
   void on_join(TaskId joiner, TaskId target);
 
@@ -71,6 +74,12 @@ class Detector {
                  bool is_write);
 
   [[nodiscard]] std::vector<RaceReport> reports() const;
+
+  /// Reports involving at least one task of serve job `job` (JobSpec::check
+  /// surfaces these in the job's completion status).
+  [[nodiscard]] std::vector<RaceReport> reports_for_job(
+      std::uint64_t job) const;
+
   void clear_reports();
 
   [[nodiscard]] bool serial_mode() const { return serial_; }
@@ -89,6 +98,7 @@ class Detector {
     TaskId parent = kInvalidTaskId;
     Strand current = kNoStrand;  ///< strand of the task's executing code
     Strand last = kNoStrand;     ///< strand at finish (what joiners inherit)
+    std::uint64_t job = 0;       ///< owning serve job (0 = none)
     std::string label;
   };
 

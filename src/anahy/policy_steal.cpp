@@ -9,8 +9,8 @@ WorkStealingPolicy::WorkStealingPolicy(int num_vps)
     : num_vps_(static_cast<std::size_t>(std::max(num_vps, 1))) {
   if (num_vps < 1)
     throw std::invalid_argument("WorkStealingPolicy needs >= 1 VP");
-  deques_.reserve(num_vps_);
-  for (std::size_t i = 0; i < num_vps_; ++i)
+  deques_.reserve(num_vps_ * kClasses);
+  for (std::size_t i = 0; i < num_vps_ * kClasses; ++i)
     deques_.push_back(std::make_unique<ChaseLevDeque<Task*>>());
 }
 
@@ -34,10 +34,15 @@ bool still_claimable(const Task& t) {
   const TaskState s = t.state();
   return s == TaskState::kCreated || s == TaskState::kReady;
 }
+
+std::size_t class_of(const Task& t) {
+  return static_cast<std::size_t>(t.priority());
+}
 }  // namespace
 
 void WorkStealingPolicy::push(TaskPtr task, int vp) {
   const std::size_t s = slot(vp);
+  const std::size_t cls = class_of(*task);
   ready_count_.fetch_add(1, std::memory_order_relaxed);
   if (s == num_vps_) {
     std::lock_guard lock(external_mu_);
@@ -45,14 +50,14 @@ void WorkStealingPolicy::push(TaskPtr task, int vp) {
     // their queue entries behind; drop the stale run at the back so a
     // join-heavy flow does not keep every finished task alive. Each entry
     // is dropped at most once, so this is O(1) amortized.
-    while (!external_q_.empty() && !still_claimable(*external_q_.back()))
-      external_q_.pop_back();
-    external_q_.push_back(std::move(task));
+    auto& q = external_q_[cls];
+    while (!q.empty() && !still_claimable(*q.back())) q.pop_back();
+    q.push_back(std::move(task));
     return;
   }
   Task* raw = task.get();
   raw->set_ready_guard(std::move(task));
-  ChaseLevDeque<Task*>& d = *deques_[s];
+  ChaseLevDeque<Task*>& d = deque(s, cls);
   // Same purge for the owner's deque (push is owner-only, so pop_bottom is
   // legal here). Only when the deque looks oversized: the common case pays
   // nothing, and a burst purge stops at the first still-claimable entry,
@@ -70,34 +75,44 @@ void WorkStealingPolicy::push(TaskPtr task, int vp) {
   d.push_bottom(raw);
 }
 
-TaskPtr WorkStealingPolicy::claim_deque_entry(Task* raw) {
+TaskPtr WorkStealingPolicy::claim_deque_entry(Task* raw, bool stolen) {
   // We removed the entry, so we clear the guard exactly once — whether the
   // claim wins (the guard becomes our strong reference) or the entry was
   // stale (a joiner inlined the task; drop the keep-alive and move on).
   TaskPtr task = raw->take_ready_guard();
   if (!raw->try_claim()) return nullptr;
   ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (stolen) {
+    if (TaskContext* ctx = raw->context().get())
+      ctx->note_steal();
+  }
   return task;
 }
 
 TaskPtr WorkStealingPolicy::pop(int vp) {
   const std::size_t self = slot(vp);
   if (self == num_vps_) {
-    if (TaskPtr t = pop_external()) return t;
+    for (std::size_t cls = 0; cls < kClasses; ++cls)
+      if (TaskPtr t = pop_external(cls)) return t;
     return steal_from_others(self);
   }
-  ChaseLevDeque<Task*>& d = *deques_[self];
-  while (auto e = d.pop_bottom()) {  // owner end: LIFO
-    if (TaskPtr t = claim_deque_entry(*e)) return t;
+  // Strict class order across the owner's deques: every ready high task on
+  // this VP runs before any normal one (LIFO within a class).
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    ChaseLevDeque<Task*>& d = deque(self, cls);
+    while (auto e = d.pop_bottom()) {  // owner end: LIFO
+      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/false)) return t;
+    }
   }
   return steal_from_others(self);
 }
 
-TaskPtr WorkStealingPolicy::pop_external() {
+TaskPtr WorkStealingPolicy::pop_external(std::size_t cls) {
   std::lock_guard lock(external_mu_);
-  while (!external_q_.empty()) {
-    TaskPtr task = std::move(external_q_.back());  // owner end: LIFO
-    external_q_.pop_back();
+  auto& q = external_q_[cls];
+  while (!q.empty()) {
+    TaskPtr task = std::move(q.back());  // owner end: LIFO
+    q.pop_back();
     if (task->try_claim()) {
       ready_count_.fetch_sub(1, std::memory_order_relaxed);
       return task;
@@ -106,20 +121,23 @@ TaskPtr WorkStealingPolicy::pop_external() {
   return nullptr;
 }
 
-TaskPtr WorkStealingPolicy::steal_external() {
+TaskPtr WorkStealingPolicy::steal_external(std::size_t cls) {
   std::lock_guard lock(external_mu_);
-  while (!external_q_.empty()) {
-    TaskPtr task = std::move(external_q_.front());  // thief end: FIFO
-    external_q_.pop_front();
+  auto& q = external_q_[cls];
+  while (!q.empty()) {
+    TaskPtr task = std::move(q.front());  // thief end: FIFO
+    q.pop_front();
     if (task->try_claim()) {
       ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (TaskContext* ctx = task->context().get())
+        ctx->note_steal();
       return task;
     }
   }
   return nullptr;
 }
 
-TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
+TaskPtr WorkStealingPolicy::steal_class(std::size_t self, std::size_t cls) {
   const std::size_t n = num_vps_ + 1;  // victims include the external queue
   // Round-robin victim selection seeded by a shared counter: deterministic
   // enough for tests, fair enough for load balancing.
@@ -130,13 +148,13 @@ TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
     if (victim == self) continue;
     steal_attempts_.fetch_add(1, std::memory_order_relaxed);
     if (victim == num_vps_) {
-      if (TaskPtr t = steal_external()) {
+      if (TaskPtr t = steal_external(cls)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
         return t;
       }
       continue;
     }
-    ChaseLevDeque<Task*>& d = *deques_[victim];
+    ChaseLevDeque<Task*>& d = deque(victim, cls);
     for (;;) {
       auto e = d.steal_top();
       if (!e) {
@@ -146,12 +164,21 @@ TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
         if (d.empty()) break;
         continue;
       }
-      if (TaskPtr t = claim_deque_entry(*e)) {
+      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/true)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
         return t;
       }
     }
   }
+  return nullptr;
+}
+
+TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
+  // Class-major sweep: every victim's high deque is probed before any
+  // victim's normal deque, so a thief never picks up batch work while a
+  // high task is ready anywhere in the system.
+  for (std::size_t cls = 0; cls < kClasses; ++cls)
+    if (TaskPtr t = steal_class(self, cls)) return t;
   return nullptr;
 }
 

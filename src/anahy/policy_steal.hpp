@@ -1,5 +1,5 @@
 // Work-stealing ready-list policy: per-VP lock-free deques, owner LIFO /
-// thief FIFO.
+// thief FIFO, with strict priority classes.
 //
 // This is the load-balancing strategy the Anahy lineage (Athapascan-1,
 // Cilk) implies: each virtual processor pushes and pops its own bottom end
@@ -7,8 +7,13 @@
 // victim's top end (breadth-first, large-grained steals).
 //
 // The hot path is lock-free end to end (see docs/SCHEDULER.md):
-//  - each worker VP owns a Chase-Lev deque of raw Task*; owner push/pop and
-//    thief steal never take a lock;
+//  - each worker VP owns one Chase-Lev deque of raw Task* PER PRIORITY
+//    CLASS (high/normal/batch, docs/SERVE.md); owner push/pop and thief
+//    steal never take a lock;
+//  - pop services the owner's classes strictly in priority order (all
+//    ready high tasks anywhere on this VP before any normal one), and a
+//    thief sweeps every victim's high deques before any victim's normal
+//    deque, so class order dominates locality order;
 //  - a deque entry keeps its task alive through the task's ready-guard
 //    self-reference, set on push and cleared by whichever pop/steal removes
 //    the entry;
@@ -17,12 +22,16 @@
 //    task in O(1) and leaves a stale entry behind, which the eventual
 //    popper recognizes (lost claim) and discards.
 //
+// A single-class program (everything Priority::kNormal, the default) pays
+// nothing for the classes beyond two empty pop_bottom probes per pop.
+//
 // External (non-VP) threads are not the performance target and cannot obey
 // the Chase-Lev single-owner discipline (any number of them may fork
-// concurrently), so they share one small mutex-guarded overflow deque that
-// worker thieves also scan.
+// concurrently), so they share one small mutex-guarded overflow deque per
+// class that worker thieves also scan.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -64,21 +73,36 @@ class WorkStealingPolicy final : public SchedulingPolicy {
   }
 
  private:
+  static constexpr std::size_t kClasses = kNumPriorities;
+
   /// Maps a caller id to its slot; slot num_vps_ is the external queue.
   [[nodiscard]] std::size_t slot(int vp) const;
 
+  /// The (slot, class) deque. Deques are laid out class-major per slot so
+  /// one VP's three deques share cache locality.
+  [[nodiscard]] ChaseLevDeque<Task*>& deque(std::size_t slot,
+                                            std::size_t cls) {
+    return *deques_[slot * kClasses + cls];
+  }
+
   /// Claims `raw` popped/stolen out of a lock-free deque; returns the
   /// keep-alive reference on success, nullptr when the entry was stale.
-  TaskPtr claim_deque_entry(Task* raw);
+  /// `stolen` attributes the claim to the task's job steal counter.
+  TaskPtr claim_deque_entry(Task* raw, bool stolen);
 
-  TaskPtr pop_external();
-  TaskPtr steal_external();
+  TaskPtr pop_external(std::size_t cls);
+  TaskPtr steal_external(std::size_t cls);
+
+  /// One full steal sweep of class `cls` over every victim but `self`
+  /// (including the external overflow queue).
+  TaskPtr steal_class(std::size_t self, std::size_t cls);
   TaskPtr steal_from_others(std::size_t self);
 
   const std::size_t num_vps_;
-  std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques_;  // num_vps_
+  /// num_vps_ * kClasses lock-free deques, see deque().
+  std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques_;
   mutable std::mutex external_mu_;
-  std::deque<TaskPtr> external_q_;
+  std::array<std::deque<TaskPtr>, kClasses> external_q_;
   /// Claimable-task counter: +1 on push, -1 on every successful claim
   /// (pop, steal or remove_specific). O(1) approx_size, maintained with
   /// relaxed atomics; may transiently undercount by in-flight claims.

@@ -25,6 +25,8 @@ Options Options::from_env() {
     opts.trace = std::string_view{v} == "1";
   if (const char* v = std::getenv("ANAHY_CHECK"))
     opts.check = std::string_view{v} == "1";
+  if (const char* v = std::getenv("ANAHY_DRAIN_ON_EXIT"))
+    opts.drain_on_exit = std::string_view{v} == "1";
   return opts;
 }
 
@@ -54,6 +56,9 @@ Runtime::Runtime(const Options& opts) : opts_(opts) {
 }
 
 Runtime::~Runtime() {
+  // Drain BEFORE stopping the VPs: they keep consuming ready tasks while
+  // the destructing thread helps, so the fixpoint is reached in parallel.
+  if (opts_.drain_on_exit) scheduler_->drain();
   for (auto& vp : vps_) vp->request_stop();
   scheduler_->notify_all();
   vps_.clear();  // joins all VP threads

@@ -37,15 +37,24 @@ struct Options {
   /// Zero fork/join overhead when off.
   bool check = false;
 
-  /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE / ANAHY_CHECK from
-  /// the environment, falling back to the defaults above.
+  /// Execute every still-queued task before the runtime destructor stops
+  /// the VPs. The historical behaviour (false) silently drops forked tasks
+  /// that were never joined — acceptable for a batch program exiting, but
+  /// a correctness bug for service-style users (anahy::serve relies on
+  /// this being true so drain() means "all admitted work ran").
+  bool drain_on_exit = false;
+
+  /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE / ANAHY_CHECK /
+  /// ANAHY_DRAIN_ON_EXIT from the environment, falling back to the
+  /// defaults above.
   static Options from_env();
 };
 
 /// RAII runtime: starts the VPs on construction, stops and joins them on
-/// destruction. All forked tasks should be joined before destruction
-/// (tasks still queued at shutdown are simply never run, like a process
-/// exiting with live POSIX threads).
+/// destruction. All forked tasks should be joined before destruction;
+/// tasks still queued at shutdown are simply never run (like a process
+/// exiting with live POSIX threads) unless Options::drain_on_exit asks the
+/// destructor to finish them first.
 class Runtime {
  public:
   explicit Runtime(const Options& opts = {});

@@ -108,7 +108,17 @@ bool Scheduler::on_current_stack(const Task* task) {
 
 TaskPtr Scheduler::create_task(TaskBody body, void* input,
                                const TaskAttributes& attr, std::string label) {
+  return create_task(std::move(body), input, attr, std::move(label), nullptr);
+}
+
+TaskPtr Scheduler::create_task(TaskBody body, void* input,
+                               const TaskAttributes& attr, std::string label,
+                               TaskContextPtr ctx) {
   Frame& f = current_frame();
+  // Context inheritance: a fork issued from inside a job's task joins that
+  // job, unless the caller attached a context explicitly (the job root).
+  const bool explicit_ctx = ctx != nullptr;
+  if (!explicit_ctx && f.task != nullptr) ctx = f.task->context();
   const TaskId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   // allocate_shared + the pool allocator: one block per task (control block
   // and Task fused), served from the forking thread's free-list cache.
@@ -116,13 +126,20 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
       std::allocate_shared<Task>(TaskPoolAllocator<Task>{}, id,
                                  std::move(body), input, attr, f.flow_id,
                                  f.level + 1);
+  std::uint64_t job = 0;
+  if (ctx != nullptr) {
+    if (explicit_ctx) ctx->root_task = id;
+    ctx->note_created();
+    job = ctx->job;
+    task->set_context(std::move(ctx));
+  }
   task->set_state(TaskState::kReady);
 
   if (detector_ != nullptr) [[unlikely]]
-    detector_->on_fork(current_task_id(), id, label);
+    detector_->on_fork(current_task_id(), id, label, job);
 
   if (trace_.enabled()) {
-    trace_.record_task(id, f.flow_id, f.level + 1, false);
+    trace_.record_task(id, f.flow_id, f.level + 1, false, job);
     trace_.record_task_attrs(id, attr.join_number(), attr.data_len());
     trace_.record_edge(f.flow_id, id, TraceEdgeKind::kFork);
     if (!label.empty()) trace_.record_label(id, std::move(label));
@@ -175,18 +192,36 @@ void Scheduler::retire(Task* task) {
 }
 
 void Scheduler::run_task(const TaskPtr& task, int vp) {
+  // Cancellation: a task whose job context was cancelled (or whose
+  // deadline passed) before it started is completed without running its
+  // body — it "finishes" with a null result, so joiners unblock normally.
+  // The job's root task is exempt: it carries the completion bookkeeping
+  // of the serve layer and must always run (task_context.hpp).
+  TaskContext* ctx = task->context().get();
+  const bool cancelled = ctx != nullptr && task->id() != ctx->root_task &&
+                         ctx->should_skip();
   task->set_state(TaskState::kRunning);
   tls_frames_.push_back({task.get(), task->id(), task->level()});
 
   // Checker auto-instrumentation: a task with a declared payload size
   // (attr datalen) reads its input buffer. Explicit instrumentation inside
-  // the body goes through check::read/write.
-  if (detector_ != nullptr && task->attributes().checked()) {
+  // the body goes through check::read/write. A job opts in per JobSpec
+  // (ctx->checked); context-free tasks follow the attribute alone.
+  const bool instrumented = detector_ != nullptr &&
+                            task->attributes().checked() &&
+                            (ctx == nullptr || ctx->checked);
+  if (instrumented && !cancelled) {
     const std::size_t dl = task->attributes().data_len();
     if (dl > 0 && task->input() != nullptr)
       detector_->on_access(task->id(), task->input(), dl,
                            /*is_write=*/false);
   }
+
+  // Credit the job counters BEFORE invoking the body: the root task of a
+  // served job snapshots its context's counters from inside its own body
+  // (Job::complete), and must see itself as executed. `cancelled` is final
+  // at this point, so the accounting matches the post-body state.
+  if (ctx != nullptr) ctx->note_executed(cancelled);
 
   // Per-task timing feeds the trace; two clock reads per task are a
   // measurable fraction of a fine-grained task, so skip them untraced.
@@ -195,15 +230,17 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   const auto t0 = timed ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point{};
   void* result = nullptr;
-  try {
-    result = task->invoke();
-  } catch (const TaskExit& exit) {
-    result = exit.result;
-  } catch (...) {
-    // Task bodies must not throw (POSIX semantics); restore the frame so
-    // the failure is at least attributed to the right flow, then rethrow.
-    tls_frames_.pop_back();
-    throw;
+  if (!cancelled) {
+    try {
+      result = task->invoke();
+    } catch (const TaskExit& exit) {
+      result = exit.result;
+    } catch (...) {
+      // Task bodies must not throw (POSIX semantics); restore the frame so
+      // the failure is at least attributed to the right flow, then rethrow.
+      tls_frames_.pop_back();
+      throw;
+    }
   }
   tls_frames_.pop_back();
 
@@ -228,7 +265,7 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   // the kFinished release store: a joiner that acquire-reads kFinished
   // derives its post-join strand from the target's final strand.
   if (detector_ != nullptr) {
-    if (task->attributes().checked()) {
+    if (instrumented && !cancelled) {
       const std::size_t dl = task->attributes().data_len();
       if (dl > 0 && result != nullptr)
         detector_->on_access(task->id(), result, dl, /*is_write=*/true);
@@ -265,7 +302,8 @@ int Scheduler::try_consume(const TaskPtr& task, void** result) {
     // The join edge orders the target's whole execution before this flow's
     // continuation; the joiner then reads the declared result payload.
     detector_->on_join(current_task_id(), task->id());
-    if (task->attributes().checked()) {
+    const TaskContext* tctx = task->context().get();
+    if (task->attributes().checked() && (tctx == nullptr || tctx->checked)) {
       const std::size_t dl = task->attributes().data_len();
       if (dl > 0 && task->result() != nullptr)
         detector_->on_access(current_task_id(), task->result(), dl,
@@ -318,7 +356,11 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
   if (trace_.enabled()) {
     Frame& f = current_frame();
     const TaskId cont_id = next_id_.fetch_add(1, std::memory_order_relaxed);
-    trace_.record_task(cont_id, f.flow_id, f.level, true);
+    const std::uint64_t job =
+        f.task != nullptr && f.task->context() != nullptr
+            ? f.task->context()->job
+            : 0;
+    trace_.record_task(cont_id, f.flow_id, f.level, true, job);
     trace_.record_edge(f.flow_id, cont_id, TraceEdgeKind::kContinue);
     f.flow_id = cont_id;
     if (f.task != nullptr) f.task->set_flow_id(cont_id);
@@ -435,6 +477,33 @@ TaskPtr Scheduler::wait_for_task(int vp, const std::stop_token& st) {
 void Scheduler::notify_all() {
   ready_ec_.notify_all();
   join_ec_.notify_all();
+}
+
+void Scheduler::drain() {
+  // Run ready tasks on this thread until the created == executed fixpoint:
+  // nothing queued, nothing running. A task still running on a worker VP
+  // may fork more work, so we sleep on the join eventcount (bumped by both
+  // spawn and finish) rather than spinning, and re-check after each wake.
+  const int vp = bound_vp();
+  for (;;) {
+    if (TaskPtr t = policy_->pop(vp)) {
+      run_task(t, vp);
+      continue;
+    }
+    const auto s = stats_.snapshot();
+    if (s.tasks_executed >= s.tasks_created) return;
+    const EventCount::Epoch e = join_ec_.prepare_wait();
+    if (policy_->approx_size() > 0) {
+      join_ec_.cancel_wait();
+      continue;
+    }
+    const auto s2 = stats_.snapshot();
+    if (s2.tasks_executed >= s2.tasks_created) {
+      join_ec_.cancel_wait();
+      return;
+    }
+    join_ec_.commit_wait(e);
+  }
 }
 
 Scheduler::ListSnapshot Scheduler::lists() const {

@@ -85,8 +85,24 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Fork: creates a task in the READY list. `label` is kept in the trace.
+  /// The task inherits the forking task's execution context (job identity,
+  /// priority class, cancellation/deadline; task_context.hpp) when one is
+  /// attached; top-level forks carry none.
   TaskPtr create_task(TaskBody body, void* input, const TaskAttributes& attr,
                       std::string label = {});
+
+  /// Fork with an explicit execution context: the root task of a serve
+  /// job. Descendant forks inherit `ctx` automatically; the root task is
+  /// exempt from cancellation skipping (ctx->root_task is set here).
+  TaskPtr create_task(TaskBody body, void* input, const TaskAttributes& attr,
+                      std::string label, TaskContextPtr ctx);
+
+  /// Runs queued tasks on the calling thread until every created task has
+  /// executed (service-mode teardown; Options::drain_on_exit). Tasks
+  /// forked while draining are drained too. Safe to call while worker VPs
+  /// are still running: they keep consuming tasks concurrently and the
+  /// call returns once the created == executed fixpoint is reached.
+  void drain();
 
   /// Join: synchronizes with `task`'s completion and retrieves its result.
   /// `vp` identifies the calling virtual processor (kExternalVp for the

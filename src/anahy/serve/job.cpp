@@ -1,0 +1,68 @@
+#include "anahy/serve/job.hpp"
+
+#include <chrono>
+
+namespace anahy::serve {
+
+Job::Job(JobId id, JobSpec spec, std::int64_t submit_ns)
+    : id_(id), spec_(std::move(spec)), submit_ns_(submit_ns) {
+  ctx_ = std::make_shared<TaskContext>();
+  ctx_->job = id_;
+  ctx_->priority = spec_.priority;
+  ctx_->checked = spec_.check;
+  if (spec_.timeout_ns >= 0) ctx_->deadline_ns = submit_ns_ + spec_.timeout_ns;
+}
+
+JobState Job::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+int Job::wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return state_ == JobState::kDone; });
+  return result_.error;
+}
+
+bool Job::wait_for_ns(std::int64_t timeout_ns) {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, std::chrono::nanoseconds{timeout_ns},
+                      [&] { return state_ == JobState::kDone; });
+}
+
+void Job::mark_running() {
+  std::lock_guard lock(mu_);
+  if (state_ == JobState::kQueued) state_ = JobState::kRunning;
+  start_ns_ = TaskContext::now_ns();
+}
+
+void Job::complete(int error, void* value,
+                   std::vector<check::RaceReport> races) {
+  std::function<void(const JobResult&)> callback;
+  {
+    std::lock_guard lock(mu_);
+    if (state_ == JobState::kDone) return;  // first resolution wins
+    const std::int64_t now = TaskContext::now_ns();
+    result_.id = id_;
+    result_.error = error;
+    result_.value = value;
+    result_.races = std::move(races);
+    // An aborted-while-queued job never ran: its whole lifetime is queue
+    // wait. Otherwise wait ends at the root task's start stamp.
+    const std::int64_t started = start_ns_ >= 0 ? start_ns_ : now;
+    result_.stats.queue_wait_ns = started - submit_ns_;
+    result_.stats.exec_ns = start_ns_ >= 0 ? now - start_ns_ : 0;
+    const TaskContext::CounterTotals totals = ctx_->totals();
+    result_.stats.tasks_created = totals.tasks_created;
+    result_.stats.tasks_executed = totals.tasks_executed;
+    result_.stats.tasks_cancelled = totals.tasks_cancelled;
+    result_.stats.steals = totals.steals;
+    state_ = JobState::kDone;
+    callback = std::move(spec_.on_complete);
+  }
+  cv_.notify_all();
+  // Outside the job mutex: the callback may inspect the handle freely.
+  if (callback) callback(result_);
+}
+
+}  // namespace anahy::serve

@@ -1,0 +1,211 @@
+#include "anahy/serve/job_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "anahy/check/detector.hpp"
+
+namespace anahy::serve {
+
+JobServer::JobServer(ServerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.max_pending == 0) opts_.max_pending = 1;
+  // A service must never drop admitted work at teardown, and the thread
+  // constructing the server is a client, not a VP — it waits on handles,
+  // not joins, so binding it to a VP slot would leave that slot idle.
+  opts_.runtime.drain_on_exit = true;
+  opts_.runtime.main_participates = false;
+  if (opts_.check) opts_.runtime.check = true;
+  rt_ = std::make_unique<Runtime>(opts_.runtime);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+JobServer::~JobServer() {
+  // Unbounded shutdown: every admitted handle resolves (actives are
+  // cancelled, so their descendants skip and the roots finish fast).
+  shutdown(/*deadline_ns=*/-1);
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  admit_cv_.notify_all();
+  dispatcher_.join();
+  rt_.reset();  // drain_on_exit runs any straggler tasks before VP stop
+}
+
+JobHandle JobServer::rejected_handle(JobId id, JobSpec spec, int error) {
+  auto job = std::make_shared<Job>(id, std::move(spec), TaskContext::now_ns());
+  job->complete(error, nullptr, {});
+  return JobHandle(std::move(job));
+}
+
+JobHandle JobServer::submit(JobSpec spec) {
+  const Priority cls = spec.priority;
+  if (!spec.body || (spec.check && !opts_.check))
+    return rejected_handle(0, std::move(spec), kInvalid);
+
+  std::unique_lock lock(mu_);
+  if (opts_.admission == ServerOptions::Admission::kBlock)
+    admit_cv_.wait(lock, [&] {
+      return draining_ || pending_count_ < opts_.max_pending;
+    });
+  if (draining_) {
+    ++agg_.of(cls).rejected;
+    lock.unlock();
+    return rejected_handle(0, std::move(spec), kPerm);
+  }
+  if (pending_count_ >= opts_.max_pending) {
+    ++agg_.of(cls).rejected;
+    lock.unlock();
+    return rejected_handle(0, std::move(spec), kOverloaded);
+  }
+
+  const JobId id = next_id_++;
+  auto job = std::make_shared<Job>(id, std::move(spec), TaskContext::now_ns());
+  pending_[static_cast<std::size_t>(cls)].push_back(job);
+  ++pending_count_;
+  ++agg_.of(cls).submitted;
+  dispatch_cv_.notify_one();
+  return JobHandle(std::move(job));
+}
+
+void JobServer::dispatcher_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock lock(mu_);
+      dispatch_cv_.wait(lock, [&] {
+        return stop_ ||
+               (pending_count_ > 0 &&
+                (opts_.max_active == 0 || active_.size() < opts_.max_active));
+      });
+      if (stop_) return;
+      // Highest class first; FIFO within a class (admission order).
+      for (auto& q : pending_) {
+        if (q.empty()) continue;
+        job = std::move(q.front());
+        q.pop_front();
+        break;
+      }
+      --pending_count_;
+      active_.emplace(job->id(), job);
+      admit_cv_.notify_one();
+    }
+    dispatch(job);
+  }
+}
+
+void JobServer::dispatch(const JobPtr& job) {
+  TaskAttributes attr;
+  attr.set_join_number(0);  // detached: completion flows through the handle
+  attr.set_checked(job->checked());
+  JobPtr j = job;
+  rt_->scheduler().create_task(
+      [this, j](void*) -> void* {
+        run_root(j);
+        return nullptr;
+      },
+      job->input(), attr, job->label(), job->context());
+}
+
+void JobServer::run_root(const JobPtr& job) {
+  job->mark_running();
+  const TaskContextPtr& ctx = job->context();
+  int err = kOk;
+  void* out = nullptr;
+  if (ctx->cancel_requested()) {
+    err = kAborted;
+  } else if (ctx->expired()) {
+    err = kTimedOut;
+  } else {
+    TaskBody body = job->take_body();
+    out = body(job->input());
+    // Cancellation/expiry may have landed mid-run; descendants were then
+    // skipped, so the result is partial and the job must not report kOk.
+    if (ctx->cancel_requested()) err = kAborted;
+    else if (ctx->expired()) err = kTimedOut;
+  }
+
+  std::vector<check::RaceReport> races;
+  if (job->checked()) {
+    if (check::Detector* d = rt_->scheduler().detector())
+      races = d->reports_for_job(job->id());
+  }
+  job->complete(err, err == kOk ? out : nullptr, std::move(races));
+  finish_job(job);
+}
+
+void JobServer::finish_job(const JobPtr& job) {
+  std::lock_guard lock(mu_);
+  active_.erase(job->id());
+  account_locked(job->result(), job->priority());
+  dispatch_cv_.notify_one();
+  idle_cv_.notify_all();
+}
+
+void JobServer::account_locked(const JobResult& r, Priority cls) {
+  ServerStats::ClassStats& c = agg_.of(cls);
+  switch (r.error) {
+    case kOk: ++c.completed; break;
+    case kTimedOut: ++c.timed_out; break;
+    default: ++c.aborted; break;
+  }
+  c.queue_wait_ns_sum += r.stats.queue_wait_ns;
+  c.queue_wait_ns_max = std::max(c.queue_wait_ns_max, r.stats.queue_wait_ns);
+  c.exec_ns_sum += r.stats.exec_ns;
+  c.tasks += r.stats.tasks_executed;
+  c.steals += r.stats.steals;
+}
+
+void JobServer::drain() {
+  std::unique_lock lock(mu_);
+  draining_ = true;
+  admit_cv_.notify_all();  // blocked submitters resolve kPerm
+  idle_cv_.wait(lock, [&] { return pending_count_ == 0 && active_.empty(); });
+}
+
+bool JobServer::shutdown(std::int64_t deadline_ns) {
+  std::vector<JobPtr> doomed;
+  {
+    std::lock_guard lock(mu_);
+    draining_ = true;
+    admit_cv_.notify_all();
+    for (auto& q : pending_) {
+      for (JobPtr& j : q) doomed.push_back(std::move(j));
+      q.clear();
+    }
+    pending_count_ = 0;
+    // Running jobs: stop their not-yet-started descendants; the roots
+    // observe the cancel and resolve kAborted (or finish first — fine).
+    for (auto& [id, j] : active_) j->cancel();
+  }
+  // Resolve never-dispatched jobs outside the server lock (on_complete
+  // callbacks may call back into the server).
+  for (const JobPtr& j : doomed) {
+    j->cancel();
+    j->complete(kAborted, nullptr, {});
+  }
+
+  std::unique_lock lock(mu_);
+  for (const JobPtr& j : doomed) account_locked(j->result(), j->priority());
+  const auto idle = [&] { return pending_count_ == 0 && active_.empty(); };
+  if (deadline_ns < 0) {
+    idle_cv_.wait(lock, idle);
+    return true;
+  }
+  return idle_cv_.wait_for(lock, std::chrono::nanoseconds{deadline_ns}, idle);
+}
+
+ServerStats JobServer::stats() const {
+  std::lock_guard lock(mu_);
+  ServerStats s = agg_;
+  s.pending = pending_count_;
+  s.active = active_.size();
+  return s;
+}
+
+std::string JobServer::metrics_text() const {
+  return stats().to_metrics_text();
+}
+
+}  // namespace anahy::serve

@@ -1,0 +1,148 @@
+// anahy::serve::JobServer — a persistent multi-client job service on top
+// of one Anahy runtime.
+//
+// The classic Anahy process model is one program, one DAG, one exit. A
+// long-lived service inverts that: many clients submit independent job
+// DAGs into one resident runtime, and the process only goes down on
+// operator request. The JobServer supplies the missing service layer:
+//
+//  * Admission control — a bounded pending queue with a block-or-reject
+//    policy, so a burst of clients degrades into back-pressure (or fast
+//    kOverloaded failures), never into unbounded memory growth.
+//  * Priority classes — each job's tasks are scheduled under its class
+//    (high / normal / batch) by the work-stealing policy's per-class
+//    deques, so latency-sensitive jobs overtake batch work at every pop
+//    and steal, not just at admission.
+//  * Lifecycle — drain() (stop admitting, finish everything), bounded
+//    shutdown(deadline) (abort what cannot finish in time), and a
+//    destructor that always resolves outstanding handles with kAborted
+//    instead of leaving clients blocked forever.
+//
+// Threading: submit() is safe from any thread. One internal dispatcher
+// thread pops admitted jobs (highest class first) and forks each as a
+// detached root task carrying the job's TaskContext; completion runs on
+// whichever VP finishes the root body. See docs/SERVE.md.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "anahy/runtime.hpp"
+#include "anahy/serve/job.hpp"
+#include "anahy/serve/stats.hpp"
+
+namespace anahy::serve {
+
+struct ServerOptions {
+  /// Options of the owned runtime. `drain_on_exit` is forced on: a job
+  /// service must never silently drop forked tasks at teardown.
+  Options runtime;
+
+  /// Admission bound: jobs admitted but not yet dispatched. Submitting
+  /// past it blocks or rejects per `admission`. Must be >= 1.
+  std::size_t max_pending = 1024;
+
+  /// Jobs concurrently dispatched into the runtime (0 = unbounded). A
+  /// bound keeps one job's wide DAG from monopolizing the ready deques.
+  std::size_t max_active = 0;
+
+  /// What happens to a submit() when the pending queue is full.
+  enum class Admission : std::uint8_t {
+    kBlock,   ///< back-pressure: block the submitter until space frees
+    kReject,  ///< fail fast: resolve the handle with kOverloaded
+  };
+  Admission admission = Admission::kBlock;
+
+  /// Enable per-job determinacy-race checking (JobSpec::check). Turns the
+  /// runtime's anahy::check detector on; jobs that do not opt in still
+  /// skip instrumentation via their context.
+  bool check = false;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerOptions opts = {});
+
+  /// Resolves every outstanding handle (kAborted for jobs that could not
+  /// finish), then tears the runtime down, draining stragglers.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Submits a job. Always returns a handle that will resolve:
+  ///  - kInvalid   — no body, or check requested without ServerOptions::check
+  ///  - kPerm      — the server is draining / shut down
+  ///  - kOverloaded— pending queue full under the kReject policy
+  ///  - otherwise the job's real outcome (kOk / kTimedOut / kAborted).
+  /// Under the kBlock policy a full queue blocks the caller instead.
+  JobHandle submit(JobSpec spec);
+
+  /// Stops admitting (later submits resolve kPerm) and waits until every
+  /// admitted job resolved. Queued jobs still run — drain means "finish
+  /// the work", not "discard it".
+  void drain();
+
+  /// Drain with a deadline: stops admitting, aborts still-queued jobs
+  /// (kAborted), cancels running jobs' descendants, and waits up to
+  /// `deadline_ns` (relative; negative = unbounded) for active jobs to
+  /// resolve. Returns true when everything resolved in time.
+  bool shutdown(std::int64_t deadline_ns = -1);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Prometheus-style text dump of stats() (ServerStats::to_metrics_text).
+  [[nodiscard]] std::string metrics_text() const;
+
+  /// The owned runtime (e.g. for trace access in tests/tools).
+  [[nodiscard]] Runtime& runtime() { return *rt_; }
+
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  void dispatcher_loop();
+
+  /// Forks `job`'s root task into the runtime (dispatcher thread only).
+  void dispatch(const JobPtr& job);
+
+  /// Root-task wrapper: runs the user body unless the context says skip,
+  /// resolves the job and releases its active slot.
+  void run_root(const JobPtr& job);
+
+  /// Bookkeeping after a job resolved (active slot, stats, wakeups).
+  void finish_job(const JobPtr& job);
+
+  /// Folds a resolved job's result into `agg_` (mu_ held).
+  void account_locked(const JobResult& r, Priority cls);
+
+  /// Immediately-resolved handle for jobs that were never admitted.
+  static JobHandle rejected_handle(JobId id, JobSpec spec, int error);
+
+  ServerOptions opts_;
+  std::unique_ptr<Runtime> rt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;     // submitters blocked on a full queue
+  std::condition_variable dispatch_cv_;  // dispatcher waiting for work/slots
+  std::condition_variable idle_cv_;      // drain/shutdown waiting for empty
+
+  std::array<std::deque<JobPtr>, kNumPriorities> pending_;
+  std::size_t pending_count_ = 0;
+  std::unordered_map<JobId, JobPtr> active_;
+  bool draining_ = false;
+  bool stop_ = false;
+  JobId next_id_ = 1;
+  ServerStats agg_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace anahy::serve

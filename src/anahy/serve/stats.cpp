@@ -1,0 +1,54 @@
+#include "anahy/serve/stats.hpp"
+
+#include <sstream>
+
+namespace anahy::serve {
+
+std::uint64_t ServerStats::submitted_total() const {
+  std::uint64_t n = 0;
+  for (const ClassStats& c : by_class) n += c.submitted;
+  return n;
+}
+
+std::uint64_t ServerStats::resolved_total() const {
+  std::uint64_t n = 0;
+  for (const ClassStats& c : by_class)
+    n += c.completed + c.timed_out + c.aborted;
+  return n;
+}
+
+std::string ServerStats::to_metrics_text() const {
+  std::ostringstream out;
+  out << "# anahy-serve metrics\n";
+  out << "anahy_serve_jobs_pending " << pending << '\n';
+  out << "anahy_serve_jobs_active " << active << '\n';
+
+  const auto per_class = [&](const char* name, auto pick) {
+    for (std::size_t c = 0; c < kNumPriorities; ++c)
+      out << name << "{class=\"" << to_string(static_cast<Priority>(c))
+          << "\"} " << pick(by_class[c]) << '\n';
+  };
+  per_class("anahy_serve_jobs_submitted_total",
+            [](const ClassStats& c) { return c.submitted; });
+  per_class("anahy_serve_jobs_rejected_total",
+            [](const ClassStats& c) { return c.rejected; });
+  per_class("anahy_serve_jobs_completed_total",
+            [](const ClassStats& c) { return c.completed; });
+  per_class("anahy_serve_jobs_timed_out_total",
+            [](const ClassStats& c) { return c.timed_out; });
+  per_class("anahy_serve_jobs_aborted_total",
+            [](const ClassStats& c) { return c.aborted; });
+  per_class("anahy_serve_queue_wait_ns_sum",
+            [](const ClassStats& c) { return c.queue_wait_ns_sum; });
+  per_class("anahy_serve_queue_wait_ns_max",
+            [](const ClassStats& c) { return c.queue_wait_ns_max; });
+  per_class("anahy_serve_exec_ns_sum",
+            [](const ClassStats& c) { return c.exec_ns_sum; });
+  per_class("anahy_serve_tasks_total",
+            [](const ClassStats& c) { return c.tasks; });
+  per_class("anahy_serve_steals_total",
+            [](const ClassStats& c) { return c.steals; });
+  return out.str();
+}
+
+}  // namespace anahy::serve

@@ -1,0 +1,47 @@
+// Aggregate server counters and their /metrics-style text rendering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "anahy/types.hpp"
+
+namespace anahy::serve {
+
+/// Point-in-time snapshot of a JobServer's counters, sliced by priority
+/// class. Monotonic counters only grow; `pending`/`active` are gauges.
+struct ServerStats {
+  struct ClassStats {
+    std::uint64_t submitted = 0;  ///< admitted into the pending queue
+    std::uint64_t rejected = 0;   ///< turned away at admission (kOverloaded)
+    std::uint64_t completed = 0;  ///< resolved kOk
+    std::uint64_t timed_out = 0;  ///< resolved kTimedOut
+    std::uint64_t aborted = 0;    ///< resolved kAborted (cancel/shutdown)
+    std::int64_t queue_wait_ns_sum = 0;
+    std::int64_t queue_wait_ns_max = 0;
+    std::int64_t exec_ns_sum = 0;
+    std::uint64_t tasks = 0;   ///< tasks executed on behalf of the class
+    std::uint64_t steals = 0;  ///< class tasks migrated between VPs
+  };
+
+  std::array<ClassStats, kNumPriorities> by_class;
+  std::uint64_t pending = 0;  ///< jobs admitted, not yet dispatched
+  std::uint64_t active = 0;   ///< jobs dispatched, not yet resolved
+
+  [[nodiscard]] const ClassStats& of(Priority p) const {
+    return by_class[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] ClassStats& of(Priority p) {
+    return by_class[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] std::uint64_t submitted_total() const;
+  [[nodiscard]] std::uint64_t resolved_total() const;
+
+  /// Prometheus-flavoured text exposition (`name{class="high"} value`
+  /// lines); what JobServer::metrics_text() returns.
+  [[nodiscard]] std::string to_metrics_text() const;
+};
+
+}  // namespace anahy::serve

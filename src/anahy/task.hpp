@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "anahy/attr.hpp"
+#include "anahy/task_context.hpp"
 #include "anahy/types.hpp"
 
 namespace anahy {
@@ -42,6 +43,7 @@ class Task {
         parent_(parent),
         level_(level),
         joins_remaining_(attr.join_number()),
+        priority_(attr.priority()),
         flow_id_(id) {}
 
   Task(const Task&) = delete;
@@ -55,6 +57,19 @@ class Task {
   [[nodiscard]] std::uint32_t level() const { return level_; }
 
   [[nodiscard]] const TaskAttributes& attributes() const { return attr_; }
+
+  /// Shared execution context (serve-layer job), null for context-free
+  /// tasks. Set once by the scheduler before the task is published.
+  [[nodiscard]] const TaskContextPtr& context() const { return ctx_; }
+  void set_context(TaskContextPtr ctx) {
+    if (ctx != nullptr) priority_ = ctx->priority;
+    ctx_ = std::move(ctx);
+  }
+
+  /// Effective scheduling class: the context's class when the task belongs
+  /// to a job, the creation attribute's otherwise. Immutable once the task
+  /// is published to the ready list (the policy keys its deques on it).
+  [[nodiscard]] Priority priority() const { return priority_; }
 
   [[nodiscard]] TaskState state() const {
     return state_.load(std::memory_order_acquire);
@@ -139,6 +154,8 @@ class Task {
   const TaskId parent_;
   const std::uint32_t level_;
   std::atomic<int> joins_remaining_;
+  TaskContextPtr ctx_;
+  Priority priority_;
   TaskPtr ready_guard_;
   /// Intrusive hooks of the scheduler's sharded live-task registry: links
   /// into the owning shard's list plus a strong self-reference while

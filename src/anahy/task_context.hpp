@@ -1,0 +1,129 @@
+// Shared execution context of a group of related tasks (a serve-layer job).
+//
+// A context is attached to a root fork (Scheduler::create_task's ctx
+// overload) and inherited by every descendant fork automatically, so one
+// job's whole DAG shares a single heap object carrying its priority class,
+// cancellation state, optional deadline and accounting counters. Tasks
+// forked outside any context (the classic single-program mode) carry none
+// and pay nothing beyond a null-pointer test.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "anahy/types.hpp"
+
+namespace anahy {
+
+struct TaskContext {
+  /// Owning job id (serve-layer numbering, 0 = no job). Recorded in the
+  /// trace job column (`anahy-trace v2`) and in race reports.
+  std::uint64_t job = 0;
+
+  /// Priority class every task of this context is scheduled under
+  /// (overrides the per-task attribute).
+  Priority priority = Priority::kNormal;
+
+  /// Absolute deadline in steady-clock nanoseconds (now_ns() scale);
+  /// negative = none. Tasks of an expired context that have not started
+  /// yet are cancelled instead of run.
+  std::int64_t deadline_ns = -1;
+
+  /// Whether the determinacy-race detector instruments this context's
+  /// tasks (meaningful only when the runtime's detector is on). Serve maps
+  /// JobSpec::check here so checking is a per-job decision.
+  bool checked = true;
+
+  /// Id of the context's root task (set by create_task when the context is
+  /// attached explicitly). The root is exempt from cancellation skipping:
+  /// it carries the job bookkeeping and must always run.
+  std::uint64_t root_task = 0;
+
+  // Accounting (relaxed atomics; exactness per counter, not cross-counter).
+  //
+  // The counters sit on the task fork/run hot path of every served job, so
+  // a single shared cache line would be bounced across all VPs on every
+  // task (a measurable single-job throughput tax at fine grain). They are
+  // sharded instead: each incrementing thread sticks to one line-padded
+  // shard, and readers (job completion, rare) sum the shards.
+  static constexpr std::size_t kCounterShards = 8;
+  struct alignas(64) CounterShard {
+    std::atomic<std::uint64_t> tasks_created{0};
+    std::atomic<std::uint64_t> tasks_executed{0};   ///< includes cancelled
+    std::atomic<std::uint64_t> tasks_cancelled{0};  ///< skipped bodies
+    std::atomic<std::uint64_t> steals{0};  ///< this context's tasks stolen
+  };
+
+  struct CounterTotals {
+    std::uint64_t tasks_created = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_cancelled = 0;
+    std::uint64_t steals = 0;
+  };
+
+  void note_created() {
+    shard().tasks_created.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_executed(bool cancelled) {
+    CounterShard& s = shard();
+    s.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled) s.tasks_cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_steal() {
+    shard().steals.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CounterTotals totals() const {
+    CounterTotals t;
+    for (const CounterShard& s : shards_) {
+      t.tasks_created += s.tasks_created.load(std::memory_order_relaxed);
+      t.tasks_executed += s.tasks_executed.load(std::memory_order_relaxed);
+      t.tasks_cancelled += s.tasks_cancelled.load(std::memory_order_relaxed);
+      t.steals += s.steals.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  /// Current steady-clock time on the deadline_ns scale.
+  [[nodiscard]] static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// True when the deadline (if any) has passed.
+  [[nodiscard]] bool expired() const {
+    return deadline_ns >= 0 && now_ns() >= deadline_ns;
+  }
+
+  /// Cancellation test on the task-start path: one atomic load, plus a
+  /// clock read only for contexts that actually carry a deadline.
+  [[nodiscard]] bool should_skip() const {
+    return cancel_requested() || expired();
+  }
+
+ private:
+  /// Stable per-thread shard choice: threads are striped round-robin over
+  /// the shards once, at first use, so an increment never migrates lines.
+  [[nodiscard]] CounterShard& shard() {
+    static std::atomic<std::size_t> next_stripe{0};
+    thread_local std::size_t stripe =
+        next_stripe.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+    return shards_[stripe];
+  }
+
+  std::array<CounterShard, kCounterShards> shards_;
+  std::atomic<bool> cancelled_{false};
+};
+
+using TaskContextPtr = std::shared_ptr<TaskContext>;
+
+}  // namespace anahy

@@ -9,7 +9,7 @@
 namespace anahy {
 
 void TraceGraph::record_task(TaskId id, TaskId parent, std::uint32_t level,
-                             bool is_continuation) {
+                             bool is_continuation, std::uint64_t job) {
   if (!enabled_) return;
   std::lock_guard lock(mu_);
   TraceNode& n = nodes_[id];
@@ -17,6 +17,7 @@ void TraceGraph::record_task(TaskId id, TaskId parent, std::uint32_t level,
   n.parent = parent;
   n.level = level;
   n.is_continuation = is_continuation;
+  n.job = job;
 }
 
 void TraceGraph::record_edge(TaskId from, TaskId to, TraceEdgeKind kind) {
@@ -212,7 +213,8 @@ namespace {
 // The trace file format is line-oriented so a truncated file loses at most
 // its last line. Labels/details go last on the line and may contain spaces
 // (but not newlines, which record_label callers never produce).
-constexpr const char* kTraceHeader = "anahy-trace v1";
+constexpr const char* kTraceHeaderV1 = "anahy-trace v1";
+constexpr const char* kTraceHeaderV2 = "anahy-trace v2";
 
 const char* edge_kind_name(TraceEdgeKind k) {
   switch (k) {
@@ -244,12 +246,13 @@ std::string rest_of_line(std::istringstream& in) {
 
 void TraceGraph::save(std::ostream& out) const {
   std::lock_guard lock(mu_);
-  out << kTraceHeader << '\n';
+  out << kTraceHeaderV2 << '\n';
   for (const auto& [id, n] : nodes_) {
     out << "node " << n.id << ' ' << static_cast<std::int64_t>(n.parent)
         << ' ' << n.level << ' ' << (n.is_continuation ? 1 : 0) << ' '
         << n.start_ns << ' ' << n.exec_ns << ' ' << n.join_number << ' '
-        << n.joins_performed << ' ' << n.data_len << ' ' << n.label << '\n';
+        << n.joins_performed << ' ' << n.data_len << ' ' << n.job << ' '
+        << n.label << '\n';
   }
   for (const TraceEdge& e : edges_)
     out << "edge " << e.from << ' ' << e.to << ' ' << edge_kind_name(e.kind)
@@ -272,8 +275,10 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
   };
 
   std::string line;
-  if (!std::getline(in, line) || line != kTraceHeader)
-    return fail(1, "missing 'anahy-trace v1' header");
+  if (!std::getline(in, line) ||
+      (line != kTraceHeaderV1 && line != kTraceHeaderV2))
+    return fail(1, "missing 'anahy-trace v1'/'v2' header");
+  const bool v2 = line == kTraceHeaderV2;
 
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -288,6 +293,7 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
       int cont = 0;
       ls >> n.id >> parent >> n.level >> cont >> n.start_ns >> n.exec_ns >>
           n.join_number >> n.joins_performed >> n.data_len;
+      if (v2) ls >> n.job;
       if (ls.fail()) return fail(line_no, "malformed node record");
       n.parent = parent < 0 ? kInvalidTaskId : static_cast<TaskId>(parent);
       n.is_continuation = cont != 0;

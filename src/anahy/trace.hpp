@@ -36,6 +36,7 @@ struct TraceNode {
                                     ///< e.g. the root flow / continuations)
   int joins_performed = 0;          ///< joins actually consumed on this task
   std::uint64_t data_len = 0;       ///< declared payload size (attr datalen)
+  std::uint64_t job = 0;            ///< owning serve job id (0 = none)
   std::string label;                ///< optional user label
 };
 
@@ -68,8 +69,10 @@ class TraceGraph {
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// `job` is the serve-layer job id owning the task (0 = none); it becomes
+  /// the trace v2 job column so anahy-lint can slice per job.
   void record_task(TaskId id, TaskId parent, std::uint32_t level,
-                   bool is_continuation);
+                   bool is_continuation, std::uint64_t job = 0);
   void record_edge(TaskId from, TaskId to, TraceEdgeKind kind);
   void record_exec_ns(TaskId id, std::int64_t ns);
   /// Records the task's execution interval [start, start + dur) relative
@@ -113,15 +116,17 @@ class TraceGraph {
   /// GraphViz DOT rendering; continuations are drawn as dashed boxes.
   [[nodiscard]] std::string to_dot() const;
 
-  /// Serializes the trace to a line-oriented text format (`anahy-trace v1`
+  /// Serializes the trace to a line-oriented text format (`anahy-trace v2`
   /// header, then `node`/`edge`/`anomaly` records) that load() reads back
-  /// and `anahy-lint` replays.
+  /// and `anahy-lint` replays. v2 adds a per-node job-id column.
   void save(std::ostream& out) const;
 
-  /// Replaces this graph's contents with a trace parsed from `in`. Parsing
-  /// is tolerant: a truncated or partially corrupt file keeps every record
-  /// that parsed, returns false, and describes the first problem in
-  /// `*error` (when non-null). A missing/foreign header fails immediately.
+  /// Replaces this graph's contents with a trace parsed from `in`. Both
+  /// `anahy-trace v1` and `v2` headers are accepted (v1 nodes load with
+  /// job = 0). Parsing is tolerant: a truncated or partially corrupt file
+  /// keeps every record that parsed, returns false, and describes the first
+  /// problem in `*error` (when non-null). A missing/foreign header fails
+  /// immediately.
   bool load(std::istream& in, std::string* error = nullptr);
 
   void clear();

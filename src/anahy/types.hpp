@@ -1,6 +1,7 @@
 // Fundamental identifiers, states and error codes of the Anahy runtime.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace anahy {
@@ -37,7 +38,8 @@ enum class TaskState : std::uint8_t {
   return "?";
 }
 
-/// POSIX-flavoured error codes returned by the athread layer.
+/// POSIX-flavoured error codes returned by the athread layer (and by the
+/// anahy::serve job service, which reuses the same numbering).
 enum Error : int {
   kOk = 0,
   kInvalid = 22,   ///< EINVAL: bad argument / attribute
@@ -46,7 +48,30 @@ enum Error : int {
   kAgain = 11,     ///< EAGAIN: resource temporarily unavailable
   kPerm = 1,       ///< EPERM: operation not permitted in this context
   kBusy = 16,      ///< EBUSY: target not finished (athread_tryjoin)
+  kOverloaded = 105,  ///< ENOBUFS: admission queue full, job rejected
+  kTimedOut = 110,    ///< ETIMEDOUT: job deadline elapsed before completion
+  kAborted = 125,     ///< ECANCELED: job aborted by shutdown/cancel
 };
+
+/// Priority class of a task (and of the serve-layer job that forked it).
+/// Smaller value = more urgent; the work-stealing policy services classes
+/// in this order at every pop and steal (docs/SERVE.md).
+enum class Priority : std::uint8_t {
+  kHigh = 0,    ///< latency-sensitive, serviced first
+  kNormal = 1,  ///< the default class
+  kBatch = 2,   ///< throughput work, runs when nothing better is ready
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+[[nodiscard]] constexpr const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
 
 /// Ready-list management strategies supported by the executive kernel.
 enum class PolicyKind : std::uint8_t {

@@ -22,6 +22,21 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     case MsgType::kStealRequest:
       w.u32(msg.steal.requester);
       break;
+    case MsgType::kJobSubmit:
+      w.u32(msg.job_submit.client);
+      w.u64(msg.job_submit.request_id);
+      w.u8(msg.job_submit.priority);
+      w.u64(static_cast<std::uint64_t>(msg.job_submit.timeout_ns));
+      w.u8(msg.job_submit.check);
+      w.str(msg.job_submit.function);
+      w.bytes(msg.job_submit.payload);
+      break;
+    case MsgType::kJobDone:
+      w.u64(msg.job_done.request_id);
+      w.u32(msg.job_done.error);
+      w.u64(msg.job_done.races);
+      w.bytes(msg.job_done.payload);
+      break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
       break;
@@ -47,6 +62,21 @@ Message decode(std::span<const std::uint8_t> frame) {
       break;
     case MsgType::kStealRequest:
       msg.steal.requester = r.u32();
+      break;
+    case MsgType::kJobSubmit:
+      msg.job_submit.client = r.u32();
+      msg.job_submit.request_id = r.u64();
+      msg.job_submit.priority = r.u8();
+      msg.job_submit.timeout_ns = static_cast<std::int64_t>(r.u64());
+      msg.job_submit.check = r.u8();
+      msg.job_submit.function = r.str();
+      msg.job_submit.payload = r.bytes();
+      break;
+    case MsgType::kJobDone:
+      msg.job_done.request_id = r.u64();
+      msg.job_done.error = r.u32();
+      msg.job_done.races = r.u64();
+      msg.job_done.payload = r.bytes();
       break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
@@ -91,6 +121,27 @@ Message make_steal_none() {
 Message make_shutdown() {
   Message m;
   m.type = MsgType::kShutdown;
+  return m;
+}
+
+Message make_job_submit(std::uint32_t client, std::uint64_t request_id,
+                        std::uint8_t priority, std::int64_t timeout_ns,
+                        bool check, std::string function,
+                        std::vector<std::uint8_t> payload) {
+  Message m;
+  m.type = MsgType::kJobSubmit;
+  m.job_submit = {client,         request_id, priority,
+                  timeout_ns,     check ? std::uint8_t{1} : std::uint8_t{0},
+                  std::move(function), std::move(payload)};
+  return m;
+}
+
+Message make_job_done(std::uint64_t request_id, std::uint32_t error,
+                      std::uint64_t races,
+                      std::vector<std::uint8_t> payload) {
+  Message m;
+  m.type = MsgType::kJobDone;
+  m.job_done = {request_id, error, races, std::move(payload)};
   return m;
 }
 

@@ -16,6 +16,8 @@ enum class MsgType : std::uint8_t {
   kStealRequest = 3,  ///< "I am idle, send me work"
   kStealNone = 4,     ///< negative steal reply
   kShutdown = 5,      ///< cluster is terminating
+  kJobSubmit = 6,  ///< client -> serve front-end: run a registered fn
+  kJobDone = 7,    ///< serve front-end -> client: the job resolved
 };
 
 /// A task that can cross node boundaries: function *by name* (both sides
@@ -38,12 +40,37 @@ struct StealRequestMsg {
   std::uint32_t requester = 0;
 };
 
+/// A serve-layer job submission: function by name (like kTaskShip) plus
+/// the scheduling metadata of anahy::serve::JobSpec. `client`/`request_id`
+/// say where and under which correlation id the kJobDone reply goes.
+struct JobSubmitMsg {
+  std::uint32_t client = 0;
+  std::uint64_t request_id = 0;
+  std::uint8_t priority = 1;      ///< anahy::Priority value
+  std::int64_t timeout_ns = -1;   ///< relative timeout; negative = none
+  std::uint8_t check = 0;         ///< run the determinacy-race detector
+  std::string function;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Resolution of a submitted job. `error` is the anahy::Error numbering
+/// (kOk / kOverloaded / kTimedOut / kAborted / kPerm / kInvalid); `races`
+/// counts the ANAHY-R001 reports attributed to the job (check jobs only).
+struct JobDoneMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t error = 0;
+  std::uint64_t races = 0;
+  std::vector<std::uint8_t> payload;  ///< result bytes (kOk only)
+};
+
 /// Tagged union of everything that can arrive at a node.
 struct Message {
   MsgType type = MsgType::kShutdown;
   TaskShipMsg task;
   ResultMsg result;
   StealRequestMsg steal;
+  JobSubmitMsg job_submit;
+  JobDoneMsg job_done;
 };
 
 /// Frame (de)serialization. Frames are self-contained byte vectors.
@@ -59,5 +86,14 @@ struct Message {
 [[nodiscard]] Message make_steal_request(std::uint32_t requester);
 [[nodiscard]] Message make_steal_none();
 [[nodiscard]] Message make_shutdown();
+[[nodiscard]] Message make_job_submit(std::uint32_t client,
+                                      std::uint64_t request_id,
+                                      std::uint8_t priority,
+                                      std::int64_t timeout_ns, bool check,
+                                      std::string function,
+                                      std::vector<std::uint8_t> payload);
+[[nodiscard]] Message make_job_done(std::uint64_t request_id,
+                                    std::uint32_t error, std::uint64_t races,
+                                    std::vector<std::uint8_t> payload);
 
 }  // namespace cluster

@@ -205,6 +205,11 @@ void ClusterNode::handle(Message msg) {
     case MsgType::kShutdown:
       stop_requested_.store(true);
       break;
+    case MsgType::kJobSubmit:
+    case MsgType::kJobDone:
+      // Serve-front-end traffic rides its own endpoints (ServeFrontEnd /
+      // ServeClient); a ClusterNode drops such frames rather than guess.
+      break;
   }
 }
 

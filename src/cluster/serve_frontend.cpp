@@ -1,0 +1,120 @@
+#include "cluster/serve_frontend.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace cluster {
+
+ServeFrontEnd::ServeFrontEnd(anahy::serve::JobServer& server,
+                             Transport& transport, const Registry& registry)
+    : server_(server), transport_(transport), registry_(registry) {
+  pump_ = std::thread([this] { pump(); });
+}
+
+ServeFrontEnd::~ServeFrontEnd() { stop(); }
+
+void ServeFrontEnd::stop() {
+  if (stop_.exchange(true)) return;
+  if (pump_.joinable()) pump_.join();
+}
+
+void ServeFrontEnd::pump() {
+  std::vector<std::uint8_t> frame;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!transport_.recv(frame, std::chrono::microseconds{1000})) continue;
+    Message msg = decode(frame);
+    if (msg.type == MsgType::kShutdown) return;
+    if (msg.type != MsgType::kJobSubmit) continue;  // not ours; drop
+    handle_submit(std::move(msg.job_submit));
+  }
+}
+
+void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t client = msg.client;
+  const std::uint64_t request_id = msg.request_id;
+
+  if (!registry_.contains(msg.function)) {
+    transport_.send(client, encode(make_job_done(request_id, anahy::kInvalid,
+                                                 0, {})));
+    return;
+  }
+
+  // Closure state shared between the body (produces the result bytes) and
+  // the completion callback (ships them back). Heap-held because the VP
+  // executing the body and the thread resolving the job may differ.
+  struct RemoteJob {
+    RemoteFn fn;
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> result;
+  };
+  auto rj = std::make_shared<RemoteJob>();
+  rj->fn = registry_.get(msg.function);
+  rj->payload = std::move(msg.payload);
+
+  anahy::serve::JobSpec spec;
+  spec.priority = msg.priority < anahy::kNumPriorities
+                      ? static_cast<anahy::Priority>(msg.priority)
+                      : anahy::Priority::kNormal;
+  spec.timeout_ns = msg.timeout_ns;
+  spec.check = msg.check != 0;
+  spec.label = msg.function;
+  spec.body = [rj](void*) -> void* {
+    rj->result = rj->fn(rj->payload);
+    return &rj->result;
+  };
+  // Fires exactly once for every submission outcome, including rejected
+  // handles — that is the "never silence" half of the reply contract.
+  spec.on_complete = [this, rj, client,
+                      request_id](const anahy::serve::JobResult& r) {
+    std::vector<std::uint8_t> out;
+    if (r.error == anahy::kOk) out = std::move(rj->result);
+    transport_.send(client,
+                    encode(make_job_done(request_id,
+                                         static_cast<std::uint32_t>(r.error),
+                                         r.races.size(), std::move(out))));
+  };
+  server_.submit(std::move(spec));
+}
+
+std::uint64_t ServeClient::submit(const std::string& function,
+                                  std::vector<std::uint8_t> payload,
+                                  anahy::Priority priority,
+                                  std::int64_t timeout_ns, bool check) {
+  const std::uint64_t id = next_request_++;
+  transport_.send(
+      server_node_,
+      encode(make_job_submit(static_cast<std::uint32_t>(transport_.node_id()),
+                             id, static_cast<std::uint8_t>(priority),
+                             timeout_ns, check, function,
+                             std::move(payload))));
+  return id;
+}
+
+bool ServeClient::wait(std::uint64_t request_id, Reply& out,
+                       std::chrono::microseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      out = std::move(it->second);
+      ready_.erase(it);
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+    std::vector<std::uint8_t> frame;
+    if (!transport_.recv(frame, left)) return false;
+    Message msg = decode(frame);
+    if (msg.type != MsgType::kJobDone) continue;
+    Reply r;
+    r.error = static_cast<int>(msg.job_done.error);
+    r.races = msg.job_done.races;
+    r.payload = std::move(msg.job_done.payload);
+    ready_.emplace(msg.job_done.request_id, std::move(r));
+  }
+}
+
+}  // namespace cluster

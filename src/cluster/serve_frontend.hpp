@@ -1,0 +1,101 @@
+// Remote front-end of anahy::serve::JobServer over the cluster transport.
+//
+// The JobServer itself only takes in-process submissions. This thin layer
+// makes it reachable from other processes/nodes with the machinery the
+// cluster prototype already has: functions cross address spaces *by name*
+// (Registry), payloads are opaque byte vectors, and frames travel over any
+// Transport (in-memory fabric, TCP loopback mesh, or the multi-process
+// coordinator/worker bootstrap).
+//
+//   server node                         client node
+//   ServeFrontEnd(server, tp, reg) <--- ServeClient(tp, server_node)
+//        kJobSubmit {fn, payload, priority, timeout, check}
+//        kJobDone   {error, races, result bytes}
+//
+// One front-end pump thread receives; replies are sent from whichever VP
+// completes the job (Transport::send is thread-safe).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "anahy/serve/job_server.hpp"
+#include "cluster/message.hpp"
+#include "cluster/registry.hpp"
+#include "cluster/transport.hpp"
+
+namespace cluster {
+
+/// Server side: turns kJobSubmit frames into JobServer::submit calls and
+/// answers each with exactly one kJobDone (including rejections: a client
+/// that was turned away sees kOverloaded/kPerm/kInvalid, never silence).
+class ServeFrontEnd {
+ public:
+  /// Starts the pump thread. All three references must outlive this
+  /// object (or its stop()).
+  ServeFrontEnd(anahy::serve::JobServer& server, Transport& transport,
+                const Registry& registry);
+  ~ServeFrontEnd();
+
+  ServeFrontEnd(const ServeFrontEnd&) = delete;
+  ServeFrontEnd& operator=(const ServeFrontEnd&) = delete;
+
+  /// Stops the pump thread (idempotent). In-flight jobs still reply on
+  /// completion as long as the transport lives.
+  void stop();
+
+  /// Frames served so far (tests/monitoring).
+  [[nodiscard]] std::uint64_t submissions() const {
+    return submissions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void pump();
+  void handle_submit(JobSubmitMsg msg);
+
+  anahy::serve::JobServer& server_;
+  Transport& transport_;
+  const Registry& registry_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> submissions_{0};
+  std::thread pump_;
+};
+
+/// Client side: submits registered functions to a remote front-end and
+/// collects replies. NOT thread-safe — one client per transport endpoint
+/// (the transport's "one pump thread receives" rule).
+class ServeClient {
+ public:
+  ServeClient(Transport& transport, int server_node)
+      : transport_(transport), server_node_(server_node) {}
+
+  /// Fire-and-forget submission; returns the correlation id to wait on.
+  std::uint64_t submit(const std::string& function,
+                       std::vector<std::uint8_t> payload,
+                       anahy::Priority priority = anahy::Priority::kNormal,
+                       std::int64_t timeout_ns = -1, bool check = false);
+
+  struct Reply {
+    int error = 0;            ///< anahy::Error numbering
+    std::uint64_t races = 0;  ///< ANAHY-R001 count (check jobs)
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Waits up to `timeout` for the reply to `request_id`, pumping the
+  /// transport (other requests' replies are buffered, so interleaved
+  /// waiting is fine). False on timeout.
+  bool wait(std::uint64_t request_id, Reply& out,
+            std::chrono::microseconds timeout);
+
+ private:
+  Transport& transport_;
+  int server_node_;
+  std::uint64_t next_request_ = 1;
+  std::map<std::uint64_t, Reply> ready_;  ///< replies received early
+};
+
+}  // namespace cluster

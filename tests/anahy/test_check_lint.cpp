@@ -299,6 +299,49 @@ TEST(CheckLint, RoundTripPreservesNodeFields) {
   EXPECT_EQ(anomalies[0].detail, "detail text with spaces");
 }
 
+TEST(CheckLint, SaveWritesV2HeaderAndJobColumnRoundTrips) {
+  TraceGraph trace;
+  trace.set_enabled(true);
+  trace.record_task(7, 3, 2, false, /*job=*/42);
+  trace.record_task_attrs(7, 1, 8);
+  trace.record_label(7, "job task");
+
+  std::stringstream file;
+  trace.save(file);
+  EXPECT_EQ(file.str().rfind("anahy-trace v2\n", 0), 0u)
+      << "saved traces carry the v2 header";
+
+  TraceGraph back;
+  ASSERT_TRUE(back.load(file));
+  const auto nodes = back.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].job, 42u);
+  EXPECT_EQ(nodes[0].label, "job task");
+}
+
+TEST(CheckLint, V1TracesLoadWithJobZero) {
+  // The tolerant loader must keep reading pre-job-column traces: the node
+  // record simply has no job field, which defaults to 0 (no job).
+  std::istringstream in(
+      "anahy-trace v1\n"
+      "node 1 -1 0 0 -1 0 1 1 0 legacy label\n");
+  TraceGraph trace;
+  std::string error;
+  ASSERT_TRUE(trace.load(in, &error)) << error;
+  const auto nodes = trace.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].job, 0u);
+  EXPECT_EQ(nodes[0].label, "legacy label");
+}
+
+TEST(CheckLint, ForeignHeaderVersionIsRejected) {
+  std::istringstream in("anahy-trace v3\nnode 1 -1 0 0 -1 0 1 1 0 0 x\n");
+  TraceGraph trace;
+  std::string error;
+  EXPECT_FALSE(trace.load(in, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
 TEST(CheckLint, EmptyTraceLintsClean) {
   TraceGraph trace;
   EXPECT_TRUE(lint_trace(trace).empty());

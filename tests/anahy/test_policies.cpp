@@ -124,4 +124,58 @@ TEST(WorkStealingPolicy, RejectsZeroVps) {
   EXPECT_THROW(WorkStealingPolicy(0), std::invalid_argument);
 }
 
+TaskPtr make_task_with_priority(TaskId id, Priority p) {
+  TaskAttributes attr;
+  attr.set_priority(p);
+  return std::make_shared<Task>(
+      id, [](void*) -> void* { return nullptr; }, nullptr, attr, kRootTaskId,
+      1);
+}
+
+TEST(WorkStealingPolicy, OwnerPopServicesClassesInPriorityOrder) {
+  WorkStealingPolicy policy(1);
+  auto batch = make_task_with_priority(1, Priority::kBatch);
+  auto high = make_task_with_priority(2, Priority::kHigh);
+  auto normal = make_task_with_priority(3, Priority::kNormal);
+  policy.push(batch, 0);
+  policy.push(high, 0);
+  policy.push(normal, 0);
+  // Strict class order beats push order: high, then normal, then batch.
+  EXPECT_EQ(policy.pop(0), high);
+  EXPECT_EQ(policy.pop(0), normal);
+  EXPECT_EQ(policy.pop(0), batch);
+}
+
+TEST(WorkStealingPolicy, ThiefSweepsHighClassAcrossVictimsFirst) {
+  WorkStealingPolicy policy(3);
+  auto batch0 = make_task_with_priority(1, Priority::kBatch);
+  auto high1 = make_task_with_priority(2, Priority::kHigh);
+  policy.push(batch0, 0);  // victim 0 has only batch work
+  policy.push(high1, 1);   // victim 1 has high work
+  // VP 2 steals: the class-major sweep must take victim 1's high task
+  // before victim 0's batch task, whatever the round-robin seed.
+  EXPECT_EQ(policy.pop(2), high1);
+  EXPECT_EQ(policy.pop(2), batch0);
+}
+
+TEST(WorkStealingPolicy, ExternalQueueHonorsClasses) {
+  WorkStealingPolicy policy(1);
+  auto batch = make_task_with_priority(1, Priority::kBatch);
+  auto high = make_task_with_priority(2, Priority::kHigh);
+  policy.push(batch, SchedulingPolicy::kExternalVp);
+  policy.push(high, SchedulingPolicy::kExternalVp);
+  EXPECT_EQ(policy.pop(SchedulingPolicy::kExternalVp), high);
+  EXPECT_EQ(policy.pop(SchedulingPolicy::kExternalVp), batch);
+}
+
+TEST(WorkStealingPolicy, SameClassKeepsLifoOwnerFifoThief) {
+  WorkStealingPolicy policy(2);
+  auto a = make_task_with_priority(1, Priority::kHigh);
+  auto b = make_task_with_priority(2, Priority::kHigh);
+  policy.push(a, 0);
+  policy.push(b, 0);
+  EXPECT_EQ(policy.pop(0), b);  // owner: newest of the class first
+  EXPECT_EQ(policy.pop(1), a);  // thief: oldest of the class first
+}
+
 }  // namespace

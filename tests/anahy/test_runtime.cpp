@@ -256,13 +256,98 @@ TEST(Runtime, EnvOptionsParse) {
   ::setenv("ANAHY_NUM_VPS", "7", 1);
   ::setenv("ANAHY_POLICY", "lifo", 1);
   ::setenv("ANAHY_TRACE", "1", 1);
+  ::setenv("ANAHY_DRAIN_ON_EXIT", "1", 1);
   const Options o = Options::from_env();
   EXPECT_EQ(o.num_vps, 7);
   EXPECT_EQ(o.policy, PolicyKind::kLifo);
   EXPECT_TRUE(o.trace);
+  EXPECT_TRUE(o.drain_on_exit);
   ::unsetenv("ANAHY_NUM_VPS");
   ::unsetenv("ANAHY_POLICY");
   ::unsetenv("ANAHY_TRACE");
+  ::unsetenv("ANAHY_DRAIN_ON_EXIT");
+}
+
+// Regression: destroying a Runtime with tasks still queued used to drop
+// them silently — the VPs were stopped before ever popping the work. With
+// drain_on_exit every forked task must execute before the VPs stop.
+TEST(Runtime, DrainOnExitRunsQueuedTasksAtDestruction) {
+  std::atomic<int> executed{0};
+  constexpr int kN = 512;
+  {
+    Options o;
+    o.num_vps = 2;
+    o.drain_on_exit = true;
+    Runtime rt(o);
+    TaskAttributes detached;
+    detached.set_join_number(0);
+    for (int i = 0; i < kN; ++i)
+      rt.fork(
+          [](void* in) -> void* {
+            static_cast<std::atomic<int>*>(in)->fetch_add(1);
+            return nullptr;
+          },
+          &executed, detached);
+    // No joins: destruction must finish the backlog, not discard it.
+  }
+  EXPECT_EQ(executed.load(), kN);
+}
+
+TEST(Runtime, WithoutDrainOnExitQueuedTasksMayBeDropped) {
+  // Documents the historical default: forked-but-unjoined tasks are not
+  // guaranteed to run when the runtime dies. (They *may* run; what the
+  // default must NOT do is hang the destructor waiting for them.)
+  std::atomic<int> executed{0};
+  {
+    Options o;
+    o.num_vps = 2;
+    Runtime rt(o);
+    TaskAttributes detached;
+    detached.set_join_number(0);
+    for (int i = 0; i < 64; ++i)
+      rt.fork(
+          [](void* in) -> void* {
+            static_cast<std::atomic<int>*>(in)->fetch_add(1);
+            return nullptr;
+          },
+          &executed, detached);
+  }
+  EXPECT_LE(executed.load(), 64);
+}
+
+TEST(Runtime, DrainOnExitDrainsTasksForkedWhileDraining) {
+  // A draining task that forks more work: the fixpoint must cover the
+  // newly forked tasks too.
+  std::atomic<int> executed{0};
+  {
+    struct Ctx {
+      Runtime* rt = nullptr;
+      std::atomic<int>* executed = nullptr;
+      TaskAttributes detached;
+    } ctx;  // declared before rt: outlives the draining destructor
+    Options o;
+    o.num_vps = 2;
+    o.drain_on_exit = true;
+    Runtime rt(o);
+    TaskAttributes detached;
+    detached.set_join_number(0);
+    ctx = {&rt, &executed, detached};
+    for (int i = 0; i < 16; ++i)
+      rt.fork(
+          [](void* in) -> void* {
+            auto* c = static_cast<Ctx*>(in);
+            c->executed->fetch_add(1);
+            c->rt->fork(
+                [](void* in2) -> void* {
+                  static_cast<std::atomic<int>*>(in2)->fetch_add(1);
+                  return nullptr;
+                },
+                c->executed, c->detached);
+            return nullptr;
+          },
+          &ctx, detached);
+  }
+  EXPECT_EQ(executed.load(), 32);
 }
 
 }  // namespace

@@ -1,0 +1,450 @@
+// Functional tests of the anahy::serve job service: the submit -> handle
+// contract, admission control, priorities, timeouts, per-job checking and
+// the drain/shutdown/destruction lifecycle.
+#include "anahy/serve/job_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace anahy;
+using namespace anahy::serve;
+
+constexpr std::int64_t kMs = 1'000'000;
+constexpr std::int64_t kSec = 1'000 * kMs;
+
+ServerOptions small_server(int vps = 2) {
+  ServerOptions o;
+  o.runtime.num_vps = vps;
+  return o;
+}
+
+/// Body returning its input pointer (identity job).
+void* identity(void* in) { return in; }
+
+/// Body that spins until the pointed-to flag becomes true.
+void* wait_for_flag(void* in) {
+  auto* flag = static_cast<std::atomic<bool>*>(in);
+  while (!flag->load(std::memory_order_acquire))
+    std::this_thread::yield();
+  return nullptr;
+}
+
+TEST(JobServer, SubmitRunsBodyAndResolvesHandle) {
+  JobServer server(small_server());
+  int value = 41;
+  JobSpec spec;
+  spec.body = [](void* in) -> void* {
+    ++*static_cast<int*>(in);
+    return in;
+  };
+  spec.input = &value;
+  spec.label = "inc";
+  JobHandle h = server.submit(std::move(spec));
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(h.wait(), kOk);
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(h.state(), JobState::kDone);
+  EXPECT_EQ(h.result().value, &value);
+  EXPECT_EQ(value, 42);
+  EXPECT_GT(h.id(), 0u);
+}
+
+TEST(JobServer, EmptyBodyIsRejectedInvalid) {
+  JobServer server(small_server());
+  JobHandle h = server.submit(JobSpec{});
+  EXPECT_EQ(h.wait(), kInvalid);
+}
+
+TEST(JobServer, CheckWithoutServerSupportIsRejectedInvalid) {
+  JobServer server(small_server());  // ServerOptions::check off
+  JobSpec spec;
+  spec.body = identity;
+  spec.check = true;
+  EXPECT_EQ(server.submit(std::move(spec)).wait(), kInvalid);
+}
+
+TEST(JobServer, DescendantForksInheritTheJobContext) {
+  JobServer server(small_server(4));
+  Runtime& rt = server.runtime();
+  std::atomic<int> leaves{0};
+  JobSpec spec;
+  spec.body = [&](void*) -> void* {
+    std::vector<TaskPtr> children;
+    for (int i = 0; i < 16; ++i)
+      children.push_back(rt.fork(
+          [](void* in) -> void* {
+            static_cast<std::atomic<int>*>(in)->fetch_add(1);
+            return nullptr;
+          },
+          &leaves));
+    for (auto& c : children) rt.join(c, nullptr);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(spec));
+  ASSERT_EQ(h.wait(), kOk);
+  EXPECT_EQ(leaves.load(), 16);
+  // Root + 16 children, all attributed to the job via its context.
+  EXPECT_EQ(h.result().stats.tasks_created, 17u);
+  EXPECT_EQ(h.result().stats.tasks_executed, 17u);
+  EXPECT_EQ(h.result().stats.tasks_cancelled, 0u);
+  EXPECT_GE(h.result().stats.queue_wait_ns, 0);
+  EXPECT_GT(h.result().stats.exec_ns, 0);
+}
+
+TEST(JobServer, PerClassStatsAreAccounted) {
+  JobServer server(small_server());
+  const Priority classes[] = {Priority::kHigh, Priority::kNormal,
+                              Priority::kBatch};
+  std::vector<JobHandle> handles;
+  for (Priority p : classes) {
+    JobSpec spec;
+    spec.body = identity;
+    spec.priority = p;
+    handles.push_back(server.submit(std::move(spec)));
+  }
+  for (auto& h : handles) EXPECT_EQ(h.wait(), kOk);
+  const ServerStats s = server.stats();
+  for (Priority p : classes) {
+    EXPECT_EQ(s.of(p).submitted, 1u) << to_string(p);
+    EXPECT_EQ(s.of(p).completed, 1u) << to_string(p);
+  }
+  EXPECT_EQ(s.submitted_total(), 3u);
+  EXPECT_EQ(s.resolved_total(), 3u);
+}
+
+TEST(JobServer, MetricsTextExposesCounters) {
+  JobServer server(small_server());
+  JobSpec spec;
+  spec.body = identity;
+  server.submit(std::move(spec)).wait();
+  const std::string text = server.metrics_text();
+  EXPECT_NE(text.find("anahy_serve_jobs_submitted_total{class=\"normal\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("anahy_serve_jobs_active"), std::string::npos);
+  EXPECT_NE(text.find("anahy_serve_queue_wait_ns_sum"), std::string::npos);
+}
+
+TEST(JobServer, RejectPolicyResolvesOverloadedWhenQueueFull) {
+  ServerOptions opts = small_server();
+  opts.max_pending = 1;
+  opts.max_active = 1;
+  opts.admission = ServerOptions::Admission::kReject;
+  JobServer server(std::move(opts));
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.body = wait_for_flag;
+  blocker.input = &release;
+  JobHandle active = server.submit(std::move(blocker));
+  // Wait until the blocker occupies the single active slot.
+  while (server.stats().active == 0) std::this_thread::yield();
+
+  JobSpec queued;
+  queued.body = identity;
+  JobHandle pending = server.submit(std::move(queued));  // fills the queue
+
+  JobSpec excess;
+  excess.body = identity;
+  JobHandle rejected = server.submit(std::move(excess));
+  EXPECT_EQ(rejected.wait(), kOverloaded);
+  EXPECT_EQ(server.stats().of(Priority::kNormal).rejected, 1u);
+
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(active.wait(), kOk);
+  EXPECT_EQ(pending.wait(), kOk);
+}
+
+TEST(JobServer, BlockPolicyAppliesBackpressureThenAdmits) {
+  ServerOptions opts = small_server();
+  opts.max_pending = 1;
+  opts.max_active = 1;
+  opts.admission = ServerOptions::Admission::kBlock;
+  JobServer server(std::move(opts));
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.body = wait_for_flag;
+  blocker.input = &release;
+  JobHandle active = server.submit(std::move(blocker));
+  while (server.stats().active == 0) std::this_thread::yield();
+  JobSpec filler;
+  filler.body = identity;
+  JobHandle queued = server.submit(std::move(filler));  // queue now full
+
+  std::atomic<bool> admitted{false};
+  JobHandle blocked;
+  std::thread submitter([&] {
+    JobSpec spec;
+    spec.body = identity;
+    blocked = server.submit(std::move(spec));  // blocks until space frees
+    admitted.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load(std::memory_order_acquire));
+
+  release.store(true, std::memory_order_release);
+  submitter.join();
+  EXPECT_EQ(active.wait(), kOk);
+  EXPECT_EQ(queued.wait(), kOk);
+  EXPECT_EQ(blocked.wait(), kOk);
+}
+
+TEST(JobServer, TimeoutCancelsNotYetStartedDescendants) {
+  JobServer server(small_server(2));
+  Runtime& rt = server.runtime();
+  JobSpec spec;
+  spec.timeout_ns = 20 * kMs;
+  spec.body = [&](void*) -> void* {
+    // Outlive the deadline, then fork: the children must be cancelled.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    std::vector<TaskPtr> children;
+    for (int i = 0; i < 8; ++i)
+      children.push_back(rt.fork([](void*) -> void* {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return nullptr;
+      }, nullptr));
+    for (auto& c : children) rt.join(c, nullptr);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(spec));
+  EXPECT_EQ(h.wait(), kTimedOut);
+  EXPECT_GT(h.result().stats.tasks_cancelled, 0u);
+  EXPECT_EQ(server.stats().of(Priority::kNormal).timed_out, 1u);
+}
+
+TEST(JobServer, ExpiredBeforeDispatchResolvesTimedOutWithoutRunning) {
+  ServerOptions opts = small_server();
+  opts.max_active = 1;
+  JobServer server(std::move(opts));
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.body = wait_for_flag;
+  blocker.input = &release;
+  JobHandle active = server.submit(std::move(blocker));
+  while (server.stats().active == 0) std::this_thread::yield();
+
+  std::atomic<bool> ran{false};
+  JobSpec doomed;
+  doomed.timeout_ns = 5 * kMs;  // expires while stuck behind the blocker
+  doomed.body = [&ran](void*) -> void* {
+    ran.store(true);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(active.wait(), kOk);
+  EXPECT_EQ(h.wait(), kTimedOut);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(JobServer, CancelQueuedJobResolvesAbortedWithoutRunning) {
+  ServerOptions opts = small_server();
+  opts.max_active = 1;
+  JobServer server(std::move(opts));
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.body = wait_for_flag;
+  blocker.input = &release;
+  JobHandle active = server.submit(std::move(blocker));
+  while (server.stats().active == 0) std::this_thread::yield();
+
+  std::atomic<bool> ran{false};
+  JobSpec victim;
+  victim.body = [&ran](void*) -> void* {
+    ran.store(true);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(victim));
+  h.cancel();
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(active.wait(), kOk);
+  EXPECT_EQ(h.wait(), kAborted);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(JobServer, DrainFinishesQueuedWorkThenRejectsSubmits) {
+  JobServer server(small_server());
+  std::atomic<int> done{0};
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    JobSpec spec;
+    spec.body = [&done](void*) -> void* {
+      done.fetch_add(1);
+      return nullptr;
+    };
+    handles.push_back(server.submit(std::move(spec)));
+  }
+  server.drain();
+  EXPECT_EQ(done.load(), 32);
+  for (auto& h : handles) EXPECT_EQ(h.wait(), kOk);
+
+  JobSpec late;
+  late.body = identity;
+  EXPECT_EQ(server.submit(std::move(late)).wait(), kPerm);
+}
+
+TEST(JobServer, OnCompleteCallbackFiresExactlyOnce) {
+  JobServer server(small_server());
+  std::atomic<int> calls{0};
+  JobSpec spec;
+  spec.body = identity;
+  spec.on_complete = [&calls](const JobResult& r) {
+    EXPECT_EQ(r.error, kOk);
+    calls.fetch_add(1);
+  };
+  JobHandle h = server.submit(std::move(spec));
+  EXPECT_EQ(h.wait(), kOk);
+  server.drain();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(JobServer, ShutdownAbortsPendingAndReportsBusyActive) {
+  ServerOptions opts = small_server();
+  opts.max_active = 1;
+  JobServer server(std::move(opts));
+
+  // The blocker announces when its body is actually running: a job counts
+  // as "active" from dispatch, but run_root's cancellation pre-check can
+  // still resolve it without running the body until then.
+  struct Gate {
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+  } gate;
+  JobSpec blocker;
+  blocker.body = [](void* in) -> void* {
+    auto* g = static_cast<Gate*>(in);
+    g->started.store(true, std::memory_order_release);
+    while (!g->release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    return nullptr;
+  };
+  blocker.input = &gate;
+  JobHandle active = server.submit(std::move(blocker));
+  while (!gate.started.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  std::vector<JobHandle> queued;
+  for (int i = 0; i < 4; ++i) {
+    JobSpec spec;
+    spec.body = identity;
+    queued.push_back(server.submit(std::move(spec)));
+  }
+
+  // The active job ignores cancellation (it spins on our flag), so a
+  // bounded shutdown must time out; the queued jobs resolve kAborted.
+  EXPECT_FALSE(server.shutdown(30 * kMs));
+  for (auto& h : queued) EXPECT_EQ(h.wait(), kAborted);
+  EXPECT_EQ(server.stats().of(Priority::kNormal).aborted, 4u);
+
+  gate.release.store(true, std::memory_order_release);
+  // Cancelled while running -> the job resolves kAborted, not kOk.
+  EXPECT_EQ(active.wait(), kAborted);
+  EXPECT_TRUE(server.shutdown(kSec));
+}
+
+TEST(JobServer, DestructionResolvesEveryOutstandingHandle) {
+  std::vector<JobHandle> handles;
+  {
+    JobServer server(small_server());
+    for (int i = 0; i < 64; ++i) {
+      JobSpec spec;
+      spec.body = identity;
+      handles.push_back(server.submit(std::move(spec)));
+    }
+    // Destructor runs with jobs in every stage: queued, active, done.
+  }
+  for (auto& h : handles) {
+    ASSERT_TRUE(h.done()) << "handle left unresolved by destruction";
+    const int err = h.result().error;
+    EXPECT_TRUE(err == kOk || err == kAborted) << err;
+  }
+}
+
+TEST(JobServer, CheckedJobSurfacesItsRacesOnly) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 1;  // one worker: canonical access order
+  opts.check = true;
+  JobServer server(std::move(opts));
+  Runtime& rt = server.runtime();
+
+  static long shared = 0;
+  const auto racy_child = [](void* in) -> void* {
+    check::write(&shared, sizeof shared);
+    shared = reinterpret_cast<long>(in);
+    return nullptr;
+  };
+
+  JobSpec racy;
+  racy.check = true;
+  racy.body = [&](void*) -> void* {
+    TaskPtr a = rt.fork(racy_child, reinterpret_cast<void*>(1L));
+    TaskPtr b = rt.fork(racy_child, reinterpret_cast<void*>(2L));
+    rt.join(a, nullptr);
+    rt.join(b, nullptr);
+    return nullptr;
+  };
+  JobHandle rh = server.submit(std::move(racy));
+
+  std::atomic<long> clean_acc{0};
+  JobSpec clean;
+  clean.check = true;
+  clean.body = [&](void*) -> void* {
+    TaskPtr a = rt.fork(
+        [](void* in) -> void* {
+          static_cast<std::atomic<long>*>(in)->fetch_add(1);
+          return nullptr;
+        },
+        &clean_acc);
+    rt.join(a, nullptr);
+    return nullptr;
+  };
+  JobHandle ch = server.submit(std::move(clean));
+
+  ASSERT_EQ(rh.wait(), kOk);
+  ASSERT_EQ(ch.wait(), kOk);
+  ASSERT_FALSE(rh.result().races.empty()) << "seeded race must be caught";
+  EXPECT_TRUE(ch.result().races.empty()) << "clean job blamed for a race";
+  for (const auto& r : rh.result().races) {
+    EXPECT_TRUE(r.first_job == rh.id() || r.second_job == rh.id());
+    EXPECT_NE(r.to_string().find("ANAHY-R001"), std::string::npos);
+  }
+}
+
+TEST(JobServer, UncheckedJobCollectsNoRacesOnCheckServer) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 1;
+  opts.check = true;
+  JobServer server(std::move(opts));
+  Runtime& rt = server.runtime();
+
+  static long shared2 = 0;
+  const auto racy_child = [](void* in) -> void* {
+    check::write(&shared2, sizeof shared2);
+    shared2 = reinterpret_cast<long>(in);
+    return nullptr;
+  };
+  JobSpec racy;  // check NOT requested: no reports attached to the result
+  racy.body = [&](void*) -> void* {
+    TaskPtr a = rt.fork(racy_child, reinterpret_cast<void*>(1L));
+    TaskPtr b = rt.fork(racy_child, reinterpret_cast<void*>(2L));
+    rt.join(a, nullptr);
+    rt.join(b, nullptr);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(racy));
+  ASSERT_EQ(h.wait(), kOk);
+  EXPECT_TRUE(h.result().races.empty());
+}
+
+}  // namespace

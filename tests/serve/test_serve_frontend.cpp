@@ -1,0 +1,146 @@
+// Tests of the remote serve front-end: kJobSubmit/kJobDone over the
+// in-memory fabric and the TCP loopback mesh — the same submit -> reply
+// contract the in-process JobHandle gives, across a transport.
+#include "cluster/serve_frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+namespace {
+
+using namespace cluster;
+using namespace std::chrono_literals;
+
+/// sum of u32 little-endian words in the payload -> one u32 result.
+std::vector<std::uint8_t> sum_u32(std::span<const std::uint8_t> in) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 4 <= in.size(); i += 4)
+    sum += static_cast<std::uint32_t>(in[i]) |
+           static_cast<std::uint32_t>(in[i + 1]) << 8 |
+           static_cast<std::uint32_t>(in[i + 2]) << 16 |
+           static_cast<std::uint32_t>(in[i + 3]) << 24;
+  ByteWriter w;
+  w.u32(sum);
+  return w.take();
+}
+
+std::vector<std::uint8_t> numbers_payload(std::uint32_t n) {
+  ByteWriter w;
+  for (std::uint32_t i = 1; i <= n; ++i) w.u32(i);
+  return w.take();
+}
+
+std::uint32_t result_u32(const ServeClient::Reply& r) {
+  ByteReader reader(r.payload);
+  return reader.u32();
+}
+
+TEST(ServeFrontend, RoundTripOverMemoryFabric) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  anahy::serve::JobServer server(std::move(opts));
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], /*server_node=*/0);
+  const auto id = client.submit("sum_u32", numbers_payload(10));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(result_u32(reply), 55u);
+  EXPECT_EQ(frontend.submissions(), 1u);
+}
+
+TEST(ServeFrontend, UnknownFunctionRepliesInvalid) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("no_such_fn", {});
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kInvalid);
+}
+
+TEST(ServeFrontend, InterleavedRequestsCorrelateById) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto a = client.submit("sum_u32", numbers_payload(3));   // 6
+  const auto b = client.submit("sum_u32", numbers_payload(100)); // 5050
+  const auto c = client.submit("sum_u32", numbers_payload(1));   // 1
+
+  // Wait out of submission order: replies must correlate, not interleave.
+  ServeClient::Reply rc, ra, rb;
+  ASSERT_TRUE(client.wait(c, rc, 2'000'000us));
+  ASSERT_TRUE(client.wait(a, ra, 2'000'000us));
+  ASSERT_TRUE(client.wait(b, rb, 2'000'000us));
+  EXPECT_EQ(result_u32(ra), 6u);
+  EXPECT_EQ(result_u32(rb), 5050u);
+  EXPECT_EQ(result_u32(rc), 1u);
+}
+
+TEST(ServeFrontend, SubmitAfterDrainRepliesPerm) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+  server.drain();
+
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(4));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kPerm);
+}
+
+TEST(ServeFrontend, PriorityAndTimeoutTravelTheWire) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(8),
+                                anahy::Priority::kHigh,
+                                /*timeout_ns=*/5'000'000'000, false);
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(result_u32(reply), 36u);
+  EXPECT_EQ(server.stats().of(anahy::Priority::kHigh).completed, 1u);
+}
+
+TEST(ServeFrontend, MultipleClientsOverTcpLoopback) {
+  auto fabric = make_tcp_fabric(3);  // node 0 serves, nodes 1-2 are clients
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  anahy::serve::JobServer server(std::move(opts));
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient c1(*fabric[1], 0);
+  ServeClient c2(*fabric[2], 0);
+  const auto id1 = c1.submit("sum_u32", numbers_payload(10));
+  const auto id2 = c2.submit("sum_u32", numbers_payload(20));
+  ServeClient::Reply r1, r2;
+  ASSERT_TRUE(c1.wait(id1, r1, 5'000'000us));
+  ASSERT_TRUE(c2.wait(id2, r2, 5'000'000us));
+  EXPECT_EQ(result_u32(r1), 55u);
+  EXPECT_EQ(result_u32(r2), 210u);
+}
+
+}  // namespace

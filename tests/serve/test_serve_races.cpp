@@ -1,0 +1,235 @@
+// Concurrency stress of the job service: many client threads hammering
+// submit while drain/shutdown/cancel race in. Run under the sanitizer
+// matrix (tsan/asan/ubsan labels); the invariant everywhere is the handle
+// contract — every handle resolves exactly once, with a legal error code.
+#include "anahy/serve/job_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace anahy;
+using namespace anahy::serve;
+
+constexpr int kClientThreads = 8;
+
+ServerOptions stress_server() {
+  ServerOptions o;
+  o.runtime.num_vps = 4;
+  o.max_pending = 64;
+  return o;
+}
+
+Priority class_of(int i) { return static_cast<Priority>(i % kNumPriorities); }
+
+TEST(ServeRaces, ConcurrentSubmittersNeverLoseOrDoubleCompleteHandles) {
+  JobServer server(stress_server());
+  constexpr int kJobsPerThread = 50;
+  std::atomic<int> bodies_run{0};
+  std::atomic<int> callbacks{0};
+  std::vector<std::vector<JobHandle>> handles(kClientThreads);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t)
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        JobSpec spec;
+        spec.priority = class_of(i);
+        spec.body = [&bodies_run](void*) -> void* {
+          bodies_run.fetch_add(1, std::memory_order_relaxed);
+          return nullptr;
+        };
+        spec.on_complete = [&callbacks](const JobResult&) {
+          callbacks.fetch_add(1, std::memory_order_relaxed);
+        };
+        handles[t].push_back(server.submit(std::move(spec)));
+      }
+    });
+  for (auto& c : clients) c.join();
+
+  server.drain();
+  int resolved = 0;
+  for (auto& per_thread : handles)
+    for (auto& h : per_thread) {
+      ASSERT_TRUE(h.done());
+      EXPECT_EQ(h.result().error, kOk);
+      ++resolved;
+    }
+  EXPECT_EQ(resolved, kClientThreads * kJobsPerThread);
+  EXPECT_EQ(bodies_run.load(), resolved);
+  // on_complete fired exactly once per job: no double completion.
+  EXPECT_EQ(callbacks.load(), resolved);
+  EXPECT_EQ(server.stats().resolved_total(),
+            static_cast<std::uint64_t>(resolved));
+}
+
+TEST(ServeRaces, SubmitRacingDrainEitherRunsOrRejectsCleanly) {
+  JobServer server(stress_server());
+  std::atomic<bool> go{false};
+  std::vector<std::vector<JobHandle>> handles(kClientThreads);
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t)
+    clients.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 40; ++i) {
+        JobSpec spec;
+        spec.priority = class_of(i);
+        spec.body = [](void*) -> void* { return nullptr; };
+        handles[t].push_back(server.submit(std::move(spec)));
+      }
+    });
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  server.drain();  // races the submitters
+  for (auto& c : clients) c.join();
+  server.drain();  // now quiescent for sure
+
+  for (auto& per_thread : handles)
+    for (auto& h : per_thread) {
+      const int err = h.wait();
+      EXPECT_TRUE(err == kOk || err == kPerm) << err;
+    }
+}
+
+TEST(ServeRaces, SubmitRacingShutdownResolvesEveryHandle) {
+  JobServer server(stress_server());
+  std::atomic<bool> go{false};
+  std::vector<std::vector<JobHandle>> handles(kClientThreads);
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t)
+    clients.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 40; ++i) {
+        JobSpec spec;
+        spec.priority = class_of(i + t);
+        spec.body = [](void*) -> void* { return nullptr; };
+        handles[t].push_back(server.submit(std::move(spec)));
+      }
+    });
+  go.store(true, std::memory_order_release);
+  EXPECT_TRUE(server.shutdown(/*deadline_ns=*/2'000'000'000));
+  for (auto& c : clients) c.join();
+
+  for (auto& per_thread : handles)
+    for (auto& h : per_thread) {
+      const int err = h.wait();
+      EXPECT_TRUE(err == kOk || err == kAborted || err == kPerm) << err;
+    }
+}
+
+TEST(ServeRaces, ConcurrentCancelRacingCompletionIsSingleResolution) {
+  JobServer server(stress_server());
+  std::vector<JobHandle> handles;
+  std::atomic<int> callbacks{0};
+  for (int i = 0; i < 200; ++i) {
+    JobSpec spec;
+    spec.body = [](void*) -> void* { return nullptr; };
+    spec.on_complete = [&callbacks](const JobResult&) {
+      callbacks.fetch_add(1, std::memory_order_relaxed);
+    };
+    handles.push_back(server.submit(std::move(spec)));
+  }
+  // Cancel from one thread while VPs complete the same jobs.
+  std::thread canceller([&] {
+    for (auto& h : handles) h.cancel();
+  });
+  canceller.join();
+  server.drain();
+  for (auto& h : handles) {
+    const int err = h.wait();
+    EXPECT_TRUE(err == kOk || err == kAborted) << err;
+  }
+  EXPECT_EQ(callbacks.load(), 200);
+}
+
+TEST(ServeRaces, DestructionUnderFireResolvesAllHandles) {
+  std::vector<std::vector<JobHandle>> handles(kClientThreads);
+  std::atomic<bool> stop_submitting{false};
+  {
+    JobServer server(stress_server());
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t)
+      clients.emplace_back([&, t] {
+        for (int i = 0; i < 64 && !stop_submitting.load(); ++i) {
+          JobSpec spec;
+          spec.body = [](void*) -> void* { return nullptr; };
+          handles[t].push_back(server.submit(std::move(spec)));
+        }
+      });
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    stop_submitting.store(true);
+    for (auto& c : clients) c.join();
+    // Server destroyed with an unknown mix of queued/active/done jobs.
+  }
+  for (auto& per_thread : handles)
+    for (auto& h : per_thread) {
+      ASSERT_TRUE(h.done());
+      const int err = h.result().error;
+      EXPECT_TRUE(err == kOk || err == kAborted || err == kPerm) << err;
+    }
+}
+
+TEST(ServeRaces, HighPriorityOvertakesBatchUnderSaturation) {
+  // One active slot + one VP: the pending queue is the contention point.
+  // Fill it with batch work, then submit high; the dispatcher must pick
+  // the high job next even though every batch job arrived first.
+  ServerOptions opts;
+  opts.runtime.num_vps = 1;
+  opts.max_active = 1;
+  JobServer server(std::move(opts));
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.body = [](void* in) -> void* {
+    auto* flag = static_cast<std::atomic<bool>*>(in);
+    while (!flag->load(std::memory_order_acquire)) std::this_thread::yield();
+    return nullptr;
+  };
+  blocker.input = &release;
+  JobHandle gate = server.submit(std::move(blocker));
+  while (server.stats().active == 0) std::this_thread::yield();
+
+  std::vector<std::uint64_t> order;
+  std::mutex order_mu;
+  const auto record = [&](std::uint64_t tag) {
+    std::lock_guard lock(order_mu);
+    order.push_back(tag);
+  };
+
+  std::vector<JobHandle> batch;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.priority = Priority::kBatch;
+    spec.on_complete = [&record](const JobResult&) { record(0); };
+    spec.body = [](void*) -> void* { return nullptr; };
+    batch.push_back(server.submit(std::move(spec)));
+  }
+  JobSpec urgent;
+  urgent.priority = Priority::kHigh;
+  urgent.on_complete = [&record](const JobResult&) { record(1); };
+  urgent.body = [](void*) -> void* { return nullptr; };
+  JobHandle high = server.submit(std::move(urgent));
+
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(gate.wait(), kOk);
+  EXPECT_EQ(high.wait(), kOk);
+  for (auto& h : batch) EXPECT_EQ(h.wait(), kOk);
+  // wait() may return before the job's on_complete has run (the handle is
+  // resolved first); drain() returns only after every callback finished.
+  server.drain();
+
+  std::lock_guard lock(order_mu);
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order.front(), 1u) << "high-priority job must complete first";
+}
+
+}  // namespace

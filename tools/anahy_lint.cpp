@@ -1,14 +1,17 @@
 // anahy-lint: replays a saved execution trace and emits DAG lint
 // diagnostics (stable ANAHY-Wxxx codes; table in docs/CHECKING.md).
 //
-//   anahy-lint [--summary] [--dot] <trace-file>
+//   anahy-lint [--summary] [--jobs] [--dot] <trace-file>
 //
-// The trace file is the `anahy-trace v1` text format written by
-// TraceGraph::save (see examples/race_demo.cpp for a producer). Exit code:
-// 0 clean, 1 diagnostics found (or a partially readable file), 2 the file
-// could not be read at all.
+// The trace file is the text format written by TraceGraph::save (see
+// examples/race_demo.cpp for a producer): `anahy-trace v2` with a per-node
+// serve job-id column, and the loader still accepts pre-serve `v1` traces
+// (every node then belongs to job 0). `--jobs` prints a per-job breakdown
+// of a multi-job server trace. Exit code: 0 clean, 1 diagnostics found (or
+// a partially readable file), 2 the file could not be read at all.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,19 +21,43 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: anahy-lint [--summary] [--dot] <trace-file>\n";
+  std::cerr << "usage: anahy-lint [--summary] [--jobs] [--dot] <trace-file>\n";
   return 2;
+}
+
+/// Per-job rollup of a served runtime's trace (job 0 = context-free tasks).
+void print_job_table(const anahy::TraceGraph& trace) {
+  struct JobAgg {
+    std::size_t tasks = 0;
+    std::size_t never_ran = 0;
+    std::int64_t work_ns = 0;
+  };
+  std::map<std::uint64_t, JobAgg> jobs;  // ordered by job id
+  for (const auto& n : trace.nodes()) {
+    JobAgg& agg = jobs[n.job];
+    ++agg.tasks;
+    if (n.start_ns < 0) ++agg.never_ran;
+    agg.work_ns += n.exec_ns;
+  }
+  std::cout << "job      tasks  never-ran  work-ns\n";
+  for (const auto& [job, agg] : jobs) {
+    std::cout << (job == 0 ? std::string("(none)") : std::to_string(job));
+    std::cout << "  " << agg.tasks << "  " << agg.never_ran << "  "
+              << agg.work_ns << "\n";
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool summary = false;
+  bool jobs = false;
   bool dot = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--summary") summary = true;
+    else if (arg == "--jobs") jobs = true;
     else if (arg == "--dot") dot = true;
     else if (!arg.empty() && arg.front() == '-') return usage();
     else if (path.empty()) path = arg;
@@ -71,6 +98,7 @@ int main(int argc, char** argv) {
               << trace.span_ns() << " ns, " << diags.size()
               << " diagnostic(s)\n";
   }
+  if (jobs) print_job_table(trace);
   if (dot) std::cout << trace.to_dot();
 
   return diags.empty() && clean_parse ? 0 : 1;
