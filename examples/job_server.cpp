@@ -9,9 +9,12 @@
 //   * a checked job (JobSpec::check) whose seeded determinacy race comes
 //     back attributed to THAT job in its JobResult (ANAHY-R001),
 //   * an already-expired deadline resolving kTimedOut without running,
-//   * the /metrics-style counter dump,
-//   * drain() + a saved `anahy-trace v2` that the DAG linter verifies is
-//     leak-free (no ANAHY-W005: drain finishes queued work, never drops it).
+//   * the /metrics-style counter dump and the observe exposition
+//     (per-VP telemetry + derived gauges + anomaly flags),
+//   * drain() + a saved `anahy-trace v3` (profile mode: per-task VP
+//     identity and stamped fork/join edges, the anahy-profile input) that
+//     the DAG linter verifies is leak-free (no ANAHY-W005: drain finishes
+//     queued work, never drops it).
 //
 // The demo is also an assertion harness: every handle must resolve, every
 // completion callback must fire exactly once, and the final trace must
@@ -21,6 +24,7 @@
 //   cmake -B build && cmake --build build --target job_server anahy-lint
 //   ./build/examples/job_server            # prints the walkthrough
 //   ./build/tools/anahy-lint --summary --jobs job_server.trace
+//   ./build/tools/anahy-profile --out=job_server.json job_server.trace
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -95,7 +99,7 @@ Priority class_of(int i) {
 int main() {
   ServerOptions opts;
   opts.runtime.num_vps = 4;
-  opts.runtime.trace = true;
+  opts.runtime.profile = true;  // spans + stamped edges (implies trace)
   opts.check = true;  // allow per-job JobSpec::check opt-in
   JobServer server(std::move(opts));
 
@@ -181,7 +185,8 @@ int main() {
               static_cast<unsigned long long>(
                   timed_out.result().stats.tasks_executed));
 
-  std::printf("\n--- metrics ---\n%s", server.metrics_text().c_str());
+  // observe_text = per-VP telemetry exposition + the /metrics counters.
+  std::printf("\n--- observe ---\n%s", server.observe_text().c_str());
 
   // --- 4. The drained trace must be leak-free (no ANAHY-W005). ----------
   {

@@ -46,8 +46,16 @@ step "serve demo: 8 clients, per-job race attribution, drained trace"
 # any violation. Its drained trace must lint CLEAN — drain() finishing with
 # a leaked task (ANAHY-W005) would mean the service dropped queued work.
 ./build/examples/job_server > /dev/null
-./build/tools/anahy-lint --summary --jobs job_server.trace > /dev/null
-rm -f job_server.trace
+./build/tools/anahy-lint --summary --jobs --stats job_server.trace > /dev/null
+
+step "profiler: chrome trace JSON from the serve demo's v3 trace"
+# The demo runs under profile mode, so its trace carries per-task VP
+# identity and stamped edges. anahy-profile must turn that into valid
+# JSON (chrome://tracing input) and a per-job work/span report.
+./build/tools/anahy-profile --out=job_server.json --work-span \
+    job_server.trace > /dev/null
+python3 -m json.tool job_server.json > /dev/null
+rm -f job_server.trace job_server.json
 
 if [ "$tier1_only" = 1 ]; then
   echo; echo "check.sh: tier-1 OK"

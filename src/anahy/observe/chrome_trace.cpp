@@ -1,0 +1,175 @@
+#include "anahy/observe/chrome_trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace anahy::observe {
+namespace {
+
+int track_of(int vp) {
+  if (vp >= 0) return vp;
+  // -1 is SchedulingPolicy::kExternalVp; anything else (kUnknownVp) means
+  // the span predates v3 / profiling was off.
+  return vp == -1 ? kExternalTrack : kUntrackedTrack;
+}
+
+std::string track_name(int tid) {
+  if (tid == kExternalTrack) return "external";
+  if (tid == kUntrackedTrack) return "(untracked)";
+  return "VP " + std::to_string(tid);
+}
+
+// Trace timestamps are nanoseconds; Chrome wants microseconds. Emit with
+// three decimals so nanosecond precision survives.
+std::string us(std::int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+class EventList {
+ public:
+  explicit EventList(std::ostream& out) : out_(out) {}
+
+  void emit(const std::string& body) {
+    out_ << (first_ ? "\n  {" : ",\n  {") << body << "}";
+    first_ = false;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceGraph& trace) {
+  const std::vector<TraceNode> nodes = trace.nodes();
+  const std::vector<TraceEdge> edges = trace.edges();
+  std::map<TaskId, const TraceNode*> by_id;
+  for (const TraceNode& n : nodes) by_id[n.id] = &n;
+
+  out << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+  EventList ev(out);
+
+  // Track metadata: name every tid that will carry events, in a stable
+  // order (worker VPs first, then external, then untracked).
+  std::set<int> tids;
+  for (const TraceNode& n : nodes)
+    if (n.start_ns >= 0) tids.insert(track_of(n.vp));
+  for (const int tid : tids) {
+    std::ostringstream b;
+    b << "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+      << tid << ", \"args\": {\"name\": \"" << track_name(tid) << "\"}";
+    ev.emit(b.str());
+    std::ostringstream s;
+    s << "\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+      << "\"tid\": " << tid << ", \"args\": {\"sort_index\": " << tid << "}";
+    ev.emit(s.str());
+  }
+
+  // One complete ("X") slice per executed task.
+  for (const TraceNode& n : nodes) {
+    if (n.start_ns < 0) continue;  // never ran (or pre-profiling trace)
+    std::ostringstream b;
+    const std::string name =
+        n.label.empty() ? "T" + std::to_string(n.id) : n.label;
+    b << "\"name\": \"" << json_escape(name) << "\", \"cat\": \"task\", "
+      << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << track_of(n.vp)
+      << ", \"ts\": " << us(n.start_ns) << ", \"dur\": " << us(n.exec_ns)
+      << ", \"args\": {\"task\": " << n.id << ", \"job\": " << n.job
+      << ", \"level\": " << n.level
+      << ", \"continuation\": " << (n.is_continuation ? "true" : "false")
+      << "}";
+    ev.emit(b.str());
+  }
+
+  // Flow arrows need stamped edges (profile mode). A fork edge flows from
+  // the fork event on the forker's track to the child's execution begin; a
+  // join edge flows from the target's execution end to the join event on
+  // the joiner's track.
+  std::size_t flow_id = 0;
+  for (const TraceEdge& e : edges) {
+    if (e.ts_ns < 0) continue;
+    const char* cat = nullptr;
+    int start_tid = 0;
+    int finish_tid = 0;
+    std::int64_t start_ts = 0;
+    std::int64_t finish_ts = 0;
+    if (e.kind == TraceEdgeKind::kFork) {
+      const auto child = by_id.find(e.to);
+      if (child == by_id.end() || child->second->start_ns < 0) continue;
+      cat = "fork";
+      start_tid = track_of(e.vp);
+      start_ts = e.ts_ns;
+      finish_tid = track_of(child->second->vp);
+      finish_ts = child->second->start_ns;
+    } else if (e.kind == TraceEdgeKind::kJoin) {
+      const auto target = by_id.find(e.from);
+      if (target == by_id.end() || target->second->start_ns < 0) continue;
+      cat = "join";
+      start_tid = track_of(target->second->vp);
+      start_ts = target->second->start_ns + target->second->exec_ns;
+      finish_tid = track_of(e.vp);
+      finish_ts = e.ts_ns;
+    } else {
+      continue;  // continuations are already adjacent on the same flow
+    }
+    // Chrome drops arrows that point backwards in time (clock skew between
+    // the fork stamp and the child's begin stamp); clamp to keep them.
+    if (finish_ts < start_ts) finish_ts = start_ts;
+    const std::size_t id = ++flow_id;
+    std::ostringstream s;
+    s << "\"name\": \"" << cat << "\", \"cat\": \"" << cat
+      << "\", \"ph\": \"s\", \"id\": " << id << ", \"pid\": 1, \"tid\": "
+      << start_tid << ", \"ts\": " << us(start_ts) << ", \"args\": {\"from\": "
+      << e.from << ", \"to\": " << e.to << "}";
+    ev.emit(s.str());
+    std::ostringstream f;
+    f << "\"name\": \"" << cat << "\", \"cat\": \"" << cat
+      << "\", \"ph\": \"f\", \"bp\": \"e\", \"id\": " << id
+      << ", \"pid\": 1, \"tid\": " << finish_tid << ", \"ts\": "
+      << us(finish_ts) << ", \"args\": {\"from\": " << e.from << ", \"to\": "
+      << e.to << "}";
+    ev.emit(f.str());
+  }
+
+  out << "\n]\n}\n";
+}
+
+std::string chrome_trace_json(const TraceGraph& trace) {
+  std::ostringstream out;
+  write_chrome_trace(out, trace);
+  return out.str();
+}
+
+}  // namespace anahy::observe

@@ -1,0 +1,33 @@
+// Chrome trace-event JSON export of an Anahy execution trace.
+//
+// Produces the JSON Object Format understood by chrome://tracing and
+// Perfetto: one track (tid) per virtual processor, one complete ("X")
+// event per executed task, flow arrows ("s"/"f") for fork -> begin and
+// end -> join dependencies, and thread-name metadata so the tracks read
+// "VP 0", "VP 1", ..., "external". Tasks recorded without a VP (pre-v3
+// traces, or profile mode off) are grouped on an "(untracked)" track.
+//
+// Timestamps: the trace records nanoseconds from the trace epoch; Chrome
+// wants microseconds, emitted here with nanosecond precision (3 decimals).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "anahy/trace.hpp"
+
+namespace anahy::observe {
+
+/// Synthetic track ids for spans that carry no VP identity.
+inline constexpr int kExternalTrack = 1000;    ///< vp == kExternalVp (-1)
+inline constexpr int kUntrackedTrack = 1001;   ///< pre-v3 trace, vp unknown
+
+/// Writes `trace` as Chrome trace-event JSON. Flow arrows are emitted only
+/// for edges that carry timestamps (profile mode, trace v3); a plain trace
+/// still renders its spans.
+void write_chrome_trace(std::ostream& out, const TraceGraph& trace);
+
+/// Convenience wrapper around write_chrome_trace.
+[[nodiscard]] std::string chrome_trace_json(const TraceGraph& trace);
+
+}  // namespace anahy::observe

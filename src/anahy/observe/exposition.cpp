@@ -1,0 +1,105 @@
+#include "anahy/observe/exposition.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace anahy::observe {
+namespace {
+
+const char* class_name(int cls) {
+  switch (cls) {
+    case 0:
+      return "high";
+    case 1:
+      return "normal";
+    case 2:
+      return "batch";
+    default:
+      return "unknown";
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void emit_per_vp(std::ostream& os, const char* name, const Snapshot& s,
+                 std::uint64_t VpCounters::*field) {
+  for (std::size_t i = 0; i < s.per_vp.size(); ++i) {
+    os << name << "{vp=\"";
+    if (i < static_cast<std::size_t>(s.num_vps))
+      os << i;
+    else
+      os << "external";
+    os << "\"} " << s.per_vp[i].*field << "\n";
+  }
+  os << name << "_total " << s.total.*field << "\n";
+}
+
+}  // namespace
+
+std::vector<Anomaly> detect_anomalies(const Snapshot& s) {
+  std::vector<Anomaly> out;
+  if (s.total.steal_attempts >= kStarvationMinAttempts &&
+      s.steal_success_ratio() < kStarvationMaxRatio) {
+    std::ostringstream d;
+    d << "steal-starvation: " << s.total.steal_successes << "/"
+      << s.total.steal_attempts << " steal attempts succeeded (ratio "
+      << fmt_double(s.steal_success_ratio()) << " < "
+      << fmt_double(kStarvationMaxRatio) << ")";
+    out.push_back({anomaly_code::kStealStarvation, d.str()});
+  }
+  if (s.total.tasks_run > 0 && s.idle_fraction() > kIdleDominatedFraction) {
+    std::ostringstream d;
+    d << "idle-dominated: fleet parked " << fmt_double(s.idle_fraction())
+      << " of wall time (> " << fmt_double(kIdleDominatedFraction)
+      << ") while running " << s.total.tasks_run << " tasks";
+    out.push_back({anomaly_code::kIdleDominated, d.str()});
+  }
+  return out;
+}
+
+std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra) {
+  std::ostringstream os;
+  os << "anahy_observe_epoch " << s.epoch << "\n";
+  os << "anahy_observe_elapsed_ns " << s.elapsed_ns << "\n";
+  os << "anahy_observe_num_vps " << s.num_vps << "\n";
+
+  emit_per_vp(os, "anahy_observe_forks", s, &VpCounters::forks);
+  emit_per_vp(os, "anahy_observe_joins", s, &VpCounters::joins);
+  emit_per_vp(os, "anahy_observe_tasks_run", s, &VpCounters::tasks_run);
+  emit_per_vp(os, "anahy_observe_steal_attempts", s,
+              &VpCounters::steal_attempts);
+  emit_per_vp(os, "anahy_observe_steal_successes", s,
+              &VpCounters::steal_successes);
+  emit_per_vp(os, "anahy_observe_idle_spins", s, &VpCounters::idle_spins);
+  emit_per_vp(os, "anahy_observe_idle_parks", s, &VpCounters::idle_parks);
+  emit_per_vp(os, "anahy_observe_idle_park_ns", s, &VpCounters::idle_park_ns);
+  emit_per_vp(os, "anahy_observe_deque_depth_peak", s,
+              &VpCounters::deque_depth_peak);
+
+  os << "anahy_observe_steal_success_ratio "
+     << fmt_double(s.steal_success_ratio()) << "\n";
+  os << "anahy_observe_idle_fraction " << fmt_double(s.idle_fraction())
+     << "\n";
+  os << "anahy_observe_avg_deque_depth " << fmt_double(s.avg_deque_depth())
+     << "\n";
+  for (std::size_t cls = 0; cls < s.ready_by_class.size(); ++cls) {
+    os << "anahy_observe_ready_tasks{class=\""
+       << class_name(static_cast<int>(cls)) << "\"} " << s.ready_by_class[cls]
+       << "\n";
+  }
+
+  std::vector<Anomaly> anomalies = detect_anomalies(s);
+  anomalies.insert(anomalies.end(), extra.begin(), extra.end());
+  os << "anahy_observe_anomaly_count " << anomalies.size() << "\n";
+  for (const Anomaly& a : anomalies) {
+    os << "anahy_observe_anomaly{code=\"" << a.code << "\"} 1\n";
+    os << "# " << a.code << ": " << a.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace anahy::observe

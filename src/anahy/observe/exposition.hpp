@@ -1,0 +1,51 @@
+// Text exposition and threshold anomaly detection over telemetry snapshots.
+//
+// render_text() turns an observe::Snapshot into Prometheus-style plain text
+// (the same dialect ServerStats::to_metrics_text speaks): counter lines with
+// vp="0"/"external" labels, aggregate totals, and the derived gauges
+// operators alert on. detect_anomalies() applies fixed thresholds and emits
+// coded flags in the ANAHY-Pxxx namespace:
+//
+//   ANAHY-P001 steal-starvation: many attempts, almost no successes.
+//   ANAHY-P002 idle-dominated:   the fleet parked for most of its wall time
+//                                while still running work.
+//   ANAHY-P003 deadline-risk:    serve-layer queue latency threatens job
+//                                deadlines (detected by JobServer, passed in
+//                                as an extra anomaly — the snapshot alone
+//                                cannot see deadlines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anahy/observe/telemetry.hpp"
+
+namespace anahy::observe {
+
+/// A threshold violation worth surfacing to an operator.
+struct Anomaly {
+  std::string code;    ///< "ANAHY-P001" etc.
+  std::string detail;  ///< human-readable evidence
+};
+
+namespace anomaly_code {
+inline constexpr const char* kStealStarvation = "ANAHY-P001";
+inline constexpr const char* kIdleDominated = "ANAHY-P002";
+inline constexpr const char* kDeadlineRisk = "ANAHY-P003";
+}  // namespace anomaly_code
+
+/// Thresholds (documented in docs/OBSERVE.md; tests pin them).
+inline constexpr std::uint64_t kStarvationMinAttempts = 256;
+inline constexpr double kStarvationMaxRatio = 0.05;
+inline constexpr double kIdleDominatedFraction = 0.5;
+
+/// Applies the P001/P002 thresholds to `s`. P003 lives in the serve layer.
+[[nodiscard]] std::vector<Anomaly> detect_anomalies(const Snapshot& s);
+
+/// Prometheus-style exposition of `s`, followed by one
+/// `anahy_observe_anomaly{code="..."} 1` line per detected anomaly plus any
+/// `extra` anomalies supplied by a higher layer (e.g. serve's P003).
+[[nodiscard]] std::string render_text(const Snapshot& s,
+                                      const std::vector<Anomaly>& extra = {});
+
+}  // namespace anahy::observe

@@ -1,0 +1,43 @@
+#include "anahy/observe/profiler.hpp"
+
+#include "anahy/trace.hpp"
+
+namespace anahy::observe {
+
+SpanProfiler::SpanProfiler(int num_vps)
+    : num_vps_(num_vps < 1 ? 1 : num_vps),
+      buffers_(static_cast<std::size_t>(num_vps_) + 1) {
+  for (Buffer& b : buffers_) b.spans.reserve(1024);
+}
+
+void SpanProfiler::record(int vp, TaskId task, std::uint64_t job,
+                          std::int64_t start_ns, std::int64_t dur_ns) {
+  Buffer& b = buffers_[buffer_of(vp)];
+  std::lock_guard lock(b.mu);
+  b.spans.push_back({task, job, vp, start_ns, dur_ns});
+}
+
+void SpanProfiler::flush_into(TraceGraph& trace) {
+  std::vector<Span> drained;
+  for (Buffer& b : buffers_) {
+    {
+      std::lock_guard lock(b.mu);
+      if (b.spans.empty()) continue;
+      drained.swap(b.spans);
+    }
+    for (const Span& s : drained)
+      trace.record_span(s.task, s.start_ns, s.dur_ns, s.vp);
+    drained.clear();
+  }
+}
+
+std::size_t SpanProfiler::pending() const {
+  std::size_t n = 0;
+  for (const Buffer& b : buffers_) {
+    std::lock_guard lock(b.mu);
+    n += b.spans.size();
+  }
+  return n;
+}
+
+}  // namespace anahy::observe

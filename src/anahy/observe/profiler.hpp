@@ -1,0 +1,88 @@
+// Span profiler: per-VP buffered task execution intervals.
+//
+// When Options::profile is on, the scheduler records every task's
+// [begin, begin + dur) interval plus the executing VP and owning serve job
+// into these buffers instead of taking the TraceGraph mutex per execution.
+// Each worker VP appends to its own cache-line-padded buffer under an
+// uncontended spinlock (taken only so flush can drain concurrently);
+// external helping threads share one buffer. flush_into() folds the
+// buffered spans back into the structural trace (TraceGraph::record_span),
+// which is what `anahy-profile` turns into Chrome trace-event JSON and
+// per-job work/span reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "anahy/types.hpp"
+
+namespace anahy {
+class TraceGraph;
+}  // namespace anahy
+
+namespace anahy::observe {
+
+class SpanProfiler {
+ public:
+  struct Span {
+    TaskId task = kInvalidTaskId;
+    std::uint64_t job = 0;
+    int vp = -1;  ///< executing VP slot (-1 = external thread)
+    std::int64_t start_ns = -1;  ///< trace-epoch-relative
+    std::int64_t dur_ns = 0;
+  };
+
+  explicit SpanProfiler(int num_vps);
+
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// Appends one executed span. Callable from any thread; `vp` picks the
+  /// buffer (out-of-range ids share the external buffer) and is also the
+  /// value recorded in the span.
+  void record(int vp, TaskId task, std::uint64_t job, std::int64_t start_ns,
+              std::int64_t dur_ns);
+
+  /// Drains every buffer into `trace` (TraceGraph::record_span). Safe to
+  /// call repeatedly and concurrently with record(); spans recorded after
+  /// the flush started land in the next flush.
+  void flush_into(TraceGraph& trace);
+
+  /// Spans currently buffered (monitoring/tests).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  /// Tiny test-and-set lock (same idiom as the scheduler's registry
+  /// shards): uncontended for worker buffers, cheap enough for the shared
+  /// external one.
+  class SpinLock {
+   public:
+    void lock() {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        while (flag_.load(std::memory_order_relaxed))
+          std::this_thread::yield();
+      }
+    }
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  struct alignas(64) Buffer {
+    mutable SpinLock mu;
+    std::vector<Span> spans;
+  };
+
+  [[nodiscard]] std::size_t buffer_of(int vp) const {
+    return vp >= 0 && vp < num_vps_ ? static_cast<std::size_t>(vp)
+                                    : static_cast<std::size_t>(num_vps_);
+  }
+
+  const int num_vps_;
+  std::vector<Buffer> buffers_;  // num_vps_ + 1; never resized after ctor
+};
+
+}  // namespace anahy::observe

@@ -1,0 +1,123 @@
+#include "anahy/observe/telemetry.hpp"
+
+namespace anahy::observe {
+
+VpCounters& VpCounters::operator+=(const VpCounters& o) {
+  forks += o.forks;
+  joins += o.joins;
+  tasks_run += o.tasks_run;
+  steal_attempts += o.steal_attempts;
+  steal_successes += o.steal_successes;
+  idle_spins += o.idle_spins;
+  idle_parks += o.idle_parks;
+  idle_park_ns += o.idle_park_ns;
+  deque_depth_sum += o.deque_depth_sum;
+  deque_depth_samples += o.deque_depth_samples;
+  deque_depth_peak = deque_depth_peak > o.deque_depth_peak
+                         ? deque_depth_peak
+                         : o.deque_depth_peak;
+  return *this;
+}
+
+VpCounters VpCounters::minus(const VpCounters& earlier) const {
+  VpCounters d;
+  d.forks = forks - earlier.forks;
+  d.joins = joins - earlier.joins;
+  d.tasks_run = tasks_run - earlier.tasks_run;
+  d.steal_attempts = steal_attempts - earlier.steal_attempts;
+  d.steal_successes = steal_successes - earlier.steal_successes;
+  d.idle_spins = idle_spins - earlier.idle_spins;
+  d.idle_parks = idle_parks - earlier.idle_parks;
+  d.idle_park_ns = idle_park_ns - earlier.idle_park_ns;
+  d.deque_depth_sum = deque_depth_sum - earlier.deque_depth_sum;
+  d.deque_depth_samples = deque_depth_samples - earlier.deque_depth_samples;
+  d.deque_depth_peak = deque_depth_peak;  // peaks do not subtract
+  return d;
+}
+
+double Snapshot::steal_success_ratio() const {
+  if (total.steal_attempts == 0) return 1.0;
+  return static_cast<double>(total.steal_successes) /
+         static_cast<double>(total.steal_attempts);
+}
+
+double Snapshot::idle_fraction() const {
+  if (elapsed_ns <= 0 || num_vps <= 0) return 0.0;
+  const double wall =
+      static_cast<double>(elapsed_ns) * static_cast<double>(num_vps);
+  const double idle = static_cast<double>(total.idle_park_ns);
+  const double f = idle / wall;
+  return f > 1.0 ? 1.0 : f;
+}
+
+double Snapshot::avg_deque_depth() const {
+  if (total.deque_depth_samples == 0) return 0.0;
+  return static_cast<double>(total.deque_depth_sum) /
+         static_cast<double>(total.deque_depth_samples);
+}
+
+Snapshot Snapshot::delta(const Snapshot& earlier) const {
+  Snapshot d = *this;
+  d.elapsed_ns = elapsed_ns - earlier.elapsed_ns;
+  for (std::size_t i = 0; i < d.per_vp.size() && i < earlier.per_vp.size();
+       ++i)
+    d.per_vp[i] = per_vp[i].minus(earlier.per_vp[i]);
+  d.total = VpCounters{};
+  for (const VpCounters& c : d.per_vp) d.total += c;
+  return d;
+}
+
+Telemetry::Telemetry(int num_vps)
+    : num_vps_(num_vps < 1 ? 1 : num_vps),
+      slots_(static_cast<std::size_t>(num_vps_) + 1) {}
+
+void Telemetry::sample_deque_depth(int vp, std::size_t depth) {
+  const auto d = static_cast<std::uint64_t>(depth);
+  add(vp, kDepthSum, d);
+  add(vp, kDepthSamples, 1);
+  // Peak needs max semantics, not addition. Worker slots are single-writer
+  // (plain read/compare/store); the shared external slot needs a CAS race.
+  const std::size_t s = slot_of(vp);
+  std::atomic<std::uint64_t>& peak = slots_[s].c[kDepthPeak];
+  if (s != static_cast<std::size_t>(num_vps_)) {
+    if (d > peak.load(std::memory_order_relaxed))
+      peak.store(d, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (d > cur && !peak.compare_exchange_weak(cur, d,
+                                                std::memory_order_relaxed,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+Snapshot Telemetry::snapshot() const {
+  Snapshot s;
+  s.epoch = snapshot_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  s.num_vps = num_vps_;
+  s.per_vp.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    VpCounters& c = s.per_vp[i];
+    c.forks = slot.c[kForks].load(std::memory_order_relaxed);
+    c.joins = slot.c[kJoins].load(std::memory_order_relaxed);
+    c.tasks_run = slot.c[kTasksRun].load(std::memory_order_relaxed);
+    c.steal_attempts = slot.c[kStealAttempts].load(std::memory_order_relaxed);
+    c.steal_successes =
+        slot.c[kStealSuccesses].load(std::memory_order_relaxed);
+    c.idle_spins = slot.c[kIdleSpins].load(std::memory_order_relaxed);
+    c.idle_parks = slot.c[kIdleParks].load(std::memory_order_relaxed);
+    c.idle_park_ns = slot.c[kIdleParkNs].load(std::memory_order_relaxed);
+    c.deque_depth_sum = slot.c[kDepthSum].load(std::memory_order_relaxed);
+    c.deque_depth_samples =
+        slot.c[kDepthSamples].load(std::memory_order_relaxed);
+    c.deque_depth_peak = slot.c[kDepthPeak].load(std::memory_order_relaxed);
+    s.total += c;
+  }
+  return s;
+}
+
+}  // namespace anahy::observe

@@ -7,6 +7,7 @@
 // unblocked bookkeeping lives in the Scheduler.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 
@@ -14,6 +15,10 @@
 #include "anahy/types.hpp"
 
 namespace anahy {
+
+namespace observe {
+class Telemetry;
+}  // namespace observe
 
 /// Abstract ready-task container. All methods must be thread-safe.
 ///
@@ -35,11 +40,29 @@ class SchedulingPolicy {
 
   /// Removes a *specific* ready task so the caller can run it inline
   /// (join-inlining, the mono-processor behaviour of paper §2.2.1).
-  /// Returns false when the task is not in the ready list (already taken).
-  virtual bool remove_specific(const TaskPtr& task) = 0;
+  /// `vp` identifies the calling thread (kExternalVp for non-VP threads)
+  /// so policies with per-caller striped accounting can debit the right
+  /// stripe. Returns false when the task is not in the ready list
+  /// (already taken).
+  virtual bool remove_specific(const TaskPtr& task, int vp) = 0;
 
   /// Approximate number of queued tasks (monitoring only).
   [[nodiscard]] virtual std::size_t approx_size() const = 0;
+
+  /// Approximate queued tasks per priority class (monitoring only).
+  /// Policies without class-aware structures report everything as
+  /// Priority::kNormal.
+  [[nodiscard]] virtual std::array<std::size_t, kNumPriorities>
+  approx_size_by_class() const {
+    std::array<std::size_t, kNumPriorities> by_class{};
+    by_class[static_cast<std::size_t>(Priority::kNormal)] = approx_size();
+    return by_class;
+  }
+
+  /// Attaches the scheduler's telemetry sink (observe::Telemetry) so the
+  /// policy can feed per-VP steal and deque-depth counters. Null detaches.
+  /// Default: the policy records nothing.
+  virtual void set_telemetry(observe::Telemetry* /*telemetry*/) {}
 
   [[nodiscard]] virtual PolicyKind kind() const = 0;
 };

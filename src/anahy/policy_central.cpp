@@ -29,7 +29,7 @@ TaskPtr CentralQueuePolicy::pop(int /*vp*/) {
   return task;
 }
 
-bool CentralQueuePolicy::remove_specific(const TaskPtr& task) {
+bool CentralQueuePolicy::remove_specific(const TaskPtr& task, int /*vp*/) {
   std::lock_guard lock(mu_);
   const auto it = std::find(queue_.begin(), queue_.end(), task);
   if (it == queue_.end()) return false;

@@ -19,7 +19,7 @@ class CentralQueuePolicy final : public SchedulingPolicy {
 
   void push(TaskPtr task, int vp) override;
   TaskPtr pop(int vp) override;
-  bool remove_specific(const TaskPtr& task) override;
+  bool remove_specific(const TaskPtr& task, int vp) override;
   [[nodiscard]] std::size_t approx_size() const override;
   [[nodiscard]] PolicyKind kind() const override { return kind_; }
 

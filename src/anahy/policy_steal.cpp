@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "anahy/observe/telemetry.hpp"
+
 namespace anahy {
 
 WorkStealingPolicy::WorkStealingPolicy(int num_vps)
@@ -12,6 +14,7 @@ WorkStealingPolicy::WorkStealingPolicy(int num_vps)
   deques_.reserve(num_vps_ * kClasses);
   for (std::size_t i = 0; i < num_vps_ * kClasses; ++i)
     deques_.push_back(std::make_unique<ChaseLevDeque<Task*>>());
+  ready_ = std::vector<ReadyBank>(num_vps_ + 1);
 }
 
 WorkStealingPolicy::~WorkStealingPolicy() {
@@ -43,16 +46,24 @@ std::size_t class_of(const Task& t) {
 void WorkStealingPolicy::push(TaskPtr task, int vp) {
   const std::size_t s = slot(vp);
   const std::size_t cls = class_of(*task);
-  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  bump_ready(s, cls, +1);
+  // Depth is a statistical gauge: sample one push in kDepthSampleStride
+  // per slot instead of paying the telemetry call on every push.
+  const bool sample_depth = tele_ != nullptr && tick_push(s);
   if (s == num_vps_) {
-    std::lock_guard lock(external_mu_);
-    // Amortized stale purge: join-inlining claims tasks in O(1) and leaves
-    // their queue entries behind; drop the stale run at the back so a
-    // join-heavy flow does not keep every finished task alive. Each entry
-    // is dropped at most once, so this is O(1) amortized.
-    auto& q = external_q_[cls];
-    while (!q.empty() && !still_claimable(*q.back())) q.pop_back();
-    q.push_back(std::move(task));
+    std::size_t depth;
+    {
+      std::lock_guard lock(external_mu_);
+      // Amortized stale purge: join-inlining claims tasks in O(1) and
+      // leaves their queue entries behind; drop the stale run at the back
+      // so a join-heavy flow does not keep every finished task alive. Each
+      // entry is dropped at most once, so this is O(1) amortized.
+      auto& q = external_q_[cls];
+      while (!q.empty() && !still_claimable(*q.back())) q.pop_back();
+      q.push_back(std::move(task));
+      depth = q.size();
+    }
+    if (sample_depth) tele_->sample_deque_depth(vp, depth);
     return;
   }
   Task* raw = task.get();
@@ -73,15 +84,17 @@ void WorkStealingPolicy::push(TaskPtr task, int vp) {
     }
   }
   d.push_bottom(raw);
+  if (sample_depth) tele_->sample_deque_depth(vp, d.approx_size());
 }
 
-TaskPtr WorkStealingPolicy::claim_deque_entry(Task* raw, bool stolen) {
+TaskPtr WorkStealingPolicy::claim_deque_entry(Task* raw, bool stolen,
+                                              std::size_t claimer) {
   // We removed the entry, so we clear the guard exactly once — whether the
   // claim wins (the guard becomes our strong reference) or the entry was
   // stale (a joiner inlined the task; drop the keep-alive and move on).
   TaskPtr task = raw->take_ready_guard();
   if (!raw->try_claim()) return nullptr;
-  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  bump_ready(claimer, class_of(*raw), -1);
   if (stolen) {
     if (TaskContext* ctx = raw->context().get())
       ctx->note_steal();
@@ -101,7 +114,7 @@ TaskPtr WorkStealingPolicy::pop(int vp) {
   for (std::size_t cls = 0; cls < kClasses; ++cls) {
     ChaseLevDeque<Task*>& d = deque(self, cls);
     while (auto e = d.pop_bottom()) {  // owner end: LIFO
-      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/false)) return t;
+      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/false, self)) return t;
     }
   }
   return steal_from_others(self);
@@ -114,21 +127,24 @@ TaskPtr WorkStealingPolicy::pop_external(std::size_t cls) {
     TaskPtr task = std::move(q.back());  // owner end: LIFO
     q.pop_back();
     if (task->try_claim()) {
-      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      // pop_external is only reached by external callers (pop() with the
+      // external slot), so the debit lands on the shared bank.
+      bump_ready(num_vps_, cls, -1);
       return task;
     }
   }
   return nullptr;
 }
 
-TaskPtr WorkStealingPolicy::steal_external(std::size_t cls) {
+TaskPtr WorkStealingPolicy::steal_external(std::size_t cls,
+                                           std::size_t claimer) {
   std::lock_guard lock(external_mu_);
   auto& q = external_q_[cls];
   while (!q.empty()) {
     TaskPtr task = std::move(q.front());  // thief end: FIFO
     q.pop_front();
     if (task->try_claim()) {
-      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      bump_ready(claimer, cls, -1);
       if (TaskContext* ctx = task->context().get())
         ctx->note_steal();
       return task;
@@ -147,9 +163,15 @@ TaskPtr WorkStealingPolicy::steal_class(std::size_t self, std::size_t cls) {
     const std::size_t victim = (start + i) % n;
     if (victim == self) continue;
     steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+    // Per-thief telemetry: `self` is this policy's slot index, which is
+    // exactly the telemetry slot (the external slot maps to "external").
+    if (tele_ != nullptr)
+      tele_->on_steal_attempt(static_cast<int>(self));
     if (victim == num_vps_) {
-      if (TaskPtr t = steal_external(cls)) {
+      if (TaskPtr t = steal_external(cls, self)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
+        if (tele_ != nullptr)
+          tele_->on_steal_success(static_cast<int>(self));
         return t;
       }
       continue;
@@ -164,8 +186,10 @@ TaskPtr WorkStealingPolicy::steal_class(std::size_t self, std::size_t cls) {
         if (d.empty()) break;
         continue;
       }
-      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/true)) {
+      if (TaskPtr t = claim_deque_entry(*e, /*stolen=*/true, self)) {
         steals_.fetch_add(1, std::memory_order_relaxed);
+        if (tele_ != nullptr)
+          tele_->on_steal_success(static_cast<int>(self));
         return t;
       }
     }
@@ -182,18 +206,32 @@ TaskPtr WorkStealingPolicy::steal_from_others(std::size_t self) {
   return nullptr;
 }
 
-bool WorkStealingPolicy::remove_specific(const TaskPtr& task) {
+bool WorkStealingPolicy::remove_specific(const TaskPtr& task, int vp) {
   // O(1) claim instead of scanning the deques: winning the state CAS is
   // what "being removed from the ready list" means in this policy; the
   // entry left behind is recognized as stale and dropped by its popper.
   if (task == nullptr || !task->try_claim()) return false;
-  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  bump_ready(slot(vp), class_of(*task), -1);
   return true;
 }
 
 std::size_t WorkStealingPolicy::approx_size() const {
-  const std::int64_t n = ready_count_.load(std::memory_order_relaxed);
+  std::int64_t n = 0;
+  for (const ReadyBank& bank : ready_)
+    for (const auto& c : bank.c) n += c.load(std::memory_order_relaxed);
   return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+std::array<std::size_t, kNumPriorities>
+WorkStealingPolicy::approx_size_by_class() const {
+  std::array<std::size_t, kNumPriorities> by_class{};
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    std::int64_t n = 0;
+    for (const ReadyBank& bank : ready_)
+      n += bank.c[cls].load(std::memory_order_relaxed);
+    by_class[cls] = n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+  return by_class;
 }
 
 }  // namespace anahy

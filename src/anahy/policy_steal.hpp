@@ -51,8 +51,13 @@ class WorkStealingPolicy final : public SchedulingPolicy {
 
   void push(TaskPtr task, int vp) override;
   TaskPtr pop(int vp) override;
-  bool remove_specific(const TaskPtr& task) override;
+  bool remove_specific(const TaskPtr& task, int vp) override;
   [[nodiscard]] std::size_t approx_size() const override;
+  [[nodiscard]] std::array<std::size_t, kNumPriorities> approx_size_by_class()
+      const override;
+  void set_telemetry(observe::Telemetry* telemetry) override {
+    tele_ = telemetry;
+  }
   [[nodiscard]] PolicyKind kind() const override {
     return PolicyKind::kWorkStealing;
   }
@@ -62,6 +67,11 @@ class WorkStealingPolicy final : public SchedulingPolicy {
   /// Without the purge a join-heavy flow accumulates one stale entry per
   /// task, keeping finished tasks alive for the whole run.
   static constexpr std::size_t kStalePurgeThreshold = 64;
+
+  /// Telemetry deque-depth sampling period: one sample per this many
+  /// pushes per slot. Depth is a statistical gauge; sampling every push
+  /// costs an outlined call on the hottest path for no extra information.
+  static constexpr std::uint32_t kDepthSampleStride = 16;
 
   /// Cumulative number of successful steals (for runtime statistics).
   [[nodiscard]] std::uint64_t steals() const {
@@ -87,11 +97,12 @@ class WorkStealingPolicy final : public SchedulingPolicy {
 
   /// Claims `raw` popped/stolen out of a lock-free deque; returns the
   /// keep-alive reference on success, nullptr when the entry was stale.
-  /// `stolen` attributes the claim to the task's job steal counter.
-  TaskPtr claim_deque_entry(Task* raw, bool stolen);
+  /// `stolen` attributes the claim to the task's job steal counter;
+  /// `claimer` is the calling thread's slot (its ready bank is debited).
+  TaskPtr claim_deque_entry(Task* raw, bool stolen, std::size_t claimer);
 
   TaskPtr pop_external(std::size_t cls);
-  TaskPtr steal_external(std::size_t cls);
+  TaskPtr steal_external(std::size_t cls, std::size_t claimer);
 
   /// One full steal sweep of class `cls` over every victim but `self`
   /// (including the external overflow queue).
@@ -103,10 +114,47 @@ class WorkStealingPolicy final : public SchedulingPolicy {
   std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques_;
   mutable std::mutex external_mu_;
   std::array<std::deque<TaskPtr>, kClasses> external_q_;
-  /// Claimable-task counter: +1 on push, -1 on every successful claim
-  /// (pop, steal or remove_specific). O(1) approx_size, maintained with
-  /// relaxed atomics; may transiently undercount by in-flight claims.
-  std::atomic<std::int64_t> ready_count_{0};
+  /// Claimable-task counters, striped per slot so the hottest path never
+  /// touches a shared cache line: +1 on the pushing slot, -1 on the
+  /// *claiming* slot (pop, steal or remove_specific). A slot's value goes
+  /// negative when its tasks are claimed elsewhere; only the sum over
+  /// slots is the live count (O(num_vps) approx_size, transiently off by
+  /// in-flight claims). Every write to a worker bank comes from that VP's
+  /// own thread (plain load + store); the external bank is shared by any
+  /// number of foreign threads (fetch_add). `push_tick` counts pushes for
+  /// the deque-depth sampling stride under the same discipline.
+  struct alignas(64) ReadyBank {
+    std::array<std::atomic<std::int64_t>, kClasses> c{};
+    std::atomic<std::uint32_t> push_tick{0};
+  };
+  std::vector<ReadyBank> ready_;  // num_vps_ + 1; never resized after ctor
+
+  void bump_ready(std::size_t s, std::size_t cls, std::int64_t d) {
+    std::atomic<std::int64_t>& v = ready_[s].c[cls];
+    if (s == num_vps_) {
+      v.fetch_add(d, std::memory_order_relaxed);
+    } else {
+      v.store(v.load(std::memory_order_relaxed) + d,
+              std::memory_order_relaxed);
+    }
+  }
+
+  /// Advances the slot's push counter; true on every kDepthSampleStride-th
+  /// push of that slot.
+  bool tick_push(std::size_t s) {
+    std::atomic<std::uint32_t>& t = ready_[s].push_tick;
+    std::uint32_t v;
+    if (s == num_vps_) {
+      v = t.fetch_add(1, std::memory_order_relaxed) + 1;
+    } else {
+      v = t.load(std::memory_order_relaxed) + 1;
+      t.store(v, std::memory_order_relaxed);
+    }
+    return v % kDepthSampleStride == 0;
+  }
+  /// Telemetry sink (null = detached); fed per-VP steal attempts/successes
+  /// and push-time deque-depth samples.
+  observe::Telemetry* tele_ = nullptr;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> steal_attempts_{0};
   std::atomic<std::uint64_t> rr_seed_{0};

@@ -56,7 +56,8 @@ TaskPtr MutexWorkStealingPolicy::steal_from_others(std::size_t self) {
   return nullptr;
 }
 
-bool MutexWorkStealingPolicy::remove_specific(const TaskPtr& task) {
+bool MutexWorkStealingPolicy::remove_specific(const TaskPtr& task,
+                                              int /*vp*/) {
   for (Deque& d : deques_) {
     std::lock_guard lock(d.mu);
     const auto it = std::find(d.q.begin(), d.q.end(), task);

@@ -24,7 +24,7 @@ class MutexWorkStealingPolicy final : public SchedulingPolicy {
 
   void push(TaskPtr task, int vp) override;
   TaskPtr pop(int vp) override;
-  bool remove_specific(const TaskPtr& task) override;
+  bool remove_specific(const TaskPtr& task, int vp) override;
   [[nodiscard]] std::size_t approx_size() const override;
   [[nodiscard]] PolicyKind kind() const override {
     return PolicyKind::kWorkStealingMutex;

@@ -44,9 +44,19 @@ struct Options {
   /// this being true so drain() means "all admitted work ran").
   bool drain_on_exit = false;
 
+  /// Per-VP runtime telemetry (anahy::observe; docs/OBSERVE.md). On by
+  /// default — a counter feed is one relaxed load+store on a VP-private
+  /// cache line; set false for the measured-zero-overhead configuration.
+  bool telemetry = true;
+
+  /// Span profiling: record each task's execution interval and VP for
+  /// Chrome-trace export (tools/anahy-profile) and per-job work/span
+  /// analysis. Implies `trace`.
+  bool profile = false;
+
   /// Reads ANAHY_NUM_VPS / ANAHY_POLICY / ANAHY_TRACE / ANAHY_CHECK /
-  /// ANAHY_DRAIN_ON_EXIT from the environment, falling back to the
-  /// defaults above.
+  /// ANAHY_DRAIN_ON_EXIT / ANAHY_TELEMETRY / ANAHY_PROFILE from the
+  /// environment, falling back to the defaults above.
   static Options from_env();
 };
 
@@ -92,7 +102,17 @@ class Runtime {
   [[nodiscard]] Scheduler::ListSnapshot lists() const {
     return scheduler_->lists();
   }
-  [[nodiscard]] TraceGraph& trace() { return scheduler_->trace(); }
+  /// Per-VP telemetry snapshot (counters all zero when Options::telemetry
+  /// is off; ready_by_class is always live).
+  [[nodiscard]] observe::Snapshot observe_snapshot() const {
+    return scheduler_->observe_snapshot();
+  }
+  /// The trace graph, with any buffered profiler spans flushed in first so
+  /// callers always see complete execution intervals.
+  [[nodiscard]] TraceGraph& trace() {
+    scheduler_->flush_profile();
+    return scheduler_->trace();
+  }
 
   /// Global runtime used by the C-style athread API. Null until
   /// athread_init (or set_global) is called.

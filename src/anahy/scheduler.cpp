@@ -26,12 +26,19 @@ Scheduler::Scheduler(const Options& opts)
     : instance_id_(g_scheduler_instances.fetch_add(1) + 1),
       opts_(opts),
       policy_(make_policy(opts.policy, opts.num_vps)) {
-  trace_.set_enabled(opts.trace);
-  if (opts.trace) {
+  opts_.trace = opts_.trace || opts_.profile;  // spans need the graph
+  trace_.set_enabled(opts_.trace);
+  if (opts_.trace) {
     // The root flow (the paper's T0) exists before any fork.
     trace_.record_task(kRootTaskId, kInvalidTaskId, 0, false);
     trace_.record_label(kRootTaskId, "main");
   }
+  if (opts_.telemetry) {
+    tele_ = std::make_unique<observe::Telemetry>(opts_.num_vps);
+    policy_->set_telemetry(tele_.get());
+  }
+  if (opts_.profile)
+    profiler_ = std::make_unique<observe::SpanProfiler>(opts_.num_vps);
   if (opts.check) {
     // Serial-elision configuration = one VP (the canonical detection mode;
     // docs/CHECKING.md). The detector also becomes the process-wide sink
@@ -138,19 +145,28 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
   if (detector_ != nullptr) [[unlikely]]
     detector_->on_fork(current_task_id(), id, label, job);
 
+  const int vp = bound_vp();
   if (trace_.enabled()) {
     trace_.record_task(id, f.flow_id, f.level + 1, false, job);
     trace_.record_task_attrs(id, attr.join_number(), attr.data_len());
-    trace_.record_edge(f.flow_id, id, TraceEdgeKind::kFork);
+    // In profile mode the fork edge carries its timestamp and VP so the
+    // Chrome export can draw a flow arrow from the fork site to the
+    // child's first execution slice.
+    if (profiler_ != nullptr)
+      trace_.record_edge_stamped(f.flow_id, id, TraceEdgeKind::kFork,
+                                 trace_.now_ns(), vp);
+    else
+      trace_.record_edge(f.flow_id, id, TraceEdgeKind::kFork);
     if (!label.empty()) trace_.record_label(id, std::move(label));
   }
 
   // Register before publishing to the ready list so a consumer that runs
   // and retires the task instantly always finds the registry entry.
   register_task(task);
-  policy_->push(task, bound_vp());
+  policy_->push(task, vp);
   stats_.record_ready_len(policy_->approx_size());
   stats_.on_task_created();
+  if (tele_ != nullptr) tele_->on_fork(vp);
   // Eventcount notifies: a couple of atomic ops when nobody sleeps; the
   // condvar is only touched for genuinely idle VPs/joiners.
   ready_ec_.notify_one();
@@ -222,6 +238,11 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   // (Job::complete), and must see itself as executed. `cancelled` is final
   // at this point, so the accounting matches the post-body state.
   if (ctx != nullptr) ctx->note_executed(cancelled);
+  // Same ordering for the observe counter: a body may publish its own
+  // completion (a served job's root resolves its handle from inside
+  // invoke()), and an observer that synchronizes with that completion —
+  // drain(), JobHandle::wait() — must already find this run counted.
+  if (tele_ != nullptr) tele_->on_task_run(vp);
 
   // Per-task timing feeds the trace; two clock reads per task are a
   // measurable fraction of a fine-grained task, so skip them untraced.
@@ -250,7 +271,15 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
                         std::chrono::steady_clock::now() - t0)
                         .count();
     task->set_exec_ns(ns);
-    trace_.record_exec_interval(task->id(), trace_start, ns);
+    if (profiler_ != nullptr) {
+      // Profile mode: buffer the span (plus VP and job identity) in the
+      // executing VP's private buffer instead of taking the trace mutex on
+      // every task; flush_profile() folds them into the graph.
+      profiler_->record(vp, task->id(), ctx != nullptr ? ctx->job : 0,
+                        trace_start, ns);
+    } else {
+      trace_.record_exec_interval(task->id(), trace_start, ns);
+    }
   }
 
   // Count the execution BEFORE the task becomes observable as finished, so
@@ -258,7 +287,6 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
   // "Run by main" means run by any thread that is not one of this
   // scheduler's worker VPs — the main flow (even when bound to a VP slot
   // via main_participates) or a foreign helping thread.
-  (void)vp;
   stats_.on_task_executed(!is_bound_worker());
 
   // The finish hook (and the auto-instrumented result write) must precede
@@ -312,9 +340,15 @@ int Scheduler::try_consume(const TaskPtr& task, void** result) {
   }
   if (trace_.enabled()) {
     trace_.record_join_performed(task->id());
-    trace_.record_edge(task->flow_id(), current_frame().flow_id,
-                       TraceEdgeKind::kJoin);
+    if (profiler_ != nullptr)
+      trace_.record_edge_stamped(task->flow_id(), current_frame().flow_id,
+                                 TraceEdgeKind::kJoin, trace_.now_ns(),
+                                 bound_vp());
+    else
+      trace_.record_edge(task->flow_id(), current_frame().flow_id,
+                         TraceEdgeKind::kJoin);
   }
+  if (tele_ != nullptr) tele_->on_join(bound_vp());
   return kOk;
 }
 
@@ -388,7 +422,7 @@ int Scheduler::join(const TaskPtr& task, void** result, int vp) {
 
     if (may_help) {
       // 1) Join-inlining: claim the target itself out of the ready list.
-      if (s == TaskState::kReady && policy_->remove_specific(task)) {
+      if (s == TaskState::kReady && policy_->remove_specific(task, vp)) {
         stats_.on_join_inlined();
         run_task(task, vp);
         continue;
@@ -459,6 +493,7 @@ int Scheduler::join_by_id(TaskId id, void** result, int vp) {
 TaskPtr Scheduler::wait_for_task(int vp, const std::stop_token& st) {
   for (;;) {
     if (TaskPtr task = policy_->pop(vp)) return task;
+    if (tele_ != nullptr) tele_->on_idle_spin(vp);
     const EventCount::Epoch e = ready_ec_.prepare_wait();
     if (st.stop_requested()) {
       ready_ec_.cancel_wait();
@@ -470,7 +505,20 @@ TaskPtr Scheduler::wait_for_task(int vp, const std::stop_token& st) {
       ready_ec_.cancel_wait();
       return task;
     }
-    if (!ready_ec_.commit_wait(e, st)) return nullptr;  // stop requested
+    // Committing to sleep is the cold path, so the two extra clock reads
+    // that meter parked time (the idle-fraction gauge) cost nothing that
+    // matters.
+    if (tele_ == nullptr) {
+      if (!ready_ec_.commit_wait(e, st)) return nullptr;  // stop requested
+    } else {
+      const auto park_start = std::chrono::steady_clock::now();
+      const bool keep = ready_ec_.commit_wait(e, st);
+      tele_->on_idle_park(
+          vp, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - park_start)
+                  .count());
+      if (!keep) return nullptr;  // stop requested
+    }
   }
 }
 
@@ -513,6 +561,26 @@ Scheduler::ListSnapshot Scheduler::lists() const {
   s.blocked = blocked_frames_.load(std::memory_order_relaxed);
   s.unblocked = unblocked_frames_.load(std::memory_order_relaxed);
   return s;
+}
+
+observe::Snapshot Scheduler::observe_snapshot() const {
+  observe::Snapshot s;
+  if (tele_ != nullptr) {
+    s = tele_->snapshot();
+  } else {
+    // Telemetry off: zero counters, but keep the shape so exposition and
+    // the serve stats endpoint still render.
+    s.num_vps = opts_.num_vps;
+    s.per_vp.resize(static_cast<std::size_t>(opts_.num_vps) + 1);
+  }
+  const auto by_class = policy_->approx_size_by_class();
+  for (std::size_t cls = 0; cls < by_class.size(); ++cls)
+    s.ready_by_class[cls] = by_class[cls];
+  return s;
+}
+
+void Scheduler::flush_profile() {
+  if (profiler_ != nullptr) profiler_->flush_into(trace_);
 }
 
 RuntimeStats::Snapshot Scheduler::stats_snapshot() const {

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "anahy/eventcount.hpp"
+#include "anahy/observe/profiler.hpp"
+#include "anahy/observe/telemetry.hpp"
 #include "anahy/policy.hpp"
 #include "anahy/stats.hpp"
 #include "anahy/task.hpp"
@@ -63,6 +65,14 @@ class Scheduler {
     /// Run the determinacy-race detector (anahy::check). Zero cost when
     /// off: the fork/join hot path only tests one pointer.
     bool check = false;
+    /// Per-VP telemetry counters (anahy::observe). On by default: a feed is
+    /// one relaxed load+store on a VP-private cache line. Turning it off is
+    /// the kill switch the overhead benchmark measures against.
+    bool telemetry = true;
+    /// Span profiling: record every task's execution interval + VP into
+    /// per-VP buffers for Chrome-trace export (tools/anahy-profile) and
+    /// work/span analysis. Implies `trace`.
+    bool profile = false;
   };
 
   /// Sizes of the four task lists at one instant (monitoring/tests).
@@ -153,6 +163,19 @@ class Scheduler {
 
   /// Counter snapshot, including steal counters from the active policy.
   [[nodiscard]] RuntimeStats::Snapshot stats_snapshot() const;
+
+  /// Per-VP telemetry snapshot with the ready-task gauge per priority
+  /// class filled in from the active policy. Wait-free with respect to the
+  /// worker VPs. When Options::telemetry is off the counters are all zero
+  /// but the shape (num_vps, ready_by_class) is still filled.
+  [[nodiscard]] observe::Snapshot observe_snapshot() const;
+
+  /// The telemetry counter bank (null when Options::telemetry is off).
+  [[nodiscard]] observe::Telemetry* telemetry() const { return tele_.get(); }
+
+  /// Drains buffered profiler spans into the trace graph (no-op unless
+  /// Options::profile). Idempotent; called before saving the trace.
+  void flush_profile();
 
   [[nodiscard]] RuntimeStats& stats() { return stats_; }
 
@@ -258,6 +281,8 @@ class Scheduler {
   mutable RuntimeStats stats_;
   TraceGraph trace_;
   std::unique_ptr<check::Detector> detector_;
+  std::unique_ptr<observe::Telemetry> tele_;       // null = telemetry off
+  std::unique_ptr<observe::SpanProfiler> profiler_;  // null = profiling off
 
   std::array<Shard, kRegistryShards> shards_;
   EventCount ready_ec_;  // workers waiting for ready tasks

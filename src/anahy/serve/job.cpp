@@ -19,15 +19,18 @@ JobState Job::state() const {
 }
 
 int Job::wait() {
+  // Waiters gate on publish(), not on the kDone flip: between resolve()
+  // and publish() the server is still accounting the result, and a waiter
+  // released early could read stats that miss its own job.
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return state_ == JobState::kDone; });
+  cv_.wait(lock, [&] { return published_; });
   return result_.error;
 }
 
 bool Job::wait_for_ns(std::int64_t timeout_ns) {
   std::unique_lock lock(mu_);
   return cv_.wait_for(lock, std::chrono::nanoseconds{timeout_ns},
-                      [&] { return state_ == JobState::kDone; });
+                      [&] { return published_; });
 }
 
 void Job::mark_running() {
@@ -36,33 +39,45 @@ void Job::mark_running() {
   start_ns_ = TaskContext::now_ns();
 }
 
-void Job::complete(int error, void* value,
-                   std::vector<check::RaceReport> races) {
+bool Job::resolve(int error, void* value,
+                  std::vector<check::RaceReport> races) {
+  std::lock_guard lock(mu_);
+  if (state_ == JobState::kDone) return false;  // first resolution wins
+  const std::int64_t now = TaskContext::now_ns();
+  result_.id = id_;
+  result_.error = error;
+  result_.value = value;
+  result_.races = std::move(races);
+  // An aborted-while-queued job never ran: its whole lifetime is queue
+  // wait. Otherwise wait ends at the root task's start stamp.
+  const std::int64_t started = start_ns_ >= 0 ? start_ns_ : now;
+  result_.stats.queue_wait_ns = started - submit_ns_;
+  result_.stats.exec_ns = start_ns_ >= 0 ? now - start_ns_ : 0;
+  const TaskContext::CounterTotals totals = ctx_->totals();
+  result_.stats.tasks_created = totals.tasks_created;
+  result_.stats.tasks_executed = totals.tasks_executed;
+  result_.stats.tasks_cancelled = totals.tasks_cancelled;
+  result_.stats.steals = totals.steals;
+  state_ = JobState::kDone;
+  return true;
+}
+
+void Job::publish() {
   std::function<void(const JobResult&)> callback;
   {
     std::lock_guard lock(mu_);
-    if (state_ == JobState::kDone) return;  // first resolution wins
-    const std::int64_t now = TaskContext::now_ns();
-    result_.id = id_;
-    result_.error = error;
-    result_.value = value;
-    result_.races = std::move(races);
-    // An aborted-while-queued job never ran: its whole lifetime is queue
-    // wait. Otherwise wait ends at the root task's start stamp.
-    const std::int64_t started = start_ns_ >= 0 ? start_ns_ : now;
-    result_.stats.queue_wait_ns = started - submit_ns_;
-    result_.stats.exec_ns = start_ns_ >= 0 ? now - start_ns_ : 0;
-    const TaskContext::CounterTotals totals = ctx_->totals();
-    result_.stats.tasks_created = totals.tasks_created;
-    result_.stats.tasks_executed = totals.tasks_executed;
-    result_.stats.tasks_cancelled = totals.tasks_cancelled;
-    result_.stats.steals = totals.steals;
-    state_ = JobState::kDone;
+    if (state_ != JobState::kDone || published_) return;
+    published_ = true;
     callback = std::move(spec_.on_complete);
   }
   cv_.notify_all();
   // Outside the job mutex: the callback may inspect the handle freely.
   if (callback) callback(result_);
+}
+
+void Job::complete(int error, void* value,
+                   std::vector<check::RaceReport> races) {
+  if (resolve(error, value, std::move(races))) publish();
 }
 
 }  // namespace anahy::serve

@@ -127,7 +127,22 @@ class Job {
   /// the context, races as given), flips state to kDone, wakes waiters and
   /// fires on_complete. Later calls are no-ops (first resolution wins),
   /// which is what makes shutdown racing normal completion safe.
+  /// Equivalent to `if (resolve(...)) publish();`.
   void complete(int error, void* value, std::vector<check::RaceReport> races);
+
+  /// First half of complete(): fills the result and flips state to kDone
+  /// WITHOUT waking waiters or firing on_complete. The server accounts the
+  /// result between resolve() and publish(), so no observer — a completion
+  /// callback shipping a reply over the wire, or a scraper racing that
+  /// reply — can see a resolved job the stats don't know about yet.
+  /// Returns false when the job was already resolved (the winner
+  /// publishes).
+  [[nodiscard]] bool resolve(int error, void* value,
+                             std::vector<check::RaceReport> races);
+
+  /// Second half of complete(): wakes waiters and fires on_complete.
+  /// Idempotent; a no-op until a resolve() has won.
+  void publish();
 
   /// Moves the user body out for dispatch (server only, called once).
   [[nodiscard]] TaskBody take_body() { return std::move(spec_.body); }
@@ -145,6 +160,7 @@ class Job {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   JobState state_ = JobState::kQueued;
+  bool published_ = false;  ///< resolution announced (waiters, on_complete)
   JobResult result_;
 };
 

@@ -131,14 +131,24 @@ void JobServer::run_root(const JobPtr& job) {
     if (check::Detector* d = rt_->scheduler().detector())
       races = d->reports_for_job(job->id());
   }
-  job->complete(err, err == kOk ? out : nullptr, std::move(races));
+  // Resolve, account, publish, free the slot — in that order. The reply
+  // on_complete ships must find the job already counted (a stats scrape
+  // can synchronize with it), and drain()/shutdown() promise that every
+  // callback has finished, so the active_ erase (what idle_cv_ gates on)
+  // comes last.
+  const bool first =
+      job->resolve(err, err == kOk ? out : nullptr, std::move(races));
+  {
+    std::lock_guard lock(mu_);
+    account_locked(job->result(), job->priority());
+  }
+  if (first) job->publish();
   finish_job(job);
 }
 
 void JobServer::finish_job(const JobPtr& job) {
   std::lock_guard lock(mu_);
   active_.erase(job->id());
-  account_locked(job->result(), job->priority());
   dispatch_cv_.notify_one();
   idle_cv_.notify_all();
 }
@@ -179,15 +189,21 @@ bool JobServer::shutdown(std::int64_t deadline_ns) {
     // observe the cancel and resolve kAborted (or finish first — fine).
     for (auto& [id, j] : active_) j->cancel();
   }
-  // Resolve never-dispatched jobs outside the server lock (on_complete
-  // callbacks may call back into the server).
+  // Resolve never-dispatched jobs outside the server lock, account them,
+  // then publish — the on_complete callbacks (which may call back into the
+  // server) and released waiters must observe stats that already include
+  // the abort.
   for (const JobPtr& j : doomed) {
     j->cancel();
-    j->complete(kAborted, nullptr, {});
+    (void)j->resolve(kAborted, nullptr, {});
   }
+  {
+    std::lock_guard lock(mu_);
+    for (const JobPtr& j : doomed) account_locked(j->result(), j->priority());
+  }
+  for (const JobPtr& j : doomed) j->publish();
 
   std::unique_lock lock(mu_);
-  for (const JobPtr& j : doomed) account_locked(j->result(), j->priority());
   const auto idle = [&] { return pending_count_ == 0 && active_.empty(); };
   if (deadline_ns < 0) {
     idle_cv_.wait(lock, idle);
@@ -201,11 +217,41 @@ ServerStats JobServer::stats() const {
   ServerStats s = agg_;
   s.pending = pending_count_;
   s.active = active_.size();
+  for (std::size_t c = 0; c < kNumPriorities; ++c)
+    s.by_class[c].pending = pending_[c].size();
   return s;
 }
 
 std::string JobServer::metrics_text() const {
   return stats().to_metrics_text();
+}
+
+std::vector<observe::Anomaly> deadline_risk_anomalies(
+    const ServerStats& s, std::size_t max_pending) {
+  std::vector<observe::Anomaly> out;
+  std::uint64_t timed_out = 0;
+  for (const auto& c : s.by_class) timed_out += c.timed_out;
+  if (timed_out > 0) {
+    out.push_back({observe::anomaly_code::kDeadlineRisk,
+                   "deadline-risk: " + std::to_string(timed_out) +
+                       " job(s) already timed out"});
+  }
+  const auto threshold = static_cast<std::uint64_t>(
+      kDeadlineRiskPendingFraction * static_cast<double>(max_pending));
+  if (max_pending > 0 && threshold > 0 && s.pending >= threshold) {
+    out.push_back({observe::anomaly_code::kDeadlineRisk,
+                   "deadline-risk: pending backlog " +
+                       std::to_string(s.pending) + " >= 80% of max_pending " +
+                       std::to_string(max_pending)});
+  }
+  return out;
+}
+
+std::string JobServer::observe_text() const {
+  const observe::Snapshot snap = rt_->observe_snapshot();
+  const std::vector<observe::Anomaly> extra =
+      deadline_risk_anomalies(stats(), opts_.max_pending);
+  return observe::render_text(snap, extra) + metrics_text();
 }
 
 }  // namespace anahy::serve

@@ -35,11 +35,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "anahy/observe/exposition.hpp"
 #include "anahy/runtime.hpp"
 #include "anahy/serve/job.hpp"
 #include "anahy/serve/stats.hpp"
 
 namespace anahy::serve {
+
+/// ANAHY-P003 deadline-risk detection over a server snapshot: the queue
+/// latency threatens job deadlines when jobs already timed out, or the
+/// pending backlog reached kDeadlineRiskPendingFraction of `max_pending`.
+/// Split out from JobServer so tests can drive it with synthetic stats.
+inline constexpr double kDeadlineRiskPendingFraction = 0.8;
+[[nodiscard]] std::vector<observe::Anomaly> deadline_risk_anomalies(
+    const ServerStats& s, std::size_t max_pending);
 
 struct ServerOptions {
   /// Options of the owned runtime. `drain_on_exit` is forced on: a job
@@ -102,6 +111,12 @@ class JobServer {
   /// Prometheus-style text dump of stats() (ServerStats::to_metrics_text).
   [[nodiscard]] std::string metrics_text() const;
 
+  /// Full observability exposition: the runtime's per-VP telemetry
+  /// (observe::render_text with P001/P002 plus this server's P003
+  /// deadline-risk flags) followed by metrics_text(). This is the payload
+  /// the cluster kStatsQuery frame returns (docs/OBSERVE.md).
+  [[nodiscard]] std::string observe_text() const;
+
   /// The owned runtime (e.g. for trace access in tests/tools).
   [[nodiscard]] Runtime& runtime() { return *rt_; }
 
@@ -117,7 +132,8 @@ class JobServer {
   /// resolves the job and releases its active slot.
   void run_root(const JobPtr& job);
 
-  /// Bookkeeping after a job resolved (active slot, stats, wakeups).
+  /// Releases a published job's active slot and wakes the dispatcher and
+  /// drain()/shutdown() waiters; stats were accounted before publish.
   void finish_job(const JobPtr& job);
 
   /// Folds a resolved job's result into `agg_` (mu_ held).

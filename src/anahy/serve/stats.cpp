@@ -48,6 +48,8 @@ std::string ServerStats::to_metrics_text() const {
             [](const ClassStats& c) { return c.tasks; });
   per_class("anahy_serve_steals_total",
             [](const ClassStats& c) { return c.steals; });
+  per_class("anahy_serve_jobs_pending_by_class",
+            [](const ClassStats& c) { return c.pending; });
   return out.str();
 }
 

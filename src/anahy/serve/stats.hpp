@@ -23,6 +23,7 @@ struct ServerStats {
     std::int64_t exec_ns_sum = 0;
     std::uint64_t tasks = 0;   ///< tasks executed on behalf of the class
     std::uint64_t steals = 0;  ///< class tasks migrated between VPs
+    std::uint64_t pending = 0;  ///< gauge: admitted, not yet dispatched
   };
 
   std::array<ClassStats, kNumPriorities> by_class;

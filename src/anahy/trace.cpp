@@ -26,6 +26,14 @@ void TraceGraph::record_edge(TaskId from, TaskId to, TraceEdgeKind kind) {
   edges_.push_back({from, to, kind});
 }
 
+void TraceGraph::record_edge_stamped(TaskId from, TaskId to,
+                                     TraceEdgeKind kind, std::int64_t ts_ns,
+                                     int vp) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  edges_.push_back({from, to, kind, ts_ns, vp});
+}
+
 void TraceGraph::record_exec_ns(TaskId id, std::int64_t ns) {
   if (!enabled_) return;
   std::lock_guard lock(mu_);
@@ -41,6 +49,18 @@ void TraceGraph::record_exec_interval(TaskId id, std::int64_t start_ns,
   if (it != nodes_.end()) {
     it->second.start_ns = start_ns;
     it->second.exec_ns = dur_ns;
+  }
+}
+
+void TraceGraph::record_span(TaskId id, std::int64_t start_ns,
+                             std::int64_t dur_ns, int vp) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second.start_ns = start_ns;
+    it->second.exec_ns = dur_ns;
+    it->second.vp = vp;
   }
 }
 
@@ -215,6 +235,7 @@ namespace {
 // (but not newlines, which record_label callers never produce).
 constexpr const char* kTraceHeaderV1 = "anahy-trace v1";
 constexpr const char* kTraceHeaderV2 = "anahy-trace v2";
+constexpr const char* kTraceHeaderV3 = "anahy-trace v3";
 
 const char* edge_kind_name(TraceEdgeKind k) {
   switch (k) {
@@ -246,17 +267,17 @@ std::string rest_of_line(std::istringstream& in) {
 
 void TraceGraph::save(std::ostream& out) const {
   std::lock_guard lock(mu_);
-  out << kTraceHeaderV2 << '\n';
+  out << kTraceHeaderV3 << '\n';
   for (const auto& [id, n] : nodes_) {
     out << "node " << n.id << ' ' << static_cast<std::int64_t>(n.parent)
         << ' ' << n.level << ' ' << (n.is_continuation ? 1 : 0) << ' '
         << n.start_ns << ' ' << n.exec_ns << ' ' << n.join_number << ' '
         << n.joins_performed << ' ' << n.data_len << ' ' << n.job << ' '
-        << n.label << '\n';
+        << n.vp << ' ' << n.label << '\n';
   }
   for (const TraceEdge& e : edges_)
     out << "edge " << e.from << ' ' << e.to << ' ' << edge_kind_name(e.kind)
-        << '\n';
+        << ' ' << e.ts_ns << ' ' << e.vp << '\n';
   for (const TraceAnomaly& a : anomalies_)
     out << "anomaly " << a.code << ' ' << a.task << ' ' << a.detail << '\n';
 }
@@ -276,9 +297,11 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
 
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kTraceHeaderV1 && line != kTraceHeaderV2))
-    return fail(1, "missing 'anahy-trace v1'/'v2' header");
-  const bool v2 = line == kTraceHeaderV2;
+      (line != kTraceHeaderV1 && line != kTraceHeaderV2 &&
+       line != kTraceHeaderV3))
+    return fail(1, "missing 'anahy-trace v1'/'v2'/'v3' header");
+  const bool v3 = line == kTraceHeaderV3;
+  const bool v2 = v3 || line == kTraceHeaderV2;
 
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -294,6 +317,7 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
       ls >> n.id >> parent >> n.level >> cont >> n.start_ns >> n.exec_ns >>
           n.join_number >> n.joins_performed >> n.data_len;
       if (v2) ls >> n.job;
+      if (v3) ls >> n.vp;
       if (ls.fail()) return fail(line_no, "malformed node record");
       n.parent = parent < 0 ? kInvalidTaskId : static_cast<TaskId>(parent);
       n.is_continuation = cont != 0;
@@ -305,6 +329,10 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
       ls >> e.from >> e.to >> ek;
       if (ls.fail() || !parse_edge_kind(ek, &e.kind))
         return fail(line_no, "malformed edge record");
+      if (v3) {
+        ls >> e.ts_ns >> e.vp;
+        if (ls.fail()) return fail(line_no, "malformed edge record");
+      }
       edges_.push_back(e);
     } else if (kind == "anomaly") {
       TraceAnomaly a;

@@ -37,7 +37,13 @@ struct TraceNode {
   int joins_performed = 0;          ///< joins actually consumed on this task
   std::uint64_t data_len = 0;       ///< declared payload size (attr datalen)
   std::uint64_t job = 0;            ///< owning serve job id (0 = none)
+  int vp = kUnknownVp;              ///< executing VP slot (trace v3; -2 =
+                                    ///< unknown, -1 = external thread)
   std::string label;                ///< optional user label
+
+  /// Sentinel for "profiling was off / pre-v3 trace": distinct from the
+  /// external-thread id (kExternalVp == -1).
+  static constexpr int kUnknownVp = -2;
 };
 
 /// Directed edge kinds of the execution graph.
@@ -51,6 +57,9 @@ struct TraceEdge {
   TaskId from = kInvalidTaskId;
   TaskId to = kInvalidTaskId;
   TraceEdgeKind kind = TraceEdgeKind::kFork;
+  std::int64_t ts_ns = -1;  ///< when the edge event happened, relative to
+                            ///< the trace epoch (trace v3; -1 = unstamped)
+  int vp = TraceNode::kUnknownVp;  ///< VP that performed the fork/join
 };
 
 /// A runtime anomaly observed online (as opposed to the structural
@@ -74,11 +83,19 @@ class TraceGraph {
   void record_task(TaskId id, TaskId parent, std::uint32_t level,
                    bool is_continuation, std::uint64_t job = 0);
   void record_edge(TaskId from, TaskId to, TraceEdgeKind kind);
+  /// record_edge plus the event timestamp and performing VP (trace v3;
+  /// written in profile mode so flow arrows can be drawn between tracks).
+  void record_edge_stamped(TaskId from, TaskId to, TraceEdgeKind kind,
+                           std::int64_t ts_ns, int vp);
   void record_exec_ns(TaskId id, std::int64_t ns);
   /// Records the task's execution interval [start, start + dur) relative
   /// to the trace epoch.
   void record_exec_interval(TaskId id, std::int64_t start_ns,
                             std::int64_t dur_ns);
+  /// record_exec_interval plus the executing VP slot (trace v3). This is
+  /// the sink SpanProfiler::flush_into drains buffered spans through.
+  void record_span(TaskId id, std::int64_t start_ns, std::int64_t dur_ns,
+                   int vp);
   void record_label(TaskId id, std::string label);
 
   /// Records the creation attributes the linter checks against: declared
@@ -116,14 +133,17 @@ class TraceGraph {
   /// GraphViz DOT rendering; continuations are drawn as dashed boxes.
   [[nodiscard]] std::string to_dot() const;
 
-  /// Serializes the trace to a line-oriented text format (`anahy-trace v2`
+  /// Serializes the trace to a line-oriented text format (`anahy-trace v3`
   /// header, then `node`/`edge`/`anomaly` records) that load() reads back
-  /// and `anahy-lint` replays. v2 adds a per-node job-id column.
+  /// and `anahy-lint` replays. v2 added a per-node job-id column; v3 adds
+  /// a per-node vp column and per-edge timestamp/vp columns (filled in
+  /// profile mode, sentinel otherwise).
   void save(std::ostream& out) const;
 
-  /// Replaces this graph's contents with a trace parsed from `in`. Both
-  /// `anahy-trace v1` and `v2` headers are accepted (v1 nodes load with
-  /// job = 0). Parsing is tolerant: a truncated or partially corrupt file
+  /// Replaces this graph's contents with a trace parsed from `in`. The
+  /// `anahy-trace v1`, `v2` and `v3` headers are all accepted (v1 nodes
+  /// load with job = 0; pre-v3 records load with vp unknown and edges
+  /// unstamped). Parsing is tolerant: a truncated or partially corrupt file
   /// keeps every record that parsed, returns false, and describes the first
   /// problem in `*error` (when non-null). A missing/foreign header fails
   /// immediately.

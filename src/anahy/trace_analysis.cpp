@@ -1,6 +1,7 @@
 #include "anahy/trace_analysis.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <sstream>
@@ -154,6 +155,139 @@ std::string gantt_csv(const TraceGraph& trace) {
     out << 'T' << iv.id << ',' << iv.label << ',' << iv.level << ','
         << iv.start_ns << ',' << iv.end_ns << ',' << (iv.end_ns - iv.start_ns)
         << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Longest path (sum of node costs) over `preds`, ignoring back edges the
+/// same way TraceGraph::span_ns does. `cost` defines the node universe;
+/// predecessors outside it contribute nothing.
+std::int64_t longest_path_ns(const std::map<TaskId, std::int64_t>& cost,
+                             const std::map<TaskId, std::vector<TaskId>>& preds) {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<TaskId, Color> color;
+  std::map<TaskId, std::int64_t> best;
+  struct Frame {
+    TaskId id;
+    std::size_t next_pred = 0;
+  };
+  for (const auto& [root, root_cost] : cost) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto p = preds.find(f.id);
+      bool descended = false;
+      while (p != preds.end() && f.next_pred < p->second.size()) {
+        const TaskId pred = p->second[f.next_pred++];
+        if (cost.find(pred) == cost.end()) continue;  // outside the universe
+        Color& c = color[pred];
+        if (c == Color::kWhite) {
+          c = Color::kGray;
+          stack.push_back({pred});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      std::int64_t b = 0;
+      if (p != preds.end())
+        for (const TaskId pred : p->second)
+          if (color[pred] == Color::kBlack) b = std::max(b, best[pred]);
+      const auto c = cost.find(f.id);
+      best[f.id] = (c == cost.end() ? 0 : c->second) + b;
+      color[f.id] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+  std::int64_t span = 0;
+  for (const auto& [id, b] : best) span = std::max(span, b);
+  return span;
+}
+
+}  // namespace
+
+std::vector<JobProfile> job_profiles(const TraceGraph& trace) {
+  const auto nodes = trace.nodes();
+  const auto edges = trace.edges();
+
+  std::map<TaskId, std::uint64_t> job_of;
+  std::map<std::uint64_t, JobProfile> jobs;
+  std::map<std::uint64_t, std::map<TaskId, std::int64_t>> costs;
+  for (const TraceNode& n : nodes) {
+    job_of[n.id] = n.job;
+    JobProfile& p = jobs[n.job];
+    p.job = n.job;
+    ++p.tasks;
+    if (n.is_continuation) ++p.continuations;
+    p.data_len += n.data_len;
+    p.work_ns += n.exec_ns;
+    costs[n.job][n.id] = n.exec_ns;
+  }
+
+  // Span is computed per job over the edges internal to it; a cross-job
+  // edge (possible only through hand-edited traces) is simply dropped.
+  std::map<std::uint64_t, std::map<TaskId, std::vector<TaskId>>> preds;
+  for (const TraceEdge& e : edges) {
+    const auto jf = job_of.find(e.from);
+    const auto jt = job_of.find(e.to);
+    if (jf == job_of.end() || jt == job_of.end() || jf->second != jt->second)
+      continue;
+    preds[jf->second][e.to].push_back(e.from);
+  }
+
+  std::vector<JobProfile> out;
+  out.reserve(jobs.size());
+  for (auto& [job, profile] : jobs) {
+    profile.span_ns = longest_path_ns(costs[job], preds[job]);
+    out.push_back(profile);
+  }
+  return out;
+}
+
+std::string trace_stats_text(const TraceGraph& trace) {
+  const auto nodes = trace.nodes();
+  const auto edges = trace.edges();
+
+  std::size_t continuations = 0;
+  std::size_t executed = 0;
+  std::map<std::uint32_t, std::size_t> depth_hist;
+  for (const TraceNode& n : nodes) {
+    if (n.is_continuation) ++continuations;
+    if (n.start_ns >= 0) ++executed;
+    ++depth_hist[n.level];
+  }
+  std::size_t forks = 0, joins = 0, continues = 0, stamped = 0;
+  for (const TraceEdge& e : edges) {
+    switch (e.kind) {
+      case TraceEdgeKind::kFork: ++forks; break;
+      case TraceEdgeKind::kJoin: ++joins; break;
+      case TraceEdgeKind::kContinue: ++continues; break;
+    }
+    if (e.ts_ns >= 0) ++stamped;
+  }
+
+  std::ostringstream out;
+  out << "anahy-trace stats\n";
+  out << "nodes " << nodes.size() << " (continuations " << continuations
+      << ", executed " << executed << ")\n";
+  out << "edges " << edges.size() << " (fork " << forks << ", join " << joins
+      << ", continue " << continues << ", stamped " << stamped << ")\n";
+  out << "anomalies " << trace.anomalies().size() << "\n";
+  out << "fork-depth histogram:\n";
+  for (const auto& [level, count] : depth_hist)
+    out << "  level " << level << ": " << count << "\n";
+  out << "jobs:\n";
+  char par[32];
+  for (const JobProfile& p : job_profiles(trace)) {
+    std::snprintf(par, sizeof(par), "%.2f", p.parallelism());
+    out << "  job " << p.job << ": tasks " << p.tasks << " (continuations "
+        << p.continuations << "), datalen " << p.data_len << ", work_ns "
+        << p.work_ns << ", span_ns " << p.span_ns << ", parallelism " << par
+        << "\n";
   }
   return out.str();
 }

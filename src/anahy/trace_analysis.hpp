@@ -53,6 +53,34 @@ struct ExecInterval {
 /// executed task, ready for a spreadsheet Gantt chart.
 [[nodiscard]] std::string gantt_csv(const TraceGraph& trace);
 
+/// Work/span summary of one serve job's slice of the trace (job 0 collects
+/// the tasks that belong to no job, e.g. a standalone program's whole run).
+struct JobProfile {
+  std::uint64_t job = 0;
+  std::size_t tasks = 0;          ///< nodes owned by the job
+  std::size_t continuations = 0;  ///< of which continuation markers
+  std::uint64_t data_len = 0;     ///< summed declared payload bytes
+  std::int64_t work_ns = 0;       ///< T1: summed execution time
+  std::int64_t span_ns = 0;       ///< T-infinity within the job's subgraph
+
+  /// T1 / T-infinity (0 when the job never executed anything).
+  [[nodiscard]] double parallelism() const {
+    return span_ns > 0 ? static_cast<double>(work_ns) /
+                             static_cast<double>(span_ns)
+                       : 0.0;
+  }
+};
+
+/// Per-job work/span profiles, ordered by job id. The span is the longest
+/// path through the edges whose endpoints both belong to the job (the same
+/// back-edge-tolerant longest path as TraceGraph::span_ns).
+[[nodiscard]] std::vector<JobProfile> job_profiles(const TraceGraph& trace);
+
+/// Deterministic plain-text rollup of a trace: node/edge/anomaly counts,
+/// fork-depth (level) histogram, and one work/span line per job. This is
+/// the `anahy-lint --stats` output; tests pin the format.
+[[nodiscard]] std::string trace_stats_text(const TraceGraph& trace);
+
 // ---------------------------------------------------------------------------
 // DAG structural linter
 // ---------------------------------------------------------------------------

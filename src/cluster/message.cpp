@@ -37,6 +37,14 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       w.u64(msg.job_done.races);
       w.bytes(msg.job_done.payload);
       break;
+    case MsgType::kStatsQuery:
+      w.u32(msg.stats_query.client);
+      w.u64(msg.stats_query.request_id);
+      break;
+    case MsgType::kStatsReply:
+      w.u64(msg.stats_reply.request_id);
+      w.str(msg.stats_reply.text);
+      break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
       break;
@@ -77,6 +85,14 @@ Message decode(std::span<const std::uint8_t> frame) {
       msg.job_done.error = r.u32();
       msg.job_done.races = r.u64();
       msg.job_done.payload = r.bytes();
+      break;
+    case MsgType::kStatsQuery:
+      msg.stats_query.client = r.u32();
+      msg.stats_query.request_id = r.u64();
+      break;
+    case MsgType::kStatsReply:
+      msg.stats_reply.request_id = r.u64();
+      msg.stats_reply.text = r.str();
       break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
@@ -142,6 +158,20 @@ Message make_job_done(std::uint64_t request_id, std::uint32_t error,
   Message m;
   m.type = MsgType::kJobDone;
   m.job_done = {request_id, error, races, std::move(payload)};
+  return m;
+}
+
+Message make_stats_query(std::uint32_t client, std::uint64_t request_id) {
+  Message m;
+  m.type = MsgType::kStatsQuery;
+  m.stats_query = {client, request_id};
+  return m;
+}
+
+Message make_stats_reply(std::uint64_t request_id, std::string text) {
+  Message m;
+  m.type = MsgType::kStatsReply;
+  m.stats_reply = {request_id, std::move(text)};
   return m;
 }
 

@@ -18,6 +18,8 @@ enum class MsgType : std::uint8_t {
   kShutdown = 5,      ///< cluster is terminating
   kJobSubmit = 6,  ///< client -> serve front-end: run a registered fn
   kJobDone = 7,    ///< serve front-end -> client: the job resolved
+  kStatsQuery = 8,  ///< client -> serve front-end: telemetry exposition?
+  kStatsReply = 9,  ///< serve front-end -> client: the exposition text
 };
 
 /// A task that can cross node boundaries: function *by name* (both sides
@@ -63,6 +65,19 @@ struct JobDoneMsg {
   std::vector<std::uint8_t> payload;  ///< result bytes (kOk only)
 };
 
+/// Telemetry pull: asks a serve front-end for its current observability
+/// exposition (JobServer::observe_text — per-VP counters, derived gauges,
+/// ANAHY-Pxxx anomaly flags and /metrics counters as one text document).
+struct StatsQueryMsg {
+  std::uint32_t client = 0;       ///< where the kStatsReply goes
+  std::uint64_t request_id = 0;   ///< correlation id echoed in the reply
+};
+
+struct StatsReplyMsg {
+  std::uint64_t request_id = 0;
+  std::string text;  ///< Prometheus-style exposition (UTF-8)
+};
+
 /// Tagged union of everything that can arrive at a node.
 struct Message {
   MsgType type = MsgType::kShutdown;
@@ -71,6 +86,8 @@ struct Message {
   StealRequestMsg steal;
   JobSubmitMsg job_submit;
   JobDoneMsg job_done;
+  StatsQueryMsg stats_query;
+  StatsReplyMsg stats_reply;
 };
 
 /// Frame (de)serialization. Frames are self-contained byte vectors.
@@ -95,5 +112,9 @@ struct Message {
 [[nodiscard]] Message make_job_done(std::uint64_t request_id,
                                     std::uint32_t error, std::uint64_t races,
                                     std::vector<std::uint8_t> payload);
+[[nodiscard]] Message make_stats_query(std::uint32_t client,
+                                       std::uint64_t request_id);
+[[nodiscard]] Message make_stats_reply(std::uint64_t request_id,
+                                       std::string text);
 
 }  // namespace cluster

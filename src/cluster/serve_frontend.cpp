@@ -24,9 +24,20 @@ void ServeFrontEnd::pump() {
     if (!transport_.recv(frame, std::chrono::microseconds{1000})) continue;
     Message msg = decode(frame);
     if (msg.type == MsgType::kShutdown) return;
+    if (msg.type == MsgType::kStatsQuery) {
+      handle_stats_query(msg.stats_query);
+      continue;
+    }
     if (msg.type != MsgType::kJobSubmit) continue;  // not ours; drop
     handle_submit(std::move(msg.job_submit));
   }
+}
+
+void ServeFrontEnd::handle_stats_query(const StatsQueryMsg& msg) {
+  stats_queries_.fetch_add(1, std::memory_order_relaxed);
+  transport_.send(
+      msg.client,
+      encode(make_stats_reply(msg.request_id, server_.observe_text())));
 }
 
 void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
@@ -109,6 +120,37 @@ bool ServeClient::wait(std::uint64_t request_id, Reply& out,
     if (!transport_.recv(frame, left)) return false;
     Message msg = decode(frame);
     if (msg.type != MsgType::kJobDone) continue;
+    Reply r;
+    r.error = static_cast<int>(msg.job_done.error);
+    r.races = msg.job_done.races;
+    r.payload = std::move(msg.job_done.payload);
+    ready_.emplace(msg.job_done.request_id, std::move(r));
+  }
+}
+
+bool ServeClient::query_stats(std::string& out,
+                              std::chrono::microseconds timeout) {
+  const std::uint64_t id = next_request_++;
+  transport_.send(
+      server_node_,
+      encode(make_stats_query(static_cast<std::uint32_t>(transport_.node_id()),
+                              id)));
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+    std::vector<std::uint8_t> frame;
+    if (!transport_.recv(frame, left)) return false;
+    Message msg = decode(frame);
+    if (msg.type == MsgType::kStatsReply) {
+      if (msg.stats_reply.request_id != id) continue;  // stale; drop
+      out = std::move(msg.stats_reply.text);
+      return true;
+    }
+    if (msg.type != MsgType::kJobDone) continue;
+    // A job resolved while we were polling stats: keep it for wait().
     Reply r;
     r.error = static_cast<int>(msg.job_done.error);
     r.races = msg.job_done.races;

@@ -11,6 +11,7 @@
 //   ServeFrontEnd(server, tp, reg) <--- ServeClient(tp, server_node)
 //        kJobSubmit {fn, payload, priority, timeout, check}
 //        kJobDone   {error, races, result bytes}
+//        kStatsQuery {}                 kStatsReply {exposition text}
 //
 // One front-end pump thread receives; replies are sent from whichever VP
 // completes the job (Transport::send is thread-safe).
@@ -20,6 +21,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,15 +55,22 @@ class ServeFrontEnd {
     return submissions_.load(std::memory_order_relaxed);
   }
 
+  /// kStatsQuery frames answered so far.
+  [[nodiscard]] std::uint64_t stats_queries() const {
+    return stats_queries_.load(std::memory_order_relaxed);
+  }
+
  private:
   void pump();
   void handle_submit(JobSubmitMsg msg);
+  void handle_stats_query(const StatsQueryMsg& msg);
 
   anahy::serve::JobServer& server_;
   Transport& transport_;
   const Registry& registry_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> submissions_{0};
+  std::atomic<std::uint64_t> stats_queries_{0};
   std::thread pump_;
 };
 
@@ -90,6 +99,12 @@ class ServeClient {
   /// waiting is fine). False on timeout.
   bool wait(std::uint64_t request_id, Reply& out,
             std::chrono::microseconds timeout);
+
+  /// Synchronous telemetry pull: sends kStatsQuery and waits up to
+  /// `timeout` for the matching kStatsReply, writing the server's
+  /// observe_text() exposition into `out`. Job replies arriving in the
+  /// meantime are buffered for later wait() calls. False on timeout.
+  bool query_stats(std::string& out, std::chrono::microseconds timeout);
 
  private:
   Transport& transport_;

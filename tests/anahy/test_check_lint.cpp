@@ -299,7 +299,7 @@ TEST(CheckLint, RoundTripPreservesNodeFields) {
   EXPECT_EQ(anomalies[0].detail, "detail text with spaces");
 }
 
-TEST(CheckLint, SaveWritesV2HeaderAndJobColumnRoundTrips) {
+TEST(CheckLint, SaveWritesV3HeaderAndJobColumnRoundTrips) {
   TraceGraph trace;
   trace.set_enabled(true);
   trace.record_task(7, 3, 2, false, /*job=*/42);
@@ -308,15 +308,36 @@ TEST(CheckLint, SaveWritesV2HeaderAndJobColumnRoundTrips) {
 
   std::stringstream file;
   trace.save(file);
-  EXPECT_EQ(file.str().rfind("anahy-trace v2\n", 0), 0u)
-      << "saved traces carry the v2 header";
+  EXPECT_EQ(file.str().rfind("anahy-trace v3\n", 0), 0u)
+      << "saved traces carry the v3 header";
 
   TraceGraph back;
   ASSERT_TRUE(back.load(file));
   const auto nodes = back.nodes();
   ASSERT_EQ(nodes.size(), 1u);
   EXPECT_EQ(nodes[0].job, 42u);
+  EXPECT_EQ(nodes[0].vp, TraceNode::kUnknownVp);
   EXPECT_EQ(nodes[0].label, "job task");
+}
+
+TEST(CheckLint, V2TracesLoadWithUnknownVp) {
+  // Pre-v3 traces have no vp column on nodes and no ts/vp on edges.
+  std::istringstream in(
+      "anahy-trace v2\n"
+      "node 1 -1 0 0 -1 0 1 1 0 9 v2 label\n"
+      "edge 0 1 fork\n");
+  TraceGraph trace;
+  std::string error;
+  ASSERT_TRUE(trace.load(in, &error)) << error;
+  const auto nodes = trace.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].job, 9u);
+  EXPECT_EQ(nodes[0].vp, TraceNode::kUnknownVp);
+  EXPECT_EQ(nodes[0].label, "v2 label");
+  const auto edges = trace.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].ts_ns, -1);
+  EXPECT_EQ(edges[0].vp, TraceNode::kUnknownVp);
 }
 
 TEST(CheckLint, V1TracesLoadWithJobZero) {
@@ -335,7 +356,7 @@ TEST(CheckLint, V1TracesLoadWithJobZero) {
 }
 
 TEST(CheckLint, ForeignHeaderVersionIsRejected) {
-  std::istringstream in("anahy-trace v3\nnode 1 -1 0 0 -1 0 1 1 0 0 x\n");
+  std::istringstream in("anahy-trace v4\nnode 1 -1 0 0 -1 0 1 1 0 0 0 x\n");
   TraceGraph trace;
   std::string error;
   EXPECT_FALSE(trace.load(in, &error));

@@ -117,7 +117,7 @@ TEST(WorkStealingClaim, ConcurrentPopsAndRemovesClaimEachTaskOnce) {
   // The joiner: tries to inline specific tasks while the poppers drain.
   threads.emplace_back([&] {
     for (const auto& t : tasks) {
-      if (policy.remove_specific(t))
+      if (policy.remove_specific(t, SchedulingPolicy::kExternalVp))
         claimed.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -145,7 +145,7 @@ TEST(WorkStealingClaim, PopDiscardsStaleEntryLeftByRemoveSpecific) {
   auto b = make_task(2);
   policy.push(a, 0);
   policy.push(b, 0);  // owner end: b is on top of a
-  EXPECT_TRUE(policy.remove_specific(b));
+  EXPECT_TRUE(policy.remove_specific(b, 0));
   EXPECT_EQ(policy.pop(0), a);  // b's stale entry is silently discarded
   EXPECT_EQ(policy.pop(0), nullptr);
   EXPECT_EQ(policy.approx_size(), 0u);

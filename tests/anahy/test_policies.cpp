@@ -50,8 +50,9 @@ TEST_P(PolicyTest, RemoveSpecificTakesExactTask) {
   policy->push(a, 0);
   policy->push(b, 1);
   policy->push(c, 0);
-  EXPECT_TRUE(policy->remove_specific(b));
-  EXPECT_FALSE(policy->remove_specific(b));  // already removed
+  EXPECT_TRUE(policy->remove_specific(b, SchedulingPolicy::kExternalVp));
+  EXPECT_FALSE(policy->remove_specific(
+      b, SchedulingPolicy::kExternalVp));  // already removed
   EXPECT_EQ(policy->approx_size(), 2u);
   // The remaining pops never return b.
   const TaskPtr p1 = policy->pop(0);

@@ -120,6 +120,71 @@ TEST(TraceAnalysis, GanttCsvWellFormed) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
 }
 
+TEST(TraceAnalysis, JobProfilesSliceWorkAndSpanPerJob) {
+  // Hand-built two-job trace. Job 1: a 2-task chain (span = sum). Job 2:
+  // two independent tasks under a zero-cost root (span = the longer one).
+  TraceGraph g;
+  g.set_enabled(true);
+  g.record_task(1, 0, 0, false, 1);
+  g.record_task(2, 1, 1, false, 1);
+  g.record_edge(1, 2, TraceEdgeKind::kFork);
+  g.record_exec_interval(1, 0, 100);
+  g.record_exec_interval(2, 100, 50);
+
+  g.record_task(3, 0, 0, false, 2);
+  g.record_task(4, 3, 1, false, 2);
+  g.record_task(5, 3, 1, false, 2);
+  g.record_edge(3, 4, TraceEdgeKind::kFork);
+  g.record_edge(3, 5, TraceEdgeKind::kFork);
+  g.record_exec_interval(3, 0, 0);
+  g.record_exec_interval(4, 10, 70);
+  g.record_exec_interval(5, 10, 30);
+
+  const auto profiles = job_profiles(g);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].job, 1u);
+  EXPECT_EQ(profiles[0].tasks, 2u);
+  EXPECT_EQ(profiles[0].work_ns, 150);
+  EXPECT_EQ(profiles[0].span_ns, 150);  // chain: span == work
+  EXPECT_DOUBLE_EQ(profiles[0].parallelism(), 1.0);
+  EXPECT_EQ(profiles[1].job, 2u);
+  EXPECT_EQ(profiles[1].tasks, 3u);
+  EXPECT_EQ(profiles[1].work_ns, 100);
+  EXPECT_EQ(profiles[1].span_ns, 70);  // fan-out: the longer branch
+  EXPECT_DOUBLE_EQ(profiles[1].parallelism(), 100.0 / 70.0);
+}
+
+TEST(TraceAnalysis, StatsTextGoldenOutput) {
+  // The `anahy-lint --stats` rollup is deterministic; pin it exactly.
+  TraceGraph g;
+  g.set_enabled(true);
+  g.record_task(1, 0, 0, false, 1);
+  g.record_task(2, 1, 1, false, 1);
+  g.record_edge(1, 2, TraceEdgeKind::kFork);
+  g.record_edge_stamped(2, 1, TraceEdgeKind::kJoin, 160, 0);
+  g.record_exec_interval(1, 0, 100);
+  g.record_exec_interval(2, 100, 50);
+  g.record_task_attrs(2, 1, 8);
+
+  EXPECT_EQ(trace_stats_text(g),
+            "anahy-trace stats\n"
+            "nodes 2 (continuations 0, executed 2)\n"
+            "edges 2 (fork 1, join 1, continue 0, stamped 1)\n"
+            "anomalies 0\n"
+            "fork-depth histogram:\n"
+            "  level 0: 1\n"
+            "  level 1: 1\n"
+            "jobs:\n"
+            "  job 1: tasks 2 (continuations 0), datalen 8, work_ns 150, "
+            "span_ns 150, parallelism 1.00\n");
+}
+
+TEST(TraceAnalysis, StatsTextHandlesEmptyTrace) {
+  const std::string text = trace_stats_text(TraceGraph{});
+  EXPECT_NE(text.find("nodes 0"), std::string::npos);
+  EXPECT_NE(text.find("anomalies 0"), std::string::npos);
+}
+
 TEST(TraceAnalysis, DisabledTraceYieldsNothing) {
   Runtime rt(Options{.num_vps = 1});
   spawn(rt, spin_value).join();

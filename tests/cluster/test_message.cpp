@@ -39,6 +39,31 @@ TEST(Message, ControlMessagesRoundTrip) {
   EXPECT_EQ(decode(encode(make_shutdown())).type, MsgType::kShutdown);
 }
 
+TEST(Message, StatsQueryRoundTrip) {
+  const Message d = decode(encode(make_stats_query(4, 99)));
+  EXPECT_EQ(d.type, MsgType::kStatsQuery);
+  EXPECT_EQ(d.stats_query.client, 4u);
+  EXPECT_EQ(d.stats_query.request_id, 99u);
+}
+
+TEST(Message, StatsReplyRoundTrip) {
+  const std::string text =
+      "anahy_observe_epoch 3\nanahy_observe_anomaly{code=\"ANAHY-P001\"} 1\n";
+  const Message d = decode(encode(make_stats_reply(99, text)));
+  EXPECT_EQ(d.type, MsgType::kStatsReply);
+  EXPECT_EQ(d.stats_reply.request_id, 99u);
+  EXPECT_EQ(d.stats_reply.text, text);
+
+  const Message empty = decode(encode(make_stats_reply(1, "")));
+  EXPECT_TRUE(empty.stats_reply.text.empty());
+}
+
+TEST(Message, RejectsTruncatedStatsReply) {
+  auto frame = encode(make_stats_reply(7, "some exposition text"));
+  frame.resize(frame.size() - 5);
+  EXPECT_THROW((void)decode(frame), std::runtime_error);
+}
+
 TEST(Message, RejectsUnknownType) {
   const std::vector<std::uint8_t> junk = {99};
   EXPECT_THROW((void)decode(junk), std::runtime_error);

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -445,6 +446,122 @@ TEST(JobServer, UncheckedJobCollectsNoRacesOnCheckServer) {
   JobHandle h = server.submit(std::move(racy));
   ASSERT_EQ(h.wait(), kOk);
   EXPECT_TRUE(h.result().races.empty());
+}
+
+TEST(ServeStats, CountersWrapAroundModularly) {
+  // ServerStats counters are uint64 and monotonic for the server's
+  // lifetime; a synthetic near-max snapshot must wrap modularly (defined
+  // behavior) and keep rendering — a scraper sees the wrapped value and
+  // its rate logic (delta with wraparound) still works.
+  ServerStats s;
+  ServerStats::ClassStats& c = s.of(Priority::kNormal);
+  c.submitted = std::numeric_limits<std::uint64_t>::max();
+  ++c.submitted;
+  EXPECT_EQ(c.submitted, 0u);
+  c.submitted = std::numeric_limits<std::uint64_t>::max() - 1;
+  c.submitted += 3;  // wraps past max
+  EXPECT_EQ(c.submitted, 1u);
+  EXPECT_EQ(s.submitted_total(), 1u);
+  const std::string text = s.to_metrics_text();
+  EXPECT_NE(
+      text.find("anahy_serve_jobs_submitted_total{class=\"normal\"} 1"),
+      std::string::npos);
+
+  // The same wraparound-delta contract holds for the observe counters.
+  // delta() recomputes totals from the per-VP deltas, so wrap a VP slot.
+  observe::Snapshot earlier, later;
+  earlier.per_vp.resize(1);
+  later.per_vp.resize(1);
+  earlier.per_vp[0].forks = std::numeric_limits<std::uint64_t>::max() - 2;
+  later.per_vp[0].forks = 5;  // 8 increments later, post-wrap
+  const observe::Snapshot d = later.delta(earlier);
+  EXPECT_EQ(d.per_vp[0].forks, 8u);
+  EXPECT_EQ(d.total.forks, 8u);
+}
+
+TEST(JobServer, ObserveSnapshotMatchesResolvedJobsAfterDrain) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  JobServer server(std::move(opts));
+  Runtime& rt = server.runtime();
+
+  // Each job forks 2 children: 3 tasks per job including the root.
+  constexpr int kJobs = 20;
+  const auto leaf = [](void*) -> void* { return nullptr; };
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.priority = static_cast<Priority>(i % kNumPriorities);
+    spec.body = [&](void*) -> void* {
+      TaskPtr a = rt.fork(leaf, nullptr);
+      TaskPtr b = rt.fork(leaf, nullptr);
+      rt.join(a, nullptr);
+      rt.join(b, nullptr);
+      return nullptr;
+    };
+    handles.push_back(server.submit(std::move(spec)));
+  }
+  for (auto& h : handles) ASSERT_EQ(h.wait(), kOk);
+  server.drain();
+
+  // Drained and quiesced: every handle resolved, so the telemetry totals
+  // must account for every task — each fork ran, each job contributed its
+  // root + 2 children, and the per-VP breakdown sums to the totals.
+  const observe::Snapshot s = rt.observe_snapshot();
+  EXPECT_EQ(s.total.forks, s.total.tasks_run);
+  EXPECT_GE(s.total.tasks_run, static_cast<std::uint64_t>(3 * kJobs));
+  observe::VpCounters sum;
+  for (const auto& vp : s.per_vp) sum += vp;
+  EXPECT_EQ(sum.tasks_run, s.total.tasks_run);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.active, 0u);
+  std::uint64_t resolved = 0, serve_tasks = 0;
+  for (const auto& c : stats.by_class) {
+    resolved += c.completed;
+    serve_tasks += c.tasks;
+  }
+  EXPECT_EQ(resolved, static_cast<std::uint64_t>(kJobs));
+  // The runtime ran at least the tasks the serve layer attributed to jobs.
+  EXPECT_GE(s.total.tasks_run, serve_tasks);
+}
+
+TEST(ServeObserve, DeadlineRiskAnomaliesFromSyntheticStats) {
+  ServerStats s;
+  EXPECT_TRUE(deadline_risk_anomalies(s, 100).empty());
+
+  // Backlog at 80% of max_pending: P003.
+  s.pending = 80;
+  auto a = deadline_risk_anomalies(s, 100);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].code, observe::anomaly_code::kDeadlineRisk);
+  s.pending = 79;
+  EXPECT_TRUE(deadline_risk_anomalies(s, 100).empty());
+
+  // Jobs already timed out: P003 regardless of backlog.
+  s.of(Priority::kBatch).timed_out = 2;
+  a = deadline_risk_anomalies(s, 100);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_NE(a[0].detail.find("2"), std::string::npos);
+}
+
+TEST(JobServer, ObserveTextMergesTelemetryAndServeMetrics) {
+  JobServer server(small_server());
+  JobSpec spec;
+  spec.body = identity;
+  ASSERT_EQ(server.submit(std::move(spec)).wait(), kOk);
+  server.drain();
+
+  const std::string text = server.observe_text();
+  // One document, both layers: runtime telemetry first, serve counters
+  // after (the kStatsQuery payload shape).
+  EXPECT_NE(text.find("anahy_observe_epoch"), std::string::npos);
+  EXPECT_NE(text.find("anahy_observe_steal_success_ratio"),
+            std::string::npos);
+  EXPECT_NE(text.find("anahy_serve_jobs_pending "), std::string::npos);
+  EXPECT_LT(text.find("anahy_observe_epoch"),
+            text.find("anahy_serve_jobs_pending "));
 }
 
 }  // namespace

@@ -123,6 +123,88 @@ TEST(ServeFrontend, PriorityAndTimeoutTravelTheWire) {
   EXPECT_EQ(server.stats().of(anahy::Priority::kHigh).completed, 1u);
 }
 
+/// The exposition keys a kStatsQuery reply must carry to be useful to a
+/// scraper: derived gauges, per-class queue depth, and the serve counters.
+void expect_exposition(const std::string& text) {
+  EXPECT_NE(text.find("anahy_observe_steal_success_ratio"),
+            std::string::npos);
+  EXPECT_NE(text.find("anahy_observe_idle_fraction"), std::string::npos);
+  EXPECT_NE(text.find("anahy_observe_ready_tasks{class=\"high\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anahy_observe_ready_tasks{class=\"batch\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anahy_observe_tasks_run{vp=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anahy_serve_jobs_pending "), std::string::npos);
+  EXPECT_NE(text.find("anahy_serve_jobs_completed_total{class=\"normal\"}"),
+            std::string::npos);
+}
+
+TEST(ServeFrontend, StatsQueryOverMemoryFabric) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  anahy::serve::JobServer server(std::move(opts));
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(10));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+
+  std::string text;
+  ASSERT_TRUE(client.query_stats(text, 2'000'000us));
+  expect_exposition(text);
+  EXPECT_EQ(frontend.stats_queries(), 1u);
+}
+
+TEST(ServeFrontend, StatsQueryBuffersInterleavedJobReplies) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  // Submit first, then query stats immediately: the kJobDone frame may
+  // arrive while query_stats is pumping and must not be lost.
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(100));
+  std::string text;
+  ASSERT_TRUE(client.query_stats(text, 5'000'000us));
+  expect_exposition(text);
+
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 5'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(result_u32(reply), 5050u);
+}
+
+TEST(ServeFrontend, StatsQueryOverTcpLoopback) {
+  auto fabric = make_tcp_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  anahy::serve::JobServer server(std::move(opts));
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(20));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 5'000'000us));
+  EXPECT_EQ(result_u32(reply), 210u);
+
+  std::string text;
+  ASSERT_TRUE(client.query_stats(text, 5'000'000us));
+  expect_exposition(text);
+  // The completed job is visible in the scraped counters.
+  EXPECT_NE(
+      text.find("anahy_serve_jobs_completed_total{class=\"normal\"} 1"),
+      std::string::npos);
+}
+
 TEST(ServeFrontend, MultipleClientsOverTcpLoopback) {
   auto fabric = make_tcp_fabric(3);  // node 0 serves, nodes 1-2 are clients
   Registry reg;

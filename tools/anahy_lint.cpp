@@ -1,14 +1,16 @@
 // anahy-lint: replays a saved execution trace and emits DAG lint
 // diagnostics (stable ANAHY-Wxxx codes; table in docs/CHECKING.md).
 //
-//   anahy-lint [--summary] [--jobs] [--dot] <trace-file>
+//   anahy-lint [--summary] [--jobs] [--stats] [--dot] <trace-file>
 //
 // The trace file is the text format written by TraceGraph::save (see
-// examples/race_demo.cpp for a producer): `anahy-trace v2` with a per-node
-// serve job-id column, and the loader still accepts pre-serve `v1` traces
-// (every node then belongs to job 0). `--jobs` prints a per-job breakdown
-// of a multi-job server trace. Exit code: 0 clean, 1 diagnostics found (or
-// a partially readable file), 2 the file could not be read at all.
+// examples/race_demo.cpp for a producer): `anahy-trace v3` with per-node
+// job-id/vp columns and per-edge timestamp/vp columns; the loader still
+// accepts `v1`/`v2` traces. `--jobs` prints a per-job breakdown of a
+// multi-job server trace; `--stats` prints the deterministic rollup
+// (node/edge counts, fork-depth histogram, per-job datalen and work/span)
+// from anahy::trace_stats_text. Exit code: 0 clean, 1 diagnostics found
+// (or a partially readable file), 2 the file could not be read at all.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -21,7 +23,8 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: anahy-lint [--summary] [--jobs] [--dot] <trace-file>\n";
+  std::cerr << "usage: anahy-lint [--summary] [--jobs] [--stats] [--dot] "
+               "<trace-file>\n";
   return 2;
 }
 
@@ -52,12 +55,14 @@ void print_job_table(const anahy::TraceGraph& trace) {
 int main(int argc, char** argv) {
   bool summary = false;
   bool jobs = false;
+  bool stats = false;
   bool dot = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--summary") summary = true;
     else if (arg == "--jobs") jobs = true;
+    else if (arg == "--stats") stats = true;
     else if (arg == "--dot") dot = true;
     else if (!arg.empty() && arg.front() == '-') return usage();
     else if (path.empty()) path = arg;
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
               << " diagnostic(s)\n";
   }
   if (jobs) print_job_table(trace);
+  if (stats) std::cout << anahy::trace_stats_text(trace);
   if (dot) std::cout << trace.to_dot();
 
   return diags.empty() && clean_parse ? 0 : 1;

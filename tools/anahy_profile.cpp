@@ -1,0 +1,102 @@
+// anahy-profile: converts a saved execution trace into Chrome trace-event
+// JSON (open with chrome://tracing or https://ui.perfetto.dev) and prints
+// per-job work/span summaries.
+//
+//   anahy-profile [--out=FILE] [--work-span] [--no-json] <trace-file>
+//
+// The trace file is the text format written by TraceGraph::save (an
+// `anahy-trace v3` file produced under Options::profile carries per-task
+// VP identity and per-edge fork/join timestamps, which become one track
+// per VP plus flow arrows; older traces still convert, with every span on
+// an "(untracked)" track and no arrows). See docs/OBSERVE.md.
+//
+// Exit code: 0 on success, 2 when the file cannot be read or the flags
+// are malformed.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "anahy/observe/chrome_trace.hpp"
+#include "anahy/trace.hpp"
+#include "anahy/trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: anahy-profile [--out=FILE] [--work-span] [--no-json] "
+               "<trace-file>\n";
+  return 2;
+}
+
+/// "job 3: work 12345 ns, span 678 ns, parallelism 18.21 (42 tasks)"
+void print_work_span(const anahy::TraceGraph& trace) {
+  const auto profiles = anahy::job_profiles(trace);
+  if (profiles.empty()) {
+    std::cout << "work/span: trace holds no tasks\n";
+    return;
+  }
+  for (const auto& p : profiles) {
+    std::cout << "job " << p.job << ": work " << p.work_ns << " ns, span "
+              << p.span_ns << " ns, parallelism ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", p.parallelism());
+    std::cout << buf << " (" << p.tasks << " tasks, " << p.continuations
+              << " continuations)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool work_span = false;
+  bool json = true;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--work-span") work_span = true;
+    else if (arg == "--no-json") json = false;
+    else if (!arg.empty() && arg.front() == '-') return usage();
+    else if (path.empty()) path = arg;
+    else return usage();
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "anahy-profile: cannot open '" << path << "'\n";
+    return 2;
+  }
+
+  anahy::TraceGraph trace;
+  std::string error;
+  const bool clean_parse = trace.load(in, &error);
+  if (!clean_parse && trace.nodes().empty() && trace.edges().empty()) {
+    std::cerr << "anahy-profile: '" << path << "' is not an anahy trace ("
+              << error << ")\n";
+    return 2;
+  }
+  if (!clean_parse) {
+    std::cerr << "anahy-profile: warning: '" << path
+              << "' is truncated or corrupt (" << error
+              << "); converting the readable prefix\n";
+  }
+
+  if (json) {
+    if (out_path.empty()) {
+      anahy::observe::write_chrome_trace(std::cout, trace);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "anahy-profile: cannot write '" << out_path << "'\n";
+        return 2;
+      }
+      anahy::observe::write_chrome_trace(out, trace);
+      std::cerr << "anahy-profile: wrote " << out_path << "\n";
+    }
+  }
+  if (work_span) print_work_span(trace);
+  return 0;
+}
