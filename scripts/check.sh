@@ -48,6 +48,13 @@ step "serve demo: 8 clients, per-job race attribution, drained trace"
 ./build/examples/job_server > /dev/null
 ./build/tools/anahy-lint --summary --jobs --stats job_server.trace > /dev/null
 
+step "chaos: seeded fault-injection suite (fixed seed, replayable)"
+# The chaos label is the serve/cluster stack under a scripted lossy link
+# (docs/FAULT.md). The seed is pinned so CI failures replay exactly:
+#   ANAHY_CHAOS_SEED=0xC0FFEE ./build/tests/test_chaos
+ANAHY_CHAOS_SEED=0xC0FFEE \
+    ctest --test-dir build --output-on-failure -L chaos
+
 step "profiler: chrome trace JSON from the serve demo's v3 trace"
 # The demo runs under profile mode, so its trace carries per-task VP
 # identity and stamped edges. anahy-profile must turn that into valid

@@ -1,0 +1,119 @@
+// anahy::fault — deterministic fault injection for the cluster transport.
+//
+// FaultyTransport decorates any cluster::Transport and misbehaves on
+// purpose: it drops, duplicates, delays (and thereby reorders), truncates
+// and bit-corrupts outgoing frames, and can sever the link to a peer — on
+// a scriptable schedule or by hand. The serve/cluster stack must shrug all
+// of this off (docs/FAULT.md): corrupted frames die on the CRC envelope,
+// lost requests are retried, retries are deduplicated, dead peers are
+// reaped.
+//
+// Determinism is the point. Every decision derives from splitmix64 over
+// (seed, operation index) — not from wall-clock time, thread interleaving
+// or rand(). Two runs with the same seed and the same per-endpoint send
+// sequence inject the *same* faults on the *same* frames, which is what
+// makes a chaos-test failure replayable: re-run with the seed the test
+// printed and the exact misbehavior comes back. (What the scheduler does
+// with the surviving frames still varies run to run; the injection itself
+// does not.)
+//
+// All faults act on the send path of the decorated endpoint, where the
+// frame and its destination are known. recv() only forwards (plus releases
+// frames the injector is holding back for delayed delivery).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "anahy/observe/exposition.hpp"
+#include "cluster/transport.hpp"
+
+namespace anahy::fault {
+
+/// Per-fault-kind probabilities (0.0 = never, 1.0 = always) and delay
+/// bounds. Probabilities are evaluated independently in a fixed order —
+/// drop, duplicate, corrupt, truncate, delay — so a frame can be both
+/// duplicated and corrupted, but a dropped frame suffers nothing else.
+struct FaultProfile {
+  std::uint64_t seed = 1;   ///< same seed → same fault sequence
+  double drop = 0.0;        ///< frame vanishes
+  double duplicate = 0.0;   ///< frame delivered twice
+  double corrupt = 0.0;     ///< one bit of the frame is flipped
+  double truncate = 0.0;    ///< frame loses its tail
+  double delay = 0.0;       ///< frame held back (reorders past later sends)
+  std::chrono::microseconds delay_min{200};
+  std::chrono::microseconds delay_max{2'000};
+};
+
+/// What the injector has done so far (monotonic).
+struct FaultStats {
+  std::uint64_t sends = 0;        ///< send() calls observed
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t severed_sends = 0;  ///< sends discarded on a severed link
+};
+
+/// A scheduled link cut: once this endpoint has performed `after_op`
+/// send operations, frames to `peer` start disappearing (until heal()).
+struct SeverEvent {
+  std::uint64_t after_op = 0;
+  int peer = 0;
+};
+
+class FaultyTransport : public cluster::Transport {
+ public:
+  /// Takes ownership of the real endpoint it decorates.
+  FaultyTransport(std::unique_ptr<cluster::Transport> inner,
+                  FaultProfile profile, std::vector<SeverEvent> severs = {});
+  ~FaultyTransport() override;
+
+  void send(int dst, std::vector<std::uint8_t> frame) override;
+  bool recv(std::vector<std::uint8_t>& frame,
+            std::chrono::microseconds timeout) override;
+  [[nodiscard]] int node_id() const override;
+  [[nodiscard]] int node_count() const override;
+
+  /// Cuts the link to `peer` immediately: subsequent sends to it vanish.
+  void sever(int peer);
+  /// Restores the link to `peer`.
+  void heal(int peer);
+
+  /// Send operations performed so far (the op index the next send gets).
+  [[nodiscard]] std::uint64_t op_index() const;
+
+  [[nodiscard]] FaultStats stats() const;
+
+  /// The injected-fault tallies as exposition counters
+  /// (`anahy_fault_injected_total{kind="drop"} …`), ready to pass as the
+  /// `counters` argument of observe::render_text.
+  [[nodiscard]] std::vector<observe::ExtraCounter> counters() const;
+
+ private:
+  /// Flushes delayed frames whose release time has come. Caller holds mu_.
+  void flush_delayed_locked(std::chrono::steady_clock::time_point now);
+
+  struct Delayed {
+    std::chrono::steady_clock::time_point release;
+    int dst;
+    std::vector<std::uint8_t> frame;
+  };
+
+  std::unique_ptr<cluster::Transport> inner_;
+  FaultProfile profile_;
+  mutable std::mutex mu_;
+  std::uint64_t ops_ = 0;
+  FaultStats stats_{};
+  std::set<int> severed_;
+  std::vector<SeverEvent> sever_schedule_;  ///< sorted by after_op
+  std::vector<Delayed> delayed_;
+};
+
+}  // namespace anahy::fault

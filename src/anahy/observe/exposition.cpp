@@ -61,7 +61,8 @@ std::vector<Anomaly> detect_anomalies(const Snapshot& s) {
   return out;
 }
 
-std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra) {
+std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra,
+                        const std::vector<ExtraCounter>& counters) {
   std::ostringstream os;
   os << "anahy_observe_epoch " << s.epoch << "\n";
   os << "anahy_observe_elapsed_ns " << s.elapsed_ns << "\n";
@@ -90,6 +91,12 @@ std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra) {
     os << "anahy_observe_ready_tasks{class=\""
        << class_name(static_cast<int>(cls)) << "\"} " << s.ready_by_class[cls]
        << "\n";
+  }
+
+  for (const ExtraCounter& c : counters) {
+    os << c.name;
+    if (!c.labels.empty()) os << "{" << c.labels << "}";
+    os << " " << c.value << "\n";
   }
 
   std::vector<Anomaly> anomalies = detect_anomalies(s);

@@ -39,13 +39,24 @@ inline constexpr std::uint64_t kStarvationMinAttempts = 256;
 inline constexpr double kStarvationMaxRatio = 0.05;
 inline constexpr double kIdleDominatedFraction = 0.5;
 
+/// A counter contributed by a layer the snapshot cannot see (e.g. the
+/// fault-injection harness's injected-drop tally). Rendered verbatim as
+/// `name{labels} value` (or `name value` when labels is empty).
+struct ExtraCounter {
+  std::string name;    ///< e.g. "anahy_fault_injected_total"
+  std::string labels;  ///< e.g. "kind=\"drop\"" — without the braces
+  std::uint64_t value = 0;
+};
+
 /// Applies the P001/P002 thresholds to `s`. P003 lives in the serve layer.
 [[nodiscard]] std::vector<Anomaly> detect_anomalies(const Snapshot& s);
 
-/// Prometheus-style exposition of `s`, followed by one
-/// `anahy_observe_anomaly{code="..."} 1` line per detected anomaly plus any
-/// `extra` anomalies supplied by a higher layer (e.g. serve's P003).
-[[nodiscard]] std::string render_text(const Snapshot& s,
-                                      const std::vector<Anomaly>& extra = {});
+/// Prometheus-style exposition of `s`, followed by any `counters`
+/// contributed by higher layers, then one `anahy_observe_anomaly{code="..."}
+/// 1` line per detected anomaly plus any `extra` anomalies supplied by a
+/// higher layer (e.g. serve's P003).
+[[nodiscard]] std::string render_text(
+    const Snapshot& s, const std::vector<Anomaly>& extra = {},
+    const std::vector<ExtraCounter>& counters = {});
 
 }  // namespace anahy::observe

@@ -20,6 +20,17 @@ thread_local bool Scheduler::tls_worker_ = false;
 
 namespace {
 std::atomic<std::uint64_t> g_scheduler_instances{0};
+
+/// Best-effort message of the in-flight exception (containment path).
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
 }  // namespace
 
 Scheduler::Scheduler(const Options& opts)
@@ -257,10 +268,20 @@ void Scheduler::run_task(const TaskPtr& task, int vp) {
     } catch (const TaskExit& exit) {
       result = exit.result;
     } catch (...) {
-      // Task bodies must not throw (POSIX semantics); restore the frame so
-      // the failure is at least attributed to the right flow, then rethrow.
-      tls_frames_.pop_back();
-      throw;
+      if (ctx == nullptr) {
+        // Context-free tasks keep POSIX semantics: bodies must not throw.
+        // Restore the frame so the failure is at least attributed to the
+        // right flow, then rethrow (which terminates the process).
+        tls_frames_.pop_back();
+        throw;
+      }
+      // Containment: a throwing body of a served job must not take the
+      // whole process down. Capture the message into the job's context
+      // (first fault wins), cancel the rest of the DAG, and let the task
+      // finish with a null result so joiners unblock; the serve layer
+      // resolves the job kFaulted from the context.
+      ctx->note_fault(current_exception_message());
+      result = nullptr;
     }
   }
   tls_frames_.pop_back();

@@ -40,13 +40,14 @@ void Job::mark_running() {
 }
 
 bool Job::resolve(int error, void* value,
-                  std::vector<check::RaceReport> races) {
+                  std::vector<check::RaceReport> races, std::string message) {
   std::lock_guard lock(mu_);
   if (state_ == JobState::kDone) return false;  // first resolution wins
   const std::int64_t now = TaskContext::now_ns();
   result_.id = id_;
   result_.error = error;
   result_.value = value;
+  result_.message = std::move(message);
   result_.races = std::move(races);
   // An aborted-while-queued job never ran: its whole lifetime is queue
   // wait. Otherwise wait ends at the root task's start stamp.
@@ -76,8 +77,8 @@ void Job::publish() {
 }
 
 void Job::complete(int error, void* value,
-                   std::vector<check::RaceReport> races) {
-  if (resolve(error, value, std::move(races))) publish();
+                   std::vector<check::RaceReport> races, std::string message) {
+  if (resolve(error, value, std::move(races), std::move(message))) publish();
 }
 
 }  // namespace anahy::serve

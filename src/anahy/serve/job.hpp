@@ -61,11 +61,13 @@ struct JobStats {
 /// Final outcome of a job. `error` uses the anahy::Error numbering:
 /// kOk, kOverloaded (rejected at admission), kTimedOut (deadline elapsed),
 /// kAborted (cancelled or server shut down), kPerm (submitted after
-/// drain), kInvalid (malformed spec).
+/// drain), kInvalid (malformed spec), kFaulted (a task body of the job
+/// threw — the process survives and `message` carries the exception text).
 struct JobResult {
   JobId id = 0;
   int error = kOk;
   void* value = nullptr;  ///< the root body's return value (kOk only)
+  std::string message;    ///< diagnostic detail (kFaulted: exception text)
   JobStats stats;
   /// Determinacy races attributed to this job (JobSpec::check; the stable
   /// ANAHY-R001 reports of the anahy::check detector).
@@ -128,7 +130,8 @@ class Job {
   /// fires on_complete. Later calls are no-ops (first resolution wins),
   /// which is what makes shutdown racing normal completion safe.
   /// Equivalent to `if (resolve(...)) publish();`.
-  void complete(int error, void* value, std::vector<check::RaceReport> races);
+  void complete(int error, void* value, std::vector<check::RaceReport> races,
+                std::string message = {});
 
   /// First half of complete(): fills the result and flips state to kDone
   /// WITHOUT waking waiters or firing on_complete. The server accounts the
@@ -138,7 +141,8 @@ class Job {
   /// Returns false when the job was already resolved (the winner
   /// publishes).
   [[nodiscard]] bool resolve(int error, void* value,
-                             std::vector<check::RaceReport> races);
+                             std::vector<check::RaceReport> races,
+                             std::string message = {});
 
   /// Second half of complete(): wakes waiters and fires on_complete.
   /// Idempotent; a no-op until a resolve() has won.

@@ -119,10 +119,22 @@ void JobServer::run_root(const JobPtr& job) {
     err = kTimedOut;
   } else {
     TaskBody body = job->take_body();
-    out = body(job->input());
-    // Cancellation/expiry may have landed mid-run; descendants were then
-    // skipped, so the result is partial and the job must not report kOk.
-    if (ctx->cancel_requested()) err = kAborted;
+    // Containment: the root body runs inside this wrapper, not under the
+    // scheduler's catch, so a throw here must be swallowed the same way a
+    // descendant's is — the process survives and the job reports kFaulted.
+    try {
+      out = body(job->input());
+    } catch (const std::exception& e) {
+      ctx->note_fault(e.what());
+    } catch (...) {
+      ctx->note_fault("non-standard exception");
+    }
+    // A fault anywhere in the DAG (root above, or a descendant contained
+    // by Scheduler::run_task) outranks the cancel it implies; otherwise
+    // cancellation/expiry may have landed mid-run, descendants were then
+    // skipped, and the partial result must not report kOk.
+    if (ctx->faulted()) err = kFaulted;
+    else if (ctx->cancel_requested()) err = kAborted;
     else if (ctx->expired()) err = kTimedOut;
   }
 
@@ -137,7 +149,8 @@ void JobServer::run_root(const JobPtr& job) {
   // callback has finished, so the active_ erase (what idle_cv_ gates on)
   // comes last.
   const bool first =
-      job->resolve(err, err == kOk ? out : nullptr, std::move(races));
+      job->resolve(err, err == kOk ? out : nullptr, std::move(races),
+                   err == kFaulted ? ctx->fault_message() : std::string{});
   {
     std::lock_guard lock(mu_);
     account_locked(job->result(), job->priority());
@@ -158,6 +171,7 @@ void JobServer::account_locked(const JobResult& r, Priority cls) {
   switch (r.error) {
     case kOk: ++c.completed; break;
     case kTimedOut: ++c.timed_out; break;
+    case kFaulted: ++c.faulted; break;
     default: ++c.aborted; break;
   }
   c.queue_wait_ns_sum += r.stats.queue_wait_ns;

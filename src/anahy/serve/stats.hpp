@@ -18,6 +18,7 @@ struct ServerStats {
     std::uint64_t completed = 0;  ///< resolved kOk
     std::uint64_t timed_out = 0;  ///< resolved kTimedOut
     std::uint64_t aborted = 0;    ///< resolved kAborted (cancel/shutdown)
+    std::uint64_t faulted = 0;    ///< resolved kFaulted (body threw)
     std::int64_t queue_wait_ns_sum = 0;
     std::int64_t queue_wait_ns_max = 0;
     std::int64_t exec_ns_sum = 0;

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "anahy/types.hpp"
 
@@ -99,6 +101,31 @@ struct TaskContext {
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Records that a task body of this context threw (containment: the
+  /// scheduler swallows the exception instead of killing the process, and
+  /// the job resolves kFaulted). First fault wins; later ones only bump the
+  /// count. Also cancels the context so not-yet-started descendants skip.
+  void note_fault(const std::string& what) {
+    {
+      std::lock_guard lock(fault_mu_);
+      if (fault_count_++ == 0) fault_msg_ = what;
+    }
+    faulted_.store(true, std::memory_order_release);
+    cancel();
+  }
+  [[nodiscard]] bool faulted() const {
+    return faulted_.load(std::memory_order_acquire);
+  }
+  /// The first fault's exception message (empty when !faulted()).
+  [[nodiscard]] std::string fault_message() const {
+    std::lock_guard lock(fault_mu_);
+    return fault_msg_;
+  }
+  [[nodiscard]] std::uint64_t fault_count() const {
+    std::lock_guard lock(fault_mu_);
+    return fault_count_;
+  }
+
   /// True when the deadline (if any) has passed.
   [[nodiscard]] bool expired() const {
     return deadline_ns >= 0 && now_ns() >= deadline_ns;
@@ -122,6 +149,10 @@ struct TaskContext {
 
   std::array<CounterShard, kCounterShards> shards_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> faulted_{false};
+  mutable std::mutex fault_mu_;  // cold path: faults only
+  std::string fault_msg_;
+  std::uint64_t fault_count_ = 0;
 };
 
 using TaskContextPtr = std::shared_ptr<TaskContext>;

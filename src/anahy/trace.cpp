@@ -284,9 +284,12 @@ void TraceGraph::save(std::ostream& out) const {
 
 bool TraceGraph::load(std::istream& in, std::string* error) {
   std::lock_guard lock(mu_);
-  nodes_.clear();
-  edges_.clear();
-  anomalies_.clear();
+  // Parse into locals and commit only on success: a truncated or corrupted
+  // file must not leave a half-loaded graph behind (the previous contents
+  // are preserved too — load is all-or-nothing).
+  std::map<TaskId, TraceNode> nodes;
+  std::vector<TraceEdge> edges;
+  std::vector<TraceAnomaly> anomalies;
 
   const auto fail = [&](std::size_t line_no, const std::string& why) {
     if (error != nullptr) {
@@ -322,7 +325,7 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
       n.parent = parent < 0 ? kInvalidTaskId : static_cast<TaskId>(parent);
       n.is_continuation = cont != 0;
       n.label = rest_of_line(ls);
-      nodes_[n.id] = std::move(n);
+      nodes[n.id] = std::move(n);
     } else if (kind == "edge") {
       TraceEdge e;
       std::string ek;
@@ -333,17 +336,20 @@ bool TraceGraph::load(std::istream& in, std::string* error) {
         ls >> e.ts_ns >> e.vp;
         if (ls.fail()) return fail(line_no, "malformed edge record");
       }
-      edges_.push_back(e);
+      edges.push_back(e);
     } else if (kind == "anomaly") {
       TraceAnomaly a;
       ls >> a.code >> a.task;
       if (ls.fail()) return fail(line_no, "malformed anomaly record");
       a.detail = rest_of_line(ls);
-      anomalies_.push_back(std::move(a));
+      anomalies.push_back(std::move(a));
     } else {
       return fail(line_no, "unknown record kind '" + kind + "'");
     }
   }
+  nodes_ = std::move(nodes);
+  edges_ = std::move(edges);
+  anomalies_ = std::move(anomalies);
   return true;
 }
 

@@ -51,6 +51,8 @@ enum Error : int {
   kOverloaded = 105,  ///< ENOBUFS: admission queue full, job rejected
   kTimedOut = 110,    ///< ETIMEDOUT: job deadline elapsed before completion
   kAborted = 125,     ///< ECANCELED: job aborted by shutdown/cancel
+  kFaulted = 5,       ///< EIO: a job body threw; message in JobResult
+  kUnreachable = 113,  ///< EHOSTUNREACH: remote call retries exhausted
 };
 
 /// Priority class of a task (and of the serve-layer job that forked it).

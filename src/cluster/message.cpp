@@ -2,9 +2,13 @@
 
 #include <stdexcept>
 
-namespace cluster {
+#include "compress/crc32.hpp"
 
-std::vector<std::uint8_t> encode(const Message& msg) {
+namespace cluster {
+namespace {
+
+/// Body serialization (everything after the envelope).
+std::vector<std::uint8_t> encode_body(const Message& msg) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(msg.type));
   switch (msg.type) {
@@ -45,6 +49,11 @@ std::vector<std::uint8_t> encode(const Message& msg) {
       w.u64(msg.stats_reply.request_id);
       w.str(msg.stats_reply.text);
       break;
+    case MsgType::kPing:
+    case MsgType::kPong:
+      w.u32(msg.ping.from);
+      w.u64(msg.ping.token);
+      break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
       break;
@@ -52,8 +61,10 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   return w.take();
 }
 
-Message decode(std::span<const std::uint8_t> frame) {
-  ByteReader r(frame);
+/// Body parser; throws (ByteReader truncation, unknown type) — callers map
+/// every throw to an ANAHY-F004 rejection.
+Message decode_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
   Message msg;
   msg.type = static_cast<MsgType>(r.u8());
   switch (msg.type) {
@@ -94,6 +105,11 @@ Message decode(std::span<const std::uint8_t> frame) {
       msg.stats_reply.request_id = r.u64();
       msg.stats_reply.text = r.str();
       break;
+    case MsgType::kPing:
+    case MsgType::kPong:
+      msg.ping.from = r.u32();
+      msg.ping.token = r.u64();
+      break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
       break;
@@ -102,6 +118,74 @@ Message decode(std::span<const std::uint8_t> frame) {
   }
   if (!r.exhausted()) throw std::runtime_error("trailing bytes in frame");
   return msg;
+}
+
+DecodeResult reject(const char* code, const std::string& detail) {
+  DecodeResult out;
+  out.ok = false;
+  out.diagnostic = std::string(code) + ": " + detail;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  const std::vector<std::uint8_t> body = encode_body(msg);
+  ByteWriter w;
+  w.u16(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u32(compress::crc32(body));
+  std::vector<std::uint8_t> frame = w.take();
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> frame) noexcept {
+  try {
+    if (frame.size() < kFrameHeaderBytes)
+      return reject(frame_diag::kTruncated,
+                    "frame shorter than the " +
+                        std::to_string(kFrameHeaderBytes) +
+                        "-byte envelope (" + std::to_string(frame.size()) +
+                        " bytes)");
+    ByteReader r(frame);
+    const std::uint16_t magic = r.u16();
+    if (magic != kFrameMagic)
+      return reject(frame_diag::kBadMagic,
+                    "bad magic " + std::to_string(magic) +
+                        " (not an anahy frame)");
+    const std::uint8_t version = r.u8();
+    if (version != kFrameVersion)
+      return reject(frame_diag::kVersion,
+                    "unsupported protocol version " + std::to_string(version));
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (len != frame.size() - kFrameHeaderBytes)
+      return reject(frame_diag::kTruncated,
+                    "envelope says " + std::to_string(len) +
+                        " body byte(s), frame carries " +
+                        std::to_string(frame.size() - kFrameHeaderBytes));
+    const auto body = frame.subspan(kFrameHeaderBytes);
+    if (compress::crc32(body) != crc)
+      return reject(frame_diag::kChecksum, "CRC-32 mismatch over " +
+                                               std::to_string(len) +
+                                               " body byte(s)");
+    DecodeResult out;
+    out.msg = decode_body(body);
+    out.ok = true;
+    return out;
+  } catch (const std::exception& e) {
+    return reject(frame_diag::kMalformed, e.what());
+  } catch (...) {
+    return reject(frame_diag::kMalformed, "unparseable frame body");
+  }
+}
+
+Message decode(std::span<const std::uint8_t> frame) {
+  DecodeResult r = decode_frame(frame);
+  if (!r.ok) throw std::runtime_error(r.diagnostic);
+  return std::move(r.msg);
 }
 
 Message make_task_ship(std::uint32_t origin, std::uint64_t task_id,
@@ -172,6 +256,20 @@ Message make_stats_reply(std::uint64_t request_id, std::string text) {
   Message m;
   m.type = MsgType::kStatsReply;
   m.stats_reply = {request_id, std::move(text)};
+  return m;
+}
+
+Message make_ping(std::uint32_t from, std::uint64_t token) {
+  Message m;
+  m.type = MsgType::kPing;
+  m.ping = {from, token};
+  return m;
+}
+
+Message make_pong(std::uint32_t from, std::uint64_t token) {
+  Message m;
+  m.type = MsgType::kPong;
+  m.ping = {from, token};
   return m;
 }
 

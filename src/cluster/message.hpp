@@ -20,6 +20,8 @@ enum class MsgType : std::uint8_t {
   kJobDone = 7,    ///< serve front-end -> client: the job resolved
   kStatsQuery = 8,  ///< client -> serve front-end: telemetry exposition?
   kStatsReply = 9,  ///< serve front-end -> client: the exposition text
+  kPing = 10,  ///< liveness probe (serve front-end -> client with work)
+  kPong = 11,  ///< liveness answer, echoing the probe token
 };
 
 /// A task that can cross node boundaries: function *by name* (both sides
@@ -78,6 +80,15 @@ struct StatsReplyMsg {
   std::string text;  ///< Prometheus-style exposition (UTF-8)
 };
 
+/// Liveness probe. The serve front-end pings every client that has work in
+/// flight; a client that stops answering is declared dead and its jobs are
+/// cancelled (docs/FAULT.md). `from` is the sender's node id; the pong
+/// echoes `token` so stale answers are distinguishable.
+struct PingMsg {
+  std::uint32_t from = 0;
+  std::uint64_t token = 0;
+};
+
 /// Tagged union of everything that can arrive at a node.
 struct Message {
   MsgType type = MsgType::kShutdown;
@@ -88,10 +99,56 @@ struct Message {
   JobDoneMsg job_done;
   StatsQueryMsg stats_query;
   StatsReplyMsg stats_reply;
+  PingMsg ping;  ///< kPing and kPong share the shape
 };
 
-/// Frame (de)serialization. Frames are self-contained byte vectors.
+// ---------------------------------------------------------------------------
+// Hardened frame format (docs/FAULT.md). Every encoded frame starts with an
+// 11-byte envelope the decoder validates before touching the body:
+//
+//   u16 magic 0xA4A1   u8 version   u32 body length   u32 CRC-32 of body
+//
+// so bit corruption, truncation, splicing and foreign bytes are detected
+// deterministically instead of being parsed into garbage. Rejections carry
+// stable ANAHY-F00x diagnostics:
+//
+//   ANAHY-F001  bad magic (not an anahy frame / header corrupted)
+//   ANAHY-F002  truncated envelope or body-length mismatch
+//   ANAHY-F003  checksum mismatch (payload corrupted in flight)
+//   ANAHY-F004  malformed body (truncated field, unknown type, trailing)
+//   ANAHY-F005  unsupported protocol version
+inline constexpr std::uint16_t kFrameMagic = 0xA4A1;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 11;
+
+namespace frame_diag {
+inline constexpr const char* kBadMagic = "ANAHY-F001";
+inline constexpr const char* kTruncated = "ANAHY-F002";
+inline constexpr const char* kChecksum = "ANAHY-F003";
+inline constexpr const char* kMalformed = "ANAHY-F004";
+inline constexpr const char* kVersion = "ANAHY-F005";
+}  // namespace frame_diag
+
+/// Outcome of decoding one wire frame. When `!ok`, `msg` is untouched
+/// default state and `diagnostic` is "ANAHY-F00x: detail".
+struct DecodeResult {
+  bool ok = false;
+  Message msg;
+  std::string diagnostic;
+};
+
+/// Frame (de)serialization. Frames are self-contained byte vectors
+/// carrying the hardened envelope above.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Total-function decoder: never throws, never reads out of bounds.
+/// Malformed input of any shape yields a rejection with a diagnostic.
+[[nodiscard]] DecodeResult decode_frame(
+    std::span<const std::uint8_t> frame) noexcept;
+
+/// Throwing convenience wrapper over decode_frame (std::runtime_error with
+/// the diagnostic as message). Prefer decode_frame on receive paths: a pump
+/// thread must drop a bad frame, not die.
 [[nodiscard]] Message decode(std::span<const std::uint8_t> frame);
 
 [[nodiscard]] Message make_task_ship(std::uint32_t origin,
@@ -116,5 +173,7 @@ struct Message {
                                        std::uint64_t request_id);
 [[nodiscard]] Message make_stats_reply(std::uint64_t request_id,
                                        std::string text);
+[[nodiscard]] Message make_ping(std::uint32_t from, std::uint64_t token);
+[[nodiscard]] Message make_pong(std::uint32_t from, std::uint64_t token);
 
 }  // namespace cluster

@@ -207,6 +207,10 @@ void ClusterNode::handle(Message msg) {
       break;
     case MsgType::kJobSubmit:
     case MsgType::kJobDone:
+    case MsgType::kStatsQuery:
+    case MsgType::kStatsReply:
+    case MsgType::kPing:
+    case MsgType::kPong:
       // Serve-front-end traffic rides its own endpoints (ServeFrontEnd /
       // ServeClient); a ClusterNode drops such frames rather than guess.
       break;
@@ -216,7 +220,17 @@ void ClusterNode::handle(Message msg) {
 void ClusterNode::pump_loop() {
   for (;;) {
     std::vector<std::uint8_t> frame;
-    if (transport_->recv(frame, 200us)) handle(decode(frame));
+    if (transport_->recv(frame, 200us)) {
+      // A malformed frame is dropped and counted, never parsed into a
+      // garbage descriptor (and never allowed to kill the pump thread).
+      DecodeResult d = decode_frame(frame);
+      if (d.ok) {
+        handle(std::move(d.msg));
+      } else {
+        std::lock_guard lock(mu_);
+        ++stats_.frames_rejected;
+      }
+    }
 
     // Feed descriptors to the local VPs.
     while (in_flight_.load() < opts_.max_in_flight) {

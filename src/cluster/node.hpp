@@ -45,6 +45,7 @@ struct NodeStats {
   std::uint64_t tasks_received = 0;         ///< migrated here from a peer
   std::uint64_t steal_requests_sent = 0;
   std::uint64_t steal_requests_served = 0;
+  std::uint64_t frames_rejected = 0;  ///< malformed frames dropped (F00x)
 };
 
 class ClusterNode {

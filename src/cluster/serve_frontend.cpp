@@ -1,13 +1,51 @@
 #include "cluster/serve_frontend.hpp"
 
-#include <memory>
-#include <utility>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 
 namespace cluster {
 
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- Link --
+
+void ServeFrontEnd::Link::send_locked(int dst,
+                                      const std::vector<std::uint8_t>& frame) {
+  if (transport == nullptr) return;  // front-end stopped; reply dropped
+  try {
+    transport->send(dst, frame);
+  } catch (const std::exception&) {
+    // Severed peer (TCP throws). The reply is lost; if the client is still
+    // alive it will retry and be answered from the dedup cache.
+    ++send_failures;
+  }
+}
+
+void ServeFrontEnd::Link::record_done_locked(const Key& key,
+                                             std::vector<std::uint8_t> frame) {
+  inflight.erase(key);
+  if (dedup_window == 0) return;
+  auto [it, inserted] = done_cache.emplace(key, std::move(frame));
+  if (!inserted) return;  // already cached (shouldn't happen; be safe)
+  done_order.push_back(key);
+  while (done_order.size() > dedup_window) {
+    done_cache.erase(done_order.front());
+    done_order.pop_front();
+  }
+}
+
+// -------------------------------------------------------- ServeFrontEnd --
+
 ServeFrontEnd::ServeFrontEnd(anahy::serve::JobServer& server,
-                             Transport& transport, const Registry& registry)
-    : server_(server), transport_(transport), registry_(registry) {
+                             Transport& transport, const Registry& registry,
+                             FrontEndOptions opts)
+    : server_(server), transport_(transport), registry_(registry),
+      opts_(opts) {
+  link_ = std::make_shared<Link>();
+  link_->transport = &transport;
+  link_->dedup_window = opts_.dedup_window;
   pump_ = std::thread([this] { pump(); });
 }
 
@@ -16,38 +54,148 @@ ServeFrontEnd::~ServeFrontEnd() { stop(); }
 void ServeFrontEnd::stop() {
   if (stop_.exchange(true)) return;
   if (pump_.joinable()) pump_.join();
+  // Detach the transport under the link lock: any completion callback that
+  // is mid-flight either already holds the lock (and sends to the still-
+  // valid transport before we proceed) or will take it after us and see
+  // nullptr. Either way, no send() can start after stop() returns.
+  std::lock_guard lock(link_->mu);
+  link_->transport = nullptr;
+}
+
+std::string ServeFrontEnd::last_reject_diagnostic() const {
+  std::lock_guard lock(link_->mu);
+  return link_->last_reject;
 }
 
 void ServeFrontEnd::pump() {
   std::vector<std::uint8_t> frame;
+  auto last_beat = Clock::now();
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (!transport_.recv(frame, std::chrono::microseconds{1000})) continue;
-    Message msg = decode(frame);
-    if (msg.type == MsgType::kShutdown) return;
-    if (msg.type == MsgType::kStatsQuery) {
-      handle_stats_query(msg.stats_query);
+    if (transport_recv(frame)) {
+      DecodeResult d = decode_frame(frame);
+      if (!d.ok) {
+        rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(link_->mu);
+        link_->last_reject = std::move(d.diagnostic);
+      } else {
+        switch (d.msg.type) {
+          case MsgType::kShutdown:
+            return;
+          case MsgType::kStatsQuery:
+            handle_stats_query(d.msg.stats_query);
+            break;
+          case MsgType::kPong: {
+            std::lock_guard lock(link_->mu);
+            link_->last_seen[d.msg.ping.from] = Clock::now();
+            break;
+          }
+          case MsgType::kJobSubmit:
+            handle_submit(std::move(d.msg.job_submit));
+            break;
+          default:
+            break;  // not serve traffic; drop
+        }
+      }
+    }
+    if (opts_.heartbeat_interval.count() > 0) {
+      const auto now = Clock::now();
+      if (now - last_beat >= opts_.heartbeat_interval) {
+        heartbeat(now);
+        last_beat = now;
+      }
+    }
+  }
+}
+
+bool ServeFrontEnd::transport_recv(std::vector<std::uint8_t>& frame) {
+  // Bounded so the heartbeat timer fires even on a silent fabric.
+  const auto slice = opts_.heartbeat_interval.count() > 0
+                         ? std::min(opts_.heartbeat_interval,
+                                    std::chrono::microseconds{1000})
+                         : std::chrono::microseconds{1000};
+  return transport_.recv(frame, slice);
+}
+
+void ServeFrontEnd::heartbeat(Clock::time_point now) {
+  std::lock_guard lock(link_->mu);
+
+  // Clients that still have jobs in flight are the ones we care about.
+  std::set<std::uint32_t> active;
+  for (const auto& [key, handle] : link_->inflight) active.insert(key.first);
+
+  for (std::uint32_t client : active) {
+    auto seen = link_->last_seen.find(client);
+    if (seen != link_->last_seen.end() &&
+        now - seen->second > opts_.dead_after) {
+      // Dead peer: cancel its abandoned jobs and forget it. The jobs still
+      // resolve (as kAborted) and their replies land in the dedup cache —
+      // harmless, and a resurrected client would even find them there.
+      for (auto it = link_->inflight.begin(); it != link_->inflight.end();) {
+        if (it->first.first == client) {
+          it->second.cancel();
+          it = link_->inflight.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      link_->last_seen.erase(seen);
+      clients_reaped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (msg.type != MsgType::kJobSubmit) continue;  // not ours; drop
-    handle_submit(std::move(msg.job_submit));
+    if (seen == link_->last_seen.end()) {
+      // First probe of this client; start its silence clock now so it has
+      // a full dead_after interval to answer.
+      link_->last_seen[client] = now;
+    }
+    link_->send_locked(
+        static_cast<int>(client),
+        encode(make_ping(static_cast<std::uint32_t>(transport_.node_id()),
+                         ++ping_token_)));
+    pings_sent_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ServeFrontEnd::handle_stats_query(const StatsQueryMsg& msg) {
   stats_queries_.fetch_add(1, std::memory_order_relaxed);
-  transport_.send(
-      msg.client,
-      encode(make_stats_reply(msg.request_id, server_.observe_text())));
+  const auto frame =
+      encode(make_stats_reply(msg.request_id, server_.observe_text()));
+  std::lock_guard lock(link_->mu);
+  link_->send_locked(static_cast<int>(msg.client), frame);
 }
 
 void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
   submissions_.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t client = msg.client;
   const std::uint64_t request_id = msg.request_id;
+  const Key key{client, request_id};
+
+  {
+    std::lock_guard lock(link_->mu);
+    link_->last_seen[client] = Clock::now();  // any submit proves liveness
+
+    // Retry of a completed request: answer from cache, execute nothing.
+    auto cached = link_->done_cache.find(key);
+    if (cached != link_->done_cache.end()) {
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      link_->send_locked(static_cast<int>(client), cached->second);
+      return;
+    }
+    // Retry of a still-running request: the eventual completion will
+    // answer it; a second execution would break exactly-once.
+    if (link_->inflight.count(key) != 0) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Reserve the key *before* submitting so a retry racing with the
+    // submission below is suppressed rather than executed twice.
+    link_->inflight.emplace(key, anahy::serve::JobHandle{});
+  }
 
   if (!registry_.contains(msg.function)) {
-    transport_.send(client, encode(make_job_done(request_id, anahy::kInvalid,
-                                                 0, {})));
+    auto frame = encode(make_job_done(request_id, anahy::kInvalid, 0, {}));
+    std::lock_guard lock(link_->mu);
+    link_->send_locked(static_cast<int>(client), frame);
+    link_->record_done_locked(key, std::move(frame));
     return;
   }
 
@@ -75,87 +223,229 @@ void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
     return &rj->result;
   };
   // Fires exactly once for every submission outcome, including rejected
-  // handles — that is the "never silence" half of the reply contract.
-  spec.on_complete = [this, rj, client,
+  // handles — that is the "never silence" half of the reply contract. It
+  // captures the shared Link, not `this`: a job may resolve after stop().
+  auto link = link_;
+  spec.on_complete = [link, rj, client,
                       request_id](const anahy::serve::JobResult& r) {
     std::vector<std::uint8_t> out;
-    if (r.error == anahy::kOk) out = std::move(rj->result);
-    transport_.send(client,
-                    encode(make_job_done(request_id,
-                                         static_cast<std::uint32_t>(r.error),
-                                         r.races.size(), std::move(out))));
+    if (r.error == anahy::kOk) {
+      out = std::move(rj->result);
+    } else if (r.error == anahy::kFaulted) {
+      out.assign(r.message.begin(), r.message.end());
+    }
+    auto frame = encode(make_job_done(request_id,
+                                      static_cast<std::uint32_t>(r.error),
+                                      r.races.size(), std::move(out)));
+    const Key key{client, request_id};
+    std::lock_guard lock(link->mu);
+    link->send_locked(static_cast<int>(client), frame);
+    link->record_done_locked(key, std::move(frame));
   };
-  server_.submit(std::move(spec));
+
+  anahy::serve::JobHandle h = server_.submit(std::move(spec));
+  // Rejected submissions complete synchronously: on_complete already ran,
+  // answered the client and erased the reservation — don't resurrect it.
+  std::lock_guard lock(link_->mu);
+  auto it = link_->inflight.find(key);
+  if (it != link_->inflight.end()) it->second = std::move(h);
+}
+
+// ----------------------------------------------------------- ServeClient --
+
+ServeClient::UseGuard::UseGuard(ServeClient& c) : c_(c) {
+  if (c_.busy_.exchange(true, std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "anahy: ServeClient used from two threads concurrently; "
+                 "ServeClient is NOT thread-safe — use one client per "
+                 "transport endpoint\n");
+    std::abort();
+  }
+}
+
+ServeClient::UseGuard::~UseGuard() {
+  c_.busy_.store(false, std::memory_order_release);
+}
+
+std::uint64_t ServeClient::next_jitter(std::uint64_t bound_us) {
+  if (bound_us == 0) return 0;
+  // splitmix64: deterministic per-client jitter stream.
+  std::uint64_t z = (jitter_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z % bound_us;
+}
+
+void ServeClient::send_submit(const std::string& function,
+                              const std::vector<std::uint8_t>& payload,
+                              std::uint64_t id, anahy::Priority priority,
+                              std::int64_t timeout_ns, bool check) {
+  transport_.send(
+      server_node_,
+      encode(make_job_submit(static_cast<std::uint32_t>(transport_.node_id()),
+                             id, static_cast<std::uint8_t>(priority),
+                             timeout_ns, check, function, payload)));
+}
+
+bool ServeClient::pump_one(std::chrono::microseconds timeout) {
+  std::vector<std::uint8_t> frame;
+  if (!transport_.recv(frame, timeout)) return false;
+  DecodeResult d = decode_frame(frame);
+  if (!d.ok) {
+    ++rejected_frames_;
+    return true;
+  }
+  switch (d.msg.type) {
+    case MsgType::kPing:
+      // Heartbeat probe from the front-end: echo the token back so it
+      // knows we are alive and keeps our jobs running.
+      try {
+        transport_.send(
+            server_node_,
+            encode(make_pong(static_cast<std::uint32_t>(transport_.node_id()),
+                             d.msg.ping.token)));
+      } catch (const std::exception&) {
+        // Server vanished mid-probe; the next call() will notice.
+      }
+      ++pings_answered_;
+      break;
+    case MsgType::kJobDone: {
+      const std::uint64_t id = d.msg.job_done.request_id;
+      if (consumed_.count(id) != 0 || ready_.count(id) != 0) {
+        ++duplicate_replies_;  // retransmit we no longer need
+        break;
+      }
+      Reply r;
+      r.error = static_cast<int>(d.msg.job_done.error);
+      r.races = d.msg.job_done.races;
+      r.payload = std::move(d.msg.job_done.payload);
+      ready_.emplace(id, std::move(r));
+      break;
+    }
+    case MsgType::kStatsReply:
+      stats_ready_[d.msg.stats_reply.request_id] =
+          std::move(d.msg.stats_reply.text);
+      break;
+    default:
+      break;  // not client traffic; drop
+  }
+  return true;
+}
+
+bool ServeClient::take_ready(std::uint64_t id, Reply& out) {
+  auto it = ready_.find(id);
+  if (it == ready_.end()) return false;
+  out = std::move(it->second);
+  ready_.erase(it);
+  // Remember the id so a late retransmission of this reply is dropped
+  // instead of resurfacing as a phantom result.
+  constexpr std::size_t kConsumedWindow = 1024;
+  if (consumed_.insert(id).second) {
+    consumed_order_.push_back(id);
+    while (consumed_order_.size() > kConsumedWindow) {
+      consumed_.erase(consumed_order_.front());
+      consumed_order_.pop_front();
+    }
+  }
+  return true;
 }
 
 std::uint64_t ServeClient::submit(const std::string& function,
                                   std::vector<std::uint8_t> payload,
                                   anahy::Priority priority,
                                   std::int64_t timeout_ns, bool check) {
+  UseGuard guard(*this);
   const std::uint64_t id = next_request_++;
-  transport_.send(
-      server_node_,
-      encode(make_job_submit(static_cast<std::uint32_t>(transport_.node_id()),
-                             id, static_cast<std::uint8_t>(priority),
-                             timeout_ns, check, function,
-                             std::move(payload))));
+  send_submit(function, payload, id, priority, timeout_ns, check);
   return id;
+}
+
+ServeClient::Reply ServeClient::call(const std::string& function,
+                                     std::vector<std::uint8_t> payload,
+                                     const CallOptions& copts,
+                                     anahy::Priority priority,
+                                     std::int64_t timeout_ns, bool check) {
+  UseGuard guard(*this);
+  const std::uint64_t id = next_request_++;
+  const auto deadline = Clock::now() + copts.deadline;
+  auto backoff = std::max(copts.initial_backoff, std::chrono::microseconds{1});
+  int attempts = 0;
+  Reply out;
+
+  for (;;) {
+    // (Re)send. The request id stays fixed across attempts — the server's
+    // dedup window turns retries into cache hits, not re-executions.
+    try {
+      send_submit(function, payload, id, priority, timeout_ns, check);
+      if (++attempts > 1) ++retries_;
+    } catch (const std::exception&) {
+      ++attempts;  // unreachable peer; count the attempt, keep backing off
+    }
+
+    // Wait out this attempt's backoff slice (bounded by the deadline),
+    // pumping replies as they arrive.
+    const auto jittered =
+        backoff + std::chrono::microseconds{next_jitter(
+                      static_cast<std::uint64_t>(backoff.count() / 4 + 1))};
+    const auto slice_end = std::min(deadline, Clock::now() + jittered);
+    for (;;) {
+      if (take_ready(id, out)) return out;
+      const auto now = Clock::now();
+      if (now >= slice_end) break;
+      pump_one(std::chrono::duration_cast<std::chrono::microseconds>(
+          slice_end - now));
+    }
+    if (take_ready(id, out)) return out;
+
+    if (Clock::now() >= deadline ||
+        (copts.max_attempts > 0 && attempts >= copts.max_attempts)) {
+      out.error = anahy::kUnreachable;
+      out.races = 0;
+      out.payload.clear();
+      return out;
+    }
+    backoff = std::min(backoff * 2, copts.max_backoff);
+  }
 }
 
 bool ServeClient::wait(std::uint64_t request_id, Reply& out,
                        std::chrono::microseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UseGuard guard(*this);
+  const auto deadline = Clock::now() + timeout;
   for (;;) {
-    const auto it = ready_.find(request_id);
-    if (it != ready_.end()) {
-      out = std::move(it->second);
-      ready_.erase(it);
-      return true;
-    }
-    const auto now = std::chrono::steady_clock::now();
+    if (take_ready(request_id, out)) return true;
+    const auto now = Clock::now();
     if (now >= deadline) return false;
-    const auto left =
-        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
-    std::vector<std::uint8_t> frame;
-    if (!transport_.recv(frame, left)) return false;
-    Message msg = decode(frame);
-    if (msg.type != MsgType::kJobDone) continue;
-    Reply r;
-    r.error = static_cast<int>(msg.job_done.error);
-    r.races = msg.job_done.races;
-    r.payload = std::move(msg.job_done.payload);
-    ready_.emplace(msg.job_done.request_id, std::move(r));
+    pump_one(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
   }
 }
 
 bool ServeClient::query_stats(std::string& out,
                               std::chrono::microseconds timeout) {
+  UseGuard guard(*this);
   const std::uint64_t id = next_request_++;
-  transport_.send(
-      server_node_,
-      encode(make_stats_query(static_cast<std::uint32_t>(transport_.node_id()),
-                              id)));
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  try {
+    transport_.send(
+        server_node_,
+        encode(make_stats_query(
+            static_cast<std::uint32_t>(transport_.node_id()), id)));
+  } catch (const std::exception&) {
+    return false;  // unreachable peer
+  }
+  const auto deadline = Clock::now() + timeout;
   for (;;) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    const auto left =
-        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
-    std::vector<std::uint8_t> frame;
-    if (!transport_.recv(frame, left)) return false;
-    Message msg = decode(frame);
-    if (msg.type == MsgType::kStatsReply) {
-      if (msg.stats_reply.request_id != id) continue;  // stale; drop
-      out = std::move(msg.stats_reply.text);
+    auto it = stats_ready_.find(id);
+    if (it != stats_ready_.end()) {
+      out = std::move(it->second);
+      stats_ready_.erase(it);
       return true;
     }
-    if (msg.type != MsgType::kJobDone) continue;
-    // A job resolved while we were polling stats: keep it for wait().
-    Reply r;
-    r.error = static_cast<int>(msg.job_done.error);
-    r.races = msg.job_done.races;
-    r.payload = std::move(msg.job_done.payload);
-    ready_.emplace(msg.job_done.request_id, std::move(r));
+    const auto now = Clock::now();
+    if (now >= deadline) return false;
+    pump_one(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
   }
 }
 

@@ -1,8 +1,8 @@
 // Remote front-end of anahy::serve::JobServer over the cluster transport.
 //
-// The JobServer itself only takes in-process submissions. This thin layer
-// makes it reachable from other processes/nodes with the machinery the
-// cluster prototype already has: functions cross address spaces *by name*
+// The JobServer itself only takes in-process submissions. This layer makes
+// it reachable from other processes/nodes with the machinery the cluster
+// prototype already has: functions cross address spaces *by name*
 // (Registry), payloads are opaque byte vectors, and frames travel over any
 // Transport (in-memory fabric, TCP loopback mesh, or the multi-process
 // coordinator/worker bootstrap).
@@ -12,6 +12,21 @@
 //        kJobSubmit {fn, payload, priority, timeout, check}
 //        kJobDone   {error, races, result bytes}
 //        kStatsQuery {}                 kStatsReply {exposition text}
+//        kPing {token}                  kPong {token}
+//
+// The pair is hardened against an imperfect network (docs/FAULT.md):
+//
+//  * Every frame carries the magic/length/CRC envelope; malformed input is
+//    dropped with an ANAHY-F00x count, never parsed into garbage.
+//  * ServeClient::call retries lost requests under capped exponential
+//    backoff with jitter and a per-call deadline; exhausted retries yield
+//    a definite kUnreachable outcome instead of a hang.
+//  * The front-end keeps a dedup window of completed replies keyed by
+//    (client, request id), so a retried request is answered from cache
+//    (exactly-once execution) instead of running twice; a retry of a
+//    still-running request is suppressed.
+//  * Clients with work in flight are pinged; a client that stops answering
+//    is declared dead and its jobs are cancelled (no abandoned work).
 //
 // One front-end pump thread receives; replies are sent from whichever VP
 // completes the job (Transport::send is thread-safe).
@@ -20,9 +35,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "anahy/serve/job_server.hpp"
@@ -32,25 +52,50 @@
 
 namespace cluster {
 
+/// Tuning of the server-side hardening. The defaults are benign for tests
+/// and demos: heartbeats only go to clients that still owe the server a
+/// pong while having jobs in flight, so an idle or finished client is
+/// never bothered.
+struct FrontEndOptions {
+  /// Cadence of kPing probes to clients with jobs in flight. Zero disables
+  /// heartbeats (and therefore dead-peer reaping).
+  std::chrono::microseconds heartbeat_interval{500'000};
+
+  /// A client with jobs in flight that has been silent (no submit, no
+  /// pong) for this long is declared dead: its jobs are cancelled and its
+  /// pending replies dropped.
+  std::chrono::microseconds dead_after{2'500'000};
+
+  /// Completed replies remembered for retransmission, across all clients.
+  /// Retries inside the window are exactly-once; a duplicate arriving
+  /// after eviction re-executes the job (at-least-once beyond the window).
+  std::size_t dedup_window = 1024;
+};
+
 /// Server side: turns kJobSubmit frames into JobServer::submit calls and
-/// answers each with exactly one kJobDone (including rejections: a client
-/// that was turned away sees kOverloaded/kPerm/kInvalid, never silence).
+/// answers each with exactly one kJobDone per execution (including
+/// rejections: a client that was turned away sees kOverloaded/kPerm/
+/// kInvalid, never silence). Duplicate submissions inside the dedup window
+/// are answered from cache.
 class ServeFrontEnd {
  public:
-  /// Starts the pump thread. All three references must outlive this
-  /// object (or its stop()).
+  /// Starts the pump thread. The server, transport and registry references
+  /// must outlive this object (or its stop()).
   ServeFrontEnd(anahy::serve::JobServer& server, Transport& transport,
-                const Registry& registry);
+                const Registry& registry, FrontEndOptions opts = {});
   ~ServeFrontEnd();
 
   ServeFrontEnd(const ServeFrontEnd&) = delete;
   ServeFrontEnd& operator=(const ServeFrontEnd&) = delete;
 
-  /// Stops the pump thread (idempotent). In-flight jobs still reply on
-  /// completion as long as the transport lives.
+  /// Stops the pump thread and detaches the transport (idempotent). After
+  /// stop() returns, no completion callback will touch the transport again
+  /// — in-flight jobs still resolve, but their replies are dropped. This
+  /// is what makes "stop the front-end, destroy the transport, let the
+  /// server drain" a safe teardown order.
   void stop();
 
-  /// Frames served so far (tests/monitoring).
+  /// kJobSubmit frames seen so far, including duplicates (tests/monitoring).
   [[nodiscard]] std::uint64_t submissions() const {
     return submissions_.load(std::memory_order_relaxed);
   }
@@ -60,27 +105,138 @@ class ServeFrontEnd {
     return stats_queries_.load(std::memory_order_relaxed);
   }
 
+  /// Malformed frames dropped with an ANAHY-F00x diagnostic.
+  [[nodiscard]] std::uint64_t rejected_frames() const {
+    return rejected_frames_.load(std::memory_order_relaxed);
+  }
+
+  /// Duplicate submissions answered from the dedup cache.
+  [[nodiscard]] std::uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+
+  /// Duplicate submissions of still-running jobs that were suppressed.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// kPing probes sent to clients with jobs in flight.
+  [[nodiscard]] std::uint64_t pings_sent() const {
+    return pings_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Clients declared dead (their in-flight jobs were cancelled).
+  [[nodiscard]] std::uint64_t clients_reaped() const {
+    return clients_reaped_.load(std::memory_order_relaxed);
+  }
+
+  /// Diagnostic of the most recently rejected frame ("" when none yet).
+  [[nodiscard]] std::string last_reject_diagnostic() const;
+
  private:
+  using Clock = std::chrono::steady_clock;
+  using Key = std::pair<std::uint32_t, std::uint64_t>;  // client, request id
+
+  /// State shared between this object and the per-job completion
+  /// callbacks, which may outlive it (a job can resolve after stop()).
+  /// Everything behind `mu`; `transport` is null once stop() detached it.
+  struct Link {
+    std::mutex mu;
+    Transport* transport = nullptr;
+    std::size_t dedup_window = 1024;
+    std::map<Key, std::vector<std::uint8_t>> done_cache;  ///< encoded replies
+    std::deque<Key> done_order;                           ///< FIFO eviction
+    std::map<Key, anahy::serve::JobHandle> inflight;
+    std::map<std::uint32_t, Clock::time_point> last_seen;  ///< per client
+    std::uint64_t send_failures = 0;
+    std::string last_reject;
+
+    /// Sends under `mu`, swallowing transport errors (a severed TCP peer
+    /// throws; the reply is then simply lost and the client's retry path
+    /// handles it).
+    void send_locked(int dst, const std::vector<std::uint8_t>& frame);
+
+    /// Records a completed reply in the dedup cache (evicting FIFO past
+    /// the window) and drops the in-flight entry.
+    void record_done_locked(const Key& key, std::vector<std::uint8_t> frame);
+  };
+
   void pump();
+  /// Pump-thread receive with a slice bounded by the heartbeat cadence.
+  /// Uses `transport_` directly (no Link lock): the pump thread is joined
+  /// before stop() detaches the transport, so it can never race teardown.
+  bool transport_recv(std::vector<std::uint8_t>& frame);
   void handle_submit(JobSubmitMsg msg);
   void handle_stats_query(const StatsQueryMsg& msg);
+  void heartbeat(Clock::time_point now);
 
   anahy::serve::JobServer& server_;
   Transport& transport_;
   const Registry& registry_;
+  FrontEndOptions opts_;
+  std::shared_ptr<Link> link_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> submissions_{0};
   std::atomic<std::uint64_t> stats_queries_{0};
+  std::atomic<std::uint64_t> rejected_frames_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> pings_sent_{0};
+  std::atomic<std::uint64_t> clients_reaped_{0};
+  std::uint64_t ping_token_ = 0;  // pump thread only
   std::thread pump_;
 };
 
+/// Retry/backoff envelope of ServeClient::call().
+struct CallOptions {
+  /// Overall per-call deadline; when it passes without a reply the call
+  /// returns kUnreachable.
+  std::chrono::microseconds deadline{2'000'000};
+  /// First retransmission happens this long after an unanswered send;
+  /// subsequent waits double, capped at max_backoff, plus jitter.
+  std::chrono::microseconds initial_backoff{10'000};
+  std::chrono::microseconds max_backoff{200'000};
+  /// Send attempts before giving up (0 = bounded by the deadline alone).
+  int max_attempts = 0;
+};
+
 /// Client side: submits registered functions to a remote front-end and
-/// collects replies. NOT thread-safe — one client per transport endpoint
-/// (the transport's "one pump thread receives" rule).
+/// collects replies.
+///
+/// NOT thread-safe — one client per transport endpoint (the transport's
+/// "one pump thread receives" rule). The contract is enforced: concurrent
+/// use from two threads aborts the process with a diagnostic instead of
+/// silently corrupting the pending-reply map.
 class ServeClient {
  public:
-  ServeClient(Transport& transport, int server_node)
-      : transport_(transport), server_node_(server_node) {}
+  /// `seed` drives the retry jitter (deterministic per client).
+  ServeClient(Transport& transport, int server_node,
+              std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : transport_(transport), server_node_(server_node), jitter_state_(seed) {}
+
+  struct Reply {
+    int error = 0;            ///< anahy::Error numbering (incl. kUnreachable)
+    std::uint64_t races = 0;  ///< ANAHY-R001 count (check jobs)
+    std::vector<std::uint8_t> payload;  ///< result bytes; kFaulted: message
+
+    /// The payload as text (kFaulted carries the exception message).
+    [[nodiscard]] std::string text() const {
+      return {payload.begin(), payload.end()};
+    }
+  };
+
+  using CallOptions = cluster::CallOptions;
+
+  /// Reliable request/response: submits under a client-assigned request id
+  /// and retries (same id — the server's dedup window keeps execution
+  /// exactly-once) with capped exponential backoff + jitter until a reply
+  /// arrives or the deadline/attempt budget is exhausted, in which case
+  /// the Reply carries anahy::kUnreachable. Never hangs, never throws on
+  /// transport failure.
+  Reply call(const std::string& function, std::vector<std::uint8_t> payload,
+             const CallOptions& copts = CallOptions{},
+             anahy::Priority priority = anahy::Priority::kNormal,
+             std::int64_t timeout_ns = -1, bool check = false);
 
   /// Fire-and-forget submission; returns the correlation id to wait on.
   std::uint64_t submit(const std::string& function,
@@ -88,15 +244,10 @@ class ServeClient {
                        anahy::Priority priority = anahy::Priority::kNormal,
                        std::int64_t timeout_ns = -1, bool check = false);
 
-  struct Reply {
-    int error = 0;            ///< anahy::Error numbering
-    std::uint64_t races = 0;  ///< ANAHY-R001 count (check jobs)
-    std::vector<std::uint8_t> payload;
-  };
-
   /// Waits up to `timeout` for the reply to `request_id`, pumping the
   /// transport (other requests' replies are buffered, so interleaved
-  /// waiting is fine). False on timeout.
+  /// waiting is fine; duplicate replies are dropped; pings are answered).
+  /// False on timeout.
   bool wait(std::uint64_t request_id, Reply& out,
             std::chrono::microseconds timeout);
 
@@ -106,11 +257,58 @@ class ServeClient {
   /// meantime are buffered for later wait() calls. False on timeout.
   bool query_stats(std::string& out, std::chrono::microseconds timeout);
 
+  /// Malformed frames dropped with an ANAHY-F00x diagnostic.
+  [[nodiscard]] std::uint64_t rejected_frames() const {
+    return rejected_frames_;
+  }
+  /// kPing probes answered with a kPong.
+  [[nodiscard]] std::uint64_t pings_answered() const {
+    return pings_answered_;
+  }
+  /// Retransmissions performed by call() across its lifetime.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Duplicate kJobDone frames dropped (already consumed or buffered).
+  [[nodiscard]] std::uint64_t duplicate_replies() const {
+    return duplicate_replies_;
+  }
+
  private:
+  /// RAII misuse detector behind the NOT-thread-safe contract: entering a
+  /// public method while another thread is inside one aborts loudly.
+  struct UseGuard {
+    explicit UseGuard(ServeClient& c);
+    ~UseGuard();
+    ServeClient& c_;
+  };
+
+  /// Receives and classifies at most one frame (<= `timeout`). Returns
+  /// false on recv timeout.
+  bool pump_one(std::chrono::microseconds timeout);
+
+  /// Moves a buffered reply for `id` into `out`, recording the id as
+  /// consumed so late duplicates are dropped. False when not buffered yet.
+  bool take_ready(std::uint64_t id, Reply& out);
+
+  void send_submit(const std::string& function,
+                   const std::vector<std::uint8_t>& payload, std::uint64_t id,
+                   anahy::Priority priority, std::int64_t timeout_ns,
+                   bool check);
+
+  std::uint64_t next_jitter(std::uint64_t bound_us);
+
   Transport& transport_;
   int server_node_;
   std::uint64_t next_request_ = 1;
-  std::map<std::uint64_t, Reply> ready_;  ///< replies received early
+  std::map<std::uint64_t, Reply> ready_;       ///< replies received early
+  std::map<std::uint64_t, std::string> stats_ready_;
+  std::deque<std::uint64_t> consumed_order_;   ///< recently consumed ids
+  std::set<std::uint64_t> consumed_;
+  std::uint64_t jitter_state_;
+  std::uint64_t rejected_frames_ = 0;
+  std::uint64_t pings_answered_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t duplicate_replies_ = 0;
+  std::atomic<bool> busy_{false};
 };
 
 }  // namespace cluster

@@ -386,10 +386,11 @@ TEST(CheckLint, SingleTaskTraceIsHandledGracefully) {
   EXPECT_EQ(trace.nodes().size(), 1u);
 }
 
-TEST(CheckLint, TruncatedFileKeepsParsedPrefix) {
+TEST(CheckLint, TruncatedFileIsRejectedAtomically) {
   // Save a real-looking trace, then cut the file mid-record: the loader
-  // reports the failure but keeps everything before the bad line, and the
-  // linter still runs on the prefix.
+  // reports the failure with the offending line and loads *nothing* — a
+  // half-parsed graph would lint as if tasks leaked when the file merely
+  // lost its tail.
   const std::string full =
       "anahy-trace v1\n"
       "node 0 -1 0 0 -1 0 -1 0 0\n"
@@ -401,9 +402,26 @@ TEST(CheckLint, TruncatedFileKeepsParsedPrefix) {
   std::string error;
   EXPECT_FALSE(trace.load(in, &error));
   EXPECT_NE(error.find("line 4"), std::string::npos) << error;
-  EXPECT_EQ(trace.nodes().size(), 2u);  // the parsed prefix survives
-  // The prefix still lints: T1 is joinable and never joined.
-  EXPECT_TRUE(has_code_for(lint_trace(trace), lint_code::kLeakedTask, 1));
+  EXPECT_TRUE(trace.nodes().empty());  // all-or-nothing
+  EXPECT_TRUE(trace.edges().empty());
+}
+
+TEST(CheckLint, FailedLoadPreservesPreviousContents) {
+  // A graph that already holds a good trace must survive a failed reload
+  // untouched (the operator re-points anahy-lint at a bad file; the good
+  // in-memory data must not be clobbered).
+  std::istringstream good(
+      "anahy-trace v1\n"
+      "node 0 -1 0 0 -1 0 -1 0 0 main\n");
+  TraceGraph trace;
+  ASSERT_TRUE(trace.load(good));
+  ASSERT_EQ(trace.nodes().size(), 1u);
+
+  std::istringstream bad("anahy-trace v1\nnode not-a-number\n");
+  std::string error;
+  EXPECT_FALSE(trace.load(bad, &error));
+  EXPECT_EQ(trace.nodes().size(), 1u) << "failed load clobbered the graph";
+  EXPECT_EQ(trace.nodes()[0].label, "main");
 }
 
 TEST(CheckLint, MissingHeaderIsRejected) {
@@ -425,7 +443,7 @@ TEST(CheckLint, UnknownRecordKindIsRejectedWithLineNumber) {
   EXPECT_FALSE(trace.load(in, &error));
   EXPECT_NE(error.find("line 3"), std::string::npos) << error;
   EXPECT_NE(error.find("gibberish"), std::string::npos) << error;
-  EXPECT_EQ(trace.nodes().size(), 1u);
+  EXPECT_TRUE(trace.nodes().empty());  // all-or-nothing
 }
 
 TEST(CheckLint, MalformedEdgeKindIsRejected) {

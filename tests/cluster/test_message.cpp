@@ -86,4 +86,93 @@ TEST(Message, EmptyPayloadIsLegal) {
   EXPECT_TRUE(d.task.payload.empty());
 }
 
+// --- Hardened envelope: magic + version + length + CRC-32 ------------------
+
+TEST(Message, FrameCarriesTheMagicBytes) {
+  const auto frame = encode(make_steal_none());
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  // Little-endian u16 0xA4A1.
+  EXPECT_EQ(frame[0], 0xA1);
+  EXPECT_EQ(frame[1], 0xA4);
+  EXPECT_EQ(frame[2], kFrameVersion);
+}
+
+TEST(Message, BitCorruptionTripsTheChecksum) {
+  // Flip every single bit of the body in turn: CRC-32 must catch each one
+  // (single-bit flips are its bread and butter).
+  const auto clean = encode(make_task_ship(1, 2, "fn", {1, 2, 3}));
+  for (std::size_t bit = kFrameHeaderBytes * 8; bit < clean.size() * 8;
+       ++bit) {
+    auto frame = clean;
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto d = decode_frame(frame);
+    ASSERT_FALSE(d.ok) << "bit " << bit;
+    EXPECT_EQ(d.diagnostic.rfind(frame_diag::kChecksum, 0), 0u)
+        << d.diagnostic;
+  }
+}
+
+TEST(Message, BadMagicIsRejectedAsNotAnAnahyFrame) {
+  auto frame = encode(make_steal_none());
+  frame[0] ^= 0xFF;
+  const auto d = decode_frame(frame);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.diagnostic.rfind(frame_diag::kBadMagic, 0), 0u) << d.diagnostic;
+}
+
+TEST(Message, ShortAndLengthMismatchedFramesAreTruncations) {
+  // Shorter than the envelope itself.
+  for (std::size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    const std::vector<std::uint8_t> tiny(n, 0xA1);
+    const auto d = decode_frame(tiny);
+    ASSERT_FALSE(d.ok) << n;
+    EXPECT_EQ(d.diagnostic.rfind(frame_diag::kTruncated, 0), 0u)
+        << d.diagnostic;
+  }
+  // Envelope intact but the body shorter than the declared length.
+  auto frame = encode(make_stats_reply(7, "some exposition text"));
+  frame.resize(frame.size() - 5);
+  const auto d = decode_frame(frame);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.diagnostic.rfind(frame_diag::kTruncated, 0), 0u)
+      << d.diagnostic;
+}
+
+TEST(Message, UnsupportedVersionIsItsOwnDiagnostic) {
+  auto frame = encode(make_steal_none());
+  frame[2] = kFrameVersion + 1;
+  const auto d = decode_frame(frame);
+  ASSERT_FALSE(d.ok);
+  EXPECT_EQ(d.diagnostic.rfind(frame_diag::kVersion, 0), 0u) << d.diagnostic;
+}
+
+TEST(Message, DecodeFrameNeverThrowsOnGarbage) {
+  // Arbitrary junk — including junk that passes no header check at all —
+  // must come back as a rejection, not UB or an exception.
+  const std::vector<std::vector<std::uint8_t>> garbage = {
+      {},
+      {0x00},
+      {0xA1, 0xA4},
+      std::vector<std::uint8_t>(11, 0x00),
+      std::vector<std::uint8_t>(64, 0xFF),
+  };
+  for (const auto& g : garbage) {
+    const auto d = decode_frame(g);
+    EXPECT_FALSE(d.ok);
+    EXPECT_EQ(d.diagnostic.rfind("ANAHY-F00", 0), 0u) << d.diagnostic;
+  }
+}
+
+TEST(Message, PingPongRoundTrip) {
+  const Message ping = decode(encode(make_ping(3, 77)));
+  EXPECT_EQ(ping.type, MsgType::kPing);
+  EXPECT_EQ(ping.ping.from, 3u);
+  EXPECT_EQ(ping.ping.token, 77u);
+
+  const Message pong = decode(encode(make_pong(4, 77)));
+  EXPECT_EQ(pong.type, MsgType::kPong);
+  EXPECT_EQ(pong.ping.from, 4u);
+  EXPECT_EQ(pong.ping.token, 77u);
+}
+
 }  // namespace

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -544,6 +545,115 @@ TEST(ServeObserve, DeadlineRiskAnomaliesFromSyntheticStats) {
   a = deadline_risk_anomalies(s, 100);
   ASSERT_EQ(a.size(), 1u);
   EXPECT_NE(a[0].detail.find("2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment: a throwing job body resolves kFaulted, never
+// terminates the process.
+// ---------------------------------------------------------------------------
+
+TEST(JobServer, ThrowingBodyResolvesFaultedWithMessage) {
+  JobServer server(small_server());
+  JobSpec spec;
+  spec.body = [](void*) -> void* {
+    throw std::runtime_error("kaboom at task level");
+  };
+  spec.label = "thrower";
+  JobHandle h = server.submit(std::move(spec));
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(h.wait(), kFaulted);
+  EXPECT_EQ(h.state(), JobState::kDone);
+  EXPECT_NE(h.result().message.find("kaboom at task level"),
+            std::string::npos)
+      << h.result().message;
+  EXPECT_EQ(h.result().value, nullptr);
+  EXPECT_EQ(server.stats().of(Priority::kNormal).faulted, 1u);
+}
+
+TEST(JobServer, NonStdExceptionIsContainedToo) {
+  JobServer server(small_server());
+  JobSpec spec;
+  spec.body = [](void*) -> void* { throw 42; };
+  JobHandle h = server.submit(std::move(spec));
+  EXPECT_EQ(h.wait(), kFaulted);
+  EXPECT_NE(h.result().message.find("non-standard"), std::string::npos)
+      << h.result().message;
+}
+
+TEST(JobServer, ThrowingDescendantFaultsTheJob) {
+  // The throw happens in a forked child, not the root body: the context
+  // records the fault, cancels the job's remaining work, and the job
+  // resolves kFaulted (first fault wins).
+  JobServer server(small_server(4));
+  Runtime& rt = server.runtime();
+  JobSpec spec;
+  spec.body = [&](void*) -> void* {
+    std::vector<TaskPtr> children;
+    for (int i = 0; i < 4; ++i)
+      children.push_back(rt.fork([](void* in) -> void* {
+        if (in == nullptr) throw std::runtime_error("child kaboom");
+        return nullptr;
+      }, i == 2 ? nullptr : &i));
+    for (auto& c : children) rt.join(c, nullptr);
+    return nullptr;
+  };
+  JobHandle h = server.submit(std::move(spec));
+  EXPECT_EQ(h.wait(), kFaulted);
+  EXPECT_NE(h.result().message.find("child kaboom"), std::string::npos)
+      << h.result().message;
+}
+
+TEST(JobServer, FaultedJobStillFiresOnCompleteAndDrainCounts) {
+  JobServer server(small_server());
+  std::atomic<int> callbacks{0};
+  std::atomic<int> callback_error{0};
+  JobSpec spec;
+  spec.body = [](void*) -> void* { throw std::runtime_error("boom"); };
+  spec.on_complete = [&](const JobResult& r) {
+    callbacks.fetch_add(1);
+    callback_error.store(r.error);
+  };
+  JobHandle h = server.submit(std::move(spec));
+  EXPECT_EQ(h.wait(), kFaulted);
+  EXPECT_EQ(callbacks.load(), 1) << "kFaulted must fire on_complete once";
+  EXPECT_EQ(callback_error.load(), kFaulted);
+  server.drain();  // a faulted job is resolved work, not a drain leak
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.resolved_total(), 1u);
+  EXPECT_EQ(s.of(Priority::kNormal).faulted, 1u);
+  EXPECT_EQ(s.of(Priority::kNormal).completed, 0u);
+}
+
+TEST(JobServer, FaultedCountRidesTheExposition) {
+  JobServer server(small_server());
+  JobSpec spec;
+  spec.body = [](void*) -> void* { throw std::runtime_error("boom"); };
+  ASSERT_EQ(server.submit(std::move(spec)).wait(), kFaulted);
+  const std::string text = server.observe_text();
+  EXPECT_NE(
+      text.find("anahy_serve_jobs_faulted_total{class=\"normal\"} 1"),
+      std::string::npos)
+      << text;
+}
+
+TEST(JobServer, HealthyJobsUnaffectedByAFaultedNeighbor) {
+  // Containment means *isolation*: one faulted job must not poison
+  // concurrent healthy jobs sharing the VPs.
+  JobServer server(small_server(4));
+  std::vector<JobHandle> good;
+  JobSpec bad;
+  bad.body = [](void*) -> void* { throw std::runtime_error("boom"); };
+  JobHandle hbad = server.submit(std::move(bad));
+  for (int i = 0; i < 8; ++i) {
+    JobSpec spec;
+    spec.body = identity;
+    good.push_back(server.submit(std::move(spec)));
+  }
+  EXPECT_EQ(hbad.wait(), kFaulted);
+  for (auto& h : good) EXPECT_EQ(h.wait(), kOk);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.of(Priority::kNormal).completed, 8u);
+  EXPECT_EQ(s.of(Priority::kNormal).faulted, 1u);
 }
 
 TEST(JobServer, ObserveTextMergesTelemetryAndServeMetrics) {

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
 namespace {
 
@@ -203,6 +207,327 @@ TEST(ServeFrontend, StatsQueryOverTcpLoopback) {
   EXPECT_NE(
       text.find("anahy_serve_jobs_completed_total{class=\"normal\"} 1"),
       std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened-path tests: dedup, retries, heartbeats, kFaulted, rejection.
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_counted_calls{0};
+
+std::vector<std::uint8_t> counted_echo(std::span<const std::uint8_t> in) {
+  g_counted_calls.fetch_add(1, std::memory_order_relaxed);
+  return {in.begin(), in.end()};
+}
+
+std::vector<std::uint8_t> throwing_fn(std::span<const std::uint8_t>) {
+  throw std::runtime_error("remote boom");
+}
+
+/// Drives the raw wire (no ServeClient): lets tests choose request ids.
+std::vector<std::uint8_t> raw_submit_frame(std::uint32_t client,
+                                           std::uint64_t request_id,
+                                           const std::string& fn) {
+  return encode(make_job_submit(client, request_id, /*priority=*/1,
+                                /*timeout_ns=*/-1, /*check=*/false, fn, {}));
+}
+
+/// Receives kJobDone frames until one matches `request_id` (true) or
+/// `timeout` passes (false).
+bool raw_wait_done(Transport& t, std::uint64_t request_id,
+                   std::chrono::microseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<std::uint8_t> frame;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!t.recv(frame, 10'000us)) continue;
+    const auto d = decode_frame(frame);
+    if (d.ok && d.msg.type == MsgType::kJobDone &&
+        d.msg.job_done.request_id == request_id)
+      return true;
+  }
+  return false;
+}
+
+TEST(ServeFrontend, RetryInsideDedupWindowIsExactlyOnce) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("counted_echo", counted_echo);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+  g_counted_calls.store(0);
+
+  // Submit request 7, consume its reply, then retry the same id: the
+  // cached reply comes back, the body does NOT run again.
+  fabric[1]->send(0, raw_submit_frame(1, 7, "counted_echo"));
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 7, 2'000'000us));
+  EXPECT_EQ(g_counted_calls.load(), 1);
+
+  fabric[1]->send(0, raw_submit_frame(1, 7, "counted_echo"));
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 7, 2'000'000us))
+      << "retry must be answered from the dedup cache";
+  EXPECT_EQ(g_counted_calls.load(), 1) << "retry re-executed the body";
+  EXPECT_EQ(frontend.retransmits(), 1u);
+  EXPECT_EQ(frontend.duplicates_suppressed(), 0u);
+}
+
+TEST(ServeFrontend, DuplicateOfInflightRequestIsSuppressed) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  std::atomic<bool> release{false};
+  std::atomic<int> runs{0};
+  reg.add("gate", [&](std::span<const std::uint8_t>)
+                      -> std::vector<std::uint8_t> {
+    runs.fetch_add(1, std::memory_order_relaxed);
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(1ms);
+    return {};
+  });
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  fabric[1]->send(0, raw_submit_frame(1, 1, "gate"));
+  // Wait until the job is actually running, then send the duplicate.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (runs.load() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  ASSERT_EQ(runs.load(), 1);
+
+  fabric[1]->send(0, raw_submit_frame(1, 1, "gate"));
+  while (frontend.duplicates_suppressed() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(frontend.duplicates_suppressed(), 1u);
+
+  release.store(true, std::memory_order_release);
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 1, 2'000'000us));
+  EXPECT_EQ(runs.load(), 1) << "suppressed duplicate must not re-execute";
+  // Exactly one reply: no second kJobDone for the suppressed duplicate.
+  EXPECT_FALSE(raw_wait_done(*fabric[1], 1, 50'000us));
+}
+
+TEST(ServeFrontend, RetryOutsideDedupWindowReExecutes) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("counted_echo", counted_echo);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  FrontEndOptions opts;
+  opts.dedup_window = 1;  // only the most recent reply survives
+  ServeFrontEnd frontend(server, *fabric[0], reg, opts);
+  g_counted_calls.store(0);
+
+  fabric[1]->send(0, raw_submit_frame(1, 1, "counted_echo"));
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 1, 2'000'000us));
+  fabric[1]->send(0, raw_submit_frame(1, 2, "counted_echo"));
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 2, 2'000'000us));
+  EXPECT_EQ(g_counted_calls.load(), 2);
+
+  // Request 1 was evicted by request 2: its retry re-executes (the
+  // documented at-least-once degradation beyond the window).
+  fabric[1]->send(0, raw_submit_frame(1, 1, "counted_echo"));
+  ASSERT_TRUE(raw_wait_done(*fabric[1], 1, 2'000'000us));
+  EXPECT_EQ(g_counted_calls.load(), 3);
+  EXPECT_EQ(frontend.retransmits(), 0u);
+}
+
+TEST(ServeFrontend, DuplicateJobDoneIsDroppedByClient) {
+  // A raw "server" that answers every submit twice: the client must
+  // consume the reply once and drop the duplicate.
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("anything", {1});
+
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(fabric[0]->recv(frame, 2'000'000us));
+  const auto d = decode_frame(frame);
+  ASSERT_TRUE(d.ok);
+  ASSERT_EQ(d.msg.type, MsgType::kJobSubmit);
+  const auto done =
+      encode(make_job_done(d.msg.job_submit.request_id, anahy::kOk, 0, {7}));
+  fabric[0]->send(1, done);
+  fabric[0]->send(1, done);  // duplicate delivery
+
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  // Pump once more: the duplicate must be classified and dropped, never
+  // resurface as a phantom reply.
+  EXPECT_FALSE(client.wait(id, reply, 50'000us));
+  EXPECT_EQ(client.duplicate_replies(), 1u);
+}
+
+TEST(ServeFrontend, CallRetriesThenReportsUnreachable) {
+  // Node 0 exists but runs no front-end: submissions vanish into its
+  // inbox. call() must retry, then give up with kUnreachable — not hang.
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);
+  CallOptions opts;
+  opts.deadline = 150'000us;
+  opts.initial_backoff = 10'000us;
+  opts.max_backoff = 40'000us;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reply = client.call("void", {}, opts);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(reply.error, anahy::kUnreachable);
+  EXPECT_GE(client.retries(), 1u) << "backoff must actually retransmit";
+  EXPECT_LT(elapsed, 2s) << "deadline must bound the call";
+}
+
+TEST(ServeFrontend, CallSurvivesAnUnansweredFirstAttempt) {
+  // The first submit lands in a dead letter box (no front-end yet); the
+  // front-end starts while call() is backing off, and a retry succeeds —
+  // same request id, one execution.
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("counted_echo", counted_echo);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  g_counted_calls.store(0);
+
+  std::unique_ptr<ServeFrontEnd> frontend;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(60ms);
+    frontend = std::make_unique<ServeFrontEnd>(server, *fabric[0], reg);
+  });
+  ServeClient client(*fabric[1], 0);
+  CallOptions opts;
+  opts.deadline = 5'000'000us;
+  opts.initial_backoff = 20'000us;
+  const auto reply = client.call("counted_echo", {5}, opts);
+  starter.join();
+  EXPECT_EQ(reply.error, anahy::kOk);
+  ASSERT_EQ(reply.payload.size(), 1u);
+  EXPECT_EQ(reply.payload[0], 5u);
+  // The pre-front-end submits sat in the inbox and were *all* pumped when
+  // it started; dedup collapsed them into one execution.
+  EXPECT_EQ(g_counted_calls.load(), 1);
+}
+
+TEST(ServeFrontend, FaultedJobCarriesMessageOverMemoryFabric) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("throwing_fn", throwing_fn);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto reply = client.call("throwing_fn", {});
+  EXPECT_EQ(reply.error, anahy::kFaulted);
+  EXPECT_NE(reply.text().find("remote boom"), std::string::npos)
+      << "exception message must cross the wire: " << reply.text();
+  EXPECT_EQ(server.stats().of(anahy::Priority::kNormal).faulted, 1u);
+}
+
+TEST(ServeFrontend, FaultedJobCarriesMessageOverTcp) {
+  auto fabric = make_tcp_fabric(2);
+  Registry reg;
+  reg.add("throwing_fn", throwing_fn);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  ServeClient client(*fabric[1], 0);
+  const auto reply = client.call("throwing_fn", {});
+  EXPECT_EQ(reply.error, anahy::kFaulted);
+  EXPECT_NE(reply.text().find("remote boom"), std::string::npos);
+}
+
+TEST(ServeFrontend, GarbageFramesAreCountedAndSurvived) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  // Garbage, a truncated real frame, and a bit-corrupted real frame.
+  fabric[1]->send(0, {0x99, 0x01, 0x02});
+  auto real = raw_submit_frame(1, 50, "sum_u32");
+  auto truncated = real;
+  truncated.resize(real.size() - 3);
+  fabric[1]->send(0, truncated);
+  auto corrupted = real;
+  corrupted[corrupted.size() / 2] ^= 0x10;
+  fabric[1]->send(0, corrupted);
+
+  // The pump survives all three and still serves real traffic.
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(10));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(frontend.rejected_frames(), 3u);
+  EXPECT_EQ(frontend.last_reject_diagnostic().rfind("ANAHY-F00", 0), 0u)
+      << frontend.last_reject_diagnostic();
+}
+
+TEST(ServeFrontend, HeartbeatCancelsJobsOfSilentClient) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  std::atomic<bool> release{false};
+  reg.add("slow_gate", [&](std::span<const std::uint8_t>)
+                           -> std::vector<std::uint8_t> {
+    // Slow enough for the reaper to observe the job in flight; bounded so
+    // a failed reap cannot wedge the test.
+    for (int i = 0; i < 500 && !release.load(std::memory_order_acquire); ++i)
+      std::this_thread::sleep_for(1ms);
+    return {};
+  });
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  FrontEndOptions opts;
+  opts.heartbeat_interval = 10'000us;
+  opts.dead_after = 60'000us;
+  ServeFrontEnd frontend(server, *fabric[0], reg, opts);
+
+  // Raw client that submits and then never answers pings.
+  fabric[1]->send(0, raw_submit_frame(1, 1, "slow_gate"));
+
+  const auto deadline = std::chrono::steady_clock::now() + 3s;
+  while (frontend.clients_reaped() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(frontend.clients_reaped(), 1u) << "silent client never reaped";
+  EXPECT_GT(frontend.pings_sent(), 0u);
+  release.store(true, std::memory_order_release);
+  server.drain();
+}
+
+TEST(ServeFrontend, PingedClientThatPongsIsNotReaped) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  FrontEndOptions opts;
+  opts.heartbeat_interval = 10'000us;
+  opts.dead_after = 50'000us;
+  ServeFrontEnd frontend(server, *fabric[0], reg, opts);
+
+  // wait() pumps and answers pings, so a client that is merely *slow* to
+  // collect a long job is never declared dead.
+  ServeClient client(*fabric[1], 0);
+  const auto id = client.submit("sum_u32", numbers_payload(1000));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 5'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(frontend.clients_reaped(), 0u);
+}
+
+using ServeClientDeathTest = ::testing::Test;
+
+TEST(ServeClientDeathTest, ConcurrentUseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);
+  EXPECT_DEATH(
+      {
+        // One thread parks inside wait() while another calls submit():
+        // the documented NOT-thread-safe contract must abort loudly, not
+        // corrupt the pending-reply map.
+        std::thread waiter([&] {
+          ServeClient::Reply r;
+          client.wait(1, r, std::chrono::microseconds{1'000'000});
+        });
+        std::this_thread::sleep_for(100ms);
+        client.submit("x", {});
+        waiter.join();
+      },
+      "NOT thread-safe");
 }
 
 TEST(ServeFrontend, MultipleClientsOverTcpLoopback) {

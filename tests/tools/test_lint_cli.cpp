@@ -1,0 +1,102 @@
+// Golden tests of the anahy-lint CLI against corrupted input files.
+//
+// The contract under test (tools/anahy_lint.cpp): loading is
+// all-or-nothing. A truncated or garbage trace file produces ONE line on
+// stderr carrying the ANAHY-F004 diagnostic and exit code 2 — never a lint
+// report of whatever prefix happened to parse. The binary path arrives via
+// the ANAHY_LINT_BINARY compile definition (same mechanism as
+// ANAHY_WORKER_BINARY in test_cluster).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr merged
+};
+
+CliResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(ANAHY_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult r;
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path.string();
+}
+
+TEST(LintCli, CleanTraceExitsZero) {
+  const auto path = write_temp("lint_cli_clean.trace",
+                               "anahy-trace v1\n"
+                               "node 0 -1 0 0 -1 0 -1 0 0\n"
+                               "node 1 0 1 0 0 100 1 1 0\n"
+                               "edge 0 1 fork\n"
+                               "edge 1 0 join\n");
+  const auto r = run_lint("--summary " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 node(s)"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("ANAHY-F004"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, DiagnosticsExitOne) {
+  // A fork cycle is a W006: diagnostics found, exit 1 (distinct from the
+  // unreadable-file exit 2).
+  const auto path = write_temp("lint_cli_cycle.trace",
+                               "anahy-trace v1\n"
+                               "node 1 -1 0 0 -1 0 1 1 0\n"
+                               "node 2 1 1 0 -1 0 1 1 0\n"
+                               "edge 1 2 fork\n"
+                               "edge 2 1 fork\n");
+  const auto r = run_lint(path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("ANAHY-W"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, TruncatedTraceIsRejectedWholesale) {
+  // A node record chopped mid-field: the parsed prefix (one good node) must
+  // NOT be linted — one F004 line, exit 2, no lint output.
+  const auto path = write_temp("lint_cli_truncated.trace",
+                               "anahy-trace v1\n"
+                               "node 1 -1 0 0 -1 0 1 1 0\n"
+                               "node 2 1 1\n");
+  const auto r = run_lint("--summary " + path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("ANAHY-F004"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("not a readable anahy trace"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("node(s)"), std::string::npos)
+      << "no summary of a partial parse: " << r.output;
+}
+
+TEST(LintCli, BinaryGarbageIsRejectedWithCleanError) {
+  std::string junk = std::string(64, '\xAB') + "\nnot a trace at all\n";
+  junk.push_back('\0');
+  junk += std::string(32, '\xFF');
+  const auto path = write_temp("lint_cli_garbage.trace", junk);
+  const auto r = run_lint(path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("ANAHY-F004"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, MissingFileExitsTwo) {
+  const auto r = run_lint("/nonexistent/anahy-definitely-missing.trace");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -9,8 +9,10 @@
 // accepts `v1`/`v2` traces. `--jobs` prints a per-job breakdown of a
 // multi-job server trace; `--stats` prints the deterministic rollup
 // (node/edge counts, fork-depth histogram, per-job datalen and work/span)
-// from anahy::trace_stats_text. Exit code: 0 clean, 1 diagnostics found
-// (or a partially readable file), 2 the file could not be read at all.
+// from anahy::trace_stats_text. Exit code: 0 clean, 1 diagnostics found,
+// 2 the file could not be read or parsed (loading is all-or-nothing: a
+// truncated or corrupted file yields a one-line ANAHY-F004 error naming
+// the offending line, never a lint of a silently partial graph).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -78,16 +80,13 @@ int main(int argc, char** argv) {
 
   anahy::TraceGraph trace;
   std::string error;
-  const bool clean_parse = trace.load(in, &error);
-  if (!clean_parse && trace.nodes().empty() && trace.edges().empty()) {
-    std::cerr << "anahy-lint: '" << path << "' is not an anahy trace ("
-              << error << ")\n";
+  if (!trace.load(in, &error)) {
+    // All-or-nothing: a truncated/corrupt file is an error, not a lint of
+    // whatever prefix happened to parse. ANAHY-F004 matches the wire
+    // layer's "malformed body" code — same disease, different medium.
+    std::cerr << "anahy-lint: ANAHY-F004: '" << path
+              << "' is not a readable anahy trace (" << error << ")\n";
     return 2;
-  }
-  if (!clean_parse) {
-    std::cerr << "anahy-lint: warning: '" << path
-              << "' is truncated or corrupt (" << error
-              << "); linting the readable prefix\n";
   }
 
   const auto diags = anahy::lint_trace(trace);
@@ -107,5 +106,5 @@ int main(int argc, char** argv) {
   if (stats) std::cout << anahy::trace_stats_text(trace);
   if (dot) std::cout << trace.to_dot();
 
-  return diags.empty() && clean_parse ? 0 : 1;
+  return diags.empty() ? 0 : 1;
 }

@@ -72,16 +72,12 @@ int main(int argc, char** argv) {
 
   anahy::TraceGraph trace;
   std::string error;
-  const bool clean_parse = trace.load(in, &error);
-  if (!clean_parse && trace.nodes().empty() && trace.edges().empty()) {
-    std::cerr << "anahy-profile: '" << path << "' is not an anahy trace ("
-              << error << ")\n";
+  if (!trace.load(in, &error)) {
+    // Loading is all-or-nothing (see anahy-lint): converting a silently
+    // partial trace would produce a misleading profile.
+    std::cerr << "anahy-profile: ANAHY-F004: '" << path
+              << "' is not a readable anahy trace (" << error << ")\n";
     return 2;
-  }
-  if (!clean_parse) {
-    std::cerr << "anahy-profile: warning: '" << path
-              << "' is truncated or corrupt (" << error
-              << "); converting the readable prefix\n";
   }
 
   if (json) {
