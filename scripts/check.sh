@@ -55,6 +55,15 @@ step "chaos: seeded fault-injection suite (fixed seed, replayable)"
 ANAHY_CHAOS_SEED=0xC0FFEE \
     ctest --test-dir build --output-on-failure -L chaos
 
+step "wire bench smoke: epoll transport end-to-end, JSON must validate"
+# A scaled-down serve_wire_throughput run (docs/WIRE.md) exercises the
+# whole async wire path — blocking baseline, epoll sync, epoll async with
+# writev coalescing — and its BENCH_wire.json must be valid JSON.
+./build/bench/serve_wire_throughput --clients=4 --jobs=100 --window=8 \
+    --out=check_wire.json > /dev/null
+python3 -m json.tool check_wire.json > /dev/null
+rm -f check_wire.json
+
 step "profiler: chrome trace JSON from the serve demo's v3 trace"
 # The demo runs under profile mode, so its trace carries per-task VP
 # identity and stamped edges. anahy-profile must turn that into valid

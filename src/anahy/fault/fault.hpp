@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "anahy/observe/exposition.hpp"
+#include "cluster/epoll_transport.hpp"
 #include "cluster/transport.hpp"
 
 namespace anahy::fault {
@@ -68,7 +69,8 @@ struct SeverEvent {
   int peer = 0;
 };
 
-class FaultyTransport : public cluster::Transport {
+class FaultyTransport : public cluster::Transport,
+                        public cluster::WireStatsSource {
  public:
   /// Takes ownership of the real endpoint it decorates.
   FaultyTransport(std::unique_ptr<cluster::Transport> inner,
@@ -92,9 +94,15 @@ class FaultyTransport : public cluster::Transport {
   [[nodiscard]] FaultStats stats() const;
 
   /// The injected-fault tallies as exposition counters
-  /// (`anahy_fault_injected_total{kind="drop"} …`), ready to pass as the
+  /// (`anahy_fault_injected_total{kind="drop"} …`) — followed by the
+  /// decorated endpoint's wire rows when it is an event-loop transport,
+  /// so wrapping never hides `anahy_wire_*` — ready to pass as the
   /// `counters` argument of observe::render_text.
   [[nodiscard]] std::vector<observe::ExtraCounter> counters() const;
+
+  /// Passthrough of the decorated endpoint's wire counters (all-zero
+  /// when the inner transport is not an event-loop endpoint).
+  [[nodiscard]] cluster::WireCounters wire_counters() const override;
 
  private:
   /// Flushes delayed frames whose release time has come. Caller holds mu_.

@@ -170,7 +170,7 @@ FaultStats FaultyTransport::stats() const {
 
 std::vector<observe::ExtraCounter> FaultyTransport::counters() const {
   const FaultStats s = stats();
-  return {
+  std::vector<observe::ExtraCounter> rows{
       {"anahy_fault_sends_total", "", s.sends},
       {"anahy_fault_injected_total", "kind=\"drop\"", s.drops},
       {"anahy_fault_injected_total", "kind=\"duplicate\"", s.duplicates},
@@ -179,6 +179,17 @@ std::vector<observe::ExtraCounter> FaultyTransport::counters() const {
       {"anahy_fault_injected_total", "kind=\"delay\"", s.delays},
       {"anahy_fault_injected_total", "kind=\"severed\"", s.severed_sends},
   };
+  // Decorating an event-loop endpoint must not hide its wire telemetry.
+  if (dynamic_cast<const cluster::WireStatsSource*>(inner_.get()) != nullptr) {
+    for (auto& row : cluster::wire_counter_rows(wire_counters()))
+      rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+cluster::WireCounters FaultyTransport::wire_counters() const {
+  const auto* src = dynamic_cast<const cluster::WireStatsSource*>(inner_.get());
+  return src != nullptr ? src->wire_counters() : cluster::WireCounters{};
 }
 
 }  // namespace anahy::fault

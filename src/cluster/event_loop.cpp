@@ -1,0 +1,143 @@
+#include "cluster/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <vector>
+
+namespace cluster {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw std::runtime_error("epoll_ctl(wake) failed");
+  }
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoHandler handler) {
+  {
+    std::lock_guard lock(mu_);
+    handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    throw std::runtime_error("epoll_ctl(ADD) failed");
+}
+
+void EventLoop::rearm_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  // The fd may already be gone (peer died, handler removed it); MOD on an
+  // unregistered fd is a harmless ENOENT.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::remove_fd(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard lock(mu_);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wake.
+  ssize_t w;
+  do {
+    w = ::write(wake_fd_, &one, sizeof(one));
+  } while (w < 0 && errno == EINTR);
+}
+
+void EventLoop::drain_posted() {
+  // Swap out the queue so posted fns can post again without deadlock.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard lock(mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  loop_tid_.store(std::this_thread::get_id());
+  std::vector<epoll_event> events(64);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted sleep is not an error
+      break;                        // epoll fd itself is broken; bail out
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        ssize_t r;
+        do {
+          r = ::read(wake_fd_, &drained, sizeof(drained));
+        } while (r < 0 && errno == EINTR);
+        continue;
+      }
+      std::shared_ptr<IoHandler> handler;
+      {
+        std::lock_guard lock(mu_);
+        auto it = handlers_.find(fd);
+        if (it != handlers_.end()) handler = it->second;
+      }
+      // Holding a shared_ptr keeps the handler alive even if another
+      // thread removes the fd mid-dispatch.
+      if (handler) (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_posted();
+    if (static_cast<std::size_t>(n) == events.size() && events.size() < 4096)
+      events.resize(events.size() * 2);
+  }
+  // Final drain so a post() racing stop() is not silently dropped.
+  drain_posted();
+  loop_tid_.store(std::thread::id{});
+}
+
+}  // namespace cluster

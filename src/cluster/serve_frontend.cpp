@@ -422,30 +422,313 @@ bool ServeClient::wait(std::uint64_t request_id, Reply& out,
   }
 }
 
+bool ServeClient::take_stats(std::uint64_t id, std::string& out) {
+  auto it = stats_ready_.find(id);
+  if (it == stats_ready_.end()) return false;
+  out = std::move(it->second);
+  stats_ready_.erase(it);
+  // A retransmitted query produces a second reply under the same id; it
+  // would linger forever once this one is consumed. Bound the buffer so
+  // stale stats replies cannot accumulate (oldest id evicted first).
+  constexpr std::size_t kStatsWindow = 64;
+  while (stats_ready_.size() > kStatsWindow)
+    stats_ready_.erase(stats_ready_.begin());
+  return true;
+}
+
+int ServeClient::query_stats_impl(std::string& out, const CallOptions& copts) {
+  const std::uint64_t id = next_request_++;
+  const auto frame = encode(
+      make_stats_query(static_cast<std::uint32_t>(transport_.node_id()), id));
+  const auto deadline = Clock::now() + copts.deadline;
+  auto backoff = std::max(copts.initial_backoff, std::chrono::microseconds{1});
+  int attempts = 0;
+
+  // Same envelope as call(): fixed id across attempts, capped exponential
+  // backoff + jitter, a definite kUnreachable on give-up. (A retried
+  // query re-renders the exposition server-side — stats pulls are
+  // idempotent reads, so at-least-once execution is harmless.)
+  for (;;) {
+    try {
+      transport_.send(server_node_, frame);
+      if (++attempts > 1) ++retries_;
+    } catch (const std::exception&) {
+      ++attempts;  // unreachable peer; count the attempt, keep backing off
+    }
+
+    const auto jittered =
+        backoff + std::chrono::microseconds{next_jitter(
+                      static_cast<std::uint64_t>(backoff.count() / 4 + 1))};
+    const auto slice_end = std::min(deadline, Clock::now() + jittered);
+    for (;;) {
+      if (take_stats(id, out)) return anahy::kOk;
+      const auto now = Clock::now();
+      if (now >= slice_end) break;
+      pump_one(std::chrono::duration_cast<std::chrono::microseconds>(
+          slice_end - now));
+    }
+    if (take_stats(id, out)) return anahy::kOk;
+
+    if (Clock::now() >= deadline ||
+        (copts.max_attempts > 0 && attempts >= copts.max_attempts))
+      return anahy::kUnreachable;
+    backoff = std::min(backoff * 2, copts.max_backoff);
+  }
+}
+
+int ServeClient::query_stats(std::string& out, const CallOptions& copts) {
+  UseGuard guard(*this);
+  return query_stats_impl(out, copts);
+}
+
 bool ServeClient::query_stats(std::string& out,
                               std::chrono::microseconds timeout) {
   UseGuard guard(*this);
-  const std::uint64_t id = next_request_++;
-  try {
-    transport_.send(
-        server_node_,
-        encode(make_stats_query(
-            static_cast<std::uint32_t>(transport_.node_id()), id)));
-  } catch (const std::exception&) {
-    return false;  // unreachable peer
+  CallOptions copts;
+  copts.deadline = timeout;
+  return query_stats_impl(out, copts) == anahy::kOk;
+}
+
+// ------------------------------------------------------ AsyncServeClient --
+
+AsyncServeClient::AsyncServeClient(Transport& transport, int server_node,
+                                   std::uint64_t seed)
+    : transport_(transport), server_node_(server_node), jitter_state_(seed) {
+  pump_ = std::thread([this] { pump(); });
+}
+
+AsyncServeClient::~AsyncServeClient() {
+  stop_.store(true);
+  if (pump_.joinable()) pump_.join();
+  // Outstanding submissions resolve definitely even at teardown.
+  std::map<std::uint64_t, Pending> orphans;
+  {
+    std::lock_guard lock(mu_);
+    orphans.swap(pending_);
   }
-  const auto deadline = Clock::now() + timeout;
-  for (;;) {
-    auto it = stats_ready_.find(id);
-    if (it != stats_ready_.end()) {
-      out = std::move(it->second);
-      stats_ready_.erase(it);
-      return true;
+  for (auto& [id, p] : orphans) {
+    Reply r;
+    r.error = anahy::kUnreachable;
+    resolve(std::move(p), std::move(r));
+  }
+}
+
+void AsyncServeClient::resolve(Pending&& p, Reply r) {
+  if (p.callback) p.callback(r);
+  p.promise.set_value(std::move(r));
+}
+
+std::uint64_t AsyncServeClient::next_jitter_locked(std::uint64_t bound_us) {
+  if (bound_us == 0) return 0;
+  std::uint64_t z = (jitter_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z % bound_us;
+}
+
+std::future<AsyncServeClient::Reply> AsyncServeClient::submit_async(
+    const std::string& function, std::vector<std::uint8_t> payload,
+    const CallOptions& copts, anahy::Priority priority, std::int64_t timeout_ns,
+    bool check, Callback callback) {
+  // Reserve the id and encode under one lock so ids and frames agree.
+  std::vector<std::uint8_t> frame;
+  std::future<Reply> fut;
+  const auto now = Clock::now();
+  std::vector<std::uint8_t> wire_copy;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t id = next_request_++;
+    frame = encode(make_job_submit(
+        static_cast<std::uint32_t>(transport_.node_id()), id,
+        static_cast<std::uint8_t>(priority), timeout_ns, check, function,
+        std::move(payload)));
+    Pending p;
+    p.callback = std::move(callback);
+    p.deadline = now + copts.deadline;
+    p.backoff = std::max(copts.initial_backoff, std::chrono::microseconds{1});
+    p.max_backoff = copts.max_backoff;
+    p.max_attempts = copts.max_attempts;
+    const auto jitter = std::chrono::microseconds{next_jitter_locked(
+        static_cast<std::uint64_t>(p.backoff.count() / 4 + 1))};
+    p.next_resend = now + p.backoff + jitter;
+    p.frame = std::move(frame);
+    wire_copy = p.frame;
+    fut = p.promise.get_future();
+    pending_.emplace(id, std::move(p));
+  }
+  try {
+    transport_.send(server_node_, std::move(wire_copy));
+  } catch (const std::exception&) {
+    // Unreachable peer: retransmit timers (or the deadline) settle it.
+  }
+  return fut;
+}
+
+AsyncServeClient::Reply AsyncServeClient::call(
+    const std::string& function, std::vector<std::uint8_t> payload,
+    const CallOptions& copts, anahy::Priority priority, std::int64_t timeout_ns,
+    bool check) {
+  return submit_async(function, std::move(payload), copts, priority,
+                      timeout_ns, check)
+      .get();
+}
+
+int AsyncServeClient::query_stats(std::string& out, const CallOptions& copts) {
+  std::future<Reply> fut;
+  const auto now = Clock::now();
+  std::vector<std::uint8_t> wire_copy;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t id = next_request_++;
+    Pending p;
+    p.deadline = now + copts.deadline;
+    p.backoff = std::max(copts.initial_backoff, std::chrono::microseconds{1});
+    p.max_backoff = copts.max_backoff;
+    p.max_attempts = copts.max_attempts;
+    p.is_stats = true;
+    const auto jitter = std::chrono::microseconds{next_jitter_locked(
+        static_cast<std::uint64_t>(p.backoff.count() / 4 + 1))};
+    p.next_resend = now + p.backoff + jitter;
+    p.frame = encode(make_stats_query(
+        static_cast<std::uint32_t>(transport_.node_id()), id));
+    wire_copy = p.frame;
+    fut = p.promise.get_future();
+    pending_.emplace(id, std::move(p));
+  }
+  try {
+    transport_.send(server_node_, std::move(wire_copy));
+  } catch (const std::exception&) {
+  }
+  Reply r = fut.get();
+  if (r.error != anahy::kOk) return r.error;
+  out = r.text();
+  return anahy::kOk;
+}
+
+std::size_t AsyncServeClient::inflight() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+void AsyncServeClient::handle_frame(const std::vector<std::uint8_t>& frame) {
+  DecodeResult d = decode_frame(frame);
+  if (!d.ok) {
+    rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (d.msg.type) {
+    case MsgType::kPing:
+      try {
+        transport_.send(
+            server_node_,
+            encode(make_pong(static_cast<std::uint32_t>(transport_.node_id()),
+                             d.msg.ping.token)));
+      } catch (const std::exception&) {
+        // Server vanished mid-probe; the retry machinery will notice.
+      }
+      pings_answered_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MsgType::kJobDone: {
+      const std::uint64_t id = d.msg.job_done.request_id;
+      Pending p;
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(id);
+        if (it == pending_.end() || it->second.is_stats) {
+          duplicate_replies_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        p = std::move(it->second);
+        pending_.erase(it);
+      }
+      Reply r;
+      r.error = static_cast<int>(d.msg.job_done.error);
+      r.races = d.msg.job_done.races;
+      r.payload = std::move(d.msg.job_done.payload);
+      resolve(std::move(p), std::move(r));
+      break;
+    }
+    case MsgType::kStatsReply: {
+      const std::uint64_t id = d.msg.stats_reply.request_id;
+      Pending p;
+      {
+        std::lock_guard lock(mu_);
+        auto it = pending_.find(id);
+        if (it == pending_.end() || !it->second.is_stats) {
+          duplicate_replies_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        p = std::move(it->second);
+        pending_.erase(it);
+      }
+      Reply r;
+      r.error = anahy::kOk;
+      r.payload.assign(d.msg.stats_reply.text.begin(),
+                       d.msg.stats_reply.text.end());
+      resolve(std::move(p), std::move(r));
+      break;
+    }
+    default:
+      break;  // not client traffic; drop
+  }
+}
+
+void AsyncServeClient::service_timers(Clock::time_point now) {
+  // Two passes: decide under the lock, act (resolve / retransmit) outside
+  // it so callbacks and sends never run with mu_ held.
+  std::vector<Pending> expired;
+  std::vector<std::vector<std::uint8_t>> resend;
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Pending& p = it->second;
+      if (now >= p.deadline ||
+          (p.max_attempts > 0 && p.attempts >= p.max_attempts)) {
+        expired.push_back(std::move(p));
+        it = pending_.erase(it);
+        continue;
+      }
+      if (now >= p.next_resend) {
+        resend.push_back(p.frame);
+        ++p.attempts;
+        p.backoff = std::min(p.backoff * 2, p.max_backoff);
+        const auto jitter = std::chrono::microseconds{next_jitter_locked(
+            static_cast<std::uint64_t>(p.backoff.count() / 4 + 1))};
+        p.next_resend = now + p.backoff + jitter;
+      }
+      ++it;
+    }
+  }
+  for (auto& frame : resend) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      transport_.send(server_node_, std::move(frame));
+    } catch (const std::exception&) {
+    }
+  }
+  for (auto& p : expired) {
+    Reply r;
+    r.error = anahy::kUnreachable;
+    resolve(std::move(p), std::move(r));
+  }
+}
+
+void AsyncServeClient::pump() {
+  std::vector<std::uint8_t> frame;
+  auto next_timer_scan = Clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (transport_.recv(frame, std::chrono::microseconds{1000})) {
+      handle_frame(frame);
+      // Drain without sleeping: coalesced batches land together.
+      while (transport_.recv(frame, std::chrono::microseconds{0}))
+        handle_frame(frame);
     }
     const auto now = Clock::now();
-    if (now >= deadline) return false;
-    pump_one(
-        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+    if (now >= next_timer_scan) {
+      service_timers(now);
+      next_timer_scan = now + std::chrono::microseconds{1000};
+    }
   }
 }
 

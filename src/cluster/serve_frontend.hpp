@@ -36,6 +36,8 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -251,10 +253,17 @@ class ServeClient {
   bool wait(std::uint64_t request_id, Reply& out,
             std::chrono::microseconds timeout);
 
-  /// Synchronous telemetry pull: sends kStatsQuery and waits up to
-  /// `timeout` for the matching kStatsReply, writing the server's
-  /// observe_text() exposition into `out`. Job replies arriving in the
-  /// meantime are buffered for later wait() calls. False on timeout.
+  /// Synchronous telemetry pull with the same retry/backoff/deadline
+  /// envelope as call(): sends kStatsQuery under a client-assigned id and
+  /// retransmits with capped exponential backoff + jitter until the
+  /// matching kStatsReply arrives (written into `out`, returns kOk) or
+  /// the deadline/attempt budget is exhausted (returns kUnreachable —
+  /// never a silent hang). Job replies arriving in the meantime are
+  /// buffered for later wait() calls.
+  int query_stats(std::string& out, const CallOptions& copts);
+
+  /// Convenience wrapper: deadline-only CallOptions. True exactly when
+  /// the pull returned kOk.
   bool query_stats(std::string& out, std::chrono::microseconds timeout);
 
   /// Malformed frames dropped with an ANAHY-F00x diagnostic.
@@ -285,6 +294,14 @@ class ServeClient {
   /// false on recv timeout.
   bool pump_one(std::chrono::microseconds timeout);
 
+  /// Shared body of both query_stats overloads (callers hold the
+  /// UseGuard; nesting two guards would trip the misuse abort).
+  int query_stats_impl(std::string& out, const CallOptions& copts);
+
+  /// Moves a buffered stats reply for `id` into `out`. False when not
+  /// arrived yet.
+  bool take_stats(std::uint64_t id, std::string& out);
+
   /// Moves a buffered reply for `id` into `out`, recording the id as
   /// consumed so late duplicates are dropped. False when not buffered yet.
   bool take_ready(std::uint64_t id, Reply& out);
@@ -309,6 +326,127 @@ class ServeClient {
   std::uint64_t retries_ = 0;
   std::uint64_t duplicate_replies_ = 0;
   std::atomic<bool> busy_{false};
+};
+
+/// Multiplexed asynchronous client: many requests in flight on ONE
+/// transport endpoint, submitted from any number of threads.
+///
+/// THREAD-SAFE — the deliberate opposite of ServeClient's abort-enforced
+/// single-thread contract. An internal pump thread owns the receive side
+/// (honoring the transport's one-receiver rule), resolves futures and
+/// callbacks, answers heartbeat pings, and drives the same fixed-request-id
+/// retry/backoff/deadline machinery as ServeClient::call, so retries stay
+/// exactly-once through the server's dedup window and every submission
+/// resolves definitely (kUnreachable on give-up, never a hang).
+///
+/// This is the client the batched epoll wire path is built for
+/// (docs/WIRE.md): concurrent submissions share the socket and coalesce
+/// into writev batches instead of serializing on one blocking round-trip,
+/// so load generators stop being the bottleneck.
+///
+/// Callbacks and promise resolutions run on the pump thread (or, for
+/// submissions still pending at destruction, on the destructing thread):
+/// keep them short and never call back into blocking client methods from
+/// one.
+class AsyncServeClient {
+ public:
+  using Reply = ServeClient::Reply;
+  using Callback = std::function<void(const Reply&)>;
+
+  /// `seed` drives the retry jitter (deterministic per client). The
+  /// transport must outlive this object.
+  AsyncServeClient(Transport& transport, int server_node,
+                   std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Stops the pump and resolves every outstanding future/callback with
+  /// kUnreachable.
+  ~AsyncServeClient();
+
+  AsyncServeClient(const AsyncServeClient&) = delete;
+  AsyncServeClient& operator=(const AsyncServeClient&) = delete;
+
+  /// Submits and returns immediately with a future that resolves exactly
+  /// once — kOk/kFaulted/... from the server, or kUnreachable when the
+  /// retry envelope is exhausted. `callback` (optional) fires on the pump
+  /// thread right before the future resolves.
+  std::future<Reply> submit_async(
+      const std::string& function, std::vector<std::uint8_t> payload,
+      const CallOptions& copts = CallOptions{},
+      anahy::Priority priority = anahy::Priority::kNormal,
+      std::int64_t timeout_ns = -1, bool check = false,
+      Callback callback = nullptr);
+
+  /// Blocking convenience: submit_async(...).get(). Unlike
+  /// ServeClient::call this may run from many threads concurrently —
+  /// each caller parks on its own future while the shared pump
+  /// multiplexes the socket.
+  Reply call(const std::string& function, std::vector<std::uint8_t> payload,
+             const CallOptions& copts = CallOptions{},
+             anahy::Priority priority = anahy::Priority::kNormal,
+             std::int64_t timeout_ns = -1, bool check = false);
+
+  /// Telemetry pull with retry parity (see ServeClient::query_stats).
+  /// Returns kOk with `out` filled, or kUnreachable on give-up.
+  int query_stats(std::string& out, const CallOptions& copts = CallOptions{});
+
+  /// Requests currently awaiting a reply.
+  [[nodiscard]] std::size_t inflight() const;
+
+  /// Retransmissions performed across the client's lifetime.
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  /// Malformed frames dropped with an ANAHY-F00x diagnostic.
+  [[nodiscard]] std::uint64_t rejected_frames() const {
+    return rejected_frames_.load(std::memory_order_relaxed);
+  }
+  /// kPing probes answered with a kPong.
+  [[nodiscard]] std::uint64_t pings_answered() const {
+    return pings_answered_.load(std::memory_order_relaxed);
+  }
+  /// kJobDone frames for ids no longer pending (duplicates/latecomers).
+  [[nodiscard]] std::uint64_t duplicate_replies() const {
+    return duplicate_replies_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One in-flight request. `frame` is the encoded submission, kept so
+  /// retransmits do not re-encode; `is_stats` marks kStatsQuery pulls
+  /// (their Reply carries the exposition text as payload).
+  struct Pending {
+    std::promise<Reply> promise;
+    Callback callback;
+    std::vector<std::uint8_t> frame;
+    Clock::time_point deadline;
+    Clock::time_point next_resend;
+    std::chrono::microseconds backoff{0};
+    std::chrono::microseconds max_backoff{0};
+    int attempts = 1;
+    int max_attempts = 0;
+    bool is_stats = false;
+  };
+
+  void pump();
+  void handle_frame(const std::vector<std::uint8_t>& frame);
+  void service_timers(Clock::time_point now);
+  /// Resolves `p` (erased from the map by the caller) with `r`.
+  static void resolve(Pending&& p, Reply r);
+  std::uint64_t next_jitter_locked(std::uint64_t bound_us);
+
+  Transport& transport_;
+  int server_node_;
+  mutable std::mutex mu_;  ///< guards pending_, next_request_, jitter_state_
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t jitter_state_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> rejected_frames_{0};
+  std::atomic<std::uint64_t> pings_answered_{0};
+  std::atomic<std::uint64_t> duplicate_replies_{0};
+  std::thread pump_;
 };
 
 }  // namespace cluster

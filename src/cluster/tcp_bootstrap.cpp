@@ -17,14 +17,15 @@
 
 #include <chrono>
 
+#include "cluster/epoll_transport.hpp"
 #include "cluster/tcp_endpoint.hpp"
 #include "cluster/transport.hpp"
 
 namespace cluster {
 namespace {
 
+using detail::EpollEndpoint;
 using detail::read_all;
-using detail::TcpEndpoint;
 using detail::write_all;
 
 constexpr std::uint8_t kTagRegister = 'R';
@@ -85,7 +86,7 @@ std::unique_ptr<Transport> tcp_coordinator(std::uint16_t port, int n) {
   if (n < 1) throw std::invalid_argument("cluster needs >= 1 node");
   std::vector<int> peer_fd(static_cast<std::size_t>(n), -1);
   if (n == 1) {
-    auto ep = std::make_unique<TcpEndpoint>(0, 1);
+    auto ep = std::make_unique<EpollEndpoint>(0, 1);
     ep->set_peers(std::move(peer_fd));
     return ep;
   }
@@ -97,8 +98,8 @@ std::unique_ptr<Transport> tcp_coordinator(std::uint16_t port, int n) {
   for (int next_id = 1; next_id < n; ++next_id) {
     sockaddr_in peer{};
     socklen_t plen = sizeof(peer);
-    const int fd =
-        ::accept(listener, reinterpret_cast<sockaddr*>(&peer), &plen);
+    const int fd = detail::accept_retry(
+        listener, reinterpret_cast<sockaddr*>(&peer), &plen);
     if (fd < 0) throw std::runtime_error("accept() failed");
     set_nodelay(fd);
     std::uint8_t tag = 0;
@@ -131,7 +132,10 @@ std::unique_ptr<Transport> tcp_coordinator(std::uint16_t port, int n) {
     write_all(peer_fd[static_cast<std::size_t>(id)], msg.data(), msg.size());
   }
 
-  auto ep = std::make_unique<TcpEndpoint>(0, n);
+  // Event-loop endpoint: the multi-process deployment rides the same
+  // batched epoll wire path as the loopback fabric (docs/WIRE.md). The
+  // stream format matches TcpEndpoint, so mixed deployments interoperate.
+  auto ep = std::make_unique<EpollEndpoint>(0, n);
   ep->set_peers(std::move(peer_fd));
   return ep;
 }
@@ -186,7 +190,7 @@ std::unique_ptr<Transport> tcp_worker(const std::string& host,
   }
   // Accept from every higher-id worker.
   for (int expected = id + 1; expected < n; ++expected) {
-    const int fd = ::accept(listener, nullptr, nullptr);
+    const int fd = detail::accept_retry(listener, nullptr, nullptr);
     if (fd < 0) throw std::runtime_error("mesh accept() failed");
     set_nodelay(fd);
     std::uint8_t tag = 0;
@@ -198,7 +202,7 @@ std::unique_ptr<Transport> tcp_worker(const std::string& host,
   }
   ::close(listener);
 
-  auto ep = std::make_unique<TcpEndpoint>(id, n);
+  auto ep = std::make_unique<EpollEndpoint>(id, n);
   ep->set_peers(std::move(peer_fd));
   return ep;
 }

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -23,6 +24,7 @@ inline void write_all(int fd, const void* data, std::size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;  // interrupted, not dead
     if (w <= 0) throw std::runtime_error("tcp send failed");
     p += w;
     n -= static_cast<std::size_t>(w);
@@ -33,12 +35,28 @@ inline bool read_all(int fd, void* data, std::size_t n) {
   char* p = static_cast<char*>(data);
   while (n > 0) {
     const ssize_t r = ::recv(fd, p, n, 0);
-    if (r <= 0) return false;  // peer closed / error
+    if (r < 0 && errno == EINTR) continue;  // interrupted, not dead
+    if (r <= 0) return false;               // peer closed / error
     p += r;
     n -= static_cast<std::size_t>(r);
   }
   return true;
 }
+
+/// accept() with EINTR retry: a signal during the blocking wait must not
+/// be mistaken for a failed bootstrap.
+inline int accept_retry(int listen_fd, sockaddr* addr, socklen_t* len) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, addr, len);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// Builds the fd table of a fully-connected loopback TCP mesh:
+/// result[i][j] is node i's socket to node j (-1 on the diagonal). Shared
+/// by the blocking (make_tcp_fabric) and event-loop (make_epoll_fabric)
+/// factories. Throws std::runtime_error on socket errors.
+std::vector<std::vector<int>> loopback_mesh_fds(int n);
 
 class TcpEndpoint final : public Transport {
  public:

@@ -1,5 +1,7 @@
 // Single-process TCP loopback mesh: every node pair is connected by one
-// socket. The shared endpoint machinery lives in tcp_endpoint.hpp.
+// socket. The mesh builder is shared with the event-loop fabric
+// (make_epoll_fabric); the blocking endpoint machinery lives in
+// tcp_endpoint.hpp.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -14,7 +16,9 @@ using detail::read_all;
 using detail::TcpEndpoint;
 using detail::write_all;
 
-std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n) {
+namespace detail {
+
+std::vector<std::vector<int>> loopback_mesh_fds(int n) {
   // Listeners on ephemeral loopback ports.
   std::vector<int> listen_fd(static_cast<std::size_t>(n), -1);
   std::vector<std::uint16_t> port(static_cast<std::size_t>(n), 0);
@@ -55,8 +59,8 @@ std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n) {
       const std::uint8_t idbyte = static_cast<std::uint8_t>(i);
       write_all(cfd, &idbyte, 1);
 
-      const int afd =
-          ::accept(listen_fd[static_cast<std::size_t>(j)], nullptr, nullptr);
+      const int afd = detail::accept_retry(
+          listen_fd[static_cast<std::size_t>(j)], nullptr, nullptr);
       if (afd < 0) throw std::runtime_error("accept() failed");
       ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       std::uint8_t got = 0;
@@ -68,7 +72,13 @@ std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n) {
     }
   }
   for (const int fd : listen_fd) ::close(fd);
+  return fds;
+}
 
+}  // namespace detail
+
+std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n) {
+  auto fds = detail::loopback_mesh_fds(n);
   std::vector<std::unique_ptr<Transport>> endpoints;
   endpoints.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {

@@ -38,7 +38,15 @@ std::vector<std::unique_ptr<Transport>> make_memory_fabric(
 
 /// Builds an `n`-node mesh of real TCP connections over 127.0.0.1, all
 /// endpoints in this process. Throws std::runtime_error on socket errors.
+/// Endpoints are the blocking one-reader-thread-per-peer kind; the hot
+/// serve path prefers make_epoll_fabric (same wire format, event-loop IO).
 std::vector<std::unique_ptr<Transport>> make_tcp_fabric(int n);
+
+/// Builds the same loopback TCP mesh with event-loop endpoints: one epoll
+/// reactor thread per endpoint, nonblocking sockets, outbound frames
+/// coalesced into scatter-gather writev batches, streaming receive
+/// (docs/WIRE.md). An EpollOptions overload lives in epoll_transport.hpp.
+std::vector<std::unique_ptr<Transport>> make_epoll_fabric(int n);
 
 /// Multi-process deployment (the paper's actual cluster scenario): the
 /// coordinator process is node 0 and blocks until n-1 workers registered

@@ -1,0 +1,142 @@
+// StreamDecoder: arbitrary stream chunking back into whole frames.
+//
+// The regression the suite pins: decode_frame used to be exercised one
+// complete frame at a time, so nothing proved that a recv() delivering
+// two-and-a-half coalesced envelopes yields both complete frames AND
+// retains the half for the next feed. That is exactly what the batched
+// writev path produces on the receiving side.
+#include "cluster/stream_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/message.hpp"
+
+namespace {
+
+using namespace cluster;
+
+/// One wire unit: 4-byte length prefix + the hardened envelope frame.
+std::vector<std::uint8_t> wire_bytes(const Message& msg) {
+  const std::vector<std::uint8_t> frame = encode(msg);
+  std::vector<std::uint8_t> out(4);
+  encode_wire_prefix(static_cast<std::uint32_t>(frame.size()), out.data());
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+TEST(StreamDecoder, TwoAndAHalfCoalescedEnvelopesInOneBuffer) {
+  const Message m1 = make_ping(7, 111);
+  const Message m2 = make_job_done(42, 0, 0, {1, 2, 3});
+  const Message m3 = make_stats_reply(9, "exposition text");
+
+  const auto w1 = wire_bytes(m1);
+  const auto w2 = wire_bytes(m2);
+  const auto w3 = wire_bytes(m3);
+
+  // One buffer: both complete frames plus half of the third.
+  std::vector<std::uint8_t> buffer;
+  buffer.insert(buffer.end(), w1.begin(), w1.end());
+  buffer.insert(buffer.end(), w2.begin(), w2.end());
+  const std::size_t half = w3.size() / 2;
+  buffer.insert(buffer.end(), w3.begin(), w3.begin() + half);
+
+  StreamDecoder dec;
+  dec.feed(buffer.data(), buffer.size());
+
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(dec.next(frame));
+  DecodeResult d1 = decode_frame(frame);
+  ASSERT_TRUE(d1.ok);
+  EXPECT_EQ(d1.msg.type, MsgType::kPing);
+  EXPECT_EQ(d1.msg.ping.token, 111u);
+
+  ASSERT_TRUE(dec.next(frame));
+  DecodeResult d2 = decode_frame(frame);
+  ASSERT_TRUE(d2.ok);
+  EXPECT_EQ(d2.msg.type, MsgType::kJobDone);
+  EXPECT_EQ(d2.msg.job_done.request_id, 42u);
+  EXPECT_EQ(d2.msg.job_done.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  // The half envelope is NOT a frame yet — and it is retained, not lost.
+  EXPECT_FALSE(dec.next(frame));
+  EXPECT_EQ(dec.buffered_bytes(), half);
+
+  // Feeding the rest completes the third frame exactly.
+  dec.feed(w3.data() + half, w3.size() - half);
+  ASSERT_TRUE(dec.next(frame));
+  DecodeResult d3 = decode_frame(frame);
+  ASSERT_TRUE(d3.ok);
+  EXPECT_EQ(d3.msg.type, MsgType::kStatsReply);
+  EXPECT_EQ(d3.msg.stats_reply.text, "exposition text");
+  EXPECT_FALSE(dec.next(frame));
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(StreamDecoder, ByteAtATimeDribble) {
+  const auto w = wire_bytes(make_job_done(5, 0, 0, {9, 9, 9, 9}));
+  StreamDecoder dec;
+  std::vector<std::uint8_t> frame;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    dec.feed(&w[i], 1);
+    EXPECT_FALSE(dec.next(frame)) << "completed early at byte " << i;
+  }
+  dec.feed(&w[w.size() - 1], 1);
+  ASSERT_TRUE(dec.next(frame));
+  DecodeResult d = decode_frame(frame);
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.msg.job_done.request_id, 5u);
+}
+
+TEST(StreamDecoder, PrefixSplitAcrossFeeds) {
+  const auto w = wire_bytes(make_ping(1, 2));
+  StreamDecoder dec;
+  std::vector<std::uint8_t> frame;
+  dec.feed(w.data(), 2);  // half the length prefix
+  EXPECT_FALSE(dec.next(frame));
+  EXPECT_EQ(dec.buffered_bytes(), 2u);
+  dec.feed(w.data() + 2, w.size() - 2);
+  ASSERT_TRUE(dec.next(frame));
+  EXPECT_TRUE(decode_frame(frame).ok);
+}
+
+TEST(StreamDecoder, ZeroLengthFrame) {
+  std::uint8_t prefix[4];
+  encode_wire_prefix(0, prefix);
+  StreamDecoder dec;
+  dec.feed(prefix, 4);
+  std::vector<std::uint8_t> frame{1, 2, 3};  // must be overwritten
+  ASSERT_TRUE(dec.next(frame));
+  EXPECT_TRUE(frame.empty());
+}
+
+TEST(StreamDecoder, ManyFramesOneFeed) {
+  std::vector<std::uint8_t> buffer;
+  constexpr int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto w = wire_bytes(make_ping(0, static_cast<std::uint64_t>(i)));
+    buffer.insert(buffer.end(), w.begin(), w.end());
+  }
+  StreamDecoder dec;
+  dec.feed(buffer.data(), buffer.size());
+  std::vector<std::uint8_t> frame;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(dec.next(frame)) << i;
+    DecodeResult d = decode_frame(frame);
+    ASSERT_TRUE(d.ok);
+    EXPECT_EQ(d.msg.ping.token, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(dec.next(frame));
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(StreamDecoder, HostileLengthOverflows) {
+  std::uint8_t prefix[4];
+  encode_wire_prefix(kMaxWireFrameBytes + 1, prefix);
+  StreamDecoder dec;
+  dec.feed(prefix, 4);
+  std::vector<std::uint8_t> frame;
+  EXPECT_FALSE(dec.next(frame));
+  EXPECT_TRUE(dec.overflowed());
+}
+
+}  // namespace

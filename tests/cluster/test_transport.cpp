@@ -12,8 +12,10 @@ using namespace std::chrono_literals;
 class FabricTest : public ::testing::TestWithParam<const char*> {
  protected:
   std::vector<std::unique_ptr<Transport>> make(int n) {
-    return std::string(GetParam()) == "memory" ? make_memory_fabric(n)
-                                               : make_tcp_fabric(n);
+    const std::string kind(GetParam());
+    if (kind == "memory") return make_memory_fabric(n);
+    if (kind == "epoll") return make_epoll_fabric(n);
+    return make_tcp_fabric(n);
   }
 };
 
@@ -113,7 +115,7 @@ TEST_P(FabricTest, NodeIdentity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fabrics, FabricTest,
-                         ::testing::Values("memory", "tcp"),
+                         ::testing::Values("memory", "tcp", "epoll"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });

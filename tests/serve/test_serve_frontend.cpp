@@ -209,6 +209,86 @@ TEST(ServeFrontend, StatsQueryOverTcpLoopback) {
       std::string::npos);
 }
 
+TEST(ServeFrontend, StatsQueryUnreachableIsADefiniteOutcome) {
+  // Nothing listening on node 0: the pull must come back kUnreachable
+  // inside the deadline, with the same retry envelope as call() — not
+  // hang, and not a bare false that hides *why* it failed.
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);
+
+  CallOptions copts;
+  copts.deadline = 150'000us;
+  copts.initial_backoff = 20'000us;
+  std::string text = "untouched";
+  EXPECT_EQ(client.query_stats(text, copts), anahy::kUnreachable);
+  EXPECT_EQ(text, "untouched");
+  EXPECT_GT(client.retries(), 0u) << "no retransmission before giving up";
+
+  // The boolean convenience wrapper agrees.
+  EXPECT_FALSE(client.query_stats(text, 100'000us));
+}
+
+TEST(ServeFrontend, StatsQueryAttemptBudgetCapsRetries) {
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);
+
+  CallOptions copts;
+  copts.deadline = 5'000'000us;  // generous: attempts must bound us first
+  copts.initial_backoff = 5'000us;
+  copts.max_attempts = 3;
+  std::string text;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(client.query_stats(text, copts), anahy::kUnreachable);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 2s)
+      << "attempt budget did not cut the deadline short";
+  EXPECT_EQ(client.retries(), 2u);  // 3 attempts = 2 retransmissions
+}
+
+/// Transport decorator that swallows the first `n` sends — the cheapest
+/// lossy link there is, enough to force the stats retry path.
+class DropFirstSends : public Transport {
+ public:
+  DropFirstSends(Transport& inner, int n) : inner_(inner), drop_(n) {}
+  void send(int dst, std::vector<std::uint8_t> frame) override {
+    if (drop_ > 0) {
+      --drop_;
+      return;
+    }
+    inner_.send(dst, std::move(frame));
+  }
+  bool recv(std::vector<std::uint8_t>& frame,
+            std::chrono::microseconds timeout) override {
+    return inner_.recv(frame, timeout);
+  }
+  [[nodiscard]] int node_id() const override { return inner_.node_id(); }
+  [[nodiscard]] int node_count() const override {
+    return inner_.node_count();
+  }
+
+ private:
+  Transport& inner_;
+  int drop_;
+};
+
+TEST(ServeFrontend, StatsQueryRetransmitsThroughLoss) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::JobServer server(anahy::serve::ServerOptions{});
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  DropFirstSends lossy(*fabric[1], 1);  // the first kStatsQuery vanishes
+  ServeClient client(lossy, 0);
+  CallOptions copts;
+  copts.deadline = 5'000'000us;
+  copts.initial_backoff = 10'000us;
+  std::string text;
+  ASSERT_EQ(client.query_stats(text, copts), anahy::kOk);
+  expect_exposition(text);
+  EXPECT_GE(client.retries(), 1u) << "reply without a retransmission?";
+  EXPECT_EQ(frontend.stats_queries(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Hardened-path tests: dedup, retries, heartbeats, kFaulted, rejection.
 // ---------------------------------------------------------------------------
