@@ -1,0 +1,278 @@
+// Benchmark + discrimination harness for the anahy::aging pass.
+//
+// Two questions, one binary:
+//
+//  A. Overhead — what does always-on pool/job accounting cost? The same
+//     served-fib figure the serve and fault benches report, measured with
+//     accounting ON vs OFF (set_pool_accounting kill switch). The
+//     acceptance bar is a ratio within 2%: the books are single-writer
+//     leased stripes (task_pool.hpp StripeLease), so the fork path pays
+//     plain relaxed stores, not lock-prefixed RMWs.
+//
+//  B. Discrimination — does the detector pass actually separate sick from
+//     healthy? Per seed, two soak legs against a live JobServer:
+//       leaky: every job forks one task with a join budget nobody consumes,
+//              stranding its pool block in the live-task registry — the
+//              classic slow leak (bytes AND one size class grow linearly);
+//       clean: the same DAG shape, every fork joined.
+//     The leaky leg must trip ANAHY-A001 (heap growth) and ANAHY-A004
+//     (pool-class leak); the clean leg must report ZERO findings. Any miss
+//     is a non-zero exit — CI treats discrimination as a correctness bar,
+//     not a number to eyeball.
+//
+// Emits BENCH_aging.json (override with --out=...).
+//
+// Flags: --fib=N (default 24: ~150ms reps, long enough that OS jitter on a
+//                 busy host averages out inside each rep)
+//        --reps=R (default 11, on/off alternating)
+//        --baseline=T tasks/s (default from BENCH_serve.json: 3053308)
+//        --jobs=J per soak leg (default 400)  --seeds=S (default 3)
+//        --out=PATH
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anahy/aging/analyze.hpp"
+#include "anahy/serve/job_server.hpp"
+#include "anahy/task_pool.hpp"
+#include "apps/fib_app.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/timer.hpp"
+
+namespace {
+
+constexpr int kVps = 4;
+
+// ---------------------------------------------------------------- phase A
+
+double one_served_rep(long fib_n, long expect) {
+  anahy::serve::ServerOptions so;
+  so.runtime.num_vps = kVps;
+  anahy::serve::JobServer server(std::move(so));
+  {  // warm-up job, untimed
+    anahy::serve::JobSpec warm;
+    warm.body = [&server](void*) -> void* {
+      return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), 5));
+    };
+    (void)server.submit(std::move(warm)).wait();
+  }
+  anahy::serve::JobSpec spec;
+  spec.label = "fib";
+  spec.body = [&server, fib_n](void*) -> void* {
+    return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), fib_n));
+  };
+  benchutil::Timer t;
+  anahy::serve::JobHandle h = server.submit(std::move(spec));
+  if (h.wait() != anahy::kOk ||
+      reinterpret_cast<long>(h.result().value) != expect) {
+    std::fprintf(stderr, "FATAL: served fib job failed\n");
+    std::exit(1);
+  }
+  return t.elapsed_seconds();
+}
+
+/// Best-of-reps served throughput with accounting on and off. Reps
+/// alternate on/off so slow drift of the host (thermal, co-tenants) gets
+/// the same chances on both sides, and the ratio comes from the two bests:
+/// on a time-shared host the minimum over enough reps is the closest thing
+/// to the noise-free machine speed (an unusually *fast* rep is not an
+/// outlier — it is the least-perturbed window).
+void measure_served(long fib_n, int reps, double* on, double* off) {
+  const long tasks = apps::fib_task_count(fib_n);
+  const long expect = apps::fib_sequential(fib_n);
+  double best_on = 0;
+  double best_off = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    anahy::set_pool_accounting(true);
+    const double s_on = one_served_rep(fib_n, expect);
+    anahy::set_pool_accounting(false);
+    const double s_off = one_served_rep(fib_n, expect);
+    if (rep == 0 || s_on < best_on) best_on = s_on;
+    if (rep == 0 || s_off < best_off) best_off = s_off;
+  }
+  anahy::set_pool_accounting(true);
+  *on = static_cast<double>(tasks) / best_on;
+  *off = static_cast<double>(tasks) / best_off;
+}
+
+// ---------------------------------------------------------------- phase B
+
+struct LegResult {
+  anahy::aging::Analysis analysis;
+  std::uint64_t leaked_bytes = 0;  // ServerStats pool_leaked_bytes total
+};
+
+/// One soak leg: `jobs` small DAG jobs against a fresh server, sampling
+/// the aging series every other job. `leak` strands one fork per job.
+LegResult soak_leg(int jobs, unsigned seed, bool leak) {
+  anahy::serve::ServerOptions so;
+  so.runtime.num_vps = 2;
+  so.aging_capacity = 0;  // keep the whole soak for analysis
+  anahy::serve::JobServer server(std::move(so));
+  anahy::Runtime& rt = server.runtime();
+
+  // The seed only varies DAG width a little: the detectors must not care
+  // which of three near-identical healthy workloads they see.
+  const int width = 2 + static_cast<int>(seed % 3);
+
+  const auto run_job = [&](bool leak_this_one) {
+    anahy::serve::JobSpec spec;
+    spec.label = leak_this_one ? "leaky" : "clean";
+    spec.body = [&rt, width, leak_this_one](void*) -> void* {
+      std::vector<anahy::TaskPtr> children;
+      for (int c = 0; c < width; ++c)
+        children.push_back(
+            rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+      // The leak: the last fork's join budget is never consumed, so its
+      // registry guard pins the task's pool block forever.
+      const std::size_t joined = children.size() - (leak_this_one ? 1 : 0);
+      for (std::size_t c = 0; c < joined; ++c) rt.join(children[c], nullptr);
+      return nullptr;
+    };
+    if (server.submit(std::move(spec)).wait() != anahy::kOk) {
+      std::fprintf(stderr, "FATAL: soak job failed\n");
+      std::exit(1);
+    }
+  };
+
+  // Warm the per-thread free caches to their plateau before the series
+  // starts: a filling cache is arena growth without live growth — exactly
+  // the fragmentation-creep shape A002 exists to flag — and it takes
+  // hundreds of jobs to saturate (kCacheCap blocks per class per thread).
+  // Healthy clean jobs only; the leak signal must come from the sampled
+  // window. Stop once the arena holds still across consecutive probes.
+  std::uint64_t prev_arena = 0;
+  int stable = 0;
+  for (int i = 0; i < 600 && stable < 3; ++i) {
+    run_job(false);
+    if (i % 10 == 9) {
+      const std::uint64_t arena = anahy::pool_snapshot().arena_bytes;
+      stable = arena == prev_arena ? stable + 1 : 0;
+      prev_arena = arena;
+    }
+  }
+
+  for (int i = 0; i < jobs; ++i) {
+    run_job(leak);
+    if (i % 2 == 1) server.record_aging_sample();
+  }
+
+  LegResult out;
+  // The gap detector (A005) is tuned for dropped samples in recorded
+  // series; on a time-shared single-core host a scheduler stall between
+  // two live samples is routine, not data corruption, so give the soak a
+  // stall-sized floor. Gap detection itself is covered by unit tests.
+  anahy::aging::AnalyzeOptions ao;
+  ao.gap_min_ns = 500'000'000;
+  out.analysis = server.aging_report(ao);
+  const anahy::serve::ServerStats stats = server.stats();
+  for (const auto& c : stats.by_class) out.leaked_bytes += c.pool_leaked_bytes;
+  return out;
+}
+
+bool has_code(const anahy::aging::Analysis& a, const char* code) {
+  for (const auto& f : a.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+std::string codes_of(const anahy::aging::Analysis& a) {
+  std::string s;
+  for (const auto& f : a.findings) {
+    if (!s.empty()) s += ", ";
+    s += "\"" + f.code + "\"";
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const long fib_n = cli.get_int("fib", 24);
+  const int reps = cli.get_int("reps", 11);
+  const double baseline =
+      static_cast<double>(cli.get_int("baseline", 3053308));
+  const int jobs = cli.get_int("jobs", 400);
+  const int seeds = cli.get_int("seeds", 3);
+  const std::string out = cli.get("out", "BENCH_aging.json");
+
+  std::printf("aging_soak: served fib(%ld) at %d VPs, accounting on/off; "
+              "%d soak jobs x %d seed(s)\n",
+              fib_n, kVps, jobs, seeds);
+
+  double on = 0;
+  double off = 0;
+  measure_served(fib_n, reps, &on, &off);
+  const double overhead_ratio = on / off;
+  std::printf("phase A  accounting on %.0f tasks/s, off %.0f tasks/s "
+              "(on/off %.3f); vs BENCH_serve baseline %.3f\n",
+              on, off, overhead_ratio, on / baseline);
+
+  bool ok = true;
+  std::string legs_json;
+  for (int s = 0; s < seeds; ++s) {
+    const LegResult leaky = soak_leg(jobs, static_cast<unsigned>(s), true);
+    const LegResult clean = soak_leg(jobs, static_cast<unsigned>(s), false);
+
+    const bool leaky_trips =
+        has_code(leaky.analysis, anahy::aging::code::kHeapGrowth) &&
+        has_code(leaky.analysis, anahy::aging::code::kPoolClassLeak);
+    const bool clean_silent = clean.analysis.findings.empty();
+    if (!leaky_trips) {
+      std::fprintf(stderr,
+                   "FAIL seed %d: leaky leg missed A001/A004 (got: %s)\n", s,
+                   codes_of(leaky.analysis).c_str());
+      ok = false;
+    }
+    if (!clean_silent) {
+      std::fprintf(
+          stderr, "FAIL seed %d: clean leg not silent (got: %s)\n", s,
+          codes_of(clean.analysis).c_str());
+      ok = false;
+    }
+    std::printf("phase B  seed %d: leaky heap %.1f B/job, leaked %llu B, "
+                "findings [%s]; clean findings [%s]\n",
+                s, leaky.analysis.heap_slope_per_job,
+                static_cast<unsigned long long>(leaky.leaked_bytes),
+                codes_of(leaky.analysis).c_str(),
+                codes_of(clean.analysis).c_str());
+
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"seed\": %d, \"leaky_heap_slope_per_job\": %.1f, "
+                  "\"leaky_leaked_bytes\": %llu, \"leaky_findings\": [%s], "
+                  "\"clean_findings\": [%s]}%s\n",
+                  s, leaky.analysis.heap_slope_per_job,
+                  static_cast<unsigned long long>(leaky.leaked_bytes),
+                  codes_of(leaky.analysis).c_str(),
+                  codes_of(clean.analysis).c_str(),
+                  s + 1 < seeds ? "," : "");
+    legs_json += buf;
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"aging_soak\",\n");
+  std::fprintf(f, "  \"vps\": %d,\n", kVps);
+  std::fprintf(f,
+               "  \"overhead\": {\"workload\": \"fib\", \"fib_n\": %ld, "
+               "\"accounting_on_tasks_per_sec\": %.0f, "
+               "\"accounting_off_tasks_per_sec\": %.0f, "
+               "\"on_vs_off\": %.3f, "
+               "\"baseline_tasks_per_sec\": %.0f, \"vs_baseline\": %.3f},\n",
+               fib_n, on, off, overhead_ratio, baseline, on / baseline);
+  std::fprintf(f, "  \"soak\": {\"jobs_per_leg\": %d, \"legs\": [\n%s  ]},\n",
+               jobs, legs_json.c_str());
+  std::fprintf(f, "  \"discriminates\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s%s\n", out.c_str(),
+              ok ? "" : "  (DISCRIMINATION FAILED)");
+  return ok ? 0 : 1;
+}

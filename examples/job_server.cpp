@@ -14,18 +14,23 @@
 //   * drain() + a saved `anahy-trace v3` (profile mode: per-task VP
 //     identity and stamped fork/join edges, the anahy-profile input) that
 //     the DAG linter verifies is leak-free (no ANAHY-W005: drain finishes
-//     queued work, never drops it).
+//     queued work, never drops it),
+//   * a recorded memory-state series (`anahy-series v1`, docs/AGING.md)
+//     saved to job_server.series — the anahy-aging input CI lints.
 //
 // The demo is also an assertion harness: every handle must resolve, every
-// completion callback must fire exactly once, and the final trace must
-// lint clean — it exits non-zero otherwise.
+// completion callback must fire exactly once, the final trace must lint
+// clean, and the aging report must have no findings — it exits non-zero
+// otherwise.
 //
 // Build & run:
 //   cmake -B build && cmake --build build --target job_server anahy-lint
 //   ./build/examples/job_server            # prints the walkthrough
 //   ./build/tools/anahy-lint --summary --jobs job_server.trace
 //   ./build/tools/anahy-profile --out=job_server.json job_server.trace
+//   ./build/tools/anahy-aging --summary job_server.series
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -102,6 +107,7 @@ int main() {
   opts.runtime.profile = true;  // spans + stamped edges (implies trace)
   opts.check = true;  // allow per-job JobSpec::check opt-in
   JobServer server(std::move(opts));
+  server.record_aging_sample();  // series baseline, before any load
 
   // --- 1. Eight concurrent clients, mixed priority classes. -------------
   std::atomic<long> callbacks{0};
@@ -124,6 +130,17 @@ int main() {
         handles[c].push_back(server.submit(std::move(spec)));
       }
     });
+  }
+  // Sample the memory-state series on a steady cadence while the load
+  // runs, and keep the cadence through a short idle tail so the saved
+  // series has enough points to analyze (the aging analyzers assume
+  // roughly periodic samples; an event-driven burst would read as series
+  // gaps, and this burst outruns any humane sampling interval).
+  int samples = 0;
+  while (callbacks.load() < kClients * kJobsPerClient || samples < 32) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    server.record_aging_sample();
+    ++samples;
   }
   for (auto& t : clients) t.join();
 
@@ -202,5 +219,27 @@ int main() {
   std::printf("\ntrace: %zu node(s), lint clean (no leaked tasks) — saved "
               "to job_server.trace\n",
               server.runtime().trace().nodes().size());
+
+  // --- 5. The aging series must load back and report healthy. -----------
+  const aging::Series series = server.aging_series();
+  {
+    std::ofstream out("job_server.series");
+    series.save(out);
+  }
+  // Stall-sized A005 floor: the 200 µs cadence above is honest data, but a
+  // scheduler stall on a time-shared (or sanitizer-slowed) host can dwarf
+  // the median interval without meaning the series is corrupt. Gap
+  // detection itself is pinned by tests/aging/test_analyze.
+  aging::AnalyzeOptions aging_opts;
+  aging_opts.gap_min_ns = 1'000'000'000;
+  const aging::Analysis aging_report = server.aging_report(aging_opts);
+  if (!aging_report.findings.empty()) {
+    std::fprintf(stderr, "FATAL: healthy demo tripped aging detectors:\n%s",
+                 aging::format_findings(aging_report.findings).c_str());
+    return 1;
+  }
+  std::printf("aging: %zu sample(s), report clean — saved to "
+              "job_server.series\n",
+              series.size());
   return 0;
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The single CI entry point (docs/CHECKING.md): tier-1 build + full test
-# suite, the sanitizer matrix, clang-tidy (when installed), and an
-# anahy-lint round-trip over the race demo's saved trace.
+# suite, the sanitizer matrix (with an ASan leak-detection pass over the
+# serve demo and tools), clang-tidy (when installed), an anahy-lint
+# round-trip over the race demo's saved trace, and an anahy-aging pass
+# over the serve demo's recorded memory-state series.
 #
 #   scripts/check.sh              # everything
 #   scripts/check.sh --tier1      # just the tier-1 build + tests
@@ -47,6 +49,18 @@ step "serve demo: 8 clients, per-job race attribution, drained trace"
 # a leaked task (ANAHY-W005) would mean the service dropped queued work.
 ./build/examples/job_server > /dev/null
 ./build/tools/anahy-lint --summary --jobs --stats job_server.trace > /dev/null
+
+step "aging: demo's memory-state series must analyze clean, JSON validate"
+# The serve demo records an `anahy-series v1` soak series (docs/AGING.md).
+# A healthy demo must come back with zero ANAHY-A00x findings (anahy-aging
+# exits 2 on findings, 1 on unreadable input) and machine-readable output.
+# The gap floor forgives scheduler stalls of a time-shared CI host in the
+# live-sampled series; gap detection is pinned by the aging unit tests.
+gap=--gap-min-ns=1000000000
+./build/tools/anahy-aging --summary "$gap" job_server.series > /dev/null
+./build/tools/anahy-aging --json "$gap" job_server.series > aging_check.json
+python3 -m json.tool aging_check.json > /dev/null
+rm -f aging_check.json job_server.series
 
 step "chaos: seeded fault-injection suite (fixed seed, replayable)"
 # The chaos label is the serve/cluster stack under a scripted lossy link
@@ -95,6 +109,26 @@ if [ "$run_san" = 1 ]; then
     cmake -B "build-$label" -S . -DANAHY_SAN="$san" > /dev/null
     cmake --build "build-$label" -j "$JOBS"
     ctest --test-dir "build-$label" --output-on-failure -j "$JOBS" -L "$label"
+
+    if [ "$san" = address ]; then
+      step "asan leaks: serve demo + tools end-to-end, detect_leaks=1"
+      # LeakSanitizer over the full demo (fork/join DAGs, drain, recorder)
+      # and every tool reading the artifacts it wrote. The pool cache is a
+      # passthrough under ASan, so each task block is tracked individually
+      # — a stranded TaskPtr or an unfreed pool block fails this stage.
+      (
+        cd "build-$label"
+        export ASAN_OPTIONS=detect_leaks=1
+        ./examples/job_server > /dev/null
+        ./tools/anahy-lint --summary --jobs --stats job_server.trace \
+            > /dev/null
+        ./tools/anahy-profile --out=job_server.json job_server.trace \
+            > /dev/null
+        ./tools/anahy-aging --json --gap-min-ns=1000000000 \
+            job_server.series > /dev/null
+        rm -f job_server.trace job_server.json job_server.series
+      )
+    fi
   done
 fi
 

@@ -1,0 +1,456 @@
+#include "anahy/aging/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace anahy::aging {
+
+namespace {
+
+/// Median of `v` (by copy; nth_element). 0 for an empty vector.
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                     v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = (m + v[mid - 1]) / 2.0;
+  }
+  return m;
+}
+
+/// Robust "how much did y grow over the window": median of the last
+/// decile minus median of the first decile.
+double robust_growth(const std::vector<double>& y) {
+  if (y.size() < 4) return 0;
+  const std::size_t k = std::max<std::size_t>(3, y.size() / 10);
+  const std::size_t kk = std::min(k, y.size() / 2);
+  const std::vector<double> head(y.begin(),
+                                 y.begin() + static_cast<std::ptrdiff_t>(kk));
+  const std::vector<double> tail(y.end() - static_cast<std::ptrdiff_t>(kk),
+                                 y.end());
+  return median_of(tail) - median_of(head);
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Least-squares slope of y over x (both same size >= 2).
+double ls_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den > 0 ? num / den : 0;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+/// JSON-safe double: NaN/inf have no JSON spelling, emit 0.
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+double theil_sen_slope(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0;
+  // Cap the O(n^2) pair set: stride-sample down to ~1024 points. The
+  // estimator is a median — a uniform thinning does not bias it.
+  const std::size_t stride = n > 1024 ? (n + 1023) / 1024 : 1;
+  std::vector<double> slopes;
+  slopes.reserve(1024 * 512);
+  for (std::size_t i = 0; i < n; i += stride) {
+    for (std::size_t j = i + stride; j < n; j += stride) {
+      const double dx = x[j] - x[i];
+      if (dx == 0) continue;
+      slopes.push_back((y[j] - y[i]) / dx);
+    }
+  }
+  return median_of(std::move(slopes));
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0;
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  const double den = std::sqrt(sxx * syy);
+  return den > 0 ? sxy / den : 0;
+}
+
+Mfdfa mfdfa_width(const std::vector<double>& x) {
+  Mfdfa out;
+  const std::size_t n = x.size();
+  if (n < 64) return out;
+
+  // Profile: cumulative sum of the mean-subtracted series.
+  double mean = 0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  std::vector<double> prof(n);
+  double acc = 0;
+  double var = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i] - mean;
+    prof[i] = acc;
+    var += (x[i] - mean) * (x[i] - mean);
+  }
+  var /= static_cast<double>(n);
+  if (var <= 0) return out;  // constant series: nothing scales
+  // Degenerate-segment floor for the negative moments (a perfectly
+  // detrended window has residual 0; q<0 would blow up on it).
+  const double eps = 1e-10 * (1.0 + var);
+
+  // Log-spaced scales from 8 to n/4.
+  std::vector<std::size_t> scales;
+  const double smin = 8.0;
+  const double smax = static_cast<double>(n) / 4.0;
+  constexpr int kScales = 10;
+  for (int i = 0; i < kScales; ++i) {
+    const double f = static_cast<double>(i) / (kScales - 1);
+    const auto s = static_cast<std::size_t>(
+        std::lround(smin * std::pow(smax / smin, f)));
+    if (scales.empty() || s > scales.back()) scales.push_back(s);
+  }
+  if (scales.size() < 4) return out;
+
+  const std::vector<double> qs = {-4, -2, -1, 1, 2, 4};
+  std::vector<std::vector<double>> logF(qs.size());  // per q, per scale
+  std::vector<double> logS;
+
+  std::vector<double> f2;  // squared fluctuation per segment, one scale
+  for (const std::size_t s : scales) {
+    const std::size_t segs = n / s;
+    if (segs < 4) break;
+    f2.clear();
+    f2.reserve(2 * segs);
+    // Both directions so the tail of a non-multiple length still counts.
+    for (int dir = 0; dir < 2; ++dir) {
+      for (std::size_t v = 0; v < segs; ++v) {
+        const std::size_t base = dir == 0 ? v * s : n - (v + 1) * s;
+        // Order-1 detrend: least-squares line over the segment.
+        double sy = 0;
+        double sxy = 0;
+        const double sm = static_cast<double>(s);
+        const double sx = sm * (sm - 1) / 2.0;
+        const double sxx = (sm - 1) * sm * (2 * sm - 1) / 6.0;
+        for (std::size_t i = 0; i < s; ++i) {
+          sy += prof[base + i];
+          sxy += static_cast<double>(i) * prof[base + i];
+        }
+        const double den = sm * sxx - sx * sx;
+        const double b = den > 0 ? (sm * sxy - sx * sy) / den : 0;
+        const double a = (sy - b * sx) / sm;
+        double resid = 0;
+        for (std::size_t i = 0; i < s; ++i) {
+          const double e = prof[base + i] - (a + b * static_cast<double>(i));
+          resid += e * e;
+        }
+        f2.push_back(resid / sm);
+      }
+    }
+    // Scaling needs real structure: if most windows detrend to nothing
+    // (e.g. the differenced series of a perfectly linear ramp), the
+    // moments measure the epsilon floor, not the data.
+    std::size_t degenerate = 0;
+    for (const double f : f2)
+      if (f <= eps) ++degenerate;
+    if (degenerate * 5 > f2.size()) return out;  // > 20% degenerate
+
+    logS.push_back(std::log2(static_cast<double>(s)));
+    for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+      const double q = qs[qi];
+      double m = 0;
+      for (const double f : f2) m += std::pow(std::max(f, eps), q / 2.0);
+      m /= static_cast<double>(f2.size());
+      logF[qi].push_back(std::log2(std::pow(m, 1.0 / q)));
+    }
+  }
+  if (logS.size() < 4) return out;
+
+  const auto h_of = [&](double q_want) {
+    for (std::size_t qi = 0; qi < qs.size(); ++qi)
+      if (qs[qi] == q_want) return ls_slope(logS, logF[qi]);
+    return 0.0;
+  };
+  out.h_neg = h_of(-4);
+  out.h_pos = h_of(4);
+  out.hurst = h_of(2);
+  out.width = out.h_neg - out.h_pos;
+  out.ok = true;
+  return out;
+}
+
+Analysis analyze(const Series& s, const AnalyzeOptions& opt) {
+  Analysis a;
+  a.points = s.size();
+  const std::size_t n = s.size();
+
+  // ---- A005: scan the RAW series for impossible samples and gaps. ------
+  {
+    std::size_t backwards_t = 0;
+    std::size_t backwards_jobs = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (s[i].t_ns <= s[i - 1].t_ns) ++backwards_t;
+      if (s[i].jobs < s[i - 1].jobs) ++backwards_jobs;
+    }
+    if (backwards_t > 0)
+      a.findings.push_back(
+          {code::kSeriesGap,
+           "series-corrupt: " + std::to_string(backwards_t) +
+               " sample(s) with non-increasing timestamps"});
+    if (backwards_jobs > 0)
+      a.findings.push_back(
+          {code::kSeriesGap,
+           "series-corrupt: " + std::to_string(backwards_jobs) +
+               " sample(s) where the cumulative job counter went backwards"});
+    if (n >= 8 && backwards_t == 0) {
+      std::vector<double> intervals;
+      intervals.reserve(n - 1);
+      for (std::size_t i = 1; i < n; ++i)
+        intervals.push_back(static_cast<double>(s[i].t_ns - s[i - 1].t_ns));
+      const double med = median_of(intervals);
+      const double limit =
+          std::max(static_cast<double>(opt.gap_min_ns), opt.gap_factor * med);
+      std::size_t gaps = 0;
+      double worst = 0;
+      for (const double d : intervals) {
+        if (d > limit) {
+          ++gaps;
+          worst = std::max(worst, d);
+        }
+      }
+      if (gaps > 0)
+        a.findings.push_back(
+            {code::kSeriesGap,
+             "series-gap: " + std::to_string(gaps) + " interval(s) above " +
+                 fmt(opt.gap_factor) + "x the median sampling interval (" +
+                 fmt(med) + " ns); worst " + fmt(worst) + " ns"});
+    }
+  }
+
+  // ---- Trend window: drop the warm-up prefix. --------------------------
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(n) * std::clamp(opt.warmup_fraction, 0.0, 0.9));
+  const std::size_t m = n - start;
+  if (n > 0) a.jobs = s.back().jobs - s.front().jobs;
+  if (m < opt.min_points) return a;  // too short for any trend verdict
+
+  std::vector<double> jobs(m);
+  std::vector<double> heap(m);
+  std::vector<double> slack(m);
+  std::vector<double> lat(m);
+  std::array<std::vector<double>, kPoolClasses> cls;
+  for (auto& v : cls) v.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const SeriesPoint& p = s[start + i];
+    jobs[i] = static_cast<double>(p.jobs);
+    heap[i] = static_cast<double>(p.heap_bytes);
+    slack[i] = p.arena_bytes > p.heap_bytes
+                   ? static_cast<double>(p.arena_bytes - p.heap_bytes)
+                   : 0.0;
+    lat[i] = static_cast<double>(p.lat_ns);
+    for (std::size_t c = 0; c < kPoolClasses; ++c)
+      cls[c][i] = static_cast<double>(p.class_outstanding[c]);
+  }
+
+  // ---- A001: sustained heap growth per served job. ---------------------
+  a.heap_slope_per_job = theil_sen_slope(jobs, heap);
+  a.heap_growth_bytes = robust_growth(heap);
+  if (a.heap_slope_per_job >= opt.heap_slope_min &&
+      a.heap_growth_bytes >= opt.heap_growth_min) {
+    a.findings.push_back(
+        {code::kHeapGrowth,
+         "sustained heap growth: " + fmt(a.heap_slope_per_job) +
+             " bytes/job (Theil-Sen), +" + fmt(a.heap_growth_bytes) +
+             " bytes across the window"});
+  }
+
+  // ---- A002: fragmentation creep (arena-over-live slack). --------------
+  a.frag_slope_per_job = theil_sen_slope(jobs, slack);
+  {
+    const std::size_t k = std::max<std::size_t>(3, m / 10);
+    const std::vector<double> tail(slack.end() - static_cast<std::ptrdiff_t>(
+                                                     std::min(k, m)),
+                                   slack.end());
+    a.frag_bytes_final = median_of(tail);
+  }
+  if (a.frag_slope_per_job >= opt.frag_slope_min &&
+      a.frag_bytes_final >= opt.frag_bytes_min) {
+    a.findings.push_back(
+        {code::kFragmentationCreep,
+         "fragmentation creep: pool slack (arena - live) grows " +
+             fmt(a.frag_slope_per_job) + " bytes/job past warm-up, now " +
+             fmt(a.frag_bytes_final) + " bytes"});
+  }
+
+  // ---- A003: latency creep correlated with heap growth. ----------------
+  a.lat_slope_per_job = theil_sen_slope(jobs, lat);
+  a.heap_lat_corr = pearson(heap, lat);
+  if (a.lat_slope_per_job >= opt.lat_slope_min &&
+      a.heap_slope_per_job >= opt.lat_heap_slope_min &&
+      a.heap_lat_corr >= opt.lat_corr_min) {
+    a.findings.push_back(
+        {code::kLatencyCreep,
+         "latency creep correlated with heap growth: p99 proxy +" +
+             fmt(a.lat_slope_per_job) + " ns/job, heap +" +
+             fmt(a.heap_slope_per_job) + " bytes/job, corr " +
+             fmt(a.heap_lat_corr)});
+  }
+
+  // ---- A004: per-size-class leak. --------------------------------------
+  for (std::size_t c = 0; c < kPoolClasses; ++c) {
+    a.class_slope_per_job[c] = theil_sen_slope(jobs, cls[c]);
+    const double growth = robust_growth(cls[c]);
+    if (a.class_slope_per_job[c] >= opt.class_slope_min &&
+        growth >= opt.class_growth_min) {
+      a.findings.push_back(
+          {code::kPoolClassLeak,
+           "pool-class leak: class " +
+               std::to_string(pool_detail::class_bytes(c)) +
+               "B outstanding blocks grow " + fmt(a.class_slope_per_job[c]) +
+               " blocks/job (+" + fmt(growth) + " across the window)"});
+    }
+  }
+
+  // ---- A006: multifractal spectrum widening (MF-DFA halves). -----------
+  {
+    std::vector<double> diff;
+    diff.reserve(m > 0 ? m - 1 : 0);
+    for (std::size_t i = 1; i < m; ++i) diff.push_back(heap[i] - heap[i - 1]);
+    const Mfdfa whole = mfdfa_width(diff);
+    a.hurst = whole.hurst;
+    if (diff.size() >= 2 * opt.mfdfa_min_points) {
+      const std::size_t half = diff.size() / 2;
+      const Mfdfa early = mfdfa_width(
+          {diff.begin(), diff.begin() + static_cast<std::ptrdiff_t>(half)});
+      const Mfdfa late = mfdfa_width(
+          {diff.begin() + static_cast<std::ptrdiff_t>(half), diff.end()});
+      if (early.ok && late.ok) {
+        a.mf_valid = true;
+        a.mf_width_early = early.width;
+        a.mf_width_late = late.width;
+        if (late.width - early.width >= opt.mf_width_delta_min &&
+            late.width >= opt.mf_width_abs_min) {
+          a.findings.push_back(
+              {code::kSpectrumWidening,
+               "multifractal spectrum widening: Dh " + fmt(early.width) +
+                   " -> " + fmt(late.width) +
+                   " between window halves (h(-4)-h(4) of the heap "
+                   "increments; rising width flags aging per the title "
+                   "paper)"});
+        }
+      }
+    }
+  }
+
+  return a;
+}
+
+std::string format_findings(const std::vector<Finding>& v) {
+  std::ostringstream os;
+  for (const Finding& f : v) os << f.code << ": " << f.detail << "\n";
+  return os.str();
+}
+
+std::string to_json(const Analysis& a) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"points\": " << a.points << ",\n";
+  os << "  \"jobs\": " << a.jobs << ",\n";
+  os << "  \"heap_slope_per_job\": ";
+  json_number(os, a.heap_slope_per_job);
+  os << ",\n  \"heap_growth_bytes\": ";
+  json_number(os, a.heap_growth_bytes);
+  os << ",\n  \"frag_slope_per_job\": ";
+  json_number(os, a.frag_slope_per_job);
+  os << ",\n  \"frag_bytes_final\": ";
+  json_number(os, a.frag_bytes_final);
+  os << ",\n  \"lat_slope_per_job\": ";
+  json_number(os, a.lat_slope_per_job);
+  os << ",\n  \"heap_lat_corr\": ";
+  json_number(os, a.heap_lat_corr);
+  os << ",\n  \"hurst\": ";
+  json_number(os, a.hurst);
+  os << ",\n  \"mf_valid\": " << (a.mf_valid ? "true" : "false");
+  os << ",\n  \"mf_width_early\": ";
+  json_number(os, a.mf_width_early);
+  os << ",\n  \"mf_width_late\": ";
+  json_number(os, a.mf_width_late);
+  os << ",\n  \"class_slope_per_job\": [";
+  for (std::size_t c = 0; c < a.class_slope_per_job.size(); ++c) {
+    if (c > 0) os << ", ";
+    json_number(os, a.class_slope_per_job[c]);
+  }
+  os << "],\n  \"findings\": [";
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    {\"code\": \"";
+    json_escape(os, a.findings[i].code);
+    os << "\", \"detail\": \"";
+    json_escape(os, a.findings[i].detail);
+    os << "\"}";
+  }
+  if (!a.findings.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace anahy::aging

@@ -1,0 +1,152 @@
+// anahy::aging analyzers — offline, total-function passes over a memory
+// series that decide whether a long-lived server is *aging*.
+//
+// Following the title paper (DSN 2003: aging shows up in memory-resource
+// time series as drift and as changing multifractal structure) the pass
+// combines three kinds of evidence over one Series:
+//
+//  - robust monotonic trends (Theil–Sen slope: the median of pairwise
+//    slopes, immune to the occasional GC-ish dip a least-squares fit
+//    would chase),
+//  - cross-signal correlation (Pearson, for "latency creeps *with* heap"),
+//  - multifractal structure (MF-DFA: the generalized Hurst exponents h(q)
+//    of the differenced heap series; a widening h(-q)−h(q) spread — the
+//    Hölder-spectrum-width proxy — flags the bursty, clustered allocation
+//    behaviour the paper observed in aging systems).
+//
+// Every detector is a threshold on those statistics and emits a stable
+// diagnostic code (table in docs/AGING.md):
+//
+//   ANAHY-A001 sustained heap growth        (bytes per served job)
+//   ANAHY-A002 fragmentation creep          (arena-over-live slack grows)
+//   ANAHY-A003 latency creep correlated with heap growth
+//   ANAHY-A004 pool-class leak              (one size class only grows)
+//   ANAHY-A005 series gap / corrupt samples (time or jobs went wrong)
+//   ANAHY-A006 multifractal spectrum widening
+//
+// analyze() never throws and never rejects a series: whatever statistics
+// the window supports are computed, the rest stay at their zero defaults
+// (a 3-point series simply cannot widen a spectrum). The estimators are
+// exported for direct unit testing.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "anahy/aging/series.hpp"
+
+namespace anahy::aging {
+
+/// One detector verdict worth surfacing (exit-code-2 material for the
+/// anahy-aging CLI).
+struct Finding {
+  std::string code;    ///< "ANAHY-A001" ...
+  std::string detail;  ///< human-readable evidence with the numbers
+};
+
+namespace code {
+inline constexpr const char* kHeapGrowth = "ANAHY-A001";
+inline constexpr const char* kFragmentationCreep = "ANAHY-A002";
+inline constexpr const char* kLatencyCreep = "ANAHY-A003";
+inline constexpr const char* kPoolClassLeak = "ANAHY-A004";
+inline constexpr const char* kSeriesGap = "ANAHY-A005";
+inline constexpr const char* kSpectrumWidening = "ANAHY-A006";
+}  // namespace code
+
+/// Detector thresholds (documented in docs/AGING.md; tests pin them).
+/// Defaults are tuned so a healthy serve workload — thread caches warming
+/// up, bounded in-flight jobs — stays silent while a leak of one pool
+/// block every few jobs is flagged well before it matters.
+struct AnalyzeOptions {
+  /// Fraction of leading samples ignored by the trend detectors (thread
+  /// caches and arenas legitimately grow from cold; A005 still scans the
+  /// full window).
+  double warmup_fraction = 0.1;
+  /// Minimum post-warmup samples for any trend verdict.
+  std::size_t min_points = 16;
+
+  // A001: Theil–Sen slope of heap bytes vs served jobs, plus a robust
+  // absolute growth floor so jitter on a tiny heap cannot trip it.
+  double heap_slope_min = 16.0;            ///< bytes per job
+  double heap_growth_min = 16.0 * 1024.0;  ///< bytes across the window
+
+  // A002: slack = arena − live ("held but not in use"). Creep means the
+  // slack still grows past warmup AND is worth caring about in absolute
+  // terms (a warmed-up cache plateaus; creep does not).
+  double frag_slope_min = 16.0;            ///< slack bytes per job
+  double frag_bytes_min = 64.0 * 1024.0;   ///< final slack bytes
+
+  // A003: latency proxy creeps AND moves with the heap.
+  double lat_slope_min = 1.0;   ///< ns per job
+  double lat_corr_min = 0.5;    ///< Pearson(heap, latency)
+  double lat_heap_slope_min = 4.0;  ///< bytes/job floor for "heap grows too"
+
+  // A004: per-size-class outstanding blocks.
+  double class_slope_min = 0.02;   ///< blocks per job
+  double class_growth_min = 32.0;  ///< blocks across the window
+
+  // A005: sampling gaps and impossible samples.
+  double gap_factor = 10.0;            ///< × median inter-sample interval
+  std::int64_t gap_min_ns = 1'000'000; ///< ignore sub-ms jitter outright
+
+  // A006: MF-DFA over the differenced heap series, early half vs late
+  // half. Fires when the spectrum-width proxy Δh = h(−4) − h(4) widened
+  // by `mf_width_delta_min` AND the late half is absolutely wide.
+  std::size_t mfdfa_min_points = 128;  ///< per half
+  double mf_width_delta_min = 0.5;
+  double mf_width_abs_min = 0.8;
+};
+
+/// Everything the pass computed: the window statistics (serialized into
+/// the CLI's JSON so dashboards can trend them) plus the findings.
+struct Analysis {
+  std::size_t points = 0;
+  std::uint64_t jobs = 0;             ///< served jobs across the window
+  double heap_slope_per_job = 0;      ///< Theil–Sen, bytes/job
+  double heap_growth_bytes = 0;       ///< robust last-minus-first medians
+  double frag_slope_per_job = 0;      ///< slack bytes/job
+  double frag_bytes_final = 0;        ///< median slack of the last decile
+  double lat_slope_per_job = 0;       ///< ns/job
+  double heap_lat_corr = 0;           ///< Pearson(heap, latency)
+  double hurst = 0;                   ///< h(2) of the differenced heap
+  double mf_width_early = 0;          ///< Δh of the first half
+  double mf_width_late = 0;           ///< Δh of the second half
+  bool mf_valid = false;              ///< both halves had enough structure
+  std::array<double, kPoolClasses> class_slope_per_job{};
+  std::vector<Finding> findings;
+};
+
+[[nodiscard]] Analysis analyze(const Series& s, const AnalyzeOptions& opt = {});
+
+/// "ANAHY-A001: ..." lines, one per finding (empty string when clean).
+[[nodiscard]] std::string format_findings(const std::vector<Finding>& v);
+
+/// The full analysis as a JSON object (the anahy-aging --json payload).
+[[nodiscard]] std::string to_json(const Analysis& a);
+
+// --- estimators (exported for unit tests) --------------------------------
+
+/// Median of pairwise slopes (Theil–Sen). Pairs with equal x are skipped;
+/// returns 0 when no valid pair exists. Robust to ~29% outliers.
+[[nodiscard]] double theil_sen_slope(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when either signal is constant.
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// MF-DFA (multifractal detrended fluctuation analysis, order-1
+/// detrending) over a noise-like series. `hurst` is h(2); `width` is the
+/// spectrum-width proxy Δh = h(−4) − h(4). ok=false when the series is
+/// too short (< 64 points) or has no variance to scale.
+struct Mfdfa {
+  bool ok = false;
+  double hurst = 0;
+  double width = 0;
+  double h_neg = 0;  ///< h(−4): scaling of the small fluctuations
+  double h_pos = 0;  ///< h(+4): scaling of the large fluctuations
+};
+[[nodiscard]] Mfdfa mfdfa_width(const std::vector<double>& x);
+
+}  // namespace anahy::aging

@@ -1,0 +1,85 @@
+#include "anahy/aging/recorder.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace anahy::aging {
+
+namespace {
+
+/// a - b for cumulative counters that may reset: never negative.
+[[nodiscard]] std::uint64_t clamped_delta(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+[[nodiscard]] std::int64_t clamped_delta(std::int64_t a, std::int64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+void Recorder::sample(const Cumulative& cum) {
+  SeriesPoint p;
+  p.t_ns = cum.t_ns;
+  p.heap_bytes = cum.heap_bytes;
+  p.arena_bytes = cum.arena_bytes;
+  p.rss_bytes = cum.rss_bytes;
+  p.ready_tasks = cum.ready_tasks;
+  p.class_outstanding = cum.class_outstanding;
+
+  if (have_prev_) {
+    const std::uint64_t djobs =
+        clamped_delta(cum.jobs_resolved, prev_.jobs_resolved);
+    jobs_acc_ += djobs;
+    if (djobs > 0) {
+      const std::int64_t dwork =
+          clamped_delta(cum.queue_wait_ns_sum, prev_.queue_wait_ns_sum) +
+          clamped_delta(cum.exec_ns_sum, prev_.exec_ns_sum);
+      last_lat_ns_ = dwork / static_cast<std::int64_t>(djobs);
+    }
+    // djobs == 0: carry the last known latency forward — an idle interval
+    // is "no new evidence", not "latency fell to zero".
+  }
+  p.jobs = jobs_acc_;
+  p.lat_ns = last_lat_ns_;
+
+  series_.push(p);
+  prev_ = cum;
+  have_prev_ = true;
+}
+
+void Recorder::clear() {
+  series_.clear();
+  have_prev_ = false;
+  prev_ = Cumulative{};
+  jobs_acc_ = 0;
+  last_lat_ns_ = 0;
+}
+
+std::uint64_t rss_bytes_now() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int n = std::fscanf(f, "%llu %llu", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+std::vector<observe::ExtraCounter> pool_extra_counters(const PoolSnapshot& s) {
+  std::vector<observe::ExtraCounter> out;
+  out.push_back({"anahy_pool_live_bytes", "", s.live_bytes});
+  out.push_back({"anahy_pool_arena_bytes", "", s.arena_bytes});
+  out.push_back({"anahy_pool_alloc_calls_total", "", s.alloc_calls});
+  for (const PoolSnapshot::ClassStats& c : s.classes) {
+    out.push_back({"anahy_pool_outstanding_blocks",
+                   "class=\"" + std::to_string(c.block_bytes) + "\"",
+                   c.outstanding});
+  }
+  return out;
+}
+
+}  // namespace anahy::aging

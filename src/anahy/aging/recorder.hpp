@@ -1,0 +1,79 @@
+// anahy::aging::Recorder — turns raw cumulative server counters into a
+// well-formed memory-state Series.
+//
+// The serve layer's counters are cumulative and *reset* whenever a server
+// is torn down and rebuilt (a drain/restart rejuvenation cycle), and the
+// 64-bit counters may in principle wrap. The recorder owns the delta
+// arithmetic so the series it emits is always well-formed:
+//
+//  - per-sample deltas are clamped at zero — a counter that went backwards
+//    (restart) contributes a zero-delta sample, never a negative spike or
+//    a wrapped huge value;
+//  - the `jobs` column accumulates clamped deltas recorder-side, so it is
+//    monotonic across any number of server generations;
+//  - the p99 latency proxy is the interval mean of (queue wait + exec) per
+//    resolved job; intervals that resolved nothing carry the last known
+//    value forward instead of dipping to a fake zero.
+//
+// One Recorder typically lives inside a JobServer (ServerOptions::
+// aging_capacity) and is fed by JobServer::record_aging_sample(); it can
+// equally be driven by hand from any Cumulative source (tests, benches).
+#pragma once
+
+#include <vector>
+
+#include "anahy/aging/series.hpp"
+#include "anahy/observe/exposition.hpp"
+
+namespace anahy::aging {
+
+/// Absolute counter values sampled from a live server. Counters may reset
+/// between samples (server restart); gauges are passed through verbatim.
+struct Cumulative {
+  std::int64_t t_ns = 0;             ///< steady-clock sample time
+  std::uint64_t jobs_resolved = 0;   ///< cumulative, may reset
+  std::int64_t queue_wait_ns_sum = 0;///< cumulative, may reset
+  std::int64_t exec_ns_sum = 0;      ///< cumulative, may reset
+  std::uint64_t heap_bytes = 0;      ///< gauge
+  std::uint64_t arena_bytes = 0;     ///< gauge
+  std::uint64_t rss_bytes = 0;       ///< gauge
+  std::uint64_t ready_tasks = 0;     ///< gauge
+  std::array<std::uint64_t, kPoolClasses> class_outstanding{};  ///< gauge
+};
+
+class Recorder {
+ public:
+  /// `capacity` bounds the ring (0 = unbounded; default keeps roughly a
+  /// shift's worth of minute-grain samples in ~64 KiB).
+  explicit Recorder(std::size_t capacity = 512) : series_(capacity) {}
+
+  /// Folds one cumulative sample into the series. The first sample is the
+  /// baseline: it is recorded with jobs=0 and latency 0.
+  void sample(const Cumulative& cum);
+
+  [[nodiscard]] const Series& series() const { return series_; }
+  [[nodiscard]] std::size_t samples() const { return series_.size(); }
+
+  /// Drops the series AND the delta baseline (a fresh recorder).
+  void clear();
+
+ private:
+  Series series_;
+  bool have_prev_ = false;
+  Cumulative prev_{};
+  std::uint64_t jobs_acc_ = 0;
+  std::int64_t last_lat_ns_ = 0;
+};
+
+/// Current process resident-set bytes from /proc/self/statm (0 when the
+/// proc filesystem is unavailable — the series column is then all-zero and
+/// the analyzers simply skip RSS evidence).
+[[nodiscard]] std::uint64_t rss_bytes_now();
+
+/// The pool gauges as observe::ExtraCounter rows for render_text():
+/// anahy_pool_live_bytes, anahy_pool_arena_bytes, anahy_pool_alloc_calls
+/// and one anahy_pool_outstanding_blocks{class="<bytes>"} row per class.
+[[nodiscard]] std::vector<observe::ExtraCounter> pool_extra_counters(
+    const PoolSnapshot& s);
+
+}  // namespace anahy::aging

@@ -1,0 +1,106 @@
+#include "anahy/aging/series.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace anahy::aging {
+
+void Series::push(const SeriesPoint& p) {
+  if (capacity_ > 0 && points_.size() == capacity_) {
+    points_.pop_front();
+    ++dropped_;
+  }
+  points_.push_back(p);
+}
+
+void Series::clear() {
+  points_.clear();
+  dropped_ = 0;
+}
+
+void Series::save(std::ostream& os) const {
+  os << "anahy-series v1 classes=" << kPoolClasses << "\n";
+  os << "# t_ns jobs heap_bytes arena_bytes rss_bytes ready_tasks lat_ns"
+        " class_outstanding...\n";
+  for (const SeriesPoint& p : points_) {
+    os << "point " << p.t_ns << ' ' << p.jobs << ' ' << p.heap_bytes << ' '
+       << p.arena_bytes << ' ' << p.rss_bytes << ' ' << p.ready_tasks << ' '
+       << p.lat_ns;
+    for (const std::uint64_t c : p.class_outstanding) os << ' ' << c;
+    os << "\n";
+  }
+}
+
+bool Series::load(std::istream& is, std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      std::ostringstream e;
+      e << "line " << line_no << ": " << why;
+      *error = e.str();
+    }
+    return false;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header: `anahy-series v1 classes=<N>`. N may differ from this build's
+  // class count (a future pool re-bucketing): extra columns are dropped,
+  // missing ones read as zero — but every point line must carry exactly
+  // the N the header declared (total parse, no silent truncation).
+  if (!std::getline(is, line)) return fail(1, "empty file (missing header)");
+  ++line_no;
+  std::size_t declared_classes = 0;
+  {
+    std::istringstream h(line);
+    std::string magic;
+    std::string version;
+    std::string classes_kv;
+    h >> magic >> version >> classes_kv;
+    if (magic != "anahy-series" || version != "v1")
+      return fail(line_no, "not an anahy-series v1 header");
+    if (classes_kv.rfind("classes=", 0) != 0)
+      return fail(line_no, "missing classes= declaration");
+    std::istringstream n(classes_kv.substr(8));
+    long long declared = -1;
+    n >> declared;
+    if (n.fail() || !n.eof() || declared < 0 || declared > 1024)
+      return fail(line_no, "bad classes= value");
+    declared_classes = static_cast<std::size_t>(declared);
+  }
+
+  std::deque<SeriesPoint> loaded;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind != "point")
+      return fail(line_no, "unknown record '" + kind + "'");
+    SeriesPoint p;
+    ls >> p.t_ns >> p.jobs >> p.heap_bytes >> p.arena_bytes >> p.rss_bytes >>
+        p.ready_tasks >> p.lat_ns;
+    if (ls.fail()) return fail(line_no, "truncated point record");
+    for (std::size_t c = 0; c < declared_classes; ++c) {
+      std::uint64_t v = 0;
+      ls >> v;
+      if (ls.fail())
+        return fail(line_no, "point carries fewer class columns than the "
+                             "header declared");
+      if (c < kPoolClasses) p.class_outstanding[c] = v;
+    }
+    std::string trailing;
+    if (ls >> trailing)
+      return fail(line_no, "trailing data '" + trailing + "'");
+    loaded.push_back(p);
+  }
+
+  points_ = std::move(loaded);
+  capacity_ = 0;  // offline series are unbounded
+  dropped_ = 0;
+  return true;
+}
+
+}  // namespace anahy::aging

@@ -1,0 +1,85 @@
+// anahy::aging — memory-state time series (docs/AGING.md).
+//
+// The title paper (DSN 2003) detects software aging by analyzing
+// memory-resource time series of long-lived processes: heap growth,
+// fragmentation and latency creep show up as trends and changing
+// multifractal structure long before the process fails. A Series is that
+// raw material: a bounded ring of timestamped samples of the server's
+// memory state (task-pool live/arena bytes, per-size-class occupancy,
+// process RSS) plus the service gauges the detectors correlate against
+// (served jobs, ready depth, a p99 latency proxy).
+//
+// Persistence is the versioned `anahy-series v1` text format, a sibling of
+// `anahy-trace v3`: a declarative header, one `point` line per sample,
+// `#` comments. Loading is total and all-or-nothing — a truncated or
+// corrupt file yields false plus a diagnostic naming the offending line,
+// never a silently partial series (the anahy-aging CLI turns that into an
+// ANAHY-F004-style error, exit 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "anahy/task_pool.hpp"
+
+namespace anahy::aging {
+
+/// Number of task-pool size classes a series point carries (matches the
+/// pool's bucketing: 64-byte classes up to 1 KiB).
+inline constexpr std::size_t kPoolClasses = pool_detail::kNumClasses;
+
+/// One sample of a server's memory state. Gauges are instantaneous;
+/// `jobs` is cumulative and monotonic within one series (the Recorder
+/// keeps it monotonic even across server drain/restart cycles).
+struct SeriesPoint {
+  std::int64_t t_ns = 0;        ///< sample time (steady clock, monotonic)
+  std::uint64_t jobs = 0;       ///< cumulative resolved jobs
+  std::uint64_t heap_bytes = 0; ///< task-pool live bytes (+ large blocks)
+  std::uint64_t arena_bytes = 0;///< pool-held bytes incl. free-list slack
+  std::uint64_t rss_bytes = 0;  ///< process resident set (0 = unavailable)
+  std::uint64_t ready_tasks = 0;///< ready-deque depth gauge
+  std::int64_t lat_ns = 0;      ///< p99 latency proxy (see Recorder)
+  /// Outstanding (live) blocks per pool size class — the column ANAHY-A004
+  /// reads: a job that strands blocks grows exactly one of these forever.
+  std::array<std::uint64_t, kPoolClasses> class_outstanding{};
+};
+
+/// Bounded ring of series points: push at the tail, silently evict the
+/// head past `capacity` (dropped() counts evictions so an analyzer knows
+/// the window slid). Capacity 0 = unbounded (offline analysis of a file).
+class Series {
+ public:
+  explicit Series(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void push(const SeriesPoint& p);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const SeriesPoint& operator[](std::size_t i) const {
+    return points_[i];
+  }
+  [[nodiscard]] const SeriesPoint& front() const { return points_.front(); }
+  [[nodiscard]] const SeriesPoint& back() const { return points_.back(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Writes the series as `anahy-series v1` text.
+  void save(std::ostream& os) const;
+
+  /// Replaces the contents with the series read from `is`. All-or-nothing:
+  /// on any parse error the previous contents are preserved, false is
+  /// returned and `*error` (optional) names the offending line. The
+  /// loaded capacity is unbounded regardless of the writer's ring size.
+  [[nodiscard]] bool load(std::istream& is, std::string* error = nullptr);
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::deque<SeriesPoint> points_;
+};
+
+}  // namespace anahy::aging

@@ -148,6 +148,15 @@ TaskPtr Scheduler::create_task(TaskBody body, void* input,
   if (ctx != nullptr) {
     if (explicit_ctx) ctx->root_task = id;
     ctx->note_created();
+    // Memory accounting (anahy::aging): charge the job the exact pool
+    // block size allocate_shared just drew on this thread; the Task
+    // destructor credits it back wherever the last reference drops.
+    if (pool_accounting()) {
+      const auto bytes =
+          static_cast<std::uint32_t>(pool_detail::tls_last_alloc_bytes);
+      task->set_pool_bytes(bytes);
+      ctx->note_pool_alloc(bytes);
+    }
     job = ctx->job;
     task->set_context(std::move(ctx));
   }

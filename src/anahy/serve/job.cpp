@@ -59,6 +59,9 @@ bool Job::resolve(int error, void* value,
   result_.stats.tasks_executed = totals.tasks_executed;
   result_.stats.tasks_cancelled = totals.tasks_cancelled;
   result_.stats.steals = totals.steals;
+  result_.stats.pool_allocs = totals.pool_allocs;
+  result_.stats.pool_peak_bytes = totals.pool_peak_bytes;
+  result_.stats.pool_live_bytes = totals.pool_live_bytes;
   state_ = JobState::kDone;
   return true;
 }

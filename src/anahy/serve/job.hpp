@@ -56,6 +56,13 @@ struct JobStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t tasks_cancelled = 0;  ///< bodies skipped (timeout/abort)
   std::uint64_t steals = 0;           ///< job tasks migrated between VPs
+  // Task-pool memory charged to the job (anahy::aging; docs/AGING.md).
+  std::uint64_t pool_allocs = 0;      ///< pool blocks allocated for the job
+  std::uint64_t pool_peak_bytes = 0;  ///< peak concurrent pool bytes (bound)
+  /// Pool bytes still live when the job resolved. Non-zero is normal while
+  /// descendants finish publishing, but a job whose blocks never return is
+  /// exactly what ANAHY-A001/A004 flag.
+  std::uint64_t pool_live_bytes = 0;
 };
 
 /// Final outcome of a job. `error` uses the anahy::Error numbering:

@@ -7,7 +7,8 @@
 
 namespace anahy::serve {
 
-JobServer::JobServer(ServerOptions opts) : opts_(std::move(opts)) {
+JobServer::JobServer(ServerOptions opts)
+    : opts_(std::move(opts)), aging_(opts_.aging_capacity) {
   if (opts_.max_pending == 0) opts_.max_pending = 1;
   // A service must never drop admitted work at teardown, and the thread
   // constructing the server is a client, not a VP — it waits on handles,
@@ -179,6 +180,9 @@ void JobServer::account_locked(const JobResult& r, Priority cls) {
   c.exec_ns_sum += r.stats.exec_ns;
   c.tasks += r.stats.tasks_executed;
   c.steals += r.stats.steals;
+  c.pool_allocs += r.stats.pool_allocs;
+  c.pool_peak_bytes = std::max(c.pool_peak_bytes, r.stats.pool_peak_bytes);
+  c.pool_leaked_bytes += r.stats.pool_live_bytes;
 }
 
 void JobServer::drain() {
@@ -227,13 +231,51 @@ bool JobServer::shutdown(std::int64_t deadline_ns) {
 }
 
 ServerStats JobServer::stats() const {
+  const PoolSnapshot pool = pool_snapshot();
   std::lock_guard lock(mu_);
   ServerStats s = agg_;
   s.pending = pending_count_;
   s.active = active_.size();
   for (std::size_t c = 0; c < kNumPriorities; ++c)
     s.by_class[c].pending = pending_[c].size();
+  s.pool_live_bytes = pool.live_bytes;
+  s.pool_arena_bytes = pool.arena_bytes;
+  for (std::size_t c = 0; c < pool_detail::kNumClasses; ++c)
+    s.pool_class_outstanding[c] = pool.classes[c].outstanding;
   return s;
+}
+
+void JobServer::record_aging_sample() {
+  const PoolSnapshot pool = pool_snapshot();
+  const observe::Snapshot obs = rt_->observe_snapshot();
+
+  aging::Cumulative cum;
+  cum.t_ns = TaskContext::now_ns();
+  cum.heap_bytes = pool.live_bytes;
+  cum.arena_bytes = pool.arena_bytes;
+  cum.rss_bytes = aging::rss_bytes_now();
+  for (const std::uint64_t r : obs.ready_by_class) cum.ready_tasks += r;
+  for (std::size_t c = 0; c < pool_detail::kNumClasses; ++c)
+    cum.class_outstanding[c] = pool.classes[c].outstanding;
+  {
+    std::lock_guard lock(mu_);
+    for (const ServerStats::ClassStats& c : agg_.by_class) {
+      cum.jobs_resolved += c.completed + c.timed_out + c.aborted + c.faulted;
+      cum.queue_wait_ns_sum += c.queue_wait_ns_sum;
+      cum.exec_ns_sum += c.exec_ns_sum;
+    }
+  }
+  std::lock_guard lock(aging_mu_);
+  aging_.sample(cum);
+}
+
+aging::Series JobServer::aging_series() const {
+  std::lock_guard lock(aging_mu_);
+  return aging_.series();
+}
+
+aging::Analysis JobServer::aging_report(const aging::AnalyzeOptions& opt) const {
+  return aging::analyze(aging_series(), opt);
 }
 
 std::string JobServer::metrics_text() const {
@@ -265,7 +307,9 @@ std::string JobServer::observe_text() const {
   const observe::Snapshot snap = rt_->observe_snapshot();
   const std::vector<observe::Anomaly> extra =
       deadline_risk_anomalies(stats(), opts_.max_pending);
-  return observe::render_text(snap, extra) + metrics_text();
+  const std::vector<observe::ExtraCounter> pool =
+      aging::pool_extra_counters(pool_snapshot());
+  return observe::render_text(snap, extra, pool) + metrics_text();
 }
 
 }  // namespace anahy::serve

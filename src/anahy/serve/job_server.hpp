@@ -35,6 +35,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "anahy/aging/analyze.hpp"
+#include "anahy/aging/recorder.hpp"
 #include "anahy/observe/exposition.hpp"
 #include "anahy/runtime.hpp"
 #include "anahy/serve/job.hpp"
@@ -74,6 +76,10 @@ struct ServerOptions {
   /// runtime's anahy::check detector on; jobs that do not opt in still
   /// skip instrumentation via their context.
   bool check = false;
+
+  /// Ring capacity of the aging memory-state series the server records
+  /// (record_aging_sample(); 0 = unbounded, never for a resident server).
+  std::size_t aging_capacity = 512;
 };
 
 class JobServer {
@@ -122,6 +128,22 @@ class JobServer {
 
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
+  // --- aging (docs/AGING.md) ---------------------------------------------
+
+  /// Appends one memory-state sample (pool snapshot, RSS, served-job
+  /// counters, ready depth) to the server's aging series. Call it on
+  /// whatever cadence suits the deployment — a scraper tick, a timer
+  /// thread, a bench loop. Safe from any thread.
+  void record_aging_sample();
+
+  /// Copy of the recorded series (save it with Series::save, feed it to
+  /// the anahy-aging CLI, or analyze in-process via aging_report()).
+  [[nodiscard]] aging::Series aging_series() const;
+
+  /// Runs the ANAHY-A001..A006 detectors over the recorded series.
+  [[nodiscard]] aging::Analysis aging_report(
+      const aging::AnalyzeOptions& opt = {}) const;
+
  private:
   void dispatcher_loop();
 
@@ -157,6 +179,11 @@ class JobServer {
   bool stop_ = false;
   JobId next_id_ = 1;
   ServerStats agg_;
+
+  /// Guards aging_. Lock order: mu_ before aging_mu_ (record_aging_sample
+  /// reads counters under mu_, releases it, then folds under aging_mu_).
+  mutable std::mutex aging_mu_;
+  aging::Recorder aging_;
 
   std::thread dispatcher_;
 };

@@ -52,6 +52,18 @@ std::string ServerStats::to_metrics_text() const {
             [](const ClassStats& c) { return c.steals; });
   per_class("anahy_serve_jobs_pending_by_class",
             [](const ClassStats& c) { return c.pending; });
+  per_class("anahy_serve_job_pool_allocs_total",
+            [](const ClassStats& c) { return c.pool_allocs; });
+  per_class("anahy_serve_job_pool_peak_bytes_max",
+            [](const ClassStats& c) { return c.pool_peak_bytes; });
+  per_class("anahy_serve_job_pool_leaked_bytes_total",
+            [](const ClassStats& c) { return c.pool_leaked_bytes; });
+  out << "anahy_serve_pool_live_bytes " << pool_live_bytes << '\n';
+  out << "anahy_serve_pool_arena_bytes " << pool_arena_bytes << '\n';
+  for (std::size_t c = 0; c < pool_class_outstanding.size(); ++c)
+    out << "anahy_serve_pool_outstanding_blocks{class=\""
+        << pool_detail::class_bytes(c) << "\"} " << pool_class_outstanding[c]
+        << '\n';
   return out.str();
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "anahy/task_pool.hpp"
 #include "anahy/types.hpp"
 
 namespace anahy::serve {
@@ -25,11 +26,21 @@ struct ServerStats {
     std::uint64_t tasks = 0;   ///< tasks executed on behalf of the class
     std::uint64_t steals = 0;  ///< class tasks migrated between VPs
     std::uint64_t pending = 0;  ///< gauge: admitted, not yet dispatched
+    // Per-job memory accounting (anahy::aging), folded at job resolution.
+    std::uint64_t pool_allocs = 0;      ///< task-pool blocks charged
+    std::uint64_t pool_peak_bytes = 0;  ///< max single-job peak pool bytes
+    std::uint64_t pool_leaked_bytes = 0;///< bytes still live at resolution
   };
 
   std::array<ClassStats, kNumPriorities> by_class;
   std::uint64_t pending = 0;  ///< jobs admitted, not yet dispatched
   std::uint64_t active = 0;   ///< jobs dispatched, not yet resolved
+
+  // Task-pool gauges at snapshot time (pool_snapshot(); process-wide).
+  std::uint64_t pool_live_bytes = 0;   ///< outstanding pool + large bytes
+  std::uint64_t pool_arena_bytes = 0;  ///< pool-held bytes incl. cache slack
+  /// Outstanding blocks per pool size class (64 B .. 1 KiB).
+  std::array<std::uint64_t, pool_detail::kNumClasses> pool_class_outstanding{};
 
   [[nodiscard]] const ClassStats& of(Priority p) const {
     return by_class[static_cast<std::size_t>(p)];

@@ -49,6 +49,13 @@ class Task {
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
 
+  /// Credits the job's memory account when a charged block dies. The
+  /// context is a member, so it is still alive here no matter which thread
+  /// drops the last reference (task_context.hpp note_pool_free).
+  ~Task() {
+    if (ctx_ != nullptr && pool_bytes_ != 0) ctx_->note_pool_free(pool_bytes_);
+  }
+
   [[nodiscard]] TaskId id() const { return id_; }
   [[nodiscard]] TaskId parent() const { return parent_; }
 
@@ -65,6 +72,12 @@ class Task {
     if (ctx != nullptr) priority_ = ctx->priority;
     ctx_ = std::move(ctx);
   }
+
+  /// Pool bytes charged to the context for this task's block (0 = not
+  /// charged: context-free task, or accounting was off at fork time). Set
+  /// by the scheduler alongside set_context; consumed by the destructor.
+  void set_pool_bytes(std::uint32_t bytes) { pool_bytes_ = bytes; }
+  [[nodiscard]] std::uint32_t pool_bytes() const { return pool_bytes_; }
 
   /// Effective scheduling class: the context's class when the task belongs
   /// to a job, the creation attribute's otherwise. Immutable once the task
@@ -156,6 +169,7 @@ class Task {
   std::atomic<int> joins_remaining_;
   TaskContextPtr ctx_;
   Priority priority_;
+  std::uint32_t pool_bytes_ = 0;  ///< job-charged block size (see dtor)
   TaskPtr ready_guard_;
   /// Intrusive hooks of the scheduler's sharded live-task registry: links
   /// into the owning shard's list plus a strong self-reference while

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 
+#include "anahy/task_pool.hpp"
 #include "anahy/types.hpp"
 
 namespace anahy {
@@ -50,13 +51,24 @@ struct TaskContext {
   // a single shared cache line would be bounced across all VPs on every
   // task (a measurable single-job throughput tax at fine grain). They are
   // sharded instead: each incrementing thread sticks to one line-padded
-  // shard, and readers (job completion, rare) sum the shards.
-  static constexpr std::size_t kCounterShards = 8;
+  // shard, and readers (job completion, rare) sum the shards. The shard
+  // index is the thread's pool stripe lease (task_pool.hpp), so a thread
+  // holding an exclusive lease is the sole writer of its shard here too and
+  // the pool-memory counters can use the cheap load+store bump; shard
+  // [kStatShards] is the shared overflow every extra thread fetch_adds.
+  static constexpr std::size_t kCounterShards = pool_detail::kStatShards + 1;
   struct alignas(64) CounterShard {
     std::atomic<std::uint64_t> tasks_created{0};
     std::atomic<std::uint64_t> tasks_executed{0};   ///< includes cancelled
     std::atomic<std::uint64_t> tasks_cancelled{0};  ///< skipped bodies
     std::atomic<std::uint64_t> steals{0};  ///< this context's tasks stolen
+    // Memory accounting (anahy::aging): task-pool bytes charged to this
+    // job. `pool_live_bytes` is signed — allocs credit one stripe, the
+    // matching free may debit another, so only the cross-shard sum is
+    // meaningful (exact once the job quiesces, i.e. at completion).
+    std::atomic<std::uint64_t> pool_allocs{0};
+    std::atomic<std::int64_t> pool_live_bytes{0};
+    std::atomic<std::int64_t> pool_peak_bytes{0};  ///< shard-local high-water
   };
 
   struct CounterTotals {
@@ -64,6 +76,12 @@ struct TaskContext {
     std::uint64_t tasks_executed = 0;
     std::uint64_t tasks_cancelled = 0;
     std::uint64_t steals = 0;
+    std::uint64_t pool_allocs = 0;      ///< task blocks charged to the job
+    std::uint64_t pool_live_bytes = 0;  ///< blocks still outstanding
+    /// Peak concurrent task-pool bytes: the sum of per-shard high-waters,
+    /// an upper bound on the true peak (exact when one thread dominates
+    /// the job's forks; never above total allocated bytes).
+    std::uint64_t pool_peak_bytes = 0;
   };
 
   void note_created() {
@@ -78,14 +96,43 @@ struct TaskContext {
     shard().steals.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Charges `bytes` of task-pool memory to the job (scheduler fork path).
+  void note_pool_alloc(std::uint64_t bytes) {
+    const pool_detail::StripeRef lease = pool_detail::my_stripe();
+    CounterShard& s = shards_[lease.index];
+    pool_detail::bump(s.pool_allocs, std::uint64_t{1}, lease.exclusive);
+    pool_detail::bump(s.pool_live_bytes, static_cast<std::int64_t>(bytes),
+                      lease.exclusive);
+    // Shard-local high-water; a lost race between two writers of the
+    // overflow stripe can only under-record, and the cross-shard sum stays
+    // an upper bound on the true concurrent peak either way.
+    const std::int64_t live =
+        s.pool_live_bytes.load(std::memory_order_relaxed);
+    if (live > s.pool_peak_bytes.load(std::memory_order_relaxed))
+      s.pool_peak_bytes.store(live, std::memory_order_relaxed);
+  }
+  /// Credits `bytes` back when a charged task block is destroyed.
+  void note_pool_free(std::uint64_t bytes) {
+    const pool_detail::StripeRef lease = pool_detail::my_stripe();
+    pool_detail::bump(shards_[lease.index].pool_live_bytes,
+                      -static_cast<std::int64_t>(bytes), lease.exclusive);
+  }
+
   [[nodiscard]] CounterTotals totals() const {
     CounterTotals t;
+    std::int64_t live = 0;
+    std::int64_t peak = 0;
     for (const CounterShard& s : shards_) {
       t.tasks_created += s.tasks_created.load(std::memory_order_relaxed);
       t.tasks_executed += s.tasks_executed.load(std::memory_order_relaxed);
       t.tasks_cancelled += s.tasks_cancelled.load(std::memory_order_relaxed);
       t.steals += s.steals.load(std::memory_order_relaxed);
+      t.pool_allocs += s.pool_allocs.load(std::memory_order_relaxed);
+      live += s.pool_live_bytes.load(std::memory_order_relaxed);
+      peak += s.pool_peak_bytes.load(std::memory_order_relaxed);
     }
+    t.pool_live_bytes = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+    t.pool_peak_bytes = peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
     return t;
   }
 
@@ -138,13 +185,11 @@ struct TaskContext {
   }
 
  private:
-  /// Stable per-thread shard choice: threads are striped round-robin over
-  /// the shards once, at first use, so an increment never migrates lines.
+  /// Stable per-thread shard choice: the thread's pool stripe lease, so a
+  /// thread touches one line per context and the exclusive-writer property
+  /// carries over from the pool books (see kCounterShards above).
   [[nodiscard]] CounterShard& shard() {
-    static std::atomic<std::size_t> next_stripe{0};
-    thread_local std::size_t stripe =
-        next_stripe.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
-    return shards_[stripe];
+    return shards_[pool_detail::my_stripe().index];
   }
 
   std::array<CounterShard, kCounterShards> shards_;

@@ -1,4 +1,5 @@
-// Thread-caching block allocator for Task control blocks.
+// Thread-caching block allocator for Task control blocks, with memory-
+// state accounting for the anahy::aging analysis pass.
 //
 // Every fork allocates one shared_ptr control block (~200 B: the Task plus
 // the inplace refcount header) and every last join frees it. At fib-grain
@@ -18,14 +19,31 @@
 //    destruction (e.g. the athread global Runtime torn down after main's
 //    thread-locals) fall back to ::operator delete instead of touching a
 //    dead cache.
-//  - Under AddressSanitizer the cache is a passthrough so use-after-free
-//    diagnostics on tasks keep their precision. ThreadSanitizer keeps the
-//    cache enabled: it is thread-local by construction, and a racy access
-//    to a recycled block still races on the new object, which TSan reports.
+//  - Under AddressSanitizer the cache is a passthrough (exact request sizes,
+//    so use-after-free diagnostics on tasks keep their precision).
+//    ThreadSanitizer keeps the cache enabled: it is thread-local by
+//    construction, and a racy access to a recycled block still races on the
+//    new object, which TSan reports.
+//
+// Accounting (docs/AGING.md): the title paper detects software aging from
+// memory-resource time series, so the pool keeps the books a long-lived
+// server needs — per size class, how many blocks were ever allocated and
+// freed (their difference is the *outstanding* occupancy a leak shows up
+// in) and how many blocks the pool currently holds from the system (the
+// *arena*, which includes cached-but-free blocks: arena minus outstanding
+// is fragmentation-shaped slack). Counters live in per-thread *leased*
+// stripes: a thread claims a private stripe at first use and bumps it with
+// plain relaxed load+store — no lock-prefixed RMW on the fork path, which
+// is what keeps always-on accounting inside the ≤2% overhead bar
+// bench/aging_soak enforces. pool_snapshot() sums the stripes wait-free;
+// set_pool_accounting(false) is the kill switch the bench measures against.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <vector>
 
@@ -60,6 +78,125 @@ inline constexpr bool kCacheEnabled = true;
   return (cls + 1) * kClassBytes;
 }
 
+/// Global accounting switch (relaxed reads on the alloc/free hot path).
+/// Gates only the per-call alloc/free tallies; the cold-path arena books
+/// stay on so a mid-flight toggle can never leave an unpaired shrink. Off
+/// never corrupts the books: allocs and frees simply both stop being
+/// counted, and snapshot arithmetic clamps any alloc/free imbalance a
+/// mid-flight toggle leaves behind.
+[[nodiscard]] inline std::atomic<bool>& accounting_flag() {
+  static std::atomic<bool> on{true};
+  return on;
+}
+
+/// One stripe of the pool-wide books (see StripeLease for the write
+/// discipline: exclusive stripes are single-writer, the overflow stripe is
+/// shared and written with fetch_add).
+struct alignas(64) StatShard {
+  std::array<std::atomic<std::uint64_t>, kNumClasses> allocs{};
+  std::array<std::atomic<std::uint64_t>, kNumClasses> frees{};
+  /// Blocks this class obtained from / returned to ::operator new|delete
+  /// (their difference is the arena: blocks the pool holds, live or cached).
+  std::array<std::atomic<std::uint64_t>, kNumClasses> arena_grow{};
+  std::array<std::atomic<std::uint64_t>, kNumClasses> arena_shrink{};
+  // Over-sized / over-aligned fallthrough allocations (no pooling).
+  std::atomic<std::uint64_t> large_allocs{0};
+  std::atomic<std::uint64_t> large_frees{0};
+  std::atomic<std::uint64_t> large_alloc_bytes{0};
+  std::atomic<std::uint64_t> large_free_bytes{0};
+};
+
+/// Exclusive stripes available for lease; one extra shared overflow stripe
+/// (index kStatShards) absorbs threads that arrive when all leases are out,
+/// and cold-path bumps that must not assume a live lease (FreeCache::~).
+inline constexpr std::size_t kStatShards = 8;
+inline constexpr std::size_t kOverflowStripe = kStatShards;
+
+[[nodiscard]] inline std::atomic<std::uint32_t>& stripe_mask() {
+  static std::atomic<std::uint32_t> mask{0};
+  return mask;
+}
+
+/// Set by ~StripeLease: frees that outlive the thread's lease (e.g. the
+/// athread global runtime tearing down tasks after main's thread-locals
+/// are gone) book against the overflow stripe instead of the dead lease.
+inline thread_local bool tls_lease_dead = false;
+
+/// Per-thread stripe lease. A relaxed fetch_add is a lock-prefixed RMW
+/// (~10x a plain store), and the accounting path takes several per task, so
+/// the books use single-writer stripes instead: each thread claims a
+/// private stripe bit at first use and releases it at thread exit. While
+/// exclusive, `bump` below is a plain relaxed load+store. When more than
+/// kStatShards threads touch the pool concurrently, late arrivals share the
+/// overflow stripe and pay the fetch_add — exactness is kept either way.
+struct StripeLease {
+  std::size_t index = kOverflowStripe;
+  bool exclusive = false;
+
+  StripeLease() {
+    auto& mask = stripe_mask();
+    std::uint32_t m = mask.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t free = ~m & ((1u << kStatShards) - 1);
+      if (free == 0) return;  // all leased: share the overflow stripe
+      const int bit = std::countr_zero(free);
+      if (mask.compare_exchange_weak(m, m | (1u << bit),
+                                     std::memory_order_relaxed)) {
+        index = static_cast<std::size_t>(bit);
+        exclusive = true;
+        return;
+      }
+    }
+  }
+  ~StripeLease() {
+    tls_lease_dead = true;
+    if (exclusive)
+      stripe_mask().fetch_and(~(1u << index), std::memory_order_relaxed);
+  }
+  StripeLease(const StripeLease&) = delete;
+  StripeLease& operator=(const StripeLease&) = delete;
+};
+
+/// The calling thread's stripe, by value: (index, exclusive). Safe at any
+/// point in the thread's life — after lease teardown it degrades to the
+/// shared overflow stripe.
+struct StripeRef {
+  std::size_t index;
+  bool exclusive;
+};
+
+[[nodiscard]] inline StripeRef my_stripe() {
+  if (tls_lease_dead) return {kOverflowStripe, false};
+  static thread_local StripeLease lease;
+  return {lease.index, lease.exclusive};
+}
+
+/// Counter bump honoring the lease discipline: plain load+store on an
+/// exclusively-held stripe, fetch_add on the shared overflow stripe.
+template <class T>
+inline void bump(std::atomic<T>& c, T delta, bool exclusive) {
+  if (exclusive)
+    c.store(c.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+  else
+    c.fetch_add(delta, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::array<StatShard, kStatShards + 1>& stat_shards() {
+  static std::array<StatShard, kStatShards + 1> shards{};
+  return shards;
+}
+
+[[nodiscard]] inline bool accounting_on() {
+  return accounting_flag().load(std::memory_order_relaxed);
+}
+
+/// Size of the most recent pool_alloc on this thread. The scheduler reads
+/// it right after std::allocate_shared to charge the forked task's exact
+/// block size to its job context (allocate is called synchronously on the
+/// forking thread, so the value cannot be clobbered in between).
+inline thread_local std::size_t tls_last_alloc_bytes = 0;
+
 struct FreeCache;
 inline thread_local bool tls_cache_dead = false;
 
@@ -67,8 +204,18 @@ struct FreeCache {
   std::array<std::vector<void*>, kNumClasses> lists;
   ~FreeCache() {
     tls_cache_dead = true;
-    for (auto& list : lists)
-      for (void* p : list) ::operator delete(p);
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+      for (void* p : lists[cls]) {
+        // Thread teardown: the stripe lease may already be released (and
+        // re-leased by another thread), so book against the shared
+        // overflow stripe, which is always fetch_add-safe. Arena books are
+        // unconditional (see pool_alloc): a grown block must always shrink.
+        stat_shards()[kOverflowStripe].arena_shrink[cls].fetch_add(
+            1, std::memory_order_relaxed);
+        // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
+        ::operator delete(p);
+      }
+    }
   }
 };
 
@@ -78,43 +225,165 @@ struct FreeCache {
 }
 
 [[nodiscard]] inline void* pool_alloc(std::size_t bytes, std::size_t align) {
-  if (kCacheEnabled && align <= alignof(std::max_align_t) &&
-      !tls_cache_dead) {
+  tls_last_alloc_bytes = bytes;
+  if (align <= alignof(std::max_align_t)) {
     const std::size_t cls = size_class(bytes);
     if (cls < kNumClasses) {
-      auto& list = cache().lists[cls];
-      if (!list.empty()) {
-        void* p = list.back();
-        list.pop_back();
-        return p;
+      if (accounting_on()) {
+        const StripeRef lease = my_stripe();
+        bump(stat_shards()[lease.index].allocs[cls], std::uint64_t{1},
+             lease.exclusive);
       }
-      // Allocate the full class size so the block is reusable for any
-      // request in this class when it comes back.
-      return ::operator new(class_bytes(cls));
+      if (kCacheEnabled && !tls_cache_dead) {
+        auto& list = cache().lists[cls];
+        if (!list.empty()) {
+          void* p = list.back();
+          list.pop_back();
+          return p;
+        }
+      }
+      {
+        // Arena books ignore the kill switch: they fire only on actual
+        // ::operator new/delete (cache misses, overflow, teardown — once
+        // per block lifetime, off the per-task hot path), and gating them
+        // would let a mid-flight toggle book a shrink for a never-booked
+        // grow, permanently clamping the arena gauge to zero.
+        const StripeRef lease = my_stripe();
+        bump(stat_shards()[lease.index].arena_grow[cls], std::uint64_t{1},
+             lease.exclusive);
+      }
+      // With the cache on, allocate the full class size so the block is
+      // reusable for any request in this class when it comes back. The
+      // cacheless (ASan) build keeps the exact request size for redzone
+      // precision; plain (un-aligned) new/delete pair on both paths.
+      // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
+      return ::operator new(kCacheEnabled ? class_bytes(cls) : bytes);
     }
   }
+  if (accounting_on()) {
+    const StripeRef lease = my_stripe();
+    StatShard& s = stat_shards()[lease.index];
+    bump(s.large_allocs, std::uint64_t{1}, lease.exclusive);
+    bump(s.large_alloc_bytes, std::uint64_t{bytes}, lease.exclusive);
+  }
+  // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
   return ::operator new(bytes, std::align_val_t{align});
 }
 
 inline void pool_free(void* p, std::size_t bytes, std::size_t align) {
-  if (kCacheEnabled && align <= alignof(std::max_align_t)) {
+  if (align <= alignof(std::max_align_t)) {
     const std::size_t cls = size_class(bytes);
     if (cls < kNumClasses) {
-      if (!tls_cache_dead) {
+      if (accounting_on()) {
+        const StripeRef lease = my_stripe();
+        bump(stat_shards()[lease.index].frees[cls], std::uint64_t{1},
+             lease.exclusive);
+      }
+      if (kCacheEnabled && !tls_cache_dead) {
         auto& list = cache().lists[cls];
         if (list.size() < kCacheCap) {
           list.push_back(p);
           return;
         }
       }
+      {
+        // Unconditional for grow/shrink symmetry — see pool_alloc.
+        const StripeRef lease = my_stripe();
+        bump(stat_shards()[lease.index].arena_shrink[cls], std::uint64_t{1},
+             lease.exclusive);
+      }
+      // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
       ::operator delete(p);
       return;
     }
   }
+  if (accounting_on()) {
+    const StripeRef lease = my_stripe();
+    StatShard& s = stat_shards()[lease.index];
+    bump(s.large_frees, std::uint64_t{1}, lease.exclusive);
+    bump(s.large_free_bytes, std::uint64_t{bytes}, lease.exclusive);
+  }
+  // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
   ::operator delete(p, std::align_val_t{align});
 }
 
 }  // namespace pool_detail
+
+/// Point-in-time view of the task pool's memory state (docs/AGING.md).
+/// Computed by pool_snapshot() from the sharded counters; every derived
+/// gauge clamps at zero so a mid-flight accounting toggle (or a snapshot
+/// racing in-flight increments) can never yield a wrapped huge value.
+struct PoolSnapshot {
+  struct ClassStats {
+    std::size_t block_bytes = 0;       ///< size this class serves
+    std::uint64_t allocs = 0;          ///< blocks ever handed out
+    std::uint64_t frees = 0;           ///< blocks ever returned
+    std::uint64_t outstanding = 0;     ///< allocs - frees (live blocks)
+    std::uint64_t arena_blocks = 0;    ///< blocks held from the system
+    std::uint64_t cached_blocks = 0;   ///< arena - outstanding (free-list)
+  };
+
+  std::array<ClassStats, pool_detail::kNumClasses> classes{};
+  std::uint64_t alloc_calls = 0;     ///< pooled + large allocations
+  std::uint64_t live_blocks = 0;     ///< Σ outstanding (pooled classes)
+  std::uint64_t live_bytes = 0;      ///< pooled outstanding + large live
+  std::uint64_t arena_bytes = 0;     ///< pool-held bytes incl. cached slack
+  std::uint64_t large_live_bytes = 0;///< over-sized fallthrough, live
+};
+
+/// Accounting kill switch (default on). bench/aging_soak flips it to price
+/// the books; production leaves it on — the cost is a few plain relaxed
+/// load+stores on the thread's exclusively-leased line per task
+/// create/destroy (see StripeLease).
+inline void set_pool_accounting(bool on) {
+  pool_detail::accounting_flag().store(on, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool pool_accounting() {
+  return pool_detail::accounting_on();
+}
+
+/// Wait-free sum of the pool books. Process-wide (the pool is shared by
+/// every runtime in the process). Monotonic inputs, clamped derivations.
+[[nodiscard]] inline PoolSnapshot pool_snapshot() {
+  using namespace pool_detail;
+  PoolSnapshot s;
+  std::uint64_t large_allocs = 0;
+  std::uint64_t large_alloc_bytes = 0;
+  std::uint64_t large_free_bytes = 0;
+  for (const StatShard& sh : stat_shards()) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      s.classes[c].allocs += sh.allocs[c].load(std::memory_order_relaxed);
+      s.classes[c].frees += sh.frees[c].load(std::memory_order_relaxed);
+      s.classes[c].arena_blocks +=
+          sh.arena_grow[c].load(std::memory_order_relaxed);
+      // Defer shrink subtraction: sum first, clamp once below.
+      s.classes[c].cached_blocks +=
+          sh.arena_shrink[c].load(std::memory_order_relaxed);
+    }
+    large_allocs += sh.large_allocs.load(std::memory_order_relaxed);
+    large_alloc_bytes += sh.large_alloc_bytes.load(std::memory_order_relaxed);
+    large_free_bytes += sh.large_free_bytes.load(std::memory_order_relaxed);
+  }
+  const auto clamped_sub = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    PoolSnapshot::ClassStats& cs = s.classes[c];
+    cs.block_bytes = class_bytes(c);
+    cs.outstanding = clamped_sub(cs.allocs, cs.frees);
+    cs.arena_blocks = clamped_sub(cs.arena_blocks, cs.cached_blocks);
+    cs.cached_blocks = clamped_sub(cs.arena_blocks, cs.outstanding);
+    s.alloc_calls += cs.allocs;
+    s.live_blocks += cs.outstanding;
+    s.live_bytes += cs.outstanding * cs.block_bytes;
+    s.arena_bytes += cs.arena_blocks * cs.block_bytes;
+  }
+  s.alloc_calls += large_allocs;
+  s.large_live_bytes = clamped_sub(large_alloc_bytes, large_free_bytes);
+  s.live_bytes += s.large_live_bytes;
+  s.arena_bytes += s.large_live_bytes;
+  return s;
+}
 
 /// Minimal allocator over the thread-caching pool, for
 /// std::allocate_shared<Task>: the shared_ptr control block and the Task are

@@ -1,0 +1,304 @@
+// The aging detectors and their estimators on synthetic series: clean
+// workloads stay silent, each ANAHY-A00x fires on the signature it names,
+// and the MF-DFA estimator separates white noise from a multiplicative
+// cascade (the multifractal signature the title paper ties to aging).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anahy/aging/analyze.hpp"
+
+namespace {
+
+using anahy::aging::analyze;
+using anahy::aging::Analysis;
+using anahy::aging::AnalyzeOptions;
+using anahy::aging::mfdfa_width;
+using anahy::aging::pearson;
+using anahy::aging::Series;
+using anahy::aging::SeriesPoint;
+using anahy::aging::theil_sen_slope;
+namespace code = anahy::aging::code;
+
+bool has_code(const Analysis& a, const char* c) {
+  return std::any_of(a.findings.begin(), a.findings.end(),
+                     [&](const auto& f) { return f.code == c; });
+}
+
+/// Deterministic uniform noise in [-0.5, 0.5) (SplitMix-style LCG).
+struct Rng {
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  double next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) /
+               static_cast<double>(1ULL << 53) -
+           0.5;
+  }
+};
+
+/// A series of `n` samples at 10 ms cadence, 10 jobs per sample, flat
+/// ~1 MiB heap with a little deterministic jitter — a healthy server.
+Series clean_series(std::size_t n) {
+  Series s;
+  Rng rng;
+  for (std::size_t i = 0; i < n; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes =
+        static_cast<std::uint64_t>(1 << 20) +
+        static_cast<std::uint64_t>((rng.next() + 0.5) * 1024.0);
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000 + static_cast<std::int64_t>(rng.next() * 1000.0);
+    s.push(p);
+  }
+  return s;
+}
+
+TEST(AgingEstimators, TheilSenExactOnLineRobustToOutliers) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(theil_sen_slope(x, y), 3.0, 1e-9);
+  // A fifth of the points wildly off does not move the median slope.
+  for (int i = 0; i < 100; i += 5) y[static_cast<std::size_t>(i)] += 1e6;
+  EXPECT_NEAR(theil_sen_slope(x, y), 3.0, 0.2);
+  // Degenerate inputs.
+  EXPECT_EQ(theil_sen_slope({}, {}), 0.0);
+  EXPECT_EQ(theil_sen_slope({1, 1, 1}, {1, 2, 3}), 0.0);  // no x spread
+}
+
+TEST(AgingEstimators, PearsonEndpoints) {
+  std::vector<double> x;
+  std::vector<double> up;
+  std::vector<double> down;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    up.push_back(2.0 * i + 1);
+    down.push_back(-1.0 * i);
+  }
+  EXPECT_NEAR(pearson(x, up), 1.0, 1e-9);
+  EXPECT_NEAR(pearson(x, down), -1.0, 1e-9);
+  EXPECT_EQ(pearson(x, std::vector<double>(50, 4.0)), 0.0);  // constant
+}
+
+TEST(AgingEstimators, MfdfaSeparatesNoiseFromCascade) {
+  constexpr std::size_t kN = 4096;
+  Rng rng;
+  std::vector<double> noise(kN);
+  for (double& v : noise) v = rng.next();
+
+  // Deterministic binomial cascade: repeatedly split every segment,
+  // sending 80% of its mass to one side (chosen pseudo-randomly). The
+  // result is the classic multifractal measure with a wide h(q) spread.
+  std::vector<double> cascade(kN, 1.0);
+  for (std::size_t seg = kN; seg >= 2; seg /= 2) {
+    for (std::size_t base = 0; base < kN; base += seg) {
+      const bool flip = rng.next() > 0;
+      const double wl = flip ? 1.6 : 0.4;  // 2p and 2(1-p), p = 0.8
+      const double wr = flip ? 0.4 : 1.6;
+      for (std::size_t i = 0; i < seg / 2; ++i) cascade[base + i] *= wl;
+      for (std::size_t i = seg / 2; i < seg; ++i) cascade[base + i] *= wr;
+    }
+  }
+
+  const auto mono = mfdfa_width(noise);
+  const auto multi = mfdfa_width(cascade);
+  ASSERT_TRUE(mono.ok);
+  ASSERT_TRUE(multi.ok);
+  EXPECT_NEAR(mono.hurst, 0.5, 0.25);  // white noise: h(2) ~ 0.5
+  EXPECT_LT(mono.width, 0.6);          // ... and a narrow spectrum
+  EXPECT_GT(multi.width, 1.0);         // cascade: wide spectrum
+  EXPECT_GT(multi.width, mono.width + 0.5);
+
+  // Degenerate inputs are refused, not mis-measured: a constant series
+  // (the differenced form of a perfectly linear leak) has no fluctuations
+  // for the detrending to scale.
+  EXPECT_FALSE(mfdfa_width(std::vector<double>(16, 1.0)).ok);   // too short
+  EXPECT_FALSE(mfdfa_width(std::vector<double>(512, 3.0)).ok);  // constant
+}
+
+TEST(AgingAnalyze, CleanSeriesStaysSilent) {
+  const Analysis a = analyze(clean_series(200));
+  EXPECT_TRUE(a.findings.empty())
+      << anahy::aging::format_findings(a.findings);
+  EXPECT_EQ(a.points, 200u);
+  EXPECT_EQ(a.jobs, 1990u);
+}
+
+TEST(AgingAnalyze, TooShortSeriesComputesNothing) {
+  const Analysis a = analyze(clean_series(8));
+  EXPECT_TRUE(a.findings.empty());
+  EXPECT_EQ(a.heap_slope_per_job, 0.0);
+}
+
+TEST(AgingAnalyze, HeapGrowthFiresA001) {
+  Series s;
+  Rng rng;
+  for (std::size_t i = 0; i < 200; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    // 200 bytes/job of sustained growth, noise on top.
+    p.heap_bytes = (1 << 20) + i * 2000 +
+                   static_cast<std::uint64_t>((rng.next() + 0.5) * 512.0);
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000;
+    s.push(p);
+  }
+  const Analysis a = analyze(s);
+  ASSERT_TRUE(has_code(a, code::kHeapGrowth))
+      << anahy::aging::format_findings(a.findings);
+  EXPECT_NEAR(a.heap_slope_per_job, 200.0, 20.0);
+}
+
+TEST(AgingAnalyze, FragmentationCreepFiresA002) {
+  Series s;
+  for (std::size_t i = 0; i < 200; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes = 1 << 20;  // live is flat...
+    p.arena_bytes = p.heap_bytes + 100'000 + i * 2000;  // ...the arena not
+    p.lat_ns = 100'000;
+    s.push(p);
+  }
+  const Analysis a = analyze(s);
+  EXPECT_TRUE(has_code(a, code::kFragmentationCreep))
+      << anahy::aging::format_findings(a.findings);
+  EXPECT_FALSE(has_code(a, code::kHeapGrowth));
+}
+
+TEST(AgingAnalyze, CorrelatedLatencyCreepFiresA003) {
+  Series s;
+  for (std::size_t i = 0; i < 200; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes = (1 << 20) + i * 2000;
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000 + static_cast<std::int64_t>(i) * 500;  // 50 ns/job
+    s.push(p);
+  }
+  const Analysis a = analyze(s);
+  EXPECT_TRUE(has_code(a, code::kLatencyCreep))
+      << anahy::aging::format_findings(a.findings);
+  EXPECT_GT(a.heap_lat_corr, 0.9);
+}
+
+TEST(AgingAnalyze, PoolClassLeakFiresA004NamingTheClass) {
+  Series s;
+  for (std::size_t i = 0; i < 200; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes = 1 << 20;
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000;
+    p.class_outstanding[2] = i;  // class index 2 = 192-byte blocks
+    s.push(p);
+  }
+  const Analysis a = analyze(s);
+  ASSERT_TRUE(has_code(a, code::kPoolClassLeak))
+      << anahy::aging::format_findings(a.findings);
+  bool named = false;
+  for (const auto& f : a.findings)
+    if (f.code == code::kPoolClassLeak &&
+        f.detail.find("192B") != std::string::npos)
+      named = true;
+  EXPECT_TRUE(named) << anahy::aging::format_findings(a.findings);
+}
+
+TEST(AgingAnalyze, GapAndCorruptSamplesFireA005) {
+  {
+    Series s = clean_series(64);
+    SeriesPoint p = s.back();
+    p.t_ns += 10'000'000'000;  // a 10 s hole in a 10 ms cadence
+    p.jobs += 10;
+    s.push(p);
+    const Analysis a = analyze(s);
+    EXPECT_TRUE(has_code(a, code::kSeriesGap))
+        << anahy::aging::format_findings(a.findings);
+  }
+  {
+    Series s = clean_series(64);
+    SeriesPoint p = s.back();
+    p.t_ns += 10'000'000;
+    p.jobs -= 5;  // the cumulative jobs counter cannot go backwards
+    s.push(p);
+    const Analysis a = analyze(s);
+    EXPECT_TRUE(has_code(a, code::kSeriesGap))
+        << anahy::aging::format_findings(a.findings);
+  }
+}
+
+TEST(AgingAnalyze, SpectrumWideningFiresA006) {
+  // First half: heap increments are calm white noise. Second half: the
+  // increments turn into a bursty multiplicative cascade of the same mean
+  // amplitude — the "allocation behaviour became multifractal" signature.
+  // Increment amplitudes are kept in the thousands of bytes so the
+  // uint64 quantization of heap_bytes cannot masquerade as structure.
+  constexpr std::size_t kHalf = 1024;
+  Rng rng;
+  std::vector<double> inc;
+  for (std::size_t i = 0; i < kHalf; ++i)
+    inc.push_back(10'000.0 + 600.0 * rng.next());
+  std::vector<double> cascade(kHalf, 1.0);
+  for (std::size_t seg = kHalf; seg >= 2; seg /= 2) {
+    for (std::size_t base = 0; base < kHalf; base += seg) {
+      const bool flip = rng.next() > 0;
+      const double wl = flip ? 1.6 : 0.4;
+      const double wr = flip ? 0.4 : 1.6;
+      for (std::size_t i = 0; i < seg / 2; ++i) cascade[base + i] *= wl;
+      for (std::size_t i = seg / 2; i < seg; ++i) cascade[base + i] *= wr;
+    }
+  }
+  for (const double c : cascade) inc.push_back(10'000.0 * c);
+
+  Series s;
+  double heap = 1 << 24;
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    heap += inc[i];
+    p.heap_bytes = static_cast<std::uint64_t>(heap);
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000;
+    s.push(p);
+  }
+  AnalyzeOptions opt;
+  opt.warmup_fraction = 0;  // keep the halves aligned with the synthesis
+  const Analysis a = analyze(s, opt);
+  ASSERT_TRUE(a.mf_valid);
+  EXPECT_TRUE(has_code(a, code::kSpectrumWidening))
+      << "early " << a.mf_width_early << " late " << a.mf_width_late << "\n"
+      << anahy::aging::format_findings(a.findings);
+  EXPECT_GT(a.mf_width_late, a.mf_width_early);
+}
+
+TEST(AgingAnalyze, JsonPayloadCarriesFindingsAndStats) {
+  Series s;
+  for (std::size_t i = 0; i < 200; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes = (1 << 20) + i * 2000;
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000;
+    s.push(p);
+  }
+  const std::string json = anahy::aging::to_json(analyze(s));
+  EXPECT_NE(json.find("\"points\": 200"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"heap_slope_per_job\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("ANAHY-A001"), std::string::npos) << json;
+}
+
+}  // namespace

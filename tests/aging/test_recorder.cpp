@@ -1,0 +1,114 @@
+// Recorder delta discipline: counters that reset (server drain/restart) or
+// wrap must never produce a negative or wrapped-huge sample, the jobs
+// column stays monotonic across generations, and idle intervals carry the
+// latency proxy forward.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "anahy/aging/recorder.hpp"
+
+namespace {
+
+using anahy::aging::Cumulative;
+using anahy::aging::Recorder;
+
+Cumulative cum(std::int64_t t, std::uint64_t jobs, std::int64_t wait_sum,
+               std::int64_t exec_sum) {
+  Cumulative c;
+  c.t_ns = t;
+  c.jobs_resolved = jobs;
+  c.queue_wait_ns_sum = wait_sum;
+  c.exec_ns_sum = exec_sum;
+  return c;
+}
+
+TEST(AgingRecorder, FirstSampleIsBaseline) {
+  Recorder r;
+  r.sample(cum(100, 50, 1000, 2000));
+  ASSERT_EQ(r.samples(), 1u);
+  EXPECT_EQ(r.series()[0].jobs, 0u);    // deltas start at the baseline
+  EXPECT_EQ(r.series()[0].lat_ns, 0);
+}
+
+TEST(AgingRecorder, AccumulatesDeltasAndLatency) {
+  Recorder r;
+  r.sample(cum(0, 0, 0, 0));
+  r.sample(cum(10, 4, 400, 800));   // 4 jobs, (400+800)/4 = 300 ns each
+  r.sample(cum(20, 10, 1000, 2000));  // +6 jobs, (600+1200)/6 = 300 ns
+  ASSERT_EQ(r.samples(), 3u);
+  EXPECT_EQ(r.series()[1].jobs, 4u);
+  EXPECT_EQ(r.series()[1].lat_ns, 300);
+  EXPECT_EQ(r.series()[2].jobs, 10u);
+  EXPECT_EQ(r.series()[2].lat_ns, 300);
+}
+
+TEST(AgingRecorder, ServerRestartNeverGoesNegative) {
+  Recorder r;
+  r.sample(cum(0, 0, 0, 0));
+  r.sample(cum(10, 100, 10000, 20000));
+  // The server was torn down and rebuilt: every cumulative counter reset.
+  r.sample(cum(20, 3, 30, 60));
+  ASSERT_EQ(r.samples(), 3u);
+  // The reset interval contributes zero delta — not a wrapped huge value.
+  EXPECT_EQ(r.series()[2].jobs, 100u);
+  // The next generation's deltas resume accumulation on top.
+  r.sample(cum(30, 8, 80, 160));  // +5 jobs
+  EXPECT_EQ(r.series()[3].jobs, 105u);
+  // The jobs column is monotonic throughout.
+  for (std::size_t i = 1; i < r.samples(); ++i)
+    EXPECT_GE(r.series()[i].jobs, r.series()[i - 1].jobs) << i;
+}
+
+TEST(AgingRecorder, CounterWraparoundIsClamped) {
+  Recorder r;
+  const std::uint64_t near_max = std::numeric_limits<std::uint64_t>::max() - 5;
+  r.sample(cum(0, near_max, 0, 0));
+  r.sample(cum(10, 2, 0, 0));  // wrapped past the 64-bit boundary
+  // Unsigned subtraction would say "7 jobs"; the recorder refuses to guess
+  // and clamps the backwards step to zero.
+  EXPECT_EQ(r.series()[1].jobs, 0u);
+}
+
+TEST(AgingRecorder, IdleIntervalCarriesLatencyForward) {
+  Recorder r;
+  r.sample(cum(0, 0, 0, 0));
+  r.sample(cum(10, 2, 1000, 1000));  // 1000 ns/job
+  r.sample(cum(20, 2, 1000, 1000));  // idle: nothing resolved
+  EXPECT_EQ(r.series()[1].lat_ns, 1000);
+  EXPECT_EQ(r.series()[2].lat_ns, 1000);  // carried, not a fake zero
+}
+
+TEST(AgingRecorder, GaugesPassThroughAndClearResets) {
+  Recorder r;
+  Cumulative c = cum(5, 1, 10, 10);
+  c.heap_bytes = 4096;
+  c.arena_bytes = 8192;
+  c.rss_bytes = 1 << 20;
+  c.ready_tasks = 3;
+  c.class_outstanding[0] = 7;
+  r.sample(c);
+  EXPECT_EQ(r.series()[0].heap_bytes, 4096u);
+  EXPECT_EQ(r.series()[0].arena_bytes, 8192u);
+  EXPECT_EQ(r.series()[0].rss_bytes, 1u << 20);
+  EXPECT_EQ(r.series()[0].ready_tasks, 3u);
+  EXPECT_EQ(r.series()[0].class_outstanding[0], 7u);
+
+  r.clear();
+  EXPECT_EQ(r.samples(), 0u);
+  // After clear() the next sample is a fresh baseline, not a delta against
+  // the pre-clear cumulative state.
+  r.sample(cum(100, 50, 0, 0));
+  EXPECT_EQ(r.series()[0].jobs, 0u);
+}
+
+TEST(AgingRecorder, RingCapacityBoundsTheSeries) {
+  Recorder r(4);
+  for (int i = 0; i < 10; ++i)
+    r.sample(cum(i * 10, static_cast<std::uint64_t>(i), 0, 0));
+  EXPECT_EQ(r.samples(), 4u);
+  EXPECT_EQ(r.series().dropped(), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// anahy-series v1 persistence: round-trip fidelity, the all-or-nothing
+// loader contract, and the bounded-ring eviction discipline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "anahy/aging/series.hpp"
+
+namespace {
+
+using anahy::aging::kPoolClasses;
+using anahy::aging::Series;
+using anahy::aging::SeriesPoint;
+
+SeriesPoint point(std::int64_t t, std::uint64_t jobs, std::uint64_t heap) {
+  SeriesPoint p;
+  p.t_ns = t;
+  p.jobs = jobs;
+  p.heap_bytes = heap;
+  p.arena_bytes = heap + 512;
+  p.rss_bytes = heap * 4;
+  p.ready_tasks = jobs % 7;
+  p.lat_ns = static_cast<std::int64_t>(1000 + jobs);
+  for (std::size_t c = 0; c < kPoolClasses; ++c)
+    p.class_outstanding[c] = jobs + c;
+  return p;
+}
+
+TEST(AgingSeries, SaveLoadRoundTrip) {
+  Series s;
+  for (int i = 0; i < 5; ++i)
+    s.push(point(1000 + i * 10, static_cast<std::uint64_t>(i * 3),
+                 4096 + static_cast<std::uint64_t>(i) * 64));
+
+  std::ostringstream out;
+  s.save(out);
+  EXPECT_NE(out.str().find("anahy-series v1"), std::string::npos);
+
+  Series loaded;
+  std::istringstream in(out.str());
+  std::string error;
+  ASSERT_TRUE(loaded.load(in, &error)) << error;
+  ASSERT_EQ(loaded.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(loaded[i].t_ns, s[i].t_ns);
+    EXPECT_EQ(loaded[i].jobs, s[i].jobs);
+    EXPECT_EQ(loaded[i].heap_bytes, s[i].heap_bytes);
+    EXPECT_EQ(loaded[i].arena_bytes, s[i].arena_bytes);
+    EXPECT_EQ(loaded[i].rss_bytes, s[i].rss_bytes);
+    EXPECT_EQ(loaded[i].ready_tasks, s[i].ready_tasks);
+    EXPECT_EQ(loaded[i].lat_ns, s[i].lat_ns);
+    EXPECT_EQ(loaded[i].class_outstanding, s[i].class_outstanding);
+  }
+}
+
+TEST(AgingSeries, RingEvictsHeadAndCountsDrops) {
+  Series s(3);
+  for (int i = 0; i < 7; ++i)
+    s.push(point(i, static_cast<std::uint64_t>(i), 0));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.dropped(), 4u);
+  EXPECT_EQ(s.front().t_ns, 4);  // oldest survivors are 4, 5, 6
+  EXPECT_EQ(s.back().t_ns, 6);
+}
+
+TEST(AgingSeries, LoadRejectsMissingHeader) {
+  Series s;
+  std::istringstream in("point 1 2 3 4 5 6 7\n");
+  std::string error;
+  EXPECT_FALSE(s.load(in, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(AgingSeries, LoadRejectsTruncatedPointKeepingOldContents) {
+  Series s;
+  s.push(point(42, 1, 2));  // pre-existing contents must survive a bad load
+
+  std::ostringstream good;
+  Series donor;
+  donor.push(point(1, 1, 1));
+  donor.push(point(2, 2, 2));
+  donor.save(good);
+  std::string text = good.str();
+  // Chop the last point line mid-field.
+  text.resize(text.rfind(' ') + 1);
+
+  std::istringstream in(text);
+  std::string error;
+  EXPECT_FALSE(s.load(in, &error));
+  EXPECT_NE(error.find("class columns"), std::string::npos) << error;
+  ASSERT_EQ(s.size(), 1u);  // all-or-nothing: old contents intact
+  EXPECT_EQ(s[0].t_ns, 42);
+}
+
+TEST(AgingSeries, LoadRejectsUnknownRecordAndTrailingData) {
+  std::string error;
+  {
+    Series s;
+    std::istringstream in("anahy-series v1 classes=0\nnode 1 2 3\n");
+    EXPECT_FALSE(s.load(in, &error));
+    EXPECT_NE(error.find("unknown record"), std::string::npos) << error;
+  }
+  {
+    Series s;
+    std::istringstream in(
+        "anahy-series v1 classes=0\npoint 1 2 3 4 5 6 7 extra\n");
+    EXPECT_FALSE(s.load(in, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  }
+}
+
+TEST(AgingSeries, LoadRejectsGarbageAndBadClassCount) {
+  std::string error;
+  {
+    Series s;
+    std::istringstream in("\xAB\xCD garbage\n");
+    EXPECT_FALSE(s.load(in, &error));
+  }
+  {
+    Series s;
+    std::istringstream in("anahy-series v1 classes=-3\npoint 1\n");
+    EXPECT_FALSE(s.load(in, &error));
+    EXPECT_NE(error.find("classes"), std::string::npos) << error;
+  }
+}
+
+TEST(AgingSeries, LoadAcceptsCommentsBlanksAndForeignClassCount) {
+  // A file from a build with more classes: extra columns are dropped; one
+  // with fewer: missing ones read zero.
+  std::ostringstream text;
+  text << "anahy-series v1 classes=2\n";
+  text << "# a comment\n\n";
+  text << "point 10 1 100 200 400 0 999 7 8\n";
+  Series s;
+  std::istringstream in(text.str());
+  std::string error;
+  ASSERT_TRUE(s.load(in, &error)) << error;
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].class_outstanding[0], 7u);
+  EXPECT_EQ(s[0].class_outstanding[1], 8u);
+  for (std::size_t c = 2; c < kPoolClasses; ++c)
+    EXPECT_EQ(s[0].class_outstanding[c], 0u);
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -109,6 +110,26 @@ TEST(Telemetry, DeltaSubtractsCountersButKeepsPeak) {
   // Peak is a high-water mark, not a rate: the delta keeps the later one.
   EXPECT_EQ(d.total.deque_depth_peak, 9u);
   EXPECT_GE(d.elapsed_ns, 0);
+}
+
+TEST(Telemetry, DeltaIsModularAcrossCounterWraparound) {
+  // VpCounters::minus is plain unsigned subtraction, which is exactly the
+  // modular arithmetic that stays correct when a 64-bit counter wraps:
+  // (earlier near max, later small) must yield the true small increment,
+  // never a negative-looking huge value. Consumers that cannot trust
+  // modular deltas (the aging Recorder, whose counters may *reset*, not
+  // wrap) do their own clamping on top — this pins the layering contract.
+  VpCounters earlier;
+  earlier.forks = std::numeric_limits<std::uint64_t>::max() - 2;
+  earlier.joins = std::numeric_limits<std::uint64_t>::max();
+  VpCounters later;
+  later.forks = 4;   // wrapped: 7 real forks happened
+  later.joins = 0;   // wrapped: 1 real join happened
+  later.tasks_run = 5;
+  const VpCounters d = later.minus(earlier);
+  EXPECT_EQ(d.forks, 7u);
+  EXPECT_EQ(d.joins, 1u);
+  EXPECT_EQ(d.tasks_run, 5u);
 }
 
 TEST(Telemetry, GaugesHandleEmptyAndSaturatedInputs) {

@@ -1,0 +1,170 @@
+// Golden tests of the anahy-aging CLI.
+//
+// The contract under test (tools/anahy_aging.cpp): exit 0 on a clean
+// series, exit 2 when any ANAHY-A00x detector fires, exit 1 when the file
+// cannot be read or parsed (loading is all-or-nothing — a truncated file
+// yields one error line, never an analysis of a silent prefix). The binary
+// path comes from the ANAHY_AGING_BINARY environment variable when set
+// (CI drives an out-of-tree binary that way) and falls back to the
+// same-build compile definition.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr merged
+};
+
+std::string aging_binary() {
+  if (const char* env = std::getenv("ANAHY_AGING_BINARY")) return env;
+  return ANAHY_AGING_BINARY;
+}
+
+CliResult run_aging(const std::string& args) {
+  const std::string cmd = aging_binary() + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult r;
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  // Pid-qualified: ctest runs each TEST as its own process, possibly in
+  // parallel, so a fixed shared name would let one test read a series
+  // file while a sibling is mid-write.
+  const auto path = std::filesystem::temp_directory_path() /
+                    (std::to_string(getpid()) + "-" + name);
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path.string();
+}
+
+/// 64 samples of a flat-heap healthy server at 10 ms cadence.
+std::string clean_series_text() {
+  std::ostringstream os;
+  os << "anahy-series v1 classes=0\n";
+  for (int i = 0; i < 64; ++i)
+    os << "point " << i * 10'000'000 << ' ' << i * 10 << ' ' << (1 << 20)
+       << ' ' << ((1 << 20) + 4096) << " 0 0 100000\n";
+  return os.str();
+}
+
+/// The same server leaking 2000 heap bytes per sample (200 bytes/job).
+std::string leaky_series_text() {
+  std::ostringstream os;
+  os << "anahy-series v1 classes=0\n";
+  for (int i = 0; i < 64; ++i)
+    os << "point " << i * 10'000'000 << ' ' << i * 10 << ' '
+       << ((1 << 20) + i * 2000) << ' ' << ((1 << 20) + i * 2000 + 4096)
+       << " 0 0 100000\n";
+  return os.str();
+}
+
+TEST(AgingCli, CleanSeriesExitsZeroSilently) {
+  const auto path = write_temp("aging_cli_clean.series", clean_series_text());
+  const auto r = run_aging(path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("ANAHY-A"), std::string::npos) << r.output;
+}
+
+TEST(AgingCli, SummaryOnCleanSeries) {
+  const auto path = write_temp("aging_cli_clean.series", clean_series_text());
+  const auto r = run_aging("--summary " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("64 point(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(AgingCli, LeakySeriesExitsTwoWithA001) {
+  const auto path = write_temp("aging_cli_leaky.series", leaky_series_text());
+  const auto r = run_aging(path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("ANAHY-A001"), std::string::npos) << r.output;
+}
+
+TEST(AgingCli, JsonOutputIsWellFormedOnBothOutcomes) {
+  const auto clean =
+      run_aging("--json " +
+                write_temp("aging_cli_clean.series", clean_series_text()));
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("\"findings\": []"), std::string::npos)
+      << clean.output;
+
+  const auto leaky =
+      run_aging("--json " +
+                write_temp("aging_cli_leaky.series", leaky_series_text()));
+  EXPECT_EQ(leaky.exit_code, 2) << leaky.output;
+  EXPECT_NE(leaky.output.find("\"code\": \"ANAHY-A001\""), std::string::npos)
+      << leaky.output;
+  EXPECT_EQ(leaky.output.front(), '{');
+}
+
+TEST(AgingCli, TruncatedSeriesIsRejectedWholesale) {
+  std::string text = clean_series_text();
+  text.resize(text.rfind(' ') + 1);  // chop the last point mid-field
+  const auto path = write_temp("aging_cli_truncated.series", text);
+  const auto r = run_aging("--summary " + path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("not a readable anahy-series"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("point(s)"), std::string::npos)
+      << "no summary of a partial parse: " << r.output;
+}
+
+TEST(AgingCli, GarbageAndMissingFilesExitOne) {
+  const auto garbage = run_aging(
+      write_temp("aging_cli_garbage.series", "\xAB\xFF not a series\n"));
+  EXPECT_EQ(garbage.exit_code, 1) << garbage.output;
+
+  const auto missing = run_aging("/nonexistent/anahy-missing.series");
+  EXPECT_EQ(missing.exit_code, 1) << missing.output;
+  EXPECT_NE(missing.output.find("cannot open"), std::string::npos)
+      << missing.output;
+
+  const auto flag = run_aging("--no-such-flag x");
+  EXPECT_EQ(flag.exit_code, 1) << flag.output;
+  EXPECT_NE(flag.output.find("usage:"), std::string::npos) << flag.output;
+}
+
+TEST(AgingCli, GapFloorFlagForgivesEnvironmentalStalls) {
+  // A clean series with one 10 s hole: by default that is an A005 gap
+  // (exit 2); with a floor above the hole the same file analyzes clean —
+  // the knob CI uses when linting a series it just recorded on a busy box.
+  std::ostringstream os;
+  os << "anahy-series v1 classes=0\n";
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t stall = i >= 32 ? 10'000'000'000 : 0;
+    os << "point " << (i * 10'000'000 + stall) << ' ' << i * 10 << ' '
+       << (1 << 20) << ' ' << ((1 << 20) + 4096) << " 0 0 100000\n";
+  }
+  const auto path = write_temp("aging_cli_gappy.series", os.str());
+
+  const auto strict = run_aging(path);
+  EXPECT_EQ(strict.exit_code, 2) << strict.output;
+  EXPECT_NE(strict.output.find("ANAHY-A005"), std::string::npos)
+      << strict.output;
+
+  const auto forgiving = run_aging("--gap-min-ns=20000000000 " + path);
+  EXPECT_EQ(forgiving.exit_code, 0) << forgiving.output;
+
+  const auto bad = run_aging("--gap-min-ns=banana " + path);
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// anahy-aging: offline memory-state analysis of an `anahy-series v1` file
+// (aging/leak detection; stable ANAHY-A00x codes, table in docs/AGING.md).
+//
+//   anahy-aging [--json] [--summary] [--gap-min-ns=N] <series-file>
+//
+// The series file is the text format written by aging::Series::save — a
+// JobServer records one via record_aging_sample() (see examples/job_server
+// or bench/aging_soak for producers). The detectors look for the signatures
+// the title paper (DSN 2003) ties to software aging: sustained heap growth,
+// fragmentation creep, latency creep correlated with memory, per-size-class
+// leaks, and a widening multifractal spectrum of the allocation series.
+//
+// --gap-min-ns=N raises the A005 gap detector's absolute floor: a series
+// sampled live on a time-shared (or sanitized) host picks up scheduler
+// stalls that are environmental, not data corruption — CI passes a
+// stall-sized floor when linting a series it just recorded.
+//
+// Exit code: 0 clean, 2 findings, 1 the file could not be read or parsed
+// (loading is all-or-nothing; a truncated file yields a one-line error
+// naming the offending line, never an analysis of a silent prefix).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "anahy/aging/analyze.hpp"
+#include "anahy/aging/series.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: anahy-aging [--json] [--summary] [--gap-min-ns=N] "
+         "<series-file>\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool summary = false;
+  anahy::aging::AnalyzeOptions opt;
+  std::string path;
+  const std::string gap_flag = "--gap-min-ns=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    else if (arg == "--summary") summary = true;
+    else if (arg.rfind(gap_flag, 0) == 0) {
+      try {
+        opt.gap_min_ns = std::stoll(arg.substr(gap_flag.size()));
+      } catch (...) {
+        return usage();
+      }
+    }
+    else if (!arg.empty() && arg.front() == '-') return usage();
+    else if (path.empty()) path = arg;
+    else return usage();
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "anahy-aging: cannot open '" << path << "'\n";
+    return 1;
+  }
+
+  anahy::aging::Series series;
+  std::string error;
+  if (!series.load(in, &error)) {
+    std::cerr << "anahy-aging: '" << path
+              << "' is not a readable anahy-series file (" << error << ")\n";
+    return 1;
+  }
+
+  const anahy::aging::Analysis a = anahy::aging::analyze(series, opt);
+
+  if (json) {
+    std::cout << anahy::aging::to_json(a);
+  } else {
+    std::cout << anahy::aging::format_findings(a.findings);
+    if (summary) {
+      std::cout << "series: " << a.points << " point(s), " << a.jobs
+                << " job(s); heap " << a.heap_slope_per_job
+                << " bytes/job; slack " << a.frag_slope_per_job
+                << " bytes/job; latency " << a.lat_slope_per_job
+                << " ns/job (corr " << a.heap_lat_corr << "); hurst "
+                << a.hurst << "; " << a.findings.size() << " finding(s)\n";
+    }
+  }
+
+  return a.findings.empty() ? 0 : 2;
+}
