@@ -1,0 +1,332 @@
+// Benchmark + proof harness for anahy::rejuv (docs/REJUV.md).
+//
+// Two questions, one binary:
+//
+//  A. Overhead — what does the memory-aware admission controller cost on
+//     the serve hot path? The same served-fib figure aging_soak reports,
+//     measured with the controller ON (a budget so large it never sheds)
+//     vs OFF (no budget). The acceptance bar is a ratio within 2%: the
+//     controller caches one verdict per class in an atomic, so submit()
+//     pays a null test plus one relaxed load.
+//
+//  B. Closure — does online rejuvenation actually flatten an aging curve?
+//     Per seed, two *leaky* soak legs against a live JobServer (same
+//     stranded-fork leak as aging_soak):
+//       baseline: rejuvenation off. The leg must trip ANAHY-A001 — the
+//                 leak is real and the detectors see it drift.
+//       rejuv:    identical workload, but JobServer::rejuvenate() runs
+//                 every --every jobs (the operator cadence). The leg must
+//                 stay UNDER the A001/A003 thresholds — heap slope below
+//                 heap_slope_min bytes/job, and no heap-correlated
+//                 latency creep (the A003 composite: raw latency slope is
+//                 scheduler noise on a time-shared host unless it moves
+//                 WITH the heap) — and the series must carry the
+//                 ANAHY-A007 rejuvenation marks.
+//     Same leak, same detectors; the only difference is the rejuvenation
+//     loop. Flat-with-rejuv where baseline drifts is the closed loop the
+//     title paper's outage story asks for, and CI treats it as a
+//     correctness bar, not a number to eyeball.
+//
+// Emits BENCH_rejuv.json (override with --out=...).
+//
+// Flags: --fib=N (default 24)  --reps=R (default 11, on/off alternating)
+//        --baseline=T tasks/s (default from BENCH_aging.json: 3418270)
+//        --jobs=J per soak leg (default 400)  --seeds=S (default 3)
+//        --every=E jobs between rejuvenation cycles (default 50)
+//        --out=PATH
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anahy/aging/analyze.hpp"
+#include "anahy/serve/job_server.hpp"
+#include "anahy/task_pool.hpp"
+#include "apps/fib_app.hpp"
+#include "benchutil/cli.hpp"
+#include "benchutil/timer.hpp"
+
+namespace {
+
+constexpr int kVps = 4;
+
+// ---------------------------------------------------------------- phase A
+
+double one_served_rep(long fib_n, long expect, bool controller) {
+  anahy::serve::ServerOptions so;
+  so.runtime.num_vps = kVps;
+  if (controller) {
+    // Large enough that fib never sheds: the rep measures the fast path's
+    // cost, not the shed path's.
+    so.rejuv_admission.budget.total_bytes = 1ull << 30;
+  }
+  anahy::serve::JobServer server(std::move(so));
+  {  // warm-up job, untimed
+    anahy::serve::JobSpec warm;
+    warm.body = [&server](void*) -> void* {
+      return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), 5));
+    };
+    (void)server.submit(std::move(warm)).wait();
+  }
+  anahy::serve::JobSpec spec;
+  spec.label = "fib";
+  spec.body = [&server, fib_n](void*) -> void* {
+    return reinterpret_cast<void*>(apps::fib_anahy(server.runtime(), fib_n));
+  };
+  benchutil::Timer t;
+  anahy::serve::JobHandle h = server.submit(std::move(spec));
+  if (h.wait() != anahy::kOk ||
+      reinterpret_cast<long>(h.result().value) != expect) {
+    std::fprintf(stderr, "FATAL: served fib job failed\n");
+    std::exit(1);
+  }
+  return t.elapsed_seconds();
+}
+
+/// Best-of-reps served throughput with the admission controller on and
+/// off, reps alternating so host drift gets the same chances on both
+/// sides (same protocol and rationale as aging_soak::measure_served).
+void measure_served(long fib_n, int reps, double* on, double* off) {
+  const long tasks = apps::fib_task_count(fib_n);
+  const long expect = apps::fib_sequential(fib_n);
+  double best_on = 0;
+  double best_off = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double s_on = one_served_rep(fib_n, expect, true);
+    const double s_off = one_served_rep(fib_n, expect, false);
+    if (rep == 0 || s_on < best_on) best_on = s_on;
+    if (rep == 0 || s_off < best_off) best_off = s_off;
+  }
+  *on = static_cast<double>(tasks) / best_on;
+  *off = static_cast<double>(tasks) / best_off;
+}
+
+// ---------------------------------------------------------------- phase B
+
+struct LegResult {
+  anahy::aging::Analysis analysis;
+  anahy::serve::JobServer::RejuvCounters counters;
+  std::size_t a007_marks = 0;
+};
+
+/// One *leaky* soak leg: every job strands one fork's pool block in the
+/// live-task registry (the aging_soak leak). With `rejuv`, an operator-
+/// cadence rejuvenation cycle runs every `every` jobs.
+LegResult soak_leg(int jobs, unsigned seed, bool rejuv, int every) {
+  anahy::serve::ServerOptions so;
+  so.runtime.num_vps = 2;
+  so.aging_capacity = 0;  // keep the whole soak for analysis
+  anahy::serve::JobServer server(std::move(so));
+  anahy::Runtime& rt = server.runtime();
+
+  const int width = 2 + static_cast<int>(seed % 3);
+
+  const auto run_job = [&] {
+    anahy::serve::JobSpec spec;
+    spec.label = "leaky";
+    spec.body = [&rt, width](void*) -> void* {
+      std::vector<anahy::TaskPtr> children;
+      for (int c = 0; c < width; ++c)
+        children.push_back(
+            rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+      // The leak: the last fork's join budget is never consumed, so its
+      // registry guard pins the task's pool block until a rejuvenation
+      // cycle reaps it.
+      for (std::size_t c = 0; c + 1 < children.size(); ++c)
+        rt.join(children[c], nullptr);
+      return nullptr;
+    };
+    if (server.submit(std::move(spec)).wait() != anahy::kOk) {
+      std::fprintf(stderr, "FATAL: soak job failed\n");
+      std::exit(1);
+    }
+  };
+
+  // Warm the per-thread free caches to their plateau before the series
+  // starts (same rationale as aging_soak): healthy clean jobs only, until
+  // the arena holds still across consecutive probes.
+  {
+    const auto warm_job = [&] {
+      anahy::serve::JobSpec spec;
+      spec.body = [&rt, width](void*) -> void* {
+        std::vector<anahy::TaskPtr> children;
+        for (int c = 0; c < width; ++c)
+          children.push_back(
+              rt.fork([](void*) -> void* { return nullptr; }, nullptr));
+        for (auto& c : children) rt.join(c, nullptr);
+        return nullptr;
+      };
+      (void)server.submit(std::move(spec)).wait();
+    };
+    std::uint64_t prev_arena = 0;
+    int stable = 0;
+    for (int i = 0; i < 600 && stable < 3; ++i) {
+      warm_job();
+      if (i % 10 == 9) {
+        const std::uint64_t arena = anahy::pool_snapshot().arena_bytes;
+        stable = arena == prev_arena ? stable + 1 : 0;
+        prev_arena = arena;
+      }
+    }
+  }
+
+  for (int i = 0; i < jobs; ++i) {
+    run_job();
+    if (i % 2 == 1) server.record_aging_sample();
+    if (rejuv && (i + 1) % every == 0) (void)server.rejuvenate();
+  }
+
+  LegResult out;
+  anahy::aging::AnalyzeOptions ao;
+  // Stall-sized A005 floor for live sampling on a time-shared host (see
+  // aging_soak; gap detection itself is covered by unit tests).
+  ao.gap_min_ns = 500'000'000;
+  out.analysis = server.aging_report(ao);
+  out.counters = server.rejuv_counters();
+  for (const auto& m : out.analysis.annotations)
+    if (m.code == anahy::aging::code::kRejuvenation) ++out.a007_marks;
+  return out;
+}
+
+bool has_code(const anahy::aging::Analysis& a, const char* code) {
+  for (const auto& f : a.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+std::string codes_of(const anahy::aging::Analysis& a) {
+  std::string s;
+  for (const auto& f : a.findings) {
+    if (!s.empty()) s += ", ";
+    s += "\"" + f.code + "\"";
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const long fib_n = cli.get_int("fib", 24);
+  const int reps = cli.get_int("reps", 11);
+  const double baseline =
+      static_cast<double>(cli.get_int("baseline", 3418270));
+  const int jobs = cli.get_int("jobs", 400);
+  const int seeds = cli.get_int("seeds", 3);
+  const int every = std::max(1, static_cast<int>(cli.get_int("every", 50)));
+  const std::string out = cli.get("out", "BENCH_rejuv.json");
+
+  std::printf("rejuv_soak: served fib(%ld) at %d VPs, controller on/off; "
+              "%d leaky jobs x %d seed(s), rejuv every %d\n",
+              fib_n, kVps, jobs, seeds, every);
+
+  double on = 0;
+  double off = 0;
+  measure_served(fib_n, reps, &on, &off);
+  const double overhead_ratio = on / off;
+  std::printf("phase A  controller on %.0f tasks/s, off %.0f tasks/s "
+              "(on/off %.3f); vs BENCH_aging baseline %.3f\n",
+              on, off, overhead_ratio, on / baseline);
+
+  const anahy::aging::AnalyzeOptions thresholds;  // the A001/A003 bars
+  bool ok = true;
+  std::string legs_json;
+  for (int s = 0; s < seeds; ++s) {
+    const LegResult base = soak_leg(jobs, static_cast<unsigned>(s), false,
+                                    every);
+    const LegResult rej = soak_leg(jobs, static_cast<unsigned>(s), true,
+                                   every);
+
+    const bool baseline_drifts =
+        has_code(base.analysis, anahy::aging::code::kHeapGrowth);
+    // Latency flatness is the A003 composite, not the raw slope: a few
+    // ns/job of drift in the proxy is host-scheduler noise unless it is
+    // correlated with heap growth (which rejuvenation removed).
+    const bool rejuv_flat =
+        !has_code(rej.analysis, anahy::aging::code::kHeapGrowth) &&
+        !has_code(rej.analysis, anahy::aging::code::kLatencyCreep) &&
+        rej.analysis.heap_slope_per_job < thresholds.heap_slope_min &&
+        (rej.analysis.lat_slope_per_job < thresholds.lat_slope_min ||
+         rej.analysis.heap_lat_corr < thresholds.lat_corr_min);
+    const bool annotated =
+        rej.a007_marks > 0 && rej.counters.cycles > 0 &&
+        rej.counters.reaped_tasks > 0;
+    if (!baseline_drifts) {
+      std::fprintf(stderr,
+                   "FAIL seed %d: rejuv-off leaky leg missed A001 (got: "
+                   "%s)\n",
+                   s, codes_of(base.analysis).c_str());
+      ok = false;
+    }
+    if (!rejuv_flat) {
+      std::fprintf(stderr,
+                   "FAIL seed %d: rejuv-on leg not flat (heap %.1f B/job, "
+                   "lat %.2f ns/job, findings: %s)\n",
+                   s, rej.analysis.heap_slope_per_job,
+                   rej.analysis.lat_slope_per_job,
+                   codes_of(rej.analysis).c_str());
+      ok = false;
+    }
+    if (!annotated) {
+      std::fprintf(stderr,
+                   "FAIL seed %d: rejuvenation left no trace (A007 marks "
+                   "%zu, cycles %llu, reaped %llu)\n",
+                   s, rej.a007_marks,
+                   static_cast<unsigned long long>(rej.counters.cycles),
+                   static_cast<unsigned long long>(rej.counters.reaped_tasks));
+      ok = false;
+    }
+    std::printf(
+        "phase B  seed %d: baseline heap %.1f B/job [%s]; rejuv heap %.1f "
+        "B/job, lat %.2f ns/job, %llu cycle(s), reaped %llu task(s), "
+        "reclaimed %llu B, %zu A007 mark(s) [%s]\n",
+        s, base.analysis.heap_slope_per_job, codes_of(base.analysis).c_str(),
+        rej.analysis.heap_slope_per_job, rej.analysis.lat_slope_per_job,
+        static_cast<unsigned long long>(rej.counters.cycles),
+        static_cast<unsigned long long>(rej.counters.reaped_tasks),
+        static_cast<unsigned long long>(rej.counters.reclaimed_bytes),
+        rej.a007_marks, codes_of(rej.analysis).c_str());
+
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"seed\": %d, \"baseline_heap_slope_per_job\": %.1f, "
+        "\"baseline_findings\": [%s], \"rejuv_heap_slope_per_job\": %.1f, "
+        "\"rejuv_lat_slope_per_job\": %.2f, \"rejuv_findings\": [%s], "
+        "\"cycles\": %llu, \"reaped_tasks\": %llu, "
+        "\"reclaimed_bytes\": %llu, \"a007_marks\": %zu}%s\n",
+        s, base.analysis.heap_slope_per_job, codes_of(base.analysis).c_str(),
+        rej.analysis.heap_slope_per_job, rej.analysis.lat_slope_per_job,
+        codes_of(rej.analysis).c_str(),
+        static_cast<unsigned long long>(rej.counters.cycles),
+        static_cast<unsigned long long>(rej.counters.reaped_tasks),
+        static_cast<unsigned long long>(rej.counters.reclaimed_bytes),
+        rej.a007_marks, s + 1 < seeds ? "," : "");
+    legs_json += buf;
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"rejuv_soak\",\n");
+  std::fprintf(f, "  \"vps\": %d,\n", kVps);
+  std::fprintf(f,
+               "  \"overhead\": {\"workload\": \"fib\", \"fib_n\": %ld, "
+               "\"controller_on_tasks_per_sec\": %.0f, "
+               "\"controller_off_tasks_per_sec\": %.0f, "
+               "\"on_vs_off\": %.3f, "
+               "\"baseline_tasks_per_sec\": %.0f, \"vs_baseline\": %.3f},\n",
+               fib_n, on, off, overhead_ratio, baseline, on / baseline);
+  std::fprintf(f,
+               "  \"soak\": {\"jobs_per_leg\": %d, \"rejuv_every\": %d, "
+               "\"legs\": [\n%s  ]},\n",
+               jobs, every, legs_json.c_str());
+  std::fprintf(f, "  \"closes_loop\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s%s\n", out.c_str(), ok ? "" : "  (LOOP NOT CLOSED)");
+  return ok ? 0 : 1;
+}

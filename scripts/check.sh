@@ -8,6 +8,8 @@
 #   scripts/check.sh              # everything
 #   scripts/check.sh --tier1      # just the tier-1 build + tests
 #   scripts/check.sh --no-san     # skip the sanitizer rebuilds (slow part)
+#   scripts/check.sh --rejuv      # just the rejuvenation stage (soak smoke
+#                                 # + JSON + tidy over src/anahy/rejuv)
 #
 # Every build goes into its own directory (build/, build-asan/, ...) so the
 # tier-1 build is never clobbered by a sanitizer reconfigure.
@@ -18,15 +20,43 @@ JOBS=${JOBS:-$(nproc)}
 
 tier1_only=0
 run_san=1
+rejuv_only=0
 for arg in "$@"; do
   case "$arg" in
     --tier1) tier1_only=1 ;;
     --no-san) run_san=0 ;;
-    *) echo "usage: scripts/check.sh [--tier1] [--no-san]" >&2; exit 2 ;;
+    --rejuv) rejuv_only=1 ;;
+    *) echo "usage: scripts/check.sh [--tier1] [--no-san] [--rejuv]" >&2
+       exit 2 ;;
   esac
 done
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+# The rejuvenation stage (docs/REJUV.md): a scaled-down rejuv_soak must
+# still close the loop — baseline leaky leg trips A001, the rejuv-on leg
+# stays flat, A007 marks present (the bench exits non-zero otherwise) —
+# and emit valid JSON; then clang-tidy over the subsystem alone, cheap
+# enough to run even when the full tidy pass is skipped.
+rejuv_stage() {
+  step "rejuv: soak smoke — loop must close, JSON must validate"
+  ./build/bench/rejuv_soak --fib=20 --reps=3 --jobs=200 --seeds=1 \
+      --every=25 --out=check_rejuv.json > /dev/null
+  python3 -m json.tool check_rejuv.json > /dev/null
+  rm -f check_rejuv.json
+  if command -v clang-tidy > /dev/null; then
+    step "rejuv: clang-tidy over src/anahy/rejuv"
+    clang-tidy -p build --quiet src/anahy/rejuv/*.cpp
+  fi
+}
+
+if [ "$rejuv_only" = 1 ]; then
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target rejuv_soak
+  rejuv_stage
+  echo; echo "check.sh: rejuv OK"
+  exit 0
+fi
 
 step "tier-1: build + full test suite"
 cmake -B build -S . > /dev/null
@@ -77,6 +107,8 @@ step "wire bench smoke: epoll transport end-to-end, JSON must validate"
     --out=check_wire.json > /dev/null
 python3 -m json.tool check_wire.json > /dev/null
 rm -f check_wire.json
+
+rejuv_stage
 
 step "profiler: chrome trace JSON from the serve demo's v3 trace"
 # The demo runs under profile mode, so its trace carries per-task VP

@@ -241,6 +241,7 @@ Mfdfa mfdfa_width(const std::vector<double>& x) {
 Analysis analyze(const Series& s, const AnalyzeOptions& opt) {
   Analysis a;
   a.points = s.size();
+  a.annotations = s.annotations();
   const std::size_t n = s.size();
 
   // ---- A005: scan the RAW series for impossible samples and gaps. ------
@@ -449,6 +450,16 @@ std::string to_json(const Analysis& a) {
     os << "\"}";
   }
   if (!a.findings.empty()) os << "\n  ";
+  os << "],\n  \"annotations\": [";
+  for (std::size_t i = 0; i < a.annotations.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    {\"t_ns\": " << a.annotations[i].t_ns << ", \"code\": \"";
+    json_escape(os, a.annotations[i].code);
+    os << "\", \"detail\": \"";
+    json_escape(os, a.annotations[i].detail);
+    os << "\"}";
+  }
+  if (!a.annotations.empty()) os << "\n  ";
   os << "]\n}\n";
   return os.str();
 }

@@ -52,6 +52,11 @@ inline constexpr const char* kLatencyCreep = "ANAHY-A003";
 inline constexpr const char* kPoolClassLeak = "ANAHY-A004";
 inline constexpr const char* kSeriesGap = "ANAHY-A005";
 inline constexpr const char* kSpectrumWidening = "ANAHY-A006";
+/// Not a detector verdict: the series annotation code the rejuvenation
+/// engine stamps after each cycle ("rejuvenation performed"). Carried in
+/// Analysis::annotations, never in findings — a rejuvenated-but-healthy
+/// series still exits 0 from the CLI.
+inline constexpr const char* kRejuvenation = "ANAHY-A007";
 }  // namespace code
 
 /// Detector thresholds (documented in docs/AGING.md; tests pin them).
@@ -115,6 +120,10 @@ struct Analysis {
   bool mf_valid = false;              ///< both halves had enough structure
   std::array<double, kPoolClasses> class_slope_per_job{};
   std::vector<Finding> findings;
+  /// Timeline annotations carried through from the series (A007 marks).
+  /// Deliberately separate from findings: annotations are provenance, not
+  /// verdicts, and do not affect the CLI exit code.
+  std::vector<SeriesAnnotation> annotations;
 };
 
 [[nodiscard]] Analysis analyze(const Series& s, const AnalyzeOptions& opt = {});

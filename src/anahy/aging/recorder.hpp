@@ -54,6 +54,12 @@ class Recorder {
   [[nodiscard]] const Series& series() const { return series_; }
   [[nodiscard]] std::size_t samples() const { return series_.size(); }
 
+  /// Stamps an out-of-band event (e.g. ANAHY-A007 after a rejuvenation
+  /// cycle) onto the series timeline; persisted as a `mark` record.
+  void annotate(std::int64_t t_ns, std::string code, std::string detail) {
+    series_.annotate({t_ns, std::move(code), std::move(detail)});
+  }
+
   /// Drops the series AND the delta baseline (a fresh recorder).
   void clear();
 

@@ -1,6 +1,7 @@
 #include "anahy/aging/series.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -16,6 +17,7 @@ void Series::push(const SeriesPoint& p) {
 
 void Series::clear() {
   points_.clear();
+  marks_.clear();
   dropped_ = 0;
 }
 
@@ -23,13 +25,24 @@ void Series::save(std::ostream& os) const {
   os << "anahy-series v1 classes=" << kPoolClasses << "\n";
   os << "# t_ns jobs heap_bytes arena_bytes rss_bytes ready_tasks lat_ns"
         " class_outstanding...\n";
+  // Annotations and points are two record streams over one timeline:
+  // interleave by timestamp so a human reading the file sees each mark in
+  // context (loading does not depend on the order).
+  std::size_t m = 0;
+  const auto flush_marks = [&](std::int64_t up_to_ns) {
+    for (; m < marks_.size() && marks_[m].t_ns <= up_to_ns; ++m)
+      os << "mark " << marks_[m].t_ns << ' ' << marks_[m].code << ' '
+         << marks_[m].detail << "\n";
+  };
   for (const SeriesPoint& p : points_) {
+    flush_marks(p.t_ns);
     os << "point " << p.t_ns << ' ' << p.jobs << ' ' << p.heap_bytes << ' '
        << p.arena_bytes << ' ' << p.rss_bytes << ' ' << p.ready_tasks << ' '
        << p.lat_ns;
     for (const std::uint64_t c : p.class_outstanding) os << ' ' << c;
     os << "\n";
   }
+  flush_marks(std::numeric_limits<std::int64_t>::max());
 }
 
 bool Series::load(std::istream& is, std::string* error) {
@@ -71,12 +84,27 @@ bool Series::load(std::istream& is, std::string* error) {
   }
 
   std::deque<SeriesPoint> loaded;
+  std::vector<SeriesAnnotation> loaded_marks;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
+    if (kind == "mark") {
+      // `mark <t_ns> <code> <detail...>` — an out-of-band timeline event
+      // (e.g. ANAHY-A007, rejuvenation performed). The detail is the rest
+      // of the line verbatim.
+      SeriesAnnotation a;
+      ls >> a.t_ns >> a.code;
+      if (ls.fail() || a.code.empty())
+        return fail(line_no, "truncated mark record");
+      std::getline(ls, a.detail);
+      if (!a.detail.empty() && a.detail.front() == ' ')
+        a.detail.erase(0, 1);
+      loaded_marks.push_back(std::move(a));
+      continue;
+    }
     if (kind != "point")
       return fail(line_no, "unknown record '" + kind + "'");
     SeriesPoint p;
@@ -98,6 +126,7 @@ bool Series::load(std::istream& is, std::string* error) {
   }
 
   points_ = std::move(loaded);
+  marks_ = std::move(loaded_marks);
   capacity_ = 0;  // offline series are unbounded
   dropped_ = 0;
   return true;

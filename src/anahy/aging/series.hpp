@@ -22,6 +22,7 @@
 #include <deque>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "anahy/task_pool.hpp"
 
@@ -47,6 +48,18 @@ struct SeriesPoint {
   std::array<std::uint64_t, kPoolClasses> class_outstanding{};
 };
 
+/// An out-of-band event stamped onto the series timeline — e.g. the
+/// ANAHY-A007 "rejuvenation performed" mark the rejuv engine records so an
+/// offline analyst can line a sawtooth heap profile up with the cycles
+/// that produced it. Annotations ride the same file as `mark` records but
+/// are not samples: the detectors ignore them (a rejuvenated-but-healthy
+/// series still analyzes clean).
+struct SeriesAnnotation {
+  std::int64_t t_ns = 0;
+  std::string code;    ///< stable ANAHY-A0xx code (single token)
+  std::string detail;  ///< free text, single line
+};
+
 /// Bounded ring of series points: push at the tail, silently evict the
 /// head past `capacity` (dropped() counts evictions so an analyzer knows
 /// the window slid). Capacity 0 = unbounded (offline analysis of a file).
@@ -55,6 +68,13 @@ class Series {
   explicit Series(std::size_t capacity = 0) : capacity_(capacity) {}
 
   void push(const SeriesPoint& p);
+
+  /// Stamps an annotation onto the timeline. Annotations are not evicted
+  /// with the ring: there are O(cycles) of them, not O(samples).
+  void annotate(SeriesAnnotation a) { marks_.push_back(std::move(a)); }
+  [[nodiscard]] const std::vector<SeriesAnnotation>& annotations() const {
+    return marks_;
+  }
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] bool empty() const { return points_.empty(); }
@@ -80,6 +100,7 @@ class Series {
   std::size_t capacity_;
   std::uint64_t dropped_ = 0;
   std::deque<SeriesPoint> points_;
+  std::vector<SeriesAnnotation> marks_;
 };
 
 }  // namespace anahy::aging

@@ -1,0 +1,42 @@
+#include "anahy/rejuv/budget.hpp"
+
+#include <algorithm>
+
+namespace anahy::rejuv {
+
+MemoryBudget::MemoryBudget(Options opts) : opts_(opts) {
+  for (double& s : opts_.class_share) s = std::clamp(s, 0.0, 1.0);
+  opts_.ewma_alpha = std::clamp(opts_.ewma_alpha, 0.0, 1.0);
+}
+
+void MemoryBudget::note_job_peak(Priority cls, std::uint64_t peak_bytes) {
+  const auto c = static_cast<std::size_t>(cls);
+  std::lock_guard lock(mu_);
+  if (!have_peak_[c]) {
+    ewma_peak_[c] = static_cast<double>(peak_bytes);
+    have_peak_[c] = true;
+    return;
+  }
+  ewma_peak_[c] += opts_.ewma_alpha *
+                   (static_cast<double>(peak_bytes) - ewma_peak_[c]);
+}
+
+std::uint64_t MemoryBudget::expected_job_bytes(Priority cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::lock_guard lock(mu_);
+  if (!have_peak_[c]) return opts_.default_job_bytes;
+  return static_cast<std::uint64_t>(std::max(ewma_peak_[c], 0.0));
+}
+
+double MemoryBudget::score(std::uint64_t live_bytes, Priority cls) const {
+  if (!enabled()) return 0.0;
+  const double slice =
+      opts_.class_share[static_cast<std::size_t>(cls)] *
+      static_cast<double>(opts_.total_bytes);
+  if (slice <= 0) return 1.0;  // a zero share admits nothing
+  const double projected =
+      static_cast<double>(live_bytes + expected_job_bytes(cls));
+  return projected / slice;
+}
+
+}  // namespace anahy::rejuv

@@ -1,0 +1,81 @@
+// anahy::rejuv::MemoryBudget — the memory-pressure model behind admission
+// control (docs/REJUV.md).
+//
+// The title paper's aging story ends in an outage when a leaking server is
+// allowed to take work all the way to collapse. The budget is the first
+// line of defense: a total task-pool byte budget plus a *per-class share
+// ladder*, in the spirit of the MemoryBalancer exemplar (SNIPPETS.md) —
+// each priority class is scored against its own slice of the budget, so as
+// live pool bytes climb, batch work is shed first, then normal, while
+// high-priority traffic keeps flowing until the hard total. Graceful
+// degradation, never a cliff.
+//
+// The score is forward-looking: it asks "if one more job of this class
+// landed, where would we be?" using a per-class EWMA of observed per-job
+// pool peaks (ServerStats pool_peak_bytes history) — a class whose jobs
+// fork wide DAGs is shed earlier than one submitting tiny jobs, at the
+// same live occupancy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "anahy/types.hpp"
+
+namespace anahy::rejuv {
+
+class MemoryBudget {
+ public:
+  struct Options {
+    /// Total task-pool bytes the server is budgeted for. 0 disables the
+    /// budget entirely (every score is 0, nothing is ever over).
+    std::uint64_t total_bytes = 0;
+
+    /// Fraction of `total_bytes` each priority class may fill before its
+    /// admissions are shed (indexed by Priority). High gets the whole
+    /// budget — it is only ever shed at the hard total — while batch is
+    /// shed at half pressure and normal in between: the ladder that turns
+    /// rising memory pressure into graceful degradation.
+    std::array<double, kNumPriorities> class_share{1.0, 0.75, 0.5};
+
+    /// EWMA smoothing of the per-class per-job peak history.
+    double ewma_alpha = 0.2;
+
+    /// Prior for a class that has not completed a job yet (a handful of
+    /// pool blocks — one root task plus a small DAG).
+    std::uint64_t default_job_bytes = 4 * 1024;
+  };
+
+  MemoryBudget() : MemoryBudget(Options{}) {}
+  explicit MemoryBudget(Options opts);
+
+  /// Folds one completed job's observed pool peak into the class's EWMA.
+  void note_job_peak(Priority cls, std::uint64_t peak_bytes);
+
+  /// The EWMA estimate of what one more `cls` job will cost.
+  [[nodiscard]] std::uint64_t expected_job_bytes(Priority cls) const;
+
+  /// MemoryBalancer-style pressure score for admitting one more `cls` job
+  /// at `live_bytes` of pool occupancy: projected occupancy over the
+  /// class's budget slice. >= 1.0 means over budget; always 0 when the
+  /// budget is disabled (total_bytes == 0).
+  [[nodiscard]] double score(std::uint64_t live_bytes, Priority cls) const;
+
+  [[nodiscard]] bool over(std::uint64_t live_bytes, Priority cls) const {
+    return score(live_bytes, cls) >= 1.0;
+  }
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] bool enabled() const { return opts_.total_bytes > 0; }
+
+ private:
+  Options opts_;
+  /// EWMA state (cold path: one update per resolved job). Guarded by a
+  /// leaf mutex so callers may hold server locks.
+  mutable std::mutex mu_;
+  std::array<double, kNumPriorities> ewma_peak_{};
+  std::array<bool, kNumPriorities> have_peak_{};
+};
+
+}  // namespace anahy::rejuv

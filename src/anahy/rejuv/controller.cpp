@@ -1,0 +1,27 @@
+#include "anahy/rejuv/controller.hpp"
+
+#include <bit>
+
+namespace anahy::rejuv {
+
+AdmissionController::AdmissionController(ControllerOptions opts)
+    : opts_(opts), budget_(opts.budget) {}
+
+void AdmissionController::refresh(const PoolSnapshot& pool) {
+  if (!budget_.enabled()) return;
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    const auto cls = static_cast<Priority>(c);
+    const double s = budget_.score(pool.live_bytes, cls);
+    score_bits_[c].store(std::bit_cast<std::uint64_t>(s),
+                         std::memory_order_relaxed);
+    over_[c].store(s >= 1.0, std::memory_order_relaxed);
+  }
+}
+
+double AdmissionController::last_score(Priority cls) const {
+  return std::bit_cast<double>(
+      score_bits_[static_cast<std::size_t>(cls)].load(
+          std::memory_order_relaxed));
+}
+
+}  // namespace anahy::rejuv

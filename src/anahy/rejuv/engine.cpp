@@ -1,0 +1,43 @@
+#include "anahy/rejuv/engine.hpp"
+
+#include <sstream>
+
+#include "anahy/task_pool.hpp"
+
+namespace anahy::rejuv {
+
+std::string CycleReport::summary() const {
+  std::ostringstream os;
+  os << "reaped " << tasks_reaped << " task(s) (" << reaped_bytes
+     << " B), trimmed " << trimmed_bytes << " B, restarted " << vps_restarted
+     << " VP(s), arena " << arena_before << " -> " << arena_after << " B";
+  return os.str();
+}
+
+CycleReport RejuvEngine::cycle() {
+  std::lock_guard lock(mu_);
+  CycleReport rep;
+  rep.arena_before = pool_snapshot().arena_bytes;
+
+  // Reap first: the stranded blocks must be free before the trim and the
+  // rolling restarts can hand them back to the system.
+  const Scheduler::ReapResult reaped = rt_.scheduler().reap_orphans();
+  rep.tasks_reaped = reaped.tasks;
+  rep.reaped_bytes = reaped.bytes;
+
+  // The reaped blocks were freed on *this* thread, so they sit in this
+  // thread's cache; trim it directly.
+  rep.trimmed_bytes = pool_trim_thread_cache();
+
+  // Rolling quiesce-and-restart, one VP at a time so the server stays
+  // live. Each exiting worker flushes its own cache on teardown.
+  const int workers = rt_.worker_threads();
+  for (int slot = 0; slot < workers; ++slot)
+    if (rt_.restart_vp(slot)) ++rep.vps_restarted;
+
+  rep.arena_after = pool_snapshot().arena_bytes;
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+}  // namespace anahy::rejuv

@@ -1,0 +1,78 @@
+// anahy::rejuv::RejuvEngine — one online rejuvenation cycle
+// (docs/REJUV.md).
+//
+// Classic software rejuvenation restarts the whole process; this engine
+// does it *online*, inside a live server, in three steps that together
+// undo what a leaking workload did to the task pool:
+//
+//  1. Reap — Scheduler::reap_orphans() retires every finished task still
+//     pinned in the live-task registry by an unconsumed join budget whose
+//     job has already resolved. Those are the stranded control blocks the
+//     ANAHY-A001/A004 detectors see as linear heap growth; retiring them
+//     drops the last reference and frees their pool blocks.
+//  2. Trim — the freed blocks land in the calling thread's free-list
+//     cache; pool_trim_thread_cache() hands them back to the system so
+//     the arena actually shrinks instead of turning into A002-shaped
+//     slack.
+//  3. Rolling restart — each worker VP is stopped, joined and replaced
+//     one at a time (Runtime::restart_vp). The server stays live — the
+//     other VPs keep serving, ready deques survive with their slots — and
+//     each exiting thread's cache flush returns its slack too.
+//
+// Exactly-once for in-flight jobs is preserved throughout: the reaper
+// only touches finished tasks of resolved jobs, and a VP restart never
+// drops queued tasks (the deque belongs to the slot, not the thread).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "anahy/runtime.hpp"
+
+namespace anahy::rejuv {
+
+/// What one cycle did, for counters, logs and the kRejuvenate reply.
+struct CycleReport {
+  int vps_restarted = 0;
+  std::uint64_t tasks_reaped = 0;   ///< stranded tasks retired
+  std::uint64_t reaped_bytes = 0;   ///< pool bytes those tasks held
+  std::uint64_t trimmed_bytes = 0;  ///< cache bytes handed back to the OS
+  std::uint64_t arena_before = 0;   ///< pool arena bytes entering the cycle
+  std::uint64_t arena_after = 0;    ///< and leaving it
+
+  /// Arena bytes the cycle actually reclaimed (clamped: concurrent
+  /// traffic may legitimately grow the arena mid-cycle).
+  [[nodiscard]] std::uint64_t arena_reclaimed() const {
+    return arena_before > arena_after ? arena_before - arena_after : 0;
+  }
+
+  /// One-line human summary ("reaped N tasks (B bytes), restarted V VPs,
+  /// arena X -> Y").
+  [[nodiscard]] std::string summary() const;
+};
+
+class RejuvEngine {
+ public:
+  explicit RejuvEngine(Runtime& rt) : rt_(rt) {}
+
+  RejuvEngine(const RejuvEngine&) = delete;
+  RejuvEngine& operator=(const RejuvEngine&) = delete;
+
+  /// Runs one full cycle. Serialized internally (concurrent operator
+  /// commands and policy trips queue up rather than interleave restarts);
+  /// safe from any non-VP thread. Blocks until the last VP was replaced.
+  CycleReport cycle();
+
+  [[nodiscard]] std::uint64_t cycles() const {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Runtime& rt_;
+  std::mutex mu_;  // one cycle at a time
+  std::atomic<std::uint64_t> cycles_{0};
+};
+
+}  // namespace anahy::rejuv

@@ -1,0 +1,30 @@
+#include "anahy/rejuv/policy.hpp"
+
+namespace anahy::rejuv {
+
+RejuvPolicy::Verdict RejuvPolicy::evaluate(const aging::Analysis& a,
+                                           std::int64_t now_ns) {
+  Verdict v;
+  if (a.points < opts_.min_points) return v;
+  if (last_trip_ns_ != std::numeric_limits<std::int64_t>::min() &&
+      now_ns - last_trip_ns_ < opts_.cooldown_ns)
+    return v;
+
+  for (const aging::Finding& f : a.findings) {
+    const bool armed =
+        (opts_.trip_on_heap_growth && f.code == aging::code::kHeapGrowth) ||
+        (opts_.trip_on_frag_creep &&
+         f.code == aging::code::kFragmentationCreep) ||
+        (opts_.trip_on_latency_creep &&
+         f.code == aging::code::kLatencyCreep);
+    if (!armed) continue;
+    v.trip = true;
+    v.reason = f.code + ": " + f.detail;
+    last_trip_ns_ = now_ns;
+    ++trips_;
+    break;
+  }
+  return v;
+}
+
+}  // namespace anahy::rejuv

@@ -1,0 +1,66 @@
+// anahy::rejuv::RejuvPolicy — when to rejuvenate (docs/REJUV.md).
+//
+// The policy closes the loop the aging pass opened: instead of static
+// thresholds on raw gauges, it re-runs the ANAHY-A001/A002/A003 detectors
+// over the server's rolling recorder window (the online-telemetry approach
+// of "Automatic Detection of Performance Anomalies in Task-Parallel
+// Programs", PAPERS.md) and trips a rejuvenation cycle when the window
+// shows sustained heap growth, fragmentation creep, or heap-correlated
+// latency creep. A cooldown keeps a still-dirty window from re-tripping
+// before the next cycle's effect is even sampled.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "anahy/aging/analyze.hpp"
+
+namespace anahy::rejuv {
+
+struct PolicyOptions {
+  /// Detector thresholds applied to the rolling window. The defaults are
+  /// the offline pass's own (docs/AGING.md); deployments tighten
+  /// heap_slope_min to rejuvenate earlier.
+  aging::AnalyzeOptions analyze;
+
+  /// Samples the window must hold before any verdict (a cold window of a
+  /// few points cannot carry a trend).
+  std::size_t min_points = 32;
+
+  /// Minimum time between trips. A rejuvenation cycle's effect only shows
+  /// up in the window after more samples land; tripping again off the
+  /// same pre-cycle samples would thrash the VPs.
+  std::int64_t cooldown_ns = 5'000'000'000;
+
+  /// Which detectors may trip a cycle (A001 heap growth, A002
+  /// fragmentation creep, A003 correlated latency creep).
+  bool trip_on_heap_growth = true;
+  bool trip_on_frag_creep = true;
+  bool trip_on_latency_creep = true;
+};
+
+class RejuvPolicy {
+ public:
+  struct Verdict {
+    bool trip = false;
+    std::string reason;  ///< the finding that tripped (empty otherwise)
+  };
+
+  explicit RejuvPolicy(PolicyOptions opts = {}) : opts_(opts) {}
+
+  /// Evaluates one already-computed analysis of the rolling window.
+  /// Stateful only for the cooldown clock; safe to call from one thread
+  /// (the server's policy thread).
+  Verdict evaluate(const aging::Analysis& a, std::int64_t now_ns);
+
+  [[nodiscard]] const PolicyOptions& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t trips() const { return trips_; }
+
+ private:
+  PolicyOptions opts_;
+  std::int64_t last_trip_ns_ = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace anahy::rejuv

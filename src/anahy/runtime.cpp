@@ -70,6 +70,18 @@ Runtime::~Runtime() {
   vps_.clear();  // joins all VP threads
 }
 
+bool Runtime::restart_vp(int slot) {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= vps_.size()) return false;
+  auto& vp = vps_[static_cast<std::size_t>(slot)];
+  vp->request_stop();
+  // The stop request only takes effect once the thread looks at its token,
+  // which it may be doing from inside a sleep on the ready eventcount.
+  scheduler_->notify_all();
+  vp.reset();  // joins the old thread; its pool cache flushes on exit
+  vp = std::make_unique<VirtualProcessor>(*scheduler_, slot);
+  return true;
+}
+
 TaskPtr Runtime::fork(TaskBody body, void* input, const TaskAttributes& attr,
                       std::string label) {
   return scheduler_->create_task(std::move(body), input, attr,

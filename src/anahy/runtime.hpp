@@ -95,6 +95,17 @@ class Runtime {
     return static_cast<int>(vps_.size());
   }
 
+  /// Rejuvenation primitive (docs/REJUV.md): stops, joins and replaces the
+  /// worker thread in VP slot `slot`. The old thread's exit flushes its
+  /// per-thread pool cache back to the system (FreeCache teardown), which
+  /// is the arena-recycle half of a rejuvenation cycle; ready tasks queued
+  /// on the slot's deque survive — the deque belongs to the slot, not the
+  /// thread — so the replacement picks them up where the old thread left
+  /// off. Blocks until the old thread has exited; callers restart one VP at
+  /// a time so the server stays live. Returns false for an out-of-range
+  /// slot (e.g. the main-participates slot, which has no worker thread).
+  bool restart_vp(int slot);
+
   [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] RuntimeStats::Snapshot stats() const {
     return scheduler_->stats_snapshot();

@@ -227,6 +227,31 @@ void Scheduler::retire(Task* task) {
   }
 }
 
+Scheduler::ReapResult Scheduler::reap_orphans() {
+  ReapResult out;
+  for (Shard& sh : shards_) {
+    // Collect candidates under the shard lock, release their guards (and
+    // so, usually, free their pool blocks) outside it: a Task destructor
+    // must never run inside a ShardLock critical section.
+    std::vector<TaskPtr> doomed;
+    {
+      std::lock_guard lock(sh.mu);
+      for (Task* t = sh.head; t != nullptr; t = t->reg_next_) {
+        if (t->state() != TaskState::kFinished) continue;
+        const TaskContextPtr& ctx = t->context();
+        if (ctx == nullptr || !ctx->resolved()) continue;
+        doomed.push_back(t->registry_guard_);
+      }
+    }
+    for (const TaskPtr& t : doomed) {
+      out.tasks += 1;
+      out.bytes += t->pool_bytes();
+      retire(t.get());
+    }
+  }
+  return out;
+}
+
 void Scheduler::run_task(const TaskPtr& task, int vp) {
   // Cancellation: a task whose job context was cancelled (or whose
   // deadline passed) before it started is completed without running its

@@ -130,6 +130,23 @@ class Scheduler {
   /// Looks up a live task by id (nullptr if unknown/already reclaimed).
   [[nodiscard]] TaskPtr find(TaskId id) const;
 
+  /// What reap_orphans() released: how many stranded tasks it retired and
+  /// the pool bytes their control blocks were charged for.
+  struct ReapResult {
+    std::size_t tasks = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Rejuvenation reaper (docs/REJUV.md): retires every registry entry that
+  /// is kFinished *and* belongs to a context whose job already resolved.
+  /// Such a task exists only because its join budget was never consumed —
+  /// the classic serve-layer leak ANAHY-A001/A004 flag — and after
+  /// resolution nobody joins it by id anymore (a later join_by_id sees
+  /// kNotFound, same as any reclaimed task; joins through a still-held
+  /// TaskPtr are unaffected, retire() being idempotent). Ready/running
+  /// strays and context-free tasks are left alone.
+  ReapResult reap_orphans();
+
   /// Worker-loop entry: blocks until a ready task is available or stop is
   /// requested; returns nullptr on stop.
   TaskPtr wait_for_task(int vp, const std::stop_token& st);

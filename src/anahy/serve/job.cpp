@@ -63,6 +63,10 @@ bool Job::resolve(int error, void* value,
   result_.stats.pool_peak_bytes = totals.pool_peak_bytes;
   result_.stats.pool_live_bytes = totals.pool_live_bytes;
   state_ = JobState::kDone;
+  // From here on nobody legitimately joins this job's tasks by id, which
+  // is what licenses the rejuvenation reaper to retire any block the job
+  // stranded in the registry (Scheduler::reap_orphans).
+  ctx_->mark_resolved();
   return true;
 }
 

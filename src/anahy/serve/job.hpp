@@ -161,11 +161,22 @@ class Job {
   [[nodiscard]] const std::string& label() const { return spec_.label; }
   [[nodiscard]] bool checked() const { return spec_.check; }
 
+  /// Rejuvenation deferral (docs/REJUV.md): a batch job admitted while the
+  /// memory budget was over is *held* in the pending queue — the
+  /// dispatcher skips it — until the pressure clears or this deadline
+  /// passes (negative = never deferred). Written once at submit, under the
+  /// server lock; read by the dispatcher under the same lock.
+  void set_defer_deadline(std::int64_t ns) { defer_deadline_ns_ = ns; }
+  [[nodiscard]] std::int64_t defer_deadline() const {
+    return defer_deadline_ns_;
+  }
+
  private:
   const JobId id_;
   JobSpec spec_;
   const std::int64_t submit_ns_;
   std::int64_t start_ns_ = -1;
+  std::int64_t defer_deadline_ns_ = -1;
   TaskContextPtr ctx_;
 
   mutable std::mutex mu_;

@@ -17,10 +17,27 @@ JobServer::JobServer(ServerOptions opts)
   opts_.runtime.main_participates = false;
   if (opts_.check) opts_.runtime.check = true;
   rt_ = std::make_unique<Runtime>(opts_.runtime);
+  if (opts_.rejuv_admission.budget.total_bytes > 0)
+    admission_ =
+        std::make_unique<rejuv::AdmissionController>(opts_.rejuv_admission);
+  engine_ = std::make_unique<rejuv::RejuvEngine>(*rt_);
+  policy_ = rejuv::RejuvPolicy(opts_.rejuv_policy);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (opts_.rejuv_period_ns > 0)
+    rejuv_thread_ = std::thread([this] { rejuv_policy_loop(); });
 }
 
 JobServer::~JobServer() {
+  // The policy thread goes first: it calls rejuvenate(), which restarts
+  // VPs, and must never race the runtime teardown below.
+  if (rejuv_thread_.joinable()) {
+    {
+      std::lock_guard lock(rejuv_mu_);
+      rejuv_stop_ = true;
+    }
+    rejuv_cv_.notify_all();
+    rejuv_thread_.join();
+  }
   // Unbounded shutdown: every admitted handle resolves (actives are
   // cancelled, so their descendants skip and the roots finish fast).
   shutdown(/*deadline_ns=*/-1);
@@ -45,6 +62,20 @@ JobHandle JobServer::submit(JobSpec spec) {
   if (!spec.body || (spec.check && !opts_.check))
     return rejected_handle(0, std::move(spec), kInvalid);
 
+  // Memory-aware admission (docs/REJUV.md). The fast path is one null
+  // test plus one relaxed load of the controller's cached verdict — the
+  // snapshot-and-score work happens at refresh points, never here.
+  rejuv::Decision decision = rejuv::Decision::kAdmit;
+  if (admission_ != nullptr) {
+    decision = admission_->admit(cls);
+    if (decision == rejuv::Decision::kReject) {
+      rejuv_shed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(mu_);
+      ++agg_.of(cls).rejected;
+      return rejected_handle(0, std::move(spec), kOverloaded);
+    }
+  }
+
   std::unique_lock lock(mu_);
   if (opts_.admission == ServerOptions::Admission::kBlock)
     admit_cv_.wait(lock, [&] {
@@ -62,7 +93,19 @@ JobHandle JobServer::submit(JobSpec spec) {
   }
 
   const JobId id = next_id_++;
-  auto job = std::make_shared<Job>(id, std::move(spec), TaskContext::now_ns());
+  const std::int64_t now = TaskContext::now_ns();
+  auto job = std::make_shared<Job>(id, std::move(spec), now);
+  if (decision == rejuv::Decision::kDefer) {
+    // Admitted but held: the dispatcher skips this batch job while the
+    // budget stays over, up to a bounded deadline. The job's own timeout
+    // caps the hold first — deferral respects deadlines, a job is never
+    // parked past the point where it could still finish in time.
+    std::int64_t until = now + admission_->options().max_defer_ns;
+    if (job->context()->deadline_ns >= 0)
+      until = std::min(until, job->context()->deadline_ns);
+    job->set_defer_deadline(until);
+    rejuv_deferred_.fetch_add(1, std::memory_order_relaxed);
+  }
   pending_[static_cast<std::size_t>(cls)].push_back(job);
   ++pending_count_;
   ++agg_.of(cls).submitted;
@@ -81,12 +124,31 @@ void JobServer::dispatcher_loop() {
                 (opts_.max_active == 0 || active_.size() < opts_.max_active));
       });
       if (stop_) return;
-      // Highest class first; FIFO within a class (admission order).
-      for (auto& q : pending_) {
+      // Highest class first; FIFO within a class (admission order). A
+      // batch head admitted under deferral (docs/REJUV.md) is *held* —
+      // skipped, not popped — while the memory budget stays over and its
+      // defer deadline has not passed; draining cancels all holds (drain
+      // means "finish the work", pressure or not).
+      const std::int64_t now = TaskContext::now_ns();
+      for (std::size_t c = 0; c < pending_.size(); ++c) {
+        auto& q = pending_[c];
         if (q.empty()) continue;
+        if (static_cast<Priority>(c) == Priority::kBatch &&
+            admission_ != nullptr && !draining_ &&
+            admission_->over(Priority::kBatch) &&
+            q.front()->defer_deadline() > now)
+          continue;
         job = std::move(q.front());
         q.pop_front();
         break;
+      }
+      if (job == nullptr) {
+        // Everything pending is held batch work: poll on a short tick so
+        // a budget clear (the controller refreshes on job completions,
+        // aging samples and rejuvenation cycles) or an expiring defer
+        // deadline is noticed promptly.
+        dispatch_cv_.wait_for(lock, std::chrono::milliseconds{5});
+        continue;
       }
       --pending_count_;
       active_.emplace(job->id(), job);
@@ -161,6 +223,10 @@ void JobServer::run_root(const JobPtr& job) {
 }
 
 void JobServer::finish_job(const JobPtr& job) {
+  // Refresh the admission verdicts at the moment pressure just moved
+  // (this job's pool blocks were credited back). Outside mu_: the
+  // controller is its own synchronization domain.
+  if (admission_ != nullptr) admission_->refresh(pool_snapshot());
   std::lock_guard lock(mu_);
   active_.erase(job->id());
   dispatch_cv_.notify_one();
@@ -183,6 +249,10 @@ void JobServer::account_locked(const JobResult& r, Priority cls) {
   c.pool_allocs += r.stats.pool_allocs;
   c.pool_peak_bytes = std::max(c.pool_peak_bytes, r.stats.pool_peak_bytes);
   c.pool_leaked_bytes += r.stats.pool_live_bytes;
+  // Feed the observed peak into the admission budget's per-class history
+  // (EWMA, leaf lock — safe under mu_).
+  if (admission_ != nullptr)
+    admission_->note_job_peak(cls, r.stats.pool_peak_bytes);
 }
 
 void JobServer::drain() {
@@ -220,6 +290,14 @@ bool JobServer::shutdown(std::int64_t deadline_ns) {
     for (const JobPtr& j : doomed) account_locked(j->result(), j->priority());
   }
   for (const JobPtr& j : doomed) j->publish();
+
+  // A concurrent drain() may already be parked on idle_cv_ with active_
+  // empty: clearing the pending queues made its predicate true, but the
+  // doomed path above never notified it — without this wake it hangs
+  // forever (regression test: tests/serve/test_serve_races.cpp). Notify
+  // only after the doomed handles published, so drain's "every callback
+  // finished" promise still holds.
+  idle_cv_.notify_all();
 
   std::unique_lock lock(mu_);
   const auto idle = [&] { return pending_count_ == 0 && active_.empty(); };
@@ -265,8 +343,14 @@ void JobServer::record_aging_sample() {
       cum.exec_ns_sum += c.exec_ns_sum;
     }
   }
-  std::lock_guard lock(aging_mu_);
-  aging_.sample(cum);
+  {
+    std::lock_guard lock(aging_mu_);
+    aging_.sample(cum);
+  }
+  // An aging sample is a natural admission refresh point (the scrape
+  // cadence bounds how stale the cached verdicts can get even on an idle
+  // server with no completions).
+  if (admission_ != nullptr) admission_->refresh(pool);
 }
 
 aging::Series JobServer::aging_series() const {
@@ -276,6 +360,52 @@ aging::Series JobServer::aging_series() const {
 
 aging::Analysis JobServer::aging_report(const aging::AnalyzeOptions& opt) const {
   return aging::analyze(aging_series(), opt);
+}
+
+rejuv::CycleReport JobServer::rejuvenate() {
+  const rejuv::CycleReport rep = engine_->cycle();
+  rejuv_reaped_tasks_.fetch_add(rep.tasks_reaped, std::memory_order_relaxed);
+  rejuv_reclaimed_bytes_.fetch_add(rep.arena_reclaimed(),
+                                   std::memory_order_relaxed);
+  {
+    // ANAHY-A007: make the cycle visible on the series timeline so an
+    // offline analyst can line the heap sawtooth up with its cause.
+    std::lock_guard lock(aging_mu_);
+    aging_.annotate(TaskContext::now_ns(), aging::code::kRejuvenation,
+                    "rejuvenation performed: " + rep.summary());
+  }
+  // The cycle just moved a lot of memory; re-score admissions now rather
+  // than waiting for the next completion.
+  if (admission_ != nullptr) admission_->refresh(pool_snapshot());
+  dispatch_cv_.notify_one();  // held batch work may be dispatchable again
+  return rep;
+}
+
+JobServer::RejuvCounters JobServer::rejuv_counters() const {
+  RejuvCounters c;
+  c.cycles = engine_->cycles();
+  c.deferred = rejuv_deferred_.load(std::memory_order_relaxed);
+  c.shed = rejuv_shed_.load(std::memory_order_relaxed);
+  c.reaped_tasks = rejuv_reaped_tasks_.load(std::memory_order_relaxed);
+  c.reclaimed_bytes = rejuv_reclaimed_bytes_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void JobServer::rejuv_policy_loop() {
+  const auto period = std::chrono::nanoseconds{opts_.rejuv_period_ns};
+  std::unique_lock lock(rejuv_mu_);
+  for (;;) {
+    if (rejuv_cv_.wait_for(lock, period, [&] { return rejuv_stop_; })) return;
+    lock.unlock();
+    // Sample first so the window the policy sees includes the present.
+    record_aging_sample();
+    const aging::Analysis a = aging_report(opts_.rejuv_policy.analyze);
+    const rejuv::RejuvPolicy::Verdict v =
+        policy_.evaluate(a, TaskContext::now_ns());
+    if (v.trip) (void)rejuvenate();
+    if (admission_ != nullptr) admission_->refresh(pool_snapshot());
+    lock.lock();
+  }
 }
 
 std::string JobServer::metrics_text() const {
@@ -307,8 +437,18 @@ std::string JobServer::observe_text() const {
   const observe::Snapshot snap = rt_->observe_snapshot();
   const std::vector<observe::Anomaly> extra =
       deadline_risk_anomalies(stats(), opts_.max_pending);
-  const std::vector<observe::ExtraCounter> pool =
+  std::vector<observe::ExtraCounter> pool =
       aging::pool_extra_counters(pool_snapshot());
+  // Rejuvenation transitions as counter rows (docs/REJUV.md): cycles,
+  // load shedding and reclaimed memory, scrapeable next to the pool
+  // gauges they act on.
+  const RejuvCounters rc = rejuv_counters();
+  pool.push_back({"anahy_rejuv_cycles_total", "", rc.cycles});
+  pool.push_back({"anahy_rejuv_deferred_total", "", rc.deferred});
+  pool.push_back({"anahy_rejuv_shed_total", "", rc.shed});
+  pool.push_back({"anahy_rejuv_reaped_tasks_total", "", rc.reaped_tasks});
+  pool.push_back(
+      {"anahy_rejuv_reclaimed_bytes_total", "", rc.reclaimed_bytes});
   return observe::render_text(snap, extra, pool) + metrics_text();
 }
 

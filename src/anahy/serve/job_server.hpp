@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,6 +39,9 @@
 #include "anahy/aging/analyze.hpp"
 #include "anahy/aging/recorder.hpp"
 #include "anahy/observe/exposition.hpp"
+#include "anahy/rejuv/controller.hpp"
+#include "anahy/rejuv/engine.hpp"
+#include "anahy/rejuv/policy.hpp"
 #include "anahy/runtime.hpp"
 #include "anahy/serve/job.hpp"
 #include "anahy/serve/stats.hpp"
@@ -80,6 +84,26 @@ struct ServerOptions {
   /// Ring capacity of the aging memory-state series the server records
   /// (record_aging_sample(); 0 = unbounded, never for a resident server).
   std::size_t aging_capacity = 512;
+
+  // --- rejuvenation (docs/REJUV.md) --------------------------------------
+
+  /// Memory-aware admission: budget.total_bytes == 0 (the default) keeps
+  /// the controller off entirely — submit() then pays one null test. With
+  /// a budget set, over-budget batch submits are deferred or rejected and
+  /// normal-class submits rejected kOverloaded, while high-class traffic
+  /// keeps flowing (rejuv::AdmissionController).
+  rejuv::ControllerOptions rejuv_admission;
+
+  /// When to trip an automatic rejuvenation cycle from the rolling aging
+  /// window (evaluated by the policy thread below).
+  rejuv::PolicyOptions rejuv_policy;
+
+  /// Cadence of the online policy thread: every period it records an
+  /// aging sample, re-runs the A001/A002/A003 detectors over the rolling
+  /// window and rejuvenates on a trip. 0 (default) = no policy thread;
+  /// rejuvenate() stays available as an operator command (kRejuvenate
+  /// cluster frame, `anahy-aging --rejuvenate`).
+  std::int64_t rejuv_period_ns = 0;
 };
 
 class JobServer {
@@ -144,8 +168,39 @@ class JobServer {
   [[nodiscard]] aging::Analysis aging_report(
       const aging::AnalyzeOptions& opt = {}) const;
 
+  // --- rejuvenation (docs/REJUV.md) --------------------------------------
+
+  /// Runs one online rejuvenation cycle: reap resolved jobs' stranded
+  /// tasks, trim the pool cache, rolling-restart the worker VPs. The
+  /// server stays live throughout (jobs keep being admitted, dispatched
+  /// and resolved) and every in-flight handle still resolves exactly
+  /// once. Stamps an ANAHY-A007 annotation on the aging series and bumps
+  /// the anahy_rejuv_* counters. Safe from any non-VP thread; concurrent
+  /// calls serialize.
+  rejuv::CycleReport rejuvenate();
+
+  /// Lifetime totals of the rejuvenation subsystem (also exposed as
+  /// observe ExtraCounter rows in observe_text()).
+  struct RejuvCounters {
+    std::uint64_t cycles = 0;           ///< rejuvenation cycles performed
+    std::uint64_t deferred = 0;         ///< batch jobs admitted-but-held
+    std::uint64_t shed = 0;             ///< submits rejected kOverloaded
+    std::uint64_t reaped_tasks = 0;     ///< stranded tasks retired
+    std::uint64_t reclaimed_bytes = 0;  ///< pool bytes freed by cycles
+  };
+  [[nodiscard]] RejuvCounters rejuv_counters() const;
+
+  /// The admission controller (null when no budget is configured).
+  [[nodiscard]] const rejuv::AdmissionController* admission() const {
+    return admission_.get();
+  }
+
  private:
   void dispatcher_loop();
+
+  /// Policy-thread body: sample, analyze the rolling window, rejuvenate
+  /// on a trip (ServerOptions::rejuv_period_ns > 0 only).
+  void rejuv_policy_loop();
 
   /// Forks `job`'s root task into the runtime (dispatcher thread only).
   void dispatch(const JobPtr& job);
@@ -184,6 +239,21 @@ class JobServer {
   /// reads counters under mu_, releases it, then folds under aging_mu_).
   mutable std::mutex aging_mu_;
   aging::Recorder aging_;
+
+  // Rejuvenation (docs/REJUV.md). The engine serializes cycles itself and
+  // never touches mu_; the controller is all atomics past construction.
+  std::unique_ptr<rejuv::AdmissionController> admission_;  // null = off
+  std::unique_ptr<rejuv::RejuvEngine> engine_;
+  rejuv::RejuvPolicy policy_;
+  std::atomic<std::uint64_t> rejuv_deferred_{0};
+  std::atomic<std::uint64_t> rejuv_shed_{0};
+  std::atomic<std::uint64_t> rejuv_reaped_tasks_{0};
+  std::atomic<std::uint64_t> rejuv_reclaimed_bytes_{0};
+
+  std::mutex rejuv_mu_;  // policy-thread wakeup only
+  std::condition_variable rejuv_cv_;
+  bool rejuv_stop_ = false;
+  std::thread rejuv_thread_;
 
   std::thread dispatcher_;
 };

@@ -173,6 +173,16 @@ struct TaskContext {
     return fault_count_;
   }
 
+  /// Marks the owning job resolved (serve layer, Job::resolve). Once set,
+  /// no code path legitimately joins this context's tasks by id anymore, so
+  /// the rejuvenation reaper (Scheduler::reap_orphans) may retire any
+  /// kFinished task still pinned in the registry by an unconsumed join
+  /// budget — the leak shape ANAHY-A001/A004 detect.
+  void mark_resolved() { resolved_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool resolved() const {
+    return resolved_.load(std::memory_order_acquire);
+  }
+
   /// True when the deadline (if any) has passed.
   [[nodiscard]] bool expired() const {
     return deadline_ns >= 0 && now_ns() >= deadline_ns;
@@ -195,6 +205,7 @@ struct TaskContext {
   std::array<CounterShard, kCounterShards> shards_;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> faulted_{false};
+  std::atomic<bool> resolved_{false};
   mutable std::mutex fault_mu_;  // cold path: faults only
   std::string fault_msg_;
   std::uint64_t fault_count_ = 0;

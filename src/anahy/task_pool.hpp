@@ -342,6 +342,35 @@ inline void set_pool_accounting(bool on) {
   return pool_detail::accounting_on();
 }
 
+/// Releases the calling thread's free-list cache back to the system and
+/// returns the bytes handed back. This is the arena-recycle primitive the
+/// rejuvenation engine (src/anahy/rejuv/, docs/REJUV.md) uses after a reap:
+/// freed task blocks land in the reaping thread's cache, and without a trim
+/// they would sit there as arena slack — exactly the fragmentation-shaped
+/// growth A002 flags. Per-thread by design: a cache is only ever touched by
+/// its owner, so no lock is needed, and a rolling VP restart flushes the
+/// worker caches via FreeCache's destructor as each thread exits.
+inline std::size_t pool_trim_thread_cache() {
+  using namespace pool_detail;
+  if (!kCacheEnabled || tls_cache_dead) return 0;
+  std::size_t released = 0;
+  FreeCache& c = cache();
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    auto& list = c.lists[cls];
+    if (list.empty()) continue;
+    const StripeRef lease = my_stripe();
+    bump(stat_shards()[lease.index].arena_shrink[cls],
+         std::uint64_t{list.size()}, lease.exclusive);
+    released += list.size() * class_bytes(cls);
+    for (void* p : list)
+      // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): the pool owns.
+      ::operator delete(p);
+    list.clear();
+    list.shrink_to_fit();
+  }
+  return released;
+}
+
 /// Wait-free sum of the pool books. Process-wide (the pool is shared by
 /// every runtime in the process). Monotonic inputs, clamped derivations.
 [[nodiscard]] inline PoolSnapshot pool_snapshot() {

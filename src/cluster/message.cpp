@@ -49,6 +49,10 @@ std::vector<std::uint8_t> encode_body(const Message& msg) {
       w.u64(msg.stats_reply.request_id);
       w.str(msg.stats_reply.text);
       break;
+    case MsgType::kRejuvenate:
+      w.u32(msg.rejuv.client);
+      w.u64(msg.rejuv.request_id);
+      break;
     case MsgType::kPing:
     case MsgType::kPong:
       w.u32(msg.ping.from);
@@ -104,6 +108,10 @@ Message decode_body(std::span<const std::uint8_t> body) {
     case MsgType::kStatsReply:
       msg.stats_reply.request_id = r.u64();
       msg.stats_reply.text = r.str();
+      break;
+    case MsgType::kRejuvenate:
+      msg.rejuv.client = r.u32();
+      msg.rejuv.request_id = r.u64();
       break;
     case MsgType::kPing:
     case MsgType::kPong:
@@ -256,6 +264,13 @@ Message make_stats_reply(std::uint64_t request_id, std::string text) {
   Message m;
   m.type = MsgType::kStatsReply;
   m.stats_reply = {request_id, std::move(text)};
+  return m;
+}
+
+Message make_rejuvenate(std::uint32_t client, std::uint64_t request_id) {
+  Message m;
+  m.type = MsgType::kRejuvenate;
+  m.rejuv = {client, request_id};
   return m;
 }
 

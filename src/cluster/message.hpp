@@ -22,6 +22,7 @@ enum class MsgType : std::uint8_t {
   kStatsReply = 9,  ///< serve front-end -> client: the exposition text
   kPing = 10,  ///< liveness probe (serve front-end -> client with work)
   kPong = 11,  ///< liveness answer, echoing the probe token
+  kRejuvenate = 12,  ///< operator -> serve front-end: run a rejuv cycle
 };
 
 /// A task that can cross node boundaries: function *by name* (both sides
@@ -80,6 +81,17 @@ struct StatsReplyMsg {
   std::string text;  ///< Prometheus-style exposition (UTF-8)
 };
 
+/// Operator command: run one online rejuvenation cycle on the receiving
+/// serve front-end (JobServer::rejuvenate — reap stranded tasks, trim the
+/// pool cache, rolling-restart the worker VPs; docs/REJUV.md). The reply
+/// reuses kStatsReply: `request_id` echoed, `text` carrying the cycle
+/// report, so the same retry/dedup machinery as telemetry pulls applies
+/// (rejuvenation is idempotent — a retried command just cycles again).
+struct RejuvenateMsg {
+  std::uint32_t client = 0;      ///< where the kStatsReply goes
+  std::uint64_t request_id = 0;  ///< correlation id echoed in the reply
+};
+
 /// Liveness probe. The serve front-end pings every client that has work in
 /// flight; a client that stops answering is declared dead and its jobs are
 /// cancelled (docs/FAULT.md). `from` is the sender's node id; the pong
@@ -99,6 +111,7 @@ struct Message {
   JobDoneMsg job_done;
   StatsQueryMsg stats_query;
   StatsReplyMsg stats_reply;
+  RejuvenateMsg rejuv;
   PingMsg ping;  ///< kPing and kPong share the shape
 };
 
@@ -173,6 +186,8 @@ struct DecodeResult {
                                        std::uint64_t request_id);
 [[nodiscard]] Message make_stats_reply(std::uint64_t request_id,
                                        std::string text);
+[[nodiscard]] Message make_rejuvenate(std::uint32_t client,
+                                      std::uint64_t request_id);
 [[nodiscard]] Message make_ping(std::uint32_t from, std::uint64_t token);
 [[nodiscard]] Message make_pong(std::uint32_t from, std::uint64_t token);
 

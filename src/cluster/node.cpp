@@ -211,6 +211,7 @@ void ClusterNode::handle(Message msg) {
     case MsgType::kStatsReply:
     case MsgType::kPing:
     case MsgType::kPong:
+    case MsgType::kRejuvenate:
       // Serve-front-end traffic rides its own endpoints (ServeFrontEnd /
       // ServeClient); a ClusterNode drops such frames rather than guess.
       break;

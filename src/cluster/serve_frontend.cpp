@@ -84,6 +84,9 @@ void ServeFrontEnd::pump() {
           case MsgType::kStatsQuery:
             handle_stats_query(d.msg.stats_query);
             break;
+          case MsgType::kRejuvenate:
+            handle_rejuvenate(d.msg.rejuv);
+            break;
           case MsgType::kPong: {
             std::lock_guard lock(link_->mu);
             link_->last_seen[d.msg.ping.from] = Clock::now();
@@ -159,6 +162,18 @@ void ServeFrontEnd::handle_stats_query(const StatsQueryMsg& msg) {
   stats_queries_.fetch_add(1, std::memory_order_relaxed);
   const auto frame =
       encode(make_stats_reply(msg.request_id, server_.observe_text()));
+  std::lock_guard lock(link_->mu);
+  link_->send_locked(static_cast<int>(msg.client), frame);
+}
+
+void ServeFrontEnd::handle_rejuvenate(const RejuvenateMsg& msg) {
+  rejuvenations_.fetch_add(1, std::memory_order_relaxed);
+  // The cycle runs on the pump thread — it is not a VP and holds no server
+  // lock, exactly what JobServer::rejuvenate asks for. Job traffic keeps
+  // flowing meanwhile (submissions queue on the transport and are pumped
+  // right after; the server itself never stops serving during a cycle).
+  const anahy::rejuv::CycleReport rep = server_.rejuvenate();
+  const auto frame = encode(make_stats_reply(msg.request_id, rep.summary()));
   std::lock_guard lock(link_->mu);
   link_->send_locked(static_cast<int>(msg.client), frame);
 }
@@ -436,18 +451,18 @@ bool ServeClient::take_stats(std::uint64_t id, std::string& out) {
   return true;
 }
 
-int ServeClient::query_stats_impl(std::string& out, const CallOptions& copts) {
-  const std::uint64_t id = next_request_++;
-  const auto frame = encode(
-      make_stats_query(static_cast<std::uint32_t>(transport_.node_id()), id));
+int ServeClient::text_request_impl(const std::vector<std::uint8_t>& frame,
+                                   std::uint64_t id, std::string& out,
+                                   const CallOptions& copts) {
   const auto deadline = Clock::now() + copts.deadline;
   auto backoff = std::max(copts.initial_backoff, std::chrono::microseconds{1});
   int attempts = 0;
 
   // Same envelope as call(): fixed id across attempts, capped exponential
   // backoff + jitter, a definite kUnreachable on give-up. (A retried
-  // query re-renders the exposition server-side — stats pulls are
-  // idempotent reads, so at-least-once execution is harmless.)
+  // request re-executes server-side — both users are idempotent: a stats
+  // pull re-renders the exposition, a rejuvenate command cycles again —
+  // so at-least-once execution is harmless.)
   for (;;) {
     try {
       transport_.send(server_node_, frame);
@@ -476,9 +491,24 @@ int ServeClient::query_stats_impl(std::string& out, const CallOptions& copts) {
   }
 }
 
+int ServeClient::query_stats_impl(std::string& out, const CallOptions& copts) {
+  const std::uint64_t id = next_request_++;
+  const auto frame = encode(
+      make_stats_query(static_cast<std::uint32_t>(transport_.node_id()), id));
+  return text_request_impl(frame, id, out, copts);
+}
+
 int ServeClient::query_stats(std::string& out, const CallOptions& copts) {
   UseGuard guard(*this);
   return query_stats_impl(out, copts);
+}
+
+int ServeClient::rejuvenate(std::string& out, const CallOptions& copts) {
+  UseGuard guard(*this);
+  const std::uint64_t id = next_request_++;
+  const auto frame = encode(
+      make_rejuvenate(static_cast<std::uint32_t>(transport_.node_id()), id));
+  return text_request_impl(frame, id, out, copts);
 }
 
 bool ServeClient::query_stats(std::string& out,

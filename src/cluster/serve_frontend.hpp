@@ -107,6 +107,11 @@ class ServeFrontEnd {
     return stats_queries_.load(std::memory_order_relaxed);
   }
 
+  /// kRejuvenate commands executed so far (docs/REJUV.md).
+  [[nodiscard]] std::uint64_t rejuvenations() const {
+    return rejuvenations_.load(std::memory_order_relaxed);
+  }
+
   /// Malformed frames dropped with an ANAHY-F00x diagnostic.
   [[nodiscard]] std::uint64_t rejected_frames() const {
     return rejected_frames_.load(std::memory_order_relaxed);
@@ -170,6 +175,7 @@ class ServeFrontEnd {
   bool transport_recv(std::vector<std::uint8_t>& frame);
   void handle_submit(JobSubmitMsg msg);
   void handle_stats_query(const StatsQueryMsg& msg);
+  void handle_rejuvenate(const RejuvenateMsg& msg);
   void heartbeat(Clock::time_point now);
 
   anahy::serve::JobServer& server_;
@@ -180,6 +186,7 @@ class ServeFrontEnd {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> submissions_{0};
   std::atomic<std::uint64_t> stats_queries_{0};
+  std::atomic<std::uint64_t> rejuvenations_{0};
   std::atomic<std::uint64_t> rejected_frames_{0};
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> duplicates_suppressed_{0};
@@ -266,6 +273,14 @@ class ServeClient {
   /// the pull returned kOk.
   bool query_stats(std::string& out, std::chrono::microseconds timeout);
 
+  /// Operator command: run one online rejuvenation cycle on the remote
+  /// server (kRejuvenate frame; docs/REJUV.md). Same retry/backoff/
+  /// deadline envelope as query_stats — the reply rides kStatsReply and
+  /// `out` receives the cycle-report text. Rejuvenation is idempotent, so
+  /// a retried command cycling twice is harmless. Returns kOk or
+  /// kUnreachable.
+  int rejuvenate(std::string& out, const CallOptions& copts = CallOptions{});
+
   /// Malformed frames dropped with an ANAHY-F00x diagnostic.
   [[nodiscard]] std::uint64_t rejected_frames() const {
     return rejected_frames_;
@@ -294,8 +309,15 @@ class ServeClient {
   /// false on recv timeout.
   bool pump_one(std::chrono::microseconds timeout);
 
-  /// Shared body of both query_stats overloads (callers hold the
-  /// UseGuard; nesting two guards would trip the misuse abort).
+  /// Shared request/response engine of query_stats and rejuvenate: sends
+  /// `frame` (a pre-encoded request carrying `id`) with the call()-style
+  /// retry envelope and waits for the matching kStatsReply text (callers
+  /// hold the UseGuard; nesting two guards would trip the misuse abort).
+  int text_request_impl(const std::vector<std::uint8_t>& frame,
+                        std::uint64_t id, std::string& out,
+                        const CallOptions& copts);
+
+  /// text_request_impl over a fresh kStatsQuery.
   int query_stats_impl(std::string& out, const CallOptions& copts);
 
   /// Moves a buffered stats reply for `id` into `out`. False when not

@@ -301,4 +301,31 @@ TEST(AgingAnalyze, JsonPayloadCarriesFindingsAndStats) {
   EXPECT_NE(json.find("ANAHY-A001"), std::string::npos) << json;
 }
 
+TEST(AgingAnalyze, AnnotationsPassThroughWithoutBecomingFindings) {
+  // A rejuvenated-but-healthy series: flat heap plus A007 marks. The
+  // marks must survive into the analysis (and its JSON) as provenance,
+  // never as findings — the CLI still exits 0 on such a series.
+  Series s;
+  for (std::size_t i = 0; i < 64; ++i) {
+    SeriesPoint p;
+    p.t_ns = static_cast<std::int64_t>(i) * 10'000'000;
+    p.jobs = i * 10;
+    p.heap_bytes = 1 << 20;
+    p.arena_bytes = p.heap_bytes + 4096;
+    p.lat_ns = 100'000;
+    s.push(p);
+  }
+  s.annotate({315'000'000, code::kRejuvenation, "rejuvenation performed"});
+
+  const Analysis a = analyze(s);
+  ASSERT_EQ(a.annotations.size(), 1u);
+  EXPECT_EQ(a.annotations[0].code, code::kRejuvenation);
+  EXPECT_TRUE(a.findings.empty())
+      << anahy::aging::format_findings(a.findings);
+
+  const std::string json = anahy::aging::to_json(a);
+  EXPECT_NE(json.find("\"annotations\""), std::string::npos) << json;
+  EXPECT_NE(json.find("ANAHY-A007"), std::string::npos) << json;
+}
+
 }  // namespace

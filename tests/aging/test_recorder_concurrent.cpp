@@ -1,0 +1,98 @@
+// Satellite of docs/REJUV.md: an aging::Recorder sampling live pool
+// gauges while other threads grow and shrink the arena underneath it.
+// pool_snapshot() is a racy read of sharded relaxed counters by design;
+// the contract under the sanitizer matrix (tsan/asan labels) is that a
+// concurrent snapshot is *well-formed* — clamped, never wrapped — and the
+// recorder built on it emits a well-formed series. This is exactly what
+// JobServer::record_aging_sample() does while VPs churn the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "anahy/aging/recorder.hpp"
+#include "anahy/task_pool.hpp"
+
+namespace {
+
+using anahy::PoolSnapshot;
+using anahy::aging::Cumulative;
+using anahy::aging::Recorder;
+
+constexpr int kChurnThreads = 4;
+constexpr int kSamples = 200;
+
+/// Alloc/free churn sized to cross the thread-cache capacity so blocks
+/// really travel arena -> cache -> arena (grow *and* shrink), across
+/// several size classes plus the large fallthrough.
+void churn(std::atomic<bool>& stop, unsigned seed) {
+  std::vector<std::pair<void*, std::size_t>> held;
+  held.reserve(anahy::pool_detail::kCacheCap * 2);
+  std::uint32_t rng = seed * 2654435761u + 1;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 17;
+    rng ^= rng << 5;
+    return rng;
+  };
+  while (!stop.load(std::memory_order_acquire)) {
+    // Burst past the cache cap, then release everything.
+    for (std::size_t i = 0; i < anahy::pool_detail::kCacheCap + 32; ++i) {
+      const std::size_t bytes = 64 + (next() % 2048);  // pooled and large
+      held.emplace_back(
+          anahy::pool_detail::pool_alloc(bytes, alignof(std::max_align_t)),
+          bytes);
+    }
+    for (auto& [p, bytes] : held)
+      anahy::pool_detail::pool_free(p, bytes, alignof(std::max_align_t));
+    held.clear();
+    // Hand the cache back so the arena visibly shrinks mid-run.
+    if ((next() & 7u) == 0) anahy::pool_trim_thread_cache();
+  }
+}
+
+TEST(AgingRecorderConcurrent, SamplesStayWellFormedUnderPoolChurn) {
+  Recorder rec(/*capacity=*/0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  churners.reserve(kChurnThreads);
+  for (int t = 0; t < kChurnThreads; ++t)
+    churners.emplace_back([&stop, t] {
+      churn(stop, static_cast<unsigned>(t + 1));
+    });
+
+  std::uint64_t fake_jobs = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const PoolSnapshot snap = anahy::pool_snapshot();
+    Cumulative cum;
+    cum.t_ns = static_cast<std::int64_t>(i + 1) * 1'000'000;
+    cum.jobs_resolved = fake_jobs += 3;
+    cum.heap_bytes = snap.live_bytes;
+    cum.arena_bytes = snap.arena_bytes;
+    cum.ready_tasks = snap.live_blocks;
+    for (std::size_t c = 0; c < anahy::aging::kPoolClasses; ++c)
+      cum.class_outstanding[c] = snap.classes[c].outstanding;
+    rec.sample(cum);
+    if (i % 16 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& c : churners) c.join();
+
+  // Every sample landed and the series is well-formed: jobs monotonic,
+  // and no clamped gauge wrapped into a "negative" huge value.
+  ASSERT_EQ(rec.samples(), static_cast<std::size_t>(kSamples));
+  const anahy::aging::Series& s = rec.series();
+  constexpr std::uint64_t kSane = 1ull << 40;  // far above any real gauge
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LT(s[i].heap_bytes, kSane);
+    EXPECT_LT(s[i].arena_bytes, kSane);
+    if (i > 0) {
+      EXPECT_GE(s[i].jobs, s[i - 1].jobs);
+    }
+  }
+}
+
+}  // namespace

@@ -54,6 +54,45 @@ TEST(AgingSeries, SaveLoadRoundTrip) {
   }
 }
 
+TEST(AgingSeries, MarkRecordsRoundTripInterleavedByTimestamp) {
+  Series s;
+  s.push(point(100, 1, 4096));
+  s.push(point(200, 2, 4160));
+  s.push(point(300, 3, 4224));
+  s.annotate({150, "ANAHY-A007", "rejuvenation performed: reaped 2 task(s)"});
+  s.annotate({250, "ANAHY-A007", "rejuvenation performed: reaped 1 task(s)"});
+
+  std::ostringstream out;
+  s.save(out);
+  const std::string text = out.str();
+  // Marks are written in timeline order, between the points they follow.
+  const auto p200 = text.find("point 200");
+  const auto m150 = text.find("mark 150 ANAHY-A007");
+  ASSERT_NE(p200, std::string::npos);
+  ASSERT_NE(m150, std::string::npos);
+  EXPECT_LT(m150, p200);
+
+  Series loaded;
+  std::istringstream in(text);
+  std::string error;
+  ASSERT_TRUE(loaded.load(in, &error)) << error;
+  ASSERT_EQ(loaded.size(), 3u);
+  ASSERT_EQ(loaded.annotations().size(), 2u);
+  EXPECT_EQ(loaded.annotations()[0].t_ns, 150);
+  EXPECT_EQ(loaded.annotations()[0].code, "ANAHY-A007");
+  EXPECT_EQ(loaded.annotations()[0].detail,
+            "rejuvenation performed: reaped 2 task(s)");
+  EXPECT_EQ(loaded.annotations()[1].t_ns, 250);
+}
+
+TEST(AgingSeries, LoadRejectsTruncatedMark) {
+  Series s;
+  std::istringstream in("anahy-series v1 classes=0\nmark 100\n");
+  std::string error;
+  EXPECT_FALSE(s.load(in, &error));
+  EXPECT_NE(error.find("mark"), std::string::npos) << error;
+}
+
 TEST(AgingSeries, RingEvictsHeadAndCountsDrops) {
   Series s(3);
   for (int i = 0; i < 7; ++i)

@@ -175,4 +175,17 @@ TEST(Message, PingPongRoundTrip) {
   EXPECT_EQ(pong.ping.token, 77u);
 }
 
+TEST(Message, RejuvenateRoundTrip) {
+  const Message d = decode(encode(make_rejuvenate(6, 1234)));
+  EXPECT_EQ(d.type, MsgType::kRejuvenate);
+  EXPECT_EQ(d.rejuv.client, 6u);
+  EXPECT_EQ(d.rejuv.request_id, 1234u);
+}
+
+TEST(Message, RejectsTruncatedRejuvenate) {
+  auto frame = encode(make_rejuvenate(1, 2));
+  frame.resize(frame.size() - 4);
+  EXPECT_FALSE(decode_frame(frame).ok);
+}
+
 }  // namespace

@@ -1,0 +1,143 @@
+// anahy::rejuv::MemoryBudget / AdmissionController — the pressure model
+// and its cached submit-path verdicts (docs/REJUV.md). The invariants:
+// the share ladder sheds batch first, high never sheds below the hard
+// total, and a disabled budget (total_bytes == 0) never sheds anything.
+#include <gtest/gtest.h>
+
+#include "anahy/rejuv/budget.hpp"
+#include "anahy/rejuv/controller.hpp"
+#include "anahy/task_pool.hpp"
+
+namespace {
+
+using anahy::kNumPriorities;
+using anahy::PoolSnapshot;
+using anahy::Priority;
+using anahy::rejuv::AdmissionController;
+using anahy::rejuv::ControllerOptions;
+using anahy::rejuv::Decision;
+using anahy::rejuv::MemoryBudget;
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+TEST(MemoryBudget, DisabledBudgetScoresZeroForEveryClass) {
+  MemoryBudget b;  // default options: total_bytes == 0
+  EXPECT_FALSE(b.enabled());
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    const auto cls = static_cast<Priority>(c);
+    EXPECT_EQ(b.score(/*live_bytes=*/1ull << 40, cls), 0.0);
+    EXPECT_FALSE(b.over(1ull << 40, cls));
+  }
+}
+
+TEST(MemoryBudget, ShareLadderShedsBatchFirstThenNormal) {
+  MemoryBudget::Options o;
+  o.total_bytes = kMiB;  // shares: high 1.0, normal 0.75, batch 0.5
+  MemoryBudget b(o);
+
+  // At 60% occupancy only batch (slice 512 KiB) is over.
+  const std::uint64_t live = 600 * 1024;
+  EXPECT_TRUE(b.over(live, Priority::kBatch));
+  EXPECT_FALSE(b.over(live, Priority::kNormal));
+  EXPECT_FALSE(b.over(live, Priority::kHigh));
+
+  // At 80% normal (slice 768 KiB) is over too; high still flows.
+  const std::uint64_t live2 = 800 * 1024;
+  EXPECT_TRUE(b.over(live2, Priority::kBatch));
+  EXPECT_TRUE(b.over(live2, Priority::kNormal));
+  EXPECT_FALSE(b.over(live2, Priority::kHigh));
+
+  // At the hard total even high is over.
+  EXPECT_TRUE(b.over(kMiB, Priority::kHigh));
+}
+
+TEST(MemoryBudget, ScoreIsForwardLookingViaExpectedJobBytes) {
+  MemoryBudget::Options o;
+  o.total_bytes = kMiB;
+  o.class_share = {1.0, 1.0, 1.0};
+  MemoryBudget b(o);
+  // No history: the default prior is the projection.
+  EXPECT_EQ(b.expected_job_bytes(Priority::kNormal), o.default_job_bytes);
+  // live + prior == total → score exactly 1.0 (over).
+  EXPECT_TRUE(b.over(kMiB - o.default_job_bytes, Priority::kNormal));
+  EXPECT_FALSE(b.over(kMiB - o.default_job_bytes - 1, Priority::kNormal));
+}
+
+TEST(MemoryBudget, EwmaSeedsOnFirstPeakThenConverges) {
+  MemoryBudget::Options o;
+  o.total_bytes = kMiB;
+  o.ewma_alpha = 0.5;
+  MemoryBudget b(o);
+
+  b.note_job_peak(Priority::kNormal, 1000);
+  EXPECT_EQ(b.expected_job_bytes(Priority::kNormal), 1000u);  // seeded
+  b.note_job_peak(Priority::kNormal, 2000);
+  EXPECT_EQ(b.expected_job_bytes(Priority::kNormal), 1500u);  // 1000+.5*1000
+  b.note_job_peak(Priority::kNormal, 2000);
+  EXPECT_EQ(b.expected_job_bytes(Priority::kNormal), 1750u);
+  // History is per class: batch still sits on the prior.
+  EXPECT_EQ(b.expected_job_bytes(Priority::kBatch), o.default_job_bytes);
+}
+
+TEST(MemoryBudget, ZeroShareAdmitsNothingAndSharesAreClamped) {
+  MemoryBudget::Options o;
+  o.total_bytes = kMiB;
+  o.class_share = {2.0, -1.0, 0.0};  // clamped to {1.0, 0.0, 0.0}
+  MemoryBudget b(o);
+  EXPECT_EQ(b.options().class_share[0], 1.0);
+  EXPECT_EQ(b.options().class_share[1], 0.0);
+  // A zero slice is over at any occupancy, even zero.
+  EXPECT_TRUE(b.over(0, Priority::kNormal));
+  EXPECT_TRUE(b.over(0, Priority::kBatch));
+  EXPECT_FALSE(b.over(0, Priority::kHigh));
+}
+
+PoolSnapshot snapshot_with_live(std::uint64_t bytes) {
+  PoolSnapshot s{};
+  s.live_bytes = bytes;
+  return s;
+}
+
+TEST(AdmissionController, VerdictsFollowRefreshedPressure) {
+  ControllerOptions o;
+  o.budget.total_bytes = kMiB;
+  AdmissionController c(o);
+  ASSERT_TRUE(c.enabled());
+
+  // Fresh controller: nothing scored yet, everything admits.
+  EXPECT_EQ(c.admit(Priority::kBatch), Decision::kAdmit);
+
+  c.refresh(snapshot_with_live(800 * 1024));  // batch + normal over
+  EXPECT_EQ(c.admit(Priority::kHigh), Decision::kAdmit);
+  EXPECT_EQ(c.admit(Priority::kNormal), Decision::kReject);
+  EXPECT_EQ(c.admit(Priority::kBatch), Decision::kDefer);
+  EXPECT_TRUE(c.over(Priority::kBatch));
+  EXPECT_GE(c.last_score(Priority::kBatch), 1.0);
+  EXPECT_LT(c.last_score(Priority::kHigh), 1.0);
+
+  c.refresh(snapshot_with_live(0));  // pressure cleared
+  EXPECT_EQ(c.admit(Priority::kBatch), Decision::kAdmit);
+  EXPECT_FALSE(c.over(Priority::kBatch));
+}
+
+TEST(AdmissionController, BatchShedModeSelectsDeferOrReject) {
+  ControllerOptions o;
+  o.budget.total_bytes = kMiB;
+  o.batch_shed = ControllerOptions::BatchShed::kReject;
+  AdmissionController c(o);
+  c.refresh(snapshot_with_live(kMiB));
+  EXPECT_EQ(c.admit(Priority::kBatch), Decision::kReject);
+}
+
+TEST(AdmissionController, HighNeverShedsBelowHardTotal) {
+  ControllerOptions o;
+  o.budget.total_bytes = kMiB;
+  AdmissionController c(o);
+  c.refresh(snapshot_with_live(2 * kMiB));  // everyone over, even high
+  // admit() still lets high through: the class is shed by queueing
+  // pressure (max_pending), never by the budget.
+  EXPECT_EQ(c.admit(Priority::kHigh), Decision::kAdmit);
+  EXPECT_TRUE(c.over(Priority::kHigh));
+}
+
+}  // namespace

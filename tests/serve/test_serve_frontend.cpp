@@ -164,6 +164,44 @@ TEST(ServeFrontend, StatsQueryOverMemoryFabric) {
   EXPECT_EQ(frontend.stats_queries(), 1u);
 }
 
+TEST(ServeFrontend, RejuvenateOverMemoryFabric) {
+  auto fabric = make_memory_fabric(2);
+  Registry reg;
+  reg.add("sum_u32", sum_u32);
+  anahy::serve::ServerOptions opts;
+  opts.runtime.num_vps = 2;
+  anahy::serve::JobServer server(std::move(opts));
+  ServeFrontEnd frontend(server, *fabric[0], reg);
+
+  // The operator command: a kRejuvenate frame runs one cycle on the
+  // server and the one-line report rides back on kStatsReply.
+  ServeClient client(*fabric[1], 0);
+  std::string report;
+  ASSERT_EQ(client.rejuvenate(report), anahy::kOk);
+  EXPECT_NE(report.find("reaped"), std::string::npos) << report;
+  EXPECT_NE(report.find("restarted 2 VP(s)"), std::string::npos) << report;
+  EXPECT_EQ(frontend.rejuvenations(), 1u);
+  EXPECT_EQ(server.rejuv_counters().cycles, 1u);
+
+  // The restarted server still serves over the same wire.
+  const auto id = client.submit("sum_u32", numbers_payload(10));
+  ServeClient::Reply reply;
+  ASSERT_TRUE(client.wait(id, reply, 2'000'000us));
+  EXPECT_EQ(reply.error, anahy::kOk);
+  EXPECT_EQ(result_u32(reply), 55u);
+}
+
+TEST(ServeFrontend, RejuvenateUnreachableIsADefiniteOutcome) {
+  auto fabric = make_memory_fabric(2);
+  ServeClient client(*fabric[1], 0);  // nobody serving node 0
+  CallOptions copts;
+  copts.deadline = 150'000us;
+  copts.initial_backoff = 20'000us;
+  std::string report = "untouched";
+  EXPECT_EQ(client.rejuvenate(report, copts), anahy::kUnreachable);
+  EXPECT_EQ(report, "untouched");
+}
+
 TEST(ServeFrontend, StatsQueryBuffersInterleavedJobReplies) {
   auto fabric = make_memory_fabric(2);
   Registry reg;

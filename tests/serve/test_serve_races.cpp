@@ -178,6 +178,41 @@ TEST(ServeRaces, DestructionUnderFireResolvesAllHandles) {
     }
 }
 
+// Regression: shutdown() clearing the pending queues made a concurrent
+// drain()'s idle predicate true, but the doomed-jobs path never notified
+// idle_cv_ — a drain parked with active_ already empty hung forever. The
+// stable pending-but-not-active state is a deferred batch job (docs/
+// REJUV.md): a 1-byte budget keeps batch scored over, so the dispatcher
+// holds the job instead of dispatching it. Iterated because the buggy
+// interleaving needs drain to park before the dispatcher's deferral tick
+// notices draining_; under the fix every iteration completes promptly.
+TEST(ServeRaces, ShutdownWakesDrainParkedOnHeldWork) {
+  for (int iter = 0; iter < 20; ++iter) {
+    ServerOptions opts;
+    opts.runtime.num_vps = 1;
+    opts.rejuv_admission.budget.total_bytes = 1;  // batch always over budget
+    opts.rejuv_admission.max_defer_ns = 10'000'000'000;
+    JobServer server(std::move(opts));
+    // Refresh the cached admission verdicts so the batch submit below is
+    // deferred (the controller only scores at refresh points).
+    server.record_aging_sample();
+
+    JobSpec spec;
+    spec.priority = Priority::kBatch;
+    spec.body = [](void*) -> void* { return nullptr; };
+    JobHandle held = server.submit(std::move(spec));
+
+    std::thread drainer([&] { server.drain(); });
+    // Let drain park on idle_cv_ with the held job pending, nothing active.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    EXPECT_TRUE(server.shutdown(/*deadline_ns=*/2'000'000'000));
+    drainer.join();  // hung forever before the idle_cv_ wake in shutdown()
+
+    const int err = held.wait();
+    EXPECT_TRUE(err == kOk || err == kAborted) << err;
+  }
+}
+
 TEST(ServeRaces, HighPriorityOvertakesBatchUnderSaturation) {
   // One active slot + one VP: the pending queue is the contention point.
   // Fill it with batch work, then submit high; the dispatcher must pick

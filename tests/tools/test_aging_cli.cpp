@@ -167,4 +167,40 @@ TEST(AgingCli, GapFloorFlagForgivesEnvironmentalStalls) {
   EXPECT_EQ(bad.exit_code, 1) << bad.output;
 }
 
+TEST(AgingCli, BaselineDiffsTwoSeriesWithSlopeDeltas) {
+  // Leaky current vs clean baseline: the delta line carries the slope
+  // difference (here the full 200 bytes/job leak) and the exit code is
+  // still the *current* series' verdict — the baseline never gates.
+  const auto leaky = write_temp("aging_cli_leaky.series", leaky_series_text());
+  const auto clean = write_temp("aging_cli_clean.series", clean_series_text());
+
+  const auto r = run_aging("--baseline=" + clean + " " + leaky);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("ANAHY-A001"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("baseline: " + clean), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("delta: heap 200 bytes/job"), std::string::npos)
+      << r.output;
+
+  // Same series against itself: deltas vanish, clean exits 0.
+  const auto same = run_aging("--baseline=" + clean + " " + clean);
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  EXPECT_NE(same.output.find("delta: heap 0 bytes/job"), std::string::npos)
+      << same.output;
+}
+
+TEST(AgingCli, BaselineJsonCarriesBothAnalysesAndDeltaObject) {
+  const auto leaky = write_temp("aging_cli_leaky.series", leaky_series_text());
+  const auto clean = write_temp("aging_cli_clean.series", clean_series_text());
+  const auto r = run_aging("--json --baseline=" + clean + " " + leaky);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("\"current\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"baseline\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"delta\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"findings\": 1"), std::string::npos) << r.output;
+
+  const auto missing = run_aging("--baseline=/nonexistent.series " + leaky);
+  EXPECT_EQ(missing.exit_code, 1) << missing.output;
+}
+
 }  // namespace
