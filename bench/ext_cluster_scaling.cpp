@@ -1,106 +1,264 @@
-// Extension bench (paper future work): cluster scaling behaviour.
+// Benchmark: does the anahy::mesh actually scale, and does job stealing
+// pay for itself under skew? (docs/MESH.md)
 //
-// The paper's closing section promises a full cluster port where nodes
-// exchange both messages and tasks. This bench measures the cluster
-// prototype: node-count sweep on the in-memory fabric, the cost of
-// simulated network latency, and TCP loopback vs in-memory transport.
-// On a 1-core host node counts cannot yield real speedup; the observable
-// shapes are the migration counts and the latency sensitivity.
-#include "common/bench_common.hpp"
-#include "cluster/cluster_lib.hpp"
-#include "compress/compress.hpp"
+// Phase A — node sweep. One MeshRouter fronting 1, 2 and 4 mesh nodes on
+// the in-memory fabric; every node runs one VP. The job body *sleeps*
+// (default 1.5 ms) rather than burning cycles, so a single-core host
+// still exposes the mesh's concurrency: jobs/s is bounded by how many
+// nodes hold a sleeping body at once, not by the CPU. Submission is
+// windowed (keep W jobs in flight per node, submit-as-resolved) with
+// uniform shard keys. Acceptance: 2 nodes >= 1.6x and 4 nodes >= 2.8x
+// the 1-node jobs/s.
+//
+// Phase B — skewed load. Every job carries the SAME shard key, so
+// rendezvous hashing pins the whole burst to one node of three. With
+// stealing enabled the idle peers drain the victim's backlog
+// (kJobSteal/kJobMigrate); with it disabled the burst runs serially at
+// home. We submit the burst at once, poll done() to timestamp each
+// resolution, and compare batch-class p99 sojourn. Acceptance: stealing
+// beats no-stealing p99.
+//
+// Emits BENCH_cluster_scaling.json (override with --out=...); exits
+// non-zero if an acceptance gate fails.
+//
+// Flags: --jobs=N per sweep point (default 240)
+//        --window=W in-flight jobs per node (default 8)
+//        --body-us=U job body sleep (default 1500)
+//        --skew-jobs=N skewed burst size (default 48)
+//        --out=PATH
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil/cli.hpp"
+#include "benchutil/stats.hpp"
+#include "benchutil/timer.hpp"
+#include "cluster/mesh/mesh_node.hpp"
+#include "cluster/mesh/router.hpp"
+#include "cluster/transport.hpp"
 
 namespace {
 
-std::shared_ptr<cluster::Registry> gzip_registry() {
-  auto reg = std::make_shared<cluster::Registry>();
-  reg->add("gzip_chunk", [](std::span<const std::uint8_t> in) {
-    return compress::gzip_wrap(compress::deflate_compress(in),
-                               compress::crc32(in),
-                               static_cast<std::uint32_t>(in.size()));
-  });
-  return reg;
-}
+using namespace cluster;
+using namespace cluster::mesh;
+using Clock = std::chrono::steady_clock;
 
-struct RunOutcome {
-  double seconds = 0.0;
-  std::uint64_t migrated = 0;
+/// N mesh nodes (ranks 0..n-1) + one router (rank n) on a memory fabric.
+struct MeshRig {
+  std::vector<std::unique_ptr<Transport>> fabric;
+  std::vector<std::unique_ptr<Registry>> registries;
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+  std::unique_ptr<MeshRouter> router;
+
+  MeshRig(int n, int body_us, bool steal) {
+    fabric = make_memory_fabric(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < n; ++i) {
+      auto reg = std::make_unique<Registry>();
+      reg->add("spin", [body_us](std::span<const std::uint8_t> in) {
+        std::this_thread::sleep_for(std::chrono::microseconds(body_us));
+        return std::vector<std::uint8_t>(in.begin(), in.end());
+      });
+      MeshNodeOptions o;
+      o.self = static_cast<std::uint32_t>(i);
+      for (int p = 0; p < n; ++p)
+        if (p != i) o.peers.push_back(static_cast<std::uint32_t>(p));
+      o.routers = {static_cast<std::uint32_t>(n)};
+      o.server.runtime.num_vps = 1;
+      o.steal_enabled = steal;
+      // A thief should grab work whenever the victim has any backlog at
+      // all: the bodies sleep, so the wait-vs-migrate break-even of the
+      // default 20 ms budget would leave the idle peers idle.
+      o.steal_wait_budget_ns = 1'000'000;
+      o.steal_min_backlog = 2;
+      nodes.push_back(std::make_unique<MeshNode>(
+          *fabric[static_cast<std::size_t>(i)], *reg, o));
+      registries.push_back(std::move(reg));
+    }
+    MeshRouterOptions ro;
+    for (int i = 0; i < n; ++i)
+      ro.nodes.push_back(static_cast<std::uint32_t>(i));
+    ro.default_deadline = std::chrono::microseconds{30'000'000};
+    router = std::make_unique<MeshRouter>(
+        *fabric[static_cast<std::size_t>(n)], ro);
+  }
+
+  ~MeshRig() {
+    for (auto& nd : nodes) nd->stop();
+    router->stop();
+  }
 };
 
-RunOutcome run_cluster(const std::vector<std::uint8_t>& data, int nodes,
-                       int chunks, cluster::FabricKind fabric,
-                       std::chrono::microseconds latency) {
-  cluster::Cluster::Options opts;
-  opts.nodes = nodes;
-  opts.fabric = fabric;
-  opts.latency = latency;
-  opts.node.num_vps = 2;
-  cluster::Cluster cl(opts, gzip_registry());
-  for (int n = 1; n < nodes; ++n) cl.node(n).start();
+// ---------------------------------------------------------------- phase A
 
-  const auto parts = apps::split_chunks(data.size(), chunks);
-  benchutil::Timer timer;
-  std::vector<cluster::GlobalTaskId> ids;
-  for (const auto& c : parts) {
-    std::vector<std::uint8_t> payload(
-        data.begin() + static_cast<std::ptrdiff_t>(c.offset),
-        data.begin() + static_cast<std::ptrdiff_t>(c.offset + c.size));
-    ids.push_back(cl.node(0).fork("gzip_chunk", std::move(payload)));
+/// Windowed throughput: keep `window` jobs in flight, uniform keys.
+double sweep_jobs_per_sec(int n, int jobs, int window, int body_us) {
+  MeshRig rig(n, body_us, /*steal=*/true);
+  const std::vector<std::uint8_t> payload = {0xA4, 0xA1};
+
+  // Warm every node (first dispatch, pool setup), untimed.
+  for (int i = 0; i < 2 * n; ++i)
+    (void)rig.router->wait(rig.router->submit("spin", payload));
+
+  benchutil::Timer t;
+  std::deque<std::uint64_t> inflight;
+  int failures = 0;
+  for (int i = 0; i < jobs; ++i) {
+    inflight.push_back(rig.router->submit("spin", payload));
+    if (inflight.size() >= static_cast<std::size_t>(window)) {
+      if (rig.router->wait(inflight.front()).error != anahy::kOk) ++failures;
+      inflight.pop_front();
+    }
   }
-  for (const auto& id : ids) (void)cl.node(0).join(id);
-  RunOutcome out;
-  out.seconds = timer.elapsed_seconds();
-  for (int n = 1; n < nodes; ++n)
-    out.migrated += cl.node(n).stats().tasks_received;
-  return out;
+  while (!inflight.empty()) {
+    if (rig.router->wait(inflight.front()).error != anahy::kOk) ++failures;
+    inflight.pop_front();
+  }
+  const double secs = t.elapsed_seconds();
+  if (failures != 0) {
+    std::fprintf(stderr, "FATAL: %d of %d sweep jobs failed at %d nodes\n",
+                 failures, jobs, n);
+    std::exit(1);
+  }
+  return jobs / secs;
+}
+
+// ---------------------------------------------------------------- phase B
+
+/// Same-key batch burst on a 3-node mesh; returns p99 sojourn in ms.
+double skewed_p99_ms(bool steal, int jobs, int body_us) {
+  MeshRig rig(3, body_us, steal);
+  const std::vector<std::uint8_t> payload = {0x5C};
+  (void)rig.router->wait(rig.router->submit("spin", payload));  // warm
+
+  RouterSubmitOptions o;
+  o.key = 0xD15EA5ED;  // every job lands on the same rendezvous owner
+  o.priority = 2;      // anahy::Priority::kBatch
+  o.deadline = std::chrono::microseconds{30'000'000};
+
+  std::vector<std::uint64_t> ids;
+  std::vector<Clock::time_point> submitted;
+  std::vector<Clock::time_point> resolved(static_cast<std::size_t>(jobs));
+  ids.reserve(static_cast<std::size_t>(jobs));
+  submitted.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    ids.push_back(rig.router->submit("spin", payload, o));
+    submitted.push_back(Clock::now());
+  }
+
+  // Timestamp each resolution as it happens — wait() alone would
+  // serialize the observations behind the slowest earlier handle.
+  std::vector<bool> seen(static_cast<std::size_t>(jobs), false);
+  int remaining = jobs;
+  while (remaining > 0) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (!seen[i] && rig.router->done(ids[i])) {
+        resolved[i] = Clock::now();
+        seen[i] = true;
+        --remaining;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  benchutil::RunStats sojourn_ms;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rig.router->wait(ids[i]).error != anahy::kOk) {
+      std::fprintf(stderr, "FATAL: skewed job %zu failed (steal=%d)\n", i,
+                   steal ? 1 : 0);
+      std::exit(1);
+    }
+    sojourn_ms.add(
+        std::chrono::duration<double, std::milli>(resolved[i] - submitted[i])
+            .count());
+  }
+  return sojourn_ms.percentile(99.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const benchutil::Cli cli(argc, argv);
-  benchcommon::print_banner("Extension", "cluster prototype scaling", cli);
-  const auto data =
-      apps::make_binary_workload(static_cast<std::size_t>(cli.get_int("mib", 2)) << 20);
-  const int chunks = cli.get_int("chunks", 12);
+  const int jobs = cli.get_int("jobs", 240);
+  const int window_per_node = cli.get_int("window", 8);
+  const int body_us = cli.get_int("body-us", 1500);
+  const int skew_jobs = cli.get_int("skew-jobs", 48);
+  const std::string out = cli.get("out", "BENCH_cluster_scaling.json");
 
-  using namespace std::chrono_literals;
+  std::printf("ext_cluster_scaling: %d jobs, %d us sleep bodies, "
+              "window %d/node\n",
+              jobs, body_us, window_per_node);
 
-  benchutil::Table nodes_table({"nodes", "time (s)", "tasks migrated"});
-  for (const int nodes : {1, 2, 3, 4}) {
-    const auto r = run_cluster(data, nodes, chunks,
-                               cluster::FabricKind::kMemory, 0us);
-    nodes_table.add_row({std::to_string(nodes),
-                         benchutil::Table::num(r.seconds),
-                         std::to_string(r.migrated)});
+  const int sweep_nodes[] = {1, 2, 4};
+  double rates[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    const int n = sweep_nodes[i];
+    rates[i] = sweep_jobs_per_sec(n, jobs, window_per_node * n, body_us);
+    std::printf("phase A  %d node%s  %.0f jobs/s  (%.2fx)\n", n,
+                n == 1 ? " " : "s", rates[i], rates[i] / rates[0]);
   }
-  std::printf("node-count sweep (memory fabric):\n%s\n",
-              nodes_table.to_text().c_str());
+  const double speedup2 = rates[1] / rates[0];
+  const double speedup4 = rates[2] / rates[0];
+  const bool sweep_pass = speedup2 >= 1.6 && speedup4 >= 2.8;
 
-  benchutil::Table lat_table({"latency", "time (s)", "tasks migrated"});
-  for (const int us : {0, 100, 1000, 10000}) {
-    const auto r = run_cluster(data, 3, chunks, cluster::FabricKind::kMemory,
-                               std::chrono::microseconds(us));
-    lat_table.add_row({std::to_string(us) + "us",
-                       benchutil::Table::num(r.seconds),
-                       std::to_string(r.migrated)});
+  const double p99_off = skewed_p99_ms(/*steal=*/false, skew_jobs, body_us);
+  const double p99_on = skewed_p99_ms(/*steal=*/true, skew_jobs, body_us);
+  const bool skew_pass = p99_on < p99_off;
+  std::printf("phase B  skewed %d-job batch burst, p99 sojourn: "
+              "%.1f ms stealing, %.1f ms pinned home (%.2fx)\n",
+              skew_jobs, p99_on, p99_off, p99_off / p99_on);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
   }
-  std::printf("latency sweep (3 nodes):\n%s\n", lat_table.to_text().c_str());
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"cluster_scaling\",\n");
+  std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(f, "  \"body_us\": %d,\n", body_us);
+  std::fprintf(f, "  \"window_per_node\": %d,\n", window_per_node);
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (int i = 0; i < 3; ++i)
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"jobs_per_sec\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 sweep_nodes[i], rates[i], rates[i] / rates[0],
+                 i < 2 ? "," : "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"gates\": {\"two_node_min\": 1.6, \"two_node\": %.3f, "
+               "\"four_node_min\": 2.8, \"four_node\": %.3f, "
+               "\"pass\": %s},\n",
+               speedup2, speedup4, sweep_pass ? "true" : "false");
+  std::fprintf(f,
+               "  \"skewed\": {\"jobs\": %d, \"steal_on_p99_ms\": %.2f, "
+               "\"steal_off_p99_ms\": %.2f, \"improvement\": %.3f, "
+               "\"pass\": %s}\n",
+               skew_jobs, p99_on, p99_off, p99_off / p99_on,
+               skew_pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
 
-  benchutil::Table fab_table({"fabric", "time (s)", "tasks migrated"});
-  for (const auto kind :
-       {cluster::FabricKind::kMemory, cluster::FabricKind::kTcp}) {
-    const auto r = run_cluster(data, 2, chunks, kind, 0us);
-    fab_table.add_row(
-        {kind == cluster::FabricKind::kMemory ? "memory" : "tcp-loopback",
-         benchutil::Table::num(r.seconds), std::to_string(r.migrated)});
+  if (!sweep_pass) {
+    std::fprintf(stderr,
+                 "FAIL: scaling gates (2-node %.2fx < 1.6 or 4-node %.2fx "
+                 "< 2.8)\n",
+                 speedup2, speedup4);
+    return 1;
   }
-  std::printf("transport comparison (2 nodes):\n%s\n",
-              fab_table.to_text().c_str());
-
-  benchcommon::print_verdict(true,
-                             "cluster prototype ships tasks between nodes; "
-                             "latency shifts the steal break-even as the "
-                             "paper's future-work section anticipates");
+  if (!skew_pass) {
+    std::fprintf(stderr,
+                 "FAIL: stealing p99 %.2f ms not better than pinned "
+                 "%.2f ms\n",
+                 p99_on, p99_off);
+    return 1;
+  }
+  std::printf("PASS: mesh scaling and steal gates hold\n");
   return 0;
 }

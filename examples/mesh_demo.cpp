@@ -1,0 +1,235 @@
+// Example: a REAL multi-process anahy::mesh over TCP, with the network
+// misbehaving on purpose (docs/MESH.md).
+//
+// Run it with no arguments and it forks three worker processes, boots a
+// MeshRouter over them (coordinator rank 0, workers 1..3), and pushes a
+// paced job burst through the mesh while a seeded chaos schedule severs
+// and heals the router's link to random workers. The cuts close worker
+// start fences, force withdrawals and re-routes — and every job must
+// still resolve exactly once: each worker pipes its private execution
+// count back to the parent, and the demo fails unless the counts sum to
+// exactly the number of resolved jobs.
+//
+// Replay a run:  ./build/examples/mesh_demo --seed=12345
+//
+// The roles also run standalone across real machines:
+//
+//   ./build/examples/mesh_demo --role=node --host=10.0.0.1 --port=7808 &   # x3
+//   ./build/examples/mesh_demo --role=router --port=7808 --jobs=80
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anahy/fault/fault.hpp"
+#include "benchutil/cli.hpp"
+#include "cluster/mesh/mesh_node.hpp"
+#include "cluster/mesh/router.hpp"
+#include "cluster/transport.hpp"
+
+namespace {
+
+using namespace cluster;
+using namespace std::chrono_literals;
+
+constexpr int kWorkers = 3;
+
+volatile std::sig_atomic_t g_quit = 0;
+void on_term(int) { g_quit = 1; }
+
+// ------------------------------------------------------------------ node
+
+/// Joins the mesh, serves until SIGTERM, then reports how many job
+/// bodies actually ran here (to stdout, and to `count_fd` if >= 0 so a
+/// forking parent can audit the fleet-wide exactly-once sum).
+int run_node(const std::string& host, std::uint16_t port, int count_fd) {
+  std::signal(SIGTERM, &on_term);
+  auto transport = tcp_worker(host, port);
+  const auto self = static_cast<std::uint32_t>(transport->node_id());
+  std::printf("[node %u] joined mesh at %s:%u (pid %d)\n", self,
+              host.c_str(), port, ::getpid());
+  std::fflush(stdout);
+
+  std::atomic<std::uint64_t> executed{0};
+  Registry reg;
+  reg.add("work", [&executed](std::span<const std::uint8_t> in) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(2ms);
+    return std::vector<std::uint8_t>(in.begin(), in.end());
+  });
+
+  mesh::MeshNodeOptions o;
+  o.self = self;
+  for (std::uint32_t p = 1; p <= kWorkers; ++p)
+    if (p != self) o.peers.push_back(p);
+  o.routers = {0};
+  o.server.runtime.num_vps = 1;
+  // Thieves should help as soon as a victim has any backlog: the demo
+  // bodies sleep, so the default 20 ms wait-vs-migrate budget never trips.
+  o.steal_wait_budget_ns = 1'000'000;
+  o.steal_min_backlog = 2;
+  mesh::MeshNode node(*transport, reg, o);
+
+  while (g_quit == 0) std::this_thread::sleep_for(20ms);
+  node.stop();
+
+  const auto n = executed.load();
+  std::printf("[node %u] executed %llu job bodies\n", self,
+              static_cast<unsigned long long>(n));
+  std::fflush(stdout);  // the forked demo worker exits via _Exit
+  if (count_fd >= 0) {
+    char buf[32];
+    const int len = std::snprintf(buf, sizeof buf, "%llu\n",
+                                  static_cast<unsigned long long>(n));
+    (void)::write(count_fd, buf, static_cast<std::size_t>(len));
+    ::close(count_fd);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- router
+
+/// Boots the router over `kWorkers` TCP workers, runs the chaos burst,
+/// returns the number of jobs that resolved kOk (-1 on bootstrap error).
+int run_router(std::uint16_t port, int jobs, std::uint64_t seed) {
+  std::printf("[router] waiting for %d workers on port %u "
+              "(ANAHY_MESH_DEMO_SEED=%llu)...\n",
+              kWorkers, port, static_cast<unsigned long long>(seed));
+  anahy::fault::FaultyTransport endpoint(
+      tcp_coordinator(port, kWorkers + 1), anahy::fault::FaultProfile{});
+
+  mesh::MeshRouterOptions ro;
+  ro.nodes = {1, 2, 3};
+  ro.default_deadline = std::chrono::microseconds{10'000'000};
+  mesh::MeshRouter router(endpoint, ro);
+  std::printf("[router] mesh of %d nodes up, submitting %d jobs\n",
+              kWorkers, jobs);
+
+  // Seeded chaos: twice, cut the router's link to a random worker for
+  // 80-140 ms (the 50 ms start fence closes mid-cut: the victim starts
+  // withdrawing instead of risking a double execution), then heal and
+  // breathe. Worker<->worker links stay up, so gossip keeps flowing.
+  std::atomic<bool> burst_done{false};
+  std::thread chaos([&] {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> victim(1, kWorkers);
+    std::uniform_int_distribution<int> cut_ms(80, 140);
+    std::uniform_int_distribution<int> calm_ms(100, 150);
+    for (int round = 0; round < 2 && !burst_done.load(); ++round) {
+      const int v = victim(rng);
+      std::printf("[router] chaos: severing link to node %d\n", v);
+      endpoint.sever(v);
+      std::this_thread::sleep_for(std::chrono::milliseconds(cut_ms(rng)));
+      endpoint.heal(v);
+      std::printf("[router] chaos: healed link to node %d\n", v);
+      std::this_thread::sleep_for(std::chrono::milliseconds(calm_ms(rng)));
+    }
+  });
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    ids.push_back(router.submit(
+        "work", {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)}));
+    std::this_thread::sleep_for(3ms);
+  }
+  int ok = 0;
+  for (const auto id : ids)
+    if (router.wait(id).error == anahy::kOk) ++ok;
+  burst_done.store(true);
+  chaos.join();
+
+  const auto c = router.counters();
+  std::printf("[router] %d/%d jobs ok; %llu withdrawals, %llu re-routes, "
+              "%llu reaps, %llu heals, %llu retries\n",
+              ok, jobs, static_cast<unsigned long long>(c.withdrawals),
+              static_cast<unsigned long long>(c.reroutes),
+              static_cast<unsigned long long>(c.reaps),
+              static_cast<unsigned long long>(c.heals),
+              static_cast<unsigned long long>(c.retries));
+  router.stop();
+  return ok;
+}
+
+// ------------------------------------------------------------------ demo
+
+/// Forks the workers, runs the router, audits the exactly-once sum.
+int run_demo(std::uint16_t port, int jobs, std::uint64_t seed) {
+  int pipes[kWorkers][2];
+  pid_t pids[kWorkers];
+  for (int i = 0; i < kWorkers; ++i) {
+    if (::pipe(pipes[i]) != 0) {
+      std::perror("pipe");
+      return 2;
+    }
+    pids[i] = ::fork();
+    if (pids[i] < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    if (pids[i] == 0) {  // child: become a worker, report via the pipe
+      for (int j = 0; j <= i; ++j) ::close(pipes[j][0]);
+      for (int j = 0; j < i; ++j) ::close(pipes[j][1]);
+      std::_Exit(run_node("127.0.0.1", port, pipes[i][1]));
+    }
+    ::close(pipes[i][1]);
+  }
+
+  const int ok = run_router(port, jobs, seed);
+
+  // Burst resolved: tell the workers to wind down and collect their
+  // private execution tallies.
+  for (int i = 0; i < kWorkers; ++i) ::kill(pids[i], SIGTERM);
+  unsigned long long total = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    char buf[32];
+    ssize_t len = 0, r;
+    while ((r = ::read(pipes[i][0], buf + len,
+                       sizeof buf - 1 - static_cast<std::size_t>(len))) > 0)
+      len += r;
+    buf[len] = '\0';
+    ::close(pipes[i][0]);
+    total += std::strtoull(buf, nullptr, 10);
+    int status = 0;
+    ::waitpid(pids[i], &status, 0);
+  }
+
+  const bool exact = static_cast<unsigned long long>(ok) == total;
+  std::printf("[demo] %d jobs resolved ok, %llu bodies executed across the "
+              "fleet -> exactly-once %s (seed %llu)\n",
+              ok, total, exact ? "HOLDS" : "VIOLATED",
+              static_cast<unsigned long long>(seed));
+  return (ok == jobs && exact) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Cli cli(argc, argv);
+  const std::string role = cli.get("role", "demo");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7808));
+  const int jobs = cli.get_int("jobs", 80);
+  const auto seed = [&]() -> std::uint64_t {
+    const int s = cli.get_int("seed", 0);
+    return s != 0 ? static_cast<std::uint64_t>(s) : std::random_device{}();
+  }();
+
+  if (role == "node") return run_node(cli.get("host", "127.0.0.1"), port, -1);
+  if (role == "router") {
+    const int ok = run_router(port, jobs, seed);
+    return ok == jobs ? 0 : 1;
+  }
+  if (role == "demo") return run_demo(port, jobs, seed);
+  std::fprintf(stderr, "--role must be demo, node or router\n");
+  return 2;
+}

@@ -10,6 +10,9 @@
 #   scripts/check.sh --no-san     # skip the sanitizer rebuilds (slow part)
 #   scripts/check.sh --rejuv      # just the rejuvenation stage (soak smoke
 #                                 # + JSON + tidy over src/anahy/rejuv)
+#   scripts/check.sh --mesh       # just the mesh stage (multiprocess TCP
+#                                 # demo with seeded sever/heal + scaling
+#                                 # bench JSON)
 #
 # Every build goes into its own directory (build/, build-asan/, ...) so the
 # tier-1 build is never clobbered by a sanitizer reconfigure.
@@ -21,12 +24,14 @@ JOBS=${JOBS:-$(nproc)}
 tier1_only=0
 run_san=1
 rejuv_only=0
+mesh_only=0
 for arg in "$@"; do
   case "$arg" in
     --tier1) tier1_only=1 ;;
     --no-san) run_san=0 ;;
     --rejuv) rejuv_only=1 ;;
-    *) echo "usage: scripts/check.sh [--tier1] [--no-san] [--rejuv]" >&2
+    --mesh) mesh_only=1 ;;
+    *) echo "usage: scripts/check.sh [--tier1] [--no-san] [--rejuv] [--mesh]" >&2
        exit 2 ;;
   esac
 done
@@ -55,6 +60,28 @@ if [ "$rejuv_only" = 1 ]; then
   cmake --build build -j "$JOBS" --target rejuv_soak
   rejuv_stage
   echo; echo "check.sh: rejuv OK"
+  exit 0
+fi
+
+# The mesh stage (docs/MESH.md): three REAL worker processes over TCP
+# with a seeded sever/heal schedule on the router's links — the demo
+# audits fleet-wide exactly-once (per-worker execution counts must sum
+# to the resolved jobs) and exits non-zero otherwise; then the scaling
+# bench's node-sweep and steal gates, whose JSON must validate.
+mesh_stage() {
+  step "mesh: multiprocess TCP demo — seeded chaos, exactly-once audit"
+  ./build/examples/mesh_demo --seed=20030623 --port=7841
+  step "mesh: scaling bench — node sweep + steal gates, JSON must validate"
+  ./build/bench/ext_cluster_scaling --jobs=160 \
+      --out=BENCH_cluster_scaling.json > /dev/null
+  python3 -m json.tool BENCH_cluster_scaling.json > /dev/null
+}
+
+if [ "$mesh_only" = 1 ]; then
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target mesh_demo ext_cluster_scaling
+  mesh_stage
+  echo; echo "check.sh: mesh OK"
   exit 0
 fi
 
@@ -107,6 +134,8 @@ step "wire bench smoke: epoll transport end-to-end, JSON must validate"
     --out=check_wire.json > /dev/null
 python3 -m json.tool check_wire.json > /dev/null
 rm -f check_wire.json
+
+mesh_stage
 
 rejuv_stage
 

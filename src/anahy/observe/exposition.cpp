@@ -61,6 +61,16 @@ std::vector<Anomaly> detect_anomalies(const Snapshot& s) {
   return out;
 }
 
+std::string render_counters(const std::vector<ExtraCounter>& counters) {
+  std::ostringstream os;
+  for (const ExtraCounter& c : counters) {
+    os << c.name;
+    if (!c.labels.empty()) os << "{" << c.labels << "}";
+    os << " " << c.value << "\n";
+  }
+  return os.str();
+}
+
 std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra,
                         const std::vector<ExtraCounter>& counters) {
   std::ostringstream os;
@@ -93,11 +103,7 @@ std::string render_text(const Snapshot& s, const std::vector<Anomaly>& extra,
        << "\n";
   }
 
-  for (const ExtraCounter& c : counters) {
-    os << c.name;
-    if (!c.labels.empty()) os << "{" << c.labels << "}";
-    os << " " << c.value << "\n";
-  }
+  os << render_counters(counters);
 
   std::vector<Anomaly> anomalies = detect_anomalies(s);
   anomalies.insert(anomalies.end(), extra.begin(), extra.end());

@@ -51,6 +51,14 @@ struct ExtraCounter {
 /// Applies the P001/P002 thresholds to `s`. P003 lives in the serve layer.
 [[nodiscard]] std::vector<Anomaly> detect_anomalies(const Snapshot& s);
 
+/// Renders bare ExtraCounter rows in the exposition dialect — the exact
+/// formatting render_text uses for its `counters` argument. Layers that
+/// compose a document out of several sources (a serve front-end appending
+/// its heartbeat/dedup rows to JobServer::observe_text, a mesh node adding
+/// anahy_mesh_* rows) reuse this instead of hand-formatting lines.
+[[nodiscard]] std::string render_counters(
+    const std::vector<ExtraCounter>& counters);
+
 /// Prometheus-style exposition of `s`, followed by any `counters`
 /// contributed by higher layers, then one `anahy_observe_anomaly{code="..."}
 /// 1` line per detected anomaly plus any `extra` anomalies supplied by a

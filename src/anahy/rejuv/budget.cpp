@@ -1,12 +1,69 @@
 #include "anahy/rejuv/budget.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace anahy::rejuv {
+namespace {
+
+/// First line of a small proc/sys file, "" when unreadable.
+std::string read_line(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "re");
+  if (f == nullptr) return {};
+  char buf[256];
+  std::string line;
+  if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+  }
+  std::fclose(f);
+  return line;
+}
+
+}  // namespace
+
+std::uint64_t MemoryBudget::auto_total_bytes(
+    const std::string& cgroup_max_path, const std::string& statm_path) {
+  // cgroup v2: memory.max holds the hard limit in bytes, or the literal
+  // "max" when the group is unlimited.
+  const std::string cg = read_line(
+      cgroup_max_path.empty() ? "/sys/fs/cgroup/memory.max" : cgroup_max_path);
+  if (!cg.empty() && cg != "max") {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cg.c_str(), &end, 10);
+    if (end != cg.c_str() && v > 0) return static_cast<std::uint64_t>(v);
+  }
+  // No cgroup limit: anchor on current RSS (/proc/self/statm field 2,
+  // pages). 8x leaves a leaking server real headroom before admission
+  // bites while still tripping long before the host swaps.
+  const std::string sm =
+      read_line(statm_path.empty() ? "/proc/self/statm" : statm_path);
+  if (!sm.empty()) {
+    unsigned long long size_pages = 0, rss_pages = 0;
+    if (std::sscanf(sm.c_str(), "%llu %llu", &size_pages, &rss_pages) == 2 &&
+        rss_pages > 0) {
+      const long page = sysconf(_SC_PAGESIZE);
+      const std::uint64_t page_bytes = page > 0 ? static_cast<std::uint64_t>(page) : 4096;
+      return 8 * rss_pages * page_bytes;
+    }
+  }
+  return 0;  // nothing to size from: budget disabled
+}
 
 MemoryBudget::MemoryBudget(Options opts) : opts_(opts) {
   for (double& s : opts_.class_share) s = std::clamp(s, 0.0, 1.0);
   opts_.ewma_alpha = std::clamp(opts_.ewma_alpha, 0.0, 1.0);
+  opts_.auto_fraction = std::clamp(opts_.auto_fraction, 0.0, 1.0);
+  if (opts_.total_bytes == kAuto) {
+    const std::uint64_t env =
+        auto_total_bytes(opts_.cgroup_max_path, opts_.statm_path);
+    opts_.total_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(env) * opts_.auto_fraction);
+  }
 }
 
 void MemoryBudget::note_job_peak(Priority cls, std::uint64_t peak_bytes) {

@@ -15,11 +15,18 @@
 // pool peaks (ServerStats pool_peak_bytes history) — a class whose jobs
 // fork wide DAGs is shed earlier than one submitting tiny jobs, at the
 // same live occupancy.
+//
+// total_bytes == kAuto sizes the budget from the deployment environment at
+// construction: cgroup v2 memory.max when the process runs in a limited
+// cgroup, falling back to a multiple of current RSS (/proc/self/statm),
+// falling back to disabled. A mesh operator thus gets a per-node budget
+// that tracks the container limit with zero configuration.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
 
 #include "anahy/types.hpp"
 
@@ -29,7 +36,8 @@ class MemoryBudget {
  public:
   struct Options {
     /// Total task-pool bytes the server is budgeted for. 0 disables the
-    /// budget entirely (every score is 0, nothing is ever over).
+    /// budget entirely (every score is 0, nothing is ever over). kAuto
+    /// resolves from the environment at construction (see auto_total_bytes).
     std::uint64_t total_bytes = 0;
 
     /// Fraction of `total_bytes` each priority class may fill before its
@@ -45,7 +53,28 @@ class MemoryBudget {
     /// Prior for a class that has not completed a job yet (a handful of
     /// pool blocks — one root task plus a small DAG).
     std::uint64_t default_job_bytes = 4 * 1024;
+
+    /// Fraction of the resolved container limit handed to the task pool
+    /// when total_bytes == kAuto (the rest is code, stacks, transport
+    /// buffers and the allocator's own slack).
+    double auto_fraction = 0.5;
+
+    /// Injectable file paths for auto-sizing, so tests can point the
+    /// resolver at fake cgroup/statm files. Empty = the real ones.
+    std::string cgroup_max_path;  ///< default /sys/fs/cgroup/memory.max
+    std::string statm_path;       ///< default /proc/self/statm
   };
+
+  /// Sentinel for Options::total_bytes: resolve the budget from the
+  /// environment at construction.
+  static constexpr std::uint64_t kAuto = ~std::uint64_t{0};
+
+  /// The environment-derived total `kAuto` resolves to, before
+  /// auto_fraction is applied: cgroup v2 memory.max if present and not
+  /// "max", else 8x current RSS, else 0 (disabled). Exposed for tests and
+  /// the anahy-aging CLI.
+  [[nodiscard]] static std::uint64_t auto_total_bytes(
+      const std::string& cgroup_max_path, const std::string& statm_path);
 
   MemoryBudget() : MemoryBudget(Options{}) {}
   explicit MemoryBudget(Options opts);

@@ -95,6 +95,12 @@ struct JobSpec {
   /// ServerOptions::check (rejected with kInvalid otherwise).
   bool check = false;
   std::string label;  ///< trace/debug label of the root task
+  /// The job can leave this server while still queued: its body is
+  /// rebuildable elsewhere from (function name, payload) — true only for
+  /// wire-submitted jobs, set by the serve front-end. An exported job
+  /// resolves locally with kMigrated (the body never ran here) and the
+  /// mesh layer re-ships it (JobServer::export_queued, docs/MESH.md).
+  bool exportable = false;
   /// Invoked exactly once when the job resolves, from the completing
   /// thread (a VP, or the shutting-down thread for aborted jobs). Must not
   /// block on the server.
@@ -160,6 +166,7 @@ class Job {
   [[nodiscard]] void* input() const { return spec_.input; }
   [[nodiscard]] const std::string& label() const { return spec_.label; }
   [[nodiscard]] bool checked() const { return spec_.check; }
+  [[nodiscard]] bool exportable() const { return spec_.exportable; }
 
   /// Rejuvenation deferral (docs/REJUV.md): a batch job admitted while the
   /// memory budget was over is *held* in the pending queue — the

@@ -239,6 +239,7 @@ void JobServer::account_locked(const JobResult& r, Priority cls) {
     case kOk: ++c.completed; break;
     case kTimedOut: ++c.timed_out; break;
     case kFaulted: ++c.faulted; break;
+    case kMigrated: ++c.migrated; break;
     default: ++c.aborted; break;
   }
   c.queue_wait_ns_sum += r.stats.queue_wait_ns;
@@ -253,6 +254,41 @@ void JobServer::account_locked(const JobResult& r, Priority cls) {
   // (EWMA, leaf lock — safe under mu_).
   if (admission_ != nullptr)
     admission_->note_job_peak(cls, r.stats.pool_peak_bytes);
+}
+
+std::size_t JobServer::export_queued(
+    Priority cls, std::size_t max,
+    const std::function<bool(const Job&)>& eligible) {
+  std::vector<JobPtr> out;
+  {
+    std::lock_guard lock(mu_);
+    if (draining_ || max == 0) return 0;
+    auto& q = pending_[static_cast<std::size_t>(cls)];
+    // Newest-first: the back of the FIFO is farthest from local dispatch,
+    // so migrating it takes the work with the longest expected local wait.
+    for (std::size_t i = q.size(); i-- > 0 && out.size() < max;) {
+      const JobPtr& j = q[i];
+      if (!j->exportable() || j->context()->cancel_requested()) continue;
+      if (eligible && !eligible(*j)) continue;
+      out.push_back(j);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    pending_count_ -= out.size();
+  }
+  if (out.empty()) return 0;
+  // Same resolve -> account -> publish order as run_root: the on_complete
+  // that re-ships the job must find it already counted as migrated.
+  for (const JobPtr& j : out) {
+    const bool first = j->resolve(kMigrated, nullptr, {});
+    {
+      std::lock_guard lock(mu_);
+      account_locked(j->result(), j->priority());
+    }
+    if (first) j->publish();
+  }
+  admit_cv_.notify_all();   // queue space freed
+  idle_cv_.notify_all();    // a racing drain()'s predicate may now hold
+  return out.size();
 }
 
 void JobServer::drain() {
@@ -338,7 +374,8 @@ void JobServer::record_aging_sample() {
   {
     std::lock_guard lock(mu_);
     for (const ServerStats::ClassStats& c : agg_.by_class) {
-      cum.jobs_resolved += c.completed + c.timed_out + c.aborted + c.faulted;
+      cum.jobs_resolved +=
+          c.completed + c.timed_out + c.aborted + c.faulted + c.migrated;
       cum.queue_wait_ns_sum += c.queue_wait_ns_sum;
       cum.exec_ns_sum += c.exec_ns_sum;
     }
@@ -449,6 +486,23 @@ std::string JobServer::observe_text() const {
   pool.push_back({"anahy_rejuv_reaped_tasks_total", "", rc.reaped_tasks});
   pool.push_back(
       {"anahy_rejuv_reclaimed_bytes_total", "", rc.reclaimed_bytes});
+  // Per-class admission verdicts (docs/MESH.md): a mesh router parses
+  // these rows out of the kStatsReply snapshot and shrinks the routing
+  // weight of a node whose budget says a class is over — "budget verdicts
+  // feed routing weight". The score is scaled to milli-units so the row
+  // stays an integer counter like every other exposition line.
+  if (admission_ != nullptr) {
+    for (std::size_t c = 0; c < kNumPriorities; ++c) {
+      const auto cls = static_cast<Priority>(c);
+      pool.push_back({"anahy_admission_over",
+                      std::string("class=\"") + to_string(cls) + "\"",
+                      admission_->over(cls) ? 1u : 0u});
+      pool.push_back({"anahy_admission_score_milli",
+                      std::string("class=\"") + to_string(cls) + "\"",
+                      static_cast<std::uint64_t>(
+                          std::max(0.0, admission_->last_score(cls)) * 1000.0)});
+    }
+  }
   return observe::render_text(snap, extra, pool) + metrics_text();
 }
 

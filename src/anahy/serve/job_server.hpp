@@ -130,6 +130,18 @@ class JobServer {
   /// the work", not "discard it".
   void drain();
 
+  /// Mesh export (docs/MESH.md): removes up to `max` queued — never
+  /// dispatched — exportable jobs of class `cls` from the pending queue,
+  /// newest-first, and resolves each with kMigrated (on_complete fires;
+  /// the serve front-end's completion hook re-ships the job from its
+  /// captured function/payload). Jobs whose cancellation was requested,
+  /// non-exportable jobs (local closures) and everything while draining
+  /// are never exported, so started bodies can never run twice. `eligible`
+  /// (optional) further filters, e.g. by queue age. Returns the count.
+  std::size_t export_queued(
+      Priority cls, std::size_t max,
+      const std::function<bool(const Job&)>& eligible = {});
+
   /// Drain with a deadline: stops admitting, aborts still-queued jobs
   /// (kAborted), cancels running jobs' descendants, and waits up to
   /// `deadline_ns` (relative; negative = unbounded) for active jobs to

@@ -13,7 +13,7 @@ std::uint64_t ServerStats::submitted_total() const {
 std::uint64_t ServerStats::resolved_total() const {
   std::uint64_t n = 0;
   for (const ClassStats& c : by_class)
-    n += c.completed + c.timed_out + c.aborted + c.faulted;
+    n += c.completed + c.timed_out + c.aborted + c.faulted + c.migrated;
   return n;
 }
 
@@ -40,6 +40,8 @@ std::string ServerStats::to_metrics_text() const {
             [](const ClassStats& c) { return c.aborted; });
   per_class("anahy_serve_jobs_faulted_total",
             [](const ClassStats& c) { return c.faulted; });
+  per_class("anahy_serve_jobs_migrated_total",
+            [](const ClassStats& c) { return c.migrated; });
   per_class("anahy_serve_queue_wait_ns_sum",
             [](const ClassStats& c) { return c.queue_wait_ns_sum; });
   per_class("anahy_serve_queue_wait_ns_max",

@@ -20,6 +20,7 @@ struct ServerStats {
     std::uint64_t timed_out = 0;  ///< resolved kTimedOut
     std::uint64_t aborted = 0;    ///< resolved kAborted (cancel/shutdown)
     std::uint64_t faulted = 0;    ///< resolved kFaulted (body threw)
+    std::uint64_t migrated = 0;   ///< resolved kMigrated (exported to a peer)
     std::int64_t queue_wait_ns_sum = 0;
     std::int64_t queue_wait_ns_max = 0;
     std::int64_t exec_ns_sum = 0;

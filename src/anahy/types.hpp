@@ -53,6 +53,7 @@ enum Error : int {
   kAborted = 125,     ///< ECANCELED: job aborted by shutdown/cancel
   kFaulted = 5,       ///< EIO: a job body threw; message in JobResult
   kUnreachable = 113,  ///< EHOSTUNREACH: remote call retries exhausted
+  kMigrated = 18,  ///< EXDEV: queued job exported to another mesh node
 };
 
 /// Priority class of a task (and of the serve-layer job that forked it).

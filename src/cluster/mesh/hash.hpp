@@ -1,0 +1,92 @@
+// Weighted rendezvous hashing for the mesh router (docs/MESH.md).
+//
+// Rendezvous (highest-random-weight) hashing gives every (key, node) pair
+// an independent pseudo-random draw and routes the key to the node with
+// the best draw. Unlike modulo sharding, removing a node only moves the
+// keys that hashed *to* that node — everything else stays put, which is
+// exactly the stability failover needs: when the router reaps a dead node
+// the surviving assignment is the same one a fresh router would compute.
+//
+// Weights use the -ln(u)/w trick (a.k.a. weighted rendezvous / Hash-Rendezvous
+// with exponential draws): u ~ U(0,1) from splitmix64(key ^ node-salt),
+// score = -ln(u) / w. Exponential draws scaled by 1/w make the probability
+// of node i winning exactly w_i / sum(w), and the scores stay comparable
+// as health-derived weights move between polls.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cluster::mesh {
+
+/// splitmix64 finalizer — the same mixer the serve client uses for retry
+/// jitter. Good avalanche, trivially seedable, deterministic everywhere.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// One routing candidate: a transport rank plus its health-derived weight.
+struct WeightedNode {
+  std::uint32_t node = 0;
+  double weight = 1.0;
+};
+
+/// The rendezvous score of `node` for `key` under `weight` — LOWER is
+/// better (it is an exponential arrival time; the first arrival wins).
+/// weight <= 0 is treated as "effectively never wins" without dividing
+/// by zero.
+[[nodiscard]] inline double rendezvous_score(std::uint64_t key,
+                                             std::uint32_t node,
+                                             double weight) {
+  const std::uint64_t h =
+      splitmix64(key ^ splitmix64(0xA4A1u ^ static_cast<std::uint64_t>(node)));
+  // Map to (0,1): keep 53 mantissa bits, nudge away from 0 so log() is
+  // finite.
+  const double u =
+      (static_cast<double>(h >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+  const double w = weight > 1e-9 ? weight : 1e-9;
+  return -std::log(u) / w;
+}
+
+/// Index into `nodes` of the rendezvous winner for `key`. Requires a
+/// non-empty candidate list (the router never routes with zero live
+/// nodes — it queues or resolves kUnreachable instead).
+[[nodiscard]] inline std::size_t rendezvous_pick(
+    std::uint64_t key, const std::vector<WeightedNode>& nodes) {
+  std::size_t best = 0;
+  double best_score = rendezvous_score(key, nodes[0].node, nodes[0].weight);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const double s = rendezvous_score(key, nodes[i].node, nodes[i].weight);
+    if (s < best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Indices of `nodes` ordered best-first for `key`. The router re-routes
+/// a reaped node's keys to the *next* name on this list; a stealing node
+/// probes victims in this order (its "locality" preference — stable per
+/// thief, so repeated probes warm the same victim's dedup/replica state).
+[[nodiscard]] inline std::vector<std::size_t> rendezvous_rank(
+    std::uint64_t key, const std::vector<WeightedNode>& nodes) {
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    scored.emplace_back(rendezvous_score(key, nodes[i].node, nodes[i].weight),
+                        i);
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::size_t> out;
+  out.reserve(scored.size());
+  for (const auto& [s, i] : scored) out.push_back(i);
+  return out;
+}
+
+}  // namespace cluster::mesh

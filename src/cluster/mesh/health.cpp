@@ -1,0 +1,100 @@
+#include "cluster/mesh/health.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cluster::mesh {
+namespace {
+
+/// Class index for a `class="..."` label at `labels`, or -1.
+int class_index(const std::string& labels) {
+  if (labels.find("class=\"high\"") != std::string::npos) return 0;
+  if (labels.find("class=\"normal\"") != std::string::npos) return 1;
+  if (labels.find("class=\"batch\"") != std::string::npos) return 2;
+  return -1;
+}
+
+/// Splits one exposition line into (name, labels, value-text). Returns
+/// false for comments and anything that does not look like a sample.
+bool split_line(const std::string& line, std::string& name,
+                std::string& labels, std::string& value) {
+  if (line.empty() || line[0] == '#') return false;
+  const std::size_t space = line.rfind(' ');
+  if (space == std::string::npos || space + 1 >= line.size()) return false;
+  value = line.substr(space + 1);
+  std::string head = line.substr(0, space);
+  const std::size_t brace = head.find('{');
+  if (brace == std::string::npos) {
+    name = std::move(head);
+    labels.clear();
+  } else {
+    name = head.substr(0, brace);
+    labels = head.substr(brace);  // keep braces; class_index searches inside
+  }
+  return true;
+}
+
+}  // namespace
+
+NodeHealth parse_health(const std::string& exposition) {
+  NodeHealth h;
+  std::size_t pos = 0;
+  std::string name, labels, value;
+  while (pos < exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!split_line(line, name, labels, value)) continue;
+    if (name == "anahy_observe_idle_fraction") {
+      h.idle_fraction = std::strtod(value.c_str(), nullptr);
+      h.parsed = true;
+      continue;
+    }
+    if (name == "anahy_frontend_inflight_entries") {
+      h.inflight = std::strtoull(value.c_str(), nullptr, 10);
+      h.parsed = true;
+      continue;
+    }
+    const int cls = class_index(labels);
+    if (cls < 0) continue;
+    const std::uint64_t v = std::strtoull(value.c_str(), nullptr, 10);
+    if (name == "anahy_observe_ready_tasks") {
+      h.ready[static_cast<std::size_t>(cls)] = v;
+      h.parsed = true;
+    } else if (name == "anahy_serve_jobs_pending_by_class") {
+      h.pending[static_cast<std::size_t>(cls)] = v;
+      h.parsed = true;
+    } else if (name == "anahy_admission_over") {
+      h.admission_over[static_cast<std::size_t>(cls)] = v != 0;
+      h.parsed = true;
+    } else if (name == "anahy_admission_score_milli") {
+      h.admission_score_milli[static_cast<std::size_t>(cls)] = v;
+      h.parsed = true;
+    }
+  }
+  return h;
+}
+
+double routing_weight(const NodeHealth& h, anahy::Priority cls) {
+  if (!h.parsed) return 1.0;  // no verdicts yet: route uniformly
+  const auto c = static_cast<std::size_t>(cls);
+  // Backlog term: each queued job of the class (ready + admitted-pending)
+  // halves the appetite at depth 8; wire inflight counts at quarter
+  // strength (it includes jobs mid-execution, not only waiting ones).
+  const double backlog = static_cast<double>(h.ready[c] + h.pending[c]) +
+                         0.25 * static_cast<double>(h.inflight);
+  double w = 8.0 / (8.0 + backlog);
+  // Idle term: a node that still parks VPs has headroom; a saturated one
+  // does not. Never below half weight on this term alone — idle fraction
+  // lags reality by one stats poll.
+  w *= 0.5 + 0.5 * (h.idle_fraction < 0.0   ? 0.0
+                    : h.idle_fraction > 1.0 ? 1.0
+                                            : h.idle_fraction);
+  // MemoryBudget verdict (docs/REJUV.md): an over-budget class sheds new
+  // keys hard — rejuvenation needs the inflow to drop to reclaim.
+  if (h.admission_over[c]) w *= 0.25;
+  return w < kMinRoutingWeight ? kMinRoutingWeight : w;
+}
+
+}  // namespace cluster::mesh

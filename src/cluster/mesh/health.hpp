@@ -1,0 +1,56 @@
+// Node health parsed from kStatsReply exposition text (docs/MESH.md).
+//
+// The mesh router learns about its nodes the same way an operator does:
+// it polls kStatsQuery and reads the Prometheus-style text the serve
+// front-end already exposes. No second telemetry protocol — if a number
+// matters for routing it must be on the exposition page, which keeps the
+// routing inputs debuggable with `curl`-level tooling.
+//
+// parse_health() extracts the rows routing cares about:
+//
+//   anahy_observe_ready_tasks{class="..."}   ready-queue depth per class
+//   anahy_observe_idle_fraction              fleet idle fraction
+//   anahy_serve_jobs_pending_by_class{...}   admitted-not-dispatched gauge
+//   anahy_admission_over{class="..."}        MemoryBudget verdict (rejuv)
+//   anahy_admission_score_milli{class="..."} admission pressure score
+//   anahy_frontend_inflight_entries          wire jobs awaiting replies
+//
+// routing_weight() folds one node's health into a single rendezvous
+// weight for a class: deep backlogs and over-budget verdicts shed new
+// keys toward healthier peers without ever zeroing a live node out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "anahy/types.hpp"
+
+namespace cluster::mesh {
+
+/// One node's routing-relevant state, as of its latest kStatsReply.
+struct NodeHealth {
+  bool parsed = false;  ///< false until a reply has been parsed
+  std::array<std::uint64_t, anahy::kNumPriorities> ready{};
+  std::array<std::uint64_t, anahy::kNumPriorities> pending{};
+  std::array<bool, anahy::kNumPriorities> admission_over{};
+  std::array<std::uint64_t, anahy::kNumPriorities> admission_score_milli{};
+  double idle_fraction = 0.0;
+  std::uint64_t inflight = 0;
+};
+
+/// Parses `exposition` (the text of a kStatsReply) into a NodeHealth.
+/// Unknown rows are ignored; missing rows leave their fields at the
+/// defaults above, so the parser keeps working as layers add counters.
+[[nodiscard]] NodeHealth parse_health(const std::string& exposition);
+
+/// Rendezvous weight of a node for class `cls` given its health. Always
+/// in [kMinRoutingWeight, 1.0]: a struggling node gets fewer *new* keys,
+/// never zero — only the router's reaper removes a node from rotation.
+[[nodiscard]] double routing_weight(const NodeHealth& h, anahy::Priority cls);
+
+/// Floor for routing_weight — keeps every live node reachable so health
+/// misparses cannot blackhole a shard.
+inline constexpr double kMinRoutingWeight = 0.05;
+
+}  // namespace cluster::mesh

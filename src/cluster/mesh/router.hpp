@@ -1,0 +1,218 @@
+// MeshRouter: the client-facing shard router of an anahy mesh
+// (docs/MESH.md).
+//
+// One router fronts N mesh nodes. Every submit is assigned a shard key;
+// weighted rendezvous hashing over the live nodes — weights derived from
+// each node's latest kStatsReply health snapshot — picks the executor.
+// The router keeps a pending table of everything in flight and is the
+// failure authority of the mesh:
+//
+//  * Liveness. Health polls (kStatsQuery) every `health_interval` double
+//    as the traffic that keeps each node's start fence open. A node
+//    silent past `reap_after` is reaped: its UNSTARTED keys re-route to
+//    the next rendezvous choice, its started keys keep waiting (the
+//    victim's done-cache or the gossip replica answers after heal, or
+//    the per-call deadline resolves them kUnreachable).
+//
+//  * Start-marks. Nodes send kJobStarted immediately before running a
+//    body; the router never re-routes a marked key to another node —
+//    that is the exactly-once half the fence cannot give alone.
+//
+//  * Withdrawals. A kJobDone flagged kJobDoneWithdrawn means the node
+//    refused the start and sealed the key locally; the router excludes
+//    that node for the key and re-routes immediately.
+//
+// The reap window must dominate the node fence: reap_after > fence so a
+// node always stops *starting* keys before the router starts *re-routing*
+// them, with margin for one body execution plus gossip propagation (the
+// chaos suite pins this ordering).
+//
+// Threading: submit/wait/rejuvenate/stats_text may be called from any
+// thread; one internal pump thread owns the transport receive side.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/mesh/health.hpp"
+#include "cluster/message.hpp"
+#include "cluster/serve_frontend.hpp"
+#include "cluster/transport.hpp"
+
+namespace cluster::mesh {
+
+struct MeshRouterOptions {
+  /// Transport ranks of the mesh nodes this router shards over.
+  std::vector<std::uint32_t> nodes;
+
+  /// kStatsQuery cadence per node. This is also the traffic that keeps
+  /// each node's start fence open — it must be well under the node's
+  /// fence_us.
+  std::chrono::microseconds health_interval{5'000};
+
+  /// Node silence before the router reaps it and re-routes its unstarted
+  /// keys. Must exceed the node fence by at least one job execution plus
+  /// a gossip hop (see file comment).
+  std::chrono::microseconds reap_after{150'000};
+
+  /// First retransmission of an unanswered submit; doubles per retry,
+  /// capped at 8x. Dedup on the nodes makes retries exactly-once inside
+  /// their window.
+  std::chrono::microseconds retry_backoff{20'000};
+
+  /// Default per-call deadline when SubmitOptions.deadline is zero.
+  std::chrono::microseconds default_deadline{2'000'000};
+};
+
+/// Per-submit knobs.
+struct RouterSubmitOptions {
+  /// Shard key: equal keys route to the same node (locality). 0 = derive
+  /// from the request id (uniform spread).
+  std::uint64_t key = 0;
+  std::uint8_t priority = 1;  ///< anahy::Priority value
+  std::int64_t timeout_ns = -1;
+  bool check = false;
+  std::chrono::microseconds deadline{0};  ///< 0 = options default
+};
+
+/// Aggregate router counters (tests and the scaling bench read these).
+struct RouterCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t replies = 0;        ///< real kJobDone resolutions
+  std::uint64_t reroutes = 0;       ///< keys moved to another node
+  std::uint64_t reaps = 0;          ///< nodes declared dead
+  std::uint64_t heals = 0;          ///< reaped nodes heard from again
+  std::uint64_t withdrawals = 0;    ///< kJobDoneWithdrawn replies seen
+  std::uint64_t started_marks = 0;  ///< kJobStarted frames accepted
+  std::uint64_t retries = 0;        ///< submit retransmissions
+  std::uint64_t unreachable = 0;    ///< handles resolved at deadline
+};
+
+class MeshRouter {
+ public:
+  using Reply = ServeClient::Reply;
+
+  /// Starts the pump. `transport` must outlive the router; its node_id()
+  /// is the client rank every node replies to.
+  MeshRouter(Transport& transport, MeshRouterOptions opts);
+  ~MeshRouter();
+
+  MeshRouter(const MeshRouter&) = delete;
+  MeshRouter& operator=(const MeshRouter&) = delete;
+
+  /// Stops the pump and resolves every outstanding handle kUnreachable.
+  void stop();
+
+  /// Routes one job; returns the handle id to pass to wait(). Never
+  /// blocks on the network (if no node is live the key parks until one
+  /// heals or the deadline passes).
+  std::uint64_t submit(const std::string& function,
+                       std::vector<std::uint8_t> payload,
+                       RouterSubmitOptions o = {});
+
+  /// Blocks until the handle resolves, returns the reply and forgets the
+  /// handle. Every handle resolves exactly once — a real kJobDone or
+  /// kUnreachable at its deadline, never both, never silence.
+  Reply wait(std::uint64_t id);
+
+  /// Non-blocking: true once wait(id) would not block.
+  [[nodiscard]] bool done(std::uint64_t id);
+
+  /// Runs a rejuvenation cycle on one node (kRejuvenate routed straight
+  /// to `node_rank`); returns the cycle report text, empty on timeout.
+  std::string rejuvenate(std::uint32_t node_rank,
+                         std::chrono::microseconds timeout =
+                             std::chrono::microseconds{2'000'000});
+
+  /// Fetches one node's exposition page, empty on timeout.
+  std::string stats_text(std::uint32_t node_rank,
+                         std::chrono::microseconds timeout =
+                             std::chrono::microseconds{2'000'000});
+
+  [[nodiscard]] RouterCounters counters() const;
+  [[nodiscard]] std::vector<std::uint32_t> live_nodes() const;
+  [[nodiscard]] NodeHealth health(std::uint32_t node_rank) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  struct Pending {
+    std::vector<std::uint8_t> frame;  ///< encoded kJobSubmit, retransmitted
+    std::uint64_t key = 0;
+    std::uint8_t cls = 1;
+    std::uint32_t node = kNoNode;  ///< current assignment
+    bool started = false;          ///< kJobStarted seen from `node`
+    bool done = false;
+    Clock::time_point deadline;
+    Clock::time_point next_retry;
+    std::chrono::microseconds backoff{0};
+    std::set<std::uint32_t> excluded;  ///< withdrew or reaped while unstarted
+    Reply reply;
+  };
+
+  struct NodeState {
+    bool alive = true;
+    Clock::time_point last_seen;
+    Clock::time_point last_poll;
+    NodeHealth health;
+  };
+
+  /// What a kStatsReply correlates to.
+  struct StatsWaiter {
+    std::uint32_t node = kNoNode;
+    bool health_poll = true;  ///< false: a user rejuvenate/stats_text call
+    bool done = false;
+    std::string text;
+    Clock::time_point issued;
+  };
+
+  void pump();
+  void service(Clock::time_point now);  // timers: polls, retries, reaps
+  void handle_done(const JobDoneMsg& msg);
+  void handle_started(const JobStartedMsg& msg);
+  void handle_stats_reply(StatsReplyMsg msg);
+  /// Picks a live, non-excluded node for (key, cls); kNoNode if none.
+  [[nodiscard]] std::uint32_t pick_locked(std::uint64_t key, std::uint8_t cls,
+                                          const std::set<std::uint32_t>& ex);
+  void route_locked(std::uint64_t rid, Pending& p, Clock::time_point now);
+  void mark_seen_locked(std::uint32_t node, Clock::time_point now);
+  /// Send that swallows transport throws (severed peer = lost frame; the
+  /// retry clock covers it).
+  void send_soft(std::uint32_t dst, const std::vector<std::uint8_t>& frame);
+  std::string control_call(std::uint32_t node_rank, bool rejuvenate,
+                           std::chrono::microseconds timeout);
+
+  Transport& transport_;
+  MeshRouterOptions opts_;
+  const std::uint32_t self_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint32_t, NodeState> nodes_;
+  std::map<std::uint64_t, StatsWaiter> stats_waiters_;
+  std::uint64_t next_rid_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> replies_{0};
+  std::atomic<std::uint64_t> reroutes_{0};
+  std::atomic<std::uint64_t> reaps_{0};
+  std::atomic<std::uint64_t> heals_{0};
+  std::atomic<std::uint64_t> withdrawals_{0};
+  std::atomic<std::uint64_t> started_marks_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> unreachable_{0};
+  std::thread pump_;
+};
+
+}  // namespace cluster::mesh

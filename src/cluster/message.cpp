@@ -7,6 +7,28 @@
 namespace cluster {
 namespace {
 
+void write_job_submit(ByteWriter& w, const JobSubmitMsg& j) {
+  w.u32(j.client);
+  w.u64(j.request_id);
+  w.u8(j.priority);
+  w.u64(static_cast<std::uint64_t>(j.timeout_ns));
+  w.u8(j.check);
+  w.str(j.function);
+  w.bytes(j.payload);
+}
+
+JobSubmitMsg read_job_submit(ByteReader& r) {
+  JobSubmitMsg j;
+  j.client = r.u32();
+  j.request_id = r.u64();
+  j.priority = r.u8();
+  j.timeout_ns = static_cast<std::int64_t>(r.u64());
+  j.check = r.u8();
+  j.function = r.str();
+  j.payload = r.bytes();
+  return j;
+}
+
 /// Body serialization (everything after the envelope).
 std::vector<std::uint8_t> encode_body(const Message& msg) {
   ByteWriter w;
@@ -27,18 +49,13 @@ std::vector<std::uint8_t> encode_body(const Message& msg) {
       w.u32(msg.steal.requester);
       break;
     case MsgType::kJobSubmit:
-      w.u32(msg.job_submit.client);
-      w.u64(msg.job_submit.request_id);
-      w.u8(msg.job_submit.priority);
-      w.u64(static_cast<std::uint64_t>(msg.job_submit.timeout_ns));
-      w.u8(msg.job_submit.check);
-      w.str(msg.job_submit.function);
-      w.bytes(msg.job_submit.payload);
+      write_job_submit(w, msg.job_submit);
       break;
     case MsgType::kJobDone:
       w.u64(msg.job_done.request_id);
       w.u32(msg.job_done.error);
       w.u64(msg.job_done.races);
+      w.u8(msg.job_done.flags);
       w.bytes(msg.job_done.payload);
       break;
     case MsgType::kStatsQuery:
@@ -52,11 +69,37 @@ std::vector<std::uint8_t> encode_body(const Message& msg) {
     case MsgType::kRejuvenate:
       w.u32(msg.rejuv.client);
       w.u64(msg.rejuv.request_id);
+      w.u32(msg.rejuv.target);
       break;
     case MsgType::kPing:
     case MsgType::kPong:
       w.u32(msg.ping.from);
       w.u64(msg.ping.token);
+      break;
+    case MsgType::kJobSteal:
+      w.u32(msg.job_steal.thief);
+      w.u64(msg.job_steal.token);
+      w.u8(msg.job_steal.priority);
+      w.u32(msg.job_steal.max_jobs);
+      break;
+    case MsgType::kJobMigrate:
+      w.u32(msg.job_migrate.from);
+      w.u64(msg.job_migrate.token);
+      w.u32(static_cast<std::uint32_t>(msg.job_migrate.jobs.size()));
+      for (const JobSubmitMsg& j : msg.job_migrate.jobs) write_job_submit(w, j);
+      break;
+    case MsgType::kMeshGossip:
+      w.u32(msg.gossip.from);
+      w.u32(static_cast<std::uint32_t>(msg.gossip.entries.size()));
+      for (const MeshGossipEntry& e : msg.gossip.entries) {
+        w.u32(e.client);
+        w.u64(e.request_id);
+        w.bytes(e.frame);
+      }
+      break;
+    case MsgType::kJobStarted:
+      w.u32(msg.job_started.node);
+      w.u64(msg.job_started.request_id);
       break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
@@ -87,18 +130,13 @@ Message decode_body(std::span<const std::uint8_t> body) {
       msg.steal.requester = r.u32();
       break;
     case MsgType::kJobSubmit:
-      msg.job_submit.client = r.u32();
-      msg.job_submit.request_id = r.u64();
-      msg.job_submit.priority = r.u8();
-      msg.job_submit.timeout_ns = static_cast<std::int64_t>(r.u64());
-      msg.job_submit.check = r.u8();
-      msg.job_submit.function = r.str();
-      msg.job_submit.payload = r.bytes();
+      msg.job_submit = read_job_submit(r);
       break;
     case MsgType::kJobDone:
       msg.job_done.request_id = r.u64();
       msg.job_done.error = r.u32();
       msg.job_done.races = r.u64();
+      msg.job_done.flags = r.u8();
       msg.job_done.payload = r.bytes();
       break;
     case MsgType::kStatsQuery:
@@ -112,11 +150,44 @@ Message decode_body(std::span<const std::uint8_t> body) {
     case MsgType::kRejuvenate:
       msg.rejuv.client = r.u32();
       msg.rejuv.request_id = r.u64();
+      msg.rejuv.target = r.u32();
       break;
     case MsgType::kPing:
     case MsgType::kPong:
       msg.ping.from = r.u32();
       msg.ping.token = r.u64();
+      break;
+    case MsgType::kJobSteal:
+      msg.job_steal.thief = r.u32();
+      msg.job_steal.token = r.u64();
+      msg.job_steal.priority = r.u8();
+      msg.job_steal.max_jobs = r.u32();
+      break;
+    case MsgType::kJobMigrate: {
+      msg.job_migrate.from = r.u32();
+      msg.job_migrate.token = r.u64();
+      // No reserve() on the wire-supplied count: a corrupt frame must hit a
+      // ByteReader truncation throw, not a huge allocation.
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i)
+        msg.job_migrate.jobs.push_back(read_job_submit(r));
+      break;
+    }
+    case MsgType::kMeshGossip: {
+      msg.gossip.from = r.u32();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        MeshGossipEntry e;
+        e.client = r.u32();
+        e.request_id = r.u64();
+        e.frame = r.bytes();
+        msg.gossip.entries.push_back(std::move(e));
+      }
+      break;
+    }
+    case MsgType::kJobStarted:
+      msg.job_started.node = r.u32();
+      msg.job_started.request_id = r.u64();
       break;
     case MsgType::kStealNone:
     case MsgType::kShutdown:
@@ -245,11 +316,11 @@ Message make_job_submit(std::uint32_t client, std::uint64_t request_id,
 }
 
 Message make_job_done(std::uint64_t request_id, std::uint32_t error,
-                      std::uint64_t races,
-                      std::vector<std::uint8_t> payload) {
+                      std::uint64_t races, std::vector<std::uint8_t> payload,
+                      std::uint8_t flags) {
   Message m;
   m.type = MsgType::kJobDone;
-  m.job_done = {request_id, error, races, std::move(payload)};
+  m.job_done = {request_id, error, races, flags, std::move(payload)};
   return m;
 }
 
@@ -267,10 +338,11 @@ Message make_stats_reply(std::uint64_t request_id, std::string text) {
   return m;
 }
 
-Message make_rejuvenate(std::uint32_t client, std::uint64_t request_id) {
+Message make_rejuvenate(std::uint32_t client, std::uint64_t request_id,
+                        std::uint32_t target) {
   Message m;
   m.type = MsgType::kRejuvenate;
-  m.rejuv = {client, request_id};
+  m.rejuv = {client, request_id, target};
   return m;
 }
 
@@ -285,6 +357,37 @@ Message make_pong(std::uint32_t from, std::uint64_t token) {
   Message m;
   m.type = MsgType::kPong;
   m.ping = {from, token};
+  return m;
+}
+
+Message make_job_steal(std::uint32_t thief, std::uint64_t token,
+                       std::uint8_t priority, std::uint32_t max_jobs) {
+  Message m;
+  m.type = MsgType::kJobSteal;
+  m.job_steal = {thief, token, priority, max_jobs};
+  return m;
+}
+
+Message make_job_migrate(std::uint32_t from, std::uint64_t token,
+                         std::vector<JobSubmitMsg> jobs) {
+  Message m;
+  m.type = MsgType::kJobMigrate;
+  m.job_migrate = {from, token, std::move(jobs)};
+  return m;
+}
+
+Message make_mesh_gossip(std::uint32_t from,
+                         std::vector<MeshGossipEntry> entries) {
+  Message m;
+  m.type = MsgType::kMeshGossip;
+  m.gossip = {from, std::move(entries)};
+  return m;
+}
+
+Message make_job_started(std::uint32_t node, std::uint64_t request_id) {
+  Message m;
+  m.type = MsgType::kJobStarted;
+  m.job_started = {node, request_id};
   return m;
 }
 

@@ -23,6 +23,10 @@ enum class MsgType : std::uint8_t {
   kPing = 10,  ///< liveness probe (serve front-end -> client with work)
   kPong = 11,  ///< liveness answer, echoing the probe token
   kRejuvenate = 12,  ///< operator -> serve front-end: run a rejuv cycle
+  kJobSteal = 13,    ///< idle mesh node -> loaded peer: offer me queued jobs
+  kJobMigrate = 14,  ///< steal grant: queued jobs change owner (may be empty)
+  kMeshGossip = 15,  ///< mesh node -> peers: done-cache replication entries
+  kJobStarted = 16,  ///< mesh node -> router: the job body is about to run
 };
 
 /// A task that can cross node boundaries: function *by name* (both sides
@@ -58,6 +62,13 @@ struct JobSubmitMsg {
   std::vector<std::uint8_t> payload;
 };
 
+/// kJobDone flag bits. kWithdrawn is the mesh start-fence certificate
+/// (docs/MESH.md): the node *refused to run* the body — either the
+/// kJobStarted mark could not be delivered or the router had been silent
+/// past the fence window — so the router may reassign the key elsewhere
+/// with no double-execution risk. Withdrawn entries never enter gossip.
+inline constexpr std::uint8_t kJobDoneWithdrawn = 0x01;
+
 /// Resolution of a submitted job. `error` is the anahy::Error numbering
 /// (kOk / kOverloaded / kTimedOut / kAborted / kPerm / kInvalid); `races`
 /// counts the ANAHY-R001 reports attributed to the job (check jobs only).
@@ -65,6 +76,7 @@ struct JobDoneMsg {
   std::uint64_t request_id = 0;
   std::uint32_t error = 0;
   std::uint64_t races = 0;
+  std::uint8_t flags = 0;             ///< kJobDoneWithdrawn et al.
   std::vector<std::uint8_t> payload;  ///< result bytes (kOk only)
 };
 
@@ -87,9 +99,17 @@ struct StatsReplyMsg {
 /// reuses kStatsReply: `request_id` echoed, `text` carrying the cycle
 /// report, so the same retry/dedup machinery as telemetry pulls applies
 /// (rejuvenation is idempotent — a retried command just cycles again).
+///
+/// `target` addresses a specific mesh node: a front-end receiving a
+/// kRejuvenate whose target is another node id forwards the frame there
+/// verbatim, so an operator reaches any node through whichever node its
+/// transport happens to land on (anahy-aging --rejuvenate --node=N).
+inline constexpr std::uint32_t kRejuvTargetSelf = 0xFFFFFFFFu;
+
 struct RejuvenateMsg {
   std::uint32_t client = 0;      ///< where the kStatsReply goes
   std::uint64_t request_id = 0;  ///< correlation id echoed in the reply
+  std::uint32_t target = kRejuvTargetSelf;  ///< node to cycle; self if unset
 };
 
 /// Liveness probe. The serve front-end pings every client that has work in
@@ -99,6 +119,54 @@ struct RejuvenateMsg {
 struct PingMsg {
   std::uint32_t from = 0;
   std::uint64_t token = 0;
+};
+
+/// Steal probe (docs/MESH.md): an idle mesh node asks a loaded peer for
+/// queued — never started — jobs of one class. The peer always answers
+/// with a kJobMigrate carrying `token`, possibly with zero jobs, so the
+/// thief can bound outstanding probes without timers.
+struct JobStealMsg {
+  std::uint32_t thief = 0;     ///< node id the kJobMigrate grant goes to
+  std::uint64_t token = 0;     ///< correlation id echoed by the grant
+  std::uint8_t priority = 2;   ///< anahy::Priority class being asked for
+  std::uint32_t max_jobs = 1;  ///< upper bound on jobs per grant
+};
+
+/// Steal grant: queued jobs change owner. Each entry is a full
+/// JobSubmitMsg — original (client, request_id) preserved, so the thief's
+/// kJobDone replies go straight back to the submitting router/client and
+/// the cluster-wide dedup key stays stable across the handoff.
+struct JobMigrateMsg {
+  std::uint32_t from = 0;   ///< granting (victim) node id
+  std::uint64_t token = 0;  ///< echoes JobStealMsg::token
+  std::vector<JobSubmitMsg> jobs;  ///< empty = negative grant
+};
+
+/// One replicated done-cache entry: the encoded kJobDone frame a node
+/// recorded for (client, request_id), replayable verbatim by any peer
+/// that receives a retried submit for the same key.
+struct MeshGossipEntry {
+  std::uint32_t client = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> frame;  ///< encoded kJobDone frame
+};
+
+/// Done-cache replication (docs/MESH.md): sent eagerly on completion and
+/// batched on heartbeats so exactly-once survives a node handoff — a
+/// retried or re-routed submit is answered from the replica instead of
+/// re-executing the body.
+struct MeshGossipMsg {
+  std::uint32_t from = 0;
+  std::vector<MeshGossipEntry> entries;
+};
+
+/// Start-mark (docs/MESH.md): sent by a mesh node to the submitting
+/// router immediately *before* the job body runs. A router only re-routes
+/// keys of a reaped node that never produced a start-mark; marked keys
+/// wait for the victim's done-cache (heal) or resolve kUnreachable.
+struct JobStartedMsg {
+  std::uint32_t node = 0;        ///< executing mesh node id
+  std::uint64_t request_id = 0;  ///< the submit's correlation id
 };
 
 /// Tagged union of everything that can arrive at a node.
@@ -113,6 +181,10 @@ struct Message {
   StatsReplyMsg stats_reply;
   RejuvenateMsg rejuv;
   PingMsg ping;  ///< kPing and kPong share the shape
+  JobStealMsg job_steal;
+  JobMigrateMsg job_migrate;
+  MeshGossipMsg gossip;
+  JobStartedMsg job_started;
 };
 
 // ---------------------------------------------------------------------------
@@ -181,14 +253,25 @@ struct DecodeResult {
                                       std::vector<std::uint8_t> payload);
 [[nodiscard]] Message make_job_done(std::uint64_t request_id,
                                     std::uint32_t error, std::uint64_t races,
-                                    std::vector<std::uint8_t> payload);
+                                    std::vector<std::uint8_t> payload,
+                                    std::uint8_t flags = 0);
 [[nodiscard]] Message make_stats_query(std::uint32_t client,
                                        std::uint64_t request_id);
 [[nodiscard]] Message make_stats_reply(std::uint64_t request_id,
                                        std::string text);
 [[nodiscard]] Message make_rejuvenate(std::uint32_t client,
-                                      std::uint64_t request_id);
+                                      std::uint64_t request_id,
+                                      std::uint32_t target = kRejuvTargetSelf);
 [[nodiscard]] Message make_ping(std::uint32_t from, std::uint64_t token);
 [[nodiscard]] Message make_pong(std::uint32_t from, std::uint64_t token);
+[[nodiscard]] Message make_job_steal(std::uint32_t thief, std::uint64_t token,
+                                     std::uint8_t priority,
+                                     std::uint32_t max_jobs);
+[[nodiscard]] Message make_job_migrate(std::uint32_t from, std::uint64_t token,
+                                       std::vector<JobSubmitMsg> jobs);
+[[nodiscard]] Message make_mesh_gossip(std::uint32_t from,
+                                       std::vector<MeshGossipEntry> entries);
+[[nodiscard]] Message make_job_started(std::uint32_t node,
+                                       std::uint64_t request_id);
 
 }  // namespace cluster

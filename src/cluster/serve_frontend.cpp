@@ -67,6 +67,57 @@ std::string ServeFrontEnd::last_reject_diagnostic() const {
   return link_->last_reject;
 }
 
+std::uint64_t ServeFrontEnd::withdrawn() const {
+  std::lock_guard lock(link_->mu);
+  return link_->withdrawn;
+}
+
+std::int64_t ServeFrontEnd::last_seen_age_us(std::uint32_t client) const {
+  std::lock_guard lock(link_->mu);
+  auto it = link_->last_seen.find(client);
+  if (it == link_->last_seen.end()) return -1;
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               it->second)
+      .count();
+}
+
+std::vector<anahy::observe::ExtraCounter> ServeFrontEnd::extra_counters()
+    const {
+  std::uint64_t send_failures = 0;
+  std::uint64_t withdrawn = 0;
+  std::uint64_t dedup_entries = 0;
+  std::uint64_t inflight_entries = 0;
+  {
+    std::lock_guard lock(link_->mu);
+    send_failures = link_->send_failures;
+    withdrawn = link_->withdrawn;
+    dedup_entries = link_->done_order.size();
+    inflight_entries = link_->inflight.size();
+  }
+  return {
+      {"anahy_frontend_submissions_total", "",
+       submissions_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_retransmits_total", "",
+       retransmits_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_duplicates_suppressed_total", "",
+       duplicates_suppressed_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_rejected_frames_total", "",
+       rejected_frames_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_pings_sent_total", "",
+       pings_sent_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_clients_reaped_total", "",
+       clients_reaped_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_replica_hits_total", "",
+       replica_hits_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_withdrawn_total", "", withdrawn},
+      {"anahy_frontend_rejuv_forwards_total", "",
+       rejuv_forwards_.load(std::memory_order_relaxed)},
+      {"anahy_frontend_send_failures_total", "", send_failures},
+      {"anahy_frontend_dedup_entries", "", dedup_entries},
+      {"anahy_frontend_inflight_entries", "", inflight_entries},
+  };
+}
+
 void ServeFrontEnd::pump() {
   std::vector<std::uint8_t> frame;
   auto last_beat = Clock::now();
@@ -80,6 +131,7 @@ void ServeFrontEnd::pump() {
       } else {
         switch (d.msg.type) {
           case MsgType::kShutdown:
+            shutdown_seen_.store(true, std::memory_order_relaxed);
             return;
           case MsgType::kStatsQuery:
             handle_stats_query(d.msg.stats_query);
@@ -92,8 +144,26 @@ void ServeFrontEnd::pump() {
             link_->last_seen[d.msg.ping.from] = Clock::now();
             break;
           }
+          case MsgType::kPing: {
+            // Liveness probe from a peer (a mesh router keeping its reap
+            // clock honest, or another node's front-end): echo the token
+            // and count the sender as seen.
+            const auto pong = encode(make_pong(
+                static_cast<std::uint32_t>(transport_.node_id()),
+                d.msg.ping.token));
+            std::lock_guard lock(link_->mu);
+            link_->last_seen[d.msg.ping.from] = Clock::now();
+            link_->send_locked(static_cast<int>(d.msg.ping.from), pong);
+            break;
+          }
           case MsgType::kJobSubmit:
             handle_submit(std::move(d.msg.job_submit));
+            break;
+          case MsgType::kJobSteal:
+          case MsgType::kJobMigrate:
+          case MsgType::kMeshGossip:
+            if (opts_.mesh != nullptr)
+              opts_.mesh->on_mesh_frame(std::move(d.msg));
             break;
           default:
             break;  // not serve traffic; drop
@@ -104,6 +174,7 @@ void ServeFrontEnd::pump() {
       const auto now = Clock::now();
       if (now - last_beat >= opts_.heartbeat_interval) {
         heartbeat(now);
+        if (opts_.mesh != nullptr) opts_.mesh->on_tick();
         last_beat = now;
       }
     }
@@ -160,13 +231,33 @@ void ServeFrontEnd::heartbeat(Clock::time_point now) {
 
 void ServeFrontEnd::handle_stats_query(const StatsQueryMsg& msg) {
   stats_queries_.fetch_add(1, std::memory_order_relaxed);
-  const auto frame =
-      encode(make_stats_reply(msg.request_id, server_.observe_text()));
+  // Compose the exposition before taking the link lock: the front-end's
+  // own rows lock it briefly inside extra_counters(), and the mesh rows
+  // take the mesh's lock — neither may nest under ours.
+  std::string text = server_.observe_text();
+  text += anahy::observe::render_counters(extra_counters());
+  if (opts_.mesh != nullptr)
+    text += anahy::observe::render_counters(opts_.mesh->extra_counters());
+  const auto frame = encode(make_stats_reply(msg.request_id, std::move(text)));
   std::lock_guard lock(link_->mu);
+  link_->last_seen[msg.client] = Clock::now();  // health polls prove liveness
   link_->send_locked(static_cast<int>(msg.client), frame);
 }
 
 void ServeFrontEnd::handle_rejuvenate(const RejuvenateMsg& msg) {
+  const auto self = static_cast<std::uint32_t>(transport_.node_id());
+  if (msg.target != kRejuvTargetSelf && msg.target != self) {
+    // Addressed to another mesh node (docs/MESH.md): forward the frame
+    // verbatim — the target answers the client directly, so the operator
+    // reaches any node through whichever one its transport landed on.
+    rejuv_forwards_.fetch_add(1, std::memory_order_relaxed);
+    const auto frame =
+        encode(make_rejuvenate(msg.client, msg.request_id, msg.target));
+    std::lock_guard lock(link_->mu);
+    link_->last_seen[msg.client] = Clock::now();
+    link_->send_locked(static_cast<int>(msg.target), frame);
+    return;
+  }
   rejuvenations_.fetch_add(1, std::memory_order_relaxed);
   // The cycle runs on the pump thread — it is not a VP and holds no server
   // lock, exactly what JobServer::rejuvenate asks for. Job traffic keeps
@@ -175,6 +266,7 @@ void ServeFrontEnd::handle_rejuvenate(const RejuvenateMsg& msg) {
   const anahy::rejuv::CycleReport rep = server_.rejuvenate();
   const auto frame = encode(make_stats_reply(msg.request_id, rep.summary()));
   std::lock_guard lock(link_->mu);
+  link_->last_seen[msg.client] = Clock::now();
   link_->send_locked(static_cast<int>(msg.client), frame);
 }
 
@@ -201,6 +293,27 @@ void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
       duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    // Mesh interception (docs/MESH.md): a peer may already have executed
+    // this key (replicated done-cache), or this node may have migrated it
+    // and be awaiting the thief's outcome — either way running the body
+    // here again would break exactly-once.
+    if (opts_.mesh != nullptr) {
+      std::vector<std::uint8_t> replay;
+      switch (opts_.mesh->intercept_submit(client, request_id, replay)) {
+        case MeshHooks::SubmitIntercept::kReplay:
+          replica_hits_.fetch_add(1, std::memory_order_relaxed);
+          link_->send_locked(static_cast<int>(client), replay);
+          // Promote into the local dedup window so later retries of the
+          // same key stay local.
+          link_->record_done_locked(key, std::move(replay));
+          return;
+        case MeshHooks::SubmitIntercept::kSuppress:
+          duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        case MeshHooks::SubmitIntercept::kProceed:
+          break;
+      }
+    }
     // Reserve the key *before* submitting so a retry racing with the
     // submission below is suppressed rather than executed twice.
     link_->inflight.emplace(key, anahy::serve::JobHandle{});
@@ -221,6 +334,7 @@ void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
     RemoteFn fn;
     std::vector<std::uint8_t> payload;
     std::vector<std::uint8_t> result;
+    bool withdrawn = false;  ///< start fence refused; body never ran
   };
   auto rj = std::make_shared<RemoteJob>();
   rj->fn = registry_.get(msg.function);
@@ -233,7 +347,19 @@ void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
   spec.timeout_ns = msg.timeout_ns;
   spec.check = msg.check != 0;
   spec.label = msg.function;
-  spec.body = [rj](void*) -> void* {
+  // Wire submits are the only jobs a mesh node may export to a peer: they
+  // carry enough bytes (function name + payload) to rebuild the JobSpec
+  // remotely, which locally-submitted closures do not.
+  spec.exportable = true;
+  MeshHooks* hooks = opts_.mesh;
+  spec.body = [rj, hooks, client, request_id](void*) -> void* {
+    // Start fence (docs/MESH.md): once the router has been silent past the
+    // fence window it may have reassigned this key — running the body now
+    // could execute it twice in the cluster. Withdraw instead.
+    if (hooks != nullptr && !hooks->allow_start(client, request_id)) {
+      rj->withdrawn = true;
+      return nullptr;
+    }
     rj->result = rj->fn(rj->payload);
     return &rj->result;
   };
@@ -241,20 +367,61 @@ void ServeFrontEnd::handle_submit(JobSubmitMsg msg) {
   // handles — that is the "never silence" half of the reply contract. It
   // captures the shared Link, not `this`: a job may resolve after stop().
   auto link = link_;
-  spec.on_complete = [link, rj, client,
-                      request_id](const anahy::serve::JobResult& r) {
+  spec.on_complete = [link, rj, hooks, client, request_id,
+                      priority = msg.priority, timeout_ns = msg.timeout_ns,
+                      check = msg.check, function = msg.function](
+                         const anahy::serve::JobResult& r) {
+    const Key key{client, request_id};
+    if (r.error == anahy::kMigrated) {
+      // export_queued pulled this job before it ever started: a peer will
+      // execute it and answer the client under the original key. Drop the
+      // local reservation (no reply, no dedup record — the mesh layer's
+      // migrated-set suppresses retries until the thief's gossip lands)
+      // and hand the bytes back for shipping.
+      {
+        std::lock_guard lock(link->mu);
+        link->inflight.erase(key);
+      }
+      if (hooks != nullptr) {
+        JobSubmitMsg out;
+        out.client = client;
+        out.request_id = request_id;
+        out.priority = priority;
+        out.timeout_ns = timeout_ns;
+        out.check = check;
+        out.function = function;
+        out.payload = std::move(rj->payload);
+        hooks->on_export(std::move(out));
+      }
+      return;
+    }
     std::vector<std::uint8_t> out;
-    if (r.error == anahy::kOk) {
+    std::uint8_t flags = 0;
+    auto err = static_cast<std::uint32_t>(r.error);
+    if (rj->withdrawn) {
+      // The fence refused the start. Seal the key's fate in the local
+      // dedup window (a late retry here must not execute) but never
+      // gossip it: a replicated "withdrawn" entry would block the node
+      // the router re-routes this key to.
+      flags |= kJobDoneWithdrawn;
+      if (r.error == anahy::kOk)
+        err = static_cast<std::uint32_t>(anahy::kAborted);
+    } else if (r.error == anahy::kOk) {
       out = std::move(rj->result);
     } else if (r.error == anahy::kFaulted) {
       out.assign(r.message.begin(), r.message.end());
     }
-    auto frame = encode(make_job_done(request_id,
-                                      static_cast<std::uint32_t>(r.error),
-                                      r.races.size(), std::move(out)));
-    const Key key{client, request_id};
+    auto frame = encode(make_job_done(request_id, err, r.races.size(),
+                                      std::move(out), flags));
     std::lock_guard lock(link->mu);
     link->send_locked(static_cast<int>(client), frame);
+    if (rj->withdrawn) {
+      ++link->withdrawn;
+    } else if (hooks != nullptr) {
+      // Real completion: let the mesh replicate it (eager + heartbeat
+      // gossip) so peers can answer retries if this node dies.
+      hooks->on_done(client, request_id, frame);
+    }
     link->record_done_locked(key, std::move(frame));
   };
 
@@ -503,11 +670,12 @@ int ServeClient::query_stats(std::string& out, const CallOptions& copts) {
   return query_stats_impl(out, copts);
 }
 
-int ServeClient::rejuvenate(std::string& out, const CallOptions& copts) {
+int ServeClient::rejuvenate(std::string& out, const CallOptions& copts,
+                            std::uint32_t target) {
   UseGuard guard(*this);
   const std::uint64_t id = next_request_++;
-  const auto frame = encode(
-      make_rejuvenate(static_cast<std::uint32_t>(transport_.node_id()), id));
+  const auto frame = encode(make_rejuvenate(
+      static_cast<std::uint32_t>(transport_.node_id()), id, target));
   return text_request_impl(frame, id, out, copts);
 }
 

@@ -54,6 +54,62 @@
 
 namespace cluster {
 
+/// Mesh extension points of a ServeFrontEnd (docs/MESH.md). A front-end
+/// with hooks installed becomes one node of an anahy::mesh deployment:
+/// mesh frames are forwarded here, remote job bodies pass the start fence,
+/// completions feed the replicated done-cache, and queued jobs can leave
+/// for a peer. Implemented by mesh::MeshNode; a plain front-end (hooks ==
+/// nullptr) pays one null test per site.
+///
+/// Threading: on_mesh_frame / on_tick run on the front-end pump thread.
+/// intercept_submit runs on the pump thread UNDER the front-end's link
+/// lock — it must not call back into the front-end. allow_start runs on
+/// the executing VP; on_done runs on the completing thread under the link
+/// lock; on_export runs synchronously inside JobServer::export_queued on
+/// whatever thread called it. extra_counters runs on the pump thread with
+/// no front-end lock held.
+class MeshHooks {
+ public:
+  virtual ~MeshHooks() = default;
+
+  /// A mesh frame (kJobSteal / kJobMigrate / kMeshGossip) arrived.
+  virtual void on_mesh_frame(Message msg) = 0;
+
+  /// Heartbeat-cadence tick (requires heartbeat_interval > 0): gossip
+  /// batches go out, idle nodes probe victims, backoffs advance.
+  virtual void on_tick() = 0;
+
+  /// What to do with a fresh (not locally cached, not in flight) submit.
+  enum class SubmitIntercept : std::uint8_t {
+    kProceed,   ///< execute locally, business as usual
+    kReplay,    ///< replicated done-cache hit: send `replay_frame` instead
+    kSuppress,  ///< key was migrated and its outcome is still in flight
+                ///< elsewhere — answer nothing (the retry path covers it)
+  };
+  virtual SubmitIntercept intercept_submit(
+      std::uint32_t client, std::uint64_t request_id,
+      std::vector<std::uint8_t>& replay_frame) = 0;
+
+  /// Start fence: called right before a remote job's body runs. Returning
+  /// false *withdraws* the job — the body is never executed and the reply
+  /// carries kJobDoneWithdrawn, certifying the router may re-route the key
+  /// with no double-execution risk.
+  virtual bool allow_start(std::uint32_t client, std::uint64_t request_id) = 0;
+
+  /// A remote job resolved for real (never called for withdrawn jobs) and
+  /// `frame` — the encoded kJobDone — just entered the dedup window.
+  virtual void on_done(std::uint32_t client, std::uint64_t request_id,
+                       const std::vector<std::uint8_t>& frame) = 0;
+
+  /// A queued job left this server (JobServer::export_queued resolved it
+  /// kMigrated); `job` carries everything a peer needs to run it under the
+  /// same (client, request_id) key.
+  virtual void on_export(JobSubmitMsg job) = 0;
+
+  /// anahy_mesh_* rows appended to this node's kStatsReply exposition.
+  virtual std::vector<anahy::observe::ExtraCounter> extra_counters() = 0;
+};
+
 /// Tuning of the server-side hardening. The defaults are benign for tests
 /// and demos: heartbeats only go to clients that still owe the server a
 /// pong while having jobs in flight, so an idle or finished client is
@@ -72,6 +128,11 @@ struct FrontEndOptions {
   /// Retries inside the window are exactly-once; a duplicate arriving
   /// after eviction re-executes the job (at-least-once beyond the window).
   std::size_t dedup_window = 1024;
+
+  /// Mesh extension points (docs/MESH.md); null for a plain front-end.
+  /// Must outlive the front-end AND the server (completion callbacks call
+  /// into it) — mesh::MeshNode owns all three in the right order.
+  MeshHooks* mesh = nullptr;
 };
 
 /// Server side: turns kJobSubmit frames into JobServer::submit calls and
@@ -140,6 +201,45 @@ class ServeFrontEnd {
   /// Diagnostic of the most recently rejected frame ("" when none yet).
   [[nodiscard]] std::string last_reject_diagnostic() const;
 
+  /// Replies replayed from the mesh's replicated done-cache (a peer
+  /// executed the key; this node answered without running anything).
+  [[nodiscard]] std::uint64_t replica_hits() const {
+    return replica_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Jobs withdrawn by the start fence (kJobDoneWithdrawn replies sent).
+  [[nodiscard]] std::uint64_t withdrawn() const;
+
+  /// kRejuvenate frames forwarded to the node they address (docs/MESH.md).
+  [[nodiscard]] std::uint64_t rejuv_forwards() const {
+    return rejuv_forwards_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a kShutdown frame stopped the pump (multi-process workers
+  /// poll this to know when to exit).
+  [[nodiscard]] bool received_shutdown() const {
+    return shutdown_seen_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since `client` last proved liveness here (submit, pong,
+  /// stats query, rejuvenate or ping); -1 when never heard from. The mesh
+  /// start fence reads this to decide whether the submitting router is
+  /// still listening (docs/MESH.md).
+  [[nodiscard]] std::int64_t last_seen_age_us(std::uint32_t client) const;
+
+  /// The front-end's own hardening state as exposition rows — heartbeat
+  /// and reap totals, retransmit/duplicate counts, dedup-window and
+  /// in-flight occupancy — appended to every kStatsReply so mesh failover
+  /// is observable (render via observe::render_counters).
+  [[nodiscard]] std::vector<anahy::observe::ExtraCounter> extra_counters()
+      const;
+
+  /// Injects a migrated job as if its kJobSubmit frame had just arrived
+  /// (same dedup, same reply path — the original client answers it).
+  /// Front-end pump thread only (mesh::MeshNode calls it while handling a
+  /// kJobMigrate grant, which runs on that thread).
+  void inject_submit(JobSubmitMsg msg) { handle_submit(std::move(msg)); }
+
  private:
   using Clock = std::chrono::steady_clock;
   using Key = std::pair<std::uint32_t, std::uint64_t>;  // client, request id
@@ -156,6 +256,7 @@ class ServeFrontEnd {
     std::map<Key, anahy::serve::JobHandle> inflight;
     std::map<std::uint32_t, Clock::time_point> last_seen;  ///< per client
     std::uint64_t send_failures = 0;
+    std::uint64_t withdrawn = 0;  ///< start-fence refusals (kJobDoneWithdrawn)
     std::string last_reject;
 
     /// Sends under `mu`, swallowing transport errors (a severed TCP peer
@@ -192,6 +293,9 @@ class ServeFrontEnd {
   std::atomic<std::uint64_t> duplicates_suppressed_{0};
   std::atomic<std::uint64_t> pings_sent_{0};
   std::atomic<std::uint64_t> clients_reaped_{0};
+  std::atomic<std::uint64_t> replica_hits_{0};
+  std::atomic<std::uint64_t> rejuv_forwards_{0};
+  std::atomic<bool> shutdown_seen_{false};
   std::uint64_t ping_token_ = 0;  // pump thread only
   std::thread pump_;
 };
@@ -279,7 +383,13 @@ class ServeClient {
   /// `out` receives the cycle-report text. Rejuvenation is idempotent, so
   /// a retried command cycling twice is harmless. Returns kOk or
   /// kUnreachable.
-  int rejuvenate(std::string& out, const CallOptions& copts = CallOptions{});
+  ///
+  /// `target` addresses a specific mesh node: the server this client
+  /// talks to forwards the command (ServeFrontEnd one-hop routing) and
+  /// the addressed node replies directly. kRejuvTargetSelf cycles the
+  /// connected server itself.
+  int rejuvenate(std::string& out, const CallOptions& copts = CallOptions{},
+                 std::uint32_t target = kRejuvTargetSelf);
 
   /// Malformed frames dropped with an ANAHY-F00x diagnostic.
   [[nodiscard]] std::uint64_t rejected_frames() const {

@@ -85,14 +85,19 @@ TEST(TraceAnalysis, AverageParallelismOfFlatFarm) {
   // 1 VP: tasks run back-to-back, so each measured duration is clean CPU
   // time (no timeslicing inflation on a 1-core host). work/span is a graph
   // property: 12 equal independent tasks support ~12-way parallelism even
-  // though this run executed them sequentially. The threshold is low
-  // because an OS preemption during one task stretches its wall duration
-  // and with it the measured span.
-  Runtime rt(traced(1));
-  std::vector<Handle<int>> handles;
-  for (int i = 0; i < 12; ++i) handles.push_back(spawn(rt, spin_value));
-  for (auto& h : handles) h.join();
-  EXPECT_GT(average_parallelism(rt.trace()), 2.0);
+  // though this run executed them sequentially. An OS preemption during
+  // one task stretches its wall duration and with it the measured span,
+  // so a corrupted measurement is retried — the property still has to
+  // show up in an unpreempted run.
+  double best = 0.0;
+  for (int attempt = 0; attempt < 5 && best <= 2.0; ++attempt) {
+    Runtime rt(traced(1));
+    std::vector<Handle<int>> handles;
+    for (int i = 0; i < 12; ++i) handles.push_back(spawn(rt, spin_value));
+    for (auto& h : handles) h.join();
+    best = std::max(best, average_parallelism(rt.trace()));
+  }
+  EXPECT_GT(best, 2.0);
 }
 
 TEST(TraceAnalysis, CriticalPathOfAChain) {

@@ -1,0 +1,131 @@
+// AsyncServeClient against a failing mesh (docs/MESH.md): orphaned
+// requests resolve kUnreachable instead of hanging, and a client that
+// reconnects to a *different* node and retries its request ids is
+// answered from the replicated done-cache without re-executing bodies.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "anahy/fault/fault.hpp"
+#include "cluster/mesh/mesh_node.hpp"
+#include "cluster/mesh/router.hpp"
+
+namespace {
+
+using namespace cluster;
+using namespace cluster::mesh;
+using anahy::fault::FaultProfile;
+using anahy::fault::FaultyTransport;
+using namespace std::chrono_literals;
+
+TEST(AsyncFailover, OrphanedRequestsResolveUnreachable) {
+  // Ranks: 0 = mesh node, 1 = async client. Both endpoints are wrapped
+  // so the link can be cut in both directions mid-flight.
+  auto fabric = make_memory_fabric(2);
+  auto node_ep = std::make_unique<FaultyTransport>(std::move(fabric[0]),
+                                                   FaultProfile{});
+  auto client_ep = std::make_unique<FaultyTransport>(std::move(fabric[1]),
+                                                     FaultProfile{});
+  Registry reg;
+  std::atomic<std::uint64_t> executions{0};
+  reg.add("sleepy", [&executions](std::span<const std::uint8_t> in) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(2ms);
+    return std::vector<std::uint8_t>(in.begin(), in.end());
+  });
+  MeshNodeOptions o;
+  o.self = 0;
+  o.server.runtime.num_vps = 1;
+  MeshNode node(*node_ep, reg, o);
+
+  // Cut the reply direction only: submits keep arriving and executing,
+  // but every kJobDone vanishes. The ids are orphans from the client's
+  // point of view.
+  node_ep->sever(1);
+
+  AsyncServeClient client(*client_ep, /*server_node=*/0);
+  CallOptions copts;
+  copts.deadline = 400ms;
+  std::vector<std::future<AsyncServeClient::Reply>> futures;
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(client.submit_async("sleepy", {std::uint8_t(i)}, copts));
+
+  // Every future resolves kUnreachable inside the deadline — no hangs,
+  // no exceptions, no stuck pending entries.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(f.get().error, anahy::kUnreachable);
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+
+  // The bodies DID run — once each, the dedup window having eaten the
+  // client's retransmissions. The loss was purely on the reply path.
+  const auto until = std::chrono::steady_clock::now() + 2s;
+  while (executions.load(std::memory_order_relaxed) < 5 &&
+         std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(executions.load(std::memory_order_relaxed), 5u);
+  node.stop();
+}
+
+TEST(AsyncFailover, ReconnectedClientReplaysFromTheReplicaNotTheBody) {
+  // Ranks: 0-1 mesh nodes, 2 router (keeps fences open and gossip
+  // flowing), 3 the client endpoint.
+  auto fabric = make_memory_fabric(4);
+  std::array<Registry, 2> regs;
+  std::atomic<std::uint64_t> executions{0};
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+  for (int i = 0; i < 2; ++i) {
+    regs[static_cast<std::size_t>(i)].add(
+        "tracked", [&executions](std::span<const std::uint8_t> in) {
+          executions.fetch_add(1, std::memory_order_relaxed);
+          return std::vector<std::uint8_t>(in.begin(), in.end());
+        });
+    MeshNodeOptions o;
+    o.self = static_cast<std::uint32_t>(i);
+    o.peers = {static_cast<std::uint32_t>(1 - i)};
+    o.routers = {2};
+    o.server.runtime.num_vps = 1;
+    nodes.push_back(std::make_unique<MeshNode>(
+        *fabric[static_cast<std::size_t>(i)],
+        regs[static_cast<std::size_t>(i)], o));
+  }
+  MeshRouter router(*fabric[2], MeshRouterOptions{{0, 1}});
+
+  const std::vector<std::uint8_t> payload{7, 7, 7};
+  AsyncServeClient::Reply first;
+  {
+    AsyncServeClient client(*fabric[3], /*server_node=*/0);
+    first = client.call("tracked", payload);
+  }  // "node 0 became unreachable": the client is torn down
+  ASSERT_EQ(first.error, anahy::kOk);
+  ASSERT_EQ(executions.load(), 1u);
+
+  // The completion gossips into node 1's replica.
+  const auto until = std::chrono::steady_clock::now() + 2s;
+  while (nodes[1]->counters().replica_entries == 0 &&
+         std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(1ms);
+  ASSERT_GE(nodes[1]->counters().replica_entries, 1u);
+
+  // Reconnect to the OTHER node. The fresh client reuses request id 1
+  // from the same endpoint rank, so this is the wire-level retry of the
+  // same job — answered from the replica, body not run again.
+  AsyncServeClient retry(*fabric[3], /*server_node=*/1);
+  const auto second = retry.call("tracked", payload);
+  EXPECT_EQ(second.error, anahy::kOk);
+  EXPECT_EQ(second.payload, first.payload);
+  EXPECT_EQ(executions.load(), 1u);
+  EXPECT_EQ(nodes[1]->frontend().replica_hits(), 1u);
+
+  for (auto& n : nodes) n->stop();
+  router.stop();
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "anahy/types.hpp"
+
 namespace {
 
 using namespace cluster;
@@ -186,6 +188,105 @@ TEST(Message, RejectsTruncatedRejuvenate) {
   auto frame = encode(make_rejuvenate(1, 2));
   frame.resize(frame.size() - 4);
   EXPECT_FALSE(decode_frame(frame).ok);
+}
+
+TEST(Message, RejuvenateCarriesItsTargetNode) {
+  // Default: self-addressed.
+  EXPECT_EQ(decode(encode(make_rejuvenate(6, 1))).rejuv.target,
+            kRejuvTargetSelf);
+  // Mesh addressing: any node reachable through any other (docs/MESH.md).
+  const Message d = decode(encode(make_rejuvenate(6, 2, /*target=*/4)));
+  EXPECT_EQ(d.rejuv.target, 4u);
+}
+
+TEST(Message, JobDoneFlagsRoundTrip) {
+  const Message d =
+      decode(encode(make_job_done(9, anahy::kAborted, 0, {},
+                                  kJobDoneWithdrawn)));
+  EXPECT_EQ(d.type, MsgType::kJobDone);
+  EXPECT_EQ(d.job_done.flags, kJobDoneWithdrawn);
+  // Flags default to zero so pre-mesh peers decode pre-mesh frames.
+  EXPECT_EQ(decode(encode(make_job_done(9, 0, 0, {1, 2}))).job_done.flags, 0);
+}
+
+TEST(Message, JobStealRoundTrip) {
+  const Message d = decode(encode(make_job_steal(2, 404, 1, 8)));
+  EXPECT_EQ(d.type, MsgType::kJobSteal);
+  EXPECT_EQ(d.job_steal.thief, 2u);
+  EXPECT_EQ(d.job_steal.token, 404u);
+  EXPECT_EQ(d.job_steal.priority, 1);
+  EXPECT_EQ(d.job_steal.max_jobs, 8u);
+}
+
+TEST(Message, JobMigrateRoundTripPreservesWholeJobs) {
+  std::vector<JobSubmitMsg> jobs(2);
+  jobs[0].client = 7;
+  jobs[0].request_id = 100;
+  jobs[0].priority = 2;
+  jobs[0].timeout_ns = 5'000'000;
+  jobs[0].check = 1;
+  jobs[0].function = "fn_a";
+  jobs[0].payload = {1, 2, 3};
+  jobs[1].client = 7;
+  jobs[1].request_id = 101;
+  jobs[1].function = "fn_b";
+  const Message d = decode(encode(make_job_migrate(3, 404, jobs)));
+  EXPECT_EQ(d.type, MsgType::kJobMigrate);
+  EXPECT_EQ(d.job_migrate.from, 3u);
+  EXPECT_EQ(d.job_migrate.token, 404u);
+  ASSERT_EQ(d.job_migrate.jobs.size(), 2u);
+  EXPECT_EQ(d.job_migrate.jobs[0].client, 7u);
+  EXPECT_EQ(d.job_migrate.jobs[0].request_id, 100u);
+  EXPECT_EQ(d.job_migrate.jobs[0].priority, 2);
+  EXPECT_EQ(d.job_migrate.jobs[0].timeout_ns, 5'000'000);
+  EXPECT_EQ(d.job_migrate.jobs[0].check, 1);
+  EXPECT_EQ(d.job_migrate.jobs[0].function, "fn_a");
+  EXPECT_EQ(d.job_migrate.jobs[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(d.job_migrate.jobs[1].request_id, 101u);
+  EXPECT_EQ(d.job_migrate.jobs[1].function, "fn_b");
+
+  // The negative grant: zero jobs is a legal, meaningful frame.
+  const Message none = decode(encode(make_job_migrate(3, 405, {})));
+  EXPECT_TRUE(none.job_migrate.jobs.empty());
+}
+
+TEST(Message, MeshGossipRoundTrip) {
+  std::vector<MeshGossipEntry> entries(2);
+  entries[0].client = 9;
+  entries[0].request_id = 1;
+  entries[0].frame = encode(make_job_done(1, 0, 0, {42}));
+  entries[1].client = 9;
+  entries[1].request_id = 2;
+  entries[1].frame = encode(make_job_done(2, anahy::kFaulted, 0, {}));
+  const Message d = decode(encode(make_mesh_gossip(5, entries)));
+  EXPECT_EQ(d.type, MsgType::kMeshGossip);
+  EXPECT_EQ(d.gossip.from, 5u);
+  ASSERT_EQ(d.gossip.entries.size(), 2u);
+  EXPECT_EQ(d.gossip.entries[0].client, 9u);
+  EXPECT_EQ(d.gossip.entries[0].request_id, 1u);
+  // The carried frame replays verbatim: decode it and check the verdict.
+  const Message inner = decode(d.gossip.entries[0].frame);
+  EXPECT_EQ(inner.type, MsgType::kJobDone);
+  EXPECT_EQ(inner.job_done.payload, (std::vector<std::uint8_t>{42}));
+  EXPECT_EQ(decode(d.gossip.entries[1].frame).job_done.error,
+            static_cast<std::uint32_t>(anahy::kFaulted));
+}
+
+TEST(Message, JobStartedRoundTrip) {
+  const Message d = decode(encode(make_job_started(2, 909)));
+  EXPECT_EQ(d.type, MsgType::kJobStarted);
+  EXPECT_EQ(d.job_started.node, 2u);
+  EXPECT_EQ(d.job_started.request_id, 909u);
+}
+
+TEST(Message, RejectsTruncatedMeshFrames) {
+  for (const Message& m :
+       {make_job_steal(1, 2, 2, 4), make_job_migrate(1, 2, {}),
+        make_mesh_gossip(1, {{3, 4, {9, 9}}}), make_job_started(1, 2)}) {
+    auto frame = encode(m);
+    frame.resize(frame.size() - 2);
+    EXPECT_FALSE(decode_frame(frame).ok);
+  }
 }
 
 }  // namespace

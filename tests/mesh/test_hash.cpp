@@ -1,0 +1,90 @@
+// Weighted rendezvous hashing: determinism, weight-proportional load and
+// the minimal-disruption property failover depends on (docs/MESH.md).
+#include "cluster/mesh/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using namespace cluster::mesh;
+
+TEST(MeshHash, SplitmixIsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+  // Single-bit input changes should flip roughly half the output bits.
+  const std::uint64_t d = splitmix64(1) ^ splitmix64(2);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (d >> i) & 1;
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(MeshHash, PickIsDeterministicAndInRange) {
+  const std::vector<WeightedNode> nodes{{10, 1.0}, {11, 1.0}, {12, 1.0}};
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::size_t a = rendezvous_pick(k, nodes);
+    const std::size_t b = rendezvous_pick(k, nodes);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, nodes.size());
+  }
+}
+
+TEST(MeshHash, EqualWeightsSpreadKeys) {
+  const std::vector<WeightedNode> nodes{{0, 1.0}, {1, 1.0}, {2, 1.0}};
+  std::map<std::size_t, int> counts;
+  for (std::uint64_t k = 0; k < 3000; ++k)
+    ++counts[rendezvous_pick(splitmix64(k), nodes)];
+  // Every node gets a solid share (expected ~1000 each).
+  for (const auto& [node, n] : counts) EXPECT_GT(n, 600) << "node " << node;
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(MeshHash, WeightsBiasTheSpread) {
+  const std::vector<WeightedNode> nodes{{0, 2.0}, {1, 0.5}};
+  int heavy = 0, light = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    if (rendezvous_pick(splitmix64(k), nodes) == 0)
+      ++heavy;
+    else
+      ++light;
+  }
+  // Expected split 80/20; insist on at least 2:1.
+  EXPECT_GT(heavy, 2 * light);
+  EXPECT_GT(light, 0);  // a low weight sheds load, never blackholes
+}
+
+TEST(MeshHash, RemovingANodeOnlyMovesItsOwnKeys) {
+  const std::vector<WeightedNode> all{{0, 1.0}, {1, 1.0}, {2, 1.0}};
+  const std::vector<WeightedNode> survivors{{0, 1.0}, {2, 1.0}};
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t key = splitmix64(k);
+    const std::uint32_t before = all[rendezvous_pick(key, all)].node;
+    const std::uint32_t after = survivors[rendezvous_pick(key, survivors)].node;
+    if (before != 1) {
+      // A key that did not live on the removed node must not move: the
+      // property that makes router re-routing surgical.
+      EXPECT_EQ(before, after) << "key " << k;
+    } else {
+      EXPECT_NE(after, 1u);
+    }
+  }
+}
+
+TEST(MeshHash, RankOrdersByScoreAndStartsWithPick) {
+  const std::vector<WeightedNode> nodes{{7, 1.0}, {8, 1.5}, {9, 0.7}};
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    const auto order = rendezvous_rank(k, nodes);
+    ASSERT_EQ(order.size(), nodes.size());
+    EXPECT_EQ(order[0], rendezvous_pick(k, nodes));
+    double prev = -1.0;
+    for (const std::size_t i : order) {
+      const double s = rendezvous_score(k, nodes[i].node, nodes[i].weight);
+      EXPECT_GE(s, prev);
+      prev = s;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// parse_health / routing_weight: the router's view of a node is whatever
+// the exposition page says (docs/MESH.md).
+#include "cluster/mesh/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cluster::mesh;
+using anahy::Priority;
+
+const char kPage[] =
+    "anahy_observe_epoch 3\n"
+    "# a comment line\n"
+    "anahy_observe_ready_tasks{class=\"high\"} 1\n"
+    "anahy_observe_ready_tasks{class=\"normal\"} 4\n"
+    "anahy_observe_ready_tasks{class=\"batch\"} 9\n"
+    "anahy_observe_idle_fraction 0.250000\n"
+    "anahy_serve_jobs_pending_by_class{class=\"high\"} 0\n"
+    "anahy_serve_jobs_pending_by_class{class=\"normal\"} 2\n"
+    "anahy_serve_jobs_pending_by_class{class=\"batch\"} 7\n"
+    "anahy_admission_over{class=\"high\"} 0\n"
+    "anahy_admission_over{class=\"normal\"} 0\n"
+    "anahy_admission_over{class=\"batch\"} 1\n"
+    "anahy_admission_score_milli{class=\"batch\"} 1250\n"
+    "anahy_frontend_inflight_entries 3\n"
+    "anahy_unrelated_row 77\n";
+
+TEST(MeshHealth, ParsesTheRoutingRows) {
+  const NodeHealth h = parse_health(kPage);
+  EXPECT_TRUE(h.parsed);
+  EXPECT_EQ(h.ready[0], 1u);
+  EXPECT_EQ(h.ready[1], 4u);
+  EXPECT_EQ(h.ready[2], 9u);
+  EXPECT_EQ(h.pending[1], 2u);
+  EXPECT_EQ(h.pending[2], 7u);
+  EXPECT_FALSE(h.admission_over[1]);
+  EXPECT_TRUE(h.admission_over[2]);
+  EXPECT_EQ(h.admission_score_milli[2], 1250u);
+  EXPECT_DOUBLE_EQ(h.idle_fraction, 0.25);
+  EXPECT_EQ(h.inflight, 3u);
+}
+
+TEST(MeshHealth, EmptyOrForeignTextParsesToNothing) {
+  EXPECT_FALSE(parse_health("").parsed);
+  EXPECT_FALSE(parse_health("# only comments\nsome_other_metric 5\n").parsed);
+}
+
+TEST(MeshHealth, UnparsedNodeRoutesAtFullWeight) {
+  EXPECT_DOUBLE_EQ(routing_weight(NodeHealth{}, Priority::kNormal), 1.0);
+}
+
+TEST(MeshHealth, BacklogShedsWeight) {
+  NodeHealth idle;
+  idle.parsed = true;
+  idle.idle_fraction = 1.0;
+  NodeHealth busy = idle;
+  busy.ready[1] = 32;
+  busy.pending[1] = 32;
+  EXPECT_LT(routing_weight(busy, Priority::kNormal),
+            routing_weight(idle, Priority::kNormal));
+}
+
+TEST(MeshHealth, OverBudgetVerdictShedsHard) {
+  NodeHealth ok;
+  ok.parsed = true;
+  ok.idle_fraction = 1.0;
+  NodeHealth over = ok;
+  over.admission_over[2] = true;
+  const double w_ok = routing_weight(ok, Priority::kBatch);
+  const double w_over = routing_weight(over, Priority::kBatch);
+  EXPECT_LT(w_over, 0.5 * w_ok);
+  // The verdict is per class: normal routing is untouched.
+  EXPECT_DOUBLE_EQ(routing_weight(over, Priority::kNormal),
+                   routing_weight(ok, Priority::kNormal));
+}
+
+TEST(MeshHealth, WeightNeverFallsBelowTheFloor)
+{
+  NodeHealth h;
+  h.parsed = true;
+  h.idle_fraction = 0.0;
+  h.ready[2] = 100000;
+  h.pending[2] = 100000;
+  h.inflight = 100000;
+  h.admission_over[2] = true;
+  EXPECT_GE(routing_weight(h, Priority::kBatch), kMinRoutingWeight);
+}
+
+}  // namespace

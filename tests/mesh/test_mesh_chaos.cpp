@@ -1,0 +1,229 @@
+// Seeded chaos for the mesh failover protocol (docs/MESH.md): the
+// router<->node links are severed and healed mid-burst and every handle
+// must still resolve exactly once — re-routes answered by peers, started
+// keys sealed by the victim's done-cache or the gossip replica, and no
+// request body ever executing twice.
+//
+// The cut is the router-side network partition the protocol is built
+// for: node<->node links stay up, so completions keep gossiping and the
+// reap window R > fence F + exec + gossip-hop invariant holds. Every run
+// prints its seed; replay a failure with ANAHY_MESH_CHAOS_SEED=<seed>.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "anahy/fault/fault.hpp"
+#include "cluster/mesh/mesh_node.hpp"
+#include "cluster/mesh/router.hpp"
+
+// Sanitizer builds run everything 2-10x slower, which eats the margin in
+// the R > F + exec + gossip invariant the timings below encode. Scale
+// every window by the same factor so the *ratios* under test are
+// unchanged and the invariant keeps the headroom it has in production.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ANAHY_CHAOS_SAN_SCALE 4
+#endif
+#endif
+#if !defined(ANAHY_CHAOS_SAN_SCALE) && \
+    (defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__))
+#define ANAHY_CHAOS_SAN_SCALE 4
+#endif
+#ifndef ANAHY_CHAOS_SAN_SCALE
+#define ANAHY_CHAOS_SAN_SCALE 1
+#endif
+
+namespace {
+
+using namespace cluster;
+using namespace cluster::mesh;
+using anahy::fault::FaultProfile;
+using anahy::fault::FaultyTransport;
+using namespace std::chrono_literals;
+
+constexpr int kNodes = 3;
+constexpr std::uint32_t kRouterRank = kNodes;
+constexpr int kJobs = 48;
+constexpr int kScale = ANAHY_CHAOS_SAN_SCALE;
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("ANAHY_MESH_CHAOS_SEED");
+      env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 10);
+  return std::random_device{}();
+}
+
+/// Mesh + router where every endpoint is wrapped in a FaultyTransport
+/// (zero fault probabilities — the chaos here is manual, scheduled
+/// sever/heal of the router<->node links only).
+struct ChaosRig {
+  std::vector<std::unique_ptr<FaultyTransport>> endpoints;
+  std::array<Registry, kNodes> registries;
+  /// Per-request execution tally, indexed by the payload's first byte.
+  /// Declared before the nodes so job bodies can never outlive it.
+  std::array<std::atomic<std::uint32_t>, kJobs> executions{};
+  std::vector<std::unique_ptr<MeshNode>> nodes;
+
+  ChaosRig() {
+    auto fabric = make_memory_fabric(kNodes + 1);
+    endpoints.reserve(fabric.size());
+    for (auto& t : fabric)
+      endpoints.push_back(std::make_unique<FaultyTransport>(
+          std::move(t), FaultProfile{}));
+    for (int i = 0; i < kNodes; ++i) {
+      registries[static_cast<std::size_t>(i)].add(
+          "tracked", [this](std::span<const std::uint8_t> in) {
+            if (!in.empty() && in[0] < kJobs)
+              executions[in[0]].fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(2ms);
+            return std::vector<std::uint8_t>(in.begin(), in.end());
+          });
+      MeshNodeOptions o;
+      o.self = static_cast<std::uint32_t>(i);
+      for (int p = 0; p < kNodes; ++p)
+        if (p != i) o.peers.push_back(static_cast<std::uint32_t>(p));
+      o.routers = {kRouterRank};
+      o.server.runtime.num_vps = 1;
+      o.fence_us = 50'000 * kScale;
+      // Failover is the subject here; stealing has its own suite.
+      o.steal_enabled = false;
+      nodes.push_back(std::make_unique<MeshNode>(
+          *endpoints[static_cast<std::size_t>(i)],
+          registries[static_cast<std::size_t>(i)], o));
+    }
+  }
+
+  /// Full router<->node cut, both directions (peer links stay up).
+  void sever(int node) {
+    endpoints[static_cast<std::size_t>(node)]->sever(
+        static_cast<int>(kRouterRank));
+    endpoints[kRouterRank]->sever(node);
+  }
+  void heal(int node) {
+    endpoints[static_cast<std::size_t>(node)]->heal(
+        static_cast<int>(kRouterRank));
+    endpoints[kRouterRank]->heal(node);
+  }
+
+  Transport& router_endpoint() { return *endpoints[kRouterRank]; }
+};
+
+MeshRouterOptions chaos_router_options() {
+  MeshRouterOptions o{{0, 1, 2}};
+  o.reap_after *= kScale;
+  o.retry_backoff *= kScale;
+  return o;
+}
+
+/// Paced burst: one tracked job every ~3ms so the sever schedule cuts
+/// through submission, queueing, execution and reply phases alike.
+std::vector<std::uint64_t> paced_burst(MeshRouter& router,
+                                       std::chrono::microseconds deadline) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    RouterSubmitOptions o;
+    o.deadline = deadline;
+    ids.push_back(
+        router.submit("tracked", {static_cast<std::uint8_t>(i)}, o));
+    std::this_thread::sleep_for(3ms * kScale);
+  }
+  return ids;
+}
+
+TEST(MeshChaos, SeverHealRoundsResolveEverythingExactlyOnce) {
+  const std::uint64_t seed = chaos_seed();
+  std::fprintf(stderr, "[chaos] ANAHY_MESH_CHAOS_SEED=%llu\n",
+               static_cast<unsigned long long>(seed));
+  ChaosRig rig;
+  MeshRouter router(rig.router_endpoint(), chaos_router_options());
+
+  // Chaos thread: random node loses its router link for 60-140ms, heals,
+  // breathes 80-160ms, repeat. Runs through the whole burst.
+  std::atomic<bool> done{false};
+  std::thread chaos([&] {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> which(0, kNodes - 1);
+    std::uniform_int_distribution<int> cut_ms(60 * kScale, 140 * kScale);
+    std::uniform_int_distribution<int> calm_ms(80 * kScale, 160 * kScale);
+    while (!done.load(std::memory_order_relaxed)) {
+      const int victim = which(rng);
+      rig.sever(victim);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cut_ms(rng)));
+      rig.heal(victim);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(calm_ms(rng)));
+    }
+  });
+
+  const auto ids = paced_burst(router, 10s * kScale);
+  int ok = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto r = router.wait(ids[i]);
+    if (r.error == anahy::kOk) ++ok;
+    EXPECT_EQ(r.error, anahy::kOk) << "job " << i << " seed " << seed;
+  }
+  done.store(true, std::memory_order_relaxed);
+  chaos.join();
+
+  // Exactly-once: every body ran exactly once somewhere, no matter how
+  // many times its key was retried, withdrawn or re-routed.
+  for (int i = 0; i < kJobs; ++i)
+    EXPECT_EQ(rig.executions[static_cast<std::size_t>(i)].load(), 1u)
+        << "job " << i << " seed " << seed;
+  EXPECT_EQ(ok, kJobs) << "seed " << seed;
+
+  for (auto& n : rig.nodes) n->stop();
+  router.stop();
+}
+
+TEST(MeshChaos, PermanentSeverNeverExecutesTwice) {
+  const std::uint64_t seed = chaos_seed();
+  std::fprintf(stderr, "[chaos] ANAHY_MESH_CHAOS_SEED=%llu\n",
+               static_cast<unsigned long long>(seed));
+  ChaosRig rig;
+  MeshRouter router(rig.router_endpoint(), chaos_router_options());
+
+  // Cut one random node for good partway into the burst.
+  std::mt19937_64 rng(seed);
+  const int victim = static_cast<int>(rng() % kNodes);
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(40ms * kScale);
+    rig.sever(victim);
+  });
+
+  const auto ids = paced_burst(router, 3s * kScale);
+  chaos.join();
+  int ok = 0, unreachable = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto r = router.wait(ids[i]);  // never hangs: deadline resolves
+    if (r.error == anahy::kOk) {
+      ++ok;
+      EXPECT_EQ(rig.executions[i].load(), 1u)
+          << "job " << i << " seed " << seed;
+    } else {
+      ++unreachable;
+    }
+    EXPECT_LE(rig.executions[i].load(), 1u)
+        << "job " << i << " seed " << seed;
+  }
+  // The fleet keeps working: the overwhelming majority of the burst
+  // lands on the two surviving nodes.
+  EXPECT_GE(ok, kJobs - 8) << "seed " << seed;
+  EXPECT_EQ(ok + unreachable, kJobs);
+  EXPECT_GE(router.counters().reaps, 1u);
+
+  for (auto& n : rig.nodes) n->stop();
+  router.stop();
+}
+
+}  // namespace

@@ -4,6 +4,11 @@
 // total, and a disabled budget (total_bytes == 0) never sheds anything.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
 #include "anahy/rejuv/budget.hpp"
 #include "anahy/rejuv/controller.hpp"
 #include "anahy/task_pool.hpp"
@@ -138,6 +143,73 @@ TEST(AdmissionController, HighNeverShedsBelowHardTotal) {
   // pressure (max_pending), never by the budget.
   EXPECT_EQ(c.admit(Priority::kHigh), Decision::kAdmit);
   EXPECT_TRUE(c.over(Priority::kHigh));
+}
+
+// ----------------------------------------------------------------------
+// kAuto environment sizing (fake cgroup/statm files; docs/REJUV.md).
+
+/// Writes `content` to a fresh temp file and returns its path.
+std::string fake_file(const std::string& name, const std::string& content) {
+  const std::string path =
+      ::testing::TempDir() + "anahy_budget_" + name + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "we");
+  EXPECT_NE(f, nullptr) << path;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(MemoryBudgetAuto, CgroupLimitWins) {
+  const std::string cg = fake_file("cg_limited", "268435456\n");
+  const std::string sm = fake_file("statm_a", "100000 50000 100 1 0 1 0\n");
+  EXPECT_EQ(MemoryBudget::auto_total_bytes(cg, sm), 268435456u);
+}
+
+TEST(MemoryBudgetAuto, UnlimitedCgroupFallsBackToRss) {
+  const std::string cg = fake_file("cg_max", "max\n");
+  const std::string sm = fake_file("statm_b", "9999 1000 100 1 0 1 0\n");
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::uint64_t page_bytes =
+      page > 0 ? static_cast<std::uint64_t>(page) : 4096;
+  // 8x current RSS: headroom for a leaking server, well short of swap.
+  EXPECT_EQ(MemoryBudget::auto_total_bytes(cg, sm), 8 * 1000 * page_bytes);
+}
+
+TEST(MemoryBudgetAuto, NothingToSizeFromDisablesTheBudget) {
+  const std::string none = "/nonexistent/anahy-budget-test";
+  EXPECT_EQ(MemoryBudget::auto_total_bytes(none, none), 0u);
+
+  MemoryBudget::Options o;
+  o.total_bytes = MemoryBudget::kAuto;
+  o.cgroup_max_path = none;
+  o.statm_path = none;
+  const MemoryBudget b(o);
+  EXPECT_FALSE(b.enabled());
+  EXPECT_EQ(b.score(1ull << 30, Priority::kBatch), 0.0);
+}
+
+TEST(MemoryBudgetAuto, AutoFractionScalesTheResolvedTotal) {
+  const std::string cg = fake_file("cg_frac", "1048576\n");
+  const std::string sm = fake_file("statm_c", "100 10 1 1 0 1 0\n");
+  MemoryBudget::Options o;
+  o.total_bytes = MemoryBudget::kAuto;
+  o.auto_fraction = 0.25;
+  o.cgroup_max_path = cg;
+  o.statm_path = sm;
+  const MemoryBudget b(o);
+  EXPECT_TRUE(b.enabled());
+  EXPECT_EQ(b.options().total_bytes, 1048576u / 4);
+}
+
+TEST(MemoryBudgetAuto, GarbageCgroupValueFallsThrough) {
+  // A cgroup file with a non-numeric value must not poison the budget —
+  // the resolver falls through to the statm anchor.
+  const std::string cg = fake_file("cg_junk", "not-a-number\n");
+  const std::string sm = fake_file("statm_d", "50 5 1 1 0 1 0\n");
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::uint64_t page_bytes =
+      page > 0 ? static_cast<std::uint64_t>(page) : 4096;
+  EXPECT_EQ(MemoryBudget::auto_total_bytes(cg, sm), 8 * 5 * page_bytes);
 }
 
 }  // namespace

@@ -674,4 +674,125 @@ TEST(JobServer, ObserveTextMergesTelemetryAndServeMetrics) {
             text.find("anahy_serve_jobs_pending "));
 }
 
+// ----------------------------------------------------------------------
+// export_queued — the mesh-migration primitive (docs/MESH.md). Queued,
+// never-dispatched, exportable jobs may change owner; everything else is
+// untouchable.
+
+/// One VP, blocked: everything submitted afterwards stays queued until
+/// the flag flips.
+struct BlockedServer {
+  JobServer server{small_server(1)};
+  std::atomic<bool> flag{false};
+  JobHandle blocker;
+
+  BlockedServer() {
+    JobSpec spec;
+    spec.body = wait_for_flag;
+    spec.input = &flag;
+    spec.priority = Priority::kHigh;
+    spec.exportable = true;  // running jobs must still never export
+    blocker = server.submit(std::move(spec));
+    // The blocker must actually occupy the VP before tests queue behind it.
+    while (server.stats().active == 0) std::this_thread::yield();
+  }
+  ~BlockedServer() {
+    flag.store(true, std::memory_order_release);
+    if (blocker.valid()) blocker.wait();
+  }
+
+  JobHandle queue_one(bool exportable, Priority pr = Priority::kBatch,
+                      std::atomic<int>* ran = nullptr) {
+    JobSpec spec;
+    spec.body = [](void* in) -> void* {
+      if (in != nullptr)
+        static_cast<std::atomic<int>*>(in)->fetch_add(1,
+                                                      std::memory_order_relaxed);
+      return nullptr;
+    };
+    spec.input = ran;
+    spec.priority = pr;
+    spec.exportable = exportable;
+    return server.submit(std::move(spec));
+  }
+};
+
+TEST(JobServerExport, ExportsOnlyQueuedExportableJobsOfTheClass) {
+  BlockedServer rig;
+  std::atomic<int> ran{0};
+  JobHandle e1 = rig.queue_one(true, Priority::kBatch, &ran);
+  JobHandle e2 = rig.queue_one(true, Priority::kBatch, &ran);
+  JobHandle local = rig.queue_one(false, Priority::kBatch, &ran);
+  JobHandle other = rig.queue_one(true, Priority::kNormal, &ran);
+
+  EXPECT_EQ(rig.server.export_queued(Priority::kBatch, 10), 2u);
+  EXPECT_EQ(e1.wait(), kMigrated);
+  EXPECT_EQ(e2.wait(), kMigrated);
+  EXPECT_EQ(ran.load(), 0);  // migrated bodies never ran here
+
+  // The local closure and the other class survive and run normally.
+  rig.flag.store(true, std::memory_order_release);
+  EXPECT_EQ(local.wait(), kOk);
+  EXPECT_EQ(other.wait(), kOk);
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(rig.server.stats().by_class[2].migrated, 2u);
+}
+
+TEST(JobServerExport, RespectsMaxAndTakesTheNewestFirst) {
+  BlockedServer rig;
+  JobHandle oldest = rig.queue_one(true);
+  JobHandle newest = rig.queue_one(true);
+  EXPECT_EQ(rig.server.export_queued(Priority::kBatch, 1), 1u);
+  // Newest-first: the job with the least sunk queue wait moves; the one
+  // that already waited keeps its position.
+  EXPECT_EQ(newest.wait(), kMigrated);
+  rig.flag.store(true, std::memory_order_release);
+  EXPECT_EQ(oldest.wait(), kOk);
+}
+
+TEST(JobServerExport, EligibleFilterAndRunningJobsAreRespected) {
+  BlockedServer rig;
+  JobHandle queued = rig.queue_one(true);
+  // Filter rejects everything: nothing moves (the running blocker is
+  // exportable but dispatched — it must not even be offered).
+  EXPECT_EQ(rig.server.export_queued(Priority::kBatch, 10,
+                                     [](const Job&) { return false; }),
+            0u);
+  // The blocker is kHigh and running; exporting kHigh finds nothing.
+  EXPECT_EQ(rig.server.export_queued(Priority::kHigh, 10), 0u);
+  rig.flag.store(true, std::memory_order_release);
+  EXPECT_EQ(queued.wait(), kOk);
+}
+
+TEST(JobServerExport, CancelledAndDrainingJobsNeverExport) {
+  {
+    BlockedServer rig;
+    JobHandle victim = rig.queue_one(true);
+    victim.cancel();
+    EXPECT_EQ(rig.server.export_queued(Priority::kBatch, 10), 0u);
+    rig.flag.store(true, std::memory_order_release);
+    EXPECT_EQ(victim.wait(), kAborted);
+  }
+  JobServer server(small_server(1));
+  server.drain();
+  EXPECT_EQ(server.export_queued(Priority::kBatch, 10), 0u);
+}
+
+TEST(JobServerExport, OnCompleteFiresForMigratedJobs) {
+  BlockedServer rig;
+  std::atomic<int> completions{0};
+  JobSpec spec;
+  spec.body = [](void*) -> void* { return nullptr; };
+  spec.priority = Priority::kBatch;
+  spec.exportable = true;
+  spec.on_complete = [&completions](const JobResult& r) {
+    if (r.error == kMigrated)
+      completions.fetch_add(1, std::memory_order_relaxed);
+  };
+  JobHandle h = rig.server.submit(std::move(spec));
+  EXPECT_EQ(rig.server.export_queued(Priority::kBatch, 1), 1u);
+  EXPECT_EQ(h.wait(), kMigrated);
+  EXPECT_EQ(completions.load(), 1);
+}
+
 }  // namespace

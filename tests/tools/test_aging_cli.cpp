@@ -142,6 +142,28 @@ TEST(AgingCli, GarbageAndMissingFilesExitOne) {
   EXPECT_NE(flag.output.find("usage:"), std::string::npos) << flag.output;
 }
 
+TEST(AgingCli, NodeFlagOnlyValidWithRejuvenate) {
+  // --node=N addresses a mesh node for --rejuvenate (docs/MESH.md); on
+  // its own, or malformed, it is a usage error — not a silent no-op that
+  // quietly analyzes the series while the operator thinks they cycled
+  // node 2.
+  const auto path = write_temp("aging_cli_node.series",
+                               "anahy-series v1 classes=0\n");
+  const auto orphan = run_aging("--node=2 " + path);
+  EXPECT_EQ(orphan.exit_code, 1) << orphan.output;
+  EXPECT_NE(orphan.output.find("usage:"), std::string::npos) << orphan.output;
+
+  const auto garbage = run_aging("--rejuvenate=127.0.0.1:1 --node=x");
+  EXPECT_EQ(garbage.exit_code, 1) << garbage.output;
+  EXPECT_NE(garbage.output.find("usage:"), std::string::npos)
+      << garbage.output;
+
+  const auto negative = run_aging("--rejuvenate=127.0.0.1:1 --node=-3");
+  EXPECT_EQ(negative.exit_code, 1) << negative.output;
+  EXPECT_NE(negative.output.find("usage:"), std::string::npos)
+      << negative.output;
+}
+
 TEST(AgingCli, GapFloorFlagForgivesEnvironmentalStalls) {
   // A clean series with one 10 s hole: by default that is an A005 gap
   // (exit 2); with a floor above the hole the same file analyzes clean —

@@ -25,7 +25,10 @@
 // --rejuvenate=<host:port> is the operator command of docs/REJUV.md: it
 // connects to a serve deployment bootstrapped via tcp_coordinator (the CLI
 // joins as a tcp_worker), sends one kRejuvenate frame and prints the cycle
-// report. No series file is read in this mode.
+// report. No series file is read in this mode. Against an anahy::mesh,
+// --node=N addresses any node: the connected server forwards the command
+// to mesh node rank N (docs/MESH.md) and that node replies directly —
+// one entry point rejuvenates the whole fleet, node by node.
 //
 // Exit code: 0 clean (or rejuvenation performed), 2 findings, 1 the file
 // could not be read or parsed, or the rejuvenation target was unreachable
@@ -46,7 +49,7 @@ namespace {
 int usage() {
   std::cerr << "usage: anahy-aging [--json] [--summary] [--gap-min-ns=N] "
                "[--baseline=<series>] <series-file>\n"
-               "       anahy-aging --rejuvenate=<host:port>\n";
+               "       anahy-aging --rejuvenate=<host:port> [--node=N]\n";
   return 1;
 }
 
@@ -69,7 +72,9 @@ bool load_series(const std::string& path, anahy::aging::Series& out) {
 
 /// `--rejuvenate=<host:port>`: join the coordinator's mesh as a worker and
 /// issue one kRejuvenate command through the serve client's retry envelope.
-int run_rejuvenate(const std::string& target) {
+/// `node` addresses a specific mesh node (kRejuvTargetSelf = the server
+/// we connect to cycles itself).
+int run_rejuvenate(const std::string& target, std::uint32_t node) {
   const auto colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 == target.size())
     return usage();
@@ -93,8 +98,11 @@ int run_rejuvenate(const std::string& target) {
   }
   cluster::ServeClient client(*tp, /*server_node=*/0);
   std::string report;
-  if (client.rejuvenate(report) != anahy::kOk) {
+  if (client.rejuvenate(report, cluster::CallOptions{}, node) != anahy::kOk) {
     std::cerr << "anahy-aging: rejuvenation command to " << target
+              << (node != cluster::kRejuvTargetSelf
+                      ? " (node " + std::to_string(node) + ")"
+                      : "")
               << " went unanswered (server unreachable)\n";
     return 1;
   }
@@ -110,9 +118,12 @@ int main(int argc, char** argv) {
   anahy::aging::AnalyzeOptions opt;
   std::string path;
   std::string baseline_path;
+  std::string rejuv_target;
+  std::uint32_t rejuv_node = cluster::kRejuvTargetSelf;
   const std::string gap_flag = "--gap-min-ns=";
   const std::string baseline_flag = "--baseline=";
   const std::string rejuv_flag = "--rejuvenate=";
+  const std::string node_flag = "--node=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") json = true;
@@ -128,12 +139,25 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(baseline_flag.size());
       if (baseline_path.empty()) return usage();
     }
-    else if (arg.rfind(rejuv_flag, 0) == 0)
-      return run_rejuvenate(arg.substr(rejuv_flag.size()));
+    else if (arg.rfind(rejuv_flag, 0) == 0) {
+      rejuv_target = arg.substr(rejuv_flag.size());
+      if (rejuv_target.empty()) return usage();
+    }
+    else if (arg.rfind(node_flag, 0) == 0) {
+      try {
+        const long n = std::stol(arg.substr(node_flag.size()));
+        if (n < 0) return usage();
+        rejuv_node = static_cast<std::uint32_t>(n);
+      } catch (...) {
+        return usage();
+      }
+    }
     else if (!arg.empty() && arg.front() == '-') return usage();
     else if (path.empty()) path = arg;
     else return usage();
   }
+  if (!rejuv_target.empty()) return run_rejuvenate(rejuv_target, rejuv_node);
+  if (rejuv_node != cluster::kRejuvTargetSelf) return usage();
   if (path.empty()) return usage();
 
   anahy::aging::Series series;
